@@ -1,0 +1,57 @@
+//! E1 — "D-Finder can run exponentially faster than existing monolithic
+//! verification tools, such as NuSMV" (§5.6).
+//!
+//! Regenerates the comparison on the dining-philosophers family: monolithic
+//! explicit-state search visits an exponentially growing state space while
+//! the compositional check works on a linear abstraction. The printed table
+//! reports state counts (shape of the claim, independent of machine); the
+//! Criterion measurements report wall-clock for both methods.
+
+use bip_core::dining_philosophers;
+use bip_verify::reach::explore;
+use bip_verify::DFinder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn table() {
+    println!("\nE1: monolithic vs compositional deadlock-freedom (conservative philosophers)");
+    println!(
+        "{:>3} {:>14} {:>14} {:>10} {:>8} {:>8} {:>12}",
+        "n", "mono states", "mono trans", "abs places", "traps", "linear", "verdict"
+    );
+    for n in 2..=9 {
+        let sys = dining_philosophers(n, false).unwrap();
+        let mono = explore(&sys, 10_000_000);
+        let df = DFinder::new(&sys);
+        let rep = df.check_deadlock_freedom();
+        println!(
+            "{:>3} {:>14} {:>14} {:>10} {:>8} {:>8} {:>12}",
+            n,
+            mono.states,
+            mono.transitions,
+            rep.places,
+            rep.traps,
+            rep.linear_invariants,
+            if rep.verdict.is_deadlock_free() { "df-free" } else { "potential" },
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e1");
+    g.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let sys = dining_philosophers(n, false).unwrap();
+        g.bench_with_input(BenchmarkId::new("monolithic", n), &sys, |b, sys| {
+            b.iter(|| explore(sys, 10_000_000).states)
+        });
+        g.bench_with_input(BenchmarkId::new("dfinder", n), &sys, |b, sys| {
+            b.iter(|| DFinder::new(sys).check_deadlock_freedom().verdict.is_deadlock_free())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E2 — incremental verification "considerably reduces the verification
+//! effort" (§5.6): re-verifying after adding one interaction vs. from
+//! scratch, plus the invariant-reuse table.
+
+use bip_core::dining_philosophers;
+use bip_verify::{DFinder, IncrementalVerifier};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The philosophers system with the `eat` connectors removed (the starting
+/// point of the incremental construction).
+fn base(n: usize) -> bip_core::System {
+    let full = dining_philosophers(n, false).unwrap();
+    let mut sb = bip_core::SystemBuilder::new();
+    for c in 0..full.num_components() {
+        sb.add_instance(full.instance_name(c).to_string(), full.atom_type(c));
+    }
+    for conn in full.connectors() {
+        if conn.name.starts_with("rel") {
+            sb.add_connector(conn.clone());
+        }
+    }
+    sb.build().unwrap()
+}
+
+fn table() {
+    println!("\nE2: invariant reuse when interactions are added incrementally");
+    println!("{:>3} {:>9} {:>9} {:>9}", "n", "reused", "dropped", "added");
+    for n in [4usize, 6, 8] {
+        let full = dining_philosophers(n, false).unwrap();
+        let mut inc = IncrementalVerifier::new(base(n));
+        let (mut reused, mut dropped, mut added) = (0usize, 0usize, 0usize);
+        for conn in full.connectors() {
+            if conn.name.starts_with("eat") {
+                let st = inc.add_interaction(conn.clone()).unwrap();
+                reused += st.traps_reused;
+                dropped += st.traps_dropped;
+                added += st.traps_added;
+            }
+        }
+        println!("{n:>3} {reused:>9} {dropped:>9} {added:>9}");
+        assert!(inc.check_deadlock_freedom().verdict.is_deadlock_free());
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e2");
+    g.sample_size(10);
+    for n in [4usize, 6] {
+        let full = dining_philosophers(n, false).unwrap();
+        let eats: Vec<bip_core::Connector> = full
+            .connectors()
+            .iter()
+            .filter(|c| c.name.starts_with("eat"))
+            .cloned()
+            .collect();
+        // Incremental: one add_interaction step on a prepared verifier.
+        g.bench_with_input(BenchmarkId::new("incremental_step", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut inc = IncrementalVerifier::new(base(n));
+                    for conn in &eats[..eats.len() - 1] {
+                        inc.add_interaction(conn.clone()).unwrap();
+                    }
+                    inc
+                },
+                |mut inc| {
+                    inc.add_interaction(eats.last().unwrap().clone()).unwrap();
+                    inc.check_deadlock_freedom().verdict.is_deadlock_free()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        // From scratch on the full system.
+        g.bench_with_input(BenchmarkId::new("from_scratch", n), &full, |b, full| {
+            b.iter(|| DFinder::new(full).check_deadlock_freedom().verdict.is_deadlock_free())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E4 — the Lustre embedding is structure-preserving and size-linear
+//! (Fig. 5.2; §5.6: "their size is linear with respect to the initial
+//! program size").
+
+use bip_embed::lustre::Program;
+use bip_embed::{embed_program, integrator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn table() {
+    println!("\nE4: embedded model size vs program size");
+    println!("{:>6} {:>7} {:>11} {:>12} {:>12}", "nodes", "atoms", "connectors", "transitions", "trans/node");
+    for k in [4usize, 8, 16, 32, 64, 128, 256] {
+        let p = Program::random(k, 7);
+        let e = embed_program(&p).unwrap();
+        let (atoms, conns, trans) = e.size();
+        println!(
+            "{:>6} {:>7} {:>11} {:>12} {:>12.2}",
+            k + 1,
+            atoms,
+            conns,
+            trans,
+            trans as f64 / atoms as f64
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e4");
+    g.sample_size(20);
+    for k in [16usize, 64, 256] {
+        let p = Program::random(k, 7);
+        g.bench_with_input(BenchmarkId::new("embed", k), &p, |b, p| {
+            b.iter(|| embed_program(p).unwrap().size())
+        });
+    }
+    let p = integrator();
+    let e = embed_program(&p).unwrap();
+    let xs = vec![(0..32).collect::<Vec<i64>>()];
+    g.bench_function("run_integrator_32_cycles", |b| b.iter(|| e.run(&xs, 32)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

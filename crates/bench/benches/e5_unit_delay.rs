@@ -1,0 +1,43 @@
+//! E5 — Fig. 5.3: the unit-delay timed automaton; "the number of states and
+//! clocks ... increases linearly with the maximum number of changes allowed
+//! for x in one time unit".
+
+use bip_rt::{DelayAutomaton, Edge};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn table() {
+    println!("\nE5: unit-delay automaton size vs admissible changes per unit (k)");
+    println!("{:>4} {:>10} {:>8}", "k", "locations", "clocks");
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let d = DelayAutomaton::new(k);
+        println!("{:>4} {:>10} {:>8}", k, d.num_locations(), d.num_clocks());
+    }
+    println!();
+}
+
+fn drive(k: usize, edges: usize) -> bool {
+    let mut d = DelayAutomaton::new(k);
+    let mut t = 0u64;
+    let mut v = false;
+    for _ in 0..edges {
+        t += DelayAutomaton::UNIT / k as u64 + 13;
+        v = !v;
+        d.input(Edge { time: t, value: v }).unwrap();
+        d.sample(t + 5);
+    }
+    d.sample(t + 2 * DelayAutomaton::UNIT)
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e5");
+    for k in [1usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("drive_200_edges", k), &k, |b, &k| {
+            b.iter(|| drive(k, 200))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E6 — Fig. 5.4: interaction refinement by Send/Receive. The table prints
+//! the verdicts (equivalence for the conflict-free case; deadlock and
+//! trace violation under conflicts); the measurements time the refinement
+//! and its certificate.
+
+use bip_distributed::fig54::{fig54_conflict_pair, refine_interactions};
+use bip_verify::reach::find_deadlock;
+use bip_verify::refines;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn barrier(n: usize) -> bip_core::System {
+    let w = bip_core::AtomBuilder::new("w")
+        .port("sync")
+        .location("run")
+        .initial("run")
+        .transition("run", "sync", "run")
+        .build()
+        .unwrap();
+    let mut sb = bip_core::SystemBuilder::new();
+    let ids: Vec<usize> = (0..n).map(|i| sb.add_instance(format!("w{i}"), &w)).collect();
+    sb.add_connector(bip_core::ConnectorBuilder::rendezvous(
+        "barrier",
+        ids.iter().map(|&i| (i, "sync".to_string())),
+    ));
+    sb.build().unwrap()
+}
+
+fn table() {
+    println!("\nE6: Fig 5.4 interaction refinement verdicts");
+    for n in [2usize, 3, 4] {
+        let orig = barrier(n);
+        let refined = refine_interactions(&orig).unwrap();
+        let cert = refines(&orig, &refined.system, refined.rename(), 500_000);
+        println!(
+            "  {n}-party barrier     : trace-included={} refines={}",
+            cert.trace_included,
+            cert.refines()
+        );
+    }
+    let (orig, refined) = fig54_conflict_pair();
+    let cert = refines(&orig, &refined.system, refined.rename(), 500_000);
+    let dead = find_deadlock(&refined.system, 500_000).is_some();
+    println!(
+        "  conflict cycle (fig)  : trace-included={} deadlock-introduced={} refines={}",
+        cert.trace_included,
+        dead,
+        cert.refines()
+    );
+    let phils = bip_core::dining_philosophers(2, false).unwrap();
+    let naive = refine_interactions(&phils).unwrap();
+    let cert = refines(&phils, &naive.system, naive.rename(), 2_000_000);
+    println!(
+        "  philosophers (naive)  : trace-included={} cex={:?}",
+        cert.trace_included, cert.counterexample
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e6");
+    g.sample_size(10);
+    let orig = barrier(3);
+    g.bench_function("refine_3_party", |b| b.iter(|| refine_interactions(&orig).unwrap()));
+    let refined = refine_interactions(&orig).unwrap();
+    g.bench_function("certificate_3_party", |b| {
+        b.iter(|| refines(&orig, &refined.system, refined.rename(), 500_000).refines())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E7 — "the degree of parallelism of the distributed model depends on the
+//! choice of both the interactions' partition and the conflict resolution
+//! protocol" (§5.6, [7]): protocol × partition sweep on philosophers.
+
+use bip_core::dining_philosophers;
+use bip_distributed::deploy::{block_per_connector, k_blocks, single_block};
+use bip_distributed::{deploy, Crp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::Latency;
+
+fn table() {
+    println!("\nE7: conflict-resolution protocol × partition (philosophers, fixed latency 2, horizon 40k)");
+    println!(
+        "{:>3} {:<12} {:<14} {:>8} {:>10} {:>11} {:>12}",
+        "n", "crp", "partition", "fired", "messages", "msgs/inter", "inter/ktick"
+    );
+    for n in [4usize, 8, 12] {
+        let sys = dining_philosophers(n, false).unwrap();
+        for crp in Crp::all() {
+            for (pname, partition) in [
+                ("1-block", single_block(&sys)),
+                ("k-blocks", k_blocks(&sys, n / 2)),
+                ("per-conn", block_per_connector(&sys)),
+            ] {
+                let r = deploy(&sys, &partition, crp, 40_000, Latency::Fixed(2), 17);
+                println!(
+                    "{:>3} {:<12} {:<14} {:>8} {:>10} {:>11.1} {:>12.2}",
+                    n,
+                    crp.name(),
+                    pname,
+                    r.total_interactions,
+                    r.messages,
+                    r.messages_per_interaction(),
+                    r.throughput()
+                );
+            }
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e7");
+    g.sample_size(10);
+    let sys = dining_philosophers(6, false).unwrap();
+    for crp in Crp::all() {
+        g.bench_with_input(BenchmarkId::new("deploy_6phil_10k", crp.name()), &crp, |b, &crp| {
+            b.iter(|| {
+                deploy(&sys, &k_blocks(&sys, 3), crp, 10_000, Latency::Fixed(2), 5)
+                    .total_interactions
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

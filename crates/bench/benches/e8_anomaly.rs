@@ -1,0 +1,31 @@
+//! E8 — timing anomalies (§5.2.2): "safety for WCET does not guarantee
+//! safety for smaller execution times"; determinism ⇒ time robustness.
+
+use bip_rt::{greedy_makespan, partitioned_makespan, JobShop};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let shop = JobShop::graham();
+    println!("\nE8: timing anomaly sweep (Graham job shop, 3 processors)");
+    println!(
+        "{:>6} {:>16} {:>20}",
+        "Δ", "greedy makespan", "partitioned makespan"
+    );
+    for delta in 0..=3u64 {
+        let s = shop.speed_up(delta);
+        println!("{:>6} {:>16} {:>20}", delta, greedy_makespan(&s), partitioned_makespan(&s));
+    }
+    println!("  (greedy: Δ=1 is LONGER than Δ=0 — the anomaly; partitioned: monotone)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let shop = JobShop::graham();
+    let mut g = c.benchmark_group("e8");
+    g.bench_function("greedy_schedule", |b| b.iter(|| greedy_makespan(&shop)));
+    g.bench_function("partitioned_schedule", |b| b.iter(|| partitioned_makespan(&shop)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E9 — architectures and their composition (§5.5.2, [4]): cost of applying
+//! and model-checking reference architectures and of the ⊕ composition.
+
+use bip_arch::{client_critical, clients, compose, fifo_scheduler, mutual_exclusion, token_ring};
+use bip_verify::reach::{check_invariant, explore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn table() {
+    println!("\nE9: architecture application + verification (clients n)");
+    println!("{:>3} {:<14} {:>8} {:>10} {:>9}", "n", "architecture", "states", "prop holds", "df-free");
+    for n in [2usize, 3, 4, 5] {
+        let base = clients(n);
+        for arch in [mutual_exclusion(client_critical(n)), token_ring(client_critical(n))] {
+            let sys = arch.apply(&base).unwrap();
+            let prop = arch.characteristic_property(&sys);
+            let inv = check_invariant(&sys, &prop, 2_000_000);
+            let reach = explore(&sys, 2_000_000);
+            println!(
+                "{:>3} {:<14} {:>8} {:>10} {:>9}",
+                n,
+                arch.name,
+                reach.states,
+                inv.holds(),
+                reach.deadlock_free()
+            );
+        }
+        // ⊕ composition.
+        let m = mutual_exclusion(client_critical(n));
+        let f = fifo_scheduler(client_critical(n));
+        let sys = compose(&base, &m, &f).unwrap();
+        let ok = check_invariant(&sys, &m.characteristic_property(&sys), 2_000_000).holds()
+            && check_invariant(&sys, &f.characteristic_property(&sys), 2_000_000).holds();
+        println!(
+            "{:>3} {:<14} {:>8} {:>10} {:>9}",
+            n,
+            "mutex⊕fifo",
+            explore(&sys, 2_000_000).states,
+            ok,
+            explore(&sys, 2_000_000).deadlock_free()
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e9");
+    g.sample_size(10);
+    for n in [3usize, 5] {
+        let base = clients(n);
+        g.bench_with_input(BenchmarkId::new("apply_and_check_mutex", n), &n, |b, &n| {
+            b.iter(|| {
+                let arch = mutual_exclusion(client_critical(n));
+                let sys = arch.apply(&base).unwrap();
+                check_invariant(&sys, &arch.characteristic_property(&sys), 2_000_000).holds()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

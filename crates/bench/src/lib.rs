@@ -1,0 +1,2 @@
+//! Shared helpers for the experiment benches live in the bench files
+//! themselves; this library intentionally stays empty.

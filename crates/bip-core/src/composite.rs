@@ -1,0 +1,422 @@
+//! Hierarchical composites and flattening.
+//!
+//! "The BIP language allows the modeling of composite, hierarchically
+//! structured systems from atomic components" (§1.2). A [`Composite`] nests
+//! atoms and other composites; connectors inside a composite reference the
+//! ports of its direct children, where a child composite makes inner ports
+//! visible through explicit *exports*. [`Composite::flatten`] inlines the
+//! hierarchy into a flat [`System`] — the *flattening* glue law of §5.3.2.
+
+use crate::atom::AtomType;
+use crate::connector::{Connector, PortRef};
+use crate::error::ModelError;
+use crate::priority::Priority;
+use crate::system::System;
+
+/// A child of a composite: an atom or a nested composite.
+#[derive(Debug, Clone)]
+pub enum InstanceRef {
+    /// An atomic component.
+    Atom(AtomType),
+    /// A nested composite component.
+    Composite(Composite),
+}
+
+/// A hierarchical component: named children, connectors over the children's
+/// (exported) ports, port exports, and a priority layer.
+#[derive(Debug, Clone)]
+pub struct Composite {
+    name: String,
+    children: Vec<(String, InstanceRef)>,
+    connectors: Vec<Connector>,
+    /// Exported ports: (export name, child index, child port name).
+    exports: Vec<(String, usize, String)>,
+    priority: Priority,
+}
+
+impl Composite {
+    /// The composite's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Children as `(name, instance)` pairs.
+    pub fn children(&self) -> &[(String, InstanceRef)] {
+        &self.children
+    }
+
+    /// Exported ports.
+    pub fn exports(&self) -> &[(String, usize, String)] {
+        &self.exports
+    }
+
+    /// Resolve an exported port name to `(child index, child port name)`.
+    pub fn resolve_export(&self, name: &str) -> Option<(usize, &str)> {
+        self.exports
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, c, p)| (*c, p.as_str()))
+    }
+
+    /// Flatten the hierarchy into a [`System`].
+    ///
+    /// Atom instance names become slash-separated paths
+    /// (`"subsys/worker0"`), connector names likewise; priorities of nested
+    /// composites are merged into the global priority layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from system validation (bad port
+    /// references, duplicate names after prefixing, ...).
+    pub fn flatten(&self) -> Result<System, ModelError> {
+        let mut names = Vec::new();
+        let mut types = Vec::new();
+        let mut type_of = Vec::new();
+        let mut connectors = Vec::new();
+        let mut priority = Priority::none();
+        self.flatten_into("", &mut names, &mut types, &mut type_of, &mut connectors, &mut priority)?;
+        System::from_parts(names, types, type_of, connectors, priority)
+    }
+
+    /// Recursive worker: appends this composite's contents, prefixed.
+    /// Returns the mapping child-index → range of flat component indices.
+    fn flatten_into(
+        &self,
+        prefix: &str,
+        names: &mut Vec<String>,
+        types: &mut Vec<AtomType>,
+        type_of: &mut Vec<usize>,
+        connectors: &mut Vec<Connector>,
+        priority: &mut Priority,
+    ) -> Result<Vec<usize>, ModelError> {
+        // For each child: the flat index of its "anchor".
+        // Atoms map to a single flat component; composites map recursively,
+        // and we remember enough to resolve their exports.
+        let mut child_anchor: Vec<usize> = Vec::new();
+        let mut child_exports: Vec<Option<Composite>> = Vec::new();
+        for (cname, inst) in &self.children {
+            let path = if prefix.is_empty() {
+                cname.clone()
+            } else {
+                format!("{prefix}/{cname}")
+            };
+            match inst {
+                InstanceRef::Atom(ty) => {
+                    let ti = match types.iter().position(|t| t == ty) {
+                        Some(i) => i,
+                        None => {
+                            types.push(ty.clone());
+                            types.len() - 1
+                        }
+                    };
+                    child_anchor.push(names.len());
+                    child_exports.push(None);
+                    names.push(path);
+                    type_of.push(ti);
+                }
+                InstanceRef::Composite(sub) => {
+                    child_anchor.push(names.len());
+                    child_exports.push(Some(sub.clone()));
+                    sub.flatten_into(&path, names, types, type_of, connectors, priority)?;
+                }
+            }
+        }
+        // Rewrite this composite's connectors to flat component indices.
+        let conn_base = connectors.len();
+        for c in &self.connectors {
+            let mut ports = Vec::with_capacity(c.ports.len());
+            for pr in &c.ports {
+                if pr.component >= self.children.len() {
+                    return Err(ModelError::BadComponentIndex {
+                        connector: c.name.clone(),
+                        index: pr.component,
+                    });
+                }
+                let (flat_comp, port_name) =
+                    self.resolve_down(pr.component, &pr.port, &child_anchor, &child_exports)?;
+                ports.push(PortRef { component: flat_comp, port: port_name, trigger: pr.trigger });
+            }
+            let name = if prefix.is_empty() {
+                c.name.clone()
+            } else {
+                format!("{prefix}/{}", c.name)
+            };
+            connectors.push(Connector {
+                name,
+                ports,
+                guard: c.guard.clone(),
+                transfer: c.transfer.clone(),
+                observable: c.observable,
+            });
+        }
+        // Merge priority rules, shifting connector ids by conn_base.
+        for r in &self.priority.rules {
+            priority.rules.push(crate::priority::PriorityRule {
+                low: crate::connector::ConnId(r.low.0 + conn_base as u32),
+                high: crate::connector::ConnId(r.high.0 + conn_base as u32),
+                guard: r.guard.clone(),
+            });
+        }
+        priority.maximal_progress |= self.priority.maximal_progress;
+        Ok(child_anchor)
+    }
+
+    /// Resolve (child, port-name) to a flat component index and an atom port
+    /// name, following export chains through nested composites.
+    fn resolve_down(
+        &self,
+        child: usize,
+        port: &str,
+        child_anchor: &[usize],
+        child_exports: &[Option<Composite>],
+    ) -> Result<(usize, String), ModelError> {
+        match &child_exports[child] {
+            None => Ok((child_anchor[child], port.to_string())),
+            Some(sub) => {
+                let (inner_child, inner_port) =
+                    sub.resolve_export(port).ok_or_else(|| ModelError::BadPortRef {
+                        connector: "<export>".to_string(),
+                        component: sub.name.clone(),
+                        port: port.to_string(),
+                    })?;
+                // Recompute the sub-composite's own anchors relative to flat
+                // numbering: child_anchor[child] is where its first atom
+                // landed; we must walk its children the same way flatten_into
+                // did. Rebuild the anchor table for `sub`.
+                let mut offset = child_anchor[child];
+                let mut sub_anchor = Vec::new();
+                let mut sub_exports = Vec::new();
+                for (_, inst) in &sub.children {
+                    sub_anchor.push(offset);
+                    match inst {
+                        InstanceRef::Atom(_) => {
+                            sub_exports.push(None);
+                            offset += 1;
+                        }
+                        InstanceRef::Composite(s2) => {
+                            sub_exports.push(Some(s2.clone()));
+                            offset += s2.atom_count();
+                        }
+                    }
+                }
+                sub.resolve_down(inner_child, inner_port, &sub_anchor, &sub_exports)
+            }
+        }
+    }
+
+    /// Total number of atoms in the flattened hierarchy.
+    pub fn atom_count(&self) -> usize {
+        self.children
+            .iter()
+            .map(|(_, i)| match i {
+                InstanceRef::Atom(_) => 1,
+                InstanceRef::Composite(c) => c.atom_count(),
+            })
+            .sum()
+    }
+}
+
+/// Builder for [`Composite`].
+///
+/// # Example
+///
+/// ```
+/// use bip_core::{AtomBuilder, CompositeBuilder, ConnectorBuilder};
+///
+/// let worker = AtomBuilder::new("worker")
+///     .port("go")
+///     .location("l")
+///     .initial("l")
+///     .transition("l", "go", "l")
+///     .build()?;
+///
+/// // A cell exporting its worker's port.
+/// let cell = CompositeBuilder::new("cell")
+///     .atom("w", worker.clone())
+///     .export("go", 0, "go")
+///     .build();
+///
+/// // Two cells synchronized through their exports.
+/// let top = CompositeBuilder::new("top")
+///     .composite("c0", cell.clone())
+///     .composite("c1", cell)
+///     .connector(ConnectorBuilder::rendezvous("sync", [(0usize, "go"), (1usize, "go")]))
+///     .build();
+///
+/// let sys = top.flatten()?;
+/// assert_eq!(sys.num_components(), 2);
+/// # Ok::<(), bip_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompositeBuilder {
+    composite: Composite,
+}
+
+impl CompositeBuilder {
+    /// Start a composite called `name`.
+    pub fn new(name: impl Into<String>) -> CompositeBuilder {
+        CompositeBuilder {
+            composite: Composite {
+                name: name.into(),
+                children: Vec::new(),
+                connectors: Vec::new(),
+                exports: Vec::new(),
+                priority: Priority::none(),
+            },
+        }
+    }
+
+    /// Add an atomic child.
+    pub fn atom(mut self, name: impl Into<String>, ty: AtomType) -> Self {
+        self.composite.children.push((name.into(), InstanceRef::Atom(ty)));
+        self
+    }
+
+    /// Add a composite child.
+    pub fn composite(mut self, name: impl Into<String>, c: Composite) -> Self {
+        self.composite.children.push((name.into(), InstanceRef::Composite(c)));
+        self
+    }
+
+    /// Add a connector over direct children (`component` = child index,
+    /// `port` = the child's port or export name).
+    pub fn connector(mut self, c: impl Into<Connector>) -> Self {
+        self.composite.connectors.push(c.into());
+        self
+    }
+
+    /// Export child `child`'s port `port` under `name`.
+    pub fn export(mut self, name: impl Into<String>, child: usize, port: impl Into<String>) -> Self {
+        self.composite.exports.push((name.into(), child, port.into()));
+        self
+    }
+
+    /// Set the composite's priority layer.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.composite.priority = p;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Composite {
+        self.composite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomBuilder;
+    use crate::connector::ConnectorBuilder;
+
+    fn worker() -> AtomType {
+        AtomBuilder::new("worker")
+            .port("go")
+            .port("done")
+            .location("idle")
+            .location("busy")
+            .initial("idle")
+            .transition("idle", "go", "busy")
+            .transition("busy", "done", "idle")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn flat_composite_of_atoms() {
+        let c = CompositeBuilder::new("pair")
+            .atom("a", worker())
+            .atom("b", worker())
+            .connector(ConnectorBuilder::rendezvous("sync", [(0usize, "go"), (1usize, "go")]))
+            .build();
+        let sys = c.flatten().unwrap();
+        assert_eq!(sys.num_components(), 2);
+        assert_eq!(sys.instance_name(0), "a");
+        assert_eq!(sys.num_connectors(), 1);
+        let st = sys.initial_state();
+        assert_eq!(sys.enabled(&st).len(), 1);
+    }
+
+    #[test]
+    fn nested_composite_flattens_with_paths() {
+        let cell = CompositeBuilder::new("cell")
+            .atom("w", worker())
+            .export("go", 0, "go")
+            .export("done", 0, "done")
+            .build();
+        let top = CompositeBuilder::new("top")
+            .composite("c0", cell.clone())
+            .composite("c1", cell)
+            .connector(ConnectorBuilder::rendezvous("sync", [(0usize, "go"), (1usize, "go")]))
+            .build();
+        let sys = top.flatten().unwrap();
+        assert_eq!(sys.num_components(), 2);
+        assert_eq!(sys.instance_name(0), "c0/w");
+        assert_eq!(sys.instance_name(1), "c1/w");
+        let st = sys.initial_state();
+        assert_eq!(sys.enabled(&st).len(), 1);
+    }
+
+    #[test]
+    fn doubly_nested_resolution() {
+        let cell = CompositeBuilder::new("cell")
+            .atom("w", worker())
+            .export("g", 0, "go")
+            .build();
+        let mid = CompositeBuilder::new("mid")
+            .composite("inner", cell)
+            .export("gg", 0, "g")
+            .build();
+        let top = CompositeBuilder::new("top")
+            .composite("m", mid)
+            .atom("solo", worker())
+            .connector(ConnectorBuilder::rendezvous("s", [(0usize, "gg"), (1usize, "go")]))
+            .build();
+        let sys = top.flatten().unwrap();
+        assert_eq!(sys.num_components(), 2);
+        assert_eq!(sys.instance_name(0), "m/inner/w");
+        let st = sys.initial_state();
+        assert_eq!(sys.enabled(&st).len(), 1);
+    }
+
+    #[test]
+    fn inner_connectors_survive_flattening() {
+        let pair = CompositeBuilder::new("pair")
+            .atom("a", worker())
+            .atom("b", worker())
+            .connector(ConnectorBuilder::rendezvous("inner", [(0usize, "go"), (1usize, "go")]))
+            .build();
+        let top = CompositeBuilder::new("top")
+            .composite("p", pair)
+            .atom("c", worker())
+            .connector(ConnectorBuilder::singleton("solo", 1, "go"))
+            .build();
+        let sys = top.flatten().unwrap();
+        assert_eq!(sys.num_components(), 3);
+        assert_eq!(sys.num_connectors(), 2);
+        assert!(sys.connector_id("p/inner").is_some());
+        assert!(sys.connector_id("solo").is_some());
+    }
+
+    #[test]
+    fn unknown_export_rejected() {
+        let cell = CompositeBuilder::new("cell").atom("w", worker()).build();
+        let top = CompositeBuilder::new("top")
+            .composite("c", cell)
+            .atom("x", worker())
+            .connector(ConnectorBuilder::rendezvous("s", [(0usize, "ghost"), (1usize, "go")]))
+            .build();
+        assert!(top.flatten().is_err());
+    }
+
+    #[test]
+    fn atom_count() {
+        let cell = CompositeBuilder::new("cell").atom("w", worker()).atom("v", worker()).build();
+        let top = CompositeBuilder::new("top")
+            .composite("a", cell.clone())
+            .composite("b", cell)
+            .atom("c", worker())
+            .build();
+        assert_eq!(top.atom_count(), 5);
+    }
+}

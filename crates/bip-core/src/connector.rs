@@ -1,0 +1,299 @@
+//! Connectors — the *Interaction* layer of BIP glue.
+//!
+//! A connector relates ports of distinct components and defines a set of
+//! feasible interactions. Following the paper (§1.2, §5.3): "Interactions
+//! are described in BIP as the combination of two types of protocols:
+//! rendezvous, to express strong symmetric synchronization and broadcast, to
+//! express triggered asymmetric synchronization."
+//!
+//! Port typing realizes both: each connector port is a **trigger** or a
+//! **synchron**. With no triggers the only feasible interaction is the full
+//! port set (strong rendezvous). With triggers, any subset containing at
+//! least one trigger is feasible (broadcast; maximal progress — a
+//! [`crate::Priority`] — restores "largest possible" semantics).
+
+use crate::data::Expr;
+
+/// Identifier of a connector within a [`crate::System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+/// A port endpoint of a connector: component instance index (within the
+/// enclosing system/composite) + port name, resolved during system build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortRef {
+    /// Index of the component instance.
+    pub component: usize,
+    /// Port name on that instance's atom type.
+    pub port: String,
+    /// `true` if this endpoint is a trigger (can initiate a broadcast).
+    pub trigger: bool,
+}
+
+/// A connector: a named n-ary synchronization pattern with an optional guard
+/// and data-transfer action.
+///
+/// Construct with [`ConnectorBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Connector {
+    /// Connector name (unique within a system).
+    pub name: String,
+    /// Endpoints.
+    pub ports: Vec<PortRef>,
+    /// Guard over participant variables (`Expr::Param(k, v)` refers to
+    /// endpoint `k`'s variable `v`). Evaluated over the endpoints that are
+    /// *actually participating* in a candidate interaction; non-participants
+    /// read as their current values too (the guard may only reference
+    /// participating endpoints for broadcasts — see
+    /// [`Connector::guard_applies`]).
+    pub guard: Expr,
+    /// Data transfer: simultaneous assignments `(endpoint k, var v) := expr`
+    /// executed when the interaction fires, reading pre-state values.
+    pub transfer: Vec<(u32, u32, Expr)>,
+    /// `true` if the connector is an observable interaction for trace
+    /// semantics (set to `false` for coordination internals introduced by
+    /// transformations).
+    pub observable: bool,
+}
+
+impl Connector {
+    /// Indices (within `ports`) of trigger endpoints.
+    pub fn trigger_indices(&self) -> Vec<usize> {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.trigger.then_some(i))
+            .collect()
+    }
+
+    /// `true` if this connector is a strong rendezvous (no triggers).
+    pub fn is_rendezvous(&self) -> bool {
+        self.ports.iter().all(|p| !p.trigger)
+    }
+
+    /// Enumerate the feasible endpoint subsets of this connector, as sorted
+    /// index vectors.
+    ///
+    /// * rendezvous: exactly the full endpoint set;
+    /// * broadcast: every subset containing at least one trigger.
+    pub fn feasible_subsets(&self) -> Vec<Vec<usize>> {
+        let n = self.ports.len();
+        if self.is_rendezvous() {
+            return vec![(0..n).collect()];
+        }
+        let mut out = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let subset: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            if subset.iter().any(|&i| self.ports[i].trigger) {
+                out.push(subset);
+            }
+        }
+        out
+    }
+
+    /// `true` if the guard only references endpoints in `subset`, so it can
+    /// be evaluated for this partial interaction.
+    pub fn guard_applies(&self, subset: &[usize]) -> bool {
+        match self.guard.max_param() {
+            None => true,
+            Some(_) => guard_params(&self.guard).iter().all(|k| subset.contains(&(*k as usize))),
+        }
+    }
+}
+
+fn guard_params(e: &Expr) -> Vec<u32> {
+    let mut out = Vec::new();
+    collect_params(e, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn collect_params(e: &Expr, out: &mut Vec<u32>) {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => {}
+        Expr::Param(k, _) => out.push(*k),
+        Expr::Unary(_, a) => collect_params(a, out),
+        Expr::Binary(_, a, b) => {
+            collect_params(a, out);
+            collect_params(b, out);
+        }
+        Expr::Ite(c, t, f) => {
+            collect_params(c, out);
+            collect_params(t, out);
+            collect_params(f, out);
+        }
+    }
+}
+
+/// Builder for [`Connector`].
+///
+/// # Example
+///
+/// ```
+/// use bip_core::ConnectorBuilder;
+///
+/// // Strong rendezvous between component 0's `snd` and component 1's `rcv`.
+/// let c = ConnectorBuilder::rendezvous("link", [(0, "snd"), (1, "rcv")]).into_connector();
+/// assert!(c.is_rendezvous());
+///
+/// // Broadcast: component 0 triggers, components 1 and 2 may join.
+/// let b = ConnectorBuilder::broadcast("bcast", (0, "tick"), [(1, "hear"), (2, "hear")])
+///     .into_connector();
+/// assert_eq!(b.feasible_subsets().len(), 4); // {0} {0,1} {0,2} {0,1,2}
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnectorBuilder {
+    connector: Connector,
+}
+
+impl ConnectorBuilder {
+    /// A strong rendezvous over the given `(component, port)` endpoints.
+    pub fn rendezvous<I, S>(name: impl Into<String>, ports: I) -> ConnectorBuilder
+    where
+        I: IntoIterator<Item = (usize, S)>,
+        S: Into<String>,
+    {
+        ConnectorBuilder {
+            connector: Connector {
+                name: name.into(),
+                ports: ports
+                    .into_iter()
+                    .map(|(c, p)| PortRef { component: c, port: p.into(), trigger: false })
+                    .collect(),
+                guard: Expr::t(),
+                transfer: Vec::new(),
+                observable: true,
+            },
+        }
+    }
+
+    /// A broadcast with one trigger and any number of synchron receivers.
+    pub fn broadcast<I, S, T>(
+        name: impl Into<String>,
+        trigger: (usize, T),
+        receivers: I,
+    ) -> ConnectorBuilder
+    where
+        I: IntoIterator<Item = (usize, S)>,
+        S: Into<String>,
+        T: Into<String>,
+    {
+        let mut ports = vec![PortRef {
+            component: trigger.0,
+            port: trigger.1.into(),
+            trigger: true,
+        }];
+        ports.extend(
+            receivers
+                .into_iter()
+                .map(|(c, p)| PortRef { component: c, port: p.into(), trigger: false }),
+        );
+        ConnectorBuilder {
+            connector: Connector {
+                name: name.into(),
+                ports,
+                guard: Expr::t(),
+                transfer: Vec::new(),
+                observable: true,
+            },
+        }
+    }
+
+    /// A unary connector exposing a single port as a singleton interaction.
+    pub fn singleton(name: impl Into<String>, component: usize, port: impl Into<String>) -> Self {
+        ConnectorBuilder::rendezvous(name, [(component, port.into())])
+    }
+
+    /// Set the connector guard (`Expr::Param(k, v)` = endpoint `k`'s var `v`).
+    pub fn guard(mut self, guard: Expr) -> Self {
+        self.connector.guard = guard;
+        self
+    }
+
+    /// Add a data-transfer assignment `(endpoint, var) := expr`.
+    pub fn transfer(mut self, endpoint: u32, var: u32, expr: Expr) -> Self {
+        self.connector.transfer.push((endpoint, var, expr));
+        self
+    }
+
+    /// Mark the connector unobservable (silent) for trace semantics.
+    pub fn silent(mut self) -> Self {
+        self.connector.observable = false;
+        self
+    }
+
+    /// Finish building.
+    pub fn into_connector(self) -> Connector {
+        self.connector
+    }
+}
+
+impl From<ConnectorBuilder> for Connector {
+    fn from(b: ConnectorBuilder) -> Connector {
+        b.into_connector()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_has_single_feasible_subset() {
+        let c = ConnectorBuilder::rendezvous("r", [(0, "a"), (1, "b"), (2, "c")]).into_connector();
+        assert!(c.is_rendezvous());
+        assert_eq!(c.feasible_subsets(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn broadcast_subsets_contain_trigger() {
+        let c = ConnectorBuilder::broadcast("b", (0, "t"), [(1, "r"), (2, "r")]).into_connector();
+        let subsets = c.feasible_subsets();
+        assert_eq!(subsets.len(), 4);
+        for s in &subsets {
+            assert!(s.contains(&0), "subset {s:?} misses the trigger");
+        }
+    }
+
+    #[test]
+    fn two_triggers_allow_either() {
+        let mut c = ConnectorBuilder::rendezvous("x", [(0, "a"), (1, "b")]).into_connector();
+        c.ports[0].trigger = true;
+        c.ports[1].trigger = true;
+        let subsets = c.feasible_subsets();
+        // {0}, {1}, {0,1}
+        assert_eq!(subsets.len(), 3);
+    }
+
+    #[test]
+    fn guard_applicability() {
+        let c = ConnectorBuilder::rendezvous("g", [(0, "a"), (1, "b")])
+            .guard(Expr::param(1, 0).gt(Expr::int(0)))
+            .into_connector();
+        assert!(c.guard_applies(&[0, 1]));
+        assert!(!c.guard_applies(&[0]));
+        assert!(c.guard_applies(&[1]));
+    }
+
+    #[test]
+    fn trivial_guard_applies_everywhere() {
+        let c = ConnectorBuilder::rendezvous("g", [(0, "a")]).into_connector();
+        assert!(c.guard_applies(&[0]));
+        assert!(c.guard_applies(&[]));
+    }
+
+    #[test]
+    fn singleton_and_silent() {
+        let c = ConnectorBuilder::singleton("s", 2, "p").silent().into_connector();
+        assert_eq!(c.ports.len(), 1);
+        assert_eq!(c.ports[0].component, 2);
+        assert!(!c.observable);
+    }
+
+    #[test]
+    fn trigger_indices() {
+        let c = ConnectorBuilder::broadcast("b", (3, "t"), [(1, "r")]).into_connector();
+        assert_eq!(c.trigger_indices(), vec![0]);
+    }
+}

@@ -1,0 +1,372 @@
+//! Data: values and the expression AST used in transition guards, update
+//! actions, and connector guards / data transfer.
+//!
+//! The data domain is `i64` (booleans are encoded as 0/1), which covers every
+//! model in the paper while keeping global states cheap to hash during model
+//! checking.
+
+/// The value domain of BIP variables.
+pub type Value = i64;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation (0 becomes 1, non-zero becomes 0).
+    Not,
+}
+
+/// Binary operators. Comparison and logical operators yield 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Euclidean division; division by zero yields 0.
+    Div,
+    /// Euclidean remainder; modulo zero yields the dividend.
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Equality test.
+    Eq,
+    /// Inequality test.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical conjunction (non-zero = true).
+    And,
+    /// Logical disjunction.
+    Or,
+}
+
+/// An expression over the variables of an atomic component (`Var`) or, in a
+/// connector context, over the variables of the connector's participants
+/// (`Param(k, v)` = participant `k`'s variable `v`).
+///
+/// Expressions are pure; update actions pair a target variable with an
+/// expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant.
+    Const(Value),
+    /// A local variable of the owning atom, by index.
+    Var(u32),
+    /// In connector guards/actions: participant `k`'s variable `v`.
+    Param(u32, u32),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// If-then-else on the first operand (non-zero = true).
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Constant `true` (1).
+    pub fn t() -> Expr {
+        Expr::Const(1)
+    }
+
+    /// Constant `false` (0).
+    pub fn f() -> Expr {
+        Expr::Const(0)
+    }
+
+    /// A local variable reference.
+    pub fn var(i: u32) -> Expr {
+        Expr::Var(i)
+    }
+
+    /// A connector participant variable reference.
+    pub fn param(k: u32, v: u32) -> Expr {
+        Expr::Param(k, v)
+    }
+
+    /// Integer constant.
+    pub fn int(v: Value) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Builder: `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self / rhs` (0 on division by zero).
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self % rhs`.
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Rem, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `min(self, rhs)`.
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Min, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `max(self, rhs)`.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Max, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self == rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: logical `self && rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: logical `self || rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Or, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: logical negation.
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(self))
+    }
+
+    /// Builder: arithmetic negation.
+    pub fn neg(self) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(self))
+    }
+
+    /// Builder: `if self != 0 { then } else { els }`.
+    pub fn ite(self, then: Expr, els: Expr) -> Expr {
+        Expr::Ite(Box::new(self), Box::new(then), Box::new(els))
+    }
+
+    /// Evaluate with `locals` resolving `Var` and `params` resolving
+    /// `Param(k, v)` (row `k` = participant `k`'s variable vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range — model validation is expected to
+    /// have rejected such expressions.
+    pub fn eval(&self, locals: &[Value], params: &dyn Fn(u32, u32) -> Value) -> Value {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(i) => locals[*i as usize],
+            Expr::Param(k, v) => params(*k, *v),
+            Expr::Unary(op, e) => {
+                let x = e.eval(locals, params);
+                match op {
+                    UnOp::Neg => x.wrapping_neg(),
+                    UnOp::Not => i64::from(x == 0),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let x = a.eval(locals, params);
+                let y = b.eval(locals, params);
+                match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_div(y)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            x
+                        } else {
+                            x.wrapping_rem(y)
+                        }
+                    }
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    BinOp::Eq => i64::from(x == y),
+                    BinOp::Ne => i64::from(x != y),
+                    BinOp::Lt => i64::from(x < y),
+                    BinOp::Le => i64::from(x <= y),
+                    BinOp::Gt => i64::from(x > y),
+                    BinOp::Ge => i64::from(x >= y),
+                    BinOp::And => i64::from(x != 0 && y != 0),
+                    BinOp::Or => i64::from(x != 0 || y != 0),
+                }
+            }
+            Expr::Ite(c, t, e) => {
+                if c.eval(locals, params) != 0 {
+                    t.eval(locals, params)
+                } else {
+                    e.eval(locals, params)
+                }
+            }
+        }
+    }
+
+    /// Evaluate an expression with only local variables (no connector
+    /// context).
+    pub fn eval_local(&self, locals: &[Value]) -> Value {
+        self.eval(locals, &|_, _| panic!("Param reference outside a connector context"))
+    }
+
+    /// Evaluate as a boolean (non-zero = true).
+    pub fn eval_bool(&self, locals: &[Value], params: &dyn Fn(u32, u32) -> Value) -> bool {
+        self.eval(locals, params) != 0
+    }
+
+    /// The greatest `Var` index referenced, if any.
+    pub fn max_var(&self) -> Option<u32> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Var(i) => Some(*i),
+            Expr::Param(_, _) => None,
+            Expr::Unary(_, e) => e.max_var(),
+            Expr::Binary(_, a, b) => a.max_var().into_iter().chain(b.max_var()).max(),
+            Expr::Ite(c, t, e) => {
+                c.max_var().into_iter().chain(t.max_var()).chain(e.max_var()).max()
+            }
+        }
+    }
+
+    /// The greatest participant index referenced by a `Param`, if any.
+    pub fn max_param(&self) -> Option<u32> {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => None,
+            Expr::Param(k, _) => Some(*k),
+            Expr::Unary(_, e) => e.max_param(),
+            Expr::Binary(_, a, b) => a.max_param().into_iter().chain(b.max_param()).max(),
+            Expr::Ite(c, t, e) => {
+                c.max_param().into_iter().chain(t.max_param()).chain(e.max_param()).max()
+            }
+        }
+    }
+}
+
+impl From<Value> for Expr {
+    fn from(v: Value) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(e: &Expr) -> Value {
+        e.eval_local(&[10, 20, 30])
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ev(&Expr::var(0).add(Expr::var(1))), 30);
+        assert_eq!(ev(&Expr::var(1).sub(Expr::var(0))), 10);
+        assert_eq!(ev(&Expr::var(0).mul(Expr::int(3))), 30);
+        assert_eq!(ev(&Expr::var(1).div(Expr::var(0))), 2);
+        assert_eq!(ev(&Expr::var(2).rem(Expr::var(1))), 10);
+        assert_eq!(ev(&Expr::var(0).min(Expr::var(1))), 10);
+        assert_eq!(ev(&Expr::var(0).max(Expr::var(1))), 20);
+        assert_eq!(ev(&Expr::var(0).neg()), -10);
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        assert_eq!(ev(&Expr::var(0).div(Expr::int(0))), 0);
+        assert_eq!(ev(&Expr::var(0).rem(Expr::int(0))), 10);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(ev(&Expr::var(0).lt(Expr::var(1))), 1);
+        assert_eq!(ev(&Expr::var(0).gt(Expr::var(1))), 0);
+        assert_eq!(ev(&Expr::var(0).le(Expr::var(0))), 1);
+        assert_eq!(ev(&Expr::var(0).ge(Expr::var(1))), 0);
+        assert_eq!(ev(&Expr::var(0).eq(Expr::int(10))), 1);
+        assert_eq!(ev(&Expr::var(0).ne(Expr::int(10))), 0);
+        assert_eq!(ev(&Expr::t().and(Expr::f())), 0);
+        assert_eq!(ev(&Expr::t().or(Expr::f())), 1);
+        assert_eq!(ev(&Expr::f().not()), 1);
+        assert_eq!(ev(&Expr::int(5).not()), 0);
+    }
+
+    #[test]
+    fn ite_branches() {
+        assert_eq!(ev(&Expr::t().ite(Expr::int(1), Expr::int(2))), 1);
+        assert_eq!(ev(&Expr::f().ite(Expr::int(1), Expr::int(2))), 2);
+    }
+
+    #[test]
+    fn params_resolve_through_closure() {
+        let e = Expr::param(0, 1).add(Expr::param(1, 0));
+        let v = e.eval(&[], &|k, v| (k * 100 + v) as i64);
+        assert_eq!(v, 1 + 100);
+    }
+
+    #[test]
+    fn max_var_and_param() {
+        let e = Expr::var(2).add(Expr::var(5)).and(Expr::param(3, 0));
+        assert_eq!(e.max_var(), Some(5));
+        assert_eq!(e.max_param(), Some(3));
+        assert_eq!(Expr::int(1).max_var(), None);
+    }
+
+    #[test]
+    fn wrapping_behavior() {
+        let e = Expr::int(i64::MAX).add(Expr::int(1));
+        assert_eq!(e.eval_local(&[]), i64::MIN);
+    }
+
+    #[test]
+    fn from_value() {
+        let e: Expr = 42.into();
+        assert_eq!(e.eval_local(&[]), 42);
+    }
+}

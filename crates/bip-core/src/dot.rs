@@ -1,0 +1,85 @@
+//! GraphViz (dot) export of atoms and systems, for documentation and
+//! debugging.
+
+use crate::atom::AtomType;
+use crate::system::System;
+
+/// Render an atom type's behavior as a GraphViz digraph.
+pub fn atom_to_dot(ty: &AtomType) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", ty.name()));
+    out.push_str("  rankdir=LR;\n  node [shape=circle];\n");
+    for (i, l) in ty.locations().iter().enumerate() {
+        let style = if i == ty.initial().0 as usize { ", style=bold" } else { "" };
+        out.push_str(&format!("  l{i} [label=\"{l}\"{style}];\n"));
+    }
+    for t in ty.transitions() {
+        let label = match t.port {
+            Some(p) => ty.port_name(p).to_string(),
+            None => "τ".to_string(),
+        };
+        out.push_str(&format!("  l{} -> l{} [label=\"{label}\"];\n", t.from.0, t.to.0));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a system's architecture (components + connectors) as a GraphViz
+/// graph: boxes for components, diamonds for connectors.
+pub fn system_to_dot(sys: &System) -> String {
+    let mut out = String::new();
+    out.push_str("graph system {\n  node [shape=box];\n");
+    for c in 0..sys.num_components() {
+        out.push_str(&format!(
+            "  c{c} [label=\"{}: {}\"];\n",
+            sys.instance_name(c),
+            sys.atom_type(c).name()
+        ));
+    }
+    for (i, conn) in sys.connectors().iter().enumerate() {
+        out.push_str(&format!("  k{i} [shape=diamond, label=\"{}\"];\n", conn.name));
+        let eps = sys.connector_endpoints(crate::connector::ConnId(i as u32));
+        for (j, (comp, port)) in eps.iter().enumerate() {
+            let style = if conn.ports[j].trigger { " [style=dashed]" } else { "" };
+            out.push_str(&format!(
+                "  k{i} -- c{comp} [label=\"{}\"]{style};\n",
+                sys.atom_type(*comp).port_name(*port)
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomBuilder;
+    use crate::builder::dining_philosophers;
+
+    #[test]
+    fn atom_dot_contains_locations_and_ports() {
+        let a = AtomBuilder::new("x")
+            .port("go")
+            .location("idle")
+            .location("busy")
+            .initial("idle")
+            .transition("idle", "go", "busy")
+            .build()
+            .unwrap();
+        let dot = atom_to_dot(&a);
+        assert!(dot.contains("idle"));
+        assert!(dot.contains("busy"));
+        assert!(dot.contains("go"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn system_dot_contains_connectors() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let dot = system_to_dot(&sys);
+        assert!(dot.contains("phil0"));
+        assert!(dot.contains("eat0"));
+        assert!(dot.contains("fork1"));
+    }
+}

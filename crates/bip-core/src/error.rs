@@ -1,0 +1,133 @@
+//! Model-construction errors.
+
+/// Error raised while constructing or validating a BIP model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A name (port, location, variable, instance, connector) was declared
+    /// twice in the same scope.
+    DuplicateName {
+        /// The kind of entity ("port", "location", ...).
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
+    /// A name was referenced but never declared.
+    UnknownName {
+        /// The kind of entity expected.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// No initial location was set for an atom.
+    MissingInitial {
+        /// Atom type name.
+        atom: String,
+    },
+    /// An atom has no locations.
+    EmptyBehavior {
+        /// Atom type name.
+        atom: String,
+    },
+    /// A connector references a component index that does not exist.
+    BadComponentIndex {
+        /// Connector name.
+        connector: String,
+        /// Offending index.
+        index: usize,
+    },
+    /// A connector references a port the component type does not declare.
+    BadPortRef {
+        /// Connector name.
+        connector: String,
+        /// Component instance name.
+        component: String,
+        /// Port name that failed to resolve.
+        port: String,
+    },
+    /// A connector must have at least one port.
+    EmptyConnector {
+        /// Connector name.
+        connector: String,
+    },
+    /// The same component participates twice in one connector.
+    DuplicateParticipant {
+        /// Connector name.
+        connector: String,
+        /// Component instance name.
+        component: String,
+    },
+    /// A priority rule references an unknown connector.
+    BadPriorityRef {
+        /// The connector name that failed to resolve.
+        connector: String,
+    },
+    /// An expression referenced a variable index out of range.
+    BadVarIndex {
+        /// Context description.
+        context: String,
+        /// Offending index.
+        index: usize,
+    },
+    /// A system must contain at least one component.
+    EmptySystem,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name {name:?}")
+            }
+            ModelError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} {name:?}")
+            }
+            ModelError::MissingInitial { atom } => {
+                write!(f, "atom {atom:?} has no initial location")
+            }
+            ModelError::EmptyBehavior { atom } => {
+                write!(f, "atom {atom:?} has no locations")
+            }
+            ModelError::BadComponentIndex { connector, index } => {
+                write!(f, "connector {connector:?} references component index {index} out of range")
+            }
+            ModelError::BadPortRef { connector, component, port } => {
+                write!(
+                    f,
+                    "connector {connector:?} references unknown port {port:?} on component {component:?}"
+                )
+            }
+            ModelError::EmptyConnector { connector } => {
+                write!(f, "connector {connector:?} has no ports")
+            }
+            ModelError::DuplicateParticipant { connector, component } => {
+                write!(
+                    f,
+                    "component {component:?} participates more than once in connector {connector:?}"
+                )
+            }
+            ModelError::BadPriorityRef { connector } => {
+                write!(f, "priority rule references unknown connector {connector:?}")
+            }
+            ModelError::BadVarIndex { context, index } => {
+                write!(f, "variable index {index} out of range in {context}")
+            }
+            ModelError::EmptySystem => write!(f, "system has no components"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::DuplicateName { kind: "port", name: "put".into() };
+        assert!(e.to_string().contains("port"));
+        assert!(e.to_string().contains("put"));
+        let e = ModelError::EmptySystem;
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! `bip-core` — the BIP (Behavior, Interaction, Priority) component
+//! framework: kernel model and operational semantics.
+//!
+//! This crate implements the paper's primary contribution (J. Sifakis,
+//! *Rigorous System Design*, §5): composite, hierarchically structured
+//! systems are built from **atomic components** (automata extended with data)
+//! coordinated by the layered application of **interactions** (connectors
+//! combining rendezvous and broadcast) and **priorities** (filters steering
+//! system evolution).
+//!
+//! The central types are:
+//!
+//! * [`AtomType`] / [`AtomBuilder`] — behavior: locations, variables, and
+//!   port-labelled guarded transitions;
+//! * [`Connector`] — an n-ary interaction pattern with *trigger*/*synchron*
+//!   port typing (no triggers = strong rendezvous; triggers = broadcast),
+//!   a guard, and a data-transfer action;
+//! * [`PriorityRule`] and maximal progress — the second glue layer;
+//! * [`Composite`] — hierarchical composition, flattened to a [`System`];
+//! * [`System`] — a flat model with well-defined operational semantics:
+//!   [`System::enabled`], [`System::successors`], [`System::step`].
+//!
+//! # Example
+//!
+//! ```
+//! use bip_core::{AtomBuilder, SystemBuilder, ConnectorBuilder};
+//!
+//! // A one-place buffer: alternates `put` and `get`.
+//! let buffer = AtomBuilder::new("buffer")
+//!     .port("put")
+//!     .port("get")
+//!     .location("empty")
+//!     .location("full")
+//!     .initial("empty")
+//!     .transition("empty", "put", "full")
+//!     .transition("full", "get", "empty")
+//!     .build()
+//!     .unwrap();
+//!
+//! let producer = AtomBuilder::new("producer")
+//!     .port("out")
+//!     .location("ready")
+//!     .initial("ready")
+//!     .transition("ready", "out", "ready")
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut sb = SystemBuilder::new();
+//! let p = sb.add_instance("p", &producer);
+//! let b = sb.add_instance("b", &buffer);
+//! sb.add_connector(ConnectorBuilder::rendezvous("prod", [(p, "out"), (b, "put")]));
+//! let system = sb.build().unwrap();
+//!
+//! let s0 = system.initial_state();
+//! let enabled = system.enabled(&s0);
+//! assert_eq!(enabled.len(), 1);
+//! ```
+
+mod atom;
+pub mod builder;
+mod composite;
+mod connector;
+mod data;
+mod dot;
+mod error;
+pub mod expressiveness;
+pub mod parse;
+pub mod glue;
+mod predicate;
+mod priority;
+mod system;
+
+pub use atom::{Atom, AtomBuilder, AtomType, LocId, PortDecl, PortId, Transition, TransitionId, VarId};
+pub use builder::{dining_philosophers, SystemBuilder};
+pub use composite::{Composite, CompositeBuilder, InstanceRef};
+pub use connector::{ConnId, Connector, ConnectorBuilder, PortRef};
+pub use data::{BinOp, Expr, UnOp, Value};
+pub use dot::{atom_to_dot, system_to_dot};
+pub use error::ModelError;
+pub use parse::{parse_system, ParseError};
+pub use predicate::{GExpr, StatePred};
+pub use priority::{Priority, PriorityRule};
+pub use system::{CompId, Interaction, State, Step, System};

@@ -1,0 +1,237 @@
+//! Global state predicates: properties over the locations and variables of a
+//! whole system.
+//!
+//! Used by priorities (rule guards), the verifier (`bip-verify`: invariants,
+//! trustworthiness requirements — the "legal states" of Fig. 3.1), and
+//! runtime monitors (`bip-engine`).
+
+use crate::data::Value;
+use crate::system::{State, System};
+
+/// A global arithmetic expression over component variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GExpr {
+    /// Constant.
+    Const(Value),
+    /// Variable `v` of component instance `comp`.
+    Var(usize, u32),
+    /// Sum.
+    Add(Box<GExpr>, Box<GExpr>),
+    /// Difference.
+    Sub(Box<GExpr>, Box<GExpr>),
+    /// Product.
+    Mul(Box<GExpr>, Box<GExpr>),
+}
+
+impl GExpr {
+    /// Constant expression.
+    pub fn int(v: Value) -> GExpr {
+        GExpr::Const(v)
+    }
+
+    /// Variable `v` of component `comp`.
+    pub fn var(comp: usize, v: u32) -> GExpr {
+        GExpr::Var(comp, v)
+    }
+
+    /// Builder: `self + rhs`.
+    pub fn add(self, rhs: GExpr) -> GExpr {
+        GExpr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self - rhs`.
+    pub fn sub(self, rhs: GExpr) -> GExpr {
+        GExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// Builder: `self * rhs`.
+    pub fn mul(self, rhs: GExpr) -> GExpr {
+        GExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluate in a system state.
+    pub fn eval(&self, sys: &System, st: &State) -> Value {
+        match self {
+            GExpr::Const(c) => *c,
+            GExpr::Var(comp, v) => sys.var_value(st, *comp, *v),
+            GExpr::Add(a, b) => a.eval(sys, st).wrapping_add(b.eval(sys, st)),
+            GExpr::Sub(a, b) => a.eval(sys, st).wrapping_sub(b.eval(sys, st)),
+            GExpr::Mul(a, b) => a.eval(sys, st).wrapping_mul(b.eval(sys, st)),
+        }
+    }
+}
+
+/// A state predicate over a [`System`]'s global states.
+///
+/// Trustworthiness requirements (§3.2) "determine the set of legal states";
+/// this type is how such sets are written down.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StatePred {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Component `comp` is at the location named by index `loc` of its atom
+    /// type.
+    AtLoc(usize, u32),
+    /// Comparison between two global expressions.
+    Eq(GExpr, GExpr),
+    /// Less-or-equal comparison.
+    Le(GExpr, GExpr),
+    /// Negation.
+    Not(Box<StatePred>),
+    /// Conjunction.
+    And(Vec<StatePred>),
+    /// Disjunction.
+    Or(Vec<StatePred>),
+}
+
+impl StatePred {
+    /// `comp` is at the location named `loc` — resolved against the system at
+    /// evaluation time via indices; use [`StatePred::at`] with a
+    /// [`System`] for name resolution.
+    pub fn at_loc(comp: usize, loc: u32) -> StatePred {
+        StatePred::AtLoc(comp, loc)
+    }
+
+    /// Name-resolved location predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` is out of range or `loc` is not a location of that
+    /// component's type (misuse is a programming error in tests/benches).
+    pub fn at(sys: &System, comp: usize, loc: &str) -> StatePred {
+        let ty = sys.atom_type(comp);
+        let l = ty
+            .loc_id(loc)
+            .unwrap_or_else(|| panic!("no location {loc:?} in atom type {}", ty.name()));
+        StatePred::AtLoc(comp, l.0)
+    }
+
+    /// Builder: negation.
+    pub fn not(self) -> StatePred {
+        StatePred::Not(Box::new(self))
+    }
+
+    /// Builder: conjunction of two predicates.
+    pub fn and(self, rhs: StatePred) -> StatePred {
+        StatePred::And(vec![self, rhs])
+    }
+
+    /// Builder: disjunction of two predicates.
+    pub fn or(self, rhs: StatePred) -> StatePred {
+        StatePred::Or(vec![self, rhs])
+    }
+
+    /// Evaluate in a global state.
+    pub fn eval(&self, sys: &System, st: &State) -> bool {
+        match self {
+            StatePred::True => true,
+            StatePred::False => false,
+            StatePred::AtLoc(comp, loc) => st.locs[*comp] == *loc,
+            StatePred::Eq(a, b) => a.eval(sys, st) == b.eval(sys, st),
+            StatePred::Le(a, b) => a.eval(sys, st) <= b.eval(sys, st),
+            StatePred::Not(p) => !p.eval(sys, st),
+            StatePred::And(ps) => ps.iter().all(|p| p.eval(sys, st)),
+            StatePred::Or(ps) => ps.iter().any(|p| p.eval(sys, st)),
+        }
+    }
+
+    /// At most one of the given `(component, location-name)` pairs holds —
+    /// the classic mutual-exclusion characteristic property.
+    pub fn mutex<'a, I>(sys: &System, critical: I) -> StatePred
+    where
+        I: IntoIterator<Item = (usize, &'a str)>,
+    {
+        let preds: Vec<StatePred> =
+            critical.into_iter().map(|(c, l)| StatePred::at(sys, c, l)).collect();
+        let mut clauses = Vec::new();
+        for i in 0..preds.len() {
+            for j in (i + 1)..preds.len() {
+                clauses
+                    .push(StatePred::Not(Box::new(StatePred::And(vec![
+                        preds[i].clone(),
+                        preds[j].clone(),
+                    ]))));
+            }
+        }
+        StatePred::And(clauses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomBuilder;
+    use crate::builder::SystemBuilder;
+    use crate::connector::ConnectorBuilder;
+    use crate::data::Expr;
+
+    fn two_counters() -> System {
+        let c = AtomBuilder::new("c")
+            .port("tick")
+            .var("n", 0)
+            .location("a")
+            .location("b")
+            .initial("a")
+            .guarded_transition("a", "tick", Expr::t(), vec![("n", Expr::var(0).add(Expr::int(1)))], "b")
+            .transition("b", "tick", "a")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c0 = sb.add_instance("c0", &c);
+        let c1 = sb.add_instance("c1", &c);
+        sb.add_connector(ConnectorBuilder::rendezvous("both", [(c0, "tick"), (c1, "tick")]));
+        sb.build().unwrap()
+    }
+
+    #[test]
+    fn at_loc_and_eval() {
+        let sys = two_counters();
+        let s0 = sys.initial_state();
+        assert!(StatePred::at(&sys, 0, "a").eval(&sys, &s0));
+        assert!(!StatePred::at(&sys, 0, "b").eval(&sys, &s0));
+    }
+
+    #[test]
+    fn gexpr_arithmetic() {
+        let sys = two_counters();
+        let s0 = sys.initial_state();
+        let e = GExpr::var(0, 0).add(GExpr::int(5)).mul(GExpr::int(2));
+        assert_eq!(e.eval(&sys, &s0), 10);
+        let d = GExpr::var(0, 0).sub(GExpr::var(1, 0));
+        assert_eq!(d.eval(&sys, &s0), 0);
+    }
+
+    #[test]
+    fn logic_connectives() {
+        let sys = two_counters();
+        let s0 = sys.initial_state();
+        let a = StatePred::at(&sys, 0, "a");
+        let b = StatePred::at(&sys, 1, "b");
+        assert!(a.clone().and(b.clone().not()).eval(&sys, &s0));
+        assert!(a.clone().or(b.clone()).eval(&sys, &s0));
+        assert!(!StatePred::False.eval(&sys, &s0));
+        assert!(StatePred::True.eval(&sys, &s0));
+    }
+
+    #[test]
+    fn mutex_predicate() {
+        let sys = two_counters();
+        let s0 = sys.initial_state();
+        // Both at "a" initially: mutex over ("a","a") is violated.
+        let m = StatePred::mutex(&sys, [(0, "a"), (1, "a")]);
+        assert!(!m.eval(&sys, &s0));
+        let m2 = StatePred::mutex(&sys, [(0, "b"), (1, "b")]);
+        assert!(m2.eval(&sys, &s0));
+    }
+
+    #[test]
+    fn comparisons() {
+        let sys = two_counters();
+        let s0 = sys.initial_state();
+        assert!(StatePred::Eq(GExpr::var(0, 0), GExpr::int(0)).eval(&sys, &s0));
+        assert!(StatePred::Le(GExpr::var(0, 0), GExpr::int(3)).eval(&sys, &s0));
+        assert!(!StatePred::Le(GExpr::int(3), GExpr::var(0, 0)).eval(&sys, &s0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Priorities — the second glue layer of BIP.
+//!
+//! "Priorities are used to filter amongst possible interactions and to steer
+//! system evolution so as to meet performance requirements, e.g., to express
+//! scheduling policies" (§1.2). A priority is a strict partial order on
+//! interactions, possibly state-dependent; among the enabled interactions,
+//! the dominated ones are removed.
+
+use crate::connector::ConnId;
+use crate::predicate::StatePred;
+use crate::system::{Interaction, State, System};
+
+/// A single priority rule: when `guard` holds, `low` is dominated by `high`
+/// (i.e. `low` cannot fire while `high` is enabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityRule {
+    /// The dominated connector.
+    pub low: ConnId,
+    /// The dominating connector.
+    pub high: ConnId,
+    /// State condition under which the rule applies ([`StatePred::True`] for
+    /// unconditional rules).
+    pub guard: StatePred,
+}
+
+/// The priority layer of a system: a set of rules plus the optional
+/// *maximal progress* rule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Priority {
+    /// Static (possibly guarded) rules.
+    pub rules: Vec<PriorityRule>,
+    /// When `true`, within each connector an interaction is dominated by any
+    /// enabled strictly-larger interaction of the same connector. This gives
+    /// broadcasts their usual "as many receivers as possible" semantics.
+    pub maximal_progress: bool,
+}
+
+impl Priority {
+    /// No priorities at all.
+    pub fn none() -> Priority {
+        Priority::default()
+    }
+
+    /// Only maximal progress.
+    pub fn maximal_progress() -> Priority {
+        Priority { rules: Vec::new(), maximal_progress: true }
+    }
+
+    /// Add an unconditional rule `low ≺ high`.
+    pub fn add_rule(&mut self, low: ConnId, high: ConnId) {
+        self.rules.push(PriorityRule { low, high, guard: StatePred::True });
+    }
+
+    /// Add a guarded rule.
+    pub fn add_guarded_rule(&mut self, low: ConnId, high: ConnId, guard: StatePred) {
+        self.rules.push(PriorityRule { low, high, guard });
+    }
+
+    /// Filter `enabled` according to the priority layer in state `st`.
+    ///
+    /// An interaction is kept iff no other *enabled* interaction dominates
+    /// it. Domination is not assumed transitive here; rules are applied as
+    /// given (the standard BIP restriction semantics).
+    pub fn filter(&self, sys: &System, st: &State, enabled: &[Interaction]) -> Vec<Interaction> {
+        enabled
+            .iter()
+            .filter(|a| !self.dominated(sys, st, a, enabled))
+            .cloned()
+            .collect()
+    }
+
+    /// `true` if `a` is dominated by some enabled interaction in `enabled`.
+    pub fn dominated(
+        &self,
+        sys: &System,
+        st: &State,
+        a: &Interaction,
+        enabled: &[Interaction],
+    ) -> bool {
+        for rule in &self.rules {
+            if rule.low == a.connector
+                && rule.guard.eval(sys, st)
+                && enabled.iter().any(|b| b.connector == rule.high && b != a)
+            {
+                return true;
+            }
+        }
+        if self.maximal_progress {
+            // Within the same connector, strictly-larger enabled port sets win.
+            for b in enabled {
+                if b.connector == a.connector
+                    && b.endpoints.len() > a.endpoints.len()
+                    && a.endpoints.iter().all(|e| b.endpoints.contains(e))
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether this layer is empty (no filtering).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && !self.maximal_progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomBuilder;
+    use crate::builder::SystemBuilder;
+    use crate::connector::ConnectorBuilder;
+
+    /// A worker that can either `work` or `rest` forever.
+    fn worker() -> crate::atom::AtomType {
+        AtomBuilder::new("worker")
+            .port("work")
+            .port("rest")
+            .location("l")
+            .initial("l")
+            .transition("l", "work", "l")
+            .transition("l", "rest", "l")
+            .build()
+            .unwrap()
+    }
+
+    fn sys_with(priority: Priority) -> System {
+        let w = worker();
+        let mut sb = SystemBuilder::new();
+        let a = sb.add_instance("w", &w);
+        sb.add_connector(ConnectorBuilder::singleton("work", a, "work"));
+        sb.add_connector(ConnectorBuilder::singleton("rest", a, "rest"));
+        sb.set_priority(priority);
+        sb.build().unwrap()
+    }
+
+    #[test]
+    fn no_priority_keeps_both() {
+        let sys = sys_with(Priority::none());
+        let st = sys.initial_state();
+        assert_eq!(sys.enabled(&st).len(), 2);
+    }
+
+    #[test]
+    fn static_rule_filters() {
+        let mut p = Priority::none();
+        p.add_rule(ConnId(1), ConnId(0)); // rest ≺ work
+        let sys = sys_with(p);
+        let st = sys.initial_state();
+        let en = sys.enabled(&st);
+        assert_eq!(en.len(), 1);
+        assert_eq!(en[0].connector, ConnId(0));
+    }
+
+    #[test]
+    fn guarded_rule_only_when_guard_holds() {
+        let mut p = Priority::none();
+        p.add_guarded_rule(ConnId(1), ConnId(0), StatePred::False);
+        let sys = sys_with(p);
+        let st = sys.initial_state();
+        assert_eq!(sys.enabled(&st).len(), 2, "guard is false: no filtering");
+    }
+
+    #[test]
+    fn maximal_progress_prefers_larger_broadcast() {
+        let w = worker();
+        let mut sb = SystemBuilder::new();
+        let a = sb.add_instance("a", &w);
+        let b = sb.add_instance("b", &w);
+        sb.add_connector(ConnectorBuilder::broadcast("bc", (a, "work"), [(b, "work")]));
+        sb.set_priority(Priority::maximal_progress());
+        let sys = sb.build().unwrap();
+        let st = sys.initial_state();
+        let en = sys.enabled(&st);
+        // Without maximal progress: {a} and {a,b}. With: only {a,b}.
+        assert_eq!(en.len(), 1);
+        assert_eq!(en[0].endpoints.len(), 2);
+    }
+
+    #[test]
+    fn is_empty() {
+        assert!(Priority::none().is_empty());
+        assert!(!Priority::maximal_progress().is_empty());
+        let mut p = Priority::none();
+        p.add_rule(ConnId(0), ConnId(1));
+        assert!(!p.is_empty());
+    }
+}

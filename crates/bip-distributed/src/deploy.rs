@@ -1,0 +1,787 @@
+//! The 3-layer S/R deployment on a simulated network (§5.6).
+//!
+//! "The initial model is transformed into an S/R-BIP model structured in
+//! three hierarchically structured layers":
+//!
+//! 1. **component layer** — each atom runs on its own node; instead of
+//!    committing (the Fig. 5.4 mistake), it *offers*: after every move it
+//!    sends, to each relevant interaction-protocol engine, the set of ports
+//!    it currently enables together with a **participation counter** and a
+//!    snapshot of its exported variables;
+//! 2. **interaction protocol layer** — one engine per block of the
+//!    user-chosen partition of the interactions; an engine detects that an
+//!    interaction is enabled (all offers present, connector guard true) and
+//!    executes it after resolving conflicts with assistance from layer 3;
+//! 3. **conflict resolution protocol layer** — arbitration on the
+//!    participation counters ("it basically solves a committee coordination
+//!    problem, that can be solved by using either a fully centralized
+//!    arbiter or a distributed one"): [`Crp::Centralized`] (one arbiter),
+//!    [`Crp::TokenRing`] (the counter table circulates on a ring), or
+//!    [`Crp::Locks`] (dining-philosophers-style: one lock per component,
+//!    acquired in global order).
+//!
+//! The degree of parallelism depends on the partition and the protocol —
+//! experiment E7 measures exactly that (messages per interaction,
+//! interactions per unit of simulated time).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use bip_core::{ConnId, Expr, State, System, Value};
+use netsim::{Context, Latency, Network, Process};
+
+/// Conflict-resolution protocol choice for layer 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Crp {
+    /// One arbiter node holding all participation counters.
+    Centralized,
+    /// Counter table circulates on a token ring with one station per
+    /// interaction-protocol engine.
+    TokenRing,
+    /// One lock node per component; engines acquire locks in global order
+    /// (the dining-philosophers discipline: total order on forks).
+    Locks,
+}
+
+impl Crp {
+    /// All protocol variants (for sweeps).
+    pub fn all() -> [Crp; 3] {
+        [Crp::Centralized, Crp::TokenRing, Crp::Locks]
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Crp::Centralized => "centralized",
+            Crp::TokenRing => "token-ring",
+            Crp::Locks => "locks",
+        }
+    }
+}
+
+/// Messages of the deployment protocol.
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // identity fields are kept for tracing/Debug output
+enum Msg {
+    /// Component → engine: "at my current state (counter `cnt`), port of
+    /// connector `conn` is enabled; exported variable snapshot attached".
+    Offer { comp: usize, conn: u32, endpoint: usize, cnt: u64, vars: Vec<Value> },
+    /// Engine → component: execute your transition on `conn` (variable
+    /// writes attached).
+    Exec { conn: u32, endpoint: usize, writes: Vec<(u32, Value)> },
+    /// Engine → CRP: request to fire `conn` with the given
+    /// (component, counter) vector.
+    Request { conn: u32, parts: Vec<(usize, u64)> },
+    /// CRP → engine: go ahead.
+    Grant { conn: u32 },
+    /// CRP → engine: counters were stale; the offending
+    /// `(component, requested counter)` pairs are echoed so the engine can
+    /// purge exactly those offers and wait for fresh ones.
+    Deny { conn: u32, stale: Vec<(usize, u64)> },
+    /// Token-ring only: the circulating counter table.
+    Token { counters: Vec<u64> },
+    /// Locks only: acquire component lock (with expected counter).
+    Acquire { conn: u32, comp: usize, cnt: u64 },
+    /// Locks only: lock acquired.
+    Locked { conn: u32, comp: usize },
+    /// Locks only: counter stale — abort (requested counter echoed).
+    Stale { conn: u32, comp: usize, cnt: u64 },
+    /// Locks only: release (and bump the counter if `fired`).
+    Release { conn: u32, comp: usize, fired: bool },
+}
+
+/// Report of a deployment run.
+#[derive(Debug, Clone)]
+pub struct DeployReport {
+    /// Interactions fired, by connector name.
+    pub fired: Vec<(String, usize)>,
+    /// Total interactions fired.
+    pub total_interactions: usize,
+    /// Total protocol messages sent.
+    pub messages: usize,
+    /// Simulated end time.
+    pub end_time: u64,
+    /// The observable word (connector names in firing order, as decided by
+    /// the engines).
+    pub word: Vec<String>,
+    /// Final state of every component, reassembled.
+    pub final_state: State,
+}
+
+impl DeployReport {
+    /// Messages per fired interaction (protocol overhead metric of E7).
+    pub fn messages_per_interaction(&self) -> f64 {
+        if self.total_interactions == 0 {
+            f64::INFINITY
+        } else {
+            self.messages as f64 / self.total_interactions as f64
+        }
+    }
+
+    /// Interactions per 1000 simulated time units (throughput metric).
+    pub fn throughput(&self) -> f64 {
+        if self.end_time == 0 {
+            0.0
+        } else {
+            self.total_interactions as f64 * 1000.0 / self.end_time as f64
+        }
+    }
+}
+
+/// Node roles in the deployed network.
+enum Node {
+    Component(ComponentNode),
+    Engine(EngineNode),
+    Arbiter(ArbiterNode),
+    RingStation(RingStation),
+    Lock(LockNode),
+}
+
+/// Layer 1: a component node interpreting its atom.
+struct ComponentNode {
+    comp: usize,
+    sys: std::sync::Arc<System>,
+    loc: bip_core::LocId,
+    vars: Vec<Value>,
+    cnt: u64,
+    /// (connector, endpoint, engine-node) triples this component feeds.
+    watch: Vec<(u32, usize, usize)>,
+}
+
+impl ComponentNode {
+    fn send_offers(&self, ctx: &mut Context<Msg>) {
+        let ty = self.sys.atom_type(self.comp);
+        for &(conn, endpoint, engine) in &self.watch {
+            let eps = self.sys.connector_endpoints(ConnId(conn));
+            let (_, port) = eps[endpoint];
+            if ty.port_enabled(self.loc, port, &self.vars) {
+                ctx.send(
+                    engine,
+                    Msg::Offer {
+                        comp: self.comp,
+                        conn,
+                        endpoint,
+                        cnt: self.cnt,
+                        vars: self.vars.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn execute(&mut self, conn: u32, endpoint: usize, writes: Vec<(u32, Value)>, ctx: &mut Context<Msg>) {
+        let ty = self.sys.atom_type(self.comp).clone();
+        let eps = self.sys.connector_endpoints(ConnId(conn));
+        let (_, port) = eps[endpoint];
+        for (v, val) in writes {
+            self.vars[v as usize] = val;
+        }
+        let ts = ty.enabled_transitions(self.loc, port, &self.vars);
+        let tid = *ts.first().expect("engine granted a disabled port");
+        ty.apply_updates(tid, &mut self.vars);
+        self.loc = ty.transition(tid).to;
+        self.cnt += 1;
+        self.send_offers(ctx);
+    }
+}
+
+/// Layer 2: an interaction-protocol engine for one partition block.
+struct EngineNode {
+    sys: std::sync::Arc<System>,
+    /// Connectors managed by this engine.
+    conns: Vec<u32>,
+    /// offers[(conn, endpoint)] = (cnt, vars).
+    offers: HashMap<(u32, usize), (u64, Vec<Value>)>,
+    /// Interactions with an outstanding CRP request.
+    pending: HashSet<u32>,
+    /// Engine's id and the CRP routing.
+    crp: CrpRouting,
+    /// Locks protocol bookkeeping: held locks / target set per connector.
+    lock_progress: HashMap<u32, LockProgress>,
+    /// Component node id by component index.
+    comp_node: Vec<usize>,
+    /// Log of fired connectors (name, time).
+    fired_log: Vec<(u32, u64)>,
+}
+
+#[derive(Debug, Clone)]
+struct LockProgress {
+    parts: Vec<(usize, u64)>,
+    next: usize,
+    held: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+enum CrpRouting {
+    Centralized { arbiter: usize },
+    TokenRing { station: usize },
+    Locks { lock_of_comp: Vec<usize> },
+}
+
+impl EngineNode {
+    fn ready(&self, conn: u32) -> Option<Vec<(usize, u64)>> {
+        let eps = self.sys.connector_endpoints(ConnId(conn));
+        let mut parts = Vec::with_capacity(eps.len());
+        for (i, (comp, _)) in eps.iter().enumerate() {
+            let (cnt, _) = self.offers.get(&(conn, i))?;
+            parts.push((*comp, *cnt));
+        }
+        // Connector guard over offered variable snapshots.
+        let conn_ref = &self.sys.connectors()[conn as usize];
+        if conn_ref.guard != Expr::Const(1) {
+            let ok = conn_ref.guard.eval_bool(&[], &|k, v| {
+                self.offers[&(conn, k as usize)].1[v as usize]
+            });
+            if !ok {
+                return None;
+            }
+        }
+        Some(parts)
+    }
+
+    fn try_fire_all(&mut self, ctx: &mut Context<Msg>) {
+        let conns = self.conns.clone();
+        for conn in conns {
+            if self.pending.contains(&conn) {
+                continue;
+            }
+            if let Some(parts) = self.ready(conn) {
+                self.pending.insert(conn);
+                match &self.crp {
+                    CrpRouting::Centralized { arbiter } => {
+                        ctx.send(*arbiter, Msg::Request { conn, parts });
+                    }
+                    CrpRouting::TokenRing { station } => {
+                        ctx.send(*station, Msg::Request { conn, parts });
+                    }
+                    CrpRouting::Locks { lock_of_comp } => {
+                        // Acquire locks in ascending component order.
+                        let mut sorted = parts.clone();
+                        sorted.sort_by_key(|&(c, _)| c);
+                        let (comp0, cnt0) = sorted[0];
+                        self.lock_progress.insert(
+                            conn,
+                            LockProgress { parts: sorted.clone(), next: 0, held: Vec::new() },
+                        );
+                        ctx.send(lock_of_comp[comp0], Msg::Acquire { conn, comp: comp0, cnt: cnt0 });
+                    }
+                }
+            }
+        }
+    }
+
+    fn execute_interaction(&mut self, conn: u32, ctx: &mut Context<Msg>) {
+        // Compute data transfer from offered snapshots, then send Execs.
+        let conn_ref = self.sys.connectors()[conn as usize].clone();
+        let eps = self.sys.connector_endpoints(ConnId(conn));
+        let mut writes: Vec<Vec<(u32, Value)>> = vec![Vec::new(); eps.len()];
+        for (ep, var, expr) in &conn_ref.transfer {
+            let value = expr.eval(&[], &|k, v| self.offers[&(conn, k as usize)].1[v as usize]);
+            writes[*ep as usize].push((*var, value));
+        }
+        for (i, (comp, _)) in eps.iter().enumerate() {
+            ctx.send(
+                self.comp_node[*comp],
+                Msg::Exec { conn, endpoint: i, writes: std::mem::take(&mut writes[i]) },
+            );
+        }
+        self.fired_log.push((conn, ctx.now()));
+        // Clear *all* offers from the participants (their state is stale).
+        let parts: HashSet<usize> = eps.iter().map(|(c, _)| *c).collect();
+        self.offers.retain(|(c2, ep2), _| {
+            let eps2 = self.sys.connector_endpoints(ConnId(*c2));
+            !parts.contains(&eps2[*ep2].0)
+        });
+        self.pending.remove(&conn);
+    }
+
+    /// Remove offer entries matching the echoed stale `(component, counter)`
+    /// pairs (fresher offers for the same endpoint are kept).
+    fn purge_stale(&mut self, stale: &[(usize, u64)]) {
+        let sys = self.sys.clone();
+        self.offers.retain(|(conn, ep), (cnt, _)| {
+            let comp = sys.connector_endpoints(ConnId(*conn))[*ep].0;
+            !stale.iter().any(|&(c, n)| c == comp && n == *cnt)
+        });
+    }
+}
+
+/// Layer 3a: the centralized arbiter.
+struct ArbiterNode {
+    counters: Vec<u64>,
+}
+
+impl ArbiterNode {
+    fn handle(&mut self, from: usize, conn: u32, parts: &[(usize, u64)], ctx: &mut Context<Msg>) {
+        let stale: Vec<(usize, u64)> =
+            parts.iter().copied().filter(|&(c, n)| self.counters[c] != n).collect();
+        if stale.is_empty() {
+            for &(c, _) in parts {
+                self.counters[c] += 1;
+            }
+            ctx.send(from, Msg::Grant { conn });
+        } else {
+            ctx.send(from, Msg::Deny { conn, stale });
+        }
+    }
+}
+
+/// Layer 3b: a token-ring station serving one engine.
+struct RingStation {
+    engine: usize,
+    next_station: usize,
+    /// Queued requests from the engine.
+    queue: VecDeque<(u32, Vec<(usize, u64)>)>,
+    /// Whether the token is currently here.
+    has_token: Option<Vec<u64>>,
+}
+
+impl RingStation {
+    fn drain(&mut self, ctx: &mut Context<Msg>) {
+        if let Some(counters) = &mut self.has_token {
+            while let Some((conn, parts)) = self.queue.pop_front() {
+                let stale: Vec<(usize, u64)> =
+                    parts.iter().copied().filter(|&(c, n)| counters[c] != n).collect();
+                if stale.is_empty() {
+                    for &(c, _) in &parts {
+                        counters[c] += 1;
+                    }
+                    ctx.send(self.engine, Msg::Grant { conn });
+                } else {
+                    ctx.send(self.engine, Msg::Deny { conn, stale });
+                }
+            }
+            // Pass the token along.
+            let counters = self.has_token.take().expect("token present");
+            ctx.send(self.next_station, Msg::Token { counters });
+        }
+    }
+}
+
+/// Layer 3c: one lock per component, dining-philosophers discipline.
+struct LockNode {
+    comp: usize,
+    counter: u64,
+    holder: Option<(usize, u32)>, // (engine node, conn)
+    queue: VecDeque<(usize, u32, u64)>, // (engine node, conn, expected cnt)
+}
+
+impl LockNode {
+    fn grant_next(&mut self, ctx: &mut Context<Msg>) {
+        while self.holder.is_none() {
+            let Some((engine, conn, cnt)) = self.queue.pop_front() else {
+                return;
+            };
+            if cnt == self.counter {
+                self.holder = Some((engine, conn));
+                ctx.send(engine, Msg::Locked { conn, comp: self.comp });
+            } else {
+                ctx.send(engine, Msg::Stale { conn, comp: self.comp, cnt });
+            }
+        }
+    }
+}
+
+impl Process<Msg> for Node {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        match self {
+            Node::Component(c) => c.send_offers(ctx),
+            Node::RingStation(r) => r.drain(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, from: usize, msg: Msg, ctx: &mut Context<Msg>) {
+        match self {
+            Node::Component(c) => {
+                if let Msg::Exec { conn, endpoint, writes } = msg {
+                    c.execute(conn, endpoint, writes, ctx);
+                }
+            }
+            Node::Engine(e) => match msg {
+                Msg::Offer { conn, endpoint, cnt, vars, .. } => {
+                    e.offers.insert((conn, endpoint), (cnt, vars));
+                    e.try_fire_all(ctx);
+                }
+                Msg::Grant { conn } => {
+                    e.execute_interaction(conn, ctx);
+                    e.try_fire_all(ctx);
+                }
+                Msg::Deny { conn, stale } => {
+                    e.pending.remove(&conn);
+                    e.purge_stale(&stale);
+                    // Fresh offers may have raced past the denied request;
+                    // retry with whatever survived the purge.
+                    e.try_fire_all(ctx);
+                }
+                Msg::Locked { conn, .. } => {
+                    let Some(mut prog) = e.lock_progress.remove(&conn) else { return };
+                    prog.held.push(prog.parts[prog.next].0);
+                    prog.next += 1;
+                    if prog.next == prog.parts.len() {
+                        // All locks held: fire, then release with bump.
+                        e.execute_interaction(conn, ctx);
+                        if let CrpRouting::Locks { lock_of_comp } = &e.crp {
+                            for &c in &prog.held {
+                                ctx.send(lock_of_comp[c], Msg::Release { conn, comp: c, fired: true });
+                            }
+                        }
+                    } else {
+                        let (c, n) = prog.parts[prog.next];
+                        if let CrpRouting::Locks { lock_of_comp } = &e.crp {
+                            ctx.send(lock_of_comp[c], Msg::Acquire { conn, comp: c, cnt: n });
+                        }
+                        e.lock_progress.insert(conn, prog);
+                    }
+                }
+                Msg::Stale { conn, comp, cnt } => {
+                    // Abort: release everything held, purge, retry.
+                    if let Some(prog) = e.lock_progress.remove(&conn) {
+                        if let CrpRouting::Locks { lock_of_comp } = &e.crp {
+                            for &c in &prog.held {
+                                ctx.send(
+                                    lock_of_comp[c],
+                                    Msg::Release { conn, comp: c, fired: false },
+                                );
+                            }
+                        }
+                    }
+                    e.pending.remove(&conn);
+                    e.purge_stale(&[(comp, cnt)]);
+                    e.try_fire_all(ctx);
+                }
+                _ => {}
+            },
+            Node::Arbiter(a) => {
+                if let Msg::Request { conn, parts } = msg {
+                    a.handle(from, conn, &parts, ctx);
+                }
+            }
+            Node::RingStation(r) => match msg {
+                Msg::Request { conn, parts } => {
+                    r.queue.push_back((conn, parts));
+                    r.drain(ctx);
+                }
+                Msg::Token { counters } => {
+                    r.has_token = Some(counters);
+                    r.drain(ctx);
+                }
+                _ => {}
+            },
+            Node::Lock(l) => match msg {
+                Msg::Acquire { conn, cnt, .. } => {
+                    l.queue.push_back((from, conn, cnt));
+                    l.grant_next(ctx);
+                }
+                Msg::Release { fired, .. } => {
+                    l.holder = None;
+                    if fired {
+                        l.counter += 1;
+                    }
+                    l.grant_next(ctx);
+                }
+                _ => {}
+            },
+        }
+    }
+}
+
+/// Deploy `sys` on a simulated network and run it.
+///
+/// * `partition` — blocks of connector ids, one engine per block; every
+///   connector must appear in exactly one block (panics otherwise —
+///   partitions are produced programmatically);
+/// * `crp` — the conflict-resolution protocol;
+/// * `budget_time` — simulated-time horizon;
+/// * `latency`/`seed` — network parameters.
+///
+/// # Panics
+///
+/// Panics if `partition` does not cover every connector exactly once.
+pub fn deploy(
+    sys: &System,
+    partition: &[Vec<ConnId>],
+    crp: Crp,
+    budget_time: u64,
+    latency: Latency,
+    seed: u64,
+) -> DeployReport {
+    let mut covered = HashSet::new();
+    for block in partition {
+        for c in block {
+            assert!(covered.insert(*c), "connector {c:?} in two blocks");
+        }
+    }
+    assert_eq!(covered.len(), sys.num_connectors(), "partition must cover all connectors");
+
+    let sys = std::sync::Arc::new(sys.clone());
+    let ncomp = sys.num_components();
+    let nengines = partition.len();
+    // Node layout: components, then engines, then CRP nodes.
+    let comp_node: Vec<usize> = (0..ncomp).collect();
+    let engine_node = |b: usize| ncomp + b;
+    let crp_base = ncomp + nengines;
+
+    // Which engine handles each connector.
+    let mut engine_of_conn = vec![0usize; sys.num_connectors()];
+    for (b, block) in partition.iter().enumerate() {
+        for c in block {
+            engine_of_conn[c.0 as usize] = engine_node(b);
+        }
+    }
+
+    let mut nodes: Vec<Node> = Vec::new();
+    for comp in 0..ncomp {
+        let mut watch = Vec::new();
+        for ci in 0..sys.num_connectors() {
+            let eps = sys.connector_endpoints(ConnId(ci as u32));
+            for (i, (c, _)) in eps.iter().enumerate() {
+                if *c == comp {
+                    watch.push((ci as u32, i, engine_of_conn[ci]));
+                }
+            }
+        }
+        nodes.push(Node::Component(ComponentNode {
+            comp,
+            sys: sys.clone(),
+            loc: sys.atom_type(comp).initial(),
+            vars: sys.atom_type(comp).initial_vars(),
+            cnt: 0,
+            watch,
+        }));
+    }
+    for (b, block) in partition.iter().enumerate() {
+        let routing = match crp {
+            Crp::Centralized => CrpRouting::Centralized { arbiter: crp_base },
+            Crp::TokenRing => CrpRouting::TokenRing { station: crp_base + b },
+            Crp::Locks => CrpRouting::Locks {
+                lock_of_comp: (0..ncomp).map(|c| crp_base + c).collect(),
+            },
+        };
+        nodes.push(Node::Engine(EngineNode {
+            sys: sys.clone(),
+            conns: block.iter().map(|c| c.0).collect(),
+            offers: HashMap::new(),
+            pending: HashSet::new(),
+            crp: routing,
+            lock_progress: HashMap::new(),
+            comp_node: comp_node.clone(),
+            fired_log: Vec::new(),
+        }));
+    }
+    match crp {
+        Crp::Centralized => {
+            nodes.push(Node::Arbiter(ArbiterNode { counters: vec![0; ncomp] }));
+        }
+        Crp::TokenRing => {
+            for b in 0..nengines {
+                nodes.push(Node::RingStation(RingStation {
+                    engine: engine_node(b),
+                    next_station: crp_base + (b + 1) % nengines,
+                    queue: VecDeque::new(),
+                    has_token: if b == 0 { Some(vec![0; ncomp]) } else { None },
+                }));
+            }
+        }
+        Crp::Locks => {
+            for comp in 0..ncomp {
+                nodes.push(Node::Lock(LockNode {
+                    comp,
+                    counter: 0,
+                    holder: None,
+                    queue: VecDeque::new(),
+                }));
+            }
+        }
+    }
+
+    let mut net = Network::with_seed(nodes, latency, seed);
+    net.run_until_quiet(budget_time);
+
+    // Harvest results.
+    let mut fired_events: Vec<(u64, u32)> = Vec::new();
+    let mut per_conn = vec![0usize; sys.num_connectors()];
+    let mut final_state = sys.initial_state();
+    for i in 0..net.num_nodes() {
+        match net.process(i) {
+            Node::Engine(e) => {
+                for &(conn, t) in &e.fired_log {
+                    fired_events.push((t, conn));
+                    per_conn[conn as usize] += 1;
+                }
+            }
+            Node::Component(c) => {
+                final_state.locs[c.comp] = c.loc.0;
+                for (vi, v) in c.vars.iter().enumerate() {
+                    sys.set_var(&mut final_state, c.comp, vi as u32, *v);
+                }
+            }
+            _ => {}
+        }
+    }
+    fired_events.sort_unstable();
+    let word: Vec<String> = fired_events
+        .iter()
+        .map(|&(_, conn)| sys.connectors()[conn as usize].name.clone())
+        .collect();
+    let total: usize = per_conn.iter().sum();
+    DeployReport {
+        fired: per_conn
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (sys.connectors()[i].name.clone(), n))
+            .collect(),
+        total_interactions: total,
+        messages: net.stats().messages_sent,
+        end_time: net.stats().end_time,
+        word,
+        final_state,
+    }
+}
+
+/// Convenience partitions for experiments: one block for everything.
+pub fn single_block(sys: &System) -> Vec<Vec<ConnId>> {
+    vec![(0..sys.num_connectors()).map(|i| ConnId(i as u32)).collect()]
+}
+
+/// One block per connector (maximal distribution).
+pub fn block_per_connector(sys: &System) -> Vec<Vec<ConnId>> {
+    (0..sys.num_connectors()).map(|i| vec![ConnId(i as u32)]).collect()
+}
+
+/// `k` round-robin blocks.
+pub fn k_blocks(sys: &System, k: usize) -> Vec<Vec<ConnId>> {
+    let mut blocks = vec![Vec::new(); k.max(1)];
+    for i in 0..sys.num_connectors() {
+        blocks[i % k.max(1)].push(ConnId(i as u32));
+    }
+    blocks.retain(|b| !b.is_empty());
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::dining_philosophers;
+
+    fn replay_word_is_valid(sys: &System, word: &[String]) {
+        let mut st = sys.initial_state();
+        for label in word {
+            let succ = sys.successors(&st);
+            let found = succ
+                .iter()
+                .find(|(s, _)| sys.step_label(s) == Some(label.as_str()))
+                .unwrap_or_else(|| panic!("deployment fired {label} which is not enabled"));
+            st = found.1.clone();
+        }
+    }
+
+    #[test]
+    fn centralized_philosophers_progress_and_stay_valid() {
+        let sys = dining_philosophers(4, false).unwrap();
+        let r = deploy(&sys, &k_blocks(&sys, 2), Crp::Centralized, 20_000, Latency::Fixed(2), 1);
+        assert!(r.total_interactions > 20, "only {} interactions", r.total_interactions);
+        replay_word_is_valid(&sys, &r.word);
+    }
+
+    #[test]
+    fn token_ring_philosophers_progress_and_stay_valid() {
+        let sys = dining_philosophers(4, false).unwrap();
+        let r = deploy(&sys, &k_blocks(&sys, 3), Crp::TokenRing, 20_000, Latency::Fixed(2), 2);
+        assert!(r.total_interactions > 10, "only {} interactions", r.total_interactions);
+        replay_word_is_valid(&sys, &r.word);
+    }
+
+    #[test]
+    fn locks_philosophers_progress_and_stay_valid() {
+        let sys = dining_philosophers(4, false).unwrap();
+        let r =
+            deploy(&sys, &block_per_connector(&sys), Crp::Locks, 20_000, Latency::Fixed(2), 3);
+        assert!(r.total_interactions > 10, "only {} interactions", r.total_interactions);
+        replay_word_is_valid(&sys, &r.word);
+    }
+
+    #[test]
+    fn all_protocols_agree_on_data() {
+        // A deterministic pipeline: producer counts to 5 into a consumer.
+        use bip_core::{AtomBuilder, ConnectorBuilder, SystemBuilder};
+        let producer = AtomBuilder::new("p")
+            .var("n", 0)
+            .port_exporting("out", ["n"])
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "out",
+                Expr::var(0).lt(Expr::int(5)),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let consumer = AtomBuilder::new("c")
+            .var("sum", 0)
+            .var("got", 0)
+            .port_exporting("inp", ["got"])
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "inp",
+                Expr::t(),
+                vec![("sum", Expr::var(0).add(Expr::var(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let p = sb.add_instance("p", &producer);
+        let c = sb.add_instance("c", &consumer);
+        sb.add_connector(
+            ConnectorBuilder::rendezvous("xfer", [(p, "out"), (c, "inp")])
+                .transfer(1, 1, Expr::param(0, 0)),
+        );
+        let sys = sb.build().unwrap();
+        for crp in Crp::all() {
+            let r = deploy(&sys, &single_block(&sys), crp, 100_000, Latency::Fixed(1), 7);
+            assert_eq!(r.total_interactions, 5, "{}", crp.name());
+            // got receives n *before* the producer increments... transfer
+            // reads the offer snapshot: values 0,1,2,3,4 → sum = 10.
+            assert_eq!(sys.var_value(&r.final_state, c, 0), 10, "{}", crp.name());
+        }
+    }
+
+    #[test]
+    fn conflicting_interactions_never_double_book() {
+        // Philosophers: adjacent eats conflict; counters must serialize them.
+        let sys = dining_philosophers(3, false).unwrap();
+        for crp in Crp::all() {
+            let r = deploy(
+                &sys,
+                &block_per_connector(&sys),
+                crp,
+                30_000,
+                Latency::Jittered { base: 1, jitter: 5 },
+                11,
+            );
+            // Replay validity is the strong safety statement.
+            replay_word_is_valid(&sys, &r.word);
+            assert!(r.total_interactions > 5, "{}: {}", crp.name(), r.total_interactions);
+        }
+    }
+
+    #[test]
+    fn throughput_metrics_consistent() {
+        let sys = dining_philosophers(4, false).unwrap();
+        let r = deploy(&sys, &k_blocks(&sys, 2), Crp::Centralized, 10_000, Latency::Fixed(2), 5);
+        assert!(r.messages_per_interaction() > 2.0);
+        assert!(r.throughput() > 0.0);
+        assert_eq!(r.total_interactions, r.word.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must cover")]
+    fn partition_must_cover() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let _ = deploy(&sys, &[vec![ConnId(0)]], Crp::Centralized, 100, Latency::Fixed(1), 0);
+    }
+}

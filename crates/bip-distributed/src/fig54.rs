@@ -1,0 +1,424 @@
+//! Interaction refinement by Send/Receive primitives — Fig. 5.4.
+//!
+//! Each multiparty connector `a` over participants `C1..Ck` (the first
+//! endpoint acts as initiator) is refined into binary interactions with a
+//! fresh coordination component `D_a`:
+//!
+//! ```text
+//!   C'1 --str(a)--> D_a --rcv(a)--> C'i --ack(a)--> D_a ... --cmp(a)--> C'1
+//! ```
+//!
+//! The observation criterion "considers as silent the interactions str(a),
+//! rcv(a) and ack(a) and associates cmp(a) with a" — encoded here by naming
+//! the completion connector `cmp@<a>` and marking everything else silent.
+//!
+//! The refinement is correct for systems whose interactions do not conflict
+//! (share components); with conflicts it deadlocks — the bottom half of
+//! Fig. 5.4, reproduced in the tests — which is exactly why the full
+//! distribution pipeline needs a conflict-resolution layer
+//! ([`crate::deploy`]).
+
+use std::collections::HashMap;
+
+use bip_core::{
+    AtomBuilder, Connector, ConnectorBuilder, Expr, ModelError, PortRef, System, SystemBuilder,
+};
+
+/// Result of refining a system: the refined system plus the observation
+/// criterion mapping refined connector names to abstract ones.
+#[derive(Debug)]
+pub struct RefinedSystem {
+    /// The refined (S/R-style) system.
+    pub system: System,
+    /// Maps each *observable* refined connector name to the original
+    /// interaction name; all other refined connectors are silent.
+    pub observation: HashMap<String, String>,
+}
+
+impl RefinedSystem {
+    /// The observation criterion as a closure for
+    /// [`bip_verify::refines`]: `cmp@a ↦ a`, everything else silent.
+    pub fn rename(&self) -> impl Fn(&str) -> Option<String> + '_ {
+        move |l: &str| self.observation.get(l).cloned()
+    }
+}
+
+/// Refine every connector of `sys` per Fig. 5.4.
+///
+/// Restrictions (documented in DESIGN.md): control-dominant models —
+/// transition guards are kept on the first refined step and update actions
+/// move to the last; connector guards and data transfer are not supported
+/// by this refinement (the runtime pipeline in [`crate::deploy`] handles
+/// full data).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if `sys` has connectors with guards/transfer, or
+/// if rebuilding the system fails validation.
+pub fn refine_interactions(sys: &System) -> Result<RefinedSystem, ModelError> {
+    for c in sys.connectors() {
+        if c.guard != Expr::Const(1) || !c.transfer.is_empty() {
+            return Err(ModelError::UnknownName {
+                kind: "refinable connector (guards/transfer unsupported)",
+                name: c.name.clone(),
+            });
+        }
+    }
+    // Role of each (component, port) per connector: (connector index,
+    // endpoint position).
+    let mut roles: HashMap<(usize, u32), Vec<(usize, usize)>> = HashMap::new();
+    for ci in 0..sys.num_connectors() {
+        let eps = sys.connector_endpoints(bip_core::ConnId(ci as u32));
+        for (pos, (comp, port)) in eps.iter().enumerate() {
+            roles.entry((*comp, port.0)).or_default().push((ci, pos));
+        }
+    }
+
+    let mut sb = SystemBuilder::new();
+    // Build the refined atom for every instance.
+    for comp in 0..sys.num_components() {
+        let ty = sys.atom_type(comp);
+        let mut ab = AtomBuilder::new(format!("{}@sr", ty.name()));
+        for (name, init) in ty.vars() {
+            ab = ab.var(name.clone(), *init);
+        }
+        // Ports: one str/cmp or rcv/ack pair per (port, connector-role).
+        let mut port_names: HashMap<(u32, usize), (String, String)> = HashMap::new();
+        for ((c, port), rs) in &roles {
+            if *c != comp {
+                continue;
+            }
+            for (ci, pos) in rs {
+                let conn_name = &sys.connectors()[*ci].name;
+                let (first, second) = if *pos == 0 {
+                    (format!("str@{conn_name}"), format!("cmp@{conn_name}"))
+                } else {
+                    (format!("rcv@{conn_name}"), format!("ack@{conn_name}"))
+                };
+                ab = ab.port(first.clone()).port(second.clone());
+                port_names.insert((*port, *ci), (first, second));
+            }
+        }
+        for (li, lname) in ty.locations().iter().enumerate() {
+            ab = ab.location(lname.clone());
+            let _ = li;
+        }
+        // Intermediate locations + transitions.
+        for (ti, t) in ty.transitions().iter().enumerate() {
+            let from = ty.loc_name(t.from).to_string();
+            let to = ty.loc_name(t.to).to_string();
+            match t.port {
+                None => {
+                    let ups: Vec<(&str, Expr)> = t
+                        .updates
+                        .iter()
+                        .map(|(v, e)| (ty.var_name(*v), e.clone()))
+                        .collect();
+                    ab = ab.internal_transition(from, t.guard.clone(), ups, to);
+                }
+                Some(p) => {
+                    for (ci, _pos) in roles.get(&(comp, p.0)).into_iter().flatten() {
+                        let (first, second) = &port_names[&(p.0, *ci)];
+                        let mid = format!("mid{ti}@{ci}");
+                        ab = ab.location(mid.clone());
+                        // Guard on the first step; updates on the second.
+                        ab = ab.guarded_transition(
+                            from.clone(),
+                            first.clone(),
+                            t.guard.clone(),
+                            vec![],
+                            mid.clone(),
+                        );
+                        let ups: Vec<(&str, Expr)> = t
+                            .updates
+                            .iter()
+                            .map(|(v, e)| (ty.var_name(*v), e.clone()))
+                            .collect();
+                        ab = ab.guarded_transition(mid, second.clone(), Expr::t(), ups, to.clone());
+                    }
+                }
+            }
+        }
+        ab = ab.initial(ty.loc_name(ty.initial()).to_string());
+        let refined = ab.build()?;
+        sb.add_instance(sys.instance_name(comp).to_string(), &refined);
+    }
+
+    // Coordination components D_a and the binary connectors.
+    let mut observation = HashMap::new();
+    let n = sys.num_components();
+    for ci in 0..sys.num_connectors() {
+        let conn_name = sys.connectors()[ci].name.clone();
+        let eps = sys.connector_endpoints(bip_core::ConnId(ci as u32));
+        let k = eps.len();
+        let mut db = AtomBuilder::new(format!("D@{conn_name}"))
+            .port("str")
+            .port("cmp")
+            .location("idle");
+        for i in 1..k {
+            db = db.port(format!("rcv{i}")).port(format!("ack{i}"));
+        }
+        // idle --str--> s1 --rcv1--> w1 --ack1--> s2 ... --> done --cmp--> idle
+        let mut prev = "idle".to_string();
+        db = db.location("got");
+        db = db.transition(prev.clone(), "str", "got");
+        prev = "got".to_string();
+        for i in 1..k {
+            let s = format!("r{i}");
+            let w = format!("w{i}");
+            db = db.location(s.clone()).location(w.clone());
+            db = db.transition(prev.clone(), format!("rcv{i}"), w.clone());
+            // Rename: transition into s then w? One rcv then one ack:
+            db = db.transition(w, format!("ack{i}"), s.clone());
+            prev = s;
+        }
+        db = db.transition(prev, "cmp", "idle");
+        db = db.initial("idle");
+        let d = db.build()?;
+        let d_idx = sb.add_instance(format!("D/{conn_name}"), &d);
+        debug_assert!(d_idx >= n);
+
+        // Connectors: str (silent), rcv_i/ack_i (silent), cmp (observable).
+        let (c0, p0) = eps[0];
+        let initiator_port = |suffix: &str| {
+            format!("{}@{}", suffix, conn_name)
+        };
+        let _ = p0;
+        sb.add_connector(
+            ConnectorBuilder::rendezvous(
+                format!("str@{conn_name}"),
+                [(c0, initiator_port("str")), (d_idx, "str".to_string())],
+            )
+            .silent(),
+        );
+        for (i, (cidx, _)) in eps.iter().enumerate().skip(1) {
+            sb.add_connector(
+                ConnectorBuilder::rendezvous(
+                    format!("rcv{i}@{conn_name}"),
+                    [(d_idx, format!("rcv{i}")), (*cidx, format!("rcv@{conn_name}"))],
+                )
+                .silent(),
+            );
+            sb.add_connector(
+                ConnectorBuilder::rendezvous(
+                    format!("ack{i}@{conn_name}"),
+                    [(*cidx, format!("ack@{conn_name}")), (d_idx, format!("ack{i}"))],
+                )
+                .silent(),
+            );
+        }
+        let cmp_name = format!("cmp@{conn_name}");
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            cmp_name.clone(),
+            [(c0, initiator_port("cmp")), (d_idx, "cmp".to_string())],
+        ));
+        observation.insert(cmp_name, conn_name);
+    }
+
+    Ok(RefinedSystem { system: sb.build()?, observation })
+}
+
+/// Build the conflict scenario at the bottom of Fig. 5.4, closed into a
+/// cycle so the block becomes a *global* deadlock the model checker can
+/// exhibit: three components, three pairwise interactions
+/// `a = (C1!, C2)`, `b = (C2!, C3)`, `c = (C3!, C1)` (the `!` marks the
+/// initiator — the component that commits at `str`). In the figure's open
+/// two-interaction instance the premature `str` commitment merely starves
+/// one side; the closed cycle turns the same phenomenon into a circular
+/// wait. Returns `(original, refined)`.
+pub fn fig54_conflict_pair() -> (System, RefinedSystem) {
+    // Each component can initiate its "own" interaction or serve as the
+    // receiver of its neighbor's, forever.
+    let node = AtomBuilder::new("node")
+        .port("init")
+        .port("serve")
+        .location("l")
+        .initial("l")
+        .transition("l", "init", "l")
+        .transition("l", "serve", "l")
+        .build()
+        .expect("node atom");
+    let mut sb = SystemBuilder::new();
+    let c1 = sb.add_instance("C1", &node);
+    let c2 = sb.add_instance("C2", &node);
+    let c3 = sb.add_instance("C3", &node);
+    for (name, from, to) in [("a", c1, c2), ("b", c2, c3), ("c", c3, c1)] {
+        sb.add_connector(Connector {
+            name: name.to_string(),
+            ports: vec![
+                PortRef { component: from, port: "init".to_string(), trigger: false },
+                PortRef { component: to, port: "serve".to_string(), trigger: false },
+            ],
+            guard: Expr::t(),
+            transfer: Vec::new(),
+            observable: true,
+        });
+    }
+    let original = sb.build().expect("fig54 original");
+    let refined = refine_interactions(&original).expect("fig54 refinement");
+    (original, refined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_verify::reach::{explore, find_deadlock};
+    use bip_verify::refines;
+
+    /// The top half of Fig. 5.4: a single interaction between two
+    /// components.
+    fn single_interaction() -> System {
+        let t = AtomBuilder::new("t")
+            .port("p")
+            .location("l")
+            .initial("l")
+            .transition("l", "p", "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c1 = sb.add_instance("C1", &t);
+        let c2 = sb.add_instance("C2", &t);
+        sb.add_connector(ConnectorBuilder::rendezvous("a", [(c1, "p"), (c2, "p")]));
+        sb.build().unwrap()
+    }
+
+    #[test]
+    fn single_interaction_refinement_is_observationally_equivalent() {
+        let orig = single_interaction();
+        let refined = refine_interactions(&orig).unwrap();
+        let r = refines(&orig, &refined.system, refined.rename(), 100_000);
+        assert!(r.trace_included, "{:?}", r.counterexample);
+        assert!(r.concrete_deadlock_free);
+        assert!(r.refines(), "Fig 5.4 top: refinement holds");
+        assert!(bip_verify::weak_trace_equivalent(
+            &orig,
+            &refined.system,
+            &refined.rename(),
+            100_000
+        ));
+    }
+
+    #[test]
+    fn refined_system_uses_only_binary_connectors() {
+        let orig = single_interaction();
+        let refined = refine_interactions(&orig).unwrap();
+        for c in refined.system.connectors() {
+            assert_eq!(c.ports.len(), 2, "S/R-BIP is binary: {}", c.name);
+        }
+    }
+
+    #[test]
+    fn conflict_refinement_deadlocks_fig54_bottom() {
+        let (orig, refined) = fig54_conflict_pair();
+        // The original never deadlocks.
+        let orig_report = explore(&orig, 100_000);
+        assert!(orig_report.deadlock_free());
+        // Trace inclusion (clause 1) still holds...
+        let r = refines(&orig, &refined.system, refined.rename(), 200_000);
+        assert!(r.trace_included);
+        // ...but the refined system can deadlock: each component commits
+        // str of its own interaction, so every coordinator waits on a
+        // committed receiver — the circular wait.
+        let dead = find_deadlock(&refined.system, 200_000);
+        assert!(dead.is_some(), "Fig 5.4 bottom: naive refinement must deadlock");
+        assert!(!r.refines(), "clause 2 (deadlock preservation) fails");
+    }
+
+    #[test]
+    fn three_party_interaction_refines() {
+        let t = AtomBuilder::new("t")
+            .port("p")
+            .location("l")
+            .location("m")
+            .initial("l")
+            .transition("l", "p", "m")
+            .transition("m", "p", "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c1 = sb.add_instance("x", &t);
+        let c2 = sb.add_instance("y", &t);
+        let c3 = sb.add_instance("z", &t);
+        sb.add_connector(ConnectorBuilder::rendezvous("tri", [(c1, "p"), (c2, "p"), (c3, "p")]));
+        let orig = sb.build().unwrap();
+        let refined = refine_interactions(&orig).unwrap();
+        let r = refines(&orig, &refined.system, refined.rename(), 100_000);
+        assert!(r.refines(), "non-conflicting 3-party interaction refines cleanly");
+    }
+
+    #[test]
+    fn guards_are_preserved() {
+        // A counter stepping to 3 through a refined interaction.
+        let c = AtomBuilder::new("c")
+            .port("tick")
+            .var("n", 0)
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "tick",
+                Expr::var(0).lt(Expr::int(3)),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let sink = AtomBuilder::new("s")
+            .port("obs")
+            .location("l")
+            .initial("l")
+            .transition("l", "obs", "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let a = sb.add_instance("a", &c);
+        let b = sb.add_instance("b", &sink);
+        sb.add_connector(ConnectorBuilder::rendezvous("t", [(a, "tick"), (b, "obs")]));
+        let orig = sb.build().unwrap();
+        let refined = refine_interactions(&orig).unwrap();
+        // Both stop after exactly 3 ticks.
+        let o = explore(&orig, 10_000);
+        let r = explore(&refined.system, 10_000);
+        assert_eq!(o.deadlocks.len(), 1);
+        assert_eq!(r.deadlocks.len(), 1);
+        let rr = refines(&orig, &refined.system, refined.rename(), 10_000);
+        assert!(rr.trace_included);
+    }
+
+    #[test]
+    fn conflicts_can_also_break_trace_inclusion() {
+        // Philosophers: the *partial* protocol of rel0 frees the forks
+        // before its observable completion, so the refined system shows
+        // "eat0 · eat1" which the atomic semantics forbids — with state,
+        // naive refinement breaks clause 1 as well, not just clause 2.
+        let orig = bip_core::dining_philosophers(2, false).unwrap();
+        let refined = refine_interactions(&orig).unwrap();
+        let r = refines(&orig, &refined.system, refined.rename(), 2_000_000);
+        assert!(!r.trace_included);
+        assert_eq!(
+            r.counterexample,
+            Some(vec!["eat0".to_string(), "eat1".to_string()])
+        );
+    }
+
+    #[test]
+    fn connectors_with_data_rejected() {
+        let t = AtomBuilder::new("t")
+            .var("x", 0)
+            .port_exporting("p", ["x"])
+            .location("l")
+            .initial("l")
+            .transition("l", "p", "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let a = sb.add_instance("a", &t);
+        let b = sb.add_instance("b", &t);
+        sb.add_connector(
+            ConnectorBuilder::rendezvous("x", [(a, "p"), (b, "p")])
+                .transfer(1, 0, Expr::param(0, 0)),
+        );
+        let orig = sb.build().unwrap();
+        assert!(refine_interactions(&orig).is_err());
+    }
+}

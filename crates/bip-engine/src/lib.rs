@@ -1,0 +1,33 @@
+//! `bip-engine` — runtime engines for BIP systems (§5.6, Fig. 5.7).
+//!
+//! "To implement BIP on single-core platforms we use engines — dedicated
+//! middleware for the execution of the code generated from BIP
+//! descriptions. The BIP toolset currently provides two engines: one for
+//! real-time single-thread and one for multi-thread execution. For
+//! multi-thread execution, each atomic component is assigned to a thread,
+//! with the engine itself being a thread. Communication occurs only between
+//! atomic components and the engine — never directly between different
+//! atomic components."
+//!
+//! This crate provides:
+//!
+//! * [`SequentialEngine`] — single-threaded execution with a pluggable
+//!   [`Policy`] (seeded random, round-robin, ...), trace recording, and
+//!   runtime [`Monitor`]s (safety observers over [`bip_core::StatePred`]);
+//! * [`run_threaded`] — the multi-threaded architecture above: one thread
+//!   per atom plus an engine thread, communicating over channels only
+//!   (verified in tests to produce schedules the sequential semantics
+//!   allows);
+//! * the real-time engine lives in `bip-rt` (time needs its own semantics).
+
+mod monitor;
+mod policy;
+mod sequential;
+mod threaded;
+mod trace;
+
+pub use monitor::{Monitor, MonitorVerdict};
+pub use policy::{FirstEnabled, Policy, RandomPolicy, RoundRobinPolicy};
+pub use sequential::{RunReport, SequentialEngine, StopReason};
+pub use threaded::{run_threaded, ThreadedReport};
+pub use trace::{Trace, TraceEntry};

@@ -1,0 +1,90 @@
+//! Runtime safety monitors.
+//!
+//! §6.3: "For trustworthiness properties, a mitigation of failures can be
+//! achieved either by using redundancy techniques or monitoring at runtime."
+//! A monitor observes every state the engine passes through and flags
+//! violations of its predicate — the trustworthy/illegal state split of
+//! Fig. 3.1, enforced dynamically.
+
+use bip_core::{State, StatePred, System};
+
+/// Outcome of a monitor check on one state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorVerdict {
+    /// The state satisfies the monitored predicate.
+    Ok,
+    /// The state violates it.
+    Violation,
+}
+
+/// A named safety monitor over global states.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    name: String,
+    pred: StatePred,
+    violations: usize,
+    first_violation: Option<State>,
+}
+
+impl Monitor {
+    /// Create a monitor asserting `pred` on every visited state.
+    pub fn new(name: impl Into<String>, pred: StatePred) -> Monitor {
+        Monitor { name: name.into(), pred, violations: 0, first_violation: None }
+    }
+
+    /// The monitor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Check one state, recording violations.
+    pub fn check(&mut self, sys: &System, st: &State) -> MonitorVerdict {
+        if self.pred.eval(sys, st) {
+            MonitorVerdict::Ok
+        } else {
+            self.violations += 1;
+            if self.first_violation.is_none() {
+                self.first_violation = Some(st.clone());
+            }
+            MonitorVerdict::Violation
+        }
+    }
+
+    /// Number of violating states seen.
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// The first violating state, if any.
+    pub fn first_violation(&self) -> Option<&State> {
+        self.first_violation.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::dining_philosophers;
+
+    #[test]
+    fn monitor_counts_violations() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let st = sys.initial_state();
+        // "phil0 is eating" is false initially.
+        let mut m = Monitor::new("m", StatePred::at(&sys, 0, "eating"));
+        assert_eq!(m.check(&sys, &st), MonitorVerdict::Violation);
+        assert_eq!(m.violations(), 1);
+        assert!(m.first_violation().is_some());
+        assert_eq!(m.name(), "m");
+    }
+
+    #[test]
+    fn monitor_passes_valid_states() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let st = sys.initial_state();
+        let mut m = Monitor::new("ok", StatePred::at(&sys, 0, "thinking"));
+        assert_eq!(m.check(&sys, &st), MonitorVerdict::Ok);
+        assert_eq!(m.violations(), 0);
+        assert!(m.first_violation().is_none());
+    }
+}

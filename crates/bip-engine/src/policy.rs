@@ -1,0 +1,154 @@
+//! Scheduling policies: how an engine chooses among enabled steps.
+//!
+//! Priorities already filtered the enabled set (they are part of the model,
+//! §5.5); a policy resolves the *remaining* nondeterminism — the paper's
+//! "reducing non-determinism (through scheduling)" design parameter (§3.3).
+
+use bip_core::{State, Step, System};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic-by-seed strategy for picking one of the enabled steps.
+pub trait Policy {
+    /// Pick an index into `options` (guaranteed non-empty).
+    fn pick(&mut self, sys: &System, st: &State, options: &[(Step, State)]) -> usize;
+
+    /// Name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Uniformly random choice with a fixed seed — the default exploration
+/// policy (reproducible runs).
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    /// Create with a seed.
+    pub fn new(seed: u64) -> RandomPolicy {
+        RandomPolicy { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn pick(&mut self, _sys: &System, _st: &State, options: &[(Step, State)]) -> usize {
+        self.rng.gen_range(0..options.len())
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Always the first enabled step (deterministic, useful in tests).
+#[derive(Debug, Default)]
+pub struct FirstEnabled;
+
+impl Policy for FirstEnabled {
+    fn pick(&mut self, _sys: &System, _st: &State, _options: &[(Step, State)]) -> usize {
+        0
+    }
+
+    fn name(&self) -> &str {
+        "first-enabled"
+    }
+}
+
+/// Round-robin over connectors: prefers the connector least recently fired,
+/// giving a crude fairness guarantee.
+#[derive(Debug, Default)]
+pub struct RoundRobinPolicy {
+    last_fired: Vec<u64>,
+    clock: u64,
+}
+
+impl RoundRobinPolicy {
+    /// Create a fresh round-robin policy.
+    pub fn new() -> RoundRobinPolicy {
+        RoundRobinPolicy::default()
+    }
+}
+
+impl Policy for RoundRobinPolicy {
+    fn pick(&mut self, sys: &System, _st: &State, options: &[(Step, State)]) -> usize {
+        if self.last_fired.len() < sys.num_connectors() {
+            self.last_fired.resize(sys.num_connectors(), 0);
+        }
+        self.clock += 1;
+        let mut best = 0usize;
+        let mut best_age = u64::MAX;
+        for (i, (step, _)) in options.iter().enumerate() {
+            let age = match step {
+                Step::Interaction { interaction, .. } => {
+                    self.last_fired[interaction.connector.0 as usize]
+                }
+                Step::Internal { .. } => 0, // internal steps rank oldest
+            };
+            if age < best_age {
+                best_age = age;
+                best = i;
+            }
+        }
+        if let Step::Interaction { interaction, .. } = &options[best].0 {
+            self.last_fired[interaction.connector.0 as usize] = self.clock;
+        }
+        best
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::{dining_philosophers, ConnId};
+
+    #[test]
+    fn random_policy_is_reproducible() {
+        let sys = dining_philosophers(3, false).unwrap();
+        let run = |seed| {
+            let mut p = RandomPolicy::new(seed);
+            let mut st = sys.initial_state();
+            let mut picks = Vec::new();
+            for _ in 0..20 {
+                let succ = sys.successors(&st);
+                let i = p.pick(&sys, &st, &succ);
+                picks.push(i);
+                st = succ[i].1.clone();
+            }
+            picks
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+
+    #[test]
+    fn first_enabled_is_constant() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let st = sys.initial_state();
+        let succ = sys.successors(&st);
+        let mut p = FirstEnabled;
+        assert_eq!(p.pick(&sys, &st, &succ), 0);
+        assert_eq!(p.name(), "first-enabled");
+    }
+
+    #[test]
+    fn round_robin_rotates_connectors() {
+        let sys = dining_philosophers(3, false).unwrap();
+        let mut p = RoundRobinPolicy::new();
+        let mut st = sys.initial_state();
+        let mut fired = std::collections::HashSet::new();
+        for _ in 0..30 {
+            let succ = sys.successors(&st);
+            let i = p.pick(&sys, &st, &succ);
+            if let Step::Interaction { interaction, .. } = &succ[i].0 {
+                fired.insert(ConnId(interaction.connector.0));
+            }
+            st = succ[i].1.clone();
+        }
+        assert!(fired.len() >= 4, "round robin should visit many connectors: {fired:?}");
+    }
+}

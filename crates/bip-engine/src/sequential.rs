@@ -1,0 +1,246 @@
+//! The sequential engine: single-threaded execution of a BIP system under a
+//! scheduling policy, with monitors and trace recording.
+
+use bip_core::{State, StatePred, System};
+
+use crate::monitor::Monitor;
+use crate::policy::Policy;
+use crate::trace::Trace;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The step budget was exhausted.
+    BudgetExhausted,
+    /// No step was enabled (deadlock).
+    Deadlock,
+    /// A monitor flagged a violation and the engine was configured to stop.
+    MonitorViolation,
+}
+
+/// Summary of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Steps actually executed.
+    pub steps: usize,
+    /// Why the run ended.
+    pub stop: StopReason,
+    /// Monitor violation counts, by monitor name.
+    pub monitor_violations: Vec<(String, usize)>,
+}
+
+/// Single-threaded BIP execution engine.
+///
+/// # Example
+///
+/// ```
+/// use bip_core::dining_philosophers;
+/// use bip_engine::{SequentialEngine, RandomPolicy};
+///
+/// let sys = dining_philosophers(5, false)?;
+/// let mut engine = SequentialEngine::new(sys, RandomPolicy::new(7));
+/// let report = engine.run(1000);
+/// assert_eq!(report.steps, 1000); // conservative philosophers never block
+/// # Ok::<(), bip_core::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct SequentialEngine<P: Policy> {
+    sys: System,
+    state: State,
+    policy: P,
+    monitors: Vec<Monitor>,
+    stop_on_violation: bool,
+    trace: Trace,
+}
+
+impl<P: Policy> SequentialEngine<P> {
+    /// Create an engine at the system's initial state.
+    pub fn new(sys: System, policy: P) -> SequentialEngine<P> {
+        let state = sys.initial_state();
+        SequentialEngine {
+            sys,
+            state,
+            policy,
+            monitors: Vec::new(),
+            stop_on_violation: false,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Attach a safety monitor.
+    pub fn add_monitor(&mut self, name: impl Into<String>, pred: StatePred) -> &mut Self {
+        self.monitors.push(Monitor::new(name, pred));
+        self
+    }
+
+    /// Stop the run at the first monitor violation.
+    pub fn stop_on_violation(&mut self, yes: bool) -> &mut Self {
+        self.stop_on_violation = yes;
+        self
+    }
+
+    /// The system being executed.
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Attached monitors.
+    pub fn monitors(&self) -> &[Monitor] {
+        &self.monitors
+    }
+
+    /// Reset to the initial state (keeps monitors and policy).
+    pub fn reset(&mut self) {
+        self.state = self.sys.initial_state();
+        self.trace = Trace::new();
+    }
+
+    /// Execute up to `budget` steps.
+    pub fn run(&mut self, budget: usize) -> RunReport {
+        let mut steps = 0usize;
+        let mut stop = StopReason::BudgetExhausted;
+        // Check monitors on the initial state too.
+        let mut violated = false;
+        for m in &mut self.monitors {
+            if m.check(&self.sys, &self.state) == crate::monitor::MonitorVerdict::Violation {
+                violated = true;
+            }
+        }
+        if !(violated && self.stop_on_violation) {
+            while steps < budget {
+                let succ = self.sys.successors(&self.state);
+                if succ.is_empty() {
+                    stop = StopReason::Deadlock;
+                    break;
+                }
+                let i = self.policy.pick(&self.sys, &self.state, &succ);
+                let (step, next) = succ[i].clone();
+                self.state = next;
+                self.trace.push(&self.sys, step);
+                steps += 1;
+                let mut violated = false;
+                for m in &mut self.monitors {
+                    if m.check(&self.sys, &self.state)
+                        == crate::monitor::MonitorVerdict::Violation
+                    {
+                        violated = true;
+                    }
+                }
+                if violated && self.stop_on_violation {
+                    stop = StopReason::MonitorViolation;
+                    break;
+                }
+            }
+        } else {
+            stop = StopReason::MonitorViolation;
+        }
+        RunReport {
+            steps,
+            stop,
+            monitor_violations: self
+                .monitors
+                .iter()
+                .map(|m| (m.name().to_string(), m.violations()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RandomPolicy;
+    use bip_core::dining_philosophers;
+
+    #[test]
+    fn runs_to_budget_on_live_system() {
+        let sys = dining_philosophers(3, false).unwrap();
+        let mut e = SequentialEngine::new(sys, RandomPolicy::new(1));
+        let r = e.run(500);
+        assert_eq!(r.steps, 500);
+        assert_eq!(r.stop, StopReason::BudgetExhausted);
+        assert_eq!(e.trace().len(), 500);
+    }
+
+    /// Prefers left-fork grabs — drives two-phase philosophers into the
+    /// all-hold-left circular wait.
+    struct GreedyLeft;
+
+    impl crate::policy::Policy for GreedyLeft {
+        fn pick(
+            &mut self,
+            sys: &bip_core::System,
+            _st: &bip_core::State,
+            options: &[(bip_core::Step, bip_core::State)],
+        ) -> usize {
+            options
+                .iter()
+                .position(|(s, _)| match s {
+                    bip_core::Step::Interaction { interaction, .. } => {
+                        sys.connector(interaction.connector).name.starts_with("takeL")
+                    }
+                    _ => false,
+                })
+                .unwrap_or(0)
+        }
+        fn name(&self) -> &str {
+            "greedy-left"
+        }
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let mut e = SequentialEngine::new(sys, GreedyLeft);
+        let r = e.run(10_000);
+        assert_eq!(r.stop, StopReason::Deadlock);
+        assert_eq!(r.steps, 3, "three left grabs then circular wait");
+    }
+
+    #[test]
+    fn monitors_observe_mutual_exclusion() {
+        let sys = dining_philosophers(4, false).unwrap();
+        let mutex = bip_core::StatePred::mutex(&sys, [(0, "eating"), (1, "eating")]);
+        let mut e = SequentialEngine::new(sys, RandomPolicy::new(3));
+        e.add_monitor("mutex01", mutex);
+        let r = e.run(2000);
+        assert_eq!(r.monitor_violations, vec![("mutex01".to_string(), 0)]);
+    }
+
+    #[test]
+    fn stop_on_violation_halts() {
+        let sys = dining_philosophers(2, false).unwrap();
+        // "phil0 never eats" will be violated eventually.
+        let never = bip_core::StatePred::at(&sys, 0, "eating").not();
+        let mut e = SequentialEngine::new(sys, RandomPolicy::new(9));
+        e.add_monitor("never-eat", never);
+        e.stop_on_violation(true);
+        let r = e.run(10_000);
+        assert_eq!(r.stop, StopReason::MonitorViolation);
+        assert!(e.monitors()[0].violations() >= 1);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let init = sys.initial_state();
+        let mut e = SequentialEngine::new(sys, RandomPolicy::new(5));
+        // Odd step count: each eat/rel pair cancels, so an odd total cannot
+        // land back on the initial state.
+        e.run(11);
+        assert_ne!(e.state(), &init);
+        e.reset();
+        assert_eq!(e.state(), &init);
+        assert!(e.trace().is_empty());
+    }
+}

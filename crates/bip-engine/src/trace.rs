@@ -1,0 +1,73 @@
+//! Execution traces.
+
+use bip_core::{Step, System};
+
+/// One recorded step of an execution.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// The semantic step taken.
+    pub step: Step,
+    /// The observable label (connector name), if any.
+    pub label: Option<String>,
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Append a step.
+    pub fn push(&mut self, sys: &System, step: Step) {
+        let label = sys.step_label(&step).map(str::to_string);
+        self.entries.push(TraceEntry { step, label });
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of steps recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The observable word: labels of observable steps in order.
+    pub fn observable_word(&self) -> Vec<String> {
+        self.entries.iter().filter_map(|e| e.label.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::dining_philosophers;
+
+    #[test]
+    fn trace_records_labels() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let mut st = sys.initial_state();
+        let mut trace = Trace::new();
+        for _ in 0..4 {
+            let step = sys.step(&mut st, |_| 0).unwrap();
+            trace.push(&sys, step);
+        }
+        assert_eq!(trace.len(), 4);
+        assert!(!trace.is_empty());
+        let word = trace.observable_word();
+        assert_eq!(word.len(), 4, "philosopher connectors are observable");
+        assert!(word[0].starts_with("eat") || word[0].starts_with("rel"));
+    }
+}

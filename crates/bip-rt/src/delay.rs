@@ -1,0 +1,219 @@
+//! The unit-delay timed automaton of Fig. 5.3 (E5).
+//!
+//! The paper models the equational specification `y(t) = x(t − 1)` as a
+//! timed automaton with four states and one clock, "provided that there is
+//! at most one change of x in one time unit", and remarks that "the number
+//! of states and clocks needed to represent a unit delay by a timed
+//! automaton increases linearly with the maximum number of changes allowed
+//! for x in one time unit".
+//!
+//! [`DelayAutomaton::new`] builds the generalized automaton for `k`
+//! admissible changes per unit: its control structure has `2·(k+1)`
+//! locations (current output value × number of pending edges) and `k`
+//! clocks (one per in-flight edge); executing it on an admissible input
+//! signal reproduces `y(t) = x(t − 1)` exactly (tested against a direct
+//! reference implementation).
+
+use std::collections::VecDeque;
+
+/// An input edge: the signal takes value `value` at time `time` (times in
+/// micro-ticks; one *time unit* is [`DelayAutomaton::UNIT`] micro-ticks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Absolute time of the change (micro-ticks).
+    pub time: u64,
+    /// New value of `x`.
+    pub value: bool,
+}
+
+/// Executable unit-delay timed automaton for at most `k` input changes per
+/// time unit.
+#[derive(Debug, Clone)]
+pub struct DelayAutomaton {
+    k: usize,
+    /// Pending edges: (expiry time, value) — each occupies one "clock".
+    pending: VecDeque<(u64, bool)>,
+    /// Current output.
+    y: bool,
+    /// Last input value seen (edges must alternate).
+    x: bool,
+    /// Times of recent input changes (for the admissibility check).
+    recent: VecDeque<u64>,
+}
+
+impl DelayAutomaton {
+    /// Micro-ticks per time unit.
+    pub const UNIT: u64 = 1000;
+
+    /// Build the automaton for `k ≥ 1` changes per unit; initial state
+    /// `x = y = false`.
+    pub fn new(k: usize) -> DelayAutomaton {
+        assert!(k >= 1, "at least one change per unit");
+        DelayAutomaton {
+            k,
+            pending: VecDeque::new(),
+            y: false,
+            x: false,
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Number of control locations of the generated automaton:
+    /// output value (2) × pending-edge count (0..=k).
+    pub fn num_locations(&self) -> usize {
+        2 * (self.k + 1)
+    }
+
+    /// Number of clocks: one per potentially in-flight edge.
+    pub fn num_clocks(&self) -> usize {
+        self.k
+    }
+
+    /// Current output `y`.
+    pub fn output(&self) -> bool {
+        self.y
+    }
+
+    /// Feed an input edge. Returns `Err` if the edge violates the
+    /// at-most-`k`-changes-per-unit assumption or does not alternate.
+    pub fn input(&mut self, edge: Edge) -> Result<(), String> {
+        self.release_until(edge.time);
+        if edge.value == self.x {
+            return Err(format!("edge at {} does not change the value", edge.time));
+        }
+        while let Some(&t) = self.recent.front() {
+            if edge.time.saturating_sub(t) >= Self::UNIT {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.recent.len() >= self.k {
+            return Err(format!(
+                "more than {} changes within one unit at time {}",
+                self.k, edge.time
+            ));
+        }
+        self.recent.push_back(edge.time);
+        self.x = edge.value;
+        self.pending.push_back((edge.time + Self::UNIT, edge.value));
+        debug_assert!(self.pending.len() <= self.k, "clock overflow");
+        Ok(())
+    }
+
+    /// Advance time to `t`, emitting pending output changes whose clocks
+    /// expired.
+    pub fn release_until(&mut self, t: u64) {
+        while let Some(&(expiry, v)) = self.pending.front() {
+            if expiry <= t {
+                self.y = v;
+                self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Output value at time `t` (advances the automaton).
+    pub fn sample(&mut self, t: u64) -> bool {
+        self.release_until(t);
+        self.y
+    }
+}
+
+/// Reference implementation: y(t) = x(t − UNIT) computed directly from the
+/// edge list.
+pub fn reference_delay(edges: &[Edge], t: u64) -> bool {
+    if t < DelayAutomaton::UNIT {
+        return false;
+    }
+    let target = t - DelayAutomaton::UNIT;
+    let mut v = false;
+    for e in edges {
+        if e.time <= target {
+            v = e.value;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn figure_case_k1_has_four_states_one_clock() {
+        let d = DelayAutomaton::new(1);
+        assert_eq!(d.num_locations(), 4, "Fig 5.3: four states");
+        assert_eq!(d.num_clocks(), 1, "Fig 5.3: one clock τ");
+    }
+
+    #[test]
+    fn growth_is_linear_in_k() {
+        for k in 1..=32 {
+            let d = DelayAutomaton::new(k);
+            assert_eq!(d.num_locations(), 2 * (k + 1));
+            assert_eq!(d.num_clocks(), k);
+        }
+    }
+
+    #[test]
+    fn delays_a_single_edge_by_one_unit() {
+        let mut d = DelayAutomaton::new(1);
+        d.input(Edge { time: 100, value: true }).unwrap();
+        assert!(!d.sample(100));
+        assert!(!d.sample(1099));
+        assert!(d.sample(1100), "edge appears exactly one unit later");
+    }
+
+    #[test]
+    fn rejects_non_alternating_edges() {
+        let mut d = DelayAutomaton::new(1);
+        d.input(Edge { time: 0, value: true }).unwrap();
+        assert!(d.input(Edge { time: 2000, value: true }).is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_changes_per_unit() {
+        let mut d = DelayAutomaton::new(1);
+        d.input(Edge { time: 0, value: true }).unwrap();
+        assert!(d.input(Edge { time: 500, value: false }).is_err());
+        // k = 2 accepts the same pattern.
+        let mut d2 = DelayAutomaton::new(2);
+        d2.input(Edge { time: 0, value: true }).unwrap();
+        assert!(d2.input(Edge { time: 500, value: false }).is_ok());
+    }
+
+    #[test]
+    fn matches_reference_on_random_admissible_signals() {
+        for k in [1usize, 2, 4, 8] {
+            let mut rng = StdRng::seed_from_u64(k as u64);
+            let mut edges = Vec::new();
+            let mut t = 0u64;
+            let mut v = false;
+            // Build an admissible signal: consecutive changes separated by
+            // at least UNIT/k (so at most k per unit).
+            for _ in 0..50 {
+                t += DelayAutomaton::UNIT / k as u64
+                    + rng.gen_range(1..DelayAutomaton::UNIT);
+                v = !v;
+                edges.push(Edge { time: t, value: v });
+            }
+            let mut d = DelayAutomaton::new(k);
+            let mut next_edge = 0usize;
+            for sample_t in (0..(t + 2 * DelayAutomaton::UNIT)).step_by(137) {
+                while next_edge < edges.len() && edges[next_edge].time <= sample_t {
+                    d.input(edges[next_edge]).unwrap();
+                    next_edge += 1;
+                }
+                assert_eq!(
+                    d.sample(sample_t),
+                    reference_delay(&edges[..next_edge], sample_t),
+                    "k={k} t={sample_t}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Discrete-time execution of BIP systems under a duration assignment φ.
+//!
+//! States of the timed semantics are `(untimed state, now, busy-until per
+//! component)`. An interaction can fire when every participant is idle; it
+//! then occupies all participants for `φ(a)` ticks. When nothing can fire,
+//! time advances to the next release instant. `φ = 0` recovers the ideal
+//! (zero-time) model, so "the two models coincide and performance is
+//! infinite" (§5.2.2).
+
+use std::collections::HashMap;
+
+use bip_core::{ConnId, State, Step, System};
+
+/// Duration assignment φ: connector → execution time in ticks.
+///
+/// Connectors absent from the map take duration 0.
+#[derive(Debug, Clone, Default)]
+pub struct DurationMap {
+    map: HashMap<ConnId, u64>,
+}
+
+impl DurationMap {
+    /// The ideal model: every action is instantaneous.
+    pub fn ideal() -> DurationMap {
+        DurationMap::default()
+    }
+
+    /// Build from `(connector name, duration)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name does not resolve (test/bench convenience).
+    pub fn from_names(sys: &System, pairs: &[(&str, u64)]) -> DurationMap {
+        let mut map = HashMap::new();
+        for (name, d) in pairs {
+            let id = sys
+                .connector_id(name)
+                .unwrap_or_else(|| panic!("no connector named {name:?}"));
+            map.insert(id, *d);
+        }
+        DurationMap { map }
+    }
+
+    /// Set a duration.
+    pub fn set(&mut self, conn: ConnId, d: u64) {
+        self.map.insert(conn, d);
+    }
+
+    /// Duration of a connector.
+    pub fn get(&self, conn: ConnId) -> u64 {
+        self.map.get(&conn).copied().unwrap_or(0)
+    }
+
+    /// Pointwise comparison: `self ≤ other` (faster or equal everywhere).
+    pub fn le(&self, other: &DurationMap, sys: &System) -> bool {
+        (0..sys.num_connectors() as u32).all(|i| self.get(ConnId(i)) <= other.get(ConnId(i)))
+    }
+}
+
+/// Result of a timed run.
+#[derive(Debug, Clone)]
+pub struct TimedReport {
+    /// `(time, label)` for every observable interaction fired.
+    pub timed_word: Vec<(u64, String)>,
+    /// Total interactions fired (observable or not).
+    pub fired: usize,
+    /// Final time.
+    pub end_time: u64,
+    /// `true` if the run stopped because nothing could ever fire again.
+    pub deadlocked: bool,
+}
+
+impl TimedReport {
+    /// The untimed observable word.
+    pub fn word(&self) -> Vec<String> {
+        self.timed_word.iter().map(|(_, l)| l.clone()).collect()
+    }
+}
+
+/// A timed executor over a BIP system.
+#[derive(Debug)]
+pub struct TimedExecution<'a> {
+    sys: &'a System,
+    phi: DurationMap,
+    state: State,
+    now: u64,
+    busy_until: Vec<u64>,
+}
+
+impl<'a> TimedExecution<'a> {
+    /// Start at the initial state, time 0, everyone idle.
+    pub fn new(sys: &'a System, phi: DurationMap) -> TimedExecution<'a> {
+        TimedExecution {
+            sys,
+            phi,
+            state: sys.initial_state(),
+            now: 0,
+            busy_until: vec![0; sys.num_components()],
+        }
+    }
+
+    /// Current time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Current untimed state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Steps currently fireable: enabled interactions whose participants
+    /// are all idle (internal steps need their component idle).
+    pub fn fireable(&self) -> Vec<(Step, State)> {
+        self.sys
+            .successors(&self.state)
+            .into_iter()
+            .filter(|(step, _)| match step {
+                Step::Interaction { interaction, .. } => {
+                    let eps = self.sys.connector_endpoints(interaction.connector);
+                    interaction
+                        .endpoints
+                        .iter()
+                        .all(|&i| self.busy_until[eps[i].0] <= self.now)
+                }
+                Step::Internal { component, .. } => self.busy_until[*component] <= self.now,
+            })
+            .collect()
+    }
+
+    /// Fire a chosen step, occupying its participants for φ.
+    pub fn fire(&mut self, step: &Step, next: State) {
+        if let Step::Interaction { interaction, .. } = step {
+            let d = self.phi.get(interaction.connector);
+            let eps = self.sys.connector_endpoints(interaction.connector);
+            for &i in &interaction.endpoints {
+                self.busy_until[eps[i].0] = self.now + d;
+            }
+        }
+        self.state = next;
+    }
+
+    /// Advance time to the next instant at which some component becomes
+    /// idle. Returns `false` if no component is busy (time cannot progress
+    /// usefully).
+    pub fn advance(&mut self) -> bool {
+        let next = self
+            .busy_until
+            .iter()
+            .copied()
+            .filter(|&t| t > self.now)
+            .min();
+        match next {
+            Some(t) => {
+                self.now = t;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run with a pick function until `horizon` time or deadlock; greedy:
+    /// fires whenever something is fireable, else advances time.
+    pub fn run<F>(&mut self, horizon: u64, max_steps: usize, mut pick: F) -> TimedReport
+    where
+        F: FnMut(&[(Step, State)]) -> usize,
+    {
+        let mut timed_word = Vec::new();
+        let mut fired = 0usize;
+        let mut deadlocked = false;
+        while self.now <= horizon && fired < max_steps {
+            let opts = self.fireable();
+            if opts.is_empty() {
+                if !self.advance() {
+                    // Nothing busy and nothing fireable: true deadlock.
+                    deadlocked = self.sys.successors(&self.state).is_empty()
+                        || self.fireable().is_empty();
+                    break;
+                }
+                continue;
+            }
+            let i = pick(&opts).min(opts.len() - 1);
+            let (step, next) = opts[i].clone();
+            if let Some(l) = self.sys.step_label(&step) {
+                timed_word.push((self.now, l.to_string()));
+            }
+            self.fire(&step, next);
+            fired += 1;
+        }
+        TimedReport { timed_word, fired, end_time: self.now, deadlocked }
+    }
+}
+
+/// Check that every observable word of the physical model (bounded run set
+/// explored breadth-first over pick choices is expensive; here: a sampled
+/// set of seeded greedy runs) also occurs as a word of the ideal model —
+/// the "safe implementation" condition of §5.2.2 in its testable form.
+pub fn sampled_safety_check(
+    sys: &System,
+    phi: &DurationMap,
+    runs: u64,
+    steps: usize,
+) -> bool {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    for seed in 0..runs {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut phys = TimedExecution::new(sys, phi.clone());
+        let report = phys.run(u64::MAX, steps, |opts| rng.gen_range(0..opts.len()));
+        // The word must be replayable in the ideal (untimed) semantics.
+        let mut st = sys.initial_state();
+        for (_, label) in &report.timed_word {
+            let succ = sys.successors(&st);
+            match succ.iter().find(|(s, _)| sys.step_label(s) == Some(label.as_str())) {
+                Some((_, next)) => st = next.clone(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::dining_philosophers;
+
+    #[test]
+    fn ideal_model_runs_at_time_zero() {
+        let sys = dining_philosophers(3, false).unwrap();
+        let mut ex = TimedExecution::new(&sys, DurationMap::ideal());
+        let r = ex.run(1000, 50, |_| 0);
+        assert_eq!(r.end_time, 0, "φ = 0: infinite performance, no time passes");
+        assert_eq!(r.fired, 50);
+    }
+
+    #[test]
+    fn durations_serialize_conflicting_interactions() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let phi = DurationMap::from_names(&sys, &[("eat0", 10), ("eat1", 10), ("rel0", 1), ("rel1", 1)]);
+        let mut ex = TimedExecution::new(&sys, phi);
+        let r = ex.run(100, 1000, |_| 0);
+        // Forks are shared: the two philosophers alternate; each eat+rel
+        // cycle takes 11 ticks.
+        assert!(r.end_time >= 11 * (r.fired as u64 / 2).saturating_sub(1) / 2);
+        assert!(r.fired > 4);
+    }
+
+    #[test]
+    fn physical_words_are_ideal_words() {
+        let sys = dining_philosophers(3, false).unwrap();
+        let phi = DurationMap::from_names(
+            &sys,
+            &[("eat0", 5), ("eat1", 3), ("eat2", 7), ("rel0", 1), ("rel1", 1), ("rel2", 2)],
+        );
+        assert!(sampled_safety_check(&sys, &phi, 10, 60));
+    }
+
+    #[test]
+    fn duration_map_comparison() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let slow = DurationMap::from_names(&sys, &[("eat0", 10)]);
+        let fast = DurationMap::from_names(&sys, &[("eat0", 5)]);
+        assert!(fast.le(&slow, &sys));
+        assert!(!slow.le(&fast, &sys));
+        assert!(DurationMap::ideal().le(&fast, &sys));
+    }
+
+    #[test]
+    fn busy_components_block_interactions() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let phi = DurationMap::from_names(&sys, &[("eat0", 100)]);
+        let mut ex = TimedExecution::new(&sys, phi);
+        // Fire eat0 (both forks + phil0 busy for 100).
+        let opts = ex.fireable();
+        let eat0 = opts
+            .iter()
+            .position(|(s, _)| sys.step_label(s) == Some("eat0"))
+            .unwrap();
+        let (step, next) = opts[eat0].clone();
+        ex.fire(&step, next);
+        // phil1 needs both forks, which are busy: nothing fireable now.
+        assert!(ex.fireable().is_empty());
+        assert!(ex.advance());
+        assert_eq!(ex.now(), 100);
+        assert!(!ex.fireable().is_empty(), "after the busy window, rel0 can fire");
+    }
+}

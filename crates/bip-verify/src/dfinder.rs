@@ -1,0 +1,874 @@
+//! D-Finder-style compositional verification (§5.6).
+//!
+//! The method: compute increasingly strong invariants of the composite as
+//! the conjunction of
+//!
+//! * **component invariants (CI)** — over-approximations of each atom's
+//!   reachable control locations, obtained by local static analysis, and
+//! * **interaction invariants (II)** — global constraints derived from
+//!   *traps* of the finite place/interaction abstraction of the system (the
+//!   way "glue operators restrict the product space of the composed atomic
+//!   components"),
+//!
+//! then show that no state satisfying `CI ∧ II` can satisfy **DIS**, the
+//! condition that every interaction is disabled. Unsatisfiability — decided
+//! by the [`satkit`] CDCL solver — proves deadlock-freedom *without ever
+//! enumerating the product state space*, which is why the method scales
+//! where monolithic checking explodes (experiment E1).
+
+use std::collections::HashSet;
+
+use bip_core::{StatePred, System};
+use satkit::{CnfBuilder, Lit, Var};
+
+/// A place of the abstraction: `(component, location)` as a dense index.
+pub type Place = usize;
+
+/// The place/interaction abstraction: a 1-safe Petri-net view of the system
+/// where each interaction consumes the participants' source locations and
+/// produces their target locations.
+#[derive(Debug, Clone)]
+pub struct Abstraction {
+    /// First place index of each component.
+    pub place_base: Vec<usize>,
+    /// Total number of places.
+    pub num_places: usize,
+    /// Abstract transitions: (pre-set, post-set) of places.
+    pub transitions: Vec<(Vec<Place>, Vec<Place>)>,
+    /// Initially marked places (one per component).
+    pub initial: Vec<Place>,
+    /// Locally reachable places (component invariants).
+    pub reachable: Vec<bool>,
+    /// Per interaction (connector, feasible subset): for each participant,
+    /// the places where its port is *definitely offered* (an unguarded
+    /// transition labelled by the port leaves that location). Guarded
+    /// connectors are flagged `maybe_disabled`.
+    pub interactions: Vec<InteractionAbs>,
+}
+
+/// Abstraction of one interaction for the DIS encoding.
+#[derive(Debug, Clone)]
+pub struct InteractionAbs {
+    /// Human-readable name (connector name + subset).
+    pub name: String,
+    /// Per participant: the set of places where the port is definitely
+    /// offered.
+    pub offered_at: Vec<Vec<Place>>,
+    /// `true` if a data guard may disable the interaction regardless of
+    /// locations (makes its DIS conjunct trivially true — sound but weaker).
+    pub maybe_disabled: bool,
+}
+
+impl Abstraction {
+    /// Build the abstraction of a system.
+    pub fn new(sys: &System) -> Abstraction {
+        let n = sys.num_components();
+        let mut place_base = Vec::with_capacity(n);
+        let mut num_places = 0usize;
+        for c in 0..n {
+            place_base.push(num_places);
+            num_places += sys.atom_type(c).locations().len();
+        }
+        let place = |c: usize, l: u32| place_base[c] + l as usize;
+
+        // Component invariants: local location reachability, ignoring guards
+        // and port availability (a sound over-approximation).
+        let mut reachable = vec![false; num_places];
+        for c in 0..n {
+            let ty = sys.atom_type(c);
+            let mut stack = vec![ty.initial()];
+            let mut seen = vec![false; ty.locations().len()];
+            seen[ty.initial().0 as usize] = true;
+            while let Some(l) = stack.pop() {
+                reachable[place(c, l.0)] = true;
+                for &tid in ty.transitions_from(l) {
+                    let to = ty.transition(tid).to;
+                    if !seen[to.0 as usize] {
+                        seen[to.0 as usize] = true;
+                        stack.push(to);
+                    }
+                }
+            }
+        }
+
+        let initial: Vec<Place> =
+            (0..n).map(|c| place(c, sys.atom_type(c).initial().0)).collect();
+
+        // Abstract transitions + DIS data per interaction.
+        let mut transitions = Vec::new();
+        let mut interactions = Vec::new();
+        for (ci, conn) in sys.connectors().iter().enumerate() {
+            let eps = sys.connector_endpoints(bip_core::ConnId(ci as u32));
+            let guarded = conn.guard != bip_core::Expr::Const(1);
+            for subset in conn.feasible_subsets() {
+                // Per participant: (component, list of (from, to) location
+                // pairs via unguarded transitions, list of definitely-offering
+                // locations).
+                let mut offered_at = Vec::new();
+                let mut moves_per_part: Vec<(usize, Vec<(u32, u32)>)> = Vec::new();
+                for &k in &subset {
+                    let (comp, port) = eps[k];
+                    let ty = sys.atom_type(comp);
+                    let mut offering = HashSet::new();
+                    let mut moves = Vec::new();
+                    for (li, _) in ty.locations().iter().enumerate() {
+                        for &tid in ty.transitions_from(bip_core::LocId(li as u32)) {
+                            let t = ty.transition(tid);
+                            if t.port != Some(port) {
+                                continue;
+                            }
+                            moves.push((li as u32, t.to.0));
+                            if t.guard == bip_core::Expr::Const(1) {
+                                offering.insert(place(comp, li as u32));
+                            }
+                        }
+                    }
+                    let mut offering: Vec<Place> = offering.into_iter().collect();
+                    offering.sort_unstable();
+                    offered_at.push(offering);
+                    moves_per_part.push((comp, moves));
+                }
+                interactions.push(InteractionAbs {
+                    name: format!("{}#{:?}", conn.name, subset),
+                    offered_at,
+                    maybe_disabled: guarded,
+                });
+                // Abstract net transitions: one per combination of local
+                // moves (capped; our models stay small).
+                push_move_combinations(&moves_per_part, &place_base, &mut transitions);
+            }
+        }
+        // Internal transitions.
+        for c in 0..n {
+            let ty = sys.atom_type(c);
+            for t in ty.transitions() {
+                if t.port.is_none() {
+                    transitions.push((vec![place(c, t.from.0)], vec![place(c, t.to.0)]));
+                }
+            }
+        }
+        Abstraction { place_base, num_places, transitions, initial, reachable, interactions }
+    }
+
+    /// The component owning a place.
+    pub fn component_of(&self, p: Place) -> usize {
+        match self.place_base.binary_search(&p) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// The location index of a place within its component.
+    pub fn location_of(&self, p: Place) -> u32 {
+        (p - self.place_base[self.component_of(p)]) as u32
+    }
+
+    /// Is `set` a trap? (Every transition consuming from the set produces
+    /// into it.)
+    pub fn is_trap(&self, set: &HashSet<Place>) -> bool {
+        self.transitions.iter().all(|(pre, post)| {
+            !pre.iter().any(|p| set.contains(p)) || post.iter().any(|q| set.contains(q))
+        })
+    }
+}
+
+fn push_move_combinations(
+    moves_per_part: &[(usize, Vec<(u32, u32)>)],
+    place_base: &[usize],
+    out: &mut Vec<(Vec<Place>, Vec<Place>)>,
+) {
+    const CAP: usize = 200_000;
+    if moves_per_part.iter().any(|(_, m)| m.is_empty()) {
+        return; // some participant can never offer the port: interaction dead
+    }
+    let mut idx = vec![0usize; moves_per_part.len()];
+    loop {
+        let mut pre = Vec::with_capacity(idx.len());
+        let mut post = Vec::with_capacity(idx.len());
+        for (j, (comp, moves)) in moves_per_part.iter().enumerate() {
+            let (from, to) = moves[idx[j]];
+            pre.push(place_base[*comp] + from as usize);
+            post.push(place_base[*comp] + to as usize);
+        }
+        out.push((pre, post));
+        if out.len() >= CAP {
+            return;
+        }
+        let mut k = 0;
+        loop {
+            if k == idx.len() {
+                return;
+            }
+            idx[k] += 1;
+            if idx[k] < moves_per_part[k].1.len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// A linear (place-)invariant of the abstraction: on every reachable state,
+/// `Σ coeff(p) · marked(p) = value`.
+///
+/// Computed from the left null space of the net's incidence matrix — the
+/// arithmetic half of D-Finder's invariant generation (the role played by
+/// the Omega back-end in the original tool).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearInvariant {
+    /// Non-zero coefficients as `(place, coefficient)` pairs.
+    pub coeffs: Vec<(Place, i64)>,
+    /// The conserved value (evaluated on the initial marking).
+    pub value: i64,
+}
+
+impl LinearInvariant {
+    /// Evaluate the left-hand side on a marking given as a place predicate.
+    pub fn lhs<F: Fn(Place) -> bool>(&self, marked: F) -> i64 {
+        self.coeffs.iter().map(|&(p, a)| if marked(p) { a } else { 0 }).sum()
+    }
+}
+
+/// Exact rational for Gaussian elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rat {
+    n: i128,
+    d: i128, // > 0
+}
+
+impl Rat {
+    const ZERO: Rat = Rat { n: 0, d: 1 };
+
+    fn new(n: i128, d: i128) -> Rat {
+        debug_assert!(d != 0);
+        let g = gcd(n.unsigned_abs(), d.unsigned_abs()) as i128;
+        let s = if d < 0 { -1 } else { 1 };
+        Rat { n: s * n / g, d: s * d / g }
+    }
+
+    fn from_int(n: i128) -> Rat {
+        Rat { n, d: 1 }
+    }
+
+    fn is_zero(self) -> bool {
+        self.n == 0
+    }
+
+    fn sub(self, o: Rat) -> Rat {
+        Rat::new(self.n * o.d - o.n * self.d, self.d * o.d)
+    }
+
+    fn mul(self, o: Rat) -> Rat {
+        Rat::new(self.n * o.n, self.d * o.d)
+    }
+
+    fn div(self, o: Rat) -> Rat {
+        Rat::new(self.n * o.d, self.d * o.n)
+    }
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a.max(1)
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: i128, b: i128) -> i128 {
+    (a / gcd(a.unsigned_abs(), b.unsigned_abs()) as i128) * b
+}
+
+/// Compute linear invariants from the left null space of the incidence
+/// matrix. Vectors are scaled to primitive integers; only invariants with
+/// all |coefficients| ≤ `max_coeff` and support ≤ `max_support` are kept
+/// (larger ones are too expensive to encode propositionally).
+pub fn linear_invariants(
+    abs: &Abstraction,
+    max_coeff: i64,
+    max_support: usize,
+) -> Vec<LinearInvariant> {
+    // Deduplicate transitions and build effect rows.
+    let mut rows: Vec<Vec<Rat>> = Vec::new();
+    let mut seen = HashSet::new();
+    for (pre, post) in &abs.transitions {
+        let key = (pre.clone(), post.clone());
+        if !seen.insert(key) {
+            continue;
+        }
+        let mut row = vec![Rat::ZERO; abs.num_places];
+        for &p in pre {
+            row[p] = row[p].sub(Rat::from_int(1));
+        }
+        for &q in post {
+            row[q] = row[q].sub(Rat::from_int(-1));
+        }
+        if row.iter().any(|r| !r.is_zero()) {
+            rows.push(row);
+        }
+    }
+    // Gaussian elimination to row echelon form; record pivot columns.
+    let ncols = abs.num_places;
+    let mut pivot_col_of_row = Vec::new();
+    let mut r = 0usize;
+    for c in 0..ncols {
+        // Find a pivot.
+        let Some(pr) = (r..rows.len()).find(|&i| !rows[i][c].is_zero()) else {
+            continue;
+        };
+        rows.swap(r, pr);
+        let piv = rows[r][c];
+        for x in rows[r].iter_mut() {
+            *x = x.div(piv);
+        }
+        let pivot_row = rows[r].clone();
+        for (i, row) in rows.iter_mut().enumerate() {
+            if i != r && !row[c].is_zero() {
+                let f = row[c];
+                for (x, pv) in row.iter_mut().zip(&pivot_row) {
+                    *x = x.sub(f.mul(*pv));
+                }
+            }
+        }
+        pivot_col_of_row.push(c);
+        r += 1;
+        if r == rows.len() {
+            break;
+        }
+    }
+    let pivot_cols: HashSet<usize> = pivot_col_of_row.iter().copied().collect();
+    let initial: HashSet<Place> = abs.initial.iter().copied().collect();
+    // Each free column yields a null-space basis vector.
+    let mut out = Vec::new();
+    for free in 0..ncols {
+        if pivot_cols.contains(&free) {
+            continue;
+        }
+        // y[free] = 1; y[pivot c of row i] = -rows[i][free].
+        let mut y = vec![Rat::ZERO; ncols];
+        y[free] = Rat::from_int(1);
+        for (i, &pc) in pivot_col_of_row.iter().enumerate() {
+            y[pc] = Rat::ZERO.sub(rows[i][free]);
+        }
+        // Scale to primitive integer vector.
+        let mut denom: i128 = 1;
+        for v in &y {
+            if !v.is_zero() {
+                denom = lcm(denom, v.d);
+            }
+        }
+        let ints: Vec<i128> = y.iter().map(|v| v.n * (denom / v.d)).collect();
+        let g = ints
+            .iter()
+            .filter(|&&v| v != 0)
+            .fold(0u128, |acc, &v| gcd(acc, v.unsigned_abs()))
+            .max(1) as i128;
+        let coeffs: Vec<(Place, i64)> = ints
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(p, &v)| (p, (v / g) as i64))
+            .collect();
+        if coeffs.is_empty()
+            || coeffs.len() > max_support
+            || coeffs.iter().any(|&(_, a)| a.abs() > max_coeff)
+        {
+            continue;
+        }
+        let value: i64 = coeffs.iter().map(|&(p, a)| if initial.contains(&p) { a } else { 0 }).sum();
+        out.push(LinearInvariant { coeffs, value });
+    }
+    out
+}
+
+/// Crate-internal alias for [`encode_linear`] (used by the incremental
+/// verifier's facade).
+pub(crate) fn encode_linear_pub(b: &mut CnfBuilder, at: &[Lit], inv: &LinearInvariant) {
+    encode_linear(b, at, inv);
+}
+
+/// Encode a linear invariant over the `at` literals using the exactly-k
+/// totalizer: negatives are rewritten via `−x = (1−x) − 1`.
+fn encode_linear(b: &mut CnfBuilder, at: &[Lit], inv: &LinearInvariant) {
+    let mut lits = Vec::new();
+    let mut k = inv.value;
+    for &(p, a) in &inv.coeffs {
+        if a > 0 {
+            for _ in 0..a {
+                lits.push(at[p]);
+            }
+        } else {
+            for _ in 0..(-a) {
+                lits.push(!at[p]);
+            }
+            k += -a;
+        }
+    }
+    if k < 0 || k as usize > lits.len() {
+        // The invariant excludes every 0/1 marking: encode falsum (cannot
+        // happen for invariants derived from a feasible initial marking).
+        b.clause([]);
+        return;
+    }
+    b.exactly_k(lits, k as usize);
+}
+
+/// Verdict of a compositional deadlock-freedom check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// `CI ∧ II ∧ DIS` is unsatisfiable: the system is deadlock-free.
+    DeadlockFree,
+    /// Satisfiable: the model gives candidate deadlock location vectors
+    /// (may be spurious — the abstraction over-approximates).
+    PotentialDeadlock(Vec<Vec<u32>>),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::DeadlockFree`].
+    pub fn is_deadlock_free(&self) -> bool {
+        matches!(self, Verdict::DeadlockFree)
+    }
+}
+
+/// Report of a [`DFinder`] run.
+#[derive(Debug, Clone)]
+pub struct DFinderReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Number of traps used as interaction invariants.
+    pub traps: usize,
+    /// Number of linear invariants used.
+    pub linear_invariants: usize,
+    /// Number of abstract transitions in the Petri abstraction.
+    pub abstract_transitions: usize,
+    /// Number of places.
+    pub places: usize,
+    /// SAT conflicts spent in the final check.
+    pub sat_conflicts: u64,
+}
+
+/// The compositional verifier. Holds the abstraction and the computed trap
+/// and linear invariants; reusable for several queries.
+#[derive(Debug)]
+pub struct DFinder {
+    abs: Abstraction,
+    traps: Vec<Vec<Place>>,
+    linear: Vec<LinearInvariant>,
+}
+
+impl DFinder {
+    /// Default bound on the number of traps enumerated.
+    pub const DEFAULT_MAX_TRAPS: usize = 128;
+    /// Default bound on linear-invariant coefficients.
+    pub const DEFAULT_MAX_COEFF: i64 = 4;
+    /// Default bound on linear-invariant support size.
+    pub const DEFAULT_MAX_SUPPORT: usize = 16;
+
+    /// Build the abstraction and compute trap + linear invariants.
+    pub fn new(sys: &System) -> DFinder {
+        Self::with_max_traps(sys, Self::DEFAULT_MAX_TRAPS)
+    }
+
+    /// Build with an explicit trap bound.
+    pub fn with_max_traps(sys: &System, max_traps: usize) -> DFinder {
+        let abs = Abstraction::new(sys);
+        let traps = enumerate_traps(&abs, max_traps);
+        let linear =
+            linear_invariants(&abs, Self::DEFAULT_MAX_COEFF, Self::DEFAULT_MAX_SUPPORT);
+        DFinder { abs, traps, linear }
+    }
+
+    /// The computed traps (as place sets).
+    pub fn traps(&self) -> &[Vec<Place>] {
+        &self.traps
+    }
+
+    /// The computed linear invariants.
+    pub fn linear(&self) -> &[LinearInvariant] {
+        &self.linear
+    }
+
+    /// The abstraction.
+    pub fn abstraction(&self) -> &Abstraction {
+        &self.abs
+    }
+
+    /// Run the deadlock-freedom check: is `CI ∧ II ∧ DIS` satisfiable?
+    pub fn check_deadlock_freedom(&self) -> DFinderReport {
+        let (mut builder, at) = self.encode_ci_ii();
+        // DIS: every interaction disabled.
+        for inter in &self.abs.interactions {
+            if inter.maybe_disabled {
+                continue; // conjunct trivially true
+            }
+            // disabled = OR over participants of "no offering place marked".
+            let mut blocked_lits = Vec::new();
+            for offering in &inter.offered_at {
+                if offering.is_empty() {
+                    // This participant can never definitely offer: the
+                    // interaction may always be disabled; conjunct trivial.
+                    blocked_lits.clear();
+                    break;
+                }
+                let conj: Vec<Lit> = offering.iter().map(|&p| !at[p]).collect();
+                let b = builder.and(conj);
+                blocked_lits.push(b);
+            }
+            if blocked_lits.is_empty() {
+                continue;
+            }
+            let disabled = builder.or(blocked_lits);
+            builder.assert_lit(disabled);
+        }
+        let solver = builder.solver_mut();
+        let sat = solver.solve();
+        let conflicts = solver.conflicts();
+        let verdict = if sat.is_unsat() {
+            Verdict::DeadlockFree
+        } else {
+            // Read back one candidate location vector.
+            let mut locs = vec![0u32; self.abs.place_base.len()];
+            for p in 0..self.abs.num_places {
+                if solver.value(lit_var(at[p])) == Some(true) {
+                    locs[self.abs.component_of(p)] = self.abs.location_of(p);
+                }
+            }
+            Verdict::PotentialDeadlock(vec![locs])
+        };
+        DFinderReport {
+            verdict,
+            traps: self.traps.len(),
+            linear_invariants: self.linear.len(),
+            abstract_transitions: self.abs.transitions.len(),
+            places: self.abs.num_places,
+            sat_conflicts: conflicts,
+        }
+    }
+
+    /// Try to *prove* a location-based state invariant compositionally:
+    /// holds if `CI ∧ II ∧ ¬P` is unsatisfiable.
+    ///
+    /// Returns `None` when the predicate mentions data (outside the
+    /// location abstraction) — the caller should fall back to
+    /// [`crate::reach::check_invariant`].
+    pub fn prove_location_invariant(&self, pred: &StatePred) -> Option<bool> {
+        let (mut builder, at) = self.encode_ci_ii();
+        let p = encode_pred(&mut builder, &self.abs, &at, pred)?;
+        builder.assert_lit(!p);
+        Some(builder.solver_mut().solve().is_unsat())
+    }
+
+    /// Encode `CI ∧ II` into a fresh CNF builder; returns the at-place
+    /// literals.
+    fn encode_ci_ii(&self) -> (CnfBuilder, Vec<Lit>) {
+        let mut b = CnfBuilder::new();
+        let at: Vec<Lit> =
+            (0..self.abs.num_places).map(|_| Lit::pos(b.fresh())).collect();
+        // Control structure: exactly one location per component.
+        let ncomp = self.abs.place_base.len();
+        for c in 0..ncomp {
+            let lo = self.abs.place_base[c];
+            let hi = if c + 1 < ncomp { self.abs.place_base[c + 1] } else { self.abs.num_places };
+            b.exactly_one((lo..hi).map(|p| at[p]));
+        }
+        // CI: locally unreachable places are never marked.
+        for p in 0..self.abs.num_places {
+            if !self.abs.reachable[p] {
+                b.assert_lit(!at[p]);
+            }
+        }
+        // II: every initially-marked trap stays marked.
+        for trap in &self.traps {
+            b.clause(trap.iter().map(|&p| at[p]));
+        }
+        // LI: linear place-invariants.
+        for inv in &self.linear {
+            encode_linear(&mut b, &at, inv);
+        }
+        (b, at)
+    }
+}
+
+fn lit_var(l: Lit) -> Var {
+    l.var()
+}
+
+fn encode_pred(
+    b: &mut CnfBuilder,
+    abs: &Abstraction,
+    at: &[Lit],
+    pred: &StatePred,
+) -> Option<Lit> {
+    match pred {
+        StatePred::True => {
+            let v = Lit::pos(b.fresh());
+            b.assert_lit(v);
+            Some(v)
+        }
+        StatePred::False => {
+            let v = Lit::pos(b.fresh());
+            b.assert_lit(!v);
+            Some(v)
+        }
+        StatePred::AtLoc(c, l) => Some(at[abs.place_base[*c] + *l as usize]),
+        StatePred::Not(p) => encode_pred(b, abs, at, p).map(|l| !l),
+        StatePred::And(ps) => {
+            let mut lits = Vec::new();
+            for p in ps {
+                lits.push(encode_pred(b, abs, at, p)?);
+            }
+            if lits.is_empty() {
+                return encode_pred(b, abs, at, &StatePred::True);
+            }
+            Some(b.and(lits))
+        }
+        StatePred::Or(ps) => {
+            let mut lits = Vec::new();
+            for p in ps {
+                lits.push(encode_pred(b, abs, at, p)?);
+            }
+            if lits.is_empty() {
+                return encode_pred(b, abs, at, &StatePred::False);
+            }
+            Some(b.or(lits))
+        }
+        StatePred::Eq(_, _) | StatePred::Le(_, _) => None, // data: out of scope
+    }
+}
+
+/// Enumerate (approximately minimal) initially-marked traps of the
+/// abstraction using iterated SAT with blocking clauses.
+pub fn enumerate_traps(abs: &Abstraction, max_traps: usize) -> Vec<Vec<Place>> {
+    let mut b = CnfBuilder::new();
+    let s: Vec<Lit> = (0..abs.num_places).map(|_| Lit::pos(b.fresh())).collect();
+    // Trap condition per transition.
+    for (pre, post) in &abs.transitions {
+        for &p in pre {
+            let mut clause = vec![!s[p]];
+            clause.extend(post.iter().map(|&q| s[q]));
+            b.clause(clause);
+        }
+    }
+    // Initially marked.
+    b.clause(abs.initial.iter().map(|&p| s[p]));
+    // Only locally reachable places are interesting.
+    for p in 0..abs.num_places {
+        if !abs.reachable[p] {
+            b.assert_lit(!s[p]);
+        }
+    }
+    let mut traps = Vec::new();
+    let solver = b.solver_mut();
+    while traps.len() < max_traps {
+        if solver.solve().is_unsat() {
+            break;
+        }
+        let mut set: HashSet<Place> = (0..abs.num_places)
+            .filter(|&p| solver.value(s[p].var()) == Some(true))
+            .collect();
+        // Greedy minimization, preserving trap-ness and initial marking.
+        let mut order: Vec<Place> = set.iter().copied().collect();
+        order.sort_unstable();
+        for p in order {
+            if !set.contains(&p) {
+                continue;
+            }
+            set.remove(&p);
+            let still_marked = abs.initial.iter().any(|q| set.contains(q));
+            if !(still_marked && !set.is_empty() && abs.is_trap(&set)) {
+                set.insert(p);
+            }
+        }
+        let mut trap: Vec<Place> = set.into_iter().collect();
+        trap.sort_unstable();
+        // Block this trap and all supersets.
+        solver.add_clause(trap.iter().map(|&p| !s[p]));
+        traps.push(trap);
+    }
+    traps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::builder::dining_philosophers;
+    use bip_core::{AtomBuilder, ConnectorBuilder, SystemBuilder};
+
+    #[test]
+    fn conservative_philosophers_proved_deadlock_free() {
+        let sys = dining_philosophers(4, false).unwrap();
+        let df = DFinder::new(&sys);
+        let report = df.check_deadlock_freedom();
+        assert!(report.verdict.is_deadlock_free(), "{report:?}");
+        assert!(report.traps > 0);
+    }
+
+    #[test]
+    fn two_phase_philosophers_flagged() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let df = DFinder::new(&sys);
+        let report = df.check_deadlock_freedom();
+        match report.verdict {
+            Verdict::PotentialDeadlock(cands) => {
+                assert!(!cands.is_empty());
+                // The exact checker confirms the system really deadlocks, so
+                // the flag is not a false alarm.
+                assert!(crate::reach::find_deadlock(&sys, 1_000_000).is_some());
+            }
+            Verdict::DeadlockFree => panic!("missed a real deadlock"),
+        }
+    }
+
+    #[test]
+    fn linear_invariants_hold_on_reachable_states() {
+        for &two_phase in &[false, true] {
+            let sys = dining_philosophers(3, two_phase).unwrap();
+            let df = DFinder::new(&sys);
+            assert!(!df.linear().is_empty(), "philosophers have conservation laws");
+            let abs = df.abstraction();
+            let mut seen = std::collections::HashSet::new();
+            let mut queue = std::collections::VecDeque::new();
+            let init = sys.initial_state();
+            seen.insert(init.clone());
+            queue.push_back(init);
+            while let Some(st) = queue.pop_front() {
+                for inv in df.linear() {
+                    let lhs = inv.lhs(|p| {
+                        st.locs[abs.component_of(p)] == abs.location_of(p)
+                    });
+                    assert_eq!(lhs, inv.value, "violated in {}", sys.describe_state(&st));
+                }
+                for (_, next) in sys.successors(&st) {
+                    if seen.insert(next.clone()) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soundness_vs_monolithic_on_family() {
+        // On every family member, DeadlockFree verdicts must agree with the
+        // exact monolithic result.
+        for n in 2..=5 {
+            for &two_phase in &[false, true] {
+                let sys = dining_philosophers(n, two_phase).unwrap();
+                let df = DFinder::new(&sys).check_deadlock_freedom();
+                let exact = crate::reach::explore(&sys, 5_000_000);
+                assert!(exact.complete);
+                if df.verdict.is_deadlock_free() {
+                    assert!(
+                        exact.deadlocks.is_empty(),
+                        "unsound verdict on n={n} two_phase={two_phase}"
+                    );
+                }
+                if !two_phase {
+                    assert!(df.verdict.is_deadlock_free(), "imprecise on easy case n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traps_are_traps() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let abs = Abstraction::new(&sys);
+        let traps = enumerate_traps(&abs, 64);
+        assert!(!traps.is_empty());
+        for t in &traps {
+            let set: HashSet<Place> = t.iter().copied().collect();
+            assert!(abs.is_trap(&set), "not a trap: {t:?}");
+            assert!(abs.initial.iter().any(|p| set.contains(p)), "unmarked trap");
+        }
+    }
+
+    #[test]
+    fn trap_invariants_hold_on_reachable_states() {
+        // Every enumerated trap must indeed stay marked along real runs.
+        let sys = dining_philosophers(3, false).unwrap();
+        let df = DFinder::new(&sys);
+        let abs = df.abstraction();
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = std::collections::VecDeque::new();
+        let init = sys.initial_state();
+        seen.insert(init.clone());
+        queue.push_back(init);
+        while let Some(st) = queue.pop_front() {
+            for trap in df.traps() {
+                let marked = trap.iter().any(|&p| {
+                    let c = abs.component_of(p);
+                    st.locs[c] == abs.location_of(p)
+                });
+                assert!(marked, "trap {trap:?} unmarked in {}", sys.describe_state(&st));
+            }
+            for (_, next) in sys.successors(&st) {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proves_mutual_exclusion_compositionally() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let df = DFinder::new(&sys);
+        let mutex = StatePred::mutex(&sys, [(0, "eating"), (1, "eating")]);
+        assert_eq!(df.prove_location_invariant(&mutex), Some(true));
+    }
+
+    #[test]
+    fn refuses_data_predicates() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let df = DFinder::new(&sys);
+        let data = StatePred::Eq(bip_core::GExpr::int(1), bip_core::GExpr::int(1));
+        assert_eq!(df.prove_location_invariant(&data), None);
+    }
+
+    #[test]
+    fn does_not_prove_false_invariant() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let df = DFinder::new(&sys);
+        // "phil0 never eats" is violated.
+        let never = StatePred::at(&sys, 0, "eating").not();
+        assert_eq!(df.prove_location_invariant(&never), Some(false));
+    }
+
+    #[test]
+    fn guarded_connectors_are_conservative() {
+        // A system whose only interaction has a data guard: D-Finder cannot
+        // exclude a deadlock and must say PotentialDeadlock.
+        let a = AtomBuilder::new("a")
+            .var("x", 0)
+            .port("p")
+            .location("l")
+            .initial("l")
+            .transition("l", "p", "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c = sb.add_instance("c", &a);
+        sb.add_connector(
+            ConnectorBuilder::singleton("t", c, "p")
+                .guard(bip_core::Expr::param(0, 0).lt(bip_core::Expr::int(1))),
+        );
+        let sys = sb.build().unwrap();
+        let df = DFinder::new(&sys);
+        assert!(!df.check_deadlock_freedom().verdict.is_deadlock_free());
+    }
+
+    #[test]
+    fn abstraction_shape() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let abs = Abstraction::new(&sys);
+        // 2 phils × 2 locs + 2 forks × 2 locs = 8 places.
+        assert_eq!(abs.num_places, 8);
+        assert_eq!(abs.initial.len(), 4);
+        assert!(abs.transitions.len() >= 4);
+        assert_eq!(abs.component_of(0), 0);
+        assert_eq!(abs.component_of(7), 3);
+        assert_eq!(abs.location_of(7), 1);
+    }
+}

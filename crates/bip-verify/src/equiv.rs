@@ -1,0 +1,392 @@
+//! Refinement and equivalence modulo an observation criterion (§5.5.3).
+//!
+//! The paper's refinement relation `S ≥ S'` requires:
+//!
+//! 1. all traces of `S'` are traces of `S` modulo the observation criterion
+//!    (silent coordination interactions are erased, finishing interactions
+//!    map to the abstract interaction they implement);
+//! 2. if `S` is deadlock-free then `S'` is deadlock-free.
+//!
+//! [`refines`] checks exactly this on finite systems: weak (stuttering)
+//! trace inclusion via determinization with τ-closure, plus exact deadlock
+//! analysis on both sides. [`weak_trace_equivalent`] checks inclusion both
+//! ways. These are the certificates used by `bip-distributed` and the
+//! architecture layer to establish *vertical correctness*.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use bip_core::{State, System};
+
+/// Result of a refinement check.
+#[derive(Debug, Clone)]
+pub struct RefinementReport {
+    /// Clause 1: observable traces of the concrete system are included in
+    /// those of the abstract one.
+    pub trace_included: bool,
+    /// A shortest observable trace of the concrete system that the abstract
+    /// system cannot perform (when inclusion fails).
+    pub counterexample: Option<Vec<String>>,
+    /// Whether the abstract system is deadlock-free (exact, bounded).
+    pub abstract_deadlock_free: bool,
+    /// Whether the concrete system is deadlock-free (exact, bounded).
+    pub concrete_deadlock_free: bool,
+    /// Product states explored during the inclusion check.
+    pub product_states: usize,
+}
+
+impl RefinementReport {
+    /// The paper's `≥`: trace inclusion and deadlock-freedom preservation.
+    pub fn refines(&self) -> bool {
+        self.trace_included && (!self.abstract_deadlock_free || self.concrete_deadlock_free)
+    }
+}
+
+/// An observable LTS: explicit states, observable-labelled edges, τ edges.
+#[derive(Debug, Clone)]
+struct ObsLts {
+    /// tau[s] = τ-successors of s.
+    tau: Vec<Vec<usize>>,
+    /// obs[s] = (label, successor) pairs.
+    obs: Vec<Vec<(String, usize)>>,
+    has_deadlock: bool,
+    complete: bool,
+}
+
+/// Extract the observable LTS of `sys`. Each step's label comes from
+/// [`System::step_label`] passed through `rename`; `None` results are τ.
+fn obs_lts<F>(sys: &System, rename: &F, max_states: usize) -> ObsLts
+where
+    F: Fn(&str) -> Option<String>,
+{
+    let mut index: HashMap<State, usize> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut tau: Vec<Vec<usize>> = Vec::new();
+    let mut obs: Vec<Vec<(String, usize)>> = Vec::new();
+    let mut has_deadlock = false;
+    let mut complete = true;
+    let init = sys.initial_state();
+    index.insert(init.clone(), 0);
+    tau.push(Vec::new());
+    obs.push(Vec::new());
+    queue.push_back(init);
+    while let Some(st) = queue.pop_front() {
+        let src = index[&st];
+        let succ = sys.successors(&st);
+        if succ.is_empty() {
+            has_deadlock = true;
+        }
+        for (step, next) in succ {
+            let dst = match index.get(&next) {
+                Some(&d) => d,
+                None => {
+                    if index.len() >= max_states {
+                        complete = false;
+                        continue;
+                    }
+                    let d = index.len();
+                    index.insert(next.clone(), d);
+                    tau.push(Vec::new());
+                    obs.push(Vec::new());
+                    queue.push_back(next);
+                    d
+                }
+            };
+            match sys.step_label(&step).and_then(|l| rename(l)) {
+                Some(label) => obs[src].push((label, dst)),
+                None => tau[src].push(dst),
+            }
+        }
+    }
+    ObsLts { tau, obs, has_deadlock, complete }
+}
+
+/// τ-closure of a state set.
+fn closure(lts: &ObsLts, set: &BTreeSet<usize>) -> BTreeSet<usize> {
+    let mut out = set.clone();
+    let mut stack: Vec<usize> = out.iter().copied().collect();
+    while let Some(s) = stack.pop() {
+        for &t in &lts.tau[s] {
+            if out.insert(t) {
+                stack.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// Observable successors of a state set under `label`.
+fn obs_step(lts: &ObsLts, set: &BTreeSet<usize>, label: &str) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    for &s in set {
+        for (l, t) in &lts.obs[s] {
+            if l == label {
+                out.insert(*t);
+            }
+        }
+    }
+    closure(lts, &out)
+}
+
+/// All observable labels available from a state set.
+fn obs_labels(lts: &ObsLts, set: &BTreeSet<usize>) -> Vec<String> {
+    let mut labels: Vec<String> = set
+        .iter()
+        .flat_map(|&s| lts.obs[s].iter().map(|(l, _)| l.clone()))
+        .collect();
+    labels.sort();
+    labels.dedup();
+    labels
+}
+
+/// Check the paper's refinement `abstract ≥ concrete`.
+///
+/// * `rename_concrete` maps the concrete system's observable connector names
+///   onto abstract labels (return `None` for coordination internals — the
+///   observation criterion of §5.5.3);
+/// * abstract labels are the abstract system's own observable connector
+///   names (identity).
+///
+/// `max_states` bounds both reachable sets; incomplete exploration is
+/// reported as non-refinement only if a counterexample was actually found
+/// (the deadlock clauses use the explored region).
+pub fn refines<F>(
+    abstract_sys: &System,
+    concrete_sys: &System,
+    rename_concrete: F,
+    max_states: usize,
+) -> RefinementReport
+where
+    F: Fn(&str) -> Option<String>,
+{
+    let a = obs_lts(abstract_sys, &|l: &str| Some(l.to_string()), max_states);
+    let c = obs_lts(concrete_sys, &rename_concrete, max_states);
+    // Determinized simulation: explore pairs (concrete subset, abstract
+    // subset); inclusion fails if the concrete side offers a label the
+    // abstract side cannot match.
+    let c0 = closure(&c, &BTreeSet::from([0usize]));
+    let a0 = closure(&a, &BTreeSet::from([0usize]));
+    let mut seen: HashMap<(BTreeSet<usize>, BTreeSet<usize>), ()> = HashMap::new();
+    let mut queue: VecDeque<(BTreeSet<usize>, BTreeSet<usize>, Vec<String>)> = VecDeque::new();
+    seen.insert((c0.clone(), a0.clone()), ());
+    queue.push_back((c0, a0, Vec::new()));
+    let mut counterexample = None;
+    'bfs: while let Some((cs, as_, trace)) = queue.pop_front() {
+        for label in obs_labels(&c, &cs) {
+            let an = obs_step(&a, &as_, &label);
+            let mut t2 = trace.clone();
+            t2.push(label.clone());
+            if an.is_empty() {
+                counterexample = Some(t2);
+                break 'bfs;
+            }
+            let cn = obs_step(&c, &cs, &label);
+            let key = (cn.clone(), an.clone());
+            if !seen.contains_key(&key) {
+                seen.insert(key, ());
+                queue.push_back((cn, an, t2));
+            }
+        }
+    }
+    RefinementReport {
+        trace_included: counterexample.is_none(),
+        counterexample,
+        abstract_deadlock_free: a.complete && !a.has_deadlock,
+        concrete_deadlock_free: c.complete && !c.has_deadlock,
+        product_states: seen.len(),
+    }
+}
+
+/// Weak trace equivalence: inclusion in both directions under the given
+/// renaming of the concrete side (the abstract side uses identity labels).
+pub fn weak_trace_equivalent<F>(
+    abstract_sys: &System,
+    concrete_sys: &System,
+    rename_concrete: F,
+    max_states: usize,
+) -> bool
+where
+    F: Fn(&str) -> Option<String> + Copy,
+{
+    let fwd = refines(abstract_sys, concrete_sys, rename_concrete, max_states);
+    if !fwd.trace_included {
+        return false;
+    }
+    // Reverse: abstract traces must be realizable by the concrete system.
+    // Swap roles: treat the concrete system (renamed) as the "abstract" side.
+    let a = obs_lts(abstract_sys, &|l: &str| Some(l.to_string()), max_states);
+    let c = obs_lts(concrete_sys, &rename_concrete, max_states);
+    inclusion(&a, &c)
+}
+
+/// Raw trace inclusion between two observable LTSs (left ⊆ right).
+fn inclusion(left: &ObsLts, right: &ObsLts) -> bool {
+    let l0 = closure(left, &BTreeSet::from([0usize]));
+    let r0 = closure(right, &BTreeSet::from([0usize]));
+    let mut seen = HashMap::new();
+    let mut queue = VecDeque::new();
+    seen.insert((l0.clone(), r0.clone()), ());
+    queue.push_back((l0, r0));
+    while let Some((ls, rs)) = queue.pop_front() {
+        for label in obs_labels(left, &ls) {
+            let rn = obs_step(right, &rs, &label);
+            if rn.is_empty() {
+                return false;
+            }
+            let ln = obs_step(left, &ls, &label);
+            let key = (ln.clone(), rn.clone());
+            if !seen.contains_key(&key) {
+                seen.insert(key, ());
+                queue.push_back((ln, rn));
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::{AtomBuilder, ConnectorBuilder, SystemBuilder};
+
+    /// System that alternates a.b forever, observable as connectors "a","b".
+    fn alternator() -> System {
+        let t = AtomBuilder::new("t")
+            .port("pa")
+            .port("pb")
+            .location("A")
+            .location("B")
+            .initial("A")
+            .transition("A", "pa", "B")
+            .transition("B", "pb", "A")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let x = sb.add_instance("x", &t);
+        sb.add_connector(ConnectorBuilder::singleton("a", x, "pa"));
+        sb.add_connector(ConnectorBuilder::singleton("b", x, "pb"));
+        sb.build().unwrap()
+    }
+
+    /// Alternator with an interleaved silent bookkeeping step.
+    fn alternator_with_tau() -> System {
+        let t = AtomBuilder::new("t")
+            .port("pa")
+            .port("pb")
+            .port("sync")
+            .location("A")
+            .location("Amid")
+            .location("B")
+            .initial("A")
+            .transition("A", "pa", "Amid")
+            .transition("Amid", "sync", "B")
+            .transition("B", "pb", "A")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let x = sb.add_instance("x", &t);
+        sb.add_connector(ConnectorBuilder::singleton("a", x, "pa"));
+        sb.add_connector(ConnectorBuilder::singleton("b", x, "pb"));
+        sb.add_connector(ConnectorBuilder::singleton("s", x, "sync").silent());
+        sb.build().unwrap()
+    }
+
+    /// A system that can do "a" then stops.
+    fn a_then_stop() -> System {
+        let t = AtomBuilder::new("t")
+            .port("pa")
+            .location("A")
+            .location("B")
+            .initial("A")
+            .transition("A", "pa", "B")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let x = sb.add_instance("x", &t);
+        sb.add_connector(ConnectorBuilder::singleton("a", x, "pa"));
+        sb.build().unwrap()
+    }
+
+    fn ident(l: &str) -> Option<String> {
+        Some(l.to_string())
+    }
+
+    #[test]
+    fn reflexive_refinement() {
+        let s = alternator();
+        let r = refines(&s, &s, ident, 10_000);
+        assert!(r.trace_included);
+        assert!(r.refines());
+    }
+
+    #[test]
+    fn tau_insertion_preserves_traces() {
+        let abs = alternator();
+        let conc = alternator_with_tau();
+        assert!(weak_trace_equivalent(&abs, &conc, ident, 10_000));
+    }
+
+    #[test]
+    fn prefix_system_refines_but_not_equivalent() {
+        let abs = alternator();
+        let conc = a_then_stop();
+        let r = refines(&abs, &conc, ident, 10_000);
+        assert!(r.trace_included, "a ⊑ (ab)*-prefixes");
+        // But the abstract system is deadlock-free while the concrete
+        // deadlocks — the paper's clause 2 rejects the refinement.
+        assert!(r.abstract_deadlock_free);
+        assert!(!r.concrete_deadlock_free);
+        assert!(!r.refines());
+        assert!(!weak_trace_equivalent(&abs, &conc, ident, 10_000));
+    }
+
+    #[test]
+    fn inclusion_failure_yields_counterexample() {
+        let abs = a_then_stop();
+        let conc = alternator();
+        let r = refines(&abs, &conc, ident, 10_000);
+        assert!(!r.trace_included);
+        let cex = r.counterexample.unwrap();
+        assert_eq!(cex, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn renaming_maps_implementation_to_spec() {
+        // Concrete has "a_impl"; renaming maps it to "a".
+        let t = AtomBuilder::new("t")
+            .port("pa")
+            .location("A")
+            .location("B")
+            .initial("A")
+            .transition("A", "pa", "B")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let x = sb.add_instance("x", &t);
+        sb.add_connector(ConnectorBuilder::singleton("a_impl", x, "pa"));
+        let conc = sb.build().unwrap();
+        let abs = a_then_stop();
+        let r = refines(
+            &abs,
+            &conc,
+            |l| if l == "a_impl" { Some("a".to_string()) } else { None },
+            10_000,
+        );
+        assert!(r.trace_included);
+        assert!(r.refines(), "neither is deadlock-free... abstract deadlocks so clause 2 vacuous");
+    }
+
+    #[test]
+    fn erased_labels_are_silent() {
+        // Concrete = alternator, but "b" renamed to silent: traces collapse
+        // to a*; not included in a-then-stop (aa is impossible there).
+        let abs = a_then_stop();
+        let conc = alternator();
+        let r = refines(
+            &abs,
+            &conc,
+            |l| if l == "a" { Some("a".to_string()) } else { None },
+            10_000,
+        );
+        assert!(!r.trace_included, "trace 'a a' must be rejected");
+    }
+}

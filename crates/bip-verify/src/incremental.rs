@@ -1,0 +1,376 @@
+//! Incremental verification (§5.6).
+//!
+//! "We recently improved this method to take advantage of the incremental
+//! system design process, which proceeds by adding new interactions to a
+//! component under construction. [...] The incremental verification
+//! technique uses sufficient conditions to ensure the preservation of
+//! invariants when new interactions are added. If these conditions are not
+//! satisfied, D-Finder generates new invariants by reusing invariants of the
+//! constituent components."
+//!
+//! Here: adding a connector only *adds* abstract transitions. An existing
+//! trap is preserved iff the new transitions respect the trap condition on
+//! it (the sufficient condition, checked per-trap in time linear in the new
+//! transitions). Broken traps are dropped and replaced by a bounded
+//! re-enumeration that blocks the still-valid traps — so verification effort
+//! scales with the *change*, not the system.
+
+use std::collections::HashSet;
+
+use bip_core::{Connector, ModelError, System, SystemBuilder};
+
+use crate::dfinder::{
+    enumerate_traps, linear_invariants, Abstraction, DFinder, DFinderReport, LinearInvariant,
+    Place,
+};
+
+/// Statistics of one incremental step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncrementStats {
+    /// Traps that survived the sufficient condition (reused for free).
+    pub traps_reused: usize,
+    /// Traps invalidated by the new interaction.
+    pub traps_dropped: usize,
+    /// New traps found by the bounded re-enumeration.
+    pub traps_added: usize,
+}
+
+/// A verifier that maintains trap invariants across interaction additions.
+#[derive(Debug)]
+pub struct IncrementalVerifier {
+    sys: System,
+    abs: Abstraction,
+    traps: Vec<Vec<Place>>,
+    linear: Vec<LinearInvariant>,
+    max_traps: usize,
+}
+
+impl IncrementalVerifier {
+    /// Start from a system (computes the initial invariants from scratch).
+    pub fn new(sys: System) -> IncrementalVerifier {
+        Self::with_max_traps(sys, DFinder::DEFAULT_MAX_TRAPS)
+    }
+
+    /// Start with an explicit trap bound.
+    pub fn with_max_traps(sys: System, max_traps: usize) -> IncrementalVerifier {
+        let abs = Abstraction::new(&sys);
+        let traps = enumerate_traps(&abs, max_traps);
+        let linear =
+            linear_invariants(&abs, DFinder::DEFAULT_MAX_COEFF, DFinder::DEFAULT_MAX_SUPPORT);
+        IncrementalVerifier { sys, abs, traps, linear, max_traps }
+    }
+
+    /// The current system.
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Current trap invariants.
+    pub fn traps(&self) -> &[Vec<Place>] {
+        &self.traps
+    }
+
+    /// Add a connector, preserving invariants where the sufficient condition
+    /// allows, and recomputing only the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the connector does not validate against the
+    /// system (unknown ports, duplicate name, ...).
+    pub fn add_interaction(&mut self, conn: Connector) -> Result<IncrementStats, ModelError> {
+        // Rebuild the system with the extra connector (systems are immutable).
+        let mut sb = SystemBuilder::new();
+        for c in 0..self.sys.num_components() {
+            sb.add_instance(self.sys.instance_name(c).to_string(), self.sys.atom_type(c));
+        }
+        for c in self.sys.connectors() {
+            sb.add_connector(c.clone());
+        }
+        sb.add_connector(conn);
+        sb.set_priority(self.sys.priority().clone());
+        let new_sys = sb.build()?;
+        let new_abs = Abstraction::new(&new_sys);
+
+        // Sufficient condition: the *new* abstract transitions preserve each
+        // existing trap. (Old transitions are a prefix of the new transition
+        // list only structurally; we simply check all traps against the new
+        // abstraction's transitions that were not present before.)
+        let old: HashSet<(Vec<Place>, Vec<Place>)> =
+            self.abs.transitions.iter().cloned().collect();
+        let added: Vec<&(Vec<Place>, Vec<Place>)> =
+            new_abs.transitions.iter().filter(|t| !old.contains(*t)).collect();
+
+        let mut kept = Vec::new();
+        let mut dropped = 0usize;
+        for trap in &self.traps {
+            let set: HashSet<Place> = trap.iter().copied().collect();
+            let ok = added.iter().all(|(pre, post)| {
+                !pre.iter().any(|p| set.contains(p)) || post.iter().any(|q| set.contains(q))
+            });
+            if ok {
+                kept.push(trap.clone());
+            } else {
+                dropped += 1;
+            }
+        }
+
+        // Bounded re-enumeration for replacements, blocking kept traps.
+        let budget = self.max_traps.saturating_sub(kept.len());
+        let mut added_traps = 0usize;
+        if budget > 0 {
+            let fresh = enumerate_traps_blocking(&new_abs, &kept, budget);
+            added_traps = fresh.len();
+            kept.extend(fresh);
+        }
+
+        let reused = kept.len() - added_traps;
+        // Linear invariants: the sufficient condition is orthogonality to
+        // the added transition effects; violated ones are dropped and the
+        // (cheap) null-space computation refreshes the set.
+        let still_valid = self.linear.iter().all(|inv| {
+            added.iter().all(|(pre, post)| {
+                let delta: i64 = inv
+                    .coeffs
+                    .iter()
+                    .map(|&(p, a)| {
+                        let din = post.iter().filter(|&&q| q == p).count() as i64;
+                        let dout = pre.iter().filter(|&&q| q == p).count() as i64;
+                        a * (din - dout)
+                    })
+                    .sum();
+                delta == 0
+            })
+        });
+        if !still_valid {
+            self.linear = linear_invariants(
+                &new_abs,
+                DFinder::DEFAULT_MAX_COEFF,
+                DFinder::DEFAULT_MAX_SUPPORT,
+            );
+        }
+        self.sys = new_sys;
+        self.abs = new_abs;
+        self.traps = kept;
+        Ok(IncrementStats { traps_reused: reused, traps_dropped: dropped, traps_added: added_traps })
+    }
+
+    /// Run the deadlock-freedom check with the current invariants.
+    pub fn check_deadlock_freedom(&self) -> DFinderReport {
+        // Delegate to a DFinder sharing our invariants.
+        let df = DFinderFacade { abs: &self.abs, traps: &self.traps, linear: &self.linear };
+        df.check()
+    }
+}
+
+/// Enumerate traps while blocking (supersets of) already-known ones.
+fn enumerate_traps_blocking(
+    abs: &Abstraction,
+    known: &[Vec<Place>],
+    max_new: usize,
+) -> Vec<Vec<Place>> {
+    use satkit::{CnfBuilder, Lit};
+    let mut b = CnfBuilder::new();
+    let s: Vec<Lit> = (0..abs.num_places).map(|_| Lit::pos(b.fresh())).collect();
+    for (pre, post) in &abs.transitions {
+        for &p in pre {
+            let mut clause = vec![!s[p]];
+            clause.extend(post.iter().map(|&q| s[q]));
+            b.clause(clause);
+        }
+    }
+    b.clause(abs.initial.iter().map(|&p| s[p]));
+    for p in 0..abs.num_places {
+        if !abs.reachable[p] {
+            b.assert_lit(!s[p]);
+        }
+    }
+    for t in known {
+        b.clause(t.iter().map(|&p| !s[p]));
+    }
+    let mut out = Vec::new();
+    let solver = b.solver_mut();
+    while out.len() < max_new {
+        if solver.solve().is_unsat() {
+            break;
+        }
+        let mut set: HashSet<Place> = (0..abs.num_places)
+            .filter(|&p| solver.value(s[p].var()) == Some(true))
+            .collect();
+        let mut order: Vec<Place> = set.iter().copied().collect();
+        order.sort_unstable();
+        for p in order {
+            if !set.contains(&p) {
+                continue;
+            }
+            set.remove(&p);
+            let marked = abs.initial.iter().any(|q| set.contains(q));
+            if !(marked && !set.is_empty() && abs.is_trap(&set)) {
+                set.insert(p);
+            }
+        }
+        let mut trap: Vec<Place> = set.into_iter().collect();
+        trap.sort_unstable();
+        solver.add_clause(trap.iter().map(|&p| !s[p]));
+        out.push(trap);
+    }
+    out
+}
+
+/// Internal: run the DIS check against externally-supplied invariants.
+struct DFinderFacade<'a> {
+    abs: &'a Abstraction,
+    traps: &'a [Vec<Place>],
+    linear: &'a [LinearInvariant],
+}
+
+impl DFinderFacade<'_> {
+    fn check(&self) -> DFinderReport {
+        use satkit::{CnfBuilder, Lit};
+        let mut b = CnfBuilder::new();
+        let at: Vec<Lit> = (0..self.abs.num_places).map(|_| Lit::pos(b.fresh())).collect();
+        let ncomp = self.abs.place_base.len();
+        for c in 0..ncomp {
+            let lo = self.abs.place_base[c];
+            let hi =
+                if c + 1 < ncomp { self.abs.place_base[c + 1] } else { self.abs.num_places };
+            b.exactly_one((lo..hi).map(|p| at[p]));
+        }
+        for p in 0..self.abs.num_places {
+            if !self.abs.reachable[p] {
+                b.assert_lit(!at[p]);
+            }
+        }
+        for trap in self.traps {
+            b.clause(trap.iter().map(|&p| at[p]));
+        }
+        for inv in self.linear {
+            crate::dfinder::encode_linear_pub(&mut b, &at, inv);
+        }
+        for inter in &self.abs.interactions {
+            if inter.maybe_disabled {
+                continue;
+            }
+            let mut blocked = Vec::new();
+            for offering in &inter.offered_at {
+                if offering.is_empty() {
+                    blocked.clear();
+                    break;
+                }
+                let conj: Vec<Lit> = offering.iter().map(|&p| !at[p]).collect();
+                blocked.push(b.and(conj));
+            }
+            if blocked.is_empty() {
+                continue;
+            }
+            let d = b.or(blocked);
+            b.assert_lit(d);
+        }
+        let solver = b.solver_mut();
+        let sat = solver.solve();
+        let verdict = if sat.is_unsat() {
+            crate::dfinder::Verdict::DeadlockFree
+        } else {
+            let mut locs = vec![0u32; self.abs.place_base.len()];
+            for p in 0..self.abs.num_places {
+                if solver.value(at[p].var()) == Some(true) {
+                    locs[self.abs.component_of(p)] = self.abs.location_of(p);
+                }
+            }
+            crate::dfinder::Verdict::PotentialDeadlock(vec![locs])
+        };
+        DFinderReport {
+            verdict,
+            traps: self.traps.len(),
+            linear_invariants: self.linear.len(),
+            abstract_transitions: self.abs.transitions.len(),
+            places: self.abs.num_places,
+            sat_conflicts: solver.conflicts(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::ConnectorBuilder;
+
+    /// Philosophers built one interaction at a time.
+    fn base_philosophers(n: usize) -> System {
+        // Start with all release connectors; eat connectors arrive
+        // incrementally in the tests.
+        let full = bip_core::builder::dining_philosophers(n, false).unwrap();
+        let mut sb = SystemBuilder::new();
+        for c in 0..full.num_components() {
+            sb.add_instance(full.instance_name(c).to_string(), full.atom_type(c));
+        }
+        for conn in full.connectors() {
+            if conn.name.starts_with("rel") {
+                sb.add_connector(conn.clone());
+            }
+        }
+        sb.build().unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch() {
+        let n = 4;
+        let full = bip_core::builder::dining_philosophers(n, false).unwrap();
+        let mut inc = IncrementalVerifier::new(base_philosophers(n));
+        for conn in full.connectors() {
+            if conn.name.starts_with("eat") {
+                inc.add_interaction(conn.clone()).unwrap();
+            }
+        }
+        let inc_report = inc.check_deadlock_freedom();
+        let scratch = DFinder::new(&full).check_deadlock_freedom();
+        assert_eq!(
+            inc_report.verdict.is_deadlock_free(),
+            scratch.verdict.is_deadlock_free()
+        );
+        assert!(inc_report.verdict.is_deadlock_free());
+    }
+
+    #[test]
+    fn reuse_dominates() {
+        let n = 6;
+        let full = bip_core::builder::dining_philosophers(n, false).unwrap();
+        let mut inc = IncrementalVerifier::new(base_philosophers(n));
+        let mut total_reused = 0usize;
+        let mut total_added = 0usize;
+        for conn in full.connectors() {
+            if conn.name.starts_with("eat") {
+                let st = inc.add_interaction(conn.clone()).unwrap();
+                total_reused += st.traps_reused;
+                total_added += st.traps_added;
+            }
+        }
+        assert!(
+            total_reused > 0,
+            "the sufficient condition should preserve some invariants (reused={total_reused}, added={total_added})"
+        );
+    }
+
+    #[test]
+    fn add_bad_interaction_rejected() {
+        let mut inc = IncrementalVerifier::new(base_philosophers(3));
+        let bad = ConnectorBuilder::singleton("oops", 0, "ghost").into_connector();
+        assert!(inc.add_interaction(bad).is_err());
+    }
+
+    #[test]
+    fn traps_remain_traps_after_additions() {
+        let n = 3;
+        let full = bip_core::builder::dining_philosophers(n, false).unwrap();
+        let mut inc = IncrementalVerifier::new(base_philosophers(n));
+        for conn in full.connectors() {
+            if conn.name.starts_with("eat") {
+                inc.add_interaction(conn.clone()).unwrap();
+            }
+        }
+        let abs = Abstraction::new(inc.system());
+        for t in inc.traps() {
+            let set: std::collections::HashSet<Place> = t.iter().copied().collect();
+            assert!(abs.is_trap(&set), "stale trap kept: {t:?}");
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Monolithic explicit-state model checking.
+//!
+//! This is the baseline of experiment E1: it enumerates the global state
+//! space, whose size "increases exponentially with the number of the
+//! components of the system to be verified" (§4.3) — the state-explosion
+//! phenomenon that motivates the compositional method in [`crate::dfinder`].
+
+use std::collections::{HashMap, VecDeque};
+
+use bip_core::{State, StatePred, Step, System};
+
+/// Result of a state-space exploration.
+#[derive(Debug, Clone)]
+pub struct ReachReport {
+    /// Number of distinct states visited.
+    pub states: usize,
+    /// Number of transitions traversed.
+    pub transitions: usize,
+    /// Deadlock states found (no successor at all).
+    pub deadlocks: Vec<State>,
+    /// `true` if exploration exhausted the reachable set within the bound.
+    pub complete: bool,
+}
+
+impl ReachReport {
+    /// `true` when the exploration completed and found no deadlock.
+    pub fn deadlock_free(&self) -> bool {
+        self.complete && self.deadlocks.is_empty()
+    }
+}
+
+/// Result of checking an invariant over the reachable states.
+#[derive(Debug, Clone)]
+pub struct InvariantReport {
+    /// Number of distinct states visited.
+    pub states: usize,
+    /// A reachable state violating the invariant, with a trace of steps from
+    /// the initial state, if any.
+    pub violation: Option<(State, Vec<Step>)>,
+    /// `true` if exploration exhausted the reachable set within the bound.
+    pub complete: bool,
+}
+
+impl InvariantReport {
+    /// `true` when the invariant holds on every reachable state (and the
+    /// exploration was complete).
+    pub fn holds(&self) -> bool {
+        self.complete && self.violation.is_none()
+    }
+}
+
+/// Exhaustively explore the reachable states of `sys`, up to `max_states`.
+///
+/// Returns state/transition counts and all deadlock states found. When
+/// `max_states` is hit, `complete` is `false` and the deadlock list covers
+/// only the visited region.
+pub fn explore(sys: &System, max_states: usize) -> ReachReport {
+    let mut seen: HashMap<State, ()> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut transitions = 0usize;
+    let mut deadlocks = Vec::new();
+    let mut complete = true;
+    let init = sys.initial_state();
+    seen.insert(init.clone(), ());
+    queue.push_back(init);
+    while let Some(st) = queue.pop_front() {
+        let succ = sys.successors(&st);
+        if succ.is_empty() {
+            deadlocks.push(st.clone());
+        }
+        for (_, next) in succ {
+            transitions += 1;
+            if !seen.contains_key(&next) {
+                if seen.len() >= max_states {
+                    complete = false;
+                    continue;
+                }
+                seen.insert(next.clone(), ());
+                queue.push_back(next);
+            }
+        }
+    }
+    ReachReport { states: seen.len(), transitions, deadlocks, complete }
+}
+
+/// Check a state invariant on all reachable states; on violation, return the
+/// offending state and the step trace leading to it.
+pub fn check_invariant(sys: &System, inv: &StatePred, max_states: usize) -> InvariantReport {
+    // BFS with parent pointers for trace reconstruction.
+    let mut parent: HashMap<State, Option<(State, Step)>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut complete = true;
+    let init = sys.initial_state();
+    parent.insert(init.clone(), None);
+    if !inv.eval(sys, &init) {
+        return InvariantReport { states: 1, violation: Some((init, Vec::new())), complete: true };
+    }
+    queue.push_back(init);
+    while let Some(st) = queue.pop_front() {
+        for (step, next) in sys.successors(&st) {
+            if parent.contains_key(&next) {
+                continue;
+            }
+            if parent.len() >= max_states {
+                complete = false;
+                continue;
+            }
+            parent.insert(next.clone(), Some((st.clone(), step.clone())));
+            if !inv.eval(sys, &next) {
+                let trace = rebuild_trace(&parent, &next);
+                return InvariantReport {
+                    states: parent.len(),
+                    violation: Some((next, trace)),
+                    complete: true,
+                };
+            }
+            queue.push_back(next);
+        }
+    }
+    InvariantReport { states: parent.len(), violation: None, complete }
+}
+
+/// Find a deadlock state (if any) with a witness trace.
+pub fn find_deadlock(sys: &System, max_states: usize) -> Option<(State, Vec<Step>)> {
+    let mut parent: HashMap<State, Option<(State, Step)>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let init = sys.initial_state();
+    parent.insert(init.clone(), None);
+    queue.push_back(init);
+    while let Some(st) = queue.pop_front() {
+        let succ = sys.successors(&st);
+        if succ.is_empty() {
+            let trace = rebuild_trace(&parent, &st);
+            return Some((st, trace));
+        }
+        for (step, next) in succ {
+            if parent.contains_key(&next) || parent.len() >= max_states {
+                continue;
+            }
+            parent.insert(next.clone(), Some((st.clone(), step)));
+            queue.push_back(next.clone());
+        }
+    }
+    None
+}
+
+fn rebuild_trace(parent: &HashMap<State, Option<(State, Step)>>, end: &State) -> Vec<Step> {
+    let mut trace = Vec::new();
+    let mut cur = end.clone();
+    while let Some(Some((prev, step))) = parent.get(&cur) {
+        trace.push(step.clone());
+        cur = prev.clone();
+    }
+    trace.reverse();
+    trace
+}
+
+/// Collect every reachable state satisfying `pred` (bounded).
+pub fn states_where(sys: &System, pred: &StatePred, max_states: usize) -> Vec<State> {
+    let mut seen: HashMap<State, ()> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut hits = Vec::new();
+    let init = sys.initial_state();
+    seen.insert(init.clone(), ());
+    if pred.eval(sys, &init) {
+        hits.push(init.clone());
+    }
+    queue.push_back(init);
+    while let Some(st) = queue.pop_front() {
+        for (_, next) in sys.successors(&st) {
+            if seen.contains_key(&next) || seen.len() >= max_states {
+                continue;
+            }
+            if pred.eval(sys, &next) {
+                hits.push(next.clone());
+            }
+            seen.insert(next.clone(), ());
+            queue.push_back(next);
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::builder::dining_philosophers;
+    use bip_core::{AtomBuilder, ConnectorBuilder, Expr, GExpr, SystemBuilder};
+
+    #[test]
+    fn philosophers_conservative_deadlock_free() {
+        let sys = dining_philosophers(3, false).unwrap();
+        let r = explore(&sys, 100_000);
+        assert!(r.complete);
+        assert!(r.deadlock_free(), "one-shot fork grab cannot deadlock");
+        assert!(r.states > 1);
+    }
+
+    #[test]
+    fn philosophers_two_phase_deadlocks() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let r = explore(&sys, 100_000);
+        assert!(r.complete);
+        assert!(!r.deadlocks.is_empty(), "all pick left fork -> circular wait");
+        let (dead, trace) = find_deadlock(&sys, 100_000).unwrap();
+        // In the deadlock state every philosopher holds its left fork.
+        for i in 0..3 {
+            let ty = sys.atom_type(i);
+            assert_eq!(ty.loc_name(bip_core::LocId(dead.locs[i])), "hasL");
+        }
+        assert_eq!(trace.len(), 3, "shortest deadlock: three takeL steps");
+    }
+
+    #[test]
+    fn state_count_grows_with_n() {
+        let s3 = explore(&dining_philosophers(3, true).unwrap(), 1_000_000).states;
+        let s5 = explore(&dining_philosophers(5, true).unwrap(), 1_000_000).states;
+        assert!(s5 > 3 * s3, "state explosion: {s3} -> {s5}");
+    }
+
+    #[test]
+    fn invariant_violation_with_trace() {
+        // A counter that can reach 3; invariant says it stays below 3.
+        let c = AtomBuilder::new("c")
+            .port("tick")
+            .var("n", 0)
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "tick",
+                Expr::var(0).lt(Expr::int(5)),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let a = sb.add_instance("a", &c);
+        sb.add_connector(ConnectorBuilder::singleton("t", a, "tick"));
+        let sys = sb.build().unwrap();
+        let inv = StatePred::Le(GExpr::var(0, 0), GExpr::int(2));
+        let r = check_invariant(&sys, &inv, 1000);
+        assert!(!r.holds());
+        let (bad, trace) = r.violation.expect("must violate");
+        assert_eq!(sys.var_value(&bad, 0, 0), 3);
+        assert_eq!(trace.len(), 3, "BFS gives the shortest violation");
+    }
+
+    #[test]
+    fn invariant_holds_when_bounded() {
+        let sys = dining_philosophers(2, false).unwrap();
+        // Mutual exclusion: neighbors cannot eat simultaneously.
+        let inv = StatePred::mutex(&sys, [(0, "eating"), (1, "eating")]);
+        let r = check_invariant(&sys, &inv, 100_000);
+        assert!(r.holds(), "adjacent philosophers share a fork");
+    }
+
+    #[test]
+    fn states_where_finds_targets() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let eating0 = StatePred::at(&sys, 0, "eating");
+        let hits = states_where(&sys, &eating0, 100_000);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn bounded_exploration_reports_incomplete() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let r = explore(&sys, 5);
+        assert!(!r.complete);
+        assert!(r.states <= 6);
+    }
+
+    #[test]
+    fn initial_violation_detected() {
+        let sys = dining_philosophers(2, false).unwrap();
+        let inv = StatePred::at(&sys, 0, "eating"); // false initially
+        let r = check_invariant(&sys, &inv, 100);
+        let (_, trace) = r.violation.unwrap();
+        assert!(trace.is_empty());
+    }
+}

@@ -1,0 +1,620 @@
+//! `netsim` — a deterministic discrete-event network simulator.
+//!
+//! Substrate for deploying distributed (S/R-BIP) systems: the paper's tool
+//! chain generates "an MPI program or a set of plain C/C++ programs that use
+//! TCP/IP communication" (§5.6); we substitute a simulator that preserves
+//! what the distribution experiments measure — message counts, causal
+//! ordering over FIFO point-to-point links, and achievable parallelism —
+//! while staying reproducible (seeded latency jitter, deterministic event
+//! ordering).
+//!
+//! # Model
+//!
+//! * A fixed set of **nodes**, each hosting a user-provided [`Process`];
+//! * point-to-point **FIFO links** with a [`Latency`] model;
+//! * an event queue ordered by `(time, sequence number)`;
+//! * processes react to messages and timers through a [`Context`] handle.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::{Latency, Network, Process, Context};
+//!
+//! struct Echo;
+//! impl Process<String> for Echo {
+//!     fn on_start(&mut self, ctx: &mut Context<String>) {
+//!         if ctx.me() == 0 {
+//!             ctx.send(1, "ping".to_string());
+//!         }
+//!     }
+//!     fn on_message(&mut self, from: usize, msg: String, ctx: &mut Context<String>) {
+//!         if msg == "ping" {
+//!             ctx.send(from, "pong".to_string());
+//!         }
+//!     }
+//! }
+//!
+//! let mut net = Network::new(vec![Echo, Echo], Latency::Fixed(5));
+//! net.run_until_quiet(1_000);
+//! assert_eq!(net.stats().messages_delivered, 2);
+//! ```
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated time (abstract ticks).
+pub type Time = u64;
+
+/// Link latency models.
+#[derive(Debug, Clone)]
+pub enum Latency {
+    /// Every message takes exactly this long.
+    Fixed(Time),
+    /// Base latency plus seeded uniform jitter in `0..jitter`.
+    Jittered {
+        /// Minimum latency.
+        base: Time,
+        /// Exclusive upper bound on the added jitter.
+        jitter: Time,
+    },
+}
+
+impl Latency {
+    fn sample(&self, rng: &mut StdRng) -> Time {
+        match self {
+            Latency::Fixed(t) => *t,
+            Latency::Jittered { base, jitter } => {
+                base + if *jitter == 0 { 0 } else { rng.gen_range(0..*jitter) }
+            }
+        }
+    }
+}
+
+/// A process hosted on a node. `M` is the message type.
+pub trait Process<M> {
+    /// Called once at time 0.
+    fn on_start(&mut self, _ctx: &mut Context<M>) {}
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, from: usize, msg: M, ctx: &mut Context<M>);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Context<M>) {}
+}
+
+/// Handle through which a process interacts with the network.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    me: usize,
+    now: Time,
+    outbox: &'a mut Vec<(usize, M)>,
+    timers: &'a mut Vec<(Time, u64)>,
+    halted: &'a mut bool,
+}
+
+impl<M> Context<'_, M> {
+    /// This node's id.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Send `msg` to node `to` (delivered after the link latency; FIFO per
+    /// ordered pair of nodes).
+    pub fn send(&mut self, to: usize, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Arrange for [`Process::on_timer`] with `token` after `delay` ticks.
+    pub fn set_timer(&mut self, delay: Time, token: u64) {
+        self.timers.push((self.now + delay, token));
+    }
+
+    /// Stop the whole simulation after this handler returns.
+    pub fn halt(&mut self) {
+        *self.halted = true;
+    }
+}
+
+/// Aggregate statistics of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Messages handed to [`Context::send`].
+    pub messages_sent: usize,
+    /// Messages delivered to [`Process::on_message`].
+    pub messages_delivered: usize,
+    /// Messages lost to fault injection.
+    pub messages_dropped: usize,
+    /// Timer events fired.
+    pub timers_fired: usize,
+    /// Final simulated time.
+    pub end_time: Time,
+    /// Per-node delivered-message counts.
+    pub per_node_delivered: Vec<usize>,
+}
+
+#[derive(Debug)]
+enum Payload<M> {
+    Message { from: usize, msg: M },
+    Timer { token: u64 },
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    time: Time,
+    seq: u64,
+    dst: usize,
+    payload: Payload<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for the max-heap: earliest (time, seq) first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Fault-injection plan: deterministic (seeded) message loss.
+///
+/// Dropping is decided at send time; FIFO order of *delivered* messages is
+/// preserved. Use for testing protocol robustness and failure detection.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Probability (0.0–1.0) that any message is silently dropped.
+    pub drop_rate: f64,
+    /// Links `(src, dst)` that drop *everything* (a cut cable).
+    pub severed: Vec<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Uniform message loss.
+    pub fn lossy(drop_rate: f64) -> FaultPlan {
+        FaultPlan { drop_rate, severed: Vec::new() }
+    }
+}
+
+/// The simulated network: nodes + event queue.
+#[derive(Debug)]
+pub struct Network<M, P: Process<M>> {
+    procs: Vec<P>,
+    queue: BinaryHeap<Event<M>>,
+    latency: Latency,
+    rng: StdRng,
+    seq: u64,
+    now: Time,
+    stats: Stats,
+    /// Per (src,dst) pair: earliest admissible delivery time, enforcing FIFO.
+    fifo_floor: Vec<Time>,
+    started: bool,
+    halted: bool,
+    n: usize,
+    faults: FaultPlan,
+}
+
+impl<M, P: Process<M>> Network<M, P> {
+    /// Create a network with one node per process and a shared latency
+    /// model; the default seed is 0.
+    pub fn new(procs: Vec<P>, latency: Latency) -> Network<M, P> {
+        Self::with_seed(procs, latency, 0)
+    }
+
+    /// Create with an explicit jitter seed.
+    pub fn with_seed(procs: Vec<P>, latency: Latency, seed: u64) -> Network<M, P> {
+        let n = procs.len();
+        Network {
+            procs,
+            queue: BinaryHeap::new(),
+            latency,
+            rng: StdRng::seed_from_u64(seed),
+            seq: 0,
+            now: 0,
+            stats: Stats { per_node_delivered: vec![0; n], ..Stats::default() },
+            fifo_floor: vec![0; n * n],
+            started: false,
+            halted: false,
+            n,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Install a fault-injection plan (before or during a run).
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Access a process (e.g., to read results after a run).
+    pub fn process(&self, node: usize) -> &P {
+        &self.procs[node]
+    }
+
+    /// Mutable access to a process.
+    pub fn process_mut(&mut self, node: usize) -> &mut P {
+        &mut self.procs[node]
+    }
+
+    fn dispatch(&mut self, node: usize, payload: Payload<M>) {
+        let mut outbox = Vec::new();
+        let mut timers = Vec::new();
+        let mut halted = self.halted;
+        {
+            let mut ctx = Context {
+                me: node,
+                now: self.now,
+                outbox: &mut outbox,
+                timers: &mut timers,
+                halted: &mut halted,
+            };
+            match payload {
+                Payload::Message { from, msg } => {
+                    self.stats.messages_delivered += 1;
+                    self.stats.per_node_delivered[node] += 1;
+                    self.procs[node].on_message(from, msg, &mut ctx);
+                }
+                Payload::Timer { token } => {
+                    self.stats.timers_fired += 1;
+                    self.procs[node].on_timer(token, &mut ctx);
+                }
+            }
+        }
+        self.halted = halted;
+        for (to, msg) in outbox {
+            self.enqueue_message(node, to, msg);
+        }
+        for (at, token) in timers {
+            self.seq += 1;
+            self.queue.push(Event {
+                time: at,
+                seq: self.seq,
+                dst: node,
+                payload: Payload::Timer { token },
+            });
+        }
+    }
+
+    fn enqueue_message(&mut self, from: usize, to: usize, msg: M) {
+        assert!(to < self.n, "destination {to} out of range");
+        self.stats.messages_sent += 1;
+        if self.faults.severed.contains(&(from, to))
+            || (self.faults.drop_rate > 0.0 && self.rng.gen_bool(self.faults.drop_rate))
+        {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        let lat = self.latency.sample(&mut self.rng);
+        let floor = &mut self.fifo_floor[from * self.n + to];
+        let at = (self.now + lat).max(*floor);
+        *floor = at;
+        self.seq += 1;
+        self.queue.push(Event {
+            time: at,
+            seq: self.seq,
+            dst: to,
+            payload: Payload::Message { from, msg },
+        });
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.n {
+            let mut outbox = Vec::new();
+            let mut timers = Vec::new();
+            let mut halted = self.halted;
+            {
+                let mut ctx = Context {
+                    me: node,
+                    now: 0,
+                    outbox: &mut outbox,
+                    timers: &mut timers,
+                    halted: &mut halted,
+                };
+                self.procs[node].on_start(&mut ctx);
+            }
+            self.halted = halted;
+            for (to, msg) in outbox {
+                self.enqueue_message(node, to, msg);
+            }
+            for (at, token) in timers {
+                self.seq += 1;
+                self.queue
+                    .push(Event { time: at, seq: self.seq, dst: node, payload: Payload::Timer { token } });
+            }
+        }
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty or
+    /// the simulation was halted.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        if self.halted {
+            return false;
+        }
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        self.now = ev.time;
+        self.stats.end_time = self.now;
+        self.dispatch(ev.dst, ev.payload);
+        true
+    }
+
+    /// Run until no events remain, the deadline passes, or a process calls
+    /// [`Context::halt`]. Returns the number of events processed.
+    pub fn run_until_quiet(&mut self, deadline: Time) -> usize {
+        self.start_if_needed();
+        let mut events = 0usize;
+        while !self.halted {
+            match self.queue.peek() {
+                None => break,
+                Some(ev) if ev.time > deadline => break,
+                Some(_) => {}
+            }
+            if !self.step() {
+                break;
+            }
+            events += 1;
+        }
+        events
+    }
+}
+
+/// A simple record-and-forward process useful in tests and examples: relays
+/// every message to a fixed next hop and keeps a log.
+#[derive(Debug, Default)]
+pub struct Relay {
+    /// Next hop (None = sink).
+    pub next: Option<usize>,
+    /// Log of received payloads.
+    pub log: VecDeque<(usize, i64)>,
+}
+
+impl Process<i64> for Relay {
+    fn on_message(&mut self, from: usize, msg: i64, ctx: &mut Context<i64>) {
+        self.log.push_back((from, msg));
+        if let Some(n) = self.next {
+            ctx.send(n, msg + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pinger {
+        n: usize,
+        received: usize,
+    }
+
+    impl Process<u32> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<u32>) {
+            if ctx.me() == 0 {
+                for to in 1..self.n {
+                    ctx.send(to, 1);
+                }
+            }
+        }
+        fn on_message(&mut self, from: usize, msg: u32, ctx: &mut Context<u32>) {
+            self.received += 1;
+            if msg == 1 {
+                ctx.send(from, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_all_get_pongs() {
+        let n = 5;
+        let procs: Vec<Pinger> = (0..n).map(|_| Pinger { n, received: 0 }).collect();
+        let mut net = Network::new(procs, Latency::Fixed(3));
+        net.run_until_quiet(1000);
+        assert_eq!(net.stats().messages_sent, 2 * (n - 1));
+        assert_eq!(net.process(0).received, n - 1);
+        assert_eq!(net.now(), 6, "two fixed-latency hops");
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_with_jitter() {
+        struct Burst;
+        impl Process<i64> for Burst {
+            fn on_start(&mut self, ctx: &mut Context<i64>) {
+                if ctx.me() == 0 {
+                    for i in 0..20 {
+                        ctx.send(1, i);
+                    }
+                }
+            }
+            fn on_message(&mut self, _f: usize, _m: i64, _c: &mut Context<i64>) {}
+        }
+        struct Sink {
+            got: Vec<i64>,
+        }
+        impl Process<i64> for Sink {
+            fn on_message(&mut self, _f: usize, m: i64, _c: &mut Context<i64>) {
+                self.got.push(m);
+            }
+        }
+        // Heterogeneous processes via enum wrapper.
+        enum P {
+            B(Burst),
+            S(Sink),
+        }
+        impl Process<i64> for P {
+            fn on_start(&mut self, ctx: &mut Context<i64>) {
+                match self {
+                    P::B(b) => b.on_start(ctx),
+                    P::S(_) => {}
+                }
+            }
+            fn on_message(&mut self, f: usize, m: i64, ctx: &mut Context<i64>) {
+                match self {
+                    P::B(b) => b.on_message(f, m, ctx),
+                    P::S(s) => s.on_message(f, m, ctx),
+                }
+            }
+        }
+        let mut net = Network::with_seed(
+            vec![P::B(Burst), P::S(Sink { got: Vec::new() })],
+            Latency::Jittered { base: 1, jitter: 10 },
+            99,
+        );
+        net.run_until_quiet(10_000);
+        let P::S(sink) = net.process(1) else { panic!() };
+        assert_eq!(sink.got, (0..20).collect::<Vec<i64>>(), "FIFO violated");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_schedule() {
+        let run = |seed| {
+            let procs: Vec<Pinger> = (0..4).map(|_| Pinger { n: 4, received: 0 }).collect();
+            let mut net =
+                Network::with_seed(procs, Latency::Jittered { base: 2, jitter: 7 }, seed);
+            net.run_until_quiet(1000);
+            (net.stats().clone(), net.now())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn timers_fire() {
+        struct T {
+            fired: Vec<u64>,
+        }
+        impl Process<()> for T {
+            fn on_start(&mut self, ctx: &mut Context<()>) {
+                ctx.set_timer(10, 1);
+                ctx.set_timer(5, 2);
+            }
+            fn on_message(&mut self, _f: usize, _m: (), _c: &mut Context<()>) {}
+            fn on_timer(&mut self, token: u64, _ctx: &mut Context<()>) {
+                self.fired.push(token);
+            }
+        }
+        let mut net = Network::new(vec![T { fired: Vec::new() }], Latency::Fixed(1));
+        net.run_until_quiet(100);
+        assert_eq!(net.process(0).fired, vec![2, 1], "timer order by time");
+        assert_eq!(net.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn halt_stops_everything() {
+        struct H;
+        impl Process<u8> for H {
+            fn on_start(&mut self, ctx: &mut Context<u8>) {
+                ctx.send(0, 0); // self-message
+            }
+            fn on_message(&mut self, _f: usize, _m: u8, ctx: &mut Context<u8>) {
+                ctx.send(0, 0);
+                ctx.halt();
+            }
+        }
+        let mut net = Network::new(vec![H], Latency::Fixed(1));
+        let events = net.run_until_quiet(1_000_000);
+        assert_eq!(events, 1, "halted after the first delivery");
+    }
+
+    #[test]
+    fn deadline_bounds_run() {
+        let mut net = Network::new(
+            vec![Relay { next: Some(1), log: VecDeque::new() }, Relay { next: Some(0), log: VecDeque::new() }],
+            Latency::Fixed(10),
+        );
+        // Kick off an infinite ping-pong.
+        net.start_if_needed();
+        net.enqueue_message(0, 1, 0);
+        let _ = net.run_until_quiet(100);
+        assert!(net.now() <= 100);
+        assert!(net.stats().messages_delivered >= 9);
+    }
+
+    #[test]
+    fn fault_injection_drops_messages() {
+        let procs: Vec<Pinger> = (0..4).map(|_| Pinger { n: 4, received: 0 }).collect();
+        let mut net = Network::with_seed(procs, Latency::Fixed(1), 3);
+        net.set_faults(FaultPlan::lossy(1.0));
+        net.run_until_quiet(1000);
+        assert_eq!(net.stats().messages_delivered, 0);
+        assert_eq!(net.stats().messages_dropped, net.stats().messages_sent);
+    }
+
+    #[test]
+    fn severed_link_is_one_directional() {
+        let procs: Vec<Pinger> = (0..2).map(|_| Pinger { n: 2, received: 0 }).collect();
+        let mut net = Network::with_seed(procs, Latency::Fixed(1), 3);
+        net.set_faults(FaultPlan { drop_rate: 0.0, severed: vec![(1, 0)] });
+        net.run_until_quiet(1000);
+        // Ping 0→1 arrives; pong 1→0 is cut.
+        assert_eq!(net.process(1).received, 1);
+        assert_eq!(net.process(0).received, 0);
+        assert_eq!(net.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let procs: Vec<Pinger> = (0..6).map(|_| Pinger { n: 6, received: 0 }).collect();
+            let mut net = Network::with_seed(procs, Latency::Fixed(1), seed);
+            net.set_faults(FaultPlan::lossy(0.5));
+            net.run_until_quiet(1000);
+            (net.stats().messages_delivered, net.stats().messages_dropped)
+        };
+        assert_eq!(run(9), run(9));
+        let (delivered, dropped) = run(9);
+        assert!(delivered > 0 && dropped > 0, "0.5 loss should split the traffic");
+    }
+
+    #[test]
+    fn relay_chain_increments() {
+        let mut net = Network::new(
+            vec![
+                Relay { next: Some(1), log: VecDeque::new() },
+                Relay { next: Some(2), log: VecDeque::new() },
+                Relay { next: None, log: VecDeque::new() },
+            ],
+            Latency::Fixed(1),
+        );
+        net.start_if_needed();
+        net.enqueue_message(0, 0, 7);
+        net.run_until_quiet(100);
+        assert_eq!(net.process(2).log.front(), Some(&(1, 9)));
+    }
+}

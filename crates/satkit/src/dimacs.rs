@@ -1,0 +1,155 @@
+//! DIMACS CNF import/export, for debugging and interoperability with other
+//! solvers.
+
+use crate::{Lit, Solver, Var};
+
+/// Error produced when parsing a DIMACS file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// Line number (1-based) where the error occurred.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parse DIMACS CNF text into a fresh [`Solver`].
+///
+/// # Errors
+///
+/// Returns [`DimacsError`] on malformed input (bad header, non-integer
+/// tokens, literal out of the declared range).
+pub fn parse_dimacs(text: &str) -> Result<Solver, DimacsError> {
+    let mut solver = Solver::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(DimacsError {
+                    line: lineno,
+                    message: format!("bad problem line: {line:?}"),
+                });
+            }
+            let nvars: usize = parts[1].parse().map_err(|_| DimacsError {
+                line: lineno,
+                message: format!("bad variable count: {:?}", parts[1]),
+            })?;
+            declared_vars = Some(nvars);
+            solver.reserve_vars(nvars);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let i: i64 = tok.parse().map_err(|_| DimacsError {
+                line: lineno,
+                message: format!("bad literal token: {tok:?}"),
+            })?;
+            if i == 0 {
+                solver.add_clause(current.drain(..));
+            } else {
+                let vi = (i.unsigned_abs() - 1) as usize;
+                if let Some(n) = declared_vars {
+                    if vi >= n {
+                        return Err(DimacsError {
+                            line: lineno,
+                            message: format!("literal {i} out of declared range"),
+                        });
+                    }
+                }
+                solver.reserve_vars(vi + 1);
+                current.push(Lit::new(Var(vi as u32), i > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        solver.add_clause(current.drain(..));
+    }
+    Ok(solver)
+}
+
+/// Serialize a clause list to DIMACS CNF text.
+pub fn to_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p cnf {} {}\n", num_vars, clauses.len()));
+    for c in clauses {
+        for &l in c {
+            let i = l.var().0 as i64 + 1;
+            out.push_str(&format!("{} ", if l.sign() { i } else { -i }));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_sat() {
+        let mut s = parse_dimacs("c comment\np cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(Var(1)), Some(true));
+    }
+
+    #[test]
+    fn parse_unsat() {
+        let mut s = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn parse_trailing_clause_without_zero() {
+        let mut s = parse_dimacs("p cnf 1 1\n1").unwrap();
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(Var(0)), Some(true));
+    }
+
+    #[test]
+    fn parse_rejects_bad_header() {
+        let err = parse_dimacs("p dnf 1 1\n1 0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range() {
+        assert!(parse_dimacs("p cnf 1 1\n2 0\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage_token() {
+        assert!(parse_dimacs("p cnf 1 1\nxyz 0\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let clauses = vec![
+            vec![Lit::pos(Var(0)), Lit::neg(Var(1))],
+            vec![Lit::pos(Var(1))],
+        ];
+        let text = to_dimacs(2, &clauses);
+        let mut s = parse_dimacs(&text).unwrap();
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(Var(0)), Some(true));
+        assert_eq!(s.value(Var(1)), Some(true));
+    }
+
+    #[test]
+    fn error_display() {
+        let err = DimacsError { line: 3, message: "boom".into() };
+        assert_eq!(err.to_string(), "dimacs parse error at line 3: boom");
+    }
+}

@@ -1,0 +1,142 @@
+//! `satkit` — a from-scratch CDCL SAT solver.
+//!
+//! This crate is the decision-procedure substrate for the D-Finder-style
+//! deadlock-freedom check in `bip-verify` (the paper's tool chain discharges
+//! the formula `CI ∧ II ∧ DIS` to an external solver; we build the solver
+//! ourselves, per the reproduction ground rules).
+//!
+//! The solver implements the standard modern architecture:
+//! conflict-driven clause learning (first-UIP), two-watched-literal
+//! propagation, VSIDS-style activity decision heuristic, phase saving, and
+//! Luby restarts.
+//!
+//! # Example
+//!
+//! ```
+//! use satkit::{Solver, Lit};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause([Lit::neg(a)]);
+//! assert!(s.solve().is_sat());
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+mod cnf;
+mod dimacs;
+mod solver;
+
+pub use cnf::CnfBuilder;
+pub use dimacs::{parse_dimacs, to_dimacs, DimacsError};
+pub use solver::{SolveResult, Solver};
+
+/// A propositional variable, identified by a dense index.
+///
+/// Variables are created with [`Solver::new_var`] or [`CnfBuilder::fresh`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index of this variable (0-based).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Build a literal from a variable and a sign (`true` = positive).
+    pub fn new(v: Var, sign: bool) -> Lit {
+        if sign {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The variable underlying this literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is a positive literal.
+    pub fn sign(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index for watch/assignment tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(i: usize) -> Lit {
+        Lit(i as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.sign() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "!x{}", self.var().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrip() {
+        let v = Var(7);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert!(Lit::pos(v).sign());
+        assert!(!Lit::neg(v).sign());
+        assert_eq!(!Lit::pos(v), Lit::neg(v));
+        assert_eq!(!(!Lit::pos(v)), Lit::pos(v));
+    }
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Lit::pos(Var(3)).to_string(), "x3");
+        assert_eq!(Lit::neg(Var(3)).to_string(), "!x3");
+        assert_eq!(Var(3).to_string(), "x3");
+    }
+
+    #[test]
+    fn literal_ordering_groups_by_var() {
+        assert!(Lit::pos(Var(0)) < Lit::neg(Var(0)));
+        assert!(Lit::neg(Var(0)) < Lit::pos(Var(1)));
+    }
+}

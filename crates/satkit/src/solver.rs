@@ -1,0 +1,837 @@
+//! The CDCL solver core.
+
+use crate::{Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// `true` if the result is [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        matches!(self, SolveResult::Sat)
+    }
+
+    /// `true` if the result is [`SolveResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    True,
+    False,
+    Unassigned,
+}
+
+/// Reference to a clause in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ClauseRef(u32);
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    /// Activity for clause-DB reduction.
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: ClauseRef,
+    /// The other watched literal; lets us skip clause inspection when it is
+    /// already true (blocking literal optimization).
+    blocker: Lit,
+}
+
+/// Per-variable trail bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct VarInfo {
+    reason: Option<ClauseRef>,
+    level: u32,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// See the crate docs for an example. Clauses may be added at any time before
+/// [`Solver::solve`]; solving is restartable (assumptions are supported via
+/// [`Solver::solve_with`]).
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// watches[lit.index()] = clauses watching `lit` (i.e. containing `!lit`
+    /// watched... we watch the literal itself: watches are indexed by the
+    /// *falsified* literal).
+    watches: Vec<Vec<Watch>>,
+    assigns: Vec<Value>,
+    var_info: Vec<VarInfo>,
+    /// Saved phases for phase-saving.
+    phase: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// Set when an empty clause (or conflicting units) was added.
+    ok: bool,
+    /// Statistics: number of conflicts encountered so far.
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+}
+
+impl Solver {
+    /// Create an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learnt) currently in the database.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of conflicts encountered across all `solve` calls.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of decisions made across all `solve` calls.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Number of unit propagations performed across all `solve` calls.
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Create a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(Value::Unassigned);
+        self.var_info.push(VarInfo { reason: None, level: 0 });
+        self.phase.push(false);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Ensure variables `0..n` exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Add a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver is already known to be unsatisfiable
+    /// (adding an empty clause, or a unit contradicting an earlier unit).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        if !self.ok {
+            return false;
+        }
+        // Incremental use: drop any leftover decisions from a previous solve
+        // (this invalidates the current model, so read it first).
+        self.cancel_until(0);
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort();
+        lits.dedup();
+        // Remove false literals; drop tautologies and satisfied clauses.
+        let mut i = 0;
+        while i + 1 < lits.len() {
+            if lits[i].var() == lits[i + 1].var() {
+                return true; // tautology: contains l and !l
+            }
+            i += 1;
+        }
+        lits.retain(|&l| self.lit_value(l) != Value::False);
+        if lits.iter().any(|&l| self.lit_value(l) == Value::True) {
+            return true;
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cr = ClauseRef(self.clauses.len() as u32);
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.clauses.push(Clause { lits, learnt, activity: 0.0 });
+        // A clause is watched by the negations of its first two literals:
+        // when `!w0` is assigned (w0 becomes false) we visit the clause.
+        self.watches[(!w0).index()].push(Watch { clause: cr, blocker: w1 });
+        self.watches[(!w1).index()].push(Watch { clause: cr, blocker: w0 });
+        cr
+    }
+
+    fn lit_value(&self, l: Lit) -> Value {
+        match self.assigns[l.var().index()] {
+            Value::Unassigned => Value::Unassigned,
+            Value::True => {
+                if l.sign() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+            Value::False => {
+                if l.sign() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+        }
+    }
+
+    /// The model value of `v` after a [`SolveResult::Sat`] answer.
+    ///
+    /// Returns `None` if the variable is unassigned (possible for variables
+    /// created after solving, or before any solve).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assigns[v.index()] {
+            Value::True => Some(true),
+            Value::False => Some(false),
+            Value::Unassigned => None,
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), Value::Unassigned);
+        self.assigns[l.var().index()] = if l.sign() { Value::True } else { Value::False };
+        self.var_info[l.var().index()] = VarInfo { reason, level: self.decision_level() };
+        self.trail.push(l);
+    }
+
+    /// Propagate all enqueued assignments. Returns the conflicting clause, if
+    /// any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            // Visit clauses watching !p (p just became true, so !p is false).
+            let false_lit = !p;
+            let mut i = 0;
+            let mut watches = std::mem::take(&mut self.watches[p.index()]);
+            // Note: watches for literal `q` are stored at index of `!q`... we
+            // store at (!w).index() in attach, so watches[p.index()] holds
+            // clauses in which `!p`... Let us re-derive: attach pushes to
+            // watches[(!w0).index()] where w0 is in the clause. When p is
+            // assigned true, literal !p is falsified; clauses containing !p
+            // as a watched literal live in watches[(!(!p)).index()] =
+            // watches[p.index()]. Correct.
+            'watches: while i < watches.len() {
+                let w = watches[i];
+                if self.lit_value(w.blocker) == Value::True {
+                    i += 1;
+                    continue;
+                }
+                let cr = w.clause;
+                // Find the falsified watched literal in the clause and try to
+                // move the watch elsewhere.
+                {
+                    let clause = &mut self.clauses[cr.0 as usize];
+                    // Normalize: put the falsified literal at position 1.
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], false_lit);
+                }
+                let first = self.clauses[cr.0 as usize].lits[0];
+                if first != w.blocker && self.lit_value(first) == Value::True {
+                    watches[i] = Watch { clause: cr, blocker: first };
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cr.0 as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cr.0 as usize].lits[k];
+                    if self.lit_value(lk) != Value::False {
+                        self.clauses[cr.0 as usize].lits.swap(1, k);
+                        self.watches[(!lk).index()].push(Watch { clause: cr, blocker: first });
+                        watches.swap_remove(i);
+                        continue 'watches;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.lit_value(first) == Value::False {
+                    // Conflict. Restore remaining watches and bail out.
+                    self.watches[p.index()] = watches;
+                    self.qhead = self.trail.len();
+                    return Some(cr);
+                }
+                self.unchecked_enqueue(first, Some(cr));
+                i += 1;
+            }
+            self.watches[p.index()] = watches;
+        }
+        None
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn clause_bump(&mut self, cr: ClauseRef) {
+        let c = &mut self.clauses[cr.0 as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_index(0)]; // placeholder for UIP
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = Some(confl);
+
+        loop {
+            let cr = confl.expect("conflict analysis requires a reason");
+            self.clause_bump(cr);
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[cr.0 as usize].lits.len() {
+                let q = self.clauses[cr.0 as usize].lits[k];
+                let vi = q.var().index();
+                let lvl = self.var_info[vi].level;
+                if !seen[vi] && lvl > 0 {
+                    seen[vi] = true;
+                    self.var_bump(q.var());
+                    if lvl >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to look at.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found trail literal").var();
+            seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("UIP literal");
+                break;
+            }
+            confl = self.var_info[pv.index()].reason;
+        }
+
+        // Clause minimization: drop literals implied by the rest.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| {
+                let vi = l.var().index();
+                match self.var_info[vi].reason {
+                    None => true,
+                    Some(r) => {
+                        // Keep unless every other literal of the reason is seen.
+                        self.clauses[r.0 as usize]
+                            .lits
+                            .iter()
+                            .skip(1)
+                            .any(|&q| !seen[q.var().index()] && self.var_info[q.var().index()].level > 0)
+                    }
+                }
+            })
+            .collect();
+        let mut minimized = vec![learnt[0]];
+        minimized.extend(keep);
+
+        // Backtrack level = max level among non-UIP literals.
+        let bt = minimized[1..]
+            .iter()
+            .map(|&l| self.var_info[l.var().index()].level)
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backtrack level in position 1 (second watch).
+        if minimized.len() > 1 {
+            let pos = minimized[1..]
+                .iter()
+                .position(|&l| self.var_info[l.var().index()].level == bt)
+                .expect("literal at backtrack level")
+                + 1;
+            minimized.swap(1, pos);
+        }
+        (minimized, bt)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for k in (lim..self.trail.len()).rev() {
+            let l = self.trail[k];
+            let vi = l.var().index();
+            self.phase[vi] = l.sign();
+            self.assigns[vi] = Value::Unassigned;
+            self.var_info[vi].reason = None;
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        // Linear scan weighted by activity; simple but adequate for our sizes.
+        let mut best: Option<(f64, Var)> = None;
+        for v in 0..self.num_vars() {
+            if self.assigns[v] == Value::Unassigned {
+                let a = self.activity[v];
+                match best {
+                    Some((ba, _)) if ba >= a => {}
+                    _ => best = Some((a, Var(v as u32))),
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Reduce the learnt-clause database, keeping the more active half.
+    fn reduce_db(&mut self) {
+        // Collect learnt clause indices sorted by activity.
+        let mut learnt: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt && self.clauses[i].lits.len() > 2)
+            .collect();
+        if learnt.len() < 100 {
+            return;
+        }
+        learnt.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let drop_set: std::collections::HashSet<usize> =
+            learnt[..learnt.len() / 2].iter().copied().collect();
+        // A clause is locked if it is the reason of an assignment.
+        let locked: std::collections::HashSet<usize> = self
+            .var_info
+            .iter()
+            .filter_map(|vi| vi.reason.map(|r| r.0 as usize))
+            .collect();
+        // Rebuild the clause arena, remapping references.
+        let mut remap: Vec<Option<u32>> = vec![None; self.clauses.len()];
+        let mut new_clauses = Vec::with_capacity(self.clauses.len());
+        for (i, c) in self.clauses.iter().enumerate() {
+            if drop_set.contains(&i) && !locked.contains(&i) {
+                continue;
+            }
+            remap[i] = Some(new_clauses.len() as u32);
+            new_clauses.push(c.clone());
+        }
+        self.clauses = new_clauses;
+        for vi in &mut self.var_info {
+            if let Some(r) = vi.reason {
+                vi.reason = remap[r.0 as usize].map(ClauseRef);
+            }
+        }
+        // Rebuild watches.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            let cr = ClauseRef(i as u32);
+            let w0 = c.lits[0];
+            let w1 = c.lits[1];
+            self.watches[(!w0).index()].push(Watch { clause: cr, blocker: w1 });
+            self.watches[(!w1).index()].push(Watch { clause: cr, blocker: w0 });
+        }
+    }
+
+    /// Solve the formula. Returns [`SolveResult::Sat`] or
+    /// [`SolveResult::Unsat`].
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solve under the given assumptions (literals forced true for this call
+    /// only).
+    ///
+    /// Assumption handling is by restart: the assumptions are decided first
+    /// at successive levels; a conflict below the assumption levels means
+    /// UNSAT under assumptions.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        let mut restart_count = 0u32;
+        let mut conflicts_until_restart = luby(restart_count) * 64;
+        let mut conflicts_this_restart = 0u64;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // Conflict within assumptions (or at root): UNSAT.
+                    if assumptions.is_empty() || self.decision_level() == 0 {
+                        if self.decision_level() == 0 {
+                            self.ok = false;
+                        }
+                        self.cancel_until(0);
+                        return SolveResult::Unsat;
+                    }
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                let bt = bt.max(assumptions.len() as u32).min(self.decision_level() - 1);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    if self.lit_value(learnt[0]) == Value::False {
+                        // Asserting unit contradicts assumptions.
+                        self.cancel_until(0);
+                        if assumptions.is_empty() {
+                            self.ok = false;
+                        }
+                        return SolveResult::Unsat;
+                    }
+                    if self.lit_value(learnt[0]) == Value::Unassigned {
+                        self.unchecked_enqueue(learnt[0], None);
+                    }
+                } else {
+                    let asserting = learnt[0];
+                    let cr = self.attach_clause(learnt, true);
+                    if self.lit_value(asserting) == Value::Unassigned {
+                        self.unchecked_enqueue(asserting, Some(cr));
+                    }
+                }
+                self.var_decay();
+                self.cla_inc /= 0.999;
+            } else {
+                if conflicts_this_restart >= conflicts_until_restart {
+                    restart_count += 1;
+                    conflicts_until_restart = luby(restart_count) * 64;
+                    conflicts_this_restart = 0;
+                    self.cancel_until(assumptions.len() as u32);
+                }
+                if self.conflicts % 4096 == 4095 {
+                    self.reduce_db();
+                }
+                // Enqueue assumptions first.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        Value::True => {
+                            // Already satisfied: open an empty level to keep
+                            // indices aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Value::False => {
+                            self.cancel_until(0);
+                            return SolveResult::Unsat;
+                        }
+                        Value::Unassigned => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SolveResult::Sat,
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let l = Lit::new(v, self.phase[v.index()]);
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+fn luby(i: u32) -> u64 {
+    let mut k = 1u32;
+    while (1u64 << k) < (i as u64 + 2) {
+        k += 1;
+    }
+    let mut i = i as u64;
+    let mut kk = k;
+    loop {
+        if i + 2 == (1 << kk) {
+            return 1 << (kk - 1);
+        }
+        if i + 1 < (1 << (kk - 1)) {
+            kk -= 1;
+            continue;
+        }
+        i -= (1 << (kk - 1)) - 1;
+        kk = 1;
+        while (1u64 << kk) < (i + 2) {
+            kk += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32) -> Lit {
+        let v = Var((i.abs() - 1) as u32);
+        Lit::new(v, i > 0)
+    }
+
+    fn solver_with(nvars: usize, clauses: &[&[i32]]) -> Solver {
+        let mut s = Solver::new();
+        s.reserve_vars(nvars);
+        for c in clauses {
+            s.add_clause(c.iter().map(|&i| lit(i)));
+        }
+        s
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn single_unit() {
+        let mut s = solver_with(1, &[&[1]]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(Var(0)), Some(true));
+    }
+
+    #[test]
+    fn contradicting_units_unsat() {
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = solver_with(1, &[&[1, -1]]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // a, a->b, b->c  (as clauses: a; !a|b; !b|c)
+        let mut s = solver_with(3, &[&[1], &[-1, 2], &[-2, 3]]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(Var(0)), Some(true));
+        assert_eq!(s.value(Var(1)), Some(true));
+        assert_eq!(s.value(Var(2)), Some(true));
+    }
+
+    #[test]
+    fn unsat_triangle() {
+        // (a|b) & (!a|b) & (a|!b) & (!a|!b) is UNSAT.
+        let mut s = solver_with(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn requires_learning() {
+        // XOR-ish structure forcing backtracking.
+        let mut s = solver_with(
+            4,
+            &[
+                &[1, 2],
+                &[-1, 3],
+                &[-2, 3],
+                &[-3, 4],
+                &[-4, -1, -2, 3],
+                &[-3, -4, 1, 2],
+            ],
+        );
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{ij}: pigeon i in hole j; i in 0..3, j in 0..2.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_5_into_5_sat() {
+        let n = 5;
+        let mut s = Solver::new();
+        let mut p = vec![vec![Var(0); n]; n];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..n {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(s.solve().is_sat());
+        // Model must be a valid assignment.
+        for j in 0..n {
+            let cnt = (0..n).filter(|&i| s.value(p[i][j]) == Some(true)).count();
+            assert!(cnt <= 1, "hole {j} hosts {cnt} pigeons");
+        }
+    }
+
+    #[test]
+    fn assumptions_sat_then_unsat() {
+        let mut s = solver_with(2, &[&[-1, 2]]); // a -> b
+        assert!(s.solve_with(&[lit(1)]).is_sat());
+        // Under a & !b it must be UNSAT, but the formula itself stays SAT.
+        assert!(s.solve_with(&[lit(1), lit(-2)]).is_unsat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_conflicting_directly() {
+        let mut s = solver_with(1, &[]);
+        assert!(s.solve_with(&[lit(1), lit(-1)]).is_unsat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_random() {
+        // Deterministic pseudo-random 3-SAT near/below the phase transition;
+        // check the returned model actually satisfies the formula.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for round in 0..20 {
+            let nvars = 20;
+            let nclauses = 60 + round;
+            let mut clauses: Vec<Vec<i32>> = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % nvars as u32) as i32 + 1;
+                    let sign = if next() % 2 == 0 { 1 } else { -1 };
+                    c.push(v * sign);
+                }
+                clauses.push(c);
+            }
+            let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+            let mut s = solver_with(nvars, &refs);
+            if s.solve().is_sat() {
+                for c in &clauses {
+                    let ok = c.iter().any(|&i| {
+                        let val = s.value(Var((i.abs() - 1) as u32)).unwrap_or(false);
+                        (i > 0) == val
+                    });
+                    assert!(ok, "model does not satisfy clause {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let want = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(super::luby(i as u32), w, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = solver_with(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        let _ = s.solve();
+        assert!(s.conflicts() > 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The full rigorous design flow of Fig. 5.6, in one run:
+//!
+//! 1. application software in a DSL (mini-Lustre)          — requirements
+//! 2. embedding into BIP (χ/σ)                             — semantic coherency
+//! 3. D-Finder verification of the application model        — correctness
+//! 4. interaction refinement to Send/Receive (Fig. 5.4)     — vertical step
+//! 5. equivalence certificate for the refinement            — accountability
+//! 6. deployment on a simulated distributed platform        — implementation
+//!
+//! ```sh
+//! cargo run --example design_flow
+//! ```
+
+use bip_distributed::deploy::single_block;
+use bip_distributed::{deploy, refine_interactions, Crp};
+use bip_embed::{embed_program, integrator};
+use bip_verify::{refines, DFinder};
+use netsim::Latency;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1–2. Application software → BIP model.
+    let program = integrator();
+    let embedded = embed_program(&program)?;
+    println!("[embed]    {} atoms, {} connectors", embedded.system.num_components(), embedded.system.num_connectors());
+
+    // 3. Verify the application model.
+    let df = DFinder::new(&embedded.system).check_deadlock_freedom();
+    println!("[verify]   D-Finder: {:?}", df.verdict);
+
+    // 4–5. Source-to-source refinement + certificate, on a control-only
+    // co-design artifact: a conflict-free 3-party barrier. The Fig. 5.4
+    // refinement is provably correct exactly when interactions do not
+    // conflict — the certificate below passes.
+    let barrier = {
+        let worker = bip_core::AtomBuilder::new("worker")
+            .port("sync")
+            .location("run")
+            .initial("run")
+            .transition("run", "sync", "run")
+            .build()?;
+        let mut sb = bip_core::SystemBuilder::new();
+        let a = sb.add_instance("w0", &worker);
+        let b = sb.add_instance("w1", &worker);
+        let c = sb.add_instance("w2", &worker);
+        sb.add_connector(bip_core::ConnectorBuilder::rendezvous(
+            "barrier",
+            [(a, "sync"), (b, "sync"), (c, "sync")],
+        ));
+        sb.build()?
+    };
+    let refined = refine_interactions(&barrier)?;
+    let cert = refines(&barrier, &refined.system, refined.rename(), 500_000);
+    println!(
+        "[refine]   S/R refinement of the barrier: trace-included = {}, refines = {}",
+        cert.trace_included,
+        cert.refines()
+    );
+
+    // Contrast (Fig. 5.4 bottom): the same naive refinement applied to a
+    // system with *conflicting* interactions is rejected by the checker —
+    // which is why the deployment below uses the 3-layer protocol instead.
+    let manager = bip_core::dining_philosophers(2, false)?;
+    let naive = refine_interactions(&manager)?;
+    let bad = refines(&manager, &naive.system, naive.rename(), 2_000_000);
+    println!(
+        "[refine]   naive refinement under conflicts: trace-included = {} (cex {:?}) — needs layer 3",
+        bad.trace_included, bad.counterexample
+    );
+    let manager = bip_core::dining_philosophers(3, false)?;
+
+    // 6. Deploy the manager on the simulated network.
+    let run = deploy(&manager, &single_block(&manager), Crp::Centralized, 30_000, Latency::Fixed(3), 9);
+    println!(
+        "[deploy]   {} interactions in {} simulated ticks ({} messages)",
+        run.total_interactions, run.end_time, run.messages
+    );
+
+    // Accountability: which requirements are satisfied?
+    println!("\naccountability summary:");
+    println!("  R1 stream semantics preserved by embedding ... checked (bip-embed tests)");
+    println!("  R2 application model deadlock-free ........... {}", df.verdict.is_deadlock_free());
+    println!("  R3 refinement certificate (≥) ................ {}", cert.refines());
+    println!("  R4 distributed run valid ..................... replayed in tests");
+    Ok(())
+}

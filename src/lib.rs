@@ -1,0 +1,13 @@
+//! Umbrella crate for the *Rigorous System Design* reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the individual crates for the real APIs.
+pub use bip_arch as arch;
+pub use bip_core as core;
+pub use bip_distributed as distributed;
+pub use bip_embed as embed;
+pub use bip_engine as engine;
+pub use bip_rt as rt;
+pub use bip_verify as verify;
+pub use netsim;
+pub use satkit;

@@ -1,0 +1,129 @@
+//! Integration tests for experiment E1: compositional vs monolithic
+//! verification agree, and the cost gap has the claimed shape.
+
+use bip_core::dining_philosophers;
+use bip_verify::reach::explore;
+use bip_verify::DFinder;
+
+#[test]
+fn verdicts_agree_with_exact_checker_across_family() {
+    for n in 2..=6 {
+        for &two_phase in &[false, true] {
+            let sys = dining_philosophers(n, two_phase).unwrap();
+            let df = DFinder::new(&sys).check_deadlock_freedom();
+            let exact = explore(&sys, 10_000_000);
+            assert!(exact.complete, "n={n}");
+            if df.verdict.is_deadlock_free() {
+                assert!(exact.deadlocks.is_empty(), "unsound at n={n} two_phase={two_phase}");
+            } else {
+                // Our candidates are allowed to be spurious in general, but
+                // on this family they never are:
+                assert!(!exact.deadlocks.is_empty(), "imprecise at n={n} two_phase={two_phase}");
+            }
+        }
+    }
+}
+
+#[test]
+fn monolithic_state_count_grows_exponentially() {
+    // Conservative variant: reachable states are independent sets on a
+    // cycle (Lucas numbers, ratio → φ ≈ 1.62); two-phase adds the hasL
+    // interleavings and grows faster. Both are exponential.
+    for &two_phase in &[false, true] {
+        let counts: Vec<usize> = (2..=7)
+            .map(|n| explore(&dining_philosophers(n, two_phase).unwrap(), 10_000_000).states)
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[1] as f64 / w[0] as f64 >= 1.25, "two_phase={two_phase}: {counts:?}");
+        }
+        assert!(
+            *counts.last().unwrap() as f64 / counts[0] as f64 >= 8.0,
+            "two_phase={two_phase}: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn compositional_abstraction_grows_linearly() {
+    let sizes: Vec<usize> = (2..=8)
+        .map(|n| {
+            let sys = dining_philosophers(n, false).unwrap();
+            let df = DFinder::new(&sys);
+            df.abstraction().num_places
+        })
+        .collect();
+    // Places = 4n: exactly linear.
+    for (i, &s) in sizes.iter().enumerate() {
+        assert_eq!(s, 4 * (i + 2));
+    }
+}
+
+#[test]
+fn gas_station_benchmark() {
+    // The other standard D-Finder benchmark: one pump, k customers, an
+    // operator. Customers prepay the operator, then pump.
+    for k in 2..=4 {
+        let sys = gas_station(k);
+        let df = DFinder::new(&sys).check_deadlock_freedom();
+        let exact = explore(&sys, 1_000_000);
+        assert!(exact.complete);
+        assert!(exact.deadlocks.is_empty());
+        assert!(df.verdict.is_deadlock_free(), "k={k}: {df:?}");
+    }
+}
+
+fn gas_station(customers: usize) -> bip_core::System {
+    use bip_core::{AtomBuilder, ConnectorBuilder, SystemBuilder};
+    let operator = AtomBuilder::new("operator")
+        .port("prepay")
+        .port("change")
+        .location("idle")
+        .location("serving")
+        .initial("idle")
+        .transition("idle", "prepay", "serving")
+        .transition("serving", "change", "idle")
+        .build()
+        .unwrap();
+    let pump = AtomBuilder::new("pump")
+        .port("start")
+        .port("finish")
+        .location("free")
+        .location("pumping")
+        .initial("free")
+        .transition("free", "start", "pumping")
+        .transition("pumping", "finish", "free")
+        .build()
+        .unwrap();
+    let customer = AtomBuilder::new("customer")
+        .port("pay")
+        .port("pump")
+        .port("done")
+        .location("arrive")
+        .location("paid")
+        .location("fueling")
+        .initial("arrive")
+        .transition("arrive", "pay", "paid")
+        .transition("paid", "pump", "fueling")
+        .transition("fueling", "done", "arrive")
+        .build()
+        .unwrap();
+    let mut sb = SystemBuilder::new();
+    let op = sb.add_instance("op", &operator);
+    let pu = sb.add_instance("pump", &pump);
+    for i in 0..customers {
+        let c = sb.add_instance(format!("cust{i}"), &customer);
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            format!("prepay{i}"),
+            [(c, "pay"), (op, "prepay")],
+        ));
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            format!("start{i}"),
+            [(c, "pump"), (pu, "start"), (op, "change")],
+        ));
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            format!("finish{i}"),
+            [(c, "done"), (pu, "finish")],
+        ));
+    }
+    sb.build().unwrap()
+}

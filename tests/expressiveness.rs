@@ -1,0 +1,23 @@
+//! Integration tests for experiment E3: glue expressiveness (§5.3.2, [5]).
+
+use bip_core::expressiveness::{
+    priorities_express_broadcast, refute_broadcast_with_interactions,
+};
+
+#[test]
+fn interaction_only_glue_cannot_express_broadcast() {
+    let r = refute_broadcast_with_interactions();
+    assert!(r.glues_checked >= 7);
+    assert_eq!(
+        r.equivalent_found, 0,
+        "the paper's claim: interactions alone lose universal expressiveness"
+    );
+}
+
+#[test]
+fn interactions_plus_priorities_recover_it() {
+    assert!(
+        priorities_express_broadcast(),
+        "BIP glue (interactions + priorities) matches the broadcast semantics"
+    );
+}

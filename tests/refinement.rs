@@ -1,0 +1,42 @@
+//! Integration tests for experiment E6: Fig. 5.4 interaction refinement.
+
+use bip_distributed::fig54::fig54_conflict_pair;
+use bip_distributed::refine_interactions;
+use bip_verify::reach::{explore, find_deadlock};
+use bip_verify::{refines, weak_trace_equivalent};
+
+#[test]
+fn top_half_single_interaction_equivalent() {
+    let t = bip_core::AtomBuilder::new("t")
+        .port("p")
+        .location("l")
+        .initial("l")
+        .transition("l", "p", "l")
+        .build()
+        .unwrap();
+    let mut sb = bip_core::SystemBuilder::new();
+    let c1 = sb.add_instance("C1", &t);
+    let c2 = sb.add_instance("C2", &t);
+    sb.add_connector(bip_core::ConnectorBuilder::rendezvous("a", [(c1, "p"), (c2, "p")]));
+    let orig = sb.build().unwrap();
+    let refined = refine_interactions(&orig).unwrap();
+    assert!(weak_trace_equivalent(&orig, &refined.system, &refined.rename(), 100_000));
+    assert!(refines(&orig, &refined.system, refined.rename(), 100_000).refines());
+}
+
+#[test]
+fn bottom_half_conflicts_break_stability() {
+    let (orig, refined) = fig54_conflict_pair();
+    assert!(explore(&orig, 100_000).deadlock_free());
+    let dead = find_deadlock(&refined.system, 500_000);
+    assert!(dead.is_some(), "circular str commitment must deadlock");
+    assert!(!refines(&orig, &refined.system, refined.rename(), 500_000).refines());
+}
+
+#[test]
+fn sr_systems_are_binary_only() {
+    let (_, refined) = fig54_conflict_pair();
+    for c in refined.system.connectors() {
+        assert!(c.ports.len() <= 2, "S/R-BIP must use binary interactions: {}", c.name);
+    }
+}
