@@ -31,7 +31,11 @@ fn table() {
             rep.places,
             rep.traps,
             rep.linear_invariants,
-            if rep.verdict.is_deadlock_free() { "df-free" } else { "potential" },
+            if rep.verdict.is_deadlock_free() {
+                "df-free"
+            } else {
+                "potential"
+            },
         );
     }
     println!();
@@ -47,7 +51,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| explore(sys, 10_000_000).states)
         });
         g.bench_with_input(BenchmarkId::new("dfinder", n), &sys, |b, sys| {
-            b.iter(|| DFinder::new(sys).check_deadlock_freedom().verdict.is_deadlock_free())
+            b.iter(|| {
+                DFinder::new(sys)
+                    .check_deadlock_freedom()
+                    .verdict
+                    .is_deadlock_free()
+            })
         });
     }
     g.finish();

@@ -74,7 +74,12 @@ fn bench(c: &mut Criterion) {
         });
         // From scratch on the full system.
         g.bench_with_input(BenchmarkId::new("from_scratch", n), &full, |b, full| {
-            b.iter(|| DFinder::new(full).check_deadlock_freedom().verdict.is_deadlock_free())
+            b.iter(|| {
+                DFinder::new(full)
+                    .check_deadlock_freedom()
+                    .verdict
+                    .is_deadlock_free()
+            })
         });
     }
     g.finish();

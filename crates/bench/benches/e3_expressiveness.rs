@@ -2,18 +2,25 @@
 //! interaction-only glues cannot express broadcast, and the positive
 //! construction with priorities.
 
-use bip_core::expressiveness::{
-    priorities_express_broadcast, refute_broadcast_with_interactions,
-};
+use bip_core::expressiveness::{priorities_express_broadcast, refute_broadcast_with_interactions};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn table() {
     let r = refute_broadcast_with_interactions();
     println!("\nE3: glue expressiveness");
     println!("  interaction-only glues enumerated : {}", r.glues_checked);
-    println!("  bisimilar to broadcast reference  : {}", r.equivalent_found);
-    println!("  reference LTS states              : {}", r.reference_states);
-    println!("  priorities recover broadcast      : {}", priorities_express_broadcast());
+    println!(
+        "  bisimilar to broadcast reference  : {}",
+        r.equivalent_found
+    );
+    println!(
+        "  reference LTS states              : {}",
+        r.reference_states
+    );
+    println!(
+        "  priorities recover broadcast      : {}",
+        priorities_express_broadcast()
+    );
     println!();
 }
 
@@ -24,7 +31,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("exhaustive_refutation", |b| {
         b.iter(|| refute_broadcast_with_interactions().equivalent_found)
     });
-    g.bench_function("priority_construction", |b| b.iter(priorities_express_broadcast));
+    g.bench_function("priority_construction", |b| {
+        b.iter(priorities_express_broadcast)
+    });
     g.finish();
 }
 

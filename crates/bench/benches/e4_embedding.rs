@@ -8,7 +8,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn table() {
     println!("\nE4: embedded model size vs program size");
-    println!("{:>6} {:>7} {:>11} {:>12} {:>12}", "nodes", "atoms", "connectors", "transitions", "trans/node");
+    println!(
+        "{:>6} {:>7} {:>11} {:>12} {:>12}",
+        "nodes", "atoms", "connectors", "transitions", "trans/node"
+    );
     for k in [4usize, 8, 16, 32, 64, 128, 256] {
         let p = Program::random(k, 7);
         let e = embed_program(&p).unwrap();

@@ -17,7 +17,9 @@ fn barrier(n: usize) -> bip_core::System {
         .build()
         .unwrap();
     let mut sb = bip_core::SystemBuilder::new();
-    let ids: Vec<usize> = (0..n).map(|i| sb.add_instance(format!("w{i}"), &w)).collect();
+    let ids: Vec<usize> = (0..n)
+        .map(|i| sb.add_instance(format!("w{i}"), &w))
+        .collect();
     sb.add_connector(bip_core::ConnectorBuilder::rendezvous(
         "barrier",
         ids.iter().map(|&i| (i, "sync".to_string())),
@@ -61,7 +63,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6");
     g.sample_size(10);
     let orig = barrier(3);
-    g.bench_function("refine_3_party", |b| b.iter(|| refine_interactions(&orig).unwrap()));
+    g.bench_function("refine_3_party", |b| {
+        b.iter(|| refine_interactions(&orig).unwrap())
+    });
     let refined = refine_interactions(&orig).unwrap();
     g.bench_function("certificate_3_party", |b| {
         b.iter(|| refines(&orig, &refined.system, refined.rename(), 500_000).refines())

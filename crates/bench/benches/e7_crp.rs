@@ -45,12 +45,16 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let sys = dining_philosophers(6, false).unwrap();
     for crp in Crp::all() {
-        g.bench_with_input(BenchmarkId::new("deploy_6phil_10k", crp.name()), &crp, |b, &crp| {
-            b.iter(|| {
-                deploy(&sys, &k_blocks(&sys, 3), crp, 10_000, Latency::Fixed(2), 5)
-                    .total_interactions
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("deploy_6phil_10k", crp.name()),
+            &crp,
+            |b, &crp| {
+                b.iter(|| {
+                    deploy(&sys, &k_blocks(&sys, 3), crp, 10_000, Latency::Fixed(2), 5)
+                        .total_interactions
+                })
+            },
+        );
     }
     g.finish();
 }

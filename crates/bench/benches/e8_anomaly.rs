@@ -13,7 +13,12 @@ fn table() {
     );
     for delta in 0..=3u64 {
         let s = shop.speed_up(delta);
-        println!("{:>6} {:>16} {:>20}", delta, greedy_makespan(&s), partitioned_makespan(&s));
+        println!(
+            "{:>6} {:>16} {:>20}",
+            delta,
+            greedy_makespan(&s),
+            partitioned_makespan(&s)
+        );
     }
     println!("  (greedy: Δ=1 is LONGER than Δ=0 — the anomaly; partitioned: monotone)\n");
 }
@@ -23,7 +28,9 @@ fn bench(c: &mut Criterion) {
     let shop = JobShop::graham();
     let mut g = c.benchmark_group("e8");
     g.bench_function("greedy_schedule", |b| b.iter(|| greedy_makespan(&shop)));
-    g.bench_function("partitioned_schedule", |b| b.iter(|| partitioned_makespan(&shop)));
+    g.bench_function("partitioned_schedule", |b| {
+        b.iter(|| partitioned_makespan(&shop))
+    });
     g.finish();
 }
 

@@ -7,10 +7,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn table() {
     println!("\nE9: architecture application + verification (clients n)");
-    println!("{:>3} {:<14} {:>8} {:>10} {:>9}", "n", "architecture", "states", "prop holds", "df-free");
+    println!(
+        "{:>3} {:<14} {:>8} {:>10} {:>9}",
+        "n", "architecture", "states", "prop holds", "df-free"
+    );
     for n in [2usize, 3, 4, 5] {
         let base = clients(n);
-        for arch in [mutual_exclusion(client_critical(n)), token_ring(client_critical(n))] {
+        for arch in [
+            mutual_exclusion(client_critical(n)),
+            token_ring(client_critical(n)),
+        ] {
             let sys = arch.apply(&base).unwrap();
             let prop = arch.characteristic_property(&sys);
             let inv = check_invariant(&sys, &prop, 2_000_000);

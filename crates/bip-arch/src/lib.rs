@@ -137,10 +137,7 @@ pub fn mutual_exclusion(critical: Vec<(usize, String, String, String)>) -> Archi
             out
         }),
         property: Box::new(move |sys| {
-            StatePred::mutex(
-                sys,
-                crit2.iter().map(|(c, _, _, loc)| (*c, loc.as_str())),
-            )
+            StatePred::mutex(sys, crit2.iter().map(|(c, _, _, loc)| (*c, loc.as_str())))
         }),
     }
 }
@@ -162,7 +159,11 @@ pub fn token_ring(critical: Vec<(usize, String, String, String)>) -> Architectur
     ab = ab.initial("at0");
     for i in 0..n {
         ab = ab.transition(format!("at{i}"), format!("acquire{i}"), format!("held{i}"));
-        ab = ab.transition(format!("held{i}"), format!("release{i}"), format!("at{}", (i + 1) % n));
+        ab = ab.transition(
+            format!("held{i}"),
+            format!("release{i}"),
+            format!("at{}", (i + 1) % n),
+        );
     }
     let ring = ab.build().expect("ring coordinator");
     let crit = critical.clone();
@@ -192,10 +193,7 @@ pub fn token_ring(critical: Vec<(usize, String, String, String)>) -> Architectur
             out
         }),
         property: Box::new(move |sys| {
-            StatePred::mutex(
-                sys,
-                crit2.iter().map(|(c, _, _, loc)| (*c, loc.as_str())),
-            )
+            StatePred::mutex(sys, crit2.iter().map(|(c, _, _, loc)| (*c, loc.as_str())))
         }),
     }
 }
@@ -246,15 +244,12 @@ pub fn tmr() -> (System, StatePred) {
             vec![(
                 "result",
                 // Majority of (a, b, c): at least two equal values win.
-                bip_core::Expr::var(0)
-                    .eq(bip_core::Expr::var(1))
-                    .ite(
-                        bip_core::Expr::var(0),
-                        bip_core::Expr::var(0).eq(bip_core::Expr::var(2)).ite(
-                            bip_core::Expr::var(0),
-                            bip_core::Expr::var(1),
-                        ),
-                    ),
+                bip_core::Expr::var(0).eq(bip_core::Expr::var(1)).ite(
+                    bip_core::Expr::var(0),
+                    bip_core::Expr::var(0)
+                        .eq(bip_core::Expr::var(2))
+                        .ite(bip_core::Expr::var(0), bip_core::Expr::var(1)),
+                ),
             )],
             "gather",
         )
@@ -413,7 +408,14 @@ pub fn clients(n: usize) -> System {
 /// Critical-section spec for [`clients`]-shaped systems.
 pub fn client_critical(n: usize) -> Vec<(usize, String, String, String)> {
     (0..n)
-        .map(|i| (i, "enter".to_string(), "leave".to_string(), "working".to_string()))
+        .map(|i| {
+            (
+                i,
+                "enter".to_string(),
+                "leave".to_string(),
+                "working".to_string(),
+            )
+        })
         .collect()
 }
 
@@ -434,7 +436,11 @@ mod tests {
         let sys = arch.apply(&base).unwrap();
         let prop = arch.characteristic_property(&sys);
         let r = check_invariant(&sys, &prop, 100_000);
-        assert!(r.holds(), "mutex must hold: {:?}", r.violation.map(|(s, _)| sys.describe_state(&s)));
+        assert!(
+            r.holds(),
+            "mutex must hold: {:?}",
+            r.violation.map(|(s, _)| sys.describe_state(&s))
+        );
         // Preservation clause: the application is deadlock-free.
         assert!(explore(&sys, 100_000).deadlock_free());
     }

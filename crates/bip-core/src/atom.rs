@@ -109,17 +109,26 @@ impl AtomType {
 
     /// Resolve a port name.
     pub fn port_id(&self, name: &str) -> Option<PortId> {
-        self.ports.iter().position(|p| p.name == name).map(|i| PortId(i as u32))
+        self.ports
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PortId(i as u32))
     }
 
     /// Resolve a location name.
     pub fn loc_id(&self, name: &str) -> Option<LocId> {
-        self.locations.iter().position(|l| l == name).map(|i| LocId(i as u32))
+        self.locations
+            .iter()
+            .position(|l| l == name)
+            .map(|i| LocId(i as u32))
     }
 
     /// Resolve a variable name.
     pub fn var_id(&self, name: &str) -> Option<VarId> {
-        self.vars.iter().position(|(n, _)| n == name).map(|i| VarId(i as u32))
+        self.vars
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| VarId(i as u32))
     }
 
     /// Name of a location.
@@ -183,12 +192,12 @@ impl AtomType {
 
     /// Execute a transition's update action on `vars` (simultaneous
     /// semantics: right-hand sides read the pre-state).
-    pub fn apply_updates(&self, tid: TransitionId, vars: &mut Vec<Value>) {
+    pub fn apply_updates(&self, tid: TransitionId, vars: &mut [Value]) {
         let t = self.transition(tid);
         if t.updates.is_empty() {
             return;
         }
-        let pre = vars.clone();
+        let pre = vars.to_vec();
         for (v, e) in &t.updates {
             vars[v.0 as usize] = e.eval_local(&pre);
         }
@@ -264,6 +273,7 @@ pub struct AtomBuilder {
     locations: Vec<String>,
     initial: Option<String>,
     // (from, port-or-None, guard, updates, to) — all by name, resolved at build.
+    #[allow(clippy::type_complexity)]
     transitions: Vec<(String, Option<String>, Expr, Vec<(String, Expr)>, String)>,
     // Ports whose exported-variable names await resolution at build time.
     pending_exports: Vec<(usize, Vec<String>)>,
@@ -285,7 +295,10 @@ impl AtomBuilder {
 
     /// Declare a port exporting no variables.
     pub fn port(mut self, name: impl Into<String>) -> Self {
-        self.ports.push(PortDecl { name: name.into(), exports: Vec::new() });
+        self.ports.push(PortDecl {
+            name: name.into(),
+            exports: Vec::new(),
+        });
         self
     }
 
@@ -298,7 +311,10 @@ impl AtomBuilder {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.ports.push(PortDecl { name: name.into(), exports: Vec::new() });
+        self.ports.push(PortDecl {
+            name: name.into(),
+            exports: Vec::new(),
+        });
         let idx = self.ports.len() - 1;
         let names: Vec<String> = exports.into_iter().map(Into::into).collect();
         self.pending_exports.push((idx, names));
@@ -342,7 +358,10 @@ impl AtomBuilder {
         updates: Vec<(&str, Expr)>,
         to: impl Into<String>,
     ) -> Self {
-        let ups = updates.into_iter().map(|(n, e)| (n.to_string(), e)).collect();
+        let ups = updates
+            .into_iter()
+            .map(|(n, e)| (n.to_string(), e))
+            .collect();
         self.transition_full(from, Some(port.into()), guard, ups, to)
     }
 
@@ -354,7 +373,10 @@ impl AtomBuilder {
         updates: Vec<(&str, Expr)>,
         to: impl Into<String>,
     ) -> Self {
-        let ups = updates.into_iter().map(|(n, e)| (n.to_string(), e)).collect();
+        let ups = updates
+            .into_iter()
+            .map(|(n, e)| (n.to_string(), e))
+            .collect();
         self.transition_full(from, None, guard, ups, to)
     }
 
@@ -366,7 +388,8 @@ impl AtomBuilder {
         updates: Vec<(String, Expr)>,
         to: impl Into<String>,
     ) -> Self {
-        self.transitions.push((from.into(), port, guard, updates, to.into()));
+        self.transitions
+            .push((from.into(), port, guard, updates, to.into()));
         self
     }
 
@@ -378,8 +401,15 @@ impl AtomBuilder {
     /// missing initial location, or variable indices out of range in guards
     /// and updates.
     pub fn build(self) -> Result<AtomType, ModelError> {
-        let AtomBuilder { name, mut ports, vars, locations, initial, transitions, pending_exports } =
-            self;
+        let AtomBuilder {
+            name,
+            mut ports,
+            vars,
+            locations,
+            initial,
+            transitions,
+            pending_exports,
+        } = self;
         if locations.is_empty() {
             return Err(ModelError::EmptyBehavior { atom: name });
         }
@@ -391,7 +421,10 @@ impl AtomBuilder {
             vars.iter()
                 .position(|(vn, _)| vn == n)
                 .map(|i| VarId(i as u32))
-                .ok_or_else(|| ModelError::UnknownName { kind: "variable", name: n.to_string() })
+                .ok_or_else(|| ModelError::UnknownName {
+                    kind: "variable",
+                    name: n.to_string(),
+                })
         };
         for (pidx, names) in pending_exports {
             let mut resolved = Vec::new();
@@ -405,14 +438,20 @@ impl AtomBuilder {
                 .iter()
                 .position(|l| l == n)
                 .map(|i| LocId(i as u32))
-                .ok_or_else(|| ModelError::UnknownName { kind: "location", name: n.to_string() })
+                .ok_or_else(|| ModelError::UnknownName {
+                    kind: "location",
+                    name: n.to_string(),
+                })
         };
         let port_id = |n: &str| -> Result<PortId, ModelError> {
             ports
                 .iter()
                 .position(|p| p.name == n)
                 .map(|i| PortId(i as u32))
-                .ok_or_else(|| ModelError::UnknownName { kind: "port", name: n.to_string() })
+                .ok_or_else(|| ModelError::UnknownName {
+                    kind: "port",
+                    name: n.to_string(),
+                })
         };
         let initial_name =
             initial.ok_or_else(|| ModelError::MissingInitial { atom: name.clone() })?;
@@ -473,7 +512,10 @@ fn check_unique<'a, I: Iterator<Item = &'a str>>(
     let mut seen = std::collections::HashSet::new();
     for n in names {
         if !seen.insert(n) {
-            return Err(ModelError::DuplicateName { kind, name: n.to_string() });
+            return Err(ModelError::DuplicateName {
+                kind,
+                name: n.to_string(),
+            });
         }
     }
     Ok(())
@@ -538,7 +580,10 @@ mod tests {
             a.fire(ts[0]);
             assert_eq!(a.vars()[0], want);
         }
-        assert!(a.ty().enabled_transitions(a.loc(), tick, a.vars()).is_empty());
+        assert!(a
+            .ty()
+            .enabled_transitions(a.loc(), tick, a.vars())
+            .is_empty());
         a.reset();
         assert_eq!(a.vars()[0], 0);
     }
@@ -584,14 +629,28 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_port() {
-        let r = AtomBuilder::new("x").port("p").port("p").location("l").initial("l").build();
-        assert!(matches!(r, Err(ModelError::DuplicateName { kind: "port", .. })));
+        let r = AtomBuilder::new("x")
+            .port("p")
+            .port("p")
+            .location("l")
+            .initial("l")
+            .build();
+        assert!(matches!(
+            r,
+            Err(ModelError::DuplicateName { kind: "port", .. })
+        ));
     }
 
     #[test]
     fn rejects_unknown_initial() {
         let r = AtomBuilder::new("x").location("l").initial("m").build();
-        assert!(matches!(r, Err(ModelError::UnknownName { kind: "location", .. })));
+        assert!(matches!(
+            r,
+            Err(ModelError::UnknownName {
+                kind: "location",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -613,7 +672,10 @@ mod tests {
             .initial("l")
             .transition("l", "ghost", "l")
             .build();
-        assert!(matches!(r, Err(ModelError::UnknownName { kind: "port", .. })));
+        assert!(matches!(
+            r,
+            Err(ModelError::UnknownName { kind: "port", .. })
+        ));
     }
 
     #[test]
@@ -647,6 +709,12 @@ mod tests {
             .location("l")
             .initial("l")
             .build();
-        assert!(matches!(r, Err(ModelError::UnknownName { kind: "variable", .. })));
+        assert!(matches!(
+            r,
+            Err(ModelError::UnknownName {
+                kind: "variable",
+                ..
+            })
+        ));
     }
 }

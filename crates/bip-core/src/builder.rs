@@ -74,7 +74,10 @@ impl SystemBuilder {
         let mut seen = std::collections::HashSet::new();
         for n in &self.instance_names {
             if !seen.insert(n.clone()) {
-                return Err(ModelError::DuplicateName { kind: "instance", name: n.clone() });
+                return Err(ModelError::DuplicateName {
+                    kind: "instance",
+                    name: n.clone(),
+                });
             }
         }
         System::from_parts(
@@ -177,19 +180,30 @@ mod tests {
 
     #[test]
     fn duplicate_instance_name_rejected() {
-        let a = AtomBuilder::new("a").location("l").initial("l").build().unwrap();
+        let a = AtomBuilder::new("a")
+            .location("l")
+            .initial("l")
+            .build()
+            .unwrap();
         let mut sb = SystemBuilder::new();
         sb.add_instance("x", &a);
         sb.add_instance("x", &a);
         assert!(matches!(
             sb.build(),
-            Err(ModelError::DuplicateName { kind: "instance", .. })
+            Err(ModelError::DuplicateName {
+                kind: "instance",
+                ..
+            })
         ));
     }
 
     #[test]
     fn type_deduplication() {
-        let a = AtomBuilder::new("a").location("l").initial("l").build().unwrap();
+        let a = AtomBuilder::new("a")
+            .location("l")
+            .initial("l")
+            .build()
+            .unwrap();
         let mut sb = SystemBuilder::new();
         sb.add_instance("x", &a);
         sb.add_instance("y", &a);

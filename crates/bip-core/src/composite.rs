@@ -74,7 +74,14 @@ impl Composite {
         let mut type_of = Vec::new();
         let mut connectors = Vec::new();
         let mut priority = Priority::none();
-        self.flatten_into("", &mut names, &mut types, &mut type_of, &mut connectors, &mut priority)?;
+        self.flatten_into(
+            "",
+            &mut names,
+            &mut types,
+            &mut type_of,
+            &mut connectors,
+            &mut priority,
+        )?;
         System::from_parts(names, types, type_of, connectors, priority)
     }
 
@@ -134,7 +141,11 @@ impl Composite {
                 }
                 let (flat_comp, port_name) =
                     self.resolve_down(pr.component, &pr.port, &child_anchor, &child_exports)?;
-                ports.push(PortRef { component: flat_comp, port: port_name, trigger: pr.trigger });
+                ports.push(PortRef {
+                    component: flat_comp,
+                    port: port_name,
+                    trigger: pr.trigger,
+                });
             }
             let name = if prefix.is_empty() {
                 c.name.clone()
@@ -174,11 +185,12 @@ impl Composite {
             None => Ok((child_anchor[child], port.to_string())),
             Some(sub) => {
                 let (inner_child, inner_port) =
-                    sub.resolve_export(port).ok_or_else(|| ModelError::BadPortRef {
-                        connector: "<export>".to_string(),
-                        component: sub.name.clone(),
-                        port: port.to_string(),
-                    })?;
+                    sub.resolve_export(port)
+                        .ok_or_else(|| ModelError::BadPortRef {
+                            connector: "<export>".to_string(),
+                            component: sub.name.clone(),
+                            port: port.to_string(),
+                        })?;
                 // Recompute the sub-composite's own anchors relative to flat
                 // numbering: child_anchor[child] is where its first atom
                 // landed; we must walk its children the same way flatten_into
@@ -268,13 +280,17 @@ impl CompositeBuilder {
 
     /// Add an atomic child.
     pub fn atom(mut self, name: impl Into<String>, ty: AtomType) -> Self {
-        self.composite.children.push((name.into(), InstanceRef::Atom(ty)));
+        self.composite
+            .children
+            .push((name.into(), InstanceRef::Atom(ty)));
         self
     }
 
     /// Add a composite child.
     pub fn composite(mut self, name: impl Into<String>, c: Composite) -> Self {
-        self.composite.children.push((name.into(), InstanceRef::Composite(c)));
+        self.composite
+            .children
+            .push((name.into(), InstanceRef::Composite(c)));
         self
     }
 
@@ -286,8 +302,15 @@ impl CompositeBuilder {
     }
 
     /// Export child `child`'s port `port` under `name`.
-    pub fn export(mut self, name: impl Into<String>, child: usize, port: impl Into<String>) -> Self {
-        self.composite.exports.push((name.into(), child, port.into()));
+    pub fn export(
+        mut self,
+        name: impl Into<String>,
+        child: usize,
+        port: impl Into<String>,
+    ) -> Self {
+        self.composite
+            .exports
+            .push((name.into(), child, port.into()));
         self
     }
 
@@ -327,7 +350,10 @@ mod tests {
         let c = CompositeBuilder::new("pair")
             .atom("a", worker())
             .atom("b", worker())
-            .connector(ConnectorBuilder::rendezvous("sync", [(0usize, "go"), (1usize, "go")]))
+            .connector(ConnectorBuilder::rendezvous(
+                "sync",
+                [(0usize, "go"), (1usize, "go")],
+            ))
             .build();
         let sys = c.flatten().unwrap();
         assert_eq!(sys.num_components(), 2);
@@ -347,7 +373,10 @@ mod tests {
         let top = CompositeBuilder::new("top")
             .composite("c0", cell.clone())
             .composite("c1", cell)
-            .connector(ConnectorBuilder::rendezvous("sync", [(0usize, "go"), (1usize, "go")]))
+            .connector(ConnectorBuilder::rendezvous(
+                "sync",
+                [(0usize, "go"), (1usize, "go")],
+            ))
             .build();
         let sys = top.flatten().unwrap();
         assert_eq!(sys.num_components(), 2);
@@ -370,7 +399,10 @@ mod tests {
         let top = CompositeBuilder::new("top")
             .composite("m", mid)
             .atom("solo", worker())
-            .connector(ConnectorBuilder::rendezvous("s", [(0usize, "gg"), (1usize, "go")]))
+            .connector(ConnectorBuilder::rendezvous(
+                "s",
+                [(0usize, "gg"), (1usize, "go")],
+            ))
             .build();
         let sys = top.flatten().unwrap();
         assert_eq!(sys.num_components(), 2);
@@ -384,7 +416,10 @@ mod tests {
         let pair = CompositeBuilder::new("pair")
             .atom("a", worker())
             .atom("b", worker())
-            .connector(ConnectorBuilder::rendezvous("inner", [(0usize, "go"), (1usize, "go")]))
+            .connector(ConnectorBuilder::rendezvous(
+                "inner",
+                [(0usize, "go"), (1usize, "go")],
+            ))
             .build();
         let top = CompositeBuilder::new("top")
             .composite("p", pair)
@@ -404,14 +439,20 @@ mod tests {
         let top = CompositeBuilder::new("top")
             .composite("c", cell)
             .atom("x", worker())
-            .connector(ConnectorBuilder::rendezvous("s", [(0usize, "ghost"), (1usize, "go")]))
+            .connector(ConnectorBuilder::rendezvous(
+                "s",
+                [(0usize, "ghost"), (1usize, "go")],
+            ))
             .build();
         assert!(top.flatten().is_err());
     }
 
     #[test]
     fn atom_count() {
-        let cell = CompositeBuilder::new("cell").atom("w", worker()).atom("v", worker()).build();
+        let cell = CompositeBuilder::new("cell")
+            .atom("w", worker())
+            .atom("v", worker())
+            .build();
         let top = CompositeBuilder::new("top")
             .composite("a", cell.clone())
             .composite("b", cell)

@@ -96,7 +96,9 @@ impl Connector {
     pub fn guard_applies(&self, subset: &[usize]) -> bool {
         match self.guard.max_param() {
             None => true,
-            Some(_) => guard_params(&self.guard).iter().all(|k| subset.contains(&(*k as usize))),
+            Some(_) => guard_params(&self.guard)
+                .iter()
+                .all(|k| subset.contains(&(*k as usize))),
         }
     }
 }
@@ -159,7 +161,11 @@ impl ConnectorBuilder {
                 name: name.into(),
                 ports: ports
                     .into_iter()
-                    .map(|(c, p)| PortRef { component: c, port: p.into(), trigger: false })
+                    .map(|(c, p)| PortRef {
+                        component: c,
+                        port: p.into(),
+                        trigger: false,
+                    })
                     .collect(),
                 guard: Expr::t(),
                 transfer: Vec::new(),
@@ -184,11 +190,11 @@ impl ConnectorBuilder {
             port: trigger.1.into(),
             trigger: true,
         }];
-        ports.extend(
-            receivers
-                .into_iter()
-                .map(|(c, p)| PortRef { component: c, port: p.into(), trigger: false }),
-        );
+        ports.extend(receivers.into_iter().map(|(c, p)| PortRef {
+            component: c,
+            port: p.into(),
+            trigger: false,
+        }));
         ConnectorBuilder {
             connector: Connector {
                 name: name.into(),
@@ -285,7 +291,9 @@ mod tests {
 
     #[test]
     fn singleton_and_silent() {
-        let c = ConnectorBuilder::singleton("s", 2, "p").silent().into_connector();
+        let c = ConnectorBuilder::singleton("s", 2, "p")
+            .silent()
+            .into_connector();
         assert_eq!(c.ports.len(), 1);
         assert_eq!(c.ports[0].component, 2);
         assert!(!c.observable);

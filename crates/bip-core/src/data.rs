@@ -74,6 +74,7 @@ pub enum Expr {
     Ite(Box<Expr>, Box<Expr>, Box<Expr>),
 }
 
+#[allow(clippy::should_implement_trait)] // DSL builders, not operator impls
 impl Expr {
     /// Constant `true` (1).
     pub fn t() -> Expr {
@@ -255,7 +256,9 @@ impl Expr {
     /// Evaluate an expression with only local variables (no connector
     /// context).
     pub fn eval_local(&self, locals: &[Value]) -> Value {
-        self.eval(locals, &|_, _| panic!("Param reference outside a connector context"))
+        self.eval(locals, &|_, _| {
+            panic!("Param reference outside a connector context")
+        })
     }
 
     /// Evaluate as a boolean (non-zero = true).
@@ -271,9 +274,12 @@ impl Expr {
             Expr::Param(_, _) => None,
             Expr::Unary(_, e) => e.max_var(),
             Expr::Binary(_, a, b) => a.max_var().into_iter().chain(b.max_var()).max(),
-            Expr::Ite(c, t, e) => {
-                c.max_var().into_iter().chain(t.max_var()).chain(e.max_var()).max()
-            }
+            Expr::Ite(c, t, e) => c
+                .max_var()
+                .into_iter()
+                .chain(t.max_var())
+                .chain(e.max_var())
+                .max(),
         }
     }
 
@@ -284,9 +290,12 @@ impl Expr {
             Expr::Param(k, _) => Some(*k),
             Expr::Unary(_, e) => e.max_param(),
             Expr::Binary(_, a, b) => a.max_param().into_iter().chain(b.max_param()).max(),
-            Expr::Ite(c, t, e) => {
-                c.max_param().into_iter().chain(t.max_param()).chain(e.max_param()).max()
-            }
+            Expr::Ite(c, t, e) => c
+                .max_param()
+                .into_iter()
+                .chain(t.max_param())
+                .chain(e.max_param())
+                .max(),
         }
     }
 }

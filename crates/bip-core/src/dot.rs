@@ -10,7 +10,11 @@ pub fn atom_to_dot(ty: &AtomType) -> String {
     out.push_str(&format!("digraph \"{}\" {{\n", ty.name()));
     out.push_str("  rankdir=LR;\n  node [shape=circle];\n");
     for (i, l) in ty.locations().iter().enumerate() {
-        let style = if i == ty.initial().0 as usize { ", style=bold" } else { "" };
+        let style = if i == ty.initial().0 as usize {
+            ", style=bold"
+        } else {
+            ""
+        };
         out.push_str(&format!("  l{i} [label=\"{l}\"{style}];\n"));
     }
     for t in ty.transitions() {
@@ -18,7 +22,10 @@ pub fn atom_to_dot(ty: &AtomType) -> String {
             Some(p) => ty.port_name(p).to_string(),
             None => "τ".to_string(),
         };
-        out.push_str(&format!("  l{} -> l{} [label=\"{label}\"];\n", t.from.0, t.to.0));
+        out.push_str(&format!(
+            "  l{} -> l{} [label=\"{label}\"];\n",
+            t.from.0, t.to.0
+        ));
     }
     out.push_str("}\n");
     out
@@ -37,10 +44,17 @@ pub fn system_to_dot(sys: &System) -> String {
         ));
     }
     for (i, conn) in sys.connectors().iter().enumerate() {
-        out.push_str(&format!("  k{i} [shape=diamond, label=\"{}\"];\n", conn.name));
+        out.push_str(&format!(
+            "  k{i} [shape=diamond, label=\"{}\"];\n",
+            conn.name
+        ));
         let eps = sys.connector_endpoints(crate::connector::ConnId(i as u32));
         for (j, (comp, port)) in eps.iter().enumerate() {
-            let style = if conn.ports[j].trigger { " [style=dashed]" } else { "" };
+            let style = if conn.ports[j].trigger {
+                " [style=dashed]"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "  k{i} -- c{comp} [label=\"{}\"]{style};\n",
                 sys.atom_type(*comp).port_name(*port)

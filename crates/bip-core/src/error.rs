@@ -49,6 +49,16 @@ pub enum ModelError {
         /// Connector name.
         connector: String,
     },
+    /// A connector exceeds the compiled representation's endpoint limit
+    /// ([`crate::exec::MAX_CONNECTOR_PORTS`]).
+    ConnectorTooWide {
+        /// Connector name.
+        connector: String,
+        /// Declared endpoint count.
+        ports: usize,
+        /// Maximum supported endpoint count.
+        limit: usize,
+    },
     /// The same component participates twice in one connector.
     DuplicateParticipant {
         /// Connector name.
@@ -88,9 +98,16 @@ impl std::fmt::Display for ModelError {
                 write!(f, "atom {atom:?} has no locations")
             }
             ModelError::BadComponentIndex { connector, index } => {
-                write!(f, "connector {connector:?} references component index {index} out of range")
+                write!(
+                    f,
+                    "connector {connector:?} references component index {index} out of range"
+                )
             }
-            ModelError::BadPortRef { connector, component, port } => {
+            ModelError::BadPortRef {
+                connector,
+                component,
+                port,
+            } => {
                 write!(
                     f,
                     "connector {connector:?} references unknown port {port:?} on component {component:?}"
@@ -99,14 +116,30 @@ impl std::fmt::Display for ModelError {
             ModelError::EmptyConnector { connector } => {
                 write!(f, "connector {connector:?} has no ports")
             }
-            ModelError::DuplicateParticipant { connector, component } => {
+            ModelError::ConnectorTooWide {
+                connector,
+                ports,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "connector {connector:?} has {ports} ports (limit {limit})"
+                )
+            }
+            ModelError::DuplicateParticipant {
+                connector,
+                component,
+            } => {
                 write!(
                     f,
                     "component {component:?} participates more than once in connector {connector:?}"
                 )
             }
             ModelError::BadPriorityRef { connector } => {
-                write!(f, "priority rule references unknown connector {connector:?}")
+                write!(
+                    f,
+                    "priority rule references unknown connector {connector:?}"
+                )
             }
             ModelError::BadVarIndex { context, index } => {
                 write!(f, "variable index {index} out of range in {context}")
@@ -124,7 +157,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ModelError::DuplicateName { kind: "port", name: "put".into() };
+        let e = ModelError::DuplicateName {
+            kind: "port",
+            name: "put".into(),
+        };
         assert!(e.to_string().contains("port"));
         assert!(e.to_string().contains("put"));
         let e = ModelError::EmptySystem;

@@ -63,7 +63,10 @@ pub fn extract_lts(sys: &System, max_states: usize) -> Option<Lts> {
             transitions.push((src, label, dst));
         }
     }
-    Some(Lts { num_states: index.len(), transitions })
+    Some(Lts {
+        num_states: index.len(),
+        transitions,
+    })
 }
 
 fn step_structural_label(sys: &System, step: &Step) -> Option<Label> {
@@ -155,7 +158,8 @@ pub fn interaction_only_glues(ports_per_component: &[usize]) -> Vec<Glue> {
         let inter: Vec<(usize, u32)> = choice
             .iter()
             .enumerate()
-            .filter_map(|(c, &k)| (k > 0).then(|| (c, (k - 1) as u32)))
+            .filter(|&(_, &k)| k > 0)
+            .map(|(c, &k)| (c, (k - 1) as u32))
             .collect();
         if !inter.is_empty() {
             candidates.push(inter);
@@ -178,7 +182,10 @@ pub fn interaction_only_glues(ports_per_component: &[usize]) -> Vec<Glue> {
 }
 
 fn glues_from_candidates(arity: usize, candidates: &[Vec<(usize, u32)>]) -> Vec<Glue> {
-    assert!(candidates.len() <= 20, "interaction universe too large to enumerate");
+    assert!(
+        candidates.len() <= 20,
+        "interaction universe too large to enumerate"
+    );
     let mut out = Vec::new();
     for mask in 1u32..(1 << candidates.len()) {
         let mut g = Glue::identity(arity);
@@ -239,9 +246,14 @@ pub fn broadcast_components() -> Vec<AtomType> {
 pub fn broadcast_reference() -> System {
     let atoms = broadcast_components();
     let g = Glue::identity(2)
-        .with_connector(ConnectorBuilder::broadcast("bc", (0, "p0"), [(1usize, "p0")]))
+        .with_connector(ConnectorBuilder::broadcast(
+            "bc",
+            (0, "p0"),
+            [(1usize, "p0")],
+        ))
         .with_priority(crate::priority::Priority::maximal_progress());
-    g.apply(&[("s", &atoms[0]), ("r", &atoms[1])]).expect("reference system")
+    g.apply(&[("s", &atoms[0]), ("r", &atoms[1])])
+        .expect("reference system")
 }
 
 /// Run the exhaustive refutation: no interaction-only glue over the same
@@ -279,12 +291,17 @@ pub fn priorities_express_broadcast() -> bool {
     // Hand-built equivalent using two rendezvous connectors and a static
     // priority: `alone ≺ both`.
     let mut g = Glue::identity(2)
-        .with_connector(ConnectorBuilder::rendezvous("both", [(0usize, "p0"), (1usize, "p0")]))
+        .with_connector(ConnectorBuilder::rendezvous(
+            "both",
+            [(0usize, "p0"), (1usize, "p0")],
+        ))
         .with_connector(ConnectorBuilder::singleton("alone", 0, "p0"));
     let mut p = crate::priority::Priority::none();
     p.add_rule(crate::connector::ConnId(1), crate::connector::ConnId(0));
     g = g.with_priority(p);
-    let sys = g.apply(&[("s", &atoms[0]), ("r", &atoms[1])]).expect("priority system");
+    let sys = g
+        .apply(&[("s", &atoms[0]), ("r", &atoms[1])])
+        .expect("priority system");
     let a = extract_lts(&broadcast_reference(), 1000).expect("reference LTS");
     let b = extract_lts(&sys, 1000).expect("priority LTS");
     strongly_bisimilar(&a, &b)
@@ -358,7 +375,10 @@ mod tests {
     fn broadcast_not_expressible_by_interactions_alone() {
         let r = refute_broadcast_with_interactions();
         assert_eq!(r.glues_checked, 7);
-        assert_eq!(r.equivalent_found, 0, "paper claim: no interaction-only glue matches");
+        assert_eq!(
+            r.equivalent_found, 0,
+            "paper claim: no interaction-only glue matches"
+        );
     }
 
     #[test]

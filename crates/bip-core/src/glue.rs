@@ -30,7 +30,11 @@ pub struct Glue {
 impl Glue {
     /// A glue over `arity` components with no connectors (fully decoupled).
     pub fn identity(arity: usize) -> Glue {
-        Glue { arity, connectors: Vec::new(), priority: Priority::none() }
+        Glue {
+            arity,
+            connectors: Vec::new(),
+            priority: Priority::none(),
+        }
     }
 
     /// Add a connector pattern.
@@ -94,7 +98,11 @@ impl Glue {
                 .map(|pr| {
                     if pr.component == m {
                         let (ic, ip) = routing(&pr.port);
-                        PortRef { component: m + ic, port: ip, trigger: pr.trigger }
+                        PortRef {
+                            component: m + ic,
+                            port: ip,
+                            trigger: pr.trigger,
+                        }
                     } else {
                         pr.clone()
                     }
@@ -137,7 +145,11 @@ impl Glue {
             });
         }
         priority.maximal_progress |= inner.priority.maximal_progress;
-        Glue { arity: m + inner.arity, connectors, priority }
+        Glue {
+            arity: m + inner.arity,
+            connectors,
+            priority,
+        }
     }
 
     /// **Incrementality law** witness: split a glue of arity n into an outer
@@ -230,8 +242,14 @@ mod tests {
     #[test]
     fn split_at_separable() {
         let g = Glue::identity(4)
-            .with_connector(ConnectorBuilder::rendezvous("l", [(0usize, "flip"), (1usize, "flip")]))
-            .with_connector(ConnectorBuilder::rendezvous("r", [(2usize, "flip"), (3usize, "flip")]));
+            .with_connector(ConnectorBuilder::rendezvous(
+                "l",
+                [(0usize, "flip"), (1usize, "flip")],
+            ))
+            .with_connector(ConnectorBuilder::rendezvous(
+                "r",
+                [(2usize, "flip"), (3usize, "flip")],
+            ));
         let (left, right) = g.split_at(2).unwrap();
         assert_eq!(left.connectors.len(), 1);
         assert_eq!(right.connectors.len(), 1);

@@ -17,8 +17,34 @@
 //!   a guard, and a data-transfer action;
 //! * [`PriorityRule`] and maximal progress — the second glue layer;
 //! * [`Composite`] — hierarchical composition, flattened to a [`System`];
-//! * [`System`] — a flat model with well-defined operational semantics:
-//!   [`System::enabled`], [`System::successors`], [`System::step`].
+//! * [`System`] — a flat model with well-defined operational semantics.
+//!
+//! # Execution: the compiled enabled-set protocol
+//!
+//! Building a [`System`] compiles a schedule ([`CompiledExec`]): per
+//! connector, the feasible endpoint subsets as bitmasks (trigger/synchron
+//! typing ∧ guard applicability, both state-independent); per component,
+//! the *watch list* of connectors whose enabledness can change when that
+//! component moves. Execution then goes through a reusable [`EnabledSet`]
+//! scratch buffer:
+//!
+//! * [`System::new_enabled_set`] — create the buffer (fully dirty);
+//! * [`System::refresh_enabled`] — re-evaluate exactly the dirty
+//!   connectors/components;
+//! * [`System::for_each_enabled`] — visit the priority-surviving
+//!   [`EnabledStep`]s (`Copy`, no allocation);
+//! * [`System::fire_into`] / [`System::fire_enabled`] — fire in place and
+//!   mark only the connectors watching the moved components dirty.
+//!
+//! A warmed-up execution loop allocates nothing, and after a fire only the
+//! neighborhood of the fired interaction is re-examined — steps on large
+//! systems cost O(neighborhood), not O(system).
+//!
+//! The legacy enumeration API — [`System::enabled`],
+//! [`System::successors`], [`System::step`] — remains as thin wrappers over
+//! the same machinery (one full refresh per call), so both protocols always
+//! agree; [`System::successors_into`] is the buffer-reusing form the model
+//! checker uses.
 //!
 //! # Example
 //!
@@ -63,20 +89,26 @@ mod connector;
 mod data;
 mod dot;
 mod error;
+pub mod exec;
 pub mod expressiveness;
-pub mod parse;
 pub mod glue;
+pub mod parse;
 mod predicate;
 mod priority;
 mod system;
 
-pub use atom::{Atom, AtomBuilder, AtomType, LocId, PortDecl, PortId, Transition, TransitionId, VarId};
+pub use atom::{
+    Atom, AtomBuilder, AtomType, LocId, PortDecl, PortId, Transition, TransitionId, VarId,
+};
 pub use builder::{dining_philosophers, SystemBuilder};
 pub use composite::{Composite, CompositeBuilder, InstanceRef};
 pub use connector::{ConnId, Connector, ConnectorBuilder, PortRef};
 pub use data::{BinOp, Expr, UnOp, Value};
 pub use dot::{atom_to_dot, system_to_dot};
 pub use error::ModelError;
+pub use exec::{
+    CompiledExec, EnabledSet, EnabledStep, InteractionRef, FULL_MASK, MAX_CONNECTOR_PORTS,
+};
 pub use parse::{parse_system, ParseError};
 pub use predicate::{GExpr, StatePred};
 pub use priority::{Priority, PriorityRule};

@@ -23,6 +23,7 @@ pub enum GExpr {
     Mul(Box<GExpr>, Box<GExpr>),
 }
 
+#[allow(clippy::should_implement_trait)] // DSL builders, not operator impls
 impl GExpr {
     /// Constant expression.
     pub fn int(v: Value) -> GExpr {
@@ -86,6 +87,7 @@ pub enum StatePred {
     Or(Vec<StatePred>),
 }
 
+#[allow(clippy::should_implement_trait)] // DSL builders, not operator impls
 impl StatePred {
     /// `comp` is at the location named `loc` — resolved against the system at
     /// evaluation time via indices; use [`StatePred::at`] with a
@@ -143,16 +145,17 @@ impl StatePred {
     where
         I: IntoIterator<Item = (usize, &'a str)>,
     {
-        let preds: Vec<StatePred> =
-            critical.into_iter().map(|(c, l)| StatePred::at(sys, c, l)).collect();
+        let preds: Vec<StatePred> = critical
+            .into_iter()
+            .map(|(c, l)| StatePred::at(sys, c, l))
+            .collect();
         let mut clauses = Vec::new();
         for i in 0..preds.len() {
             for j in (i + 1)..preds.len() {
-                clauses
-                    .push(StatePred::Not(Box::new(StatePred::And(vec![
-                        preds[i].clone(),
-                        preds[j].clone(),
-                    ]))));
+                clauses.push(StatePred::Not(Box::new(StatePred::And(vec![
+                    preds[i].clone(),
+                    preds[j].clone(),
+                ]))));
             }
         }
         StatePred::And(clauses)
@@ -174,14 +177,23 @@ mod tests {
             .location("a")
             .location("b")
             .initial("a")
-            .guarded_transition("a", "tick", Expr::t(), vec![("n", Expr::var(0).add(Expr::int(1)))], "b")
+            .guarded_transition(
+                "a",
+                "tick",
+                Expr::t(),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "b",
+            )
             .transition("b", "tick", "a")
             .build()
             .unwrap();
         let mut sb = SystemBuilder::new();
         let c0 = sb.add_instance("c0", &c);
         let c1 = sb.add_instance("c1", &c);
-        sb.add_connector(ConnectorBuilder::rendezvous("both", [(c0, "tick"), (c1, "tick")]));
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            "both",
+            [(c0, "tick"), (c1, "tick")],
+        ));
         sb.build().unwrap()
     }
 

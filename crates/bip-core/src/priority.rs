@@ -43,12 +43,19 @@ impl Priority {
 
     /// Only maximal progress.
     pub fn maximal_progress() -> Priority {
-        Priority { rules: Vec::new(), maximal_progress: true }
+        Priority {
+            rules: Vec::new(),
+            maximal_progress: true,
+        }
     }
 
     /// Add an unconditional rule `low ≺ high`.
     pub fn add_rule(&mut self, low: ConnId, high: ConnId) {
-        self.rules.push(PriorityRule { low, high, guard: StatePred::True });
+        self.rules.push(PriorityRule {
+            low,
+            high,
+            guard: StatePred::True,
+        });
     }
 
     /// Add a guarded rule.
@@ -102,6 +109,28 @@ impl Priority {
     /// Whether this layer is empty (no filtering).
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty() && !self.maximal_progress
+    }
+
+    /// [`Priority::dominated`] against a compiled [`EnabledSet`] instead of
+    /// an interaction slice — the allocation-free form used by
+    /// [`System::for_each_enabled`].
+    pub(crate) fn dominated_compiled(
+        &self,
+        sys: &System,
+        st: &State,
+        a: crate::exec::InteractionRef,
+        es: &crate::exec::EnabledSet,
+    ) -> bool {
+        for rule in &self.rules {
+            if rule.low == a.connector && rule.guard.eval(sys, st) && es.other_enabled(rule.high, a)
+            {
+                return true;
+            }
+        }
+        if self.maximal_progress && es.superset_enabled(a.connector, a.mask) {
+            return true;
+        }
+        false
     }
 }
 
@@ -168,7 +197,11 @@ mod tests {
         let mut sb = SystemBuilder::new();
         let a = sb.add_instance("a", &w);
         let b = sb.add_instance("b", &w);
-        sb.add_connector(ConnectorBuilder::broadcast("bc", (a, "work"), [(b, "work")]));
+        sb.add_connector(ConnectorBuilder::broadcast(
+            "bc",
+            (a, "work"),
+            [(b, "work")],
+        ));
         sb.set_priority(Priority::maximal_progress());
         let sys = sb.build().unwrap();
         let st = sys.initial_state();

@@ -15,6 +15,7 @@ use crate::atom::{AtomType, PortId, TransitionId};
 use crate::connector::{ConnId, Connector};
 use crate::data::Value;
 use crate::error::ModelError;
+use crate::exec::CompiledExec;
 use crate::priority::Priority;
 
 /// Index of a component instance in a [`System`].
@@ -90,6 +91,9 @@ pub struct System {
     /// First index of each component's variables in the flat store.
     pub(crate) var_offsets: Vec<usize>,
     pub(crate) total_vars: usize,
+    /// The compiled schedule: feasible masks, watch lists (see
+    /// [`crate::exec`]).
+    pub(crate) compiled: CompiledExec,
 }
 
 impl System {
@@ -114,10 +118,15 @@ impl System {
         let mut resolved = Vec::with_capacity(connectors.len());
         for c in &connectors {
             if !names.insert(c.name.clone()) {
-                return Err(ModelError::DuplicateName { kind: "connector", name: c.name.clone() });
+                return Err(ModelError::DuplicateName {
+                    kind: "connector",
+                    name: c.name.clone(),
+                });
             }
             if c.ports.is_empty() {
-                return Err(ModelError::EmptyConnector { connector: c.name.clone() });
+                return Err(ModelError::EmptyConnector {
+                    connector: c.name.clone(),
+                });
             }
             let mut seen_comp = std::collections::HashSet::new();
             let mut eps = Vec::with_capacity(c.ports.len());
@@ -144,6 +153,12 @@ impl System {
             }
             resolved.push(eps);
         }
+        let compiled = CompiledExec::build(&connectors, &resolved, instance_names.len(), |c| {
+            types[type_of[c]]
+                .transitions()
+                .iter()
+                .any(|t| t.port.is_none())
+        })?;
         Ok(System {
             instance_names,
             types,
@@ -153,6 +168,7 @@ impl System {
             priority,
             var_offsets,
             total_vars,
+            compiled,
         })
     }
 
@@ -188,7 +204,10 @@ impl System {
 
     /// Resolve a connector name.
     pub fn connector_id(&self, name: &str) -> Option<ConnId> {
-        self.connectors.iter().position(|c| c.name == name).map(|i| ConnId(i as u32))
+        self.connectors
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ConnId(i as u32))
     }
 
     /// The priority layer.
@@ -209,7 +228,11 @@ impl System {
 
     /// The initial global state.
     pub fn initial_state(&self) -> State {
-        let locs = self.type_of.iter().map(|&ti| self.types[ti].initial().0).collect();
+        let locs = self
+            .type_of
+            .iter()
+            .map(|&ti| self.types[ti].initial().0)
+            .collect();
         let mut vars = Vec::with_capacity(self.total_vars);
         for &ti in &self.type_of {
             vars.extend(self.types[ti].initial_vars());
@@ -248,37 +271,22 @@ impl System {
     }
 
     /// Enumerate enabled interactions ignoring priorities.
+    ///
+    /// Compatibility wrapper over the compiled schedule (see
+    /// [`crate::exec`]): feasibility and guard applicability were
+    /// precomputed at build time, so this only tests offered ports and
+    /// evaluates guards.
     pub fn enabled_unfiltered(&self, st: &State) -> Vec<Interaction> {
         let mut out = Vec::new();
-        for (ci, conn) in self.connectors.iter().enumerate() {
-            let eps = &self.resolved[ci];
-            // Which endpoints are offered?
-            let offered: Vec<bool> = eps
-                .iter()
-                .map(|&(comp, port, _)| {
-                    self.atom_type(comp).port_enabled(
-                        self.loc_of(st, comp),
-                        port,
-                        self.comp_vars(st, comp),
-                    )
+        let mut masks = Vec::new();
+        for ci in 0..self.connectors.len() {
+            self.refresh_connector_into(st, ci, &mut masks);
+            out.extend(masks.drain(..).map(|mask| {
+                self.resolve_ref(crate::exec::InteractionRef {
+                    connector: ConnId(ci as u32),
+                    mask,
                 })
-                .collect();
-            for subset in conn.feasible_subsets() {
-                if !subset.iter().all(|&i| offered[i]) {
-                    continue;
-                }
-                if !conn.guard_applies(&subset) {
-                    continue;
-                }
-                let guard_ok = conn.guard.eval_bool(&[], &|k, v| {
-                    let (comp, _, _) = eps[k as usize];
-                    self.var_value(st, comp, v)
-                });
-                if !guard_ok {
-                    continue;
-                }
-                out.push(Interaction { connector: ConnId(ci as u32), endpoints: subset });
-            }
+            }));
         }
         out
     }
@@ -289,7 +297,10 @@ impl System {
         for comp in 0..self.num_components() {
             let ty = self.atom_type(comp);
             for tid in ty.enabled_internal(self.loc_of(st, comp), self.comp_vars(st, comp)) {
-                out.push(Step::Internal { component: comp, transition: tid });
+                out.push(Step::Internal {
+                    component: comp,
+                    transition: tid,
+                });
             }
         }
         out
@@ -307,16 +318,31 @@ impl System {
             self.expand_interaction(st, &inter, &mut out);
         }
         for step in self.internal_steps(st) {
-            if let Step::Internal { component, transition } = step {
+            if let Step::Internal {
+                component,
+                transition,
+            } = step
+            {
                 let mut next = st.clone();
                 self.fire_local(&mut next, component, transition);
-                out.push((Step::Internal { component, transition }, next));
+                out.push((
+                    Step::Internal {
+                        component,
+                        transition,
+                    },
+                    next,
+                ));
             }
         }
         out
     }
 
-    fn expand_interaction(&self, st: &State, inter: &Interaction, out: &mut Vec<(Step, State)>) {
+    pub(crate) fn expand_interaction(
+        &self,
+        st: &State,
+        inter: &Interaction,
+        out: &mut Vec<(Step, State)>,
+    ) {
         let eps = &self.resolved[inter.connector.0 as usize];
         // Per participant: list of enabled transitions.
         let choices: Vec<(CompId, Vec<TransitionId>)> = inter
@@ -335,12 +361,18 @@ impl System {
         // Cartesian product of choices.
         let mut idx = vec![0usize; choices.len()];
         loop {
-            let combo: Vec<(CompId, TransitionId)> =
-                choices.iter().zip(&idx).map(|((c, ts), &i)| (*c, ts[i])).collect();
+            let combo: Vec<(CompId, TransitionId)> = choices
+                .iter()
+                .zip(&idx)
+                .map(|((c, ts), &i)| (*c, ts[i]))
+                .collect();
             let mut next = st.clone();
             self.fire_interaction(&mut next, inter, &combo);
             out.push((
-                Step::Interaction { interaction: inter.clone(), transitions: combo },
+                Step::Interaction {
+                    interaction: inter.clone(),
+                    transitions: combo,
+                },
                 next,
             ));
             // Advance the odometer.
@@ -371,12 +403,27 @@ impl System {
         inter: &Interaction,
         transitions: &[(CompId, TransitionId)],
     ) {
-        let conn = &self.connectors[inter.connector.0 as usize];
-        let eps = &self.resolved[inter.connector.0 as usize];
+        let arity = self.resolved[inter.connector.0 as usize].len();
+        let mask = crate::exec::InteractionRef::of(inter, arity).mask;
+        self.fire_interaction_masked(st, inter.connector, mask, transitions);
+    }
+
+    /// [`System::fire_interaction`] with the participant set given as an
+    /// endpoint bitmask — the allocation-free form used by the compiled
+    /// execution path.
+    pub(crate) fn fire_interaction_masked(
+        &self,
+        st: &mut State,
+        connector: ConnId,
+        mask: u32,
+        transitions: &[(CompId, TransitionId)],
+    ) {
+        let conn = &self.connectors[connector.0 as usize];
+        let eps = &self.resolved[connector.0 as usize];
         if !conn.transfer.is_empty() {
             let pre = st.clone();
             for (ep, var, expr) in &conn.transfer {
-                if !inter.endpoints.contains(&(*ep as usize)) {
+                if !crate::exec::mask_contains(mask, *ep as usize) {
                     continue;
                 }
                 let value = expr.eval(&[], &|k, v| {
@@ -452,7 +499,10 @@ impl System {
                     .collect();
                 format!("{}({})", conn.name, parts.join(", "))
             }
-            Step::Internal { component, transition } => {
+            Step::Internal {
+                component,
+                transition,
+            } => {
                 let ty = self.atom_type(*component);
                 let t = ty.transition(*transition);
                 format!(
@@ -470,8 +520,11 @@ impl System {
         let mut parts = Vec::new();
         for comp in 0..self.num_components() {
             let ty = self.atom_type(comp);
-            let mut s =
-                format!("{}@{}", self.instance_name(comp), ty.loc_name(self.loc_of(st, comp)));
+            let mut s = format!(
+                "{}@{}",
+                self.instance_name(comp),
+                ty.loc_name(self.loc_of(st, comp))
+            );
             if !ty.vars().is_empty() {
                 let vs: Vec<String> = ty
                     .vars()
@@ -488,18 +541,19 @@ impl System {
 
     /// Group the resolved endpoints of a connector: `(component, port)`.
     pub fn connector_endpoints(&self, id: ConnId) -> Vec<(CompId, PortId)> {
-        self.resolved[id.0 as usize].iter().map(|&(c, p, _)| (c, p)).collect()
+        self.resolved[id.0 as usize]
+            .iter()
+            .map(|&(c, p, _)| (c, p))
+            .collect()
     }
 
     /// Map each component to the connectors it participates in.
-    pub fn connectors_of_component(&self) -> HashMap<CompId, Vec<ConnId>> {
-        let mut map: HashMap<CompId, Vec<ConnId>> = HashMap::new();
-        for (ci, eps) in self.resolved.iter().enumerate() {
-            for &(comp, _, _) in eps {
-                map.entry(comp).or_default().push(ConnId(ci as u32));
-            }
-        }
-        map
+    ///
+    /// Returns the index precomputed at build time (see
+    /// [`crate::exec::CompiledExec`]); nothing is rebuilt per call. For the
+    /// slice form, use `sys.compiled().watchers(comp)`.
+    pub fn connectors_of_component(&self) -> &HashMap<CompId, Vec<ConnId>> {
+        &self.compiled.watch_map
     }
 
     /// Two connectors *conflict* if they share a component (they compete for
@@ -508,7 +562,8 @@ impl System {
     pub fn connectors_conflict(&self, a: ConnId, b: ConnId) -> bool {
         let ea = &self.resolved[a.0 as usize];
         let eb = &self.resolved[b.0 as usize];
-        ea.iter().any(|&(c, _, _)| eb.iter().any(|&(d, _, _)| c == d))
+        ea.iter()
+            .any(|&(c, _, _)| eb.iter().any(|&(d, _, _)| c == d))
     }
 }
 
@@ -533,7 +588,10 @@ mod tests {
         let mut sb = SystemBuilder::new();
         let a = sb.add_instance("a", &ping);
         let b = sb.add_instance("b", &ping);
-        sb.add_connector(ConnectorBuilder::rendezvous("rally", [(a, "hit"), (b, "hit")]));
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            "rally",
+            [(a, "hit"), (b, "hit")],
+        ));
         sb.build().unwrap()
     }
 
@@ -591,8 +649,11 @@ mod tests {
         let s = sb.add_instance("s", &src);
         let d = sb.add_instance("d", &dst);
         sb.add_connector(
-            ConnectorBuilder::rendezvous("xfer", [(s, "snd"), (d, "rcv")])
-                .transfer(1, 0, Expr::param(0, 0)),
+            ConnectorBuilder::rendezvous("xfer", [(s, "snd"), (d, "rcv")]).transfer(
+                1,
+                0,
+                Expr::param(0, 0),
+            ),
         );
         let sys = sb.build().unwrap();
         let mut st = sys.initial_state();
@@ -607,7 +668,13 @@ mod tests {
             .port("p")
             .location("l")
             .initial("l")
-            .guarded_transition("l", "p", Expr::t(), vec![("x", Expr::var(0).add(Expr::int(1)))], "l")
+            .guarded_transition(
+                "l",
+                "p",
+                Expr::t(),
+                vec![("x", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
             .build()
             .unwrap();
         let mut sb = SystemBuilder::new();
@@ -671,9 +738,14 @@ mod tests {
         let st = sys.initial_state();
         let succ = sys.successors(&st);
         assert_eq!(succ.len(), 2);
-        assert!(succ.iter().any(|(s, _)| matches!(s, Step::Internal { component, .. } if *component == x)));
+        assert!(succ
+            .iter()
+            .any(|(s, _)| matches!(s, Step::Internal { component, .. } if *component == x)));
         // Internal step is silent.
-        let internal = succ.iter().find(|(s, _)| matches!(s, Step::Internal { .. })).unwrap();
+        let internal = succ
+            .iter()
+            .find(|(s, _)| matches!(s, Step::Internal { .. }))
+            .unwrap();
         assert_eq!(sys.step_label(&internal.0), None);
     }
 
@@ -698,7 +770,11 @@ mod tests {
         let t = sb.add_instance("t", &talker);
         let l1 = sb.add_instance("l1", &listener);
         let l2 = sb.add_instance("l2", &listener);
-        sb.add_connector(ConnectorBuilder::broadcast("cast", (t, "say"), [(l1, "hear"), (l2, "hear")]));
+        sb.add_connector(ConnectorBuilder::broadcast(
+            "cast",
+            (t, "say"),
+            [(l1, "hear"), (l2, "hear")],
+        ));
         let sys = sb.build().unwrap();
         let st = sys.initial_state();
         // Feasible: {t}, {t,l1}, {t,l2}, {t,l1,l2} — all offered.
@@ -739,7 +815,10 @@ mod tests {
         sb.add_connector(ConnectorBuilder::singleton("c", a, "h"));
         assert!(matches!(
             sb.build(),
-            Err(ModelError::DuplicateName { kind: "connector", .. })
+            Err(ModelError::DuplicateName {
+                kind: "connector",
+                ..
+            })
         ));
     }
 

@@ -64,10 +64,20 @@ impl Crp {
 enum Msg {
     /// Component → engine: "at my current state (counter `cnt`), port of
     /// connector `conn` is enabled; exported variable snapshot attached".
-    Offer { comp: usize, conn: u32, endpoint: usize, cnt: u64, vars: Vec<Value> },
+    Offer {
+        comp: usize,
+        conn: u32,
+        endpoint: usize,
+        cnt: u64,
+        vars: Vec<Value>,
+    },
     /// Engine → component: execute your transition on `conn` (variable
     /// writes attached).
-    Exec { conn: u32, endpoint: usize, writes: Vec<(u32, Value)> },
+    Exec {
+        conn: u32,
+        endpoint: usize,
+        writes: Vec<(u32, Value)>,
+    },
     /// Engine → CRP: request to fire `conn` with the given
     /// (component, counter) vector.
     Request { conn: u32, parts: Vec<(usize, u64)> },
@@ -168,7 +178,13 @@ impl ComponentNode {
         }
     }
 
-    fn execute(&mut self, conn: u32, endpoint: usize, writes: Vec<(u32, Value)>, ctx: &mut Context<Msg>) {
+    fn execute(
+        &mut self,
+        conn: u32,
+        endpoint: usize,
+        writes: Vec<(u32, Value)>,
+        ctx: &mut Context<Msg>,
+    ) {
         let ty = self.sys.atom_type(self.comp).clone();
         let eps = self.sys.connector_endpoints(ConnId(conn));
         let (_, port) = eps[endpoint];
@@ -228,9 +244,9 @@ impl EngineNode {
         // Connector guard over offered variable snapshots.
         let conn_ref = &self.sys.connectors()[conn as usize];
         if conn_ref.guard != Expr::Const(1) {
-            let ok = conn_ref.guard.eval_bool(&[], &|k, v| {
-                self.offers[&(conn, k as usize)].1[v as usize]
-            });
+            let ok = conn_ref
+                .guard
+                .eval_bool(&[], &|k, v| self.offers[&(conn, k as usize)].1[v as usize]);
             if !ok {
                 return None;
             }
@@ -260,9 +276,20 @@ impl EngineNode {
                         let (comp0, cnt0) = sorted[0];
                         self.lock_progress.insert(
                             conn,
-                            LockProgress { parts: sorted.clone(), next: 0, held: Vec::new() },
+                            LockProgress {
+                                parts: sorted.clone(),
+                                next: 0,
+                                held: Vec::new(),
+                            },
                         );
-                        ctx.send(lock_of_comp[comp0], Msg::Acquire { conn, comp: comp0, cnt: cnt0 });
+                        ctx.send(
+                            lock_of_comp[comp0],
+                            Msg::Acquire {
+                                conn,
+                                comp: comp0,
+                                cnt: cnt0,
+                            },
+                        );
                     }
                 }
             }
@@ -281,7 +308,11 @@ impl EngineNode {
         for (i, (comp, _)) in eps.iter().enumerate() {
             ctx.send(
                 self.comp_node[*comp],
-                Msg::Exec { conn, endpoint: i, writes: std::mem::take(&mut writes[i]) },
+                Msg::Exec {
+                    conn,
+                    endpoint: i,
+                    writes: std::mem::take(&mut writes[i]),
+                },
             );
         }
         self.fired_log.push((conn, ctx.now()));
@@ -312,8 +343,11 @@ struct ArbiterNode {
 
 impl ArbiterNode {
     fn handle(&mut self, from: usize, conn: u32, parts: &[(usize, u64)], ctx: &mut Context<Msg>) {
-        let stale: Vec<(usize, u64)> =
-            parts.iter().copied().filter(|&(c, n)| self.counters[c] != n).collect();
+        let stale: Vec<(usize, u64)> = parts
+            .iter()
+            .copied()
+            .filter(|&(c, n)| self.counters[c] != n)
+            .collect();
         if stale.is_empty() {
             for &(c, _) in parts {
                 self.counters[c] += 1;
@@ -339,8 +373,11 @@ impl RingStation {
     fn drain(&mut self, ctx: &mut Context<Msg>) {
         if let Some(counters) = &mut self.has_token {
             while let Some((conn, parts)) = self.queue.pop_front() {
-                let stale: Vec<(usize, u64)> =
-                    parts.iter().copied().filter(|&(c, n)| counters[c] != n).collect();
+                let stale: Vec<(usize, u64)> = parts
+                    .iter()
+                    .copied()
+                    .filter(|&(c, n)| counters[c] != n)
+                    .collect();
                 if stale.is_empty() {
                     for &(c, _) in &parts {
                         counters[c] += 1;
@@ -361,7 +398,7 @@ impl RingStation {
 struct LockNode {
     comp: usize,
     counter: u64,
-    holder: Option<(usize, u32)>, // (engine node, conn)
+    holder: Option<(usize, u32)>,       // (engine node, conn)
     queue: VecDeque<(usize, u32, u64)>, // (engine node, conn, expected cnt)
 }
 
@@ -373,9 +410,22 @@ impl LockNode {
             };
             if cnt == self.counter {
                 self.holder = Some((engine, conn));
-                ctx.send(engine, Msg::Locked { conn, comp: self.comp });
+                ctx.send(
+                    engine,
+                    Msg::Locked {
+                        conn,
+                        comp: self.comp,
+                    },
+                );
             } else {
-                ctx.send(engine, Msg::Stale { conn, comp: self.comp, cnt });
+                ctx.send(
+                    engine,
+                    Msg::Stale {
+                        conn,
+                        comp: self.comp,
+                        cnt,
+                    },
+                );
             }
         }
     }
@@ -393,12 +443,23 @@ impl Process<Msg> for Node {
     fn on_message(&mut self, from: usize, msg: Msg, ctx: &mut Context<Msg>) {
         match self {
             Node::Component(c) => {
-                if let Msg::Exec { conn, endpoint, writes } = msg {
+                if let Msg::Exec {
+                    conn,
+                    endpoint,
+                    writes,
+                } = msg
+                {
                     c.execute(conn, endpoint, writes, ctx);
                 }
             }
             Node::Engine(e) => match msg {
-                Msg::Offer { conn, endpoint, cnt, vars, .. } => {
+                Msg::Offer {
+                    conn,
+                    endpoint,
+                    cnt,
+                    vars,
+                    ..
+                } => {
                     e.offers.insert((conn, endpoint), (cnt, vars));
                     e.try_fire_all(ctx);
                 }
@@ -414,7 +475,9 @@ impl Process<Msg> for Node {
                     e.try_fire_all(ctx);
                 }
                 Msg::Locked { conn, .. } => {
-                    let Some(mut prog) = e.lock_progress.remove(&conn) else { return };
+                    let Some(mut prog) = e.lock_progress.remove(&conn) else {
+                        return;
+                    };
                     prog.held.push(prog.parts[prog.next].0);
                     prog.next += 1;
                     if prog.next == prog.parts.len() {
@@ -422,13 +485,27 @@ impl Process<Msg> for Node {
                         e.execute_interaction(conn, ctx);
                         if let CrpRouting::Locks { lock_of_comp } = &e.crp {
                             for &c in &prog.held {
-                                ctx.send(lock_of_comp[c], Msg::Release { conn, comp: c, fired: true });
+                                ctx.send(
+                                    lock_of_comp[c],
+                                    Msg::Release {
+                                        conn,
+                                        comp: c,
+                                        fired: true,
+                                    },
+                                );
                             }
                         }
                     } else {
                         let (c, n) = prog.parts[prog.next];
                         if let CrpRouting::Locks { lock_of_comp } = &e.crp {
-                            ctx.send(lock_of_comp[c], Msg::Acquire { conn, comp: c, cnt: n });
+                            ctx.send(
+                                lock_of_comp[c],
+                                Msg::Acquire {
+                                    conn,
+                                    comp: c,
+                                    cnt: n,
+                                },
+                            );
                         }
                         e.lock_progress.insert(conn, prog);
                     }
@@ -440,7 +517,11 @@ impl Process<Msg> for Node {
                             for &c in &prog.held {
                                 ctx.send(
                                     lock_of_comp[c],
-                                    Msg::Release { conn, comp: c, fired: false },
+                                    Msg::Release {
+                                        conn,
+                                        comp: c,
+                                        fired: false,
+                                    },
                                 );
                             }
                         }
@@ -511,7 +592,11 @@ pub fn deploy(
             assert!(covered.insert(*c), "connector {c:?} in two blocks");
         }
     }
-    assert_eq!(covered.len(), sys.num_connectors(), "partition must cover all connectors");
+    assert_eq!(
+        covered.len(),
+        sys.num_connectors(),
+        "partition must cover all connectors"
+    );
 
     let sys = std::sync::Arc::new(sys.clone());
     let ncomp = sys.num_components();
@@ -532,6 +617,7 @@ pub fn deploy(
     let mut nodes: Vec<Node> = Vec::new();
     for comp in 0..ncomp {
         let mut watch = Vec::new();
+        #[allow(clippy::needless_range_loop)] // ci indexes two parallel tables
         for ci in 0..sys.num_connectors() {
             let eps = sys.connector_endpoints(ConnId(ci as u32));
             for (i, (c, _)) in eps.iter().enumerate() {
@@ -552,7 +638,9 @@ pub fn deploy(
     for (b, block) in partition.iter().enumerate() {
         let routing = match crp {
             Crp::Centralized => CrpRouting::Centralized { arbiter: crp_base },
-            Crp::TokenRing => CrpRouting::TokenRing { station: crp_base + b },
+            Crp::TokenRing => CrpRouting::TokenRing {
+                station: crp_base + b,
+            },
             Crp::Locks => CrpRouting::Locks {
                 lock_of_comp: (0..ncomp).map(|c| crp_base + c).collect(),
             },
@@ -570,7 +658,9 @@ pub fn deploy(
     }
     match crp {
         Crp::Centralized => {
-            nodes.push(Node::Arbiter(ArbiterNode { counters: vec![0; ncomp] }));
+            nodes.push(Node::Arbiter(ArbiterNode {
+                counters: vec![0; ncomp],
+            }));
         }
         Crp::TokenRing => {
             for b in 0..nengines {
@@ -640,12 +730,16 @@ pub fn deploy(
 
 /// Convenience partitions for experiments: one block for everything.
 pub fn single_block(sys: &System) -> Vec<Vec<ConnId>> {
-    vec![(0..sys.num_connectors()).map(|i| ConnId(i as u32)).collect()]
+    vec![(0..sys.num_connectors())
+        .map(|i| ConnId(i as u32))
+        .collect()]
 }
 
 /// One block per connector (maximal distribution).
 pub fn block_per_connector(sys: &System) -> Vec<Vec<ConnId>> {
-    (0..sys.num_connectors()).map(|i| vec![ConnId(i as u32)]).collect()
+    (0..sys.num_connectors())
+        .map(|i| vec![ConnId(i as u32)])
+        .collect()
 }
 
 /// `k` round-robin blocks.
@@ -678,25 +772,57 @@ mod tests {
     #[test]
     fn centralized_philosophers_progress_and_stay_valid() {
         let sys = dining_philosophers(4, false).unwrap();
-        let r = deploy(&sys, &k_blocks(&sys, 2), Crp::Centralized, 20_000, Latency::Fixed(2), 1);
-        assert!(r.total_interactions > 20, "only {} interactions", r.total_interactions);
+        let r = deploy(
+            &sys,
+            &k_blocks(&sys, 2),
+            Crp::Centralized,
+            20_000,
+            Latency::Fixed(2),
+            1,
+        );
+        assert!(
+            r.total_interactions > 20,
+            "only {} interactions",
+            r.total_interactions
+        );
         replay_word_is_valid(&sys, &r.word);
     }
 
     #[test]
     fn token_ring_philosophers_progress_and_stay_valid() {
         let sys = dining_philosophers(4, false).unwrap();
-        let r = deploy(&sys, &k_blocks(&sys, 3), Crp::TokenRing, 20_000, Latency::Fixed(2), 2);
-        assert!(r.total_interactions > 10, "only {} interactions", r.total_interactions);
+        let r = deploy(
+            &sys,
+            &k_blocks(&sys, 3),
+            Crp::TokenRing,
+            20_000,
+            Latency::Fixed(2),
+            2,
+        );
+        assert!(
+            r.total_interactions > 10,
+            "only {} interactions",
+            r.total_interactions
+        );
         replay_word_is_valid(&sys, &r.word);
     }
 
     #[test]
     fn locks_philosophers_progress_and_stay_valid() {
         let sys = dining_philosophers(4, false).unwrap();
-        let r =
-            deploy(&sys, &block_per_connector(&sys), Crp::Locks, 20_000, Latency::Fixed(2), 3);
-        assert!(r.total_interactions > 10, "only {} interactions", r.total_interactions);
+        let r = deploy(
+            &sys,
+            &block_per_connector(&sys),
+            Crp::Locks,
+            20_000,
+            Latency::Fixed(2),
+            3,
+        );
+        assert!(
+            r.total_interactions > 10,
+            "only {} interactions",
+            r.total_interactions
+        );
         replay_word_is_valid(&sys, &r.word);
     }
 
@@ -737,12 +863,22 @@ mod tests {
         let p = sb.add_instance("p", &producer);
         let c = sb.add_instance("c", &consumer);
         sb.add_connector(
-            ConnectorBuilder::rendezvous("xfer", [(p, "out"), (c, "inp")])
-                .transfer(1, 1, Expr::param(0, 0)),
+            ConnectorBuilder::rendezvous("xfer", [(p, "out"), (c, "inp")]).transfer(
+                1,
+                1,
+                Expr::param(0, 0),
+            ),
         );
         let sys = sb.build().unwrap();
         for crp in Crp::all() {
-            let r = deploy(&sys, &single_block(&sys), crp, 100_000, Latency::Fixed(1), 7);
+            let r = deploy(
+                &sys,
+                &single_block(&sys),
+                crp,
+                100_000,
+                Latency::Fixed(1),
+                7,
+            );
             assert_eq!(r.total_interactions, 5, "{}", crp.name());
             // got receives n *before* the producer increments... transfer
             // reads the offer snapshot: values 0,1,2,3,4 → sum = 10.
@@ -765,14 +901,26 @@ mod tests {
             );
             // Replay validity is the strong safety statement.
             replay_word_is_valid(&sys, &r.word);
-            assert!(r.total_interactions > 5, "{}: {}", crp.name(), r.total_interactions);
+            assert!(
+                r.total_interactions > 5,
+                "{}: {}",
+                crp.name(),
+                r.total_interactions
+            );
         }
     }
 
     #[test]
     fn throughput_metrics_consistent() {
         let sys = dining_philosophers(4, false).unwrap();
-        let r = deploy(&sys, &k_blocks(&sys, 2), Crp::Centralized, 10_000, Latency::Fixed(2), 5);
+        let r = deploy(
+            &sys,
+            &k_blocks(&sys, 2),
+            Crp::Centralized,
+            10_000,
+            Latency::Fixed(2),
+            5,
+        );
         assert!(r.messages_per_interaction() > 2.0);
         assert!(r.throughput() > 0.0);
         assert_eq!(r.total_interactions, r.word.len());
@@ -782,6 +930,13 @@ mod tests {
     #[should_panic(expected = "partition must cover")]
     fn partition_must_cover() {
         let sys = dining_philosophers(2, false).unwrap();
-        let _ = deploy(&sys, &[vec![ConnId(0)]], Crp::Centralized, 100, Latency::Fixed(1), 0);
+        let _ = deploy(
+            &sys,
+            &[vec![ConnId(0)]],
+            Crp::Centralized,
+            100,
+            Latency::Fixed(1),
+            0,
+        );
     }
 }

@@ -180,9 +180,7 @@ pub fn refine_interactions(sys: &System) -> Result<RefinedSystem, ModelError> {
 
         // Connectors: str (silent), rcv_i/ack_i (silent), cmp (observable).
         let (c0, p0) = eps[0];
-        let initiator_port = |suffix: &str| {
-            format!("{}@{}", suffix, conn_name)
-        };
+        let initiator_port = |suffix: &str| format!("{}@{}", suffix, conn_name);
         let _ = p0;
         sb.add_connector(
             ConnectorBuilder::rendezvous(
@@ -195,14 +193,20 @@ pub fn refine_interactions(sys: &System) -> Result<RefinedSystem, ModelError> {
             sb.add_connector(
                 ConnectorBuilder::rendezvous(
                     format!("rcv{i}@{conn_name}"),
-                    [(d_idx, format!("rcv{i}")), (*cidx, format!("rcv@{conn_name}"))],
+                    [
+                        (d_idx, format!("rcv{i}")),
+                        (*cidx, format!("rcv@{conn_name}")),
+                    ],
                 )
                 .silent(),
             );
             sb.add_connector(
                 ConnectorBuilder::rendezvous(
                     format!("ack{i}@{conn_name}"),
-                    [(*cidx, format!("ack@{conn_name}")), (d_idx, format!("ack{i}"))],
+                    [
+                        (*cidx, format!("ack@{conn_name}")),
+                        (d_idx, format!("ack{i}")),
+                    ],
                 )
                 .silent(),
             );
@@ -215,7 +219,10 @@ pub fn refine_interactions(sys: &System) -> Result<RefinedSystem, ModelError> {
         observation.insert(cmp_name, conn_name);
     }
 
-    Ok(RefinedSystem { system: sb.build()?, observation })
+    Ok(RefinedSystem {
+        system: sb.build()?,
+        observation,
+    })
 }
 
 /// Build the conflict scenario at the bottom of Fig. 5.4, closed into a
@@ -246,8 +253,16 @@ pub fn fig54_conflict_pair() -> (System, RefinedSystem) {
         sb.add_connector(Connector {
             name: name.to_string(),
             ports: vec![
-                PortRef { component: from, port: "init".to_string(), trigger: false },
-                PortRef { component: to, port: "serve".to_string(), trigger: false },
+                PortRef {
+                    component: from,
+                    port: "init".to_string(),
+                    trigger: false,
+                },
+                PortRef {
+                    component: to,
+                    port: "serve".to_string(),
+                    trigger: false,
+                },
             ],
             guard: Expr::t(),
             transfer: Vec::new(),
@@ -320,7 +335,10 @@ mod tests {
         // str of its own interaction, so every coordinator waits on a
         // committed receiver — the circular wait.
         let dead = find_deadlock(&refined.system, 200_000);
-        assert!(dead.is_some(), "Fig 5.4 bottom: naive refinement must deadlock");
+        assert!(
+            dead.is_some(),
+            "Fig 5.4 bottom: naive refinement must deadlock"
+        );
         assert!(!r.refines(), "clause 2 (deadlock preservation) fails");
     }
 
@@ -339,11 +357,17 @@ mod tests {
         let c1 = sb.add_instance("x", &t);
         let c2 = sb.add_instance("y", &t);
         let c3 = sb.add_instance("z", &t);
-        sb.add_connector(ConnectorBuilder::rendezvous("tri", [(c1, "p"), (c2, "p"), (c3, "p")]));
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            "tri",
+            [(c1, "p"), (c2, "p"), (c3, "p")],
+        ));
         let orig = sb.build().unwrap();
         let refined = refine_interactions(&orig).unwrap();
         let r = refines(&orig, &refined.system, refined.rename(), 100_000);
-        assert!(r.refines(), "non-conflicting 3-party interaction refines cleanly");
+        assert!(
+            r.refines(),
+            "non-conflicting 3-party interaction refines cleanly"
+        );
     }
 
     #[test]
@@ -415,8 +439,11 @@ mod tests {
         let a = sb.add_instance("a", &t);
         let b = sb.add_instance("b", &t);
         sb.add_connector(
-            ConnectorBuilder::rendezvous("x", [(a, "p"), (b, "p")])
-                .transfer(1, 0, Expr::param(0, 0)),
+            ConnectorBuilder::rendezvous("x", [(a, "p"), (b, "p")]).transfer(
+                1,
+                0,
+                Expr::param(0, 0),
+            ),
         );
         let orig = sb.build().unwrap();
         assert!(refine_interactions(&orig).is_err());

@@ -53,7 +53,9 @@ pub fn gcd_system(x0: i64, y0: i64) -> System {
     // An observer port (never connected to anything enabled) keeps the
     // system shape conventional.
     sb.add_connector(
-        ConnectorBuilder::singleton("observe", g, "observe").guard(Expr::f()).silent(),
+        ConnectorBuilder::singleton("observe", g, "observe")
+            .guard(Expr::f())
+            .silent(),
     );
     sb.build().expect("gcd system")
 }
@@ -78,7 +80,13 @@ pub struct SpringMass {
 impl SpringMass {
     /// Release from rest at `x0`.
     pub fn released_at(x0: f64, k: f64, m: f64, dt: f64) -> SpringMass {
-        SpringMass { x: x0, v: 0.0, k, m, dt }
+        SpringMass {
+            x: x0,
+            v: 0.0,
+            k,
+            m,
+            dt,
+        }
     }
 
     /// Total mechanical energy `½kx² + ½mv²`.
@@ -145,7 +153,11 @@ mod tests {
         let sys = gcd_system(12, 18);
         let r = explore(&sys, 10_000);
         assert!(r.complete);
-        assert_eq!(r.deadlocks.len(), 1, "the program terminates deterministically");
+        assert_eq!(
+            r.deadlocks.len(),
+            1,
+            "the program terminates deterministically"
+        );
         let end = &r.deadlocks[0];
         assert_eq!(sys.var_value(end, 0, 0), 6);
         assert_eq!(sys.var_value(end, 0, 1), 6);
@@ -180,7 +192,10 @@ mod tests {
             }
             prev = s.x;
         }
-        assert!(crossed >= 2, "the mass must oscillate (crossed {crossed} times)");
+        assert!(
+            crossed >= 2,
+            "the mass must oscillate (crossed {crossed} times)"
+        );
     }
 
     #[test]

@@ -84,7 +84,13 @@ pub fn embed_program(program: &Program) -> Result<EmbeddedProgram, ModelError> {
                 .initial("start")
                 // B_pre: emit the stored value, then absorb this cycle's
                 // input into the store.
-                .guarded_transition("start", "str", Expr::t(), vec![("out", Expr::var(1))], "await")
+                .guarded_transition(
+                    "start",
+                    "str",
+                    Expr::t(),
+                    vec![("out", Expr::var(1))],
+                    "await",
+                )
                 .transition("await", "recv", "done")
                 .transition("await", "send", "await")
                 .transition("done", "send", "done")
@@ -126,11 +132,8 @@ pub fn embed_program(program: &Program) -> Result<EmbeddedProgram, ModelError> {
     }
     // σ: global start / complete rendezvous.
     sb.add_connector(
-        ConnectorBuilder::rendezvous(
-            "str",
-            node_comp.iter().map(|&c| (c, "str".to_string())),
-        )
-        .silent(),
+        ConnectorBuilder::rendezvous("str", node_comp.iter().map(|&c| (c, "str".to_string())))
+            .silent(),
     );
     sb.add_connector(ConnectorBuilder::rendezvous(
         "cmp",
@@ -147,11 +150,19 @@ pub fn embed_program(program: &Program) -> Result<EmbeddedProgram, ModelError> {
         producers.sort_unstable();
         producers.dedup();
         let mut ports: Vec<(usize, String)> = vec![(node_comp[i], "recv".to_string())];
-        ports.extend(producers.iter().map(|&p| (node_comp[p], "send".to_string())));
+        ports.extend(
+            producers
+                .iter()
+                .map(|&p| (node_comp[p], "send".to_string())),
+        );
         let mut cb = ConnectorBuilder::rendezvous(format!("feed{i}"), ports).silent();
         // Transfers: consumer's input slots from producers' outs.
         let endpoint_of = |p: NodeId| -> u32 {
-            (producers.iter().position(|&q| q == p).expect("producer present") + 1) as u32
+            (producers
+                .iter()
+                .position(|&q| q == p)
+                .expect("producer present")
+                + 1) as u32
         };
         match kind {
             NodeKind::Pre(_, a) => {
@@ -166,7 +177,11 @@ pub fn embed_program(program: &Program) -> Result<EmbeddedProgram, ModelError> {
         }
         sb.add_connector(cb);
     }
-    Ok(EmbeddedProgram { system: sb.build()?, node_comp, program: program.clone() })
+    Ok(EmbeddedProgram {
+        system: sb.build()?,
+        node_comp,
+        program: program.clone(),
+    })
 }
 
 impl EmbeddedProgram {
@@ -183,6 +198,7 @@ impl EmbeddedProgram {
         let sys = &self.system;
         let mut st = sys.initial_state();
         let mut out = vec![Vec::with_capacity(cycles); self.program.outputs().len()];
+        #[allow(clippy::needless_range_loop)] // t is the cycle index across all input streams
         for t in 0..cycles {
             // Load inputs for this cycle.
             for (i, kind) in self.program.nodes().iter().enumerate() {
@@ -214,8 +230,9 @@ impl EmbeddedProgram {
     /// connectors, total transitions)`.
     pub fn size(&self) -> (usize, usize, usize) {
         let sys = &self.system;
-        let transitions: usize =
-            (0..sys.num_components()).map(|c| sys.atom_type(c).transitions().len()).sum();
+        let transitions: usize = (0..sys.num_components())
+            .map(|c| sys.atom_type(c).transitions().len())
+            .sum();
         (sys.num_components(), sys.num_connectors(), transitions)
     }
 }
@@ -232,7 +249,10 @@ mod tests {
         let xs = vec![vec![1, 2, 3, 4, 5, -2, 7]];
         let want = p.eval(&xs, 7);
         let got = e.run(&xs, 7);
-        assert_eq!(got, want, "Fig 5.2: the BIP program computes the running sums");
+        assert_eq!(
+            got, want,
+            "Fig 5.2: the BIP program computes the running sums"
+        );
     }
 
     #[test]

@@ -124,9 +124,16 @@ impl Program {
         let mut pre_state: Vec<i64> = self
             .nodes
             .iter()
-            .map(|k| if let NodeKind::Pre(init, _) = k { *init } else { 0 })
+            .map(|k| {
+                if let NodeKind::Pre(init, _) = k {
+                    *init
+                } else {
+                    0
+                }
+            })
             .collect();
         let mut out = vec![Vec::with_capacity(cycles); self.outputs.len()];
+        #[allow(clippy::needless_range_loop)] // t is the cycle index across all input streams
         for t in 0..cycles {
             for &i in &order {
                 value[i] = match &self.nodes[i] {

@@ -9,25 +9,41 @@
 //! atomic components and the engine — never directly between different
 //! atomic components."
 //!
-//! This crate provides:
+//! # The unified execution API
 //!
-//! * [`SequentialEngine`] — single-threaded execution with a pluggable
-//!   [`Policy`] (seeded random, round-robin, ...), trace recording, and
-//!   runtime [`Monitor`]s (safety observers over [`bip_core::StatePred`]);
-//! * [`run_threaded`] — the multi-threaded architecture above: one thread
-//!   per atom plus an engine thread, communicating over channels only
-//!   (verified in tests to produce schedules the sequential semantics
-//!   allows);
-//! * the real-time engine lives in `bip-rt` (time needs its own semantics).
+//! All runtimes implement one [`Engine`] trait — `step` / `run` / `report`
+//! — and carry one [`ExecContext`], which owns the scheduling [`Policy`],
+//! the runtime [`Monitor`]s (safety observers over
+//! [`bip_core::StatePred`]), and the recorded [`Trace`]. Code written
+//! against `impl Engine` (or `&mut dyn Engine`) is backend-agnostic:
+//!
+//! * [`SequentialEngine`] — single-threaded, on the compiled enabled-set
+//!   protocol ([`bip_core::EnabledSet`]): after each fire only the
+//!   connectors watching the moved components are re-evaluated, and with
+//!   trace recording off the hot loop is allocation-free;
+//! * [`ThreadedEngine`] — the paper's multi-threaded architecture: one
+//!   persistent thread per atom plus the engine as the synchronization
+//!   point, channels only, same incremental enabled set on the engine side
+//!   ([`run_threaded`] is the one-shot compatibility wrapper);
+//! * `bip_rt::RtEngine` — discrete time under a duration assignment φ
+//!   (time needs its own semantics, so it lives in `bip-rt`).
+//!
+//! Policies expose both surfaces: [`Policy::choose`] picks among compiled
+//! [`bip_core::EnabledStep`]s (no successor states materialized) and
+//! [`Policy::choose_local`] resolves per-participant transition choice;
+//! the legacy [`Policy::pick`] over `(Step, State)` pairs keeps working —
+//! its default bridge materializes one successor per enabled step.
 
+mod engine;
 mod monitor;
 mod policy;
 mod sequential;
 mod threaded;
 mod trace;
 
+pub use engine::{Engine, ExecContext, RunReport, StopReason};
 pub use monitor::{Monitor, MonitorVerdict};
 pub use policy::{FirstEnabled, Policy, RandomPolicy, RoundRobinPolicy};
-pub use sequential::{RunReport, SequentialEngine, StopReason};
-pub use threaded::{run_threaded, ThreadedReport};
+pub use sequential::SequentialEngine;
+pub use threaded::{run_threaded, ThreadedEngine, ThreadedReport};
 pub use trace::{Trace, TraceEntry};

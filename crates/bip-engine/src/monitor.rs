@@ -29,7 +29,12 @@ pub struct Monitor {
 impl Monitor {
     /// Create a monitor asserting `pred` on every visited state.
     pub fn new(name: impl Into<String>, pred: StatePred) -> Monitor {
-        Monitor { name: name.into(), pred, violations: 0, first_violation: None }
+        Monitor {
+            name: name.into(),
+            pred,
+            violations: 0,
+            first_violation: None,
+        }
     }
 
     /// The monitor's name.

@@ -4,17 +4,65 @@
 //! §5.5); a policy resolves the *remaining* nondeterminism — the paper's
 //! "reducing non-determinism (through scheduling)" design parameter (§3.3).
 
-use bip_core::{State, Step, System};
+use bip_core::{CompId, EnabledStep, State, Step, System, TransitionId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A deterministic-by-seed strategy for picking one of the enabled steps.
+///
+/// The compiled execution path calls [`Policy::choose`] (over `Copy`
+/// [`EnabledStep`]s, no successor states materialized) and
+/// [`Policy::choose_local`] (per-participant transition choice). The legacy
+/// [`Policy::pick`] remains for code still enumerating
+/// [`System::successors`]; its default bridge materializes one successor
+/// per enabled step, so policies written against either surface behave
+/// consistently under both.
 pub trait Policy {
     /// Pick an index into `options` (guaranteed non-empty).
     fn pick(&mut self, sys: &System, st: &State, options: &[(Step, State)]) -> usize;
 
+    /// Pick an index into the compiled `options` (guaranteed non-empty)
+    /// without materializing successor states.
+    ///
+    /// The default bridges to [`Policy::pick`] by materializing each
+    /// option's successor (first local-transition choice) — correct for any
+    /// legacy policy, but allocating; hot-path policies override this.
+    fn choose(&mut self, sys: &System, st: &State, options: &[EnabledStep]) -> usize {
+        let succ: Vec<(Step, State)> = options.iter().map(|&s| sys.materialize(st, s)).collect();
+        self.pick(sys, st, &succ)
+    }
+
+    /// Resolve local nondeterminism: which of `candidates` (never empty)
+    /// should participant `comp` fire? Defaults to the first.
+    fn choose_local(
+        &mut self,
+        _sys: &System,
+        _comp: CompId,
+        _candidates: &[TransitionId],
+    ) -> usize {
+        0
+    }
+
     /// Name for reports.
     fn name(&self) -> &str;
+}
+
+impl<T: Policy + ?Sized> Policy for Box<T> {
+    fn pick(&mut self, sys: &System, st: &State, options: &[(Step, State)]) -> usize {
+        (**self).pick(sys, st, options)
+    }
+
+    fn choose(&mut self, sys: &System, st: &State, options: &[EnabledStep]) -> usize {
+        (**self).choose(sys, st, options)
+    }
+
+    fn choose_local(&mut self, sys: &System, comp: CompId, candidates: &[TransitionId]) -> usize {
+        (**self).choose_local(sys, comp, candidates)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
 }
 
 /// Uniformly random choice with a fixed seed — the default exploration
@@ -27,13 +75,23 @@ pub struct RandomPolicy {
 impl RandomPolicy {
     /// Create with a seed.
     pub fn new(seed: u64) -> RandomPolicy {
-        RandomPolicy { rng: StdRng::seed_from_u64(seed) }
+        RandomPolicy {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
 impl Policy for RandomPolicy {
     fn pick(&mut self, _sys: &System, _st: &State, options: &[(Step, State)]) -> usize {
         self.rng.gen_range(0..options.len())
+    }
+
+    fn choose(&mut self, _sys: &System, _st: &State, options: &[EnabledStep]) -> usize {
+        self.rng.gen_range(0..options.len())
+    }
+
+    fn choose_local(&mut self, _sys: &System, _comp: CompId, candidates: &[TransitionId]) -> usize {
+        self.rng.gen_range(0..candidates.len())
     }
 
     fn name(&self) -> &str {
@@ -47,6 +105,10 @@ pub struct FirstEnabled;
 
 impl Policy for FirstEnabled {
     fn pick(&mut self, _sys: &System, _st: &State, _options: &[(Step, State)]) -> usize {
+        0
+    }
+
+    fn choose(&mut self, _sys: &System, _st: &State, _options: &[EnabledStep]) -> usize {
         0
     }
 
@@ -70,30 +132,47 @@ impl RoundRobinPolicy {
     }
 }
 
-impl Policy for RoundRobinPolicy {
-    fn pick(&mut self, sys: &System, _st: &State, options: &[(Step, State)]) -> usize {
+impl RoundRobinPolicy {
+    fn pick_oldest<T>(
+        &mut self,
+        sys: &System,
+        options: &[T],
+        conn_of: impl Fn(&T) -> Option<u32>,
+    ) -> usize {
         if self.last_fired.len() < sys.num_connectors() {
             self.last_fired.resize(sys.num_connectors(), 0);
         }
         self.clock += 1;
         let mut best = 0usize;
         let mut best_age = u64::MAX;
-        for (i, (step, _)) in options.iter().enumerate() {
-            let age = match step {
-                Step::Interaction { interaction, .. } => {
-                    self.last_fired[interaction.connector.0 as usize]
-                }
-                Step::Internal { .. } => 0, // internal steps rank oldest
-            };
+        for (i, opt) in options.iter().enumerate() {
+            // Internal steps rank oldest.
+            let age = conn_of(opt).map_or(0, |c| self.last_fired[c as usize]);
             if age < best_age {
                 best_age = age;
                 best = i;
             }
         }
-        if let Step::Interaction { interaction, .. } = &options[best].0 {
-            self.last_fired[interaction.connector.0 as usize] = self.clock;
+        if let Some(c) = conn_of(&options[best]) {
+            self.last_fired[c as usize] = self.clock;
         }
         best
+    }
+}
+
+impl Policy for RoundRobinPolicy {
+    fn pick(&mut self, sys: &System, _st: &State, options: &[(Step, State)]) -> usize {
+        self.pick_oldest(sys, options, |(step, _)| match step {
+            Step::Interaction { interaction, .. } => Some(interaction.connector.0),
+            Step::Internal { .. } => None,
+        })
+    }
+
+    fn choose(&mut self, sys: &System, _st: &State, options: &[EnabledStep]) -> usize {
+        self.pick_oldest(sys, options, |step| match step {
+            EnabledStep::Interaction(ir) => Some(ir.connector.0),
+            EnabledStep::Internal { .. } => None,
+        })
     }
 
     fn name(&self) -> &str {
@@ -149,6 +228,9 @@ mod tests {
             }
             st = succ[i].1.clone();
         }
-        assert!(fired.len() >= 4, "round robin should visit many connectors: {fired:?}");
+        assert!(
+            fired.len() >= 4,
+            "round robin should visit many connectors: {fired:?}"
+        );
     }
 }

@@ -9,8 +9,10 @@
 //!
 //! 1. every component thread sends its local state (location + variables)
 //!    to the engine;
-//! 2. the engine computes the enabled interactions of the *global* state,
-//!    applies priorities, picks one with its policy, evaluates the data
+//! 2. the engine reassembles the global state, brings its incremental
+//!    [`bip_core::EnabledSet`] up to date (only connectors watching
+//!    components that moved last round are re-evaluated), applies
+//!    priorities, picks one step with its [`Policy`], evaluates the data
 //!    transfer, and sends each participant its chosen transition (plus
 //!    variable writes); non-participants are told to hold;
 //! 3. participants fire locally and the next round begins.
@@ -18,13 +20,20 @@
 //! The result is observationally a sequential run — the engine is the
 //! synchronization point — which is what makes the schedule checkable
 //! against [`bip_core::System::successors`] (see tests).
+//!
+//! [`ThreadedEngine`] keeps the component threads alive across calls and
+//! implements the unified [`Engine`] trait; [`run_threaded`] is the legacy
+//! one-shot wrapper.
 
 use std::thread;
 
-use bip_core::{State, Step, System, TransitionId, Value};
+use bip_core::{EnabledSet, State, StatePred, Step, System, TransitionId, Value};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::engine::{Engine, ExecContext, RunReport, StopReason};
+use crate::policy::{Policy, RandomPolicy};
+use crate::run_loop;
+use crate::trace::Trace;
 
 /// What a component thread reports to the engine each round.
 #[derive(Debug, Clone)]
@@ -38,14 +47,17 @@ struct LocalState {
 #[derive(Debug, Clone)]
 enum Command {
     /// Fire this transition after overwriting the given variables.
-    Fire { transition: TransitionId, writes: Vec<(u32, Value)> },
+    Fire {
+        transition: TransitionId,
+        writes: Vec<(u32, Value)>,
+    },
     /// Stay put this round.
     Hold,
     /// Terminate the thread.
     Stop,
 }
 
-/// Summary of a threaded run.
+/// Summary of a threaded run (legacy shape kept for [`run_threaded`]).
 #[derive(Debug, Clone)]
 pub struct ThreadedReport {
     /// Interactions executed.
@@ -58,121 +70,289 @@ pub struct ThreadedReport {
     pub final_state: State,
 }
 
-/// Run `sys` for up to `budget` interactions on one thread per component
-/// plus an engine thread. `seed` drives the engine's random choice.
-///
-/// Internal (single-component) steps are scheduled by the engine like
-/// unary interactions, preserving the sequential semantics.
-pub fn run_threaded(sys: &System, budget: usize, seed: u64) -> ThreadedReport {
-    let n = sys.num_components();
-    let (to_engine, from_comps): (Sender<LocalState>, Receiver<LocalState>) = unbounded();
+/// One thread per atomic component plus the engine, kept alive across
+/// [`Engine::step`] / [`Engine::run`] calls.
+#[derive(Debug)]
+pub struct ThreadedEngine<P: Policy = RandomPolicy> {
+    sys: System,
+    state: State,
+    es: EnabledSet,
+    ctx: ExecContext<P>,
+    to_comps: Vec<Sender<Command>>,
+    from_comps: Receiver<LocalState>,
+    handles: Vec<thread::JoinHandle<()>>,
+    /// Set once nothing is enabled; the engine stops gathering reports.
+    dead: bool,
+    /// Scratch for per-participant variable writes.
+    writes_scratch: Vec<Command>,
+}
 
-    thread::scope(|scope| {
-        let mut to_comps: Vec<Sender<Command>> = Vec::with_capacity(n);
+impl<P: Policy> ThreadedEngine<P> {
+    /// Spawn one thread per component, all at their initial local states.
+    pub fn new(sys: System, policy: P) -> ThreadedEngine<P> {
+        let n = sys.num_components();
+        let (to_engine, from_comps) = unbounded();
+        let mut to_comps = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for comp in 0..n {
             let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
             to_comps.push(tx);
             let ty = sys.atom_type(comp).clone();
             let report = to_engine.clone();
-            handles.push(scope.spawn(move || {
+            handles.push(thread::spawn(move || {
                 let mut loc = ty.initial();
                 let mut vars = ty.initial_vars();
                 loop {
-                    report
-                        .send(LocalState { comp, loc: loc.0, vars: vars.clone() })
-                        .expect("engine alive");
-                    match rx.recv().expect("engine alive") {
-                        Command::Fire { transition, writes } => {
+                    if report
+                        .send(LocalState {
+                            comp,
+                            loc: loc.0,
+                            vars: vars.clone(),
+                        })
+                        .is_err()
+                    {
+                        return; // engine gone
+                    }
+                    match rx.recv() {
+                        Ok(Command::Fire { transition, writes }) => {
                             for (v, val) in writes {
                                 vars[v as usize] = val;
                             }
                             ty.apply_updates(transition, &mut vars);
                             loc = ty.transition(transition).to;
                         }
-                        Command::Hold => {}
-                        Command::Stop => return,
+                        Ok(Command::Hold) => {}
+                        Ok(Command::Stop) | Err(_) => return,
                     }
                 }
             }));
         }
-        drop(to_engine);
-
-        // Engine thread logic (runs on this scope thread).
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut steps = 0usize;
-        let mut deadlocked = false;
-        let mut word = Vec::new();
-        let mut state = sys.initial_state();
-        loop {
-            // Gather all component reports for this round.
-            let mut reports: Vec<Option<LocalState>> = (0..n).map(|_| None).collect();
-            for _ in 0..n {
-                let r = from_comps.recv().expect("components alive");
-                let slot = r.comp;
-                reports[slot] = Some(r);
-            }
-            // Reassemble the global state.
-            for (c, r) in reports.iter().enumerate() {
-                let r = r.as_ref().expect("every component reported");
-                state.locs[c] = r.loc;
-                for (i, v) in r.vars.iter().enumerate() {
-                    sys.set_var(&mut state, c, i as u32, *v);
-                }
-            }
-            if steps >= budget {
-                break;
-            }
-            let succ = sys.successors(&state);
-            if succ.is_empty() {
-                deadlocked = true;
-                break;
-            }
-            let (step, next) = &succ[rng.gen_range(0..succ.len())];
-            if let Some(l) = sys.step_label(step) {
-                word.push(l.to_string());
-            }
-            // Dispatch commands: participants fire; others hold.
-            let mut cmd: Vec<Command> = (0..n).map(|_| Command::Hold).collect();
-            match step {
-                Step::Interaction { interaction, transitions } => {
-                    // Replay the connector's data transfer on the pre-state;
-                    // the per-variable diffs become the writes shipped to the
-                    // participants (their own update actions then run
-                    // locally, reading the post-transfer values — the same
-                    // order as the sequential semantics).
-                    let mut transfer_state = state.clone();
-                    sys.fire_interaction(&mut transfer_state, interaction, &[]);
-                    for &(comp, tid) in transitions {
-                        let nvars = sys.atom_type(comp).vars().len();
-                        let writes: Vec<(u32, Value)> = (0..nvars as u32)
-                            .filter(|&v| {
-                                sys.var_value(&transfer_state, comp, v)
-                                    != sys.var_value(&state, comp, v)
-                            })
-                            .map(|v| (v, sys.var_value(&transfer_state, comp, v)))
-                            .collect();
-                        cmd[comp] = Command::Fire { transition: tid, writes };
-                    }
-                }
-                Step::Internal { component, transition } => {
-                    cmd[*component] = Command::Fire { transition: *transition, writes: Vec::new() };
-                }
-            }
-            for (c, tx) in to_comps.iter().enumerate() {
-                tx.send(cmd[c].clone()).expect("component alive");
-            }
-            state = next.clone();
-            steps += 1;
+        let state = sys.initial_state();
+        let es = sys.new_enabled_set();
+        ThreadedEngine {
+            sys,
+            state,
+            es,
+            ctx: ExecContext::new(policy),
+            to_comps,
+            from_comps,
+            handles,
+            dead: false,
+            writes_scratch: Vec::new(),
         }
-        for tx in &to_comps {
+    }
+
+    /// The shared execution context (policy, monitors, trace).
+    pub fn context(&self) -> &ExecContext<P> {
+        &self.ctx
+    }
+
+    /// Mutable access to the execution context.
+    pub fn context_mut(&mut self) -> &mut ExecContext<P> {
+        &mut self.ctx
+    }
+
+    /// Attach a safety monitor.
+    pub fn add_monitor(&mut self, name: impl Into<String>, pred: StatePred) -> &mut Self {
+        self.ctx.add_monitor(name, pred);
+        self
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.ctx.trace
+    }
+
+    /// `true` once the system deadlocked (no further steps possible).
+    pub fn deadlocked(&self) -> bool {
+        self.dead
+    }
+
+    /// Receive this round's report from every component and reassemble the
+    /// global state.
+    fn gather_reports(&mut self) {
+        let n = self.sys.num_components();
+        for _ in 0..n {
+            let r = self.from_comps.recv().expect("component threads alive");
+            let c = r.comp;
+            // The engine predicted these values when it dispatched the last
+            // round; reconciling here keeps the channel protocol the single
+            // source of truth (and catches drift in debug builds).
+            debug_assert_eq!(self.state.locs[c], r.loc, "component {c} diverged");
+            self.state.locs[c] = r.loc;
+            for (i, v) in r.vars.iter().enumerate() {
+                self.sys.set_var(&mut self.state, c, i as u32, *v);
+            }
+        }
+    }
+
+    /// One engine round: gather, pick, dispatch. `None` on deadlock.
+    pub fn step(&mut self) -> Option<Step> {
+        if self.dead {
+            return None;
+        }
+        self.gather_reports();
+        self.sys.refresh_enabled(&self.state, &mut self.es);
+        let scratch = &mut self.ctx.scratch;
+        scratch.clear();
+        self.sys
+            .for_each_enabled(&self.state, &self.es, |s| scratch.push(s));
+        if scratch.is_empty() {
+            // Components stay parked on `recv` until shutdown.
+            self.dead = true;
+            return None;
+        }
+        let i = self
+            .ctx
+            .policy
+            .choose(&self.sys, &self.state, scratch)
+            .min(scratch.len() - 1);
+        let chosen = self.ctx.scratch[i];
+        // Fire on the engine's copy first: this resolves local
+        // nondeterminism and computes the post-transfer store.
+        let pre = self.state.clone();
+        let policy = &mut self.ctx.policy;
+        let step =
+            self.sys
+                .fire_enabled(&mut self.state, &mut self.es, chosen, |sys, comp, cands| {
+                    policy.choose_local(sys, comp, cands)
+                });
+        // Dispatch: participants get their transition plus the variable
+        // writes the data transfer produced; everyone else holds.
+        let n = self.sys.num_components();
+        let mut cmd = std::mem::take(&mut self.writes_scratch);
+        cmd.clear();
+        cmd.resize(n, Command::Hold);
+        if let Step::Interaction {
+            interaction,
+            transitions,
+        } = &step
+        {
+            // Replay the transfer alone on the pre-state to isolate its
+            // writes (participant updates run component-side after them).
+            if !self
+                .sys
+                .connector(interaction.connector)
+                .transfer
+                .is_empty()
+            {
+                let mut transfer_state = pre.clone();
+                self.sys
+                    .fire_interaction(&mut transfer_state, interaction, &[]);
+                for &(comp, tid) in transitions {
+                    let nvars = self.sys.atom_type(comp).vars().len();
+                    let writes: Vec<(u32, Value)> = (0..nvars as u32)
+                        .filter(|&v| {
+                            self.sys.var_value(&transfer_state, comp, v)
+                                != self.sys.var_value(&pre, comp, v)
+                        })
+                        .map(|v| (v, self.sys.var_value(&transfer_state, comp, v)))
+                        .collect();
+                    cmd[comp] = Command::Fire {
+                        transition: tid,
+                        writes,
+                    };
+                }
+            } else {
+                for &(comp, tid) in transitions {
+                    cmd[comp] = Command::Fire {
+                        transition: tid,
+                        writes: Vec::new(),
+                    };
+                }
+            }
+        } else if let Step::Internal {
+            component,
+            transition,
+        } = &step
+        {
+            cmd[*component] = Command::Fire {
+                transition: *transition,
+                writes: Vec::new(),
+            };
+        }
+        for (c, tx) in self.to_comps.iter().enumerate() {
+            tx.send(std::mem::replace(&mut cmd[c], Command::Hold))
+                .expect("component thread alive");
+        }
+        self.writes_scratch = cmd;
+        self.ctx.note_step(&self.sys, &step);
+        Some(step)
+    }
+
+    /// Execute up to `budget` interactions.
+    pub fn run(&mut self, budget: usize) -> RunReport {
+        run_loop!(self, budget, |eng| eng.step(), &self.sys, &self.state)
+    }
+
+    /// Summary of everything executed so far.
+    pub fn report(&self) -> RunReport {
+        self.ctx.report()
+    }
+
+    /// The engine's view of the global state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Legacy-shaped summary of the whole execution so far.
+    pub fn threaded_report(&self) -> ThreadedReport {
+        ThreadedReport {
+            steps: self.ctx.steps_total(),
+            deadlocked: self.dead,
+            word: self.ctx.trace.observable_word(),
+            final_state: self.state.clone(),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        for tx in &self.to_comps {
             let _ = tx.send(Command::Stop);
         }
-        for h in handles {
-            h.join().expect("component thread");
+        for h in self.handles.drain(..) {
+            let _ = h.join();
         }
-        ThreadedReport { steps, deadlocked, word, final_state: state }
-    })
+    }
+}
+
+impl<P: Policy> Drop for ThreadedEngine<P> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<P: Policy> Engine for ThreadedEngine<P> {
+    fn system(&self) -> &System {
+        &self.sys
+    }
+
+    fn state(&self) -> &State {
+        &self.state
+    }
+
+    fn step(&mut self) -> Option<Step> {
+        ThreadedEngine::step(self)
+    }
+
+    fn run(&mut self, budget: usize) -> RunReport {
+        ThreadedEngine::run(self, budget)
+    }
+
+    fn report(&self) -> RunReport {
+        ThreadedEngine::report(self)
+    }
+}
+
+/// Run `sys` for up to `budget` interactions on one thread per component
+/// plus an engine thread; `seed` drives the engine's random choices.
+/// Compatibility wrapper over [`ThreadedEngine`].
+pub fn run_threaded(sys: &System, budget: usize, seed: u64) -> ThreadedReport {
+    let mut engine = ThreadedEngine::new(sys.clone(), RandomPolicy::new(seed));
+    let report = engine.run(budget);
+    let mut out = engine.threaded_report();
+    out.steps = report.steps;
+    out.deadlocked = report.stop == StopReason::Deadlock;
+    out
 }
 
 #[cfg(test)]
@@ -199,7 +379,9 @@ mod tests {
         let mut st = sys.initial_state();
         for label in &r.word {
             let succ = sys.successors(&st);
-            let found = succ.iter().find(|(s, _)| sys.step_label(s) == Some(label.as_str()));
+            let found = succ
+                .iter()
+                .find(|(s, _)| sys.step_label(s) == Some(label.as_str()));
             let (_, next) = found.unwrap_or_else(|| panic!("label {label} not enabled"));
             st = next.clone();
         }
@@ -257,8 +439,11 @@ mod tests {
         let s = sb.add_instance("s", &src);
         let d = sb.add_instance("d", &dst);
         sb.add_connector(
-            ConnectorBuilder::rendezvous("xfer", [(s, "snd"), (d, "rcv")])
-                .transfer(1, 0, Expr::param(0, 0)),
+            ConnectorBuilder::rendezvous("xfer", [(s, "snd"), (d, "rcv")]).transfer(
+                1,
+                0,
+                Expr::param(0, 0),
+            ),
         );
         let sys = sb.build().unwrap();
         let r = run_threaded(&sys, 10, 0);
@@ -266,5 +451,38 @@ mod tests {
         // y received 9 via transfer; z = y+1 computed *after* transfer.
         assert_eq!(sys.var_value(&r.final_state, d, 0), 9);
         assert_eq!(sys.var_value(&r.final_state, d, 1), 10);
+    }
+
+    #[test]
+    fn persistent_engine_resumes_across_runs() {
+        let sys = dining_philosophers(3, false).unwrap();
+        let mut e = ThreadedEngine::new(sys.clone(), RandomPolicy::new(5));
+        let r1 = e.run(50);
+        assert_eq!(r1.steps, 50);
+        let r2 = e.run(50);
+        assert_eq!(r2.steps, 50);
+        assert_eq!(e.report().steps, 100, "context accumulates across runs");
+        // The whole 100-step word replays sequentially.
+        let word = e.trace().observable_word();
+        assert_eq!(word.len(), 100);
+        let mut st = sys.initial_state();
+        for label in &word {
+            let succ = sys.successors(&st);
+            let hit = succ
+                .iter()
+                .find(|(s, _)| sys.step_label(s) == Some(label.as_str()));
+            st = hit.expect("replayable").1.clone();
+        }
+    }
+
+    #[test]
+    fn threaded_engine_monitors_via_context() {
+        let sys = dining_philosophers(4, false).unwrap();
+        let mutex = bip_core::StatePred::mutex(&sys, [(0, "eating"), (1, "eating")]);
+        let mut e = ThreadedEngine::new(sys, RandomPolicy::new(8));
+        e.add_monitor("mutex01", mutex);
+        let r = e.run(300);
+        assert_eq!(r.steps, 300);
+        assert_eq!(r.monitor_violations, vec![("mutex01".to_string(), 0)]);
     }
 }

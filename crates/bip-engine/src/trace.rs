@@ -46,7 +46,10 @@ impl Trace {
 
     /// The observable word: labels of observable steps in order.
     pub fn observable_word(&self) -> Vec<String> {
-        self.entries.iter().filter_map(|e| e.label.clone()).collect()
+        self.entries
+            .iter()
+            .filter_map(|e| e.label.clone())
+            .collect()
     }
 }
 

@@ -105,7 +105,9 @@ pub fn greedy_makespan(shop: &JobShop) -> u64 {
             let Some(p) = free_proc else { break };
             let ready = shop.priority.iter().copied().find(|&j| {
                 !started[j]
-                    && preds[j].iter().all(|&q| finish.get(&q).is_some_and(|&e| e <= now))
+                    && preds[j]
+                        .iter()
+                        .all(|&q| finish.get(&q).is_some_and(|&e| e <= now))
             });
             match ready {
                 Some(j) => {
@@ -155,7 +157,11 @@ pub fn partitioned_makespan(shop: &JobShop) -> u64 {
                 next_round.push(j);
                 continue;
             }
-            let release = preds[j].iter().map(|&q| finish[q].unwrap_or(0)).max().unwrap_or(0);
+            let release = preds[j]
+                .iter()
+                .map(|&q| finish[q].unwrap_or(0))
+                .max()
+                .unwrap_or(0);
             let p = j % shop.processors;
             let start = proc_free[p].max(release);
             let end = start + shop.durations[j];
@@ -173,7 +179,11 @@ pub fn partitioned_makespan(shop: &JobShop) -> u64 {
 pub fn anomaly_experiment(shop: &JobShop, delta: u64) -> AnomalyOutcome {
     let wcet = greedy_makespan(shop);
     let faster = greedy_makespan(&shop.speed_up(delta));
-    AnomalyOutcome { makespan_wcet: wcet, makespan_faster: faster, anomalous: faster > wcet }
+    AnomalyOutcome {
+        makespan_wcet: wcet,
+        makespan_faster: faster,
+        anomalous: faster > wcet,
+    }
 }
 
 #[cfg(test)]

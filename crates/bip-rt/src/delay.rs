@@ -162,7 +162,11 @@ mod tests {
     #[test]
     fn delays_a_single_edge_by_one_unit() {
         let mut d = DelayAutomaton::new(1);
-        d.input(Edge { time: 100, value: true }).unwrap();
+        d.input(Edge {
+            time: 100,
+            value: true,
+        })
+        .unwrap();
         assert!(!d.sample(100));
         assert!(!d.sample(1099));
         assert!(d.sample(1100), "edge appears exactly one unit later");
@@ -171,19 +175,46 @@ mod tests {
     #[test]
     fn rejects_non_alternating_edges() {
         let mut d = DelayAutomaton::new(1);
-        d.input(Edge { time: 0, value: true }).unwrap();
-        assert!(d.input(Edge { time: 2000, value: true }).is_err());
+        d.input(Edge {
+            time: 0,
+            value: true,
+        })
+        .unwrap();
+        assert!(d
+            .input(Edge {
+                time: 2000,
+                value: true
+            })
+            .is_err());
     }
 
     #[test]
     fn rejects_too_many_changes_per_unit() {
         let mut d = DelayAutomaton::new(1);
-        d.input(Edge { time: 0, value: true }).unwrap();
-        assert!(d.input(Edge { time: 500, value: false }).is_err());
+        d.input(Edge {
+            time: 0,
+            value: true,
+        })
+        .unwrap();
+        assert!(d
+            .input(Edge {
+                time: 500,
+                value: false
+            })
+            .is_err());
         // k = 2 accepts the same pattern.
         let mut d2 = DelayAutomaton::new(2);
-        d2.input(Edge { time: 0, value: true }).unwrap();
-        assert!(d2.input(Edge { time: 500, value: false }).is_ok());
+        d2.input(Edge {
+            time: 0,
+            value: true,
+        })
+        .unwrap();
+        assert!(d2
+            .input(Edge {
+                time: 500,
+                value: false
+            })
+            .is_ok());
     }
 
     #[test]
@@ -196,8 +227,7 @@ mod tests {
             // Build an admissible signal: consecutive changes separated by
             // at least UNIT/k (so at most k per unit).
             for _ in 0..50 {
-                t += DelayAutomaton::UNIT / k as u64
-                    + rng.gen_range(1..DelayAutomaton::UNIT);
+                t += DelayAutomaton::UNIT / k as u64 + rng.gen_range(1..DelayAutomaton::UNIT);
                 v = !v;
                 edges.push(Edge { time: t, value: v });
             }

@@ -28,8 +28,11 @@
 
 pub mod anomaly;
 pub mod delay;
+pub mod engine;
 pub mod sched;
 pub mod timedsys;
+
+pub use engine::RtEngine;
 
 pub use anomaly::{
     anomaly_experiment, greedy_makespan, partitioned_makespan, AnomalyOutcome, JobShop,

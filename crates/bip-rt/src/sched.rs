@@ -17,7 +17,11 @@ pub struct Task {
 impl Task {
     /// Implicit-deadline task (`deadline = period`).
     pub fn implicit(period: u64, wcet: u64) -> Task {
-        Task { period, wcet, deadline: period }
+        Task {
+            period,
+            wcet,
+            deadline: period,
+        }
     }
 
     /// Utilization `wcet / period`.
@@ -168,7 +172,11 @@ pub fn simulate(tasks: &[Task], policy: SimPolicy, horizon: u64) -> SimOutcome {
         }
         jobs.retain(|j| j.remaining > 0);
     }
-    SimOutcome { first_miss, max_response, completed }
+    SimOutcome {
+        first_miss,
+        max_response,
+        completed,
+    }
 }
 
 #[cfg(test)]
@@ -178,8 +186,11 @@ mod tests {
     #[test]
     fn rta_classic_example() {
         // Buttazzo-style: T=(7,2), (12,3), (20,5): all schedulable.
-        let tasks =
-            [Task::implicit(7, 2), Task::implicit(12, 3), Task::implicit(20, 5)];
+        let tasks = [
+            Task::implicit(7, 2),
+            Task::implicit(12, 3),
+            Task::implicit(20, 5),
+        ];
         let r = rta_fixed_priority(&tasks);
         assert_eq!(r[0], Some(2));
         assert_eq!(r[1], Some(5));
@@ -236,8 +247,16 @@ mod tests {
         // Random-ish task sets: whenever RTA says schedulable, the
         // simulation over the hyperperiod agrees.
         let sets = [
-            vec![Task::implicit(5, 1), Task::implicit(10, 3), Task::implicit(20, 4)],
-            vec![Task::implicit(3, 1), Task::implicit(6, 2), Task::implicit(12, 2)],
+            vec![
+                Task::implicit(5, 1),
+                Task::implicit(10, 3),
+                Task::implicit(20, 4),
+            ],
+            vec![
+                Task::implicit(3, 1),
+                Task::implicit(6, 2),
+                Task::implicit(12, 2),
+            ],
             vec![Task::implicit(4, 2), Task::implicit(6, 2)],
         ];
         for tasks in &sets {
@@ -245,7 +264,10 @@ mod tests {
             let hyper = tasks.iter().map(|t| t.period).fold(1, super::lcm);
             let sim = simulate(tasks, SimPolicy::FixedPriority, 2 * hyper);
             if r.iter().all(Option::is_some) {
-                assert!(sim.schedulable(), "RTA said yes, simulation missed: {tasks:?}");
+                assert!(
+                    sim.schedulable(),
+                    "RTA said yes, simulation missed: {tasks:?}"
+                );
                 for (i, bound) in r.iter().enumerate() {
                     assert!(
                         sim.max_response[i] <= bound.unwrap(),

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use bip_core::{ConnId, State, Step, System};
+use bip_core::{ConnId, EnabledSet, State, Step, System};
 
 /// Duration assignment φ: connector → execution time in ticks.
 ///
@@ -78,6 +78,10 @@ impl TimedReport {
 }
 
 /// A timed executor over a BIP system.
+///
+/// Internally maintains an incremental [`EnabledSet`]: after a fire, only
+/// connectors watching the participants that moved are re-evaluated when
+/// the next fireable set is computed.
 #[derive(Debug)]
 pub struct TimedExecution<'a> {
     sys: &'a System,
@@ -85,6 +89,8 @@ pub struct TimedExecution<'a> {
     state: State,
     now: u64,
     busy_until: Vec<u64>,
+    es: EnabledSet,
+    succ_scratch: Vec<(Step, State)>,
 }
 
 impl<'a> TimedExecution<'a> {
@@ -96,7 +102,14 @@ impl<'a> TimedExecution<'a> {
             state: sys.initial_state(),
             now: 0,
             busy_until: vec![0; sys.num_components()],
+            es: sys.new_enabled_set(),
+            succ_scratch: Vec::new(),
         }
+    }
+
+    /// The system being executed.
+    pub fn system(&self) -> &System {
+        self.sys
     }
 
     /// Current time.
@@ -109,32 +122,50 @@ impl<'a> TimedExecution<'a> {
         &self.state
     }
 
-    /// Steps currently fireable: enabled interactions whose participants
-    /// are all idle (internal steps need their component idle).
-    pub fn fireable(&self) -> Vec<(Step, State)> {
-        self.sys
-            .successors(&self.state)
-            .into_iter()
-            .filter(|(step, _)| match step {
-                Step::Interaction { interaction, .. } => {
-                    let eps = self.sys.connector_endpoints(interaction.connector);
-                    interaction
-                        .endpoints
-                        .iter()
-                        .all(|&i| self.busy_until[eps[i].0] <= self.now)
-                }
-                Step::Internal { component, .. } => self.busy_until[*component] <= self.now,
-            })
-            .collect()
+    /// Steps currently fireable, written into `out`: enabled interactions
+    /// whose participants are all idle (internal steps need their component
+    /// idle). Buffer-reusing; the incremental enabled set re-evaluates only
+    /// connectors dirtied by the last fire.
+    pub fn fireable_into(&mut self, out: &mut Vec<(Step, State)>) {
+        let scratch = &mut self.succ_scratch;
+        self.sys.successors_into(&self.state, &mut self.es, scratch);
+        out.clear();
+        out.extend(scratch.drain(..).filter(|(step, _)| match step {
+            Step::Interaction { interaction, .. } => {
+                let eps = &self.sys.connector_endpoints(interaction.connector);
+                interaction
+                    .endpoints
+                    .iter()
+                    .all(|&i| self.busy_until[eps[i].0] <= self.now)
+            }
+            Step::Internal { component, .. } => self.busy_until[*component] <= self.now,
+        }));
     }
 
-    /// Fire a chosen step, occupying its participants for φ.
+    /// Steps currently fireable (allocating compatibility form of
+    /// [`TimedExecution::fireable_into`]).
+    pub fn fireable(&mut self) -> Vec<(Step, State)> {
+        let mut out = Vec::new();
+        self.fireable_into(&mut out);
+        out
+    }
+
+    /// Fire a chosen step (as returned by [`TimedExecution::fireable_into`]),
+    /// occupying its participants for φ.
     pub fn fire(&mut self, step: &Step, next: State) {
-        if let Step::Interaction { interaction, .. } = step {
-            let d = self.phi.get(interaction.connector);
-            let eps = self.sys.connector_endpoints(interaction.connector);
-            for &i in &interaction.endpoints {
-                self.busy_until[eps[i].0] = self.now + d;
+        match step {
+            Step::Interaction { interaction, .. } => {
+                let d = self.phi.get(interaction.connector);
+                let eps = self.sys.connector_endpoints(interaction.connector);
+                for &i in &interaction.endpoints {
+                    self.busy_until[eps[i].0] = self.now + d;
+                }
+                for &i in &interaction.endpoints {
+                    self.es.invalidate_component(self.sys, eps[i].0);
+                }
+            }
+            Step::Internal { component, .. } => {
+                self.es.invalidate_component(self.sys, *component);
             }
         }
         self.state = next;
@@ -168,26 +199,32 @@ impl<'a> TimedExecution<'a> {
         let mut timed_word = Vec::new();
         let mut fired = 0usize;
         let mut deadlocked = false;
+        let mut opts = Vec::new();
         while self.now <= horizon && fired < max_steps {
-            let opts = self.fireable();
+            self.fireable_into(&mut opts);
             if opts.is_empty() {
                 if !self.advance() {
                     // Nothing busy and nothing fireable: true deadlock.
-                    deadlocked = self.sys.successors(&self.state).is_empty()
-                        || self.fireable().is_empty();
+                    self.fireable_into(&mut opts);
+                    deadlocked = opts.is_empty();
                     break;
                 }
                 continue;
             }
             let i = pick(&opts).min(opts.len() - 1);
-            let (step, next) = opts[i].clone();
+            let (step, next) = opts.swap_remove(i);
             if let Some(l) = self.sys.step_label(&step) {
                 timed_word.push((self.now, l.to_string()));
             }
             self.fire(&step, next);
             fired += 1;
         }
-        TimedReport { timed_word, fired, end_time: self.now, deadlocked }
+        TimedReport {
+            timed_word,
+            fired,
+            end_time: self.now,
+            deadlocked,
+        }
     }
 }
 
@@ -195,12 +232,7 @@ impl<'a> TimedExecution<'a> {
 /// explored breadth-first over pick choices is expensive; here: a sampled
 /// set of seeded greedy runs) also occurs as a word of the ideal model —
 /// the "safe implementation" condition of §5.2.2 in its testable form.
-pub fn sampled_safety_check(
-    sys: &System,
-    phi: &DurationMap,
-    runs: u64,
-    steps: usize,
-) -> bool {
+pub fn sampled_safety_check(sys: &System, phi: &DurationMap, runs: u64, steps: usize) -> bool {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     for seed in 0..runs {
@@ -211,7 +243,10 @@ pub fn sampled_safety_check(
         let mut st = sys.initial_state();
         for (_, label) in &report.timed_word {
             let succ = sys.successors(&st);
-            match succ.iter().find(|(s, _)| sys.step_label(s) == Some(label.as_str())) {
+            match succ
+                .iter()
+                .find(|(s, _)| sys.step_label(s) == Some(label.as_str()))
+            {
                 Some((_, next)) => st = next.clone(),
                 None => return false,
             }
@@ -237,7 +272,10 @@ mod tests {
     #[test]
     fn durations_serialize_conflicting_interactions() {
         let sys = dining_philosophers(2, false).unwrap();
-        let phi = DurationMap::from_names(&sys, &[("eat0", 10), ("eat1", 10), ("rel0", 1), ("rel1", 1)]);
+        let phi = DurationMap::from_names(
+            &sys,
+            &[("eat0", 10), ("eat1", 10), ("rel0", 1), ("rel1", 1)],
+        );
         let mut ex = TimedExecution::new(&sys, phi);
         let r = ex.run(100, 1000, |_| 0);
         // Forks are shared: the two philosophers alternate; each eat+rel
@@ -251,7 +289,14 @@ mod tests {
         let sys = dining_philosophers(3, false).unwrap();
         let phi = DurationMap::from_names(
             &sys,
-            &[("eat0", 5), ("eat1", 3), ("eat2", 7), ("rel0", 1), ("rel1", 1), ("rel2", 2)],
+            &[
+                ("eat0", 5),
+                ("eat1", 3),
+                ("eat2", 7),
+                ("rel0", 1),
+                ("rel1", 1),
+                ("rel2", 2),
+            ],
         );
         assert!(sampled_safety_check(&sys, &phi, 10, 60));
     }
@@ -283,6 +328,9 @@ mod tests {
         assert!(ex.fireable().is_empty());
         assert!(ex.advance());
         assert_eq!(ex.now(), 100);
-        assert!(!ex.fireable().is_empty(), "after the busy window, rel0 can fire");
+        assert!(
+            !ex.fireable().is_empty(),
+            "after the busy window, rel0 can fire"
+        );
     }
 }

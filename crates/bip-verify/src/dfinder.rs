@@ -91,8 +91,9 @@ impl Abstraction {
             }
         }
 
-        let initial: Vec<Place> =
-            (0..n).map(|c| place(c, sys.atom_type(c).initial().0)).collect();
+        let initial: Vec<Place> = (0..n)
+            .map(|c| place(c, sys.atom_type(c).initial().0))
+            .collect();
 
         // Abstract transitions + DIS data per interaction.
         let mut transitions = Vec::new();
@@ -147,7 +148,14 @@ impl Abstraction {
                 }
             }
         }
-        Abstraction { place_base, num_places, transitions, initial, reachable, interactions }
+        Abstraction {
+            place_base,
+            num_places,
+            transitions,
+            initial,
+            reachable,
+            interactions,
+        }
     }
 
     /// The component owning a place.
@@ -226,7 +234,10 @@ pub struct LinearInvariant {
 impl LinearInvariant {
     /// Evaluate the left-hand side on a marking given as a place predicate.
     pub fn lhs<F: Fn(Place) -> bool>(&self, marked: F) -> i64 {
-        self.coeffs.iter().map(|&(p, a)| if marked(p) { a } else { 0 }).sum()
+        self.coeffs
+            .iter()
+            .map(|&(p, a)| if marked(p) { a } else { 0 })
+            .sum()
     }
 }
 
@@ -244,7 +255,10 @@ impl Rat {
         debug_assert!(d != 0);
         let g = gcd(n.unsigned_abs(), d.unsigned_abs()) as i128;
         let s = if d < 0 { -1 } else { 1 };
-        Rat { n: s * n / g, d: s * d / g }
+        Rat {
+            n: s * n / g,
+            d: s * d / g,
+        }
     }
 
     fn from_int(n: i128) -> Rat {
@@ -376,7 +390,10 @@ pub fn linear_invariants(
         {
             continue;
         }
-        let value: i64 = coeffs.iter().map(|&(p, a)| if initial.contains(&p) { a } else { 0 }).sum();
+        let value: i64 = coeffs
+            .iter()
+            .map(|&(p, a)| if initial.contains(&p) { a } else { 0 })
+            .sum();
         out.push(LinearInvariant { coeffs, value });
     }
     out
@@ -474,8 +491,7 @@ impl DFinder {
     pub fn with_max_traps(sys: &System, max_traps: usize) -> DFinder {
         let abs = Abstraction::new(sys);
         let traps = enumerate_traps(&abs, max_traps);
-        let linear =
-            linear_invariants(&abs, Self::DEFAULT_MAX_COEFF, Self::DEFAULT_MAX_SUPPORT);
+        let linear = linear_invariants(&abs, Self::DEFAULT_MAX_COEFF, Self::DEFAULT_MAX_SUPPORT);
         DFinder { abs, traps, linear }
     }
 
@@ -563,18 +579,23 @@ impl DFinder {
     /// literals.
     fn encode_ci_ii(&self) -> (CnfBuilder, Vec<Lit>) {
         let mut b = CnfBuilder::new();
-        let at: Vec<Lit> =
-            (0..self.abs.num_places).map(|_| Lit::pos(b.fresh())).collect();
+        let at: Vec<Lit> = (0..self.abs.num_places)
+            .map(|_| Lit::pos(b.fresh()))
+            .collect();
         // Control structure: exactly one location per component.
         let ncomp = self.abs.place_base.len();
         for c in 0..ncomp {
             let lo = self.abs.place_base[c];
-            let hi = if c + 1 < ncomp { self.abs.place_base[c + 1] } else { self.abs.num_places };
+            let hi = if c + 1 < ncomp {
+                self.abs.place_base[c + 1]
+            } else {
+                self.abs.num_places
+            };
             b.exactly_one((lo..hi).map(|p| at[p]));
         }
         // CI: locally unreachable places are never marked.
-        for p in 0..self.abs.num_places {
-            if !self.abs.reachable[p] {
+        for (p, reach) in self.abs.reachable.iter().enumerate() {
+            if !reach {
                 b.assert_lit(!at[p]);
             }
         }
@@ -594,12 +615,7 @@ fn lit_var(l: Lit) -> Var {
     l.var()
 }
 
-fn encode_pred(
-    b: &mut CnfBuilder,
-    abs: &Abstraction,
-    at: &[Lit],
-    pred: &StatePred,
-) -> Option<Lit> {
+fn encode_pred(b: &mut CnfBuilder, abs: &Abstraction, at: &[Lit], pred: &StatePred) -> Option<Lit> {
     match pred {
         StatePred::True => {
             let v = Lit::pos(b.fresh());
@@ -653,8 +669,8 @@ pub fn enumerate_traps(abs: &Abstraction, max_traps: usize) -> Vec<Vec<Place>> {
     // Initially marked.
     b.clause(abs.initial.iter().map(|&p| s[p]));
     // Only locally reachable places are interesting.
-    for p in 0..abs.num_places {
-        if !abs.reachable[p] {
+    for (p, reach) in abs.reachable.iter().enumerate() {
+        if !reach {
             b.assert_lit(!s[p]);
         }
     }
@@ -725,7 +741,10 @@ mod tests {
         for &two_phase in &[false, true] {
             let sys = dining_philosophers(3, two_phase).unwrap();
             let df = DFinder::new(&sys);
-            assert!(!df.linear().is_empty(), "philosophers have conservation laws");
+            assert!(
+                !df.linear().is_empty(),
+                "philosophers have conservation laws"
+            );
             let abs = df.abstraction();
             let mut seen = std::collections::HashSet::new();
             let mut queue = std::collections::VecDeque::new();
@@ -734,9 +753,7 @@ mod tests {
             queue.push_back(init);
             while let Some(st) = queue.pop_front() {
                 for inv in df.linear() {
-                    let lhs = inv.lhs(|p| {
-                        st.locs[abs.component_of(p)] == abs.location_of(p)
-                    });
+                    let lhs = inv.lhs(|p| st.locs[abs.component_of(p)] == abs.location_of(p));
                     assert_eq!(lhs, inv.value, "violated in {}", sys.describe_state(&st));
                 }
                 for (_, next) in sys.successors(&st) {
@@ -765,7 +782,10 @@ mod tests {
                     );
                 }
                 if !two_phase {
-                    assert!(df.verdict.is_deadlock_free(), "imprecise on easy case n={n}");
+                    assert!(
+                        df.verdict.is_deadlock_free(),
+                        "imprecise on easy case n={n}"
+                    );
                 }
             }
         }
@@ -801,7 +821,11 @@ mod tests {
                     let c = abs.component_of(p);
                     st.locs[c] == abs.location_of(p)
                 });
-                assert!(marked, "trap {trap:?} unmarked in {}", sys.describe_state(&st));
+                assert!(
+                    marked,
+                    "trap {trap:?} unmarked in {}",
+                    sys.describe_state(&st)
+                );
             }
             for (_, next) in sys.successors(&st) {
                 if seen.insert(next.clone()) {

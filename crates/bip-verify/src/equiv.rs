@@ -91,13 +91,18 @@ where
                     d
                 }
             };
-            match sys.step_label(&step).and_then(|l| rename(l)) {
+            match sys.step_label(&step).and_then(&rename) {
                 Some(label) => obs[src].push((label, dst)),
                 None => tau[src].push(dst),
             }
         }
     }
-    ObsLts { tau, obs, has_deadlock, complete }
+    ObsLts {
+        tau,
+        obs,
+        has_deadlock,
+        complete,
+    }
 }
 
 /// τ-closure of a state set.
@@ -181,8 +186,7 @@ where
             }
             let cn = obs_step(&c, &cs, &label);
             let key = (cn.clone(), an.clone());
-            if !seen.contains_key(&key) {
-                seen.insert(key, ());
+            if seen.insert(key, ()).is_none() {
                 queue.push_back((cn, an, t2));
             }
         }
@@ -234,8 +238,7 @@ fn inclusion(left: &ObsLts, right: &ObsLts) -> bool {
             }
             let ln = obs_step(left, &ls, &label);
             let key = (ln.clone(), rn.clone());
-            if !seen.contains_key(&key) {
-                seen.insert(key, ());
+            if seen.insert(key, ()).is_none() {
                 queue.push_back((ln, rn));
             }
         }
@@ -368,11 +371,20 @@ mod tests {
         let r = refines(
             &abs,
             &conc,
-            |l| if l == "a_impl" { Some("a".to_string()) } else { None },
+            |l| {
+                if l == "a_impl" {
+                    Some("a".to_string())
+                } else {
+                    None
+                }
+            },
             10_000,
         );
         assert!(r.trace_included);
-        assert!(r.refines(), "neither is deadlock-free... abstract deadlocks so clause 2 vacuous");
+        assert!(
+            r.refines(),
+            "neither is deadlock-free... abstract deadlocks so clause 2 vacuous"
+        );
     }
 
     #[test]
@@ -384,7 +396,13 @@ mod tests {
         let r = refines(
             &abs,
             &conc,
-            |l| if l == "a" { Some("a".to_string()) } else { None },
+            |l| {
+                if l == "a" {
+                    Some("a".to_string())
+                } else {
+                    None
+                }
+            },
             10_000,
         );
         assert!(!r.trace_included, "trace 'a a' must be rejected");

@@ -20,8 +20,7 @@ use std::collections::HashSet;
 use bip_core::{Connector, ModelError, System, SystemBuilder};
 
 use crate::dfinder::{
-    enumerate_traps, linear_invariants, Abstraction, DFinder, DFinderReport, LinearInvariant,
-    Place,
+    enumerate_traps, linear_invariants, Abstraction, DFinder, DFinderReport, LinearInvariant, Place,
 };
 
 /// Statistics of one incremental step.
@@ -55,9 +54,18 @@ impl IncrementalVerifier {
     pub fn with_max_traps(sys: System, max_traps: usize) -> IncrementalVerifier {
         let abs = Abstraction::new(&sys);
         let traps = enumerate_traps(&abs, max_traps);
-        let linear =
-            linear_invariants(&abs, DFinder::DEFAULT_MAX_COEFF, DFinder::DEFAULT_MAX_SUPPORT);
-        IncrementalVerifier { sys, abs, traps, linear, max_traps }
+        let linear = linear_invariants(
+            &abs,
+            DFinder::DEFAULT_MAX_COEFF,
+            DFinder::DEFAULT_MAX_SUPPORT,
+        );
+        IncrementalVerifier {
+            sys,
+            abs,
+            traps,
+            linear,
+            max_traps,
+        }
     }
 
     /// The current system.
@@ -95,10 +103,12 @@ impl IncrementalVerifier {
         // existing trap. (Old transitions are a prefix of the new transition
         // list only structurally; we simply check all traps against the new
         // abstraction's transitions that were not present before.)
-        let old: HashSet<(Vec<Place>, Vec<Place>)> =
-            self.abs.transitions.iter().cloned().collect();
-        let added: Vec<&(Vec<Place>, Vec<Place>)> =
-            new_abs.transitions.iter().filter(|t| !old.contains(*t)).collect();
+        let old: HashSet<(Vec<Place>, Vec<Place>)> = self.abs.transitions.iter().cloned().collect();
+        let added: Vec<&(Vec<Place>, Vec<Place>)> = new_abs
+            .transitions
+            .iter()
+            .filter(|t| !old.contains(*t))
+            .collect();
 
         let mut kept = Vec::new();
         let mut dropped = 0usize;
@@ -151,13 +161,21 @@ impl IncrementalVerifier {
         self.sys = new_sys;
         self.abs = new_abs;
         self.traps = kept;
-        Ok(IncrementStats { traps_reused: reused, traps_dropped: dropped, traps_added: added_traps })
+        Ok(IncrementStats {
+            traps_reused: reused,
+            traps_dropped: dropped,
+            traps_added: added_traps,
+        })
     }
 
     /// Run the deadlock-freedom check with the current invariants.
     pub fn check_deadlock_freedom(&self) -> DFinderReport {
         // Delegate to a DFinder sharing our invariants.
-        let df = DFinderFacade { abs: &self.abs, traps: &self.traps, linear: &self.linear };
+        let df = DFinderFacade {
+            abs: &self.abs,
+            traps: &self.traps,
+            linear: &self.linear,
+        };
         df.check()
     }
 }
@@ -179,8 +197,8 @@ fn enumerate_traps_blocking(
         }
     }
     b.clause(abs.initial.iter().map(|&p| s[p]));
-    for p in 0..abs.num_places {
-        if !abs.reachable[p] {
+    for (p, reach) in abs.reachable.iter().enumerate() {
+        if !reach {
             b.assert_lit(!s[p]);
         }
     }
@@ -227,16 +245,21 @@ impl DFinderFacade<'_> {
     fn check(&self) -> DFinderReport {
         use satkit::{CnfBuilder, Lit};
         let mut b = CnfBuilder::new();
-        let at: Vec<Lit> = (0..self.abs.num_places).map(|_| Lit::pos(b.fresh())).collect();
+        let at: Vec<Lit> = (0..self.abs.num_places)
+            .map(|_| Lit::pos(b.fresh()))
+            .collect();
         let ncomp = self.abs.place_base.len();
         for c in 0..ncomp {
             let lo = self.abs.place_base[c];
-            let hi =
-                if c + 1 < ncomp { self.abs.place_base[c + 1] } else { self.abs.num_places };
+            let hi = if c + 1 < ncomp {
+                self.abs.place_base[c + 1]
+            } else {
+                self.abs.num_places
+            };
             b.exactly_one((lo..hi).map(|p| at[p]));
         }
-        for p in 0..self.abs.num_places {
-            if !self.abs.reachable[p] {
+        for (p, reach) in self.abs.reachable.iter().enumerate() {
+            if !reach {
                 b.assert_lit(!at[p]);
             }
         }

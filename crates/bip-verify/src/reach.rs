@@ -7,7 +7,34 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bip_core::{State, StatePred, Step, System};
+use bip_core::{EnabledSet, State, StatePred, Step, System};
+
+/// Reusable per-exploration scratch: the compiled enabled-set plus a
+/// successor buffer, so the BFS allocates per *stored* state, not per
+/// *expanded* state.
+struct Expander {
+    es: EnabledSet,
+    succ: Vec<(Step, State)>,
+}
+
+impl Expander {
+    fn new(sys: &System) -> Expander {
+        Expander {
+            es: sys.new_enabled_set(),
+            succ: Vec::new(),
+        }
+    }
+
+    /// Successors of `st` into the internal buffer. BFS visits arbitrary
+    /// states, so the enabled set is fully invalidated; the win over the
+    /// legacy path is the compiled feasibility/guard tables and the reused
+    /// buffers.
+    fn expand<'a>(&'a mut self, sys: &System, st: &State) -> &'a mut Vec<(Step, State)> {
+        self.es.invalidate_all();
+        sys.successors_into(st, &mut self.es, &mut self.succ);
+        &mut self.succ
+    }
+}
 
 /// Result of a state-space exploration.
 #[derive(Debug, Clone)]
@@ -60,15 +87,16 @@ pub fn explore(sys: &System, max_states: usize) -> ReachReport {
     let mut transitions = 0usize;
     let mut deadlocks = Vec::new();
     let mut complete = true;
+    let mut ex = Expander::new(sys);
     let init = sys.initial_state();
     seen.insert(init.clone(), ());
     queue.push_back(init);
     while let Some(st) = queue.pop_front() {
-        let succ = sys.successors(&st);
+        let succ = ex.expand(sys, &st);
         if succ.is_empty() {
             deadlocks.push(st.clone());
         }
-        for (_, next) in succ {
+        for (_, next) in succ.drain(..) {
             transitions += 1;
             if !seen.contains_key(&next) {
                 if seen.len() >= max_states {
@@ -80,7 +108,12 @@ pub fn explore(sys: &System, max_states: usize) -> ReachReport {
             }
         }
     }
-    ReachReport { states: seen.len(), transitions, deadlocks, complete }
+    ReachReport {
+        states: seen.len(),
+        transitions,
+        deadlocks,
+        complete,
+    }
 }
 
 /// Check a state invariant on all reachable states; on violation, return the
@@ -93,11 +126,16 @@ pub fn check_invariant(sys: &System, inv: &StatePred, max_states: usize) -> Inva
     let init = sys.initial_state();
     parent.insert(init.clone(), None);
     if !inv.eval(sys, &init) {
-        return InvariantReport { states: 1, violation: Some((init, Vec::new())), complete: true };
+        return InvariantReport {
+            states: 1,
+            violation: Some((init, Vec::new())),
+            complete: true,
+        };
     }
     queue.push_back(init);
+    let mut ex = Expander::new(sys);
     while let Some(st) = queue.pop_front() {
-        for (step, next) in sys.successors(&st) {
+        for (step, next) in ex.expand(sys, &st).drain(..) {
             if parent.contains_key(&next) {
                 continue;
             }
@@ -117,7 +155,11 @@ pub fn check_invariant(sys: &System, inv: &StatePred, max_states: usize) -> Inva
             queue.push_back(next);
         }
     }
-    InvariantReport { states: parent.len(), violation: None, complete }
+    InvariantReport {
+        states: parent.len(),
+        violation: None,
+        complete,
+    }
 }
 
 /// Find a deadlock state (if any) with a witness trace.
@@ -127,18 +169,19 @@ pub fn find_deadlock(sys: &System, max_states: usize) -> Option<(State, Vec<Step
     let init = sys.initial_state();
     parent.insert(init.clone(), None);
     queue.push_back(init);
+    let mut ex = Expander::new(sys);
     while let Some(st) = queue.pop_front() {
-        let succ = sys.successors(&st);
+        let succ = ex.expand(sys, &st);
         if succ.is_empty() {
             let trace = rebuild_trace(&parent, &st);
             return Some((st, trace));
         }
-        for (step, next) in succ {
+        for (step, next) in succ.drain(..) {
             if parent.contains_key(&next) || parent.len() >= max_states {
                 continue;
             }
             parent.insert(next.clone(), Some((st.clone(), step)));
-            queue.push_back(next.clone());
+            queue.push_back(next);
         }
     }
     None
@@ -166,8 +209,9 @@ pub fn states_where(sys: &System, pred: &StatePred, max_states: usize) -> Vec<St
         hits.push(init.clone());
     }
     queue.push_back(init);
+    let mut ex = Expander::new(sys);
     while let Some(st) = queue.pop_front() {
-        for (_, next) in sys.successors(&st) {
+        for (_, next) in ex.expand(sys, &st).drain(..) {
             if seen.contains_key(&next) || seen.len() >= max_states {
                 continue;
             }
@@ -201,7 +245,10 @@ mod tests {
         let sys = dining_philosophers(3, true).unwrap();
         let r = explore(&sys, 100_000);
         assert!(r.complete);
-        assert!(!r.deadlocks.is_empty(), "all pick left fork -> circular wait");
+        assert!(
+            !r.deadlocks.is_empty(),
+            "all pick left fork -> circular wait"
+        );
         let (dead, trace) = find_deadlock(&sys, 100_000).unwrap();
         // In the deadlock state every philosopher holds its left fork.
         for i in 0..3 {

@@ -66,7 +66,11 @@ impl Latency {
         match self {
             Latency::Fixed(t) => *t,
             Latency::Jittered { base, jitter } => {
-                base + if *jitter == 0 { 0 } else { rng.gen_range(0..*jitter) }
+                base + if *jitter == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..*jitter)
+                }
             }
         }
     }
@@ -191,7 +195,10 @@ impl FaultPlan {
 
     /// Uniform message loss.
     pub fn lossy(drop_rate: f64) -> FaultPlan {
-        FaultPlan { drop_rate, severed: Vec::new() }
+        FaultPlan {
+            drop_rate,
+            severed: Vec::new(),
+        }
     }
 }
 
@@ -230,7 +237,10 @@ impl<M, P: Process<M>> Network<M, P> {
             rng: StdRng::seed_from_u64(seed),
             seq: 0,
             now: 0,
-            stats: Stats { per_node_delivered: vec![0; n], ..Stats::default() },
+            stats: Stats {
+                per_node_delivered: vec![0; n],
+                ..Stats::default()
+            },
             fifo_floor: vec![0; n * n],
             started: false,
             halted: false,
@@ -355,8 +365,12 @@ impl<M, P: Process<M>> Network<M, P> {
             }
             for (at, token) in timers {
                 self.seq += 1;
-                self.queue
-                    .push(Event { time: at, seq: self.seq, dst: node, payload: Payload::Timer { token } });
+                self.queue.push(Event {
+                    time: at,
+                    seq: self.seq,
+                    dst: node,
+                    payload: Payload::Timer { token },
+                });
             }
         }
     }
@@ -494,7 +508,10 @@ mod tests {
         }
         let mut net = Network::with_seed(
             vec![P::B(Burst), P::S(Sink { got: Vec::new() })],
-            Latency::Jittered { base: 1, jitter: 10 },
+            Latency::Jittered {
+                base: 1,
+                jitter: 10,
+            },
             99,
         );
         net.run_until_quiet(10_000);
@@ -506,8 +523,7 @@ mod tests {
     fn determinism_same_seed_same_schedule() {
         let run = |seed| {
             let procs: Vec<Pinger> = (0..4).map(|_| Pinger { n: 4, received: 0 }).collect();
-            let mut net =
-                Network::with_seed(procs, Latency::Jittered { base: 2, jitter: 7 }, seed);
+            let mut net = Network::with_seed(procs, Latency::Jittered { base: 2, jitter: 7 }, seed);
             net.run_until_quiet(1000);
             (net.stats().clone(), net.now())
         };
@@ -555,7 +571,16 @@ mod tests {
     #[test]
     fn deadline_bounds_run() {
         let mut net = Network::new(
-            vec![Relay { next: Some(1), log: VecDeque::new() }, Relay { next: Some(0), log: VecDeque::new() }],
+            vec![
+                Relay {
+                    next: Some(1),
+                    log: VecDeque::new(),
+                },
+                Relay {
+                    next: Some(0),
+                    log: VecDeque::new(),
+                },
+            ],
             Latency::Fixed(10),
         );
         // Kick off an infinite ping-pong.
@@ -580,7 +605,10 @@ mod tests {
     fn severed_link_is_one_directional() {
         let procs: Vec<Pinger> = (0..2).map(|_| Pinger { n: 2, received: 0 }).collect();
         let mut net = Network::with_seed(procs, Latency::Fixed(1), 3);
-        net.set_faults(FaultPlan { drop_rate: 0.0, severed: vec![(1, 0)] });
+        net.set_faults(FaultPlan {
+            drop_rate: 0.0,
+            severed: vec![(1, 0)],
+        });
         net.run_until_quiet(1000);
         // Ping 0→1 arrives; pong 1→0 is cut.
         assert_eq!(net.process(1).received, 1);
@@ -599,16 +627,28 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         let (delivered, dropped) = run(9);
-        assert!(delivered > 0 && dropped > 0, "0.5 loss should split the traffic");
+        assert!(
+            delivered > 0 && dropped > 0,
+            "0.5 loss should split the traffic"
+        );
     }
 
     #[test]
     fn relay_chain_increments() {
         let mut net = Network::new(
             vec![
-                Relay { next: Some(1), log: VecDeque::new() },
-                Relay { next: Some(2), log: VecDeque::new() },
-                Relay { next: None, log: VecDeque::new() },
+                Relay {
+                    next: Some(1),
+                    log: VecDeque::new(),
+                },
+                Relay {
+                    next: Some(2),
+                    log: VecDeque::new(),
+                },
+                Relay {
+                    next: None,
+                    log: VecDeque::new(),
+                },
             ],
             Latency::Fixed(1),
         );

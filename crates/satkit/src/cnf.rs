@@ -27,7 +27,9 @@ pub struct CnfBuilder {
 impl CnfBuilder {
     /// Create an empty builder.
     pub fn new() -> CnfBuilder {
-        CnfBuilder { solver: Solver::new() }
+        CnfBuilder {
+            solver: Solver::new(),
+        }
     }
 
     /// Create a fresh variable.

@@ -14,7 +14,11 @@ pub struct DimacsError {
 
 impl std::fmt::Display for DimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -149,7 +153,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let err = DimacsError { line: 3, message: "boom".into() };
+        let err = DimacsError {
+            line: 3,
+            message: "boom".into(),
+        };
         assert_eq!(err.to_string(), "dimacs parse error at line 3: boom");
     }
 }

@@ -127,7 +127,10 @@ impl Solver {
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
         self.assigns.push(Value::Unassigned);
-        self.var_info.push(VarInfo { reason: None, level: 0 });
+        self.var_info.push(VarInfo {
+            reason: None,
+            level: 0,
+        });
         self.phase.push(false);
         self.activity.push(0.0);
         self.watches.push(Vec::new());
@@ -190,11 +193,21 @@ impl Solver {
         let cr = ClauseRef(self.clauses.len() as u32);
         let w0 = lits[0];
         let w1 = lits[1];
-        self.clauses.push(Clause { lits, learnt, activity: 0.0 });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
         // A clause is watched by the negations of its first two literals:
         // when `!w0` is assigned (w0 becomes false) we visit the clause.
-        self.watches[(!w0).index()].push(Watch { clause: cr, blocker: w1 });
-        self.watches[(!w1).index()].push(Watch { clause: cr, blocker: w0 });
+        self.watches[(!w0).index()].push(Watch {
+            clause: cr,
+            blocker: w1,
+        });
+        self.watches[(!w1).index()].push(Watch {
+            clause: cr,
+            blocker: w0,
+        });
         cr
     }
 
@@ -237,7 +250,10 @@ impl Solver {
     fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
         debug_assert_eq!(self.lit_value(l), Value::Unassigned);
         self.assigns[l.var().index()] = if l.sign() { Value::True } else { Value::False };
-        self.var_info[l.var().index()] = VarInfo { reason, level: self.decision_level() };
+        self.var_info[l.var().index()] = VarInfo {
+            reason,
+            level: self.decision_level(),
+        };
         self.trail.push(l);
     }
 
@@ -278,7 +294,10 @@ impl Solver {
                 }
                 let first = self.clauses[cr.0 as usize].lits[0];
                 if first != w.blocker && self.lit_value(first) == Value::True {
-                    watches[i] = Watch { clause: cr, blocker: first };
+                    watches[i] = Watch {
+                        clause: cr,
+                        blocker: first,
+                    };
                     i += 1;
                     continue;
                 }
@@ -288,7 +307,10 @@ impl Solver {
                     let lk = self.clauses[cr.0 as usize].lits[k];
                     if self.lit_value(lk) != Value::False {
                         self.clauses[cr.0 as usize].lits.swap(1, k);
-                        self.watches[(!lk).index()].push(Watch { clause: cr, blocker: first });
+                        self.watches[(!lk).index()].push(Watch {
+                            clause: cr,
+                            blocker: first,
+                        });
                         watches.swap_remove(i);
                         continue 'watches;
                     }
@@ -390,11 +412,9 @@ impl Solver {
                     None => true,
                     Some(r) => {
                         // Keep unless every other literal of the reason is seen.
-                        self.clauses[r.0 as usize]
-                            .lits
-                            .iter()
-                            .skip(1)
-                            .any(|&q| !seen[q.var().index()] && self.var_info[q.var().index()].level > 0)
+                        self.clauses[r.0 as usize].lits.iter().skip(1).any(|&q| {
+                            !seen[q.var().index()] && self.var_info[q.var().index()].level > 0
+                        })
                     }
                 }
             })
@@ -499,8 +519,14 @@ impl Solver {
             let cr = ClauseRef(i as u32);
             let w0 = c.lits[0];
             let w1 = c.lits[1];
-            self.watches[(!w0).index()].push(Watch { clause: cr, blocker: w1 });
-            self.watches[(!w1).index()].push(Watch { clause: cr, blocker: w0 });
+            self.watches[(!w0).index()].push(Watch {
+                clause: cr,
+                blocker: w1,
+            });
+            self.watches[(!w1).index()].push(Watch {
+                clause: cr,
+                blocker: w0,
+            });
         }
     }
 
@@ -542,7 +568,9 @@ impl Solver {
                     return SolveResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
-                let bt = bt.max(assumptions.len() as u32).min(self.decision_level() - 1);
+                let bt = bt
+                    .max(assumptions.len() as u32)
+                    .min(self.decision_level() - 1);
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
                     if self.lit_value(learnt[0]) == Value::False {
@@ -718,6 +746,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // i,j index a 2-D grid
     fn pigeonhole_3_into_2_unsat() {
         // p_{ij}: pigeon i in hole j; i in 0..3, j in 0..2.
         let mut s = Solver::new();
@@ -741,6 +770,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // i,j index a 2-D grid
     fn pigeonhole_5_into_5_sat() {
         let n = 5;
         let mut s = Solver::new();
@@ -790,7 +820,9 @@ mod tests {
         // check the returned model actually satisfies the formula.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for round in 0..20 {

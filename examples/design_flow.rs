@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1–2. Application software → BIP model.
     let program = integrator();
     let embedded = embed_program(&program)?;
-    println!("[embed]    {} atoms, {} connectors", embedded.system.num_components(), embedded.system.num_connectors());
+    println!(
+        "[embed]    {} atoms, {} connectors",
+        embedded.system.num_components(),
+        embedded.system.num_connectors()
+    );
 
     // 3. Verify the application model.
     let df = DFinder::new(&embedded.system).check_deadlock_freedom();
@@ -69,7 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let manager = bip_core::dining_philosophers(3, false)?;
 
     // 6. Deploy the manager on the simulated network.
-    let run = deploy(&manager, &single_block(&manager), Crp::Centralized, 30_000, Latency::Fixed(3), 9);
+    let run = deploy(
+        &manager,
+        &single_block(&manager),
+        Crp::Centralized,
+        30_000,
+        Latency::Fixed(3),
+        9,
+    );
     println!(
         "[deploy]   {} interactions in {} simulated ticks ({} messages)",
         run.total_interactions, run.end_time, run.messages
@@ -78,8 +89,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Accountability: which requirements are satisfied?
     println!("\naccountability summary:");
     println!("  R1 stream semantics preserved by embedding ... checked (bip-embed tests)");
-    println!("  R2 application model deadlock-free ........... {}", df.verdict.is_deadlock_free());
-    println!("  R3 refinement certificate (≥) ................ {}", cert.refines());
+    println!(
+        "  R2 application model deadlock-free ........... {}",
+        df.verdict.is_deadlock_free()
+    );
+    println!(
+        "  R3 refinement certificate (≥) ................ {}",
+        cert.refines()
+    );
     println!("  R4 distributed run valid ..................... replayed in tests");
     Ok(())
 }

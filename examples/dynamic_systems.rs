@@ -15,7 +15,11 @@ fn main() {
     let (x0, y0) = (252, 105);
     let sys = gcd_system(x0, y0);
     let r = explore(&sys, 100_000);
-    println!("GCD({x0}, {y0}): {} reachable states, terminates: {}", r.states, !r.deadlocks.is_empty());
+    println!(
+        "GCD({x0}, {y0}): {} reachable states, terminates: {}",
+        r.states,
+        !r.deadlocks.is_empty()
+    );
     if let Some(end) = r.deadlocks.first() {
         println!(
             "  fixed point x = y = {} (expected {})",

@@ -22,6 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (atoms, connectors, transitions) = embedded.size();
     println!("χ structure preservation: {atoms} atoms (one per node), {connectors} connectors, {transitions} transitions");
-    println!("\nembedded architecture:\n{}", bip_core::system_to_dot(&embedded.system));
+    println!(
+        "\nembedded architecture:\n{}",
+        bip_core::system_to_dot(&embedded.system)
+    );
     Ok(())
 }

@@ -56,12 +56,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = sb.add_instance("b", &buffer);
     let c = sb.add_instance("c", &consumer);
     sb.add_connector(
-        ConnectorBuilder::rendezvous("produce", [(p, "put"), (b, "put")])
-            .transfer(1, 0, Expr::param(0, 0)),
+        ConnectorBuilder::rendezvous("produce", [(p, "put"), (b, "put")]).transfer(
+            1,
+            0,
+            Expr::param(0, 0),
+        ),
     );
     sb.add_connector(
-        ConnectorBuilder::rendezvous("consume", [(b, "get"), (c, "take")])
-            .transfer(1, 1, Expr::param(0, 0)),
+        ConnectorBuilder::rendezvous("consume", [(b, "get"), (c, "take")]).transfer(
+            1,
+            1,
+            Expr::param(0, 0),
+        ),
     );
     let sys = sb.build()?;
 

@@ -7,26 +7,43 @@
 //! ```
 
 use bip_rt::{
-    anomaly_experiment, edf_schedulable, greedy_makespan, partitioned_makespan,
-    rta_fixed_priority, simulate, JobShop, SimPolicy, Task,
+    anomaly_experiment, edf_schedulable, greedy_makespan, partitioned_makespan, rta_fixed_priority,
+    simulate, JobShop, SimPolicy, Task,
 };
 
 fn main() {
     // Periodic task set: analysis + simulation.
-    let tasks = [Task::implicit(7, 2), Task::implicit(12, 3), Task::implicit(20, 5)];
+    let tasks = [
+        Task::implicit(7, 2),
+        Task::implicit(12, 3),
+        Task::implicit(20, 5),
+    ];
     println!("task set: {:?}", tasks);
     let rta = rta_fixed_priority(&tasks);
     println!("fixed-priority response times: {rta:?}");
     println!("EDF schedulable: {}", edf_schedulable(&tasks));
     let sim = simulate(&tasks, SimPolicy::FixedPriority, 840);
-    println!("simulated max responses: {:?} (schedulable: {})", sim.max_response, sim.schedulable());
+    println!(
+        "simulated max responses: {:?} (schedulable: {})",
+        sim.max_response,
+        sim.schedulable()
+    );
 
     // The timing anomaly.
     let shop = JobShop::graham();
-    println!("\ntiming anomaly (Graham job shop, {} processors):", shop.processors);
-    println!("  greedy makespan at WCET durations : {}", greedy_makespan(&shop));
+    println!(
+        "\ntiming anomaly (Graham job shop, {} processors):",
+        shop.processors
+    );
+    println!(
+        "  greedy makespan at WCET durations : {}",
+        greedy_makespan(&shop)
+    );
     let out = anomaly_experiment(&shop, 1);
-    println!("  greedy makespan, all jobs faster  : {} (anomalous: {})", out.makespan_faster, out.anomalous);
+    println!(
+        "  greedy makespan, all jobs faster  : {} (anomalous: {})",
+        out.makespan_faster, out.anomalous
+    );
     println!(
         "  deterministic (partitioned) variant: {} → {} (monotone)",
         partitioned_makespan(&shop),

@@ -3,7 +3,7 @@
 
 use bip_arch::{
     at_most_as_permissive, client_critical, clients, compose, fifo_scheduler, mutual_exclusion,
-    token_ring, tmr,
+    tmr, token_ring,
 };
 use bip_verify::reach::{check_invariant, explore};
 
@@ -11,11 +11,22 @@ use bip_verify::reach::{check_invariant, explore};
 fn architectures_enforce_and_preserve_across_sizes() {
     for n in 2..=4 {
         let base = clients(n);
-        for arch in [mutual_exclusion(client_critical(n)), token_ring(client_critical(n))] {
+        for arch in [
+            mutual_exclusion(client_critical(n)),
+            token_ring(client_critical(n)),
+        ] {
             let sys = arch.apply(&base).unwrap();
             let prop = arch.characteristic_property(&sys);
-            assert!(check_invariant(&sys, &prop, 1_000_000).holds(), "{} n={n}", arch.name);
-            assert!(explore(&sys, 1_000_000).deadlock_free(), "{} n={n}", arch.name);
+            assert!(
+                check_invariant(&sys, &prop, 1_000_000).holds(),
+                "{} n={n}",
+                arch.name
+            );
+            assert!(
+                explore(&sys, 1_000_000).deadlock_free(),
+                "{} n={n}",
+                arch.name
+            );
         }
     }
 }

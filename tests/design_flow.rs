@@ -23,7 +23,10 @@ fn full_pipeline_integrator() {
 fn full_pipeline_distribution() {
     let sys = bip_core::dining_philosophers(4, false).unwrap();
     // Compositional certificate on the source model.
-    assert!(DFinder::new(&sys).check_deadlock_freedom().verdict.is_deadlock_free());
+    assert!(DFinder::new(&sys)
+        .check_deadlock_freedom()
+        .verdict
+        .is_deadlock_free());
     // Deploy under every CRP; the observable word must replay in the
     // source semantics (vertical correctness, runtime-checked).
     for crp in Crp::all() {
@@ -55,7 +58,10 @@ fn refinement_certificate_gates_the_flow() {
         let mut sb = bip_core::SystemBuilder::new();
         let a = sb.add_instance("a", &w);
         let b = sb.add_instance("b", &w);
-        sb.add_connector(bip_core::ConnectorBuilder::rendezvous("s", [(a, "sync"), (b, "sync")]));
+        sb.add_connector(bip_core::ConnectorBuilder::rendezvous(
+            "s",
+            [(a, "sync"), (b, "sync")],
+        ));
         sb.build().unwrap()
     };
     let ref1 = refine_interactions(&barrier).unwrap();

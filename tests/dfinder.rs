@@ -14,11 +14,17 @@ fn verdicts_agree_with_exact_checker_across_family() {
             let exact = explore(&sys, 10_000_000);
             assert!(exact.complete, "n={n}");
             if df.verdict.is_deadlock_free() {
-                assert!(exact.deadlocks.is_empty(), "unsound at n={n} two_phase={two_phase}");
+                assert!(
+                    exact.deadlocks.is_empty(),
+                    "unsound at n={n} two_phase={two_phase}"
+                );
             } else {
                 // Our candidates are allowed to be spurious in general, but
                 // on this family they never are:
-                assert!(!exact.deadlocks.is_empty(), "imprecise at n={n} two_phase={two_phase}");
+                assert!(
+                    !exact.deadlocks.is_empty(),
+                    "imprecise at n={n} two_phase={two_phase}"
+                );
             }
         }
     }
@@ -34,7 +40,10 @@ fn monolithic_state_count_grows_exponentially() {
             .map(|n| explore(&dining_philosophers(n, two_phase).unwrap(), 10_000_000).states)
             .collect();
         for w in counts.windows(2) {
-            assert!(w[1] as f64 / w[0] as f64 >= 1.25, "two_phase={two_phase}: {counts:?}");
+            assert!(
+                w[1] as f64 / w[0] as f64 >= 1.25,
+                "two_phase={two_phase}: {counts:?}"
+            );
         }
         assert!(
             *counts.last().unwrap() as f64 / counts[0] as f64 >= 8.0,

@@ -37,5 +37,8 @@ fn model_size_is_linear_in_program_size() {
     // across the sweep is close to 1.
     let max = per_node.iter().cloned().fold(f64::MIN, f64::max);
     let min = per_node.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(max / min < 1.5, "per-node cost must be ~constant: {per_node:?}");
+    assert!(
+        max / min < 1.5,
+        "per-node cost must be ~constant: {per_node:?}"
+    );
 }

@@ -43,7 +43,10 @@ fn sequential_engine_runs_parsed_model() {
     // budget exhaustion or a quiescent deadlock is acceptable — but steps
     // must have happened.
     assert!(report.steps > 10);
-    assert!(matches!(report.stop, StopReason::BudgetExhausted | StopReason::Deadlock));
+    assert!(matches!(
+        report.stop,
+        StopReason::BudgetExhausted | StopReason::Deadlock
+    ));
 }
 
 #[test]

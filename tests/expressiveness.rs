@@ -1,8 +1,6 @@
 //! Integration tests for experiment E3: glue expressiveness (§5.3.2, [5]).
 
-use bip_core::expressiveness::{
-    priorities_express_broadcast, refute_broadcast_with_interactions,
-};
+use bip_core::expressiveness::{priorities_express_broadcast, refute_broadcast_with_interactions};
 
 #[test]
 fn interaction_only_glue_cannot_express_broadcast() {

@@ -3,6 +3,181 @@
 use bip_core::{AtomBuilder, ConnectorBuilder, Expr, SystemBuilder};
 use proptest::prelude::*;
 
+/// A random flat system: a handful of randomly generated atoms (guarded,
+/// variable-updating transitions over random small location graphs) wired by
+/// random rendezvous/broadcast/singleton connectors. Used to stress the
+/// compiled enabled-set protocol on shapes no hand-written model covers.
+fn random_system(seed: u64) -> bip_core::System {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_atoms = rng.gen_range(2usize..6);
+    let mut sb = SystemBuilder::new();
+    let mut port_counts = Vec::new();
+    for a in 0..n_atoms {
+        let n_ports = rng.gen_range(1usize..4);
+        let n_locs = rng.gen_range(1usize..4);
+        let n_vars = rng.gen_range(0usize..3);
+        let mut b = AtomBuilder::new(format!("t{a}"));
+        for v in 0..n_vars {
+            b = b.var(format!("v{v}"), rng.gen_range(-2i64..3));
+        }
+        for p in 0..n_ports {
+            b = b.port(format!("p{p}"));
+        }
+        for l in 0..n_locs {
+            b = b.location(format!("l{l}"));
+        }
+        b = b.initial("l0");
+        // Random transitions; always at least one per location so systems
+        // aren't trivially stuck.
+        for l in 0..n_locs {
+            for _ in 0..rng.gen_range(1usize..3) {
+                let port = format!("p{}", rng.gen_range(0..n_ports));
+                let to = format!("l{}", rng.gen_range(0..n_locs));
+                let guard = if n_vars > 0 && rng.gen_bool(0.4) {
+                    Expr::var(rng.gen_range(0..n_vars) as u32).lt(Expr::int(rng.gen_range(1i64..5)))
+                } else {
+                    Expr::t()
+                };
+                let updates = if n_vars > 0 && rng.gen_bool(0.5) {
+                    let v = rng.gen_range(0..n_vars);
+                    vec![(
+                        format!("v{v}"),
+                        Expr::var(v as u32).add(Expr::int(rng.gen_range(-1i64..2))),
+                    )]
+                } else {
+                    vec![]
+                };
+                b = b.guarded_transition(
+                    format!("l{l}"),
+                    port,
+                    guard,
+                    updates
+                        .iter()
+                        .map(|(v, e)| (v.as_str(), e.clone()))
+                        .collect(),
+                    to,
+                );
+            }
+        }
+        let ty = b.build().unwrap();
+        port_counts.push(n_ports);
+        sb.add_instance(format!("a{a}"), &ty);
+    }
+    let n_conns = rng.gen_range(1usize..6);
+    for c in 0..n_conns {
+        let kind = rng.gen_range(0..3);
+        let pick_port =
+            |rng: &mut StdRng, comp: usize| format!("p{}", rng.gen_range(0..port_counts[comp]));
+        match kind {
+            0 => {
+                let comp = rng.gen_range(0..n_atoms);
+                let port = pick_port(&mut rng, comp);
+                sb.add_connector(ConnectorBuilder::singleton(format!("c{c}"), comp, port));
+            }
+            1 => {
+                // Rendezvous over a random subset of ≥ 2 distinct atoms.
+                let mut comps: Vec<usize> = (0..n_atoms).collect();
+                for i in (1..comps.len()).rev() {
+                    comps.swap(i, rng.gen_range(0..i + 1));
+                }
+                comps.truncate(rng.gen_range(2..n_atoms.max(2) + 1));
+                let ports: Vec<(usize, String)> = comps
+                    .iter()
+                    .map(|&co| (co, pick_port(&mut rng, co)))
+                    .collect();
+                sb.add_connector(ConnectorBuilder::rendezvous(format!("c{c}"), ports));
+            }
+            _ => {
+                let trigger = rng.gen_range(0..n_atoms);
+                let mut receivers: Vec<(usize, String)> = Vec::new();
+                for co in 0..n_atoms {
+                    if co != trigger && rng.gen_bool(0.6) {
+                        let p = pick_port(&mut rng, co);
+                        receivers.push((co, p));
+                    }
+                }
+                let tp = pick_port(&mut rng, trigger);
+                if receivers.is_empty() {
+                    sb.add_connector(ConnectorBuilder::singleton(format!("c{c}"), trigger, tp));
+                } else {
+                    sb.add_connector(ConnectorBuilder::broadcast(
+                        format!("c{c}"),
+                        (trigger, tp),
+                        receivers,
+                    ));
+                }
+            }
+        }
+    }
+    let mut sys = sb.build().unwrap();
+    // Random priority layer half the time.
+    if rng.gen_bool(0.5) {
+        let nc = sys.num_connectors() as u32;
+        sys.priority_mut().maximal_progress = rng.gen_bool(0.5);
+        for _ in 0..rng.gen_range(0..3) {
+            sys.priority_mut().add_rule(
+                bip_core::ConnId(rng.gen_range(0..nc)),
+                bip_core::ConnId(rng.gen_range(0..nc)),
+            );
+        }
+    }
+    sys
+}
+
+/// Walk `sys` for up to `steps` random steps; at every state assert that
+/// the incremental [`bip_core::EnabledSet`] protocol yields exactly the
+/// interaction set (and internal steps) the legacy enumeration computes.
+fn check_incremental_matches_legacy(
+    sys: &bip_core::System,
+    steps: usize,
+    seed: u64,
+) -> Result<(), String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut st = sys.initial_state();
+    let mut es = sys.new_enabled_set();
+    let mut compiled = Vec::new();
+    for step_no in 0..steps {
+        sys.refresh_enabled(&st, &mut es);
+        compiled.clear();
+        sys.for_each_enabled(&st, &es, |s| compiled.push(s));
+        let legacy: Vec<bip_core::Interaction> = sys.enabled(&st);
+        let compiled_inters: Vec<bip_core::Interaction> = compiled
+            .iter()
+            .filter_map(|s| match s {
+                bip_core::EnabledStep::Interaction(ir) => Some(sys.resolve_ref(*ir)),
+                _ => None,
+            })
+            .collect();
+        if compiled_inters != legacy {
+            return Err(format!(
+                "interaction sets diverged at step {step_no}: compiled {compiled_inters:?} vs legacy {legacy:?}"
+            ));
+        }
+        let legacy_internal = sys.internal_steps(&st).len();
+        let compiled_internal = compiled
+            .iter()
+            .filter(|s| matches!(s, bip_core::EnabledStep::Internal { .. }))
+            .count();
+        if compiled_internal != legacy_internal {
+            return Err(format!(
+                "internal step counts diverged at step {step_no}: {compiled_internal} vs {legacy_internal}"
+            ));
+        }
+        if compiled.is_empty() {
+            break; // deadlock
+        }
+        let chosen = compiled[rng.gen_range(0..compiled.len())];
+        sys.fire_enabled(&mut st, &mut es, chosen, |_, _, cands| {
+            rng.gen_range(0..cands.len())
+        });
+    }
+    Ok(())
+}
+
 /// Build a ring of `n` workers where worker i synchronizes with worker i+1,
 /// guards parameterized by `limit`.
 fn ring(n: usize, limit: i64) -> bip_core::System {
@@ -23,7 +198,9 @@ fn ring(n: usize, limit: i64) -> bip_core::System {
         .build()
         .unwrap();
     let mut sb = SystemBuilder::new();
-    let ids: Vec<usize> = (0..n).map(|i| sb.add_instance(format!("w{i}"), &w)).collect();
+    let ids: Vec<usize> = (0..n)
+        .map(|i| sb.add_instance(format!("w{i}"), &w))
+        .collect();
     for i in 0..n {
         sb.add_connector(ConnectorBuilder::rendezvous(
             format!("link{i}"),
@@ -125,6 +302,28 @@ proptest! {
                 let ok = c.iter().any(|l| s.value(l.var()) == Some(l.sign()));
                 prop_assert!(ok, "unsatisfied clause in model");
             }
+        }
+    }
+
+    /// The compiled incremental enabled-set protocol agrees exactly with
+    /// the legacy `enabled()` enumeration after every step of a random walk
+    /// over dining-philosopher systems of varying size (both variants,
+    /// satellite of the compiled-execution redesign).
+    #[test]
+    fn enabled_set_matches_legacy_on_philosophers(n in 2usize..8, seed in 0u64..1000) {
+        let sys = bip_core::dining_philosophers(n, seed % 2 == 1).unwrap();
+        if let Err(msg) = check_incremental_matches_legacy(&sys, 1000, seed) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    /// Same agreement on fully random systems: random guarded atoms wired
+    /// by random rendezvous/broadcast connectors under random priorities.
+    #[test]
+    fn enabled_set_matches_legacy_on_random_systems(seed in 0u64..400) {
+        let sys = random_system(seed);
+        if let Err(msg) = check_incremental_matches_legacy(&sys, 1000, seed ^ 0x9e37) {
+            prop_assert!(false, "{}", msg);
         }
     }
 

@@ -17,10 +17,18 @@ fn top_half_single_interaction_equivalent() {
     let mut sb = bip_core::SystemBuilder::new();
     let c1 = sb.add_instance("C1", &t);
     let c2 = sb.add_instance("C2", &t);
-    sb.add_connector(bip_core::ConnectorBuilder::rendezvous("a", [(c1, "p"), (c2, "p")]));
+    sb.add_connector(bip_core::ConnectorBuilder::rendezvous(
+        "a",
+        [(c1, "p"), (c2, "p")],
+    ));
     let orig = sb.build().unwrap();
     let refined = refine_interactions(&orig).unwrap();
-    assert!(weak_trace_equivalent(&orig, &refined.system, &refined.rename(), 100_000));
+    assert!(weak_trace_equivalent(
+        &orig,
+        &refined.system,
+        &refined.rename(),
+        100_000
+    ));
     assert!(refines(&orig, &refined.system, refined.rename(), 100_000).refines());
 }
 
@@ -37,6 +45,10 @@ fn bottom_half_conflicts_break_stability() {
 fn sr_systems_are_binary_only() {
     let (_, refined) = fig54_conflict_pair();
     for c in refined.system.connectors() {
-        assert!(c.ports.len() <= 2, "S/R-BIP must use binary interactions: {}", c.name);
+        assert!(
+            c.ports.len() <= 2,
+            "S/R-BIP must use binary interactions: {}",
+            c.name
+        );
     }
 }

@@ -1,0 +1,197 @@
+//! Minimal stand-in for the subset of `proptest` this workspace uses:
+//! the `proptest!` test macro with `arg in range` strategies over integers,
+//! `ProptestConfig::with_cases`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Cases are sampled deterministically (seeded per case index), so failures
+//! reproduce; there is no shrinking — the failing case prints its sampled
+//! arguments instead.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A value generator: the tiny core of proptest's `Strategy`.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value: std::fmt::Debug + Clone;
+
+        /// Sample one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: rand::UniformInt + std::fmt::Debug + Clone + 'static,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic per-case generator.
+    pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+        // FNV-1a over the test name, mixed with the case index, so distinct
+        // tests draw distinct streams but each (test, case) is reproducible.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+    }
+}
+
+/// The public face mirrored from proptest.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declare property tests. Supports the shape
+/// `proptest! { #![proptest_config(cfg)] #[test] fn name(a in strat, ..) { .. } .. }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::case_rng(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    Ok(())
+                })();
+                if let Err(msg) = outcome {
+                    panic!(
+                        "proptest case {case} failed: {msg}\n  args: {}",
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", ")
+                    );
+                }
+            }
+        }
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+}
+
+/// Property assertion: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn addition_commutes(a in -50i64..50, b in -50i64..50) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn ranges_respected(n in 3usize..9) {
+            prop_assert!((3..9).contains(&n), "n out of range: {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case 0 failed")]
+    fn failing_property_panics_with_args() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(unused)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(false, "intentional");
+            }
+        }
+        always_fails();
+    }
+}
