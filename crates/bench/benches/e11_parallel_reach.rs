@@ -1,0 +1,193 @@
+//! E11 — packed-state parallel reachability vs. the PR-1 sequential
+//! explorer, on the philosophers family (§4.3's state-explosion experiment,
+//! E1) and a randomized ring family.
+//!
+//! The PR-1 baseline stores every visited global state as a heap-backed
+//! `State` in a single-threaded `HashMap` and allocates a fresh `State` and
+//! `Step` per expanded edge. The new engine bit-packs states through
+//! `StateCodec`, explores with a sharded level-synchronous BFS
+//! (`ReachConfig::threads`), and enumerates successors allocation-free.
+//! The table prints throughput (states/s), speedup over the baseline, and
+//! the estimated per-state footprint of the `seen` set; reports are
+//! asserted identical across all engines on every system measured.
+//!
+//! Thread counts default to `1,2,4`; override with `--threads 1,4,8` (or
+//! the `E11_THREADS` environment variable).
+
+use bench::pr1_explore;
+use bip_core::{
+    dining_philosophers, AtomBuilder, ConnectorBuilder, Expr, State, StateCodec, System,
+    SystemBuilder,
+};
+use bip_verify::reach::{explore_with, ReachConfig, ReachReport};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const BOUND: usize = 2_000_000;
+
+/// Thread counts under test: `--threads 1,4,8` > `E11_THREADS` > `1,2,4`.
+fn thread_counts() -> Vec<usize> {
+    let from_args = std::env::args()
+        .skip_while(|a| a != "--threads")
+        .nth(1)
+        .or_else(|| std::env::var("E11_THREADS").ok());
+    let parsed: Vec<usize> = from_args
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        vec![1, 2, 4]
+    } else {
+        parsed
+    }
+}
+
+/// Randomized ring family: `n` atoms with 3 locations and a mod-3 counter,
+/// rendezvous-linked in a ring. Every location offers both ring ports (so
+/// the ring keeps synchronizing) with randomized targets, guards, and
+/// counter updates — finite state spaces of tens of thousands of states,
+/// shaped by the seed.
+fn random_ring(seed: u64, n: usize) -> System {
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move |m: u64| {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng % m
+    };
+    let mut sb = SystemBuilder::new();
+    for i in 0..n {
+        let mut b = AtomBuilder::new(format!("t{i}"))
+            .var("v", next(3) as i64)
+            .port("left")
+            .port("right")
+            .location("l0")
+            .location("l1")
+            .location("l2")
+            .initial("l0");
+        for l in 0..3 {
+            for port in ["left", "right"] {
+                let to = format!("l{}", next(3));
+                let guard = if next(4) == 0 {
+                    Expr::var(0).lt(Expr::int(2))
+                } else {
+                    Expr::t()
+                };
+                let updates = if next(2) == 0 {
+                    vec![("v", Expr::var(0).add(Expr::int(1)).rem(Expr::int(3)))]
+                } else {
+                    vec![]
+                };
+                b = b.guarded_transition(format!("l{l}"), port, guard, updates, to);
+            }
+        }
+        let ty = b.build().unwrap();
+        sb.add_instance(format!("a{i}"), &ty);
+    }
+    for i in 0..n {
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            format!("link{i}"),
+            [(i, "right"), ((i + 1) % n, "left")],
+        ));
+    }
+    sb.build().unwrap()
+}
+
+/// Estimated bytes one stored state costs in the PR-1 `seen` set (struct
+/// plus both heap buffers; hash-table overhead excluded on both sides).
+fn state_bytes(sys: &System) -> usize {
+    let st = sys.initial_state();
+    std::mem::size_of::<State>() + st.locs.capacity() * 4 + st.vars.capacity() * 8
+}
+
+fn assert_same(a: &ReachReport, b: &ReachReport, ctx: &str) {
+    assert_eq!(a.states, b.states, "{ctx}: states");
+    assert_eq!(a.transitions, b.transitions, "{ctx}: transitions");
+    assert_eq!(a.complete, b.complete, "{ctx}: complete");
+    let da: std::collections::HashSet<&State> = a.deadlocks.iter().collect();
+    let db: std::collections::HashSet<&State> = b.deadlocks.iter().collect();
+    assert_eq!(da, db, "{ctx}: deadlock set");
+}
+
+fn bench_system(name: &str, sys: &System, threads: &[usize]) {
+    let t = std::time::Instant::now();
+    let base = pr1_explore(sys, BOUND);
+    let base_secs = t.elapsed().as_secs_f64();
+    let codec = StateCodec::new(sys);
+    let sb = state_bytes(sys);
+    let pb = codec.packed_bytes();
+    println!(
+        "{name:>14} {:>9} states  {:>10.0} st/s (PR-1)   {sb:>4} B/state -> {pb:>3} B packed ({:.1}x)",
+        base.states,
+        base.states as f64 / base_secs,
+        sb as f64 / pb as f64
+    );
+    let mut first: Option<ReachReport> = None;
+    let mut best = (0usize, 0.0f64);
+    for &th in threads {
+        let t = std::time::Instant::now();
+        let r = explore_with(sys, &ReachConfig::bounded(BOUND).threads(th));
+        let secs = t.elapsed().as_secs_f64();
+        // The new engine is thread-count invariant, bounded or not; the
+        // PR-1 baseline is only comparable edge-for-edge on complete runs
+        // (its historical bound semantics counted pruned edges).
+        match &first {
+            None => {
+                if base.complete {
+                    assert_same(&r, &base, name);
+                }
+                first = Some(r.clone());
+            }
+            Some(f) => assert_same(&r, f, name),
+        }
+        let speedup = base_secs / secs;
+        if speedup > best.1 {
+            best = (th, speedup);
+        }
+        println!(
+            "{:>14} {:>9} states  {:>10.0} st/s   speedup {:>5.2}x",
+            format!("threads={th}"),
+            r.states,
+            r.states as f64 / secs,
+            speedup
+        );
+    }
+    println!("{:>14} {:.2}x at threads={}", "best:", best.1, best.0);
+}
+
+fn table() {
+    let threads = thread_counts();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\nE11: packed-state parallel reachability vs PR-1 sequential explore");
+    println!("(threads tested: {threads:?}; override with --threads a,b,c)");
+    println!("(host parallelism: {cores} — thread counts beyond it add overhead, not speed)\n");
+    for n in [10usize, 12, 13] {
+        let sys = dining_philosophers(n, true).unwrap();
+        bench_system(&format!("phil-{n}"), &sys, &threads);
+    }
+    for (n, seed) in [(6usize, 23u64), (7, 41)] {
+        let sys = random_ring(seed, n);
+        bench_system(&format!("ring-{n}/s{seed}"), &sys, &threads);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let sys = dining_philosophers(12, true).unwrap();
+    let threads = thread_counts();
+    let mut g = c.benchmark_group("e11");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("pr1_sequential", 12), &sys, |b, sys| {
+        b.iter(|| pr1_explore(sys, BOUND).states)
+    });
+    for &th in &threads {
+        g.bench_with_input(
+            BenchmarkId::new(format!("packed_threads_{th}"), 12),
+            &sys,
+            |b, sys| b.iter(|| explore_with(sys, &ReachConfig::bounded(BOUND).threads(th)).states),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -41,7 +41,7 @@ fn table() {
     }
     let (orig, refined) = fig54_conflict_pair();
     let cert = refines(&orig, &refined.system, refined.rename(), 500_000);
-    let dead = find_deadlock(&refined.system, 500_000).is_some();
+    let dead = find_deadlock(&refined.system, 500_000).found();
     println!(
         "  conflict cycle (fig)  : trace-included={} deadlock-introduced={} refines={}",
         cert.trace_included,

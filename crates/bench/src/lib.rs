@@ -1,2 +1,49 @@
-//! Shared helpers for the experiment benches live in the bench files
-//! themselves; this library intentionally stays empty.
+//! Shared helpers for the experiment benches and the workspace test suite.
+
+use std::collections::{HashMap, VecDeque};
+
+use bip_core::{State, System};
+use bip_verify::reach::ReachReport;
+
+/// Verbatim PR-1 `explore` (heap `State` keys, FIFO queue, per-edge `State`
+/// clones, `HashMap<State, ()>` seen set): the semantic and performance
+/// baseline that E11 measures against and the parallel-reach property tests
+/// verify against. Note its historical bound quirk, faithfully preserved:
+/// successors pruned at `max_states` still count as transitions, so
+/// baseline reports are only comparable edge-for-edge on complete runs.
+pub fn pr1_explore(sys: &System, max_states: usize) -> ReachReport {
+    let mut seen: HashMap<State, ()> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut transitions = 0usize;
+    let mut deadlocks = Vec::new();
+    let mut complete = true;
+    let mut es = sys.new_enabled_set();
+    let mut succ = Vec::new();
+    let init = sys.initial_state();
+    seen.insert(init.clone(), ());
+    queue.push_back(init);
+    while let Some(st) = queue.pop_front() {
+        es.invalidate_all();
+        sys.successors_into(&st, &mut es, &mut succ);
+        if succ.is_empty() {
+            deadlocks.push(st.clone());
+        }
+        for (_, next) in succ.drain(..) {
+            transitions += 1;
+            if !seen.contains_key(&next) {
+                if seen.len() >= max_states {
+                    complete = false;
+                    continue;
+                }
+                seen.insert(next.clone(), ());
+                queue.push_back(next);
+            }
+        }
+    }
+    ReachReport {
+        states: seen.len(),
+        transitions,
+        deadlocks,
+        complete,
+    }
+}

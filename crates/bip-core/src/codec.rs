@@ -1,0 +1,435 @@
+//! Bit-packed global states for explicit-state exploration.
+//!
+//! A [`State`] is heap-heavy: two `Vec` headers plus two allocations per
+//! stored state, with each control location spending 32 bits regardless of
+//! how many locations the component actually has. During monolithic model
+//! checking (§4.3's state-explosion experiment) millions of states live in
+//! the `seen` set at once, so their footprint — and the cost of hashing
+//! them — dominates.
+//!
+//! [`StateCodec`] compiles, per system, a fixed-width packing: component
+//! `c` with `L` locations occupies `ceil(log2(L))` bits (zero bits when
+//! `L == 1`), and each data variable is stored as its full 64-bit two's
+//! complement image after the location bits, so the encoding is lossless
+//! for *every* system, not only finite-domain ones. A packed
+//! dining-philosophers state of 24 components fits in a single `u64` word.
+//!
+//! [`PackedState`] stores up to two words inline (no heap traffic for
+//! systems up to 128 packed bits); larger systems spill to a boxed slice.
+//! Equality and hashing operate on the word slice, making shard selection
+//! and `HashSet` membership far cheaper than hashing a `State`.
+
+use std::hash::{Hash, Hasher};
+
+use crate::system::{State, System};
+
+/// How many words a [`PackedState`] can hold without heap allocation.
+const INLINE_WORDS: usize = 2;
+
+/// A bit-packed global state produced by a [`StateCodec`].
+///
+/// Opaque: only the codec that produced it can decode it, and packed states
+/// from different codecs must not be mixed (equality would compare
+/// incompatible bit layouts).
+pub struct PackedState {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, words: [u64; INLINE_WORDS] },
+    Heap(Box<[u64]>),
+}
+
+impl PackedState {
+    /// An all-zero packed state of `words` words.
+    pub fn zeroed(words: usize) -> PackedState {
+        let repr = if words <= INLINE_WORDS {
+            Repr::Inline {
+                len: words as u8,
+                words: [0; INLINE_WORDS],
+            }
+        } else {
+            Repr::Heap(vec![0u64; words].into_boxed_slice())
+        };
+        PackedState { repr }
+    }
+
+    /// The packed words.
+    pub fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline { len, words } => &words[..*len as usize],
+            Repr::Heap(b) => b,
+        }
+    }
+
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline { len, words } => &mut words[..*len as usize],
+            Repr::Heap(b) => b,
+        }
+    }
+
+    fn clear(&mut self) {
+        for w in self.words_mut() {
+            *w = 0;
+        }
+    }
+
+    /// Bytes this packed state occupies on the heap (0 when inline).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { .. } => 0,
+            Repr::Heap(b) => std::mem::size_of_val(&**b),
+        }
+    }
+}
+
+impl Clone for PackedState {
+    fn clone(&self) -> PackedState {
+        PackedState {
+            repr: self.repr.clone(),
+        }
+    }
+}
+
+impl PartialEq for PackedState {
+    fn eq(&self, other: &PackedState) -> bool {
+        self.words() == other.words()
+    }
+}
+
+impl Eq for PackedState {}
+
+impl Hash for PackedState {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Feed whole words, not the slice impl: `Hash for [u64]` lowers to
+        // one raw-byte `write`, which word-oriented hashers (the model
+        // checker's multiply-rotate hasher) would have to re-chunk a byte
+        // at a time. `write_u64` keeps the hot seen-set probes on the
+        // one-round-per-word fast path.
+        let words = self.words();
+        state.write_usize(words.len());
+        for &w in words {
+            state.write_u64(w);
+        }
+    }
+}
+
+impl std::fmt::Debug for PackedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PackedState[")?;
+        for (i, w) in self.words().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w:016x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Write `width` bits of `val` at bit offset `off`. The destination bits
+/// must currently be zero (states are encoded into cleared buffers).
+fn put_bits(words: &mut [u64], off: u32, width: u32, val: u64) {
+    if width == 0 {
+        return;
+    }
+    debug_assert!(width == 64 || val < (1u64 << width));
+    let w = (off / 64) as usize;
+    let b = off % 64;
+    words[w] |= val << b;
+    if b + width > 64 {
+        words[w + 1] |= val >> (64 - b);
+    }
+}
+
+/// Read `width` bits at bit offset `off`.
+fn get_bits(words: &[u64], off: u32, width: u32) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let w = (off / 64) as usize;
+    let b = off % 64;
+    let mut v = words[w] >> b;
+    if b + width > 64 {
+        v |= words[w + 1] << (64 - b);
+    }
+    if width < 64 {
+        v &= (1u64 << width) - 1;
+    }
+    v
+}
+
+/// Per-system packing schedule: bit offset and width of every component's
+/// location, followed by the 64-bit images of the data variables.
+///
+/// Encoding is lossless: [`StateCodec::decode`] inverts
+/// [`StateCodec::encode`] exactly (property-tested against [`State`] in the
+/// workspace test suite), so packed states can stand in for full states in
+/// `seen` sets, frontiers, and trace arenas.
+#[derive(Debug, Clone)]
+pub struct StateCodec {
+    /// Bit offset of each component's location field.
+    loc_offsets: Vec<u32>,
+    /// Bit width of each component's location field (`ceil(log2(locs))`).
+    loc_widths: Vec<u8>,
+    /// First bit of the variable image area.
+    var_base: u32,
+    /// Number of variables in the flat store.
+    num_vars: usize,
+    /// Words per packed state.
+    words: usize,
+}
+
+impl StateCodec {
+    /// Compile the packing schedule for `sys`.
+    pub fn new(sys: &System) -> StateCodec {
+        let mut loc_offsets = Vec::with_capacity(sys.num_components());
+        let mut loc_widths = Vec::with_capacity(sys.num_components());
+        let mut bits = 0u32;
+        for c in 0..sys.num_components() {
+            let nlocs = sys.atom_type(c).locations().len();
+            let width = if nlocs <= 1 {
+                0
+            } else {
+                u32::BITS - (nlocs as u32 - 1).leading_zeros()
+            };
+            loc_offsets.push(bits);
+            loc_widths.push(width as u8);
+            bits += width;
+        }
+        let var_base = bits;
+        let num_vars = sys.total_vars;
+        bits += 64 * num_vars as u32;
+        StateCodec {
+            loc_offsets,
+            loc_widths,
+            var_base,
+            num_vars,
+            words: (bits as usize).div_ceil(64),
+        }
+    }
+
+    /// Words per packed state.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Total packed bits per state.
+    pub fn bits(&self) -> u32 {
+        self.var_base + 64 * self.num_vars as u32
+    }
+
+    /// Approximate bytes one stored state costs under this codec (struct
+    /// plus heap spill), for capacity planning and bench reporting.
+    pub fn packed_bytes(&self) -> usize {
+        let heap = if self.words > INLINE_WORDS {
+            self.words * 8
+        } else {
+            0
+        };
+        std::mem::size_of::<PackedState>() + heap
+    }
+
+    /// A zeroed packed state sized for this codec.
+    pub fn new_packed(&self) -> PackedState {
+        PackedState::zeroed(self.words)
+    }
+
+    /// Encode `st` into a fresh packed state.
+    pub fn encode(&self, st: &State) -> PackedState {
+        let mut out = self.new_packed();
+        self.encode_into(st, &mut out);
+        out
+    }
+
+    /// Encode `st` into `out`, reusing its buffer.
+    pub fn encode_into(&self, st: &State, out: &mut PackedState) {
+        if out.words().len() != self.words {
+            *out = self.new_packed();
+        } else {
+            out.clear();
+        }
+        debug_assert_eq!(st.locs.len(), self.loc_offsets.len());
+        debug_assert_eq!(st.vars.len(), self.num_vars);
+        let words = out.words_mut();
+        for (c, &loc) in st.locs.iter().enumerate() {
+            put_bits(
+                words,
+                self.loc_offsets[c],
+                self.loc_widths[c] as u32,
+                loc as u64,
+            );
+        }
+        for (i, &v) in st.vars.iter().enumerate() {
+            put_bits(words, self.var_base + 64 * i as u32, 64, v as u64);
+        }
+    }
+
+    /// Decode a packed state into a fresh [`State`].
+    pub fn decode(&self, ps: &PackedState) -> State {
+        let mut st = State {
+            locs: vec![0; self.loc_offsets.len()],
+            vars: vec![0; self.num_vars],
+        };
+        self.decode_into(ps, &mut st);
+        st
+    }
+
+    /// Decode into `st`, reusing its buffers.
+    pub fn decode_into(&self, ps: &PackedState, st: &mut State) {
+        st.locs.resize(self.loc_offsets.len(), 0);
+        st.vars.resize(self.num_vars, 0);
+        let words = ps.words();
+        for c in 0..self.loc_offsets.len() {
+            st.locs[c] = get_bits(words, self.loc_offsets[c], self.loc_widths[c] as u32) as u32;
+        }
+        for i in 0..self.num_vars {
+            st.vars[i] = get_bits(words, self.var_base + 64 * i as u32, 64) as i64;
+        }
+    }
+}
+
+impl System {
+    /// Build the bit-packing [`StateCodec`] for this system's global states.
+    pub fn state_codec(&self) -> StateCodec {
+        StateCodec::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomBuilder;
+    use crate::builder::{dining_philosophers, SystemBuilder};
+    use crate::connector::ConnectorBuilder;
+
+    fn roundtrip(sys: &System, st: &State) {
+        let codec = sys.state_codec();
+        let packed = codec.encode(st);
+        assert_eq!(&codec.decode(&packed), st);
+    }
+
+    #[test]
+    fn philosophers_pack_into_one_word() {
+        let sys = dining_philosophers(12, true).unwrap();
+        let codec = sys.state_codec();
+        // 12 phils × 2 bits + 12 forks × 1 bit = 36 bits.
+        assert_eq!(codec.bits(), 36);
+        assert_eq!(codec.words(), 1);
+        roundtrip(&sys, &sys.initial_state());
+    }
+
+    #[test]
+    fn reachable_states_roundtrip() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let codec = sys.state_codec();
+        // Walk a few hundred states and check losslessness plus injectivity.
+        let mut seen = std::collections::HashMap::new();
+        let mut stack = vec![sys.initial_state()];
+        while let Some(st) = stack.pop() {
+            if seen.len() > 500 {
+                break;
+            }
+            let p = codec.encode(&st);
+            assert_eq!(codec.decode(&p), st, "lossless");
+            if let Some(prev) = seen.insert(p, st.clone()) {
+                assert_eq!(prev, st, "encode must be injective");
+                continue;
+            }
+            for (_, next) in sys.successors(&st) {
+                stack.push(next);
+            }
+        }
+    }
+
+    #[test]
+    fn variables_keep_full_i64_range() {
+        let a = AtomBuilder::new("a")
+            .var("x", i64::MIN)
+            .var("y", i64::MAX)
+            .var("z", -1)
+            .port("p")
+            .location("l")
+            .initial("l")
+            .transition("l", "p", "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c = sb.add_instance("c", &a);
+        sb.add_connector(ConnectorBuilder::singleton("t", c, "p"));
+        let sys = sb.build().unwrap();
+        let mut st = sys.initial_state();
+        roundtrip(&sys, &st);
+        sys.set_var(&mut st, c, 2, 0x0123_4567_89ab_cdefu64 as i64);
+        roundtrip(&sys, &st);
+    }
+
+    #[test]
+    fn single_location_components_cost_zero_bits() {
+        let a = AtomBuilder::new("a")
+            .port("p")
+            .location("only")
+            .initial("only")
+            .transition("only", "p", "only")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        for i in 0..10 {
+            sb.add_instance(format!("c{i}"), &a);
+        }
+        sb.add_connector(ConnectorBuilder::singleton("t", 0, "p"));
+        let sys = sb.build().unwrap();
+        let codec = sys.state_codec();
+        assert_eq!(codec.bits(), 0);
+        assert_eq!(codec.words(), 0);
+        roundtrip(&sys, &sys.initial_state());
+    }
+
+    #[test]
+    fn wide_systems_spill_to_heap_and_cross_words() {
+        // 40 three-location components: 80 bits, crossing a word boundary;
+        // plus a variable pushing past the inline capacity.
+        let a = AtomBuilder::new("a")
+            .var("v", 7)
+            .port("p")
+            .location("l0")
+            .location("l1")
+            .location("l2")
+            .initial("l1")
+            .transition("l1", "p", "l2")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        for i in 0..40 {
+            sb.add_instance(format!("c{i}"), &a);
+        }
+        sb.add_connector(ConnectorBuilder::singleton("t", 0, "p"));
+        let sys = sb.build().unwrap();
+        let codec = sys.state_codec();
+        assert_eq!(codec.bits(), 40 * 2 + 40 * 64);
+        assert!(codec.words() > INLINE_WORDS);
+        let st = sys.initial_state();
+        let p = codec.encode(&st);
+        assert!(p.heap_bytes() > 0);
+        roundtrip(&sys, &st);
+        // Mutate a late component so high words carry information.
+        let mut st2 = st.clone();
+        st2.locs[39] = 2;
+        sys.set_var(&mut st2, 39, 0, -12345);
+        assert_ne!(codec.encode(&st2), codec.encode(&st));
+        roundtrip(&sys, &st2);
+    }
+
+    #[test]
+    fn encode_into_reuses_and_clears() {
+        let sys = dining_philosophers(3, false).unwrap();
+        let codec = sys.state_codec();
+        let st = sys.initial_state();
+        let (_, next) = &sys.successors(&st)[0];
+        let mut buf = codec.encode(next);
+        codec.encode_into(&st, &mut buf);
+        assert_eq!(buf, codec.encode(&st), "stale bits must be cleared");
+    }
+}

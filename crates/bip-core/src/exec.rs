@@ -346,6 +346,63 @@ impl EnabledSet {
     }
 }
 
+/// Reusable buffers for [`System::for_each_successor`]: the successor
+/// state scratch plus the flattened local-transition choice lists of the
+/// interaction being expanded. One instance per exploring worker; a warmed
+/// scratch makes successor enumeration allocation-free.
+pub struct SuccScratch {
+    /// Successor state, overwritten per callback.
+    next: State,
+    /// Chosen `(component, transition)` pairs of the current combination.
+    combo: Vec<(CompId, TransitionId)>,
+    /// Flattened per-participant enabled-transition lists.
+    pool: Vec<TransitionId>,
+    /// Per participant: `(component, pool start, pool end)`.
+    choices: Vec<(CompId, u32, u32)>,
+    /// Odometer over `choices`.
+    idx: Vec<u32>,
+}
+
+/// A borrowed successor-step descriptor handed out by
+/// [`System::for_each_successor`]; call [`SuccStep::to_step`] to
+/// materialize an owned [`Step`] when recording a trace.
+#[derive(Debug, Clone, Copy)]
+pub enum SuccStep<'a> {
+    /// A connector interaction with the chosen local transitions.
+    Interaction {
+        /// The fired interaction in compiled form.
+        iref: InteractionRef,
+        /// Chosen local transition per participant, endpoint order.
+        transitions: &'a [(CompId, TransitionId)],
+    },
+    /// An internal step of one component.
+    Internal {
+        /// The stepping component.
+        component: CompId,
+        /// The fired transition.
+        transition: TransitionId,
+    },
+}
+
+impl SuccStep<'_> {
+    /// Materialize the owned legacy [`Step`] form (allocates).
+    pub fn to_step(&self, sys: &System) -> Step {
+        match self {
+            SuccStep::Interaction { iref, transitions } => Step::Interaction {
+                interaction: sys.resolve_ref(*iref),
+                transitions: transitions.to_vec(),
+            },
+            SuccStep::Internal {
+                component,
+                transition,
+            } => Step::Internal {
+                component: *component,
+                transition: *transition,
+            },
+        }
+    }
+}
+
 impl System {
     /// The compiled schedule: feasible masks and watch lists.
     pub fn compiled(&self) -> &CompiledExec {
@@ -622,6 +679,125 @@ impl System {
         }
     }
 
+    /// Fresh scratch for [`System::for_each_successor`].
+    pub fn new_succ_scratch(&self) -> SuccScratch {
+        SuccScratch {
+            next: self.initial_state(),
+            combo: Vec::new(),
+            pool: Vec::new(),
+            choices: Vec::new(),
+            idx: Vec::new(),
+        }
+    }
+
+    /// Visit every semantic step from `st` with its successor state,
+    /// without allocating: the successor lives in `scratch` and is
+    /// overwritten between callbacks, and the step is a borrowed
+    /// [`SuccStep`] descriptor (materialize it with [`SuccStep::to_step`]
+    /// only when a trace needs it).
+    ///
+    /// Successors are visited in exactly the order
+    /// [`System::successors_into`] produces them: connectors ascending,
+    /// masks ascending, local-transition combinations with the first
+    /// participant varying fastest, then internal steps. `es` is refreshed
+    /// for `st` as a side effect (callers exploring arbitrary states should
+    /// `invalidate_all` first).
+    pub fn for_each_successor<F>(
+        &self,
+        st: &State,
+        es: &mut EnabledSet,
+        scratch: &mut SuccScratch,
+        mut f: F,
+    ) where
+        F: FnMut(SuccStep<'_>, &State),
+    {
+        self.refresh_enabled(st, es);
+        let filtering = !self.priority.is_empty();
+        for ci in 0..self.connectors.len() {
+            let conn = ConnId(ci as u32);
+            let arity = self.resolved[ci].len();
+            for mi in 0..es.per_conn[ci].len() {
+                let mask = es.per_conn[ci][mi];
+                let ir = InteractionRef {
+                    connector: conn,
+                    mask,
+                };
+                if filtering && self.priority.dominated_compiled(self, st, ir, es) {
+                    continue;
+                }
+                // Per participant, the enabled local transitions for the
+                // connector port, flattened into the pooled buffer.
+                scratch.pool.clear();
+                scratch.choices.clear();
+                for i in mask_endpoints(mask, arity) {
+                    let (comp, port, _) = self.resolved[ci][i];
+                    let ty = self.atom_type(comp);
+                    let vars = self.comp_vars(st, comp);
+                    let start = scratch.pool.len() as u32;
+                    for &tid in ty.transitions_from(crate::atom::LocId(st.locs[comp])) {
+                        let t = ty.transition(tid);
+                        if t.port == Some(port) && t.guard.eval_local(vars) != 0 {
+                            scratch.pool.push(tid);
+                        }
+                    }
+                    debug_assert!(
+                        scratch.pool.len() as u32 > start,
+                        "enabled interaction without a local transition"
+                    );
+                    scratch
+                        .choices
+                        .push((comp, start, scratch.pool.len() as u32));
+                }
+                // Cartesian product over the choices (the odometer of
+                // `expand_interaction`, first participant fastest).
+                scratch.idx.clear();
+                scratch.idx.resize(scratch.choices.len(), 0);
+                'combos: loop {
+                    scratch.combo.clear();
+                    for (k, &(comp, lo, _)) in scratch.choices.iter().enumerate() {
+                        scratch
+                            .combo
+                            .push((comp, scratch.pool[(lo + scratch.idx[k]) as usize]));
+                    }
+                    scratch.next.clone_from(st);
+                    self.fire_interaction_masked(&mut scratch.next, conn, mask, &scratch.combo);
+                    f(
+                        SuccStep::Interaction {
+                            iref: ir,
+                            transitions: &scratch.combo,
+                        },
+                        &scratch.next,
+                    );
+                    let mut k = 0;
+                    loop {
+                        if k == scratch.idx.len() {
+                            break 'combos;
+                        }
+                        scratch.idx[k] += 1;
+                        if scratch.idx[k] < scratch.choices[k].2 - scratch.choices[k].1 {
+                            break;
+                        }
+                        scratch.idx[k] = 0;
+                        k += 1;
+                    }
+                }
+            }
+        }
+        for &c in &self.compiled.internal_comps {
+            for &tid in &es.internal[c] {
+                scratch.next.clone_from(st);
+                self.fire_local(&mut scratch.next, c, tid);
+                f(
+                    SuccStep::Internal {
+                        component: c,
+                        transition: tid,
+                    },
+                    &scratch.next,
+                );
+            }
+        }
+    }
+
     /// All semantic steps from `st` with successor states, written into
     /// `out` — the buffer-reusing form of [`System::successors`] used by the
     /// model checker. `es` is refreshed for `st` as a side effect (callers
@@ -779,6 +955,35 @@ mod tests {
                 next_frontier.extend(out.drain(..).map(|(_, s)| s));
             }
             frontier = next_frontier;
+        }
+    }
+
+    /// The allocation-free enumeration yields exactly the successor list of
+    /// `successors_into` — same steps, same states, same order (the order
+    /// the model checker's deterministic replay relies on).
+    #[test]
+    fn for_each_successor_matches_successors_into() {
+        for (n, two_phase) in [(3usize, false), (4, true)] {
+            let sys = dining_philosophers(n, two_phase).unwrap();
+            let mut es = sys.new_enabled_set();
+            let mut scratch = sys.new_succ_scratch();
+            let mut out = Vec::new();
+            let mut frontier = vec![sys.initial_state()];
+            for _ in 0..3 {
+                let mut next_frontier = Vec::new();
+                for st in &frontier {
+                    es.invalidate_all();
+                    sys.successors_into(st, &mut es, &mut out);
+                    let mut streamed: Vec<(Step, State)> = Vec::new();
+                    es.invalidate_all();
+                    sys.for_each_successor(st, &mut es, &mut scratch, |s, next| {
+                        streamed.push((s.to_step(&sys), next.clone()));
+                    });
+                    assert_eq!(out, streamed);
+                    next_frontier.extend(out.drain(..).map(|(_, s)| s));
+                }
+                frontier = next_frontier;
+            }
         }
     }
 

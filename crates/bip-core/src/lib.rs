@@ -84,6 +84,7 @@
 
 mod atom;
 pub mod builder;
+pub mod codec;
 mod composite;
 mod connector;
 mod data;
@@ -101,13 +102,15 @@ pub use atom::{
     Atom, AtomBuilder, AtomType, LocId, PortDecl, PortId, Transition, TransitionId, VarId,
 };
 pub use builder::{dining_philosophers, SystemBuilder};
+pub use codec::{PackedState, StateCodec};
 pub use composite::{Composite, CompositeBuilder, InstanceRef};
 pub use connector::{ConnId, Connector, ConnectorBuilder, PortRef};
 pub use data::{BinOp, Expr, UnOp, Value};
 pub use dot::{atom_to_dot, system_to_dot};
 pub use error::ModelError;
 pub use exec::{
-    CompiledExec, EnabledSet, EnabledStep, InteractionRef, FULL_MASK, MAX_CONNECTOR_PORTS,
+    CompiledExec, EnabledSet, EnabledStep, InteractionRef, SuccScratch, SuccStep, FULL_MASK,
+    MAX_CONNECTOR_PORTS,
 };
 pub use parse::{parse_system, ParseError};
 pub use predicate::{GExpr, StatePred};

@@ -336,7 +336,7 @@ mod tests {
         // committed receiver — the circular wait.
         let dead = find_deadlock(&refined.system, 200_000);
         assert!(
-            dead.is_some(),
+            dead.found(),
             "Fig 5.4 bottom: naive refinement must deadlock"
         );
         assert!(!r.refines(), "clause 2 (deadlock preservation) fails");

@@ -730,7 +730,7 @@ mod tests {
                 assert!(!cands.is_empty());
                 // The exact checker confirms the system really deadlocks, so
                 // the flag is not a false alarm.
-                assert!(crate::reach::find_deadlock(&sys, 1_000_000).is_some());
+                assert!(crate::reach::find_deadlock(&sys, 1_000_000).found());
             }
             Verdict::DeadlockFree => panic!("missed a real deadlock"),
         }

@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use bip_core::{State, System};
+use bip_core::{PackedState, StateCodec, System};
 
 /// Result of a refinement check.
 #[derive(Debug, Clone)]
@@ -54,29 +54,39 @@ struct ObsLts {
 
 /// Extract the observable LTS of `sys`. Each step's label comes from
 /// [`System::step_label`] passed through `rename`; `None` results are τ.
+///
+/// States are interned through the bit-packing [`StateCodec`], so the index
+/// keys are a word or two each instead of full heap-backed states.
 fn obs_lts<F>(sys: &System, rename: &F, max_states: usize) -> ObsLts
 where
     F: Fn(&str) -> Option<String>,
 {
-    let mut index: HashMap<State, usize> = HashMap::new();
-    let mut queue = VecDeque::new();
+    let codec = StateCodec::new(sys);
+    let mut index: HashMap<PackedState, usize> = HashMap::new();
+    let mut queue: VecDeque<PackedState> = VecDeque::new();
     let mut tau: Vec<Vec<usize>> = Vec::new();
     let mut obs: Vec<Vec<(String, usize)>> = Vec::new();
     let mut has_deadlock = false;
     let mut complete = true;
-    let init = sys.initial_state();
-    index.insert(init.clone(), 0);
+    let mut st = sys.initial_state();
+    let mut es = sys.new_enabled_set();
+    let mut succ = Vec::new();
+    let pinit = codec.encode(&st);
+    index.insert(pinit.clone(), 0);
     tau.push(Vec::new());
     obs.push(Vec::new());
-    queue.push_back(init);
-    while let Some(st) = queue.pop_front() {
-        let src = index[&st];
-        let succ = sys.successors(&st);
+    queue.push_back(pinit);
+    while let Some(packed) = queue.pop_front() {
+        let src = index[&packed];
+        codec.decode_into(&packed, &mut st);
+        es.invalidate_all();
+        sys.successors_into(&st, &mut es, &mut succ);
         if succ.is_empty() {
             has_deadlock = true;
         }
-        for (step, next) in succ {
-            let dst = match index.get(&next) {
+        for (step, next) in succ.drain(..) {
+            let pnext = codec.encode(&next);
+            let dst = match index.get(&pnext) {
                 Some(&d) => d,
                 None => {
                     if index.len() >= max_states {
@@ -84,10 +94,10 @@ where
                         continue;
                     }
                     let d = index.len();
-                    index.insert(next.clone(), d);
+                    index.insert(pnext.clone(), d);
                     tau.push(Vec::new());
                     obs.push(Vec::new());
-                    queue.push_back(next);
+                    queue.push_back(pnext);
                     d
                 }
             };

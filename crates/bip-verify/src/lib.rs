@@ -7,7 +7,12 @@
 //!   trustworthy/illegal state split of Fig. 3.1), exact deadlock detection,
 //!   and counterexample traces. This is the baseline that the paper compares
 //!   D-Finder against ("existing monolithic verification tools, such as
-//!   NuSMV").
+//!   NuSMV"). States are bit-packed through [`bip_core::StateCodec`] and the
+//!   search runs as a sharded, level-synchronous parallel BFS
+//!   ([`reach::ReachConfig::threads`]) whose reports are identical for every
+//!   thread count; bounded runs are *sound* — exhausting `max_states` is
+//!   always reported (`complete == false`) and never conflated with "no
+//!   deadlock / no violation found".
 //! * [`dfinder`] — the **compositional** verifier: component invariants
 //!   (CI), interaction invariants (II) computed from traps of the
 //!   place/interaction abstraction, and the deadlock condition (DIS);
@@ -28,4 +33,7 @@ pub mod reach;
 pub use dfinder::{DFinder, DFinderReport, Verdict};
 pub use equiv::{refines, weak_trace_equivalent, RefinementReport};
 pub use incremental::IncrementalVerifier;
-pub use reach::{check_invariant, explore, find_deadlock, InvariantReport, ReachReport};
+pub use reach::{
+    check_invariant, check_invariant_with, explore, explore_with, find_deadlock,
+    find_deadlock_with, DeadlockReport, InvariantReport, ReachConfig, ReachReport,
+};

@@ -1,49 +1,151 @@
-//! Monolithic explicit-state model checking.
+//! Monolithic explicit-state model checking over bit-packed states.
 //!
 //! This is the baseline of experiment E1: it enumerates the global state
 //! space, whose size "increases exponentially with the number of the
 //! components of the system to be verified" (§4.3) — the state-explosion
 //! phenomenon that motivates the compositional method in [`crate::dfinder`].
+//!
+//! # Architecture
+//!
+//! The three explorers — [`explore`], [`check_invariant`],
+//! [`find_deadlock`] — run on one engine: a **level-synchronous
+//! breadth-first search** over [`bip_core::PackedState`]s (see
+//! [`bip_core::StateCodec`]). The auxiliary collector [`states_where`] is a
+//! plain sequential BFS over the same packed representation.
+//! The `seen` set is partitioned by state hash into a fixed number of
+//! shards; each BFS level is expanded by up to [`ReachConfig::threads`]
+//! workers over chunks of the frontier (each worker reusing its own
+//! [`bip_core::EnabledSet`], successor buffer, and decode scratch), then
+//! merged shard-parallel into the per-shard seen sets. Witness traces are
+//! reconstructed from compact parent pointers (`shard << 48 | index`) into
+//! shard-local arenas, so no stored state ever keeps a full [`State`]
+//! alive.
+//!
+//! Results are **deterministic and independent of the thread count**: shard
+//! assignment, chunk order, and merge order are all fixed by the system
+//! alone, and any level that could cross `max_states` (or contains an
+//! invariant violation) is merged in a single deterministic stream order —
+//! so `threads = 1` (the default of the plain function forms) and
+//! `threads = N` return identical reports, bounded or not.
+//!
+//! # Bounded-exploration semantics
+//!
+//! Every explorer takes a `max_states` bound and reports honestly at the
+//! bound:
+//!
+//! * `complete == true` means the reachable set was exhausted within the
+//!   bound; `complete == false` means states were discarded, so *absence*
+//!   results (no deadlock found, invariant never violated) only cover the
+//!   visited region. [`ReachReport::deadlock_free`],
+//!   [`InvariantReport::holds`], and [`DeadlockReport::deadlock_free`] all
+//!   require `complete`.
+//! * A **found** violation or deadlock witness is definitive even when
+//!   `complete == false`: it is a real reachable state with a real trace.
+//! * `transitions` counts only edges between *stored* states — successors
+//!   pruned by the bound are not counted, so the number is exactly the edge
+//!   count of the explored region.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use bip_core::{EnabledSet, State, StatePred, Step, System};
+use bip_core::{EnabledSet, PackedState, State, StateCodec, StatePred, Step, SuccScratch, System};
 
-/// Reusable per-exploration scratch: the compiled enabled-set plus a
-/// successor buffer, so the BFS allocates per *stored* state, not per
-/// *expanded* state.
-struct Expander {
-    es: EnabledSet,
-    succ: Vec<(Step, State)>,
-}
+/// Multiply-rotate hasher for packed states (the word-slice `Hash` impl
+/// only feeds it `u64`s plus a length). Packed states are low-entropy bit
+/// patterns, so `finish` applies an avalanche mix; the result is
+/// deterministic across runs and threads, which shard assignment relies
+/// on. Roughly 5× cheaper than the default SipHash on one-word keys — and
+/// the `seen` sets hash every expanded edge.
+#[derive(Default, Clone, Copy)]
+struct FxHasher(u64);
 
-impl Expander {
-    fn new(sys: &System) -> Expander {
-        Expander {
-            es: sys.new_enabled_set(),
-            succ: Vec::new(),
+impl Hasher for FxHasher {
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
         }
     }
 
-    /// Successors of `st` into the internal buffer. BFS visits arbitrary
-    /// states, so the enabled set is fully invalidated; the win over the
-    /// legacy path is the compiled feasibility/guard tables and the reused
-    /// buffers.
-    fn expand<'a>(&'a mut self, sys: &System, st: &State) -> &'a mut Vec<(Step, State)> {
-        self.es.invalidate_all();
-        sys.successors_into(st, &mut self.es, &mut self.succ);
-        &mut self.succ
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^ (h >> 32)
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Number of `seen`-set shards. Fixed (rather than `= threads`) so shard
+/// assignment — and therefore frontier order, bounded truncation, and
+/// witness selection — is identical for every thread count.
+const SHARDS: usize = 64;
+
+/// Sentinel parent pointer for states without an arena node (the initial
+/// state, and every state when tracing is off).
+const NO_NODE: u64 = u64::MAX;
+
+/// Configuration for a state-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachConfig {
+    /// Stop storing new states once this many are seen (the exploration
+    /// still drains its frontier, so edges into stored states are counted).
+    pub max_states: usize,
+    /// Worker threads for expansion and shard merging; `1` (the default)
+    /// runs everything inline on the calling thread.
+    pub threads: usize,
+    /// BFS levels narrower than this run on the calling thread even when
+    /// `threads > 1` — spawning would cost more than the work, and results
+    /// are identical either way. Lower it (e.g. to 1) to force the
+    /// parallel machinery onto small frontiers, as the equivalence tests
+    /// do.
+    pub min_parallel_level: usize,
+}
+
+impl ReachConfig {
+    /// Sequential exploration bounded at `max_states`.
+    pub fn bounded(max_states: usize) -> ReachConfig {
+        ReachConfig {
+            max_states,
+            threads: 1,
+            min_parallel_level: 128,
+        }
+    }
+
+    /// Set the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> ReachConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the level width below which work stays on the calling thread.
+    pub fn min_parallel_level(mut self, width: usize) -> ReachConfig {
+        self.min_parallel_level = width;
+        self
     }
 }
 
 /// Result of a state-space exploration.
 #[derive(Debug, Clone)]
 pub struct ReachReport {
-    /// Number of distinct states visited.
+    /// Number of distinct states stored.
     pub states: usize,
-    /// Number of transitions traversed.
+    /// Number of transitions between stored states (edges pruned by the
+    /// bound are not counted).
     pub transitions: usize,
-    /// Deadlock states found (no successor at all).
+    /// Deadlock states found (no successor at all), in BFS order.
     pub deadlocks: Vec<State>,
     /// `true` if exploration exhausted the reachable set within the bound.
     pub complete: bool,
@@ -56,15 +158,18 @@ impl ReachReport {
     }
 }
 
-/// Result of checking an invariant over the reachable states.
+/// Result of checking a state invariant over the reachable states.
 #[derive(Debug, Clone)]
 pub struct InvariantReport {
-    /// Number of distinct states visited.
+    /// Number of distinct states stored when the check returned.
     pub states: usize,
-    /// A reachable state violating the invariant, with a trace of steps from
-    /// the initial state, if any.
+    /// A reachable state violating the invariant, with a shortest trace of
+    /// steps from the initial state, if any. A present violation is
+    /// **definitive** even when `complete` is `false`.
     pub violation: Option<(State, Vec<Step>)>,
     /// `true` if exploration exhausted the reachable set within the bound.
+    /// When a violation is returned this reflects the bound status at that
+    /// moment (no state had been discarded yet), not a completed sweep.
     pub complete: bool,
 }
 
@@ -76,153 +181,681 @@ impl InvariantReport {
     }
 }
 
-/// Exhaustively explore the reachable states of `sys`, up to `max_states`.
+/// Result of searching for a deadlock state.
 ///
-/// Returns state/transition counts and all deadlock states found. When
-/// `max_states` is hit, `complete` is `false` and the deadlock list covers
-/// only the visited region.
-pub fn explore(sys: &System, max_states: usize) -> ReachReport {
-    let mut seen: HashMap<State, ()> = HashMap::new();
-    let mut queue = VecDeque::new();
-    let mut transitions = 0usize;
-    let mut deadlocks = Vec::new();
-    let mut complete = true;
-    let mut ex = Expander::new(sys);
-    let init = sys.initial_state();
-    seen.insert(init.clone(), ());
-    queue.push_back(init);
-    while let Some(st) = queue.pop_front() {
-        let succ = ex.expand(sys, &st);
-        if succ.is_empty() {
-            deadlocks.push(st.clone());
-        }
-        for (_, next) in succ.drain(..) {
-            transitions += 1;
-            if !seen.contains_key(&next) {
-                if seen.len() >= max_states {
-                    complete = false;
-                    continue;
-                }
-                seen.insert(next.clone(), ());
-                queue.push_back(next);
-            }
-        }
+/// Unlike a bare `Option`, this keeps "no deadlock found" distinguishable
+/// from "the bound was exhausted before the search could finish":
+/// [`DeadlockReport::deadlock_free`] is only `true` for a complete search.
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// Number of distinct states stored when the search returned.
+    pub states: usize,
+    /// A deadlock state with a shortest trace from the initial state, if
+    /// one was found. A present witness is **definitive** even when
+    /// `complete` is `false`.
+    pub witness: Option<(State, Vec<Step>)>,
+    /// `true` if the search exhausted the reachable set within the bound.
+    pub complete: bool,
+}
+
+impl DeadlockReport {
+    /// `true` when a deadlock witness was found.
+    pub fn found(&self) -> bool {
+        self.witness.is_some()
     }
-    ReachReport {
-        states: seen.len(),
-        transitions,
-        deadlocks,
-        complete,
+
+    /// `true` when the search was complete and found no deadlock. A `false`
+    /// answer with `witness == None` means the bound was hit — *not* that
+    /// the system is deadlock-free.
+    pub fn deadlock_free(&self) -> bool {
+        self.complete && self.witness.is_none()
     }
 }
 
-/// Check a state invariant on all reachable states; on violation, return the
-/// offending state and the step trace leading to it.
-pub fn check_invariant(sys: &System, inv: &StatePred, max_states: usize) -> InvariantReport {
-    // BFS with parent pointers for trace reconstruction.
-    let mut parent: HashMap<State, Option<(State, Step)>> = HashMap::new();
-    let mut queue = VecDeque::new();
-    let mut complete = true;
-    let init = sys.initial_state();
-    parent.insert(init.clone(), None);
-    if !inv.eval(sys, &init) {
-        return InvariantReport {
-            states: 1,
-            violation: Some((init, Vec::new())),
-            complete: true,
-        };
-    }
-    queue.push_back(init);
-    let mut ex = Expander::new(sys);
-    while let Some(st) = queue.pop_front() {
-        for (step, next) in ex.expand(sys, &st).drain(..) {
-            if parent.contains_key(&next) {
-                continue;
-            }
-            if parent.len() >= max_states {
-                complete = false;
-                continue;
-            }
-            parent.insert(next.clone(), Some((st.clone(), step.clone())));
-            if !inv.eval(sys, &next) {
-                let trace = rebuild_trace(&parent, &next);
-                return InvariantReport {
-                    states: parent.len(),
-                    violation: Some((next, trace)),
-                    complete: true,
-                };
-            }
-            queue.push_back(next);
+/// Reusable per-worker scratch: the compiled enabled-set, the
+/// allocation-free successor scratch, and a decode target. A warmed worker
+/// allocates per *stored* state (the packed key and, when tracing, the
+/// step), not per *expanded* edge.
+struct Expander {
+    es: EnabledSet,
+    scratch: SuccScratch,
+    state: State,
+}
+
+impl Expander {
+    fn new(sys: &System) -> Expander {
+        Expander {
+            es: sys.new_enabled_set(),
+            scratch: sys.new_succ_scratch(),
+            state: sys.initial_state(),
         }
     }
-    InvariantReport {
-        states: parent.len(),
-        violation: None,
-        complete,
+
+    /// Visit the successors of a packed state. BFS visits arbitrary states,
+    /// so the enabled set is fully invalidated; the win over the legacy
+    /// path is the compiled feasibility/guard tables and the reused
+    /// buffers. Returns whether the state had any successor.
+    fn for_each<F>(
+        &mut self,
+        sys: &System,
+        codec: &StateCodec,
+        packed: &PackedState,
+        mut f: F,
+    ) -> bool
+    where
+        F: FnMut(bip_core::SuccStep<'_>, &State),
+    {
+        codec.decode_into(packed, &mut self.state);
+        self.es.invalidate_all();
+        let mut any = false;
+        sys.for_each_successor(&self.state, &mut self.es, &mut self.scratch, |s, next| {
+            any = true;
+            f(s, next);
+        });
+        any
     }
 }
 
-/// Find a deadlock state (if any) with a witness trace.
-pub fn find_deadlock(sys: &System, max_states: usize) -> Option<(State, Vec<Step>)> {
-    let mut parent: HashMap<State, Option<(State, Step)>> = HashMap::new();
-    let mut queue = VecDeque::new();
-    let init = sys.initial_state();
-    parent.insert(init.clone(), None);
-    queue.push_back(init);
-    let mut ex = Expander::new(sys);
-    while let Some(st) = queue.pop_front() {
-        let succ = ex.expand(sys, &st);
-        if succ.is_empty() {
-            let trace = rebuild_trace(&parent, &st);
-            return Some((st, trace));
-        }
-        for (step, next) in succ.drain(..) {
-            if parent.contains_key(&next) || parent.len() >= max_states {
-                continue;
-            }
-            parent.insert(next.clone(), Some((st.clone(), step)));
-            queue.push_back(next);
-        }
-    }
-    None
+/// What the engine is looking for.
+#[derive(Clone, Copy)]
+enum Mode<'a> {
+    /// Count states/transitions and collect all deadlock states.
+    Explore,
+    /// Stop at the first deadlock with a witness trace.
+    Deadlock,
+    /// Stop at the first state violating the predicate, with a trace.
+    Invariant(&'a StatePred),
 }
 
-fn rebuild_trace(parent: &HashMap<State, Option<(State, Step)>>, end: &State) -> Vec<Step> {
+impl Mode<'_> {
+    /// Whether parent pointers (and steps) must be recorded for traces.
+    fn tracing(&self) -> bool {
+        !matches!(self, Mode::Explore)
+    }
+}
+
+/// Next-frontier entries plus insert count produced by one shard merge.
+type MergeOut = (Vec<(PackedState, u64)>, usize);
+
+/// Parent pointer plus the step that discovered a stored state; lives in a
+/// shard-local arena, indexed by `shard << 48 | index` references.
+struct Node {
+    parent: u64,
+    step: Step,
+}
+
+/// One `seen` partition with its trace arena.
+#[derive(Default)]
+struct Shard {
+    seen: HashSet<PackedState, FxBuild>,
+    arena: Vec<Node>,
+}
+
+/// A successor produced during expansion, waiting to be merged.
+struct Candidate {
+    packed: PackedState,
+    /// Owning shard (precomputed so merges don't rehash).
+    shard: u32,
+    /// Arena reference of the source state (`NO_NODE` for the root).
+    parent: u64,
+    /// Discovering step; populated only when tracing (boxed so explore-mode
+    /// candidates stay small and cheap to shuffle between buffers).
+    step: Option<Box<Step>>,
+    /// Invariant mode: whether this successor violates the predicate.
+    violates: bool,
+}
+
+/// Expansion output of one contiguous frontier chunk.
+struct ChunkOut {
+    /// Candidates whose target was *not* already stored at expansion time
+    /// (already-seen targets are only counted — their edge verdict can
+    /// never change, so they need no materialization).
+    cands: Vec<Candidate>,
+    /// Edges into states already stored when the chunk was expanded.
+    dup_transitions: usize,
+    /// Frontier indices (global) of chunk states with no successors.
+    deadlocks: Vec<usize>,
+}
+
+/// What the engine hands back; the public report types are views of this.
+struct EngineOut {
+    states: usize,
+    transitions: usize,
+    deadlocks: Vec<State>,
+    complete: bool,
+    witness: Option<(State, Vec<Step>)>,
+}
+
+fn shard_of(p: &PackedState, nshards: usize) -> usize {
+    let mut h = FxHasher::default();
+    p.hash(&mut h);
+    (h.finish() % nshards as u64) as usize
+}
+
+fn node_ref(shard: usize, index: usize) -> u64 {
+    debug_assert!(index < (1usize << 48));
+    ((shard as u64) << 48) | index as u64
+}
+
+/// Walk parent pointers from `node` back to the root, collecting steps.
+fn rebuild_trace(shards: &[Shard], mut node: u64) -> Vec<Step> {
     let mut trace = Vec::new();
-    let mut cur = end.clone();
-    while let Some(Some((prev, step))) = parent.get(&cur) {
-        trace.push(step.clone());
-        cur = prev.clone();
+    while node != NO_NODE {
+        let n = &shards[(node >> 48) as usize].arena[(node & ((1u64 << 48) - 1)) as usize];
+        trace.push(n.step.clone());
+        node = n.parent;
     }
     trace.reverse();
     trace
 }
 
-/// Collect every reachable state satisfying `pred` (bounded).
-pub fn states_where(sys: &System, pred: &StatePred, max_states: usize) -> Vec<State> {
-    let mut seen: HashMap<State, ()> = HashMap::new();
-    let mut queue = VecDeque::new();
-    let mut hits = Vec::new();
-    let init = sys.initial_state();
-    seen.insert(init.clone(), ());
-    if pred.eval(sys, &init) {
-        hits.push(init.clone());
-    }
-    queue.push_back(init);
-    let mut ex = Expander::new(sys);
-    while let Some(st) = queue.pop_front() {
-        for (_, next) in ex.expand(sys, &st).drain(..) {
-            if seen.contains_key(&next) || seen.len() >= max_states {
-                continue;
+/// Expand one chunk of the frontier: decode, enumerate successors, encode,
+/// pre-hash each candidate to its shard, and drop (but count) successors
+/// that are already stored — phase A holds the seen sets read-only, so the
+/// probe is safe and saves materializing the duplicate majority.
+fn expand_chunk(
+    sys: &System,
+    codec: &StateCodec,
+    shards: &[Shard],
+    mode: Mode<'_>,
+    entries: &[(PackedState, u64)],
+    base: usize,
+    ex: &mut Expander,
+) -> ChunkOut {
+    let tracing = mode.tracing();
+    let mut cands = Vec::new();
+    let mut deadlocks = Vec::new();
+    let mut dup_transitions = 0usize;
+    let mut enc = codec.new_packed();
+    for (i, (packed, node)) in entries.iter().enumerate() {
+        let any = ex.for_each(sys, codec, packed, |sstep, next| {
+            codec.encode_into(next, &mut enc);
+            let si = shard_of(&enc, SHARDS);
+            if shards[si].seen.contains(&enc) {
+                dup_transitions += 1;
+                return;
             }
-            if pred.eval(sys, &next) {
-                hits.push(next.clone());
-            }
-            seen.insert(next.clone(), ());
-            queue.push_back(next);
+            let violates = match mode {
+                Mode::Invariant(inv) => !inv.eval(sys, next),
+                _ => false,
+            };
+            cands.push(Candidate {
+                shard: si as u32,
+                packed: enc.clone(),
+                parent: *node,
+                step: tracing.then(|| Box::new(sstep.to_step(sys))),
+                violates,
+            });
+        });
+        if !any {
+            deadlocks.push(base + i);
         }
     }
-    hits
+    ChunkOut {
+        cands,
+        dup_transitions,
+        deadlocks,
+    }
+}
+
+/// Merge one shard's candidates (already in deterministic stream order):
+/// insert unseen states, extend the arena, and emit next-frontier entries.
+/// Only valid when the level cannot cross the bound (the caller checked).
+fn merge_shard(shard: &mut Shard, si: usize, cands: Vec<Candidate>, tracing: bool) -> MergeOut {
+    let mut front = Vec::new();
+    let mut inserted = 0usize;
+    for mut cand in cands {
+        if shard.seen.contains(&cand.packed) {
+            continue;
+        }
+        shard.seen.insert(cand.packed.clone());
+        inserted += 1;
+        let node = if tracing {
+            let ix = shard.arena.len();
+            shard.arena.push(Node {
+                parent: cand.parent,
+                step: *cand.step.take().expect("tracing candidates carry steps"),
+            });
+            node_ref(si, ix)
+        } else {
+            NO_NODE
+        };
+        front.push((cand.packed, node));
+    }
+    (front, inserted)
+}
+
+/// The level-synchronous sharded BFS all public explorers run on.
+fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
+    let threads = cfg.threads.max(1);
+    let max_states = cfg.max_states;
+    let tracing = mode.tracing();
+    let codec = StateCodec::new(sys);
+    let init = sys.initial_state();
+
+    // The initial state is checked (and stored) unconditionally, matching
+    // the classical sequential semantics even for degenerate bounds.
+    if let Mode::Invariant(inv) = mode {
+        if !inv.eval(sys, &init) {
+            return EngineOut {
+                states: 1,
+                transitions: 0,
+                deadlocks: Vec::new(),
+                complete: true,
+                witness: Some((init, Vec::new())),
+            };
+        }
+    }
+
+    let mut shards: Vec<Shard> = (0..SHARDS).map(|_| Shard::default()).collect();
+    let pinit = codec.encode(&init);
+    shards[shard_of(&pinit, SHARDS)].seen.insert(pinit.clone());
+    let mut stored = 1usize;
+    let mut transitions = 0usize;
+    let mut complete = true;
+    let mut deadlock_states: Vec<State> = Vec::new();
+    let mut frontier: Vec<(PackedState, u64)> = vec![(pinit, NO_NODE)];
+    let mut workers: Vec<Expander> = (0..threads).map(|_| Expander::new(sys)).collect();
+    // Reused per-shard next-frontier buckets for the sequential fast path.
+    let mut buckets: Vec<Vec<(PackedState, u64)>> = (0..SHARDS).map(|_| Vec::new()).collect();
+
+    // Scratch for the fused sequential path's duplicate check.
+    let mut enc = codec.new_packed();
+
+    while !frontier.is_empty() {
+        // Small levels run on the calling thread whatever the configured
+        // count — spawning would cost more than the work, and results are
+        // thread-count-invariant either way.
+        let threads = if frontier.len() < cfg.min_parallel_level.max(1) {
+            1
+        } else {
+            threads
+        };
+
+        if threads == 1 {
+            // ---- Fused sequential level. ----
+            // Expansion and merging in one stream-order pass: semantically
+            // this *is* the deterministic ordered merge below (same stream
+            // order, same bound/violation rules, same shard-major next
+            // frontier), but with no candidate materialization at all — a
+            // duplicate edge costs one encode and one probe, zero
+            // allocations.
+            let level_stored = stored;
+            let level_complete = complete;
+            let mut violation: Option<(State, u64)> = None;
+            let ex = &mut workers[0];
+            for (packed, node) in &frontier {
+                let node = *node;
+                let any = ex.for_each(sys, &codec, packed, |sstep, next| {
+                    if violation.is_some() {
+                        return;
+                    }
+                    codec.encode_into(next, &mut enc);
+                    let si = shard_of(&enc, SHARDS);
+                    let shard = &mut shards[si];
+                    if shard.seen.contains(&enc) {
+                        transitions += 1;
+                        return;
+                    }
+                    if stored >= max_states {
+                        complete = false;
+                        return;
+                    }
+                    let p = enc.clone();
+                    shard.seen.insert(p.clone());
+                    stored += 1;
+                    transitions += 1;
+                    let nref = if tracing {
+                        let ix = shard.arena.len();
+                        shard.arena.push(Node {
+                            parent: node,
+                            step: sstep.to_step(sys),
+                        });
+                        node_ref(si, ix)
+                    } else {
+                        NO_NODE
+                    };
+                    if let Mode::Invariant(inv) = mode {
+                        if !inv.eval(sys, next) {
+                            violation = Some((next.clone(), nref));
+                            return;
+                        }
+                    }
+                    buckets[si].push((p, nref));
+                });
+                if let Some((bad, nref)) = violation {
+                    return EngineOut {
+                        states: stored,
+                        transitions,
+                        deadlocks: Vec::new(),
+                        complete,
+                        witness: Some((bad, rebuild_trace(&shards, nref))),
+                    };
+                }
+                if !any {
+                    match mode {
+                        Mode::Explore => deadlock_states.push(codec.decode(packed)),
+                        // Report the level-entry counters: the parallel
+                        // phases return before merging the level, and the
+                        // two paths must agree exactly.
+                        Mode::Deadlock => {
+                            return EngineOut {
+                                states: level_stored,
+                                transitions,
+                                deadlocks: Vec::new(),
+                                complete: level_complete,
+                                witness: Some((codec.decode(packed), rebuild_trace(&shards, node))),
+                            };
+                        }
+                        Mode::Invariant(_) => {}
+                    }
+                }
+            }
+            frontier.clear();
+            for b in &mut buckets {
+                frontier.append(b);
+            }
+            continue;
+        }
+
+        // ---- Phase A: expand the frontier in parallel chunks. ----
+        // Chunk geometry affects only load balancing, never results: the
+        // candidate stream is always read back in frontier order.
+        let chunk_size = frontier.len().div_ceil(threads * 4).max(16);
+        let nchunks = frontier.len().div_ceil(chunk_size);
+        let mut outs: Vec<(usize, ChunkOut)> = Vec::with_capacity(nchunks);
+        {
+            let next = AtomicUsize::new(0);
+            let frontier_ref = &frontier;
+            let codec_ref = &codec;
+            let next_ref = &next;
+            let shards_ref = &shards;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = workers
+                    .iter_mut()
+                    .map(|ex| {
+                        s.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let c = next_ref.fetch_add(1, Ordering::Relaxed);
+                                if c >= nchunks {
+                                    break;
+                                }
+                                let lo = c * chunk_size;
+                                let hi = ((c + 1) * chunk_size).min(frontier_ref.len());
+                                local.push((
+                                    c,
+                                    expand_chunk(
+                                        sys,
+                                        codec_ref,
+                                        shards_ref,
+                                        mode,
+                                        &frontier_ref[lo..hi],
+                                        lo,
+                                        ex,
+                                    ),
+                                ));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    outs.extend(h.join().expect("expansion worker panicked"));
+                }
+            });
+            outs.sort_unstable_by_key(|(c, _)| *c);
+        }
+
+        // ---- Deadlock handling (states of the *previous* merge). ----
+        match mode {
+            Mode::Explore => {
+                for (_, out) in &outs {
+                    for &fi in &out.deadlocks {
+                        deadlock_states.push(codec.decode(&frontier[fi].0));
+                    }
+                }
+            }
+            Mode::Deadlock => {
+                if let Some(&fi) = outs.iter().flat_map(|(_, o)| o.deadlocks.first()).min() {
+                    let (packed, node) = &frontier[fi];
+                    return EngineOut {
+                        states: stored,
+                        transitions,
+                        deadlocks: Vec::new(),
+                        complete,
+                        witness: Some((codec.decode(packed), rebuild_trace(&shards, *node))),
+                    };
+                }
+            }
+            Mode::Invariant(_) => {}
+        }
+
+        // ---- Phase B: merge candidates into the sharded seen set. ----
+        // Edges into already-stored targets were fully resolved in phase A.
+        transitions += outs.iter().map(|(_, o)| o.dup_transitions).sum::<usize>();
+        let total: usize = outs.iter().map(|(_, o)| o.cands.len()).sum();
+        let crossing = stored + total > max_states;
+        let violating = outs.iter().any(|(_, o)| o.cands.iter().any(|c| c.violates));
+
+        if !crossing && !violating {
+            // Fast path: every candidate's target ends up stored, so the
+            // merge is order-independent across shards (each shard receives
+            // its candidates in stream order under both strategies, so the
+            // arenas and frontier are bit-identical).
+            transitions += total;
+            let mut per_shard: Vec<Vec<Candidate>> = (0..SHARDS).map(|_| Vec::new()).collect();
+            for (_, out) in &mut outs {
+                for cand in out.cands.drain(..) {
+                    per_shard[cand.shard as usize].push(cand);
+                }
+            }
+            let mut parts: Vec<MergeOut> = Vec::with_capacity(SHARDS);
+            {
+                let mut slots: Vec<Option<MergeOut>> = (0..SHARDS).map(|_| None).collect();
+                std::thread::scope(|s| {
+                    // Distribute whole shards over the workers in
+                    // contiguous batches; each batch owns its shards and
+                    // result slots, so no locking is needed.
+                    let mut work: Vec<_> = shards
+                        .iter_mut()
+                        .zip(per_shard)
+                        .zip(slots.iter_mut())
+                        .enumerate()
+                        .map(|(si, ((shard, cands), slot))| (si, shard, cands, slot))
+                        .collect();
+                    let per = work.len().div_ceil(threads);
+                    let mut spawned = Vec::new();
+                    while !work.is_empty() {
+                        let take = per.min(work.len());
+                        let batch: Vec<_> = work.drain(..take).collect();
+                        spawned.push(s.spawn(move || {
+                            for (si, shard, cands, slot) in batch {
+                                *slot = Some(merge_shard(shard, si, cands, tracing));
+                            }
+                        }));
+                    }
+                    for h in spawned {
+                        h.join().expect("merge worker panicked");
+                    }
+                });
+                for slot in slots {
+                    parts.push(slot.expect("every shard merged"));
+                }
+            }
+            frontier.clear();
+            for (part, inserted) in parts {
+                stored += inserted;
+                frontier.extend(part);
+            }
+        } else {
+            // Deterministic slow path: replay the candidate stream in
+            // frontier order with the exact sequential bound/violation
+            // rules. Taken only for levels that might cross the bound or
+            // contain a violation, so the common case stays parallel. The
+            // next frontier is assembled shard-major, like every other
+            // path, so later levels see the same stream order regardless
+            // of which path built this one.
+            for (_, out) in &mut outs {
+                for mut cand in out.cands.drain(..) {
+                    let si = cand.shard as usize;
+                    let shard = &mut shards[si];
+                    if shard.seen.contains(&cand.packed) {
+                        transitions += 1;
+                        continue;
+                    }
+                    if stored >= max_states {
+                        complete = false;
+                        continue;
+                    }
+                    shard.seen.insert(cand.packed.clone());
+                    stored += 1;
+                    transitions += 1;
+                    let node = if tracing {
+                        let ix = shard.arena.len();
+                        shard.arena.push(Node {
+                            parent: cand.parent,
+                            step: *cand.step.take().expect("tracing candidates carry steps"),
+                        });
+                        node_ref(si, ix)
+                    } else {
+                        NO_NODE
+                    };
+                    if cand.violates {
+                        return EngineOut {
+                            states: stored,
+                            transitions,
+                            deadlocks: Vec::new(),
+                            complete,
+                            witness: Some((
+                                codec.decode(&cand.packed),
+                                rebuild_trace(&shards, node),
+                            )),
+                        };
+                    }
+                    buckets[si].push((cand.packed, node));
+                }
+            }
+            frontier.clear();
+            for b in &mut buckets {
+                frontier.append(b);
+            }
+        }
+    }
+
+    EngineOut {
+        states: stored,
+        transitions,
+        deadlocks: deadlock_states,
+        complete,
+        witness: None,
+    }
+}
+
+/// Exhaustively explore the reachable states of `sys`, up to `max_states`,
+/// sequentially. See [`explore_with`] for the parallel form.
+pub fn explore(sys: &System, max_states: usize) -> ReachReport {
+    explore_with(sys, &ReachConfig::bounded(max_states))
+}
+
+/// Explore the reachable states of `sys` under `cfg`.
+///
+/// Returns state/transition counts and all deadlock states found. When
+/// `max_states` is hit, `complete` is `false` and the deadlock list covers
+/// only the visited region. The report is identical for every
+/// `cfg.threads` value.
+pub fn explore_with(sys: &System, cfg: &ReachConfig) -> ReachReport {
+    let out = run(sys, cfg, Mode::Explore);
+    ReachReport {
+        states: out.states,
+        transitions: out.transitions,
+        deadlocks: out.deadlocks,
+        complete: out.complete,
+    }
+}
+
+/// Check a state invariant on all reachable states, sequentially; on
+/// violation, return the offending state and the step trace leading to it.
+/// See [`check_invariant_with`] for the parallel form.
+pub fn check_invariant(sys: &System, inv: &StatePred, max_states: usize) -> InvariantReport {
+    check_invariant_with(sys, inv, &ReachConfig::bounded(max_states))
+}
+
+/// Check a state invariant on all reachable states under `cfg`.
+///
+/// A returned violation is definitive (BFS order makes its trace shortest)
+/// even if the bound was hit; `holds()` additionally requires the sweep to
+/// have been complete.
+pub fn check_invariant_with(sys: &System, inv: &StatePred, cfg: &ReachConfig) -> InvariantReport {
+    let out = run(sys, cfg, Mode::Invariant(inv));
+    InvariantReport {
+        states: out.states,
+        violation: out.witness,
+        complete: out.complete,
+    }
+}
+
+/// Find a deadlock state (if any) with a shortest witness trace,
+/// sequentially. See [`find_deadlock_with`] for the parallel form.
+///
+/// Unlike the historical `Option` return, the [`DeadlockReport`] keeps "no
+/// deadlock found" distinguishable from "bound exhausted": check
+/// [`DeadlockReport::deadlock_free`], not just the witness.
+pub fn find_deadlock(sys: &System, max_states: usize) -> DeadlockReport {
+    find_deadlock_with(sys, &ReachConfig::bounded(max_states))
+}
+
+/// Find a deadlock state (if any) with a shortest witness trace, under
+/// `cfg`.
+pub fn find_deadlock_with(sys: &System, cfg: &ReachConfig) -> DeadlockReport {
+    let out = run(sys, cfg, Mode::Deadlock);
+    DeadlockReport {
+        states: out.states,
+        witness: out.witness,
+        complete: out.complete,
+    }
+}
+
+/// Collect every reachable state satisfying `pred` (bounded, sequential,
+/// packed `seen` set).
+///
+/// Returns the hits and a completeness flag: `false` means the search hit
+/// `max_states` and the hit list covers only the visited region (same
+/// bounded-soundness contract as the other explorers).
+pub fn states_where(sys: &System, pred: &StatePred, max_states: usize) -> (Vec<State>, bool) {
+    let codec = StateCodec::new(sys);
+    let mut seen: HashSet<PackedState, FxBuild> = HashSet::default();
+    let mut queue = std::collections::VecDeque::new();
+    let mut hits = Vec::new();
+    let mut complete = true;
+    let mut ex = Expander::new(sys);
+    let init = sys.initial_state();
+    let pinit = codec.encode(&init);
+    if pred.eval(sys, &init) {
+        hits.push(init);
+    }
+    seen.insert(pinit.clone());
+    queue.push_back(pinit);
+    let mut enc = codec.new_packed();
+    while let Some(packed) = queue.pop_front() {
+        ex.for_each(sys, &codec, &packed, |_, next| {
+            codec.encode_into(next, &mut enc);
+            if seen.contains(&enc) {
+                return;
+            }
+            if seen.len() >= max_states {
+                complete = false;
+                return;
+            }
+            if pred.eval(sys, next) {
+                hits.push(next.clone());
+            }
+            let p = enc.clone();
+            seen.insert(p.clone());
+            queue.push_back(p);
+        });
+    }
+    (hits, complete)
 }
 
 #[cfg(test)]
@@ -249,7 +882,8 @@ mod tests {
             !r.deadlocks.is_empty(),
             "all pick left fork -> circular wait"
         );
-        let (dead, trace) = find_deadlock(&sys, 100_000).unwrap();
+        let d = find_deadlock(&sys, 100_000);
+        let (dead, trace) = d.witness.unwrap();
         // In the deadlock state every philosopher holds its left fork.
         for i in 0..3 {
             let ty = sys.atom_type(i);
@@ -292,6 +926,7 @@ mod tests {
         let (bad, trace) = r.violation.expect("must violate");
         assert_eq!(sys.var_value(&bad, 0, 0), 3);
         assert_eq!(trace.len(), 3, "BFS gives the shortest violation");
+        assert!(r.complete, "no state was discarded before the violation");
     }
 
     #[test]
@@ -306,9 +941,14 @@ mod tests {
     #[test]
     fn states_where_finds_targets() {
         let sys = dining_philosophers(2, false).unwrap();
-        let eating0 = StatePred::at(&sys, 0, "eating");
-        let hits = states_where(&sys, &eating0, 100_000);
+        let eating0 = bip_core::StatePred::at(&sys, 0, "eating");
+        let (hits, complete) = states_where(&sys, &eating0, 100_000);
         assert!(!hits.is_empty());
+        assert!(complete);
+        // At the bound the partial hit list is flagged, not silently
+        // returned as if exhaustive.
+        let (_, complete) = states_where(&sys, &eating0, 2);
+        assert!(!complete);
     }
 
     #[test]
@@ -316,15 +956,170 @@ mod tests {
         let sys = dining_philosophers(4, true).unwrap();
         let r = explore(&sys, 5);
         assert!(!r.complete);
-        assert!(r.states <= 6);
+        assert!(r.states <= 5, "bound caps the stored set");
     }
 
     #[test]
     fn initial_violation_detected() {
         let sys = dining_philosophers(2, false).unwrap();
-        let inv = StatePred::at(&sys, 0, "eating"); // false initially
+        let inv = bip_core::StatePred::at(&sys, 0, "eating"); // false initially
         let r = check_invariant(&sys, &inv, 100);
         let (_, trace) = r.violation.unwrap();
         assert!(trace.is_empty());
+    }
+
+    /// A deterministic chain `n = 0,1,...,5` (6 states, 5 edges, deadlock
+    /// at the end) for precise bounded-semantics assertions.
+    fn chain6() -> System {
+        let c = AtomBuilder::new("c")
+            .port("tick")
+            .var("n", 0)
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "tick",
+                Expr::var(0).lt(Expr::int(5)),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let a = sb.add_instance("a", &c);
+        sb.add_connector(ConnectorBuilder::singleton("t", a, "tick"));
+        sb.build().unwrap()
+    }
+
+    #[test]
+    fn transitions_count_only_explored_edges() {
+        let sys = chain6();
+        let full = explore(&sys, 1000);
+        assert!(full.complete);
+        assert_eq!(full.states, 6);
+        assert_eq!(full.transitions, 5);
+        assert_eq!(full.deadlocks.len(), 1, "n == 5 has no successor");
+        // Bounded at 3 states: {0,1,2} stored, edges 0→1 and 1→2 inside the
+        // region; the pruned edge 2→3 must NOT be counted.
+        let bounded = explore(&sys, 3);
+        assert!(!bounded.complete);
+        assert_eq!(bounded.states, 3);
+        assert_eq!(bounded.transitions, 2);
+        assert!(
+            bounded.deadlocks.is_empty(),
+            "the cut-off state is not a deadlock"
+        );
+    }
+
+    #[test]
+    fn find_deadlock_reports_bound_exhaustion() {
+        let sys = chain6();
+        let complete = find_deadlock(&sys, 1000);
+        assert!(complete.found());
+        assert!(!complete.deadlock_free());
+        // Bounded: the deadlock at n == 5 is beyond 3 stored states. The
+        // old API returned a bare `None` here — indistinguishable from
+        // deadlock freedom.
+        let bounded = find_deadlock(&sys, 3);
+        assert!(bounded.witness.is_none());
+        assert!(!bounded.complete);
+        assert!(
+            !bounded.deadlock_free(),
+            "bound exhaustion must not read as deadlock freedom"
+        );
+    }
+
+    #[test]
+    fn check_invariant_reports_bound_exhaustion() {
+        let sys = chain6();
+        // Violated only at n == 5, which lies beyond a 3-state bound.
+        let inv = StatePred::Le(GExpr::var(0, 0), GExpr::int(4));
+        let bounded = check_invariant(&sys, &inv, 3);
+        assert!(bounded.violation.is_none());
+        assert!(!bounded.complete);
+        assert!(
+            !bounded.holds(),
+            "bound exhaustion must not read as invariant holding"
+        );
+        let full = check_invariant(&sys, &inv, 1000);
+        assert!(full.violation.is_some());
+    }
+
+    #[test]
+    fn explore_bound_propagates_incomplete() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let full = explore(&sys, 1_000_000);
+        assert!(full.complete);
+        for bound in [1, 2, full.states - 1] {
+            let r = explore(&sys, bound);
+            assert!(!r.complete, "bound {bound} must report incomplete");
+            assert!(r.states <= bound.max(1));
+        }
+        let exact = explore(&sys, full.states);
+        assert!(exact.complete, "bound == |reach| loses nothing");
+        assert_eq!(exact.states, full.states);
+        assert_eq!(exact.transitions, full.transitions);
+    }
+
+    #[test]
+    fn parallel_reports_match_sequential() {
+        for (n, two_phase) in [(3usize, true), (4, true), (3, false)] {
+            let sys = dining_philosophers(n, two_phase).unwrap();
+            let seq = explore_with(&sys, &ReachConfig::bounded(1_000_000));
+            for threads in [2usize, 4, 8] {
+                let par = explore_with(
+                    &sys,
+                    &ReachConfig::bounded(1_000_000)
+                        .threads(threads)
+                        .min_parallel_level(1),
+                );
+                assert_eq!(par.states, seq.states, "{n}/{two_phase}/{threads}");
+                assert_eq!(par.transitions, seq.transitions);
+                assert_eq!(par.deadlocks, seq.deadlocks, "deterministic order");
+                assert_eq!(par.complete, seq.complete);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bounded_reports_match_sequential() {
+        let sys = dining_philosophers(4, true).unwrap();
+        for bound in [1usize, 7, 50, 500] {
+            let seq = explore_with(&sys, &ReachConfig::bounded(bound));
+            let par = explore_with(
+                &sys,
+                &ReachConfig::bounded(bound).threads(4).min_parallel_level(1),
+            );
+            assert_eq!(par.states, seq.states, "bound {bound}");
+            assert_eq!(par.transitions, seq.transitions, "bound {bound}");
+            assert_eq!(par.deadlocks, seq.deadlocks, "bound {bound}");
+            assert_eq!(par.complete, seq.complete, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn parallel_witnesses_match_sequential() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let seq = find_deadlock(&sys, 1_000_000);
+        let par = find_deadlock_with(
+            &sys,
+            &ReachConfig::bounded(1_000_000)
+                .threads(4)
+                .min_parallel_level(1),
+        );
+        assert_eq!(seq.witness, par.witness, "same witness, same trace");
+        assert_eq!(seq.states, par.states);
+        let inv = StatePred::mutex(&sys, [(0, "eating"), (1, "eating")]);
+        let si = check_invariant(&sys, &inv, 1_000_000);
+        let pi = check_invariant_with(
+            &sys,
+            &inv,
+            &ReachConfig::bounded(1_000_000)
+                .threads(4)
+                .min_parallel_level(1),
+        );
+        assert_eq!(si.violation, pi.violation);
+        assert_eq!(si.states, pi.states);
+        assert_eq!(si.complete, pi.complete);
     }
 }

@@ -1,0 +1,128 @@
+//! Shared generators for the workspace integration tests.
+#![allow(dead_code)] // each test binary uses a subset
+
+use bip_core::{AtomBuilder, ConnectorBuilder, Expr, SystemBuilder};
+
+/// A random flat system: a handful of randomly generated atoms (guarded,
+/// variable-updating transitions over random small location graphs) wired by
+/// random rendezvous/broadcast/singleton connectors. Used to stress the
+/// compiled enabled-set protocol and the packed-state explorers on shapes no
+/// hand-written model covers.
+pub fn random_system(seed: u64) -> bip_core::System {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_atoms = rng.gen_range(2usize..6);
+    let mut sb = SystemBuilder::new();
+    let mut port_counts = Vec::new();
+    for a in 0..n_atoms {
+        let n_ports = rng.gen_range(1usize..4);
+        let n_locs = rng.gen_range(1usize..4);
+        let n_vars = rng.gen_range(0usize..3);
+        let mut b = AtomBuilder::new(format!("t{a}"));
+        for v in 0..n_vars {
+            b = b.var(format!("v{v}"), rng.gen_range(-2i64..3));
+        }
+        for p in 0..n_ports {
+            b = b.port(format!("p{p}"));
+        }
+        for l in 0..n_locs {
+            b = b.location(format!("l{l}"));
+        }
+        b = b.initial("l0");
+        // Random transitions; always at least one per location so systems
+        // aren't trivially stuck.
+        for l in 0..n_locs {
+            for _ in 0..rng.gen_range(1usize..3) {
+                let port = format!("p{}", rng.gen_range(0..n_ports));
+                let to = format!("l{}", rng.gen_range(0..n_locs));
+                let guard = if n_vars > 0 && rng.gen_bool(0.4) {
+                    Expr::var(rng.gen_range(0..n_vars) as u32).lt(Expr::int(rng.gen_range(1i64..5)))
+                } else {
+                    Expr::t()
+                };
+                let updates = if n_vars > 0 && rng.gen_bool(0.5) {
+                    let v = rng.gen_range(0..n_vars);
+                    vec![(
+                        format!("v{v}"),
+                        Expr::var(v as u32).add(Expr::int(rng.gen_range(-1i64..2))),
+                    )]
+                } else {
+                    vec![]
+                };
+                b = b.guarded_transition(
+                    format!("l{l}"),
+                    port,
+                    guard,
+                    updates
+                        .iter()
+                        .map(|(v, e)| (v.as_str(), e.clone()))
+                        .collect(),
+                    to,
+                );
+            }
+        }
+        let ty = b.build().unwrap();
+        port_counts.push(n_ports);
+        sb.add_instance(format!("a{a}"), &ty);
+    }
+    let n_conns = rng.gen_range(1usize..6);
+    for c in 0..n_conns {
+        let kind = rng.gen_range(0..3);
+        let pick_port =
+            |rng: &mut StdRng, comp: usize| format!("p{}", rng.gen_range(0..port_counts[comp]));
+        match kind {
+            0 => {
+                let comp = rng.gen_range(0..n_atoms);
+                let port = pick_port(&mut rng, comp);
+                sb.add_connector(ConnectorBuilder::singleton(format!("c{c}"), comp, port));
+            }
+            1 => {
+                // Rendezvous over a random subset of ≥ 2 distinct atoms.
+                let mut comps: Vec<usize> = (0..n_atoms).collect();
+                for i in (1..comps.len()).rev() {
+                    comps.swap(i, rng.gen_range(0..i + 1));
+                }
+                comps.truncate(rng.gen_range(2..n_atoms.max(2) + 1));
+                let ports: Vec<(usize, String)> = comps
+                    .iter()
+                    .map(|&co| (co, pick_port(&mut rng, co)))
+                    .collect();
+                sb.add_connector(ConnectorBuilder::rendezvous(format!("c{c}"), ports));
+            }
+            _ => {
+                let trigger = rng.gen_range(0..n_atoms);
+                let mut receivers: Vec<(usize, String)> = Vec::new();
+                for co in 0..n_atoms {
+                    if co != trigger && rng.gen_bool(0.6) {
+                        let p = pick_port(&mut rng, co);
+                        receivers.push((co, p));
+                    }
+                }
+                let tp = pick_port(&mut rng, trigger);
+                if receivers.is_empty() {
+                    sb.add_connector(ConnectorBuilder::singleton(format!("c{c}"), trigger, tp));
+                } else {
+                    sb.add_connector(ConnectorBuilder::broadcast(
+                        format!("c{c}"),
+                        (trigger, tp),
+                        receivers,
+                    ));
+                }
+            }
+        }
+    }
+    let mut sys = sb.build().unwrap();
+    // Random priority layer half the time.
+    if rng.gen_bool(0.5) {
+        let nc = sys.num_connectors() as u32;
+        sys.priority_mut().maximal_progress = rng.gen_bool(0.5);
+        for _ in 0..rng.gen_range(0..3) {
+            sys.priority_mut().add_rule(
+                bip_core::ConnId(rng.gen_range(0..nc)),
+                bip_core::ConnId(rng.gen_range(0..nc)),
+            );
+        }
+    }
+    sys
+}

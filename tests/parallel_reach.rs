@@ -1,0 +1,148 @@
+//! Cross-checks for the packed-state parallel reachability engine:
+//!
+//! * the sharded parallel BFS returns *identical* reports for every thread
+//!   count, bounded or complete, on random systems and philosophers;
+//! * on complete explorations the new engine agrees exactly with a verbatim
+//!   reference of the PR-1 sequential explorer (full-`State` `HashMap`);
+//! * the [`bip_core::StateCodec`] round-trips every reachable state of
+//!   random systems losslessly and injectively.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+// The verbatim PR-1 explorer, shared with the E11 bench so the reference
+// the proptests verify against is the one the bench measures against.
+use bench::pr1_explore as reference_explore;
+use bip_core::{dining_philosophers, State, StatePred};
+use bip_verify::reach::{
+    check_invariant_with, explore_with, find_deadlock_with, ReachConfig, ReachReport,
+};
+use proptest::prelude::*;
+
+mod common;
+use common::random_system;
+
+fn assert_reports_equal(a: &ReachReport, b: &ReachReport, ctx: &str) -> Result<(), String> {
+    if a.states != b.states
+        || a.transitions != b.transitions
+        || a.complete != b.complete
+        || a.deadlocks != b.deadlocks
+    {
+        return Err(format!(
+            "{ctx}: reports diverged: ({}, {}, {}, {} deadlocks) vs ({}, {}, {}, {} deadlocks)",
+            a.states,
+            a.transitions,
+            a.complete,
+            a.deadlocks.len(),
+            b.states,
+            b.transitions,
+            b.complete,
+            b.deadlocks.len()
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel and sequential `explore` agree exactly — states,
+    /// transitions, deadlock list (order included), completeness — on
+    /// random systems, both under a generous bound and under a tight one
+    /// that truncates the search.
+    #[test]
+    fn parallel_explore_matches_sequential_on_random_systems(seed in 0u64..200) {
+        let sys = random_system(seed);
+        for bound in [8_000usize, 37] {
+            let seq = explore_with(&sys, &ReachConfig::bounded(bound));
+            for threads in [2usize, 4] {
+                let par = explore_with(&sys, &ReachConfig::bounded(bound).threads(threads).min_parallel_level(1));
+                if let Err(e) = assert_reports_equal(&par, &seq, &format!("seed {seed} bound {bound} threads {threads}")) {
+                    prop_assert!(false, "{}", e);
+                }
+            }
+        }
+    }
+
+    /// On complete explorations the new engine reproduces the PR-1
+    /// reference explorer exactly (the deadlock *set* — discovery order
+    /// within a BFS level may differ from the FIFO reference).
+    #[test]
+    fn new_engine_matches_pr1_reference_when_complete(seed in 0u64..200) {
+        let sys = random_system(seed);
+        let new = explore_with(&sys, &ReachConfig::bounded(8_000));
+        if new.complete {
+            let reference = reference_explore(&sys, 8_000);
+            prop_assert!(reference.complete);
+            prop_assert_eq!(new.states, reference.states);
+            prop_assert_eq!(new.transitions, reference.transitions);
+            let a: HashSet<State> = new.deadlocks.iter().cloned().collect();
+            let b: HashSet<State> = reference.deadlocks.iter().cloned().collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Deadlock search and invariant checking return the same witness,
+    /// state count, and completeness for every thread count.
+    #[test]
+    fn parallel_witness_searches_match_sequential(seed in 0u64..120) {
+        let sys = random_system(seed);
+        for bound in [4_000usize, 29] {
+            let ds = find_deadlock_with(&sys, &ReachConfig::bounded(bound));
+            let dp = find_deadlock_with(&sys, &ReachConfig::bounded(bound).threads(4).min_parallel_level(1));
+            prop_assert_eq!(&ds.witness, &dp.witness);
+            prop_assert_eq!(ds.states, dp.states);
+            prop_assert_eq!(ds.complete, dp.complete);
+
+            let inv = StatePred::at(&sys, 0, "l0");
+            let is = check_invariant_with(&sys, &inv, &ReachConfig::bounded(bound));
+            let ip = check_invariant_with(&sys, &inv, &ReachConfig::bounded(bound).threads(4).min_parallel_level(1));
+            prop_assert_eq!(&is.violation, &ip.violation);
+            prop_assert_eq!(is.states, ip.states);
+            prop_assert_eq!(is.complete, ip.complete);
+        }
+    }
+
+    /// The codec round-trips every state reachable within a budget,
+    /// losslessly and injectively.
+    #[test]
+    fn codec_roundtrips_reachable_states(seed in 0u64..200) {
+        let sys = random_system(seed);
+        let codec = sys.state_codec();
+        let mut rev: HashMap<bip_core::PackedState, State> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(sys.initial_state());
+        while let Some(st) = queue.pop_front() {
+            if rev.len() >= 2_000 {
+                break;
+            }
+            let p = codec.encode(&st);
+            prop_assert_eq!(&codec.decode(&p), &st);
+            match rev.get(&p) {
+                Some(prev) => {
+                    prop_assert_eq!(prev, &st);
+                    continue;
+                }
+                None => {
+                    rev.insert(p, st.clone());
+                }
+            }
+            for (_, next) in sys.successors(&st) {
+                queue.push_back(next);
+            }
+        }
+    }
+
+    /// Philosophers: thread-count invariance holds on both variants at
+    /// tight, crossing, and generous bounds (the bound-crossing level takes
+    /// the deterministic merge path).
+    #[test]
+    fn philosophers_thread_invariance(n in 2usize..6, seed in 0u64..40) {
+        let sys = dining_philosophers(n, seed % 2 == 1).unwrap();
+        let bound = [3usize, 17, 100, 1_000_000][(seed % 4) as usize];
+        let seq = explore_with(&sys, &ReachConfig::bounded(bound));
+        let par = explore_with(&sys, &ReachConfig::bounded(bound).threads(4).min_parallel_level(1));
+        if let Err(e) = assert_reports_equal(&par, &seq, &format!("phil {n} bound {bound}")) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+}

@@ -37,7 +37,7 @@ fn bottom_half_conflicts_break_stability() {
     let (orig, refined) = fig54_conflict_pair();
     assert!(explore(&orig, 100_000).deadlock_free());
     let dead = find_deadlock(&refined.system, 500_000);
-    assert!(dead.is_some(), "circular str commitment must deadlock");
+    assert!(dead.found(), "circular str commitment must deadlock");
     assert!(!refines(&orig, &refined.system, refined.rename(), 500_000).refines());
 }
 
