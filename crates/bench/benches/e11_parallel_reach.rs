@@ -1,20 +1,32 @@
 //! E11 — packed-state parallel reachability vs. the PR-1 sequential
 //! explorer, on the philosophers family (§4.3's state-explosion experiment,
-//! E1) and a randomized ring family.
+//! E1), a randomized ring family, and the **var-heavy counter-ring family**
+//! (token ring with per-node bounded counters) that stresses the adaptive
+//! codec.
 //!
 //! The PR-1 baseline stores every visited global state as a heap-backed
 //! `State` in a single-threaded `HashMap` and allocates a fresh `State` and
 //! `Step` per expanded edge. The new engine bit-packs states through
-//! `StateCodec`, explores with a sharded level-synchronous BFS
-//! (`ReachConfig::threads`), and enumerates successors allocation-free.
-//! The table prints throughput (states/s), speedup over the baseline, and
-//! the estimated per-state footprint of the `seen` set; reports are
-//! asserted identical across all engines on every system measured.
+//! `StateCodec` — by default the *adaptive* codec (per-variable inferred
+//! widths + interned overflow) — keeps the seen set in open-addressing
+//! tables over per-shard bump arenas, explores with a sharded
+//! level-synchronous BFS (`ReachConfig::threads`), and enumerates
+//! successors allocation-free.
+//!
+//! For every system the table prints throughput (states/s), speedup over
+//! the baseline, packed widths, and the **measured** stored bytes/state of
+//! the seen set under the full-width and adaptive codecs (a `BENCH {...}`
+//! JSON line per system records the footprint trajectory for CI to track).
+//! Reports are asserted identical across all engines, thread counts, *and
+//! codecs* on every system measured; on the counter-ring family the
+//! adaptive codec must store at least 3× fewer bytes per state than the
+//! full-width codec, and on the philosophers family it must not regress —
+//! both asserted here, so the CI bench smoke enforces them.
 //!
 //! Thread counts default to `1,2,4`; override with `--threads 1,4,8` (or
 //! the `E11_THREADS` environment variable).
 
-use bench::pr1_explore;
+use bench::{counter_ring, pr1_explore};
 use bip_core::{
     dining_philosophers, AtomBuilder, ConnectorBuilder, Expr, State, StateCodec, System,
     SystemBuilder,
@@ -107,36 +119,47 @@ fn assert_same(a: &ReachReport, b: &ReachReport, ctx: &str) {
     assert_eq!(da, db, "{ctx}: deadlock set");
 }
 
-fn bench_system(name: &str, sys: &System, threads: &[usize]) {
+/// Footprint floor the adaptive codec must clear over the full-width codec
+/// (stored bytes/state ratio); `None` means "must not regress".
+fn bench_system(name: &str, sys: &System, threads: &[usize], min_shrink: Option<f64>) {
     let t = std::time::Instant::now();
     let base = pr1_explore(sys, BOUND);
     let base_secs = t.elapsed().as_secs_f64();
-    let codec = StateCodec::new(sys);
+    let full_codec = StateCodec::new(sys);
+    let ad_codec = StateCodec::adaptive(sys);
     let sb = state_bytes(sys);
-    let pb = codec.packed_bytes();
     println!(
-        "{name:>14} {:>9} states  {:>10.0} st/s (PR-1)   {sb:>4} B/state -> {pb:>3} B packed ({:.1}x)",
+        "{name:>14} {:>9} states  {:>10.0} st/s (PR-1)   {sb:>4} B/state heap",
         base.states,
         base.states as f64 / base_secs,
-        sb as f64 / pb as f64
     );
+
+    // Full-width reference run: the report every adaptive run must equal,
+    // and the footprint baseline the adaptive codec is measured against.
+    let full = explore_with(sys, &ReachConfig::bounded(BOUND).full_width_codec());
+    if base.complete {
+        assert_same(&full, &base, name);
+    }
+
     let mut first: Option<ReachReport> = None;
     let mut best = (0usize, 0.0f64);
     for &th in threads {
         let t = std::time::Instant::now();
         let r = explore_with(sys, &ReachConfig::bounded(BOUND).threads(th));
         let secs = t.elapsed().as_secs_f64();
-        // The new engine is thread-count invariant, bounded or not; the
-        // PR-1 baseline is only comparable edge-for-edge on complete runs
-        // (its historical bound semantics counted pruned edges).
+        // The new engine is thread-count and codec invariant, bounded or
+        // not; the PR-1 baseline is only comparable edge-for-edge on
+        // complete runs (its historical bound semantics counted pruned
+        // edges).
         match &first {
             None => {
-                if base.complete {
-                    assert_same(&r, &base, name);
-                }
+                assert_same(&r, &full, name);
                 first = Some(r.clone());
             }
-            Some(f) => assert_same(&r, f, name),
+            Some(f) => {
+                assert_same(&r, f, name);
+                assert_eq!(r.stored_bytes, f.stored_bytes, "{name}: footprint");
+            }
         }
         let speedup = base_secs / secs;
         if speedup > best.1 {
@@ -150,7 +173,40 @@ fn bench_system(name: &str, sys: &System, threads: &[usize]) {
             speedup
         );
     }
-    println!("{:>14} {:.2}x at threads={}", "best:", best.1, best.0);
+
+    let ad = first.expect("at least one thread count measured");
+    let (fb, ab) = (full.bytes_per_state(), ad.bytes_per_state());
+    let shrink = fb / ab.max(f64::MIN_POSITIVE);
+    println!(
+        "{:>14} {:.2}x at threads={}   codec {}b -> {}b packed   seen {:.1} -> {:.1} B/state ({shrink:.1}x)",
+        "best:",
+        best.1,
+        best.0,
+        full_codec.bits(),
+        ad_codec.bits(),
+        fb,
+        ab,
+    );
+    // One scrape-friendly record per system so the footprint trajectory
+    // lands in the CI logs next to criterion's estimates.json.
+    println!(
+        "BENCH {{\"bench\":\"e11\",\"system\":\"{name}\",\"states\":{},\"full_bits\":{},\"adaptive_bits\":{},\"full_bytes_per_state\":{fb:.2},\"adaptive_bytes_per_state\":{ab:.2},\"shrink\":{shrink:.2}}}",
+        ad.states,
+        full_codec.bits(),
+        ad_codec.bits(),
+    );
+    match min_shrink {
+        Some(f) => assert!(
+            ab * f <= fb,
+            "{name}: adaptive codec must store >= {f}x fewer bytes/state \
+             (full {fb:.1}, adaptive {ab:.1})"
+        ),
+        None => assert!(
+            ab <= fb + 1e-9,
+            "{name}: adaptive codec must never regress the footprint \
+             (full {fb:.1}, adaptive {ab:.1})"
+        ),
+    }
 }
 
 fn table() {
@@ -161,21 +217,28 @@ fn table() {
     println!("(host parallelism: {cores} — thread counts beyond it add overhead, not speed)\n");
     for n in [10usize, 12, 13] {
         let sys = dining_philosophers(n, true).unwrap();
-        bench_system(&format!("phil-{n}"), &sys, &threads);
+        bench_system(&format!("phil-{n}"), &sys, &threads, None);
     }
     for (n, seed) in [(6usize, 23u64), (7, 41)] {
         let sys = random_ring(seed, n);
-        bench_system(&format!("ring-{n}/s{seed}"), &sys, &threads);
+        bench_system(&format!("ring-{n}/s{seed}"), &sys, &threads, None);
+    }
+    // Var-heavy family: the ROADMAP case the adaptive codec exists for.
+    // Per-node counters dominate the footprint, so the acceptance floor is
+    // a hard 3x shrink over the full-width codec.
+    for (n, k) in [(6usize, 4i64), (7, 3)] {
+        let sys = counter_ring(n, k);
+        bench_system(&format!("cring-{n}x{k}"), &sys, &threads, Some(3.0));
     }
     println!();
 }
 
 fn bench(c: &mut Criterion) {
     table();
-    let sys = dining_philosophers(12, true).unwrap();
     let threads = thread_counts();
     let mut g = c.benchmark_group("e11");
     g.sample_size(10);
+    let sys = dining_philosophers(12, true).unwrap();
     g.bench_with_input(BenchmarkId::new("pr1_sequential", 12), &sys, |b, sys| {
         b.iter(|| pr1_explore(sys, BOUND).states)
     });
@@ -186,6 +249,21 @@ fn bench(c: &mut Criterion) {
             |b, sys| b.iter(|| explore_with(sys, &ReachConfig::bounded(BOUND).threads(th)).states),
         );
     }
+    // Var-heavy counter ring: adaptive vs full-width codec throughput (the
+    // narrow states are also the cache-friendlier ones).
+    let cring = counter_ring(6, 4);
+    g.bench_with_input(
+        BenchmarkId::new("cring_full_width", "6x4"),
+        &cring,
+        |b, sys| {
+            b.iter(|| explore_with(sys, &ReachConfig::bounded(BOUND).full_width_codec()).states)
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("cring_adaptive", "6x4"),
+        &cring,
+        |b, sys| b.iter(|| explore_with(sys, &ReachConfig::bounded(BOUND)).states),
+    );
     g.finish();
 }
 

@@ -45,5 +45,59 @@ pub fn pr1_explore(sys: &System, max_states: usize) -> ReachReport {
         transitions,
         deadlocks,
         complete,
+        // The PR-1 seen set has no packed footprint; the E11 bench measures
+        // its `State`-based cost separately.
+        stored_bytes: 0,
     }
+}
+
+/// The var-heavy token-ring family: `n` nodes, each with a per-node counter
+/// bounded by `k` through a transition guard.
+///
+/// One token circulates (`pass{i}` rendezvous between neighbor `put`/`get`
+/// ports); the holder may also `work` (a singleton connector) any number of
+/// times, incrementing its counter while `c < k`. Counters are independent,
+/// so the reachable set is ≈ `n · (k+1)^n` — data-rich state spaces whose
+/// per-state footprint is dominated by the counters. The full-width codec
+/// spends 64 bits per counter; the adaptive codec infers `[0, k]` from the
+/// guard and packs each in `ceil(log2(k+1))` bits, which is the footprint
+/// gap E11's var-heavy table measures.
+pub fn counter_ring(n: usize, k: i64) -> System {
+    use bip_core::{AtomBuilder, ConnectorBuilder, Expr, SystemBuilder};
+    assert!(n >= 2 && k >= 1);
+    let node = |first: bool| {
+        AtomBuilder::new(if first { "holder" } else { "node" })
+            .var("c", 0)
+            .port("get")
+            .port("put")
+            .port("work")
+            .location("idle")
+            .location("hold")
+            .initial(if first { "hold" } else { "idle" })
+            .transition("idle", "get", "hold")
+            .transition("hold", "put", "idle")
+            .guarded_transition(
+                "hold",
+                "work",
+                Expr::var(0).lt(Expr::int(k)),
+                vec![("c", Expr::var(0).add(Expr::int(1)))],
+                "hold",
+            )
+            .build()
+            .unwrap()
+    };
+    let holder = node(true);
+    let idle = node(false);
+    let mut sb = SystemBuilder::new();
+    for i in 0..n {
+        sb.add_instance(format!("n{i}"), if i == 0 { &holder } else { &idle });
+    }
+    for i in 0..n {
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            format!("pass{i}"),
+            [(i, "put"), ((i + 1) % n, "get")],
+        ));
+        sb.add_connector(ConnectorBuilder::singleton(format!("work{i}"), i, "work"));
+    }
+    sb.build().unwrap()
 }

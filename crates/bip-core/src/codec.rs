@@ -7,24 +7,82 @@
 //! the `seen` set at once, so their footprint — and the cost of hashing
 //! them — dominates.
 //!
-//! [`StateCodec`] compiles, per system, a fixed-width packing: component
-//! `c` with `L` locations occupies `ceil(log2(L))` bits (zero bits when
-//! `L == 1`), and each data variable is stored as its full 64-bit two's
-//! complement image after the location bits, so the encoding is lossless
-//! for *every* system, not only finite-domain ones. A packed
-//! dining-philosophers state of 24 components fits in a single `u64` word.
+//! [`StateCodec`] compiles, per system, a fixed packing schedule. Component
+//! `c` with `L` locations always occupies `ceil(log2(L))` bits (zero bits
+//! when `L == 1`). Data variables are packed according to one of two
+//! profiles:
+//!
+//! * [`StateCodec::new`] — the **full-width** reference codec: every
+//!   variable is stored as its 64-bit two's-complement image, so encoding
+//!   is trivially lossless and infallible for *every* state, including
+//!   states mutated out-of-band through [`System::set_var`].
+//! * [`StateCodec::adaptive`] — the **adaptive** codec: a static
+//!   value-range pass over each variable's update and guard expressions
+//!   (see [`crate::width`]; initial values, constant assignments, guarded
+//!   counters, bounded arithmetic like `% k`) picks a per-variable plan:
+//!
+//!   * a bounded variable with inferred range `[lo, hi]` is stored as
+//!     `value - lo` in `ceil(log2(hi - lo + 1))` bits — a constant
+//!     variable costs **zero** bits;
+//!   * a variable the analysis cannot bound is stored as a small index
+//!     into a shared, shard-safe **interned overflow table** (out-of-line
+//!     `i64` interning): rare wide values cost [`INTERN_START_BITS`] bits
+//!     inline instead of 64.
+//!
+//! # Repack-on-widen
+//!
+//! The adaptive widths are inferred from *reachable* stores, but encoding
+//! must stay total: a state built by hand (or an analysis imprecision) can
+//! hold a value outside its variable's width. [`StateCodec::try_encode`]
+//! therefore reports a [`WidenReq`] instead of corrupting bits, and
+//! [`StateCodec::widen`] deterministically produces the next codec in the
+//! ladder: the overflowing variable moves to the interned (wide) plan, or
+//! the intern-index field grows by 8 bits. Callers re-encode (and migrate
+//! any stored packed states) and continue; the model checker's explorers do
+//! exactly this, so their reports are bit-identical whether or not a widen
+//! occurred, and identical between the adaptive and full-width codecs.
+//!
+//! Packed states from different codecs (including a codec and its widened
+//! successor) must never be mixed: equality compares raw bit layouts. For a
+//! layout-independent identity — shard assignment in the parallel explorer,
+//! which must agree across codecs and across widens — use
+//! [`StateCodec::state_hash`], which hashes canonical location/value
+//! content rather than packed words.
+//!
+//! # Interning and determinism
+//!
+//! The intern table is shared through an `Arc` by every codec in a widen
+//! ladder and is safe to use from concurrent encoders (16 internally locked
+//! shards). Index *assignment* depends on encode interleaving, so two runs
+//! may pack the same wide value differently — but an index never leaks out
+//! of the packed representation: decoding returns the interned value, and
+//! every consumer that needs run-independent identity hashes values, not
+//! words. Within one codec, interning still guarantees the bijection
+//! `value ↔ index` that packed-state equality relies on.
 //!
 //! [`PackedState`] stores up to two words inline (no heap traffic for
 //! systems up to 128 packed bits); larger systems spill to a boxed slice.
 //! Equality and hashing operate on the word slice, making shard selection
-//! and `HashSet` membership far cheaper than hashing a `State`.
+//! and seen-set membership far cheaper than hashing a [`State`].
 
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
 
+use crate::hash::{FxHashMap, FxHasher};
 use crate::system::{State, System};
+use crate::width::infer_ranges;
 
 /// How many words a [`PackedState`] can hold without heap allocation.
 const INLINE_WORDS: usize = 2;
+
+/// Initial width of the interned-overflow index field, in bits.
+pub const INTERN_START_BITS: u8 = 16;
+
+/// Widest the intern index field can grow (a `u32` index).
+const INTERN_MAX_BITS: u8 = 32;
+
+/// Shards of the intern table (locked independently).
+const INTERN_SHARDS: usize = 16;
 
 /// A bit-packed global state produced by a [`StateCodec`].
 ///
@@ -161,30 +219,124 @@ fn get_bits(words: &[u64], off: u32, width: u32) -> u64 {
     v
 }
 
-/// Per-system packing schedule: bit offset and width of every component's
-/// location, followed by the 64-bit images of the data variables.
+/// Why an encode could not complete under the current packing schedule; feed
+/// it to [`StateCodec::widen`] to obtain the next codec in the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WidenReq {
+    /// The flat variable overflowed its inferred inline width; the widened
+    /// codec stores it through the interned overflow table.
+    Var(usize),
+    /// The interned overflow table outgrew the inline index field; the
+    /// widened codec grows the field by 8 bits.
+    Intern,
+}
+
+/// How one flat variable is packed (offsets are assigned at layout time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarKind {
+    /// `value - bias` in `width` bits (`width <= 63`); a constant variable
+    /// has `width == 0`.
+    Inline { width: u8, bias: i64 },
+    /// Full 64-bit two's-complement image (infallible).
+    Wide,
+    /// Index into the shared intern table, `intern_bits` wide.
+    Interned,
+}
+
+/// The shard-safe `i64` interning table behind [`VarKind::Interned`] fields.
 ///
-/// Encoding is lossless: [`StateCodec::decode`] inverts
-/// [`StateCodec::encode`] exactly (property-tested against [`State`] in the
-/// workspace test suite), so packed states can stand in for full states in
-/// `seen` sets, frontiers, and trace arenas.
+/// Values hash to one of [`INTERN_SHARDS`] independently locked shards; an
+/// index is `slot << 4 | shard`, so lookups never touch more than one lock.
+/// Reads take a shard read-lock (wide values are rare by construction — the
+/// adaptive codec only interns variables the range analysis could not
+/// bound).
+#[derive(Debug, Default)]
+pub struct InternTable {
+    shards: [RwLock<InternShard>; INTERN_SHARDS],
+}
+
+#[derive(Debug, Default)]
+struct InternShard {
+    map: FxHashMap<i64, u32>,
+    values: Vec<i64>,
+}
+
+impl InternTable {
+    fn shard_of(value: i64) -> usize {
+        let mut h = FxHasher::default();
+        h.write_u64(value as u64);
+        (h.finish() % INTERN_SHARDS as u64) as usize
+    }
+
+    /// Intern `value`, returning its stable index (idempotent).
+    pub fn intern(&self, value: i64) -> u32 {
+        let si = Self::shard_of(value);
+        if let Some(&idx) = self.shards[si].read().unwrap().map.get(&value) {
+            return idx;
+        }
+        let mut shard = self.shards[si].write().unwrap();
+        if let Some(&idx) = shard.map.get(&value) {
+            return idx; // raced with another encoder
+        }
+        let slot = shard.values.len();
+        assert!(slot < (1usize << 28), "intern table overflow");
+        let idx = ((slot as u32) << 4) | si as u32;
+        shard.values.push(value);
+        shard.map.insert(value, idx);
+        idx
+    }
+
+    /// The value behind an interned index.
+    pub fn value(&self, idx: u32) -> i64 {
+        let si = (idx & 0xf) as usize;
+        self.shards[si].read().unwrap().values[(idx >> 4) as usize]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().values.len())
+            .sum()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-system packing schedule: bit offset and width of every component's
+/// location, followed by the data variables under their per-variable plans
+/// (see the module docs for the full-width vs. adaptive profiles and the
+/// repack-on-widen protocol).
 #[derive(Debug, Clone)]
 pub struct StateCodec {
     /// Bit offset of each component's location field.
     loc_offsets: Vec<u32>,
     /// Bit width of each component's location field (`ceil(log2(locs))`).
     loc_widths: Vec<u8>,
-    /// First bit of the variable image area.
-    var_base: u32,
-    /// Number of variables in the flat store.
-    num_vars: usize,
+    /// Packing plan per flat variable.
+    kinds: Vec<VarKind>,
+    /// Bit offset per flat variable.
+    var_offsets: Vec<u32>,
+    /// Width of interned index fields.
+    intern_bits: u8,
+    /// Shared overflow table (present iff some variable is interned).
+    intern: Option<Arc<InternTable>>,
+    /// Total packed bits.
+    total_bits: u32,
     /// Words per packed state.
     words: usize,
 }
 
 impl StateCodec {
-    /// Compile the packing schedule for `sys`.
-    pub fn new(sys: &System) -> StateCodec {
+    fn layout(
+        sys: &System,
+        kinds: Vec<VarKind>,
+        intern_bits: u8,
+        intern: Option<Arc<InternTable>>,
+    ) -> StateCodec {
         let mut loc_offsets = Vec::with_capacity(sys.num_components());
         let mut loc_widths = Vec::with_capacity(sys.num_components());
         let mut bits = 0u32;
@@ -199,16 +351,97 @@ impl StateCodec {
             loc_widths.push(width as u8);
             bits += width;
         }
-        let var_base = bits;
-        let num_vars = sys.total_vars;
-        bits += 64 * num_vars as u32;
+        let mut var_offsets = Vec::with_capacity(kinds.len());
+        for k in &kinds {
+            var_offsets.push(bits);
+            bits += match k {
+                VarKind::Inline { width, .. } => *width as u32,
+                VarKind::Wide => 64,
+                VarKind::Interned => intern_bits as u32,
+            };
+        }
+        let needs_table = kinds.iter().any(|k| matches!(k, VarKind::Interned));
+        let intern = if needs_table {
+            Some(intern.unwrap_or_default())
+        } else {
+            intern
+        };
         StateCodec {
             loc_offsets,
             loc_widths,
-            var_base,
-            num_vars,
+            kinds,
+            var_offsets,
+            intern_bits,
+            intern,
+            total_bits: bits,
             words: (bits as usize).div_ceil(64),
         }
+    }
+
+    /// Compile the **full-width** reference schedule for `sys`: every
+    /// variable as a 64-bit image. Infallible to encode, maximal footprint.
+    pub fn new(sys: &System) -> StateCodec {
+        Self::layout(
+            sys,
+            vec![VarKind::Wide; sys.total_vars],
+            INTERN_START_BITS,
+            None,
+        )
+    }
+
+    /// Compile the **adaptive** schedule for `sys`: per-variable widths from
+    /// the static value-range pass (see [`crate::width`]), with unbounded
+    /// variables routed through the interned overflow table.
+    pub fn adaptive(sys: &System) -> StateCodec {
+        let kinds = infer_ranges(sys)
+            .into_iter()
+            .map(|r| match r {
+                Some((lo, hi)) => {
+                    let span = (hi as i128 - lo as i128) as u128;
+                    let width = (u128::BITS - span.leading_zeros()) as u8;
+                    if width <= 63 {
+                        VarKind::Inline { width, bias: lo }
+                    } else {
+                        // A bounded range spanning (almost) the whole i64
+                        // domain packs no better than the wide image.
+                        VarKind::Wide
+                    }
+                }
+                None => VarKind::Interned,
+            })
+            .collect();
+        Self::layout(sys, kinds, INTERN_START_BITS, None)
+    }
+
+    /// The next codec in the widening ladder after `req` (see the module
+    /// docs). Deterministic: the result depends only on the current plans
+    /// and the request, never on *which value* overflowed. The intern table
+    /// is shared with `self`, so already-interned indices stay valid.
+    pub fn widen(&self, sys: &System, req: WidenReq) -> StateCodec {
+        let mut kinds = self.kinds.clone();
+        let mut intern_bits = self.intern_bits;
+        match req {
+            WidenReq::Var(i) => kinds[i] = VarKind::Interned,
+            WidenReq::Intern => {
+                intern_bits = (intern_bits + 8).min(INTERN_MAX_BITS);
+                assert!(
+                    intern_bits > self.intern_bits,
+                    "intern index already at maximum width"
+                );
+            }
+        }
+        Self::layout(sys, kinds, intern_bits, self.intern.clone())
+    }
+
+    /// Override one variable's plan to an inline field of `width` bits with
+    /// bias 0. A tuning/testing hook: it deliberately lets callers pick a
+    /// width the range analysis would reject, which is the supported way to
+    /// exercise the repack-on-widen path on systems whose inferred widths
+    /// are already correct.
+    pub fn with_narrowed_var(mut self, sys: &System, var: usize, width: u8) -> StateCodec {
+        assert!(width <= 63);
+        self.kinds[var] = VarKind::Inline { width, bias: 0 };
+        Self::layout(sys, self.kinds, self.intern_bits, self.intern)
     }
 
     /// Words per packed state.
@@ -218,11 +451,27 @@ impl StateCodec {
 
     /// Total packed bits per state.
     pub fn bits(&self) -> u32 {
-        self.var_base + 64 * self.num_vars as u32
+        self.total_bits
     }
 
-    /// Approximate bytes one stored state costs under this codec (struct
-    /// plus heap spill), for capacity planning and bench reporting.
+    /// Bits spent on variable `i` of the flat store under this schedule.
+    pub fn var_bits(&self, i: usize) -> u32 {
+        match self.kinds[i] {
+            VarKind::Inline { width, .. } => width as u32,
+            VarKind::Wide => 64,
+            VarKind::Interned => self.intern_bits as u32,
+        }
+    }
+
+    /// The shared intern table, if any variable is interned.
+    pub fn intern_table(&self) -> Option<&Arc<InternTable>> {
+        self.intern.as_ref()
+    }
+
+    /// Approximate bytes one stored state costs under this codec when kept
+    /// as a standalone [`PackedState`] (struct plus heap spill), for
+    /// capacity planning and bench reporting. Arena-backed seen sets store
+    /// bare words; see `bip-verify`'s reach reports for measured footprints.
     pub fn packed_bytes(&self) -> usize {
         let heap = if self.words > INLINE_WORDS {
             self.words * 8
@@ -237,22 +486,62 @@ impl StateCodec {
         PackedState::zeroed(self.words)
     }
 
-    /// Encode `st` into a fresh packed state.
-    pub fn encode(&self, st: &State) -> PackedState {
-        let mut out = self.new_packed();
-        self.encode_into(st, &mut out);
-        out
+    /// A **canonical, layout-independent** hash of `st`: locations packed at
+    /// their (codec-invariant) widths plus raw variable values. Two codecs
+    /// of the same system — full-width, adaptive, widened — agree on this
+    /// hash for every state, which is what the parallel explorer's shard
+    /// assignment (and therefore its report determinism across codecs and
+    /// widens) is built on.
+    pub fn state_hash(&self, st: &State) -> u64 {
+        let mut h = FxHasher::default();
+        let mut acc = 0u64;
+        let mut used = 0u32;
+        for (c, &loc) in st.locs.iter().enumerate() {
+            let w = self.loc_widths[c] as u32;
+            if w == 0 {
+                continue;
+            }
+            acc |= (loc as u64) << used;
+            if used + w >= 64 {
+                h.write_u64(acc);
+                let rem = used + w - 64;
+                acc = if rem > 0 {
+                    (loc as u64) >> (w - rem)
+                } else {
+                    0
+                };
+                used = rem;
+            } else {
+                used += w;
+            }
+        }
+        if used > 0 {
+            h.write_u64(acc);
+        }
+        for &v in &st.vars {
+            h.write_u64(v as u64);
+        }
+        h.finish()
     }
 
-    /// Encode `st` into `out`, reusing its buffer.
-    pub fn encode_into(&self, st: &State, out: &mut PackedState) {
+    /// Encode `st` into a fresh packed state, or report the widen the
+    /// schedule needs first.
+    pub fn try_encode(&self, st: &State) -> Result<PackedState, WidenReq> {
+        let mut out = self.new_packed();
+        self.try_encode_into(st, &mut out)?;
+        Ok(out)
+    }
+
+    /// Encode `st` into `out`, reusing its buffer; on overflow `out` is left
+    /// cleared and a [`WidenReq`] is returned.
+    pub fn try_encode_into(&self, st: &State, out: &mut PackedState) -> Result<(), WidenReq> {
         if out.words().len() != self.words {
             *out = self.new_packed();
         } else {
             out.clear();
         }
         debug_assert_eq!(st.locs.len(), self.loc_offsets.len());
-        debug_assert_eq!(st.vars.len(), self.num_vars);
+        debug_assert_eq!(st.vars.len(), self.kinds.len());
         let words = out.words_mut();
         for (c, &loc) in st.locs.iter().enumerate() {
             put_bits(
@@ -263,15 +552,58 @@ impl StateCodec {
             );
         }
         for (i, &v) in st.vars.iter().enumerate() {
-            put_bits(words, self.var_base + 64 * i as u32, 64, v as u64);
+            let off = self.var_offsets[i];
+            match self.kinds[i] {
+                VarKind::Inline { width, bias } => {
+                    let d = v as i128 - bias as i128;
+                    if d < 0 || (width < 64 && d >= 1i128 << width) {
+                        out.clear();
+                        return Err(WidenReq::Var(i));
+                    }
+                    put_bits(words, off, width as u32, d as u64);
+                }
+                VarKind::Wide => put_bits(words, off, 64, v as u64),
+                VarKind::Interned => {
+                    let idx = self
+                        .intern
+                        .as_ref()
+                        .expect("interned plan has table")
+                        .intern(v);
+                    if self.intern_bits < 64 && (idx as u64) >= 1u64 << self.intern_bits {
+                        out.clear();
+                        return Err(WidenReq::Intern);
+                    }
+                    put_bits(words, off, self.intern_bits as u32, idx as u64);
+                }
+            }
         }
+        Ok(())
+    }
+
+    /// Encode `st` into a fresh packed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule needs widening first (never happens for the
+    /// full-width codec of [`StateCodec::new`]); widen-aware callers use
+    /// [`StateCodec::try_encode`].
+    pub fn encode(&self, st: &State) -> PackedState {
+        self.try_encode(st)
+            .expect("value overflowed adaptive width")
+    }
+
+    /// Encode `st` into `out`, reusing its buffer. Panics like
+    /// [`StateCodec::encode`] when the schedule needs widening.
+    pub fn encode_into(&self, st: &State, out: &mut PackedState) {
+        self.try_encode_into(st, out)
+            .expect("value overflowed adaptive width")
     }
 
     /// Decode a packed state into a fresh [`State`].
     pub fn decode(&self, ps: &PackedState) -> State {
         let mut st = State {
             locs: vec![0; self.loc_offsets.len()],
-            vars: vec![0; self.num_vars],
+            vars: vec![0; self.kinds.len()],
         };
         self.decode_into(ps, &mut st);
         st
@@ -279,22 +611,55 @@ impl StateCodec {
 
     /// Decode into `st`, reusing its buffers.
     pub fn decode_into(&self, ps: &PackedState, st: &mut State) {
+        self.decode_words_into(ps.words(), st);
+    }
+
+    /// Decode raw packed words (an arena slice) into a fresh [`State`].
+    pub fn decode_words(&self, words: &[u64]) -> State {
+        let mut st = State {
+            locs: vec![0; self.loc_offsets.len()],
+            vars: vec![0; self.kinds.len()],
+        };
+        self.decode_words_into(words, &mut st);
+        st
+    }
+
+    /// Decode from raw packed words (an arena slice) into `st`, reusing its
+    /// buffers.
+    pub fn decode_words_into(&self, words: &[u64], st: &mut State) {
         st.locs.resize(self.loc_offsets.len(), 0);
-        st.vars.resize(self.num_vars, 0);
-        let words = ps.words();
+        st.vars.resize(self.kinds.len(), 0);
         for c in 0..self.loc_offsets.len() {
             st.locs[c] = get_bits(words, self.loc_offsets[c], self.loc_widths[c] as u32) as u32;
         }
-        for i in 0..self.num_vars {
-            st.vars[i] = get_bits(words, self.var_base + 64 * i as u32, 64) as i64;
+        for i in 0..self.kinds.len() {
+            let off = self.var_offsets[i];
+            st.vars[i] = match self.kinds[i] {
+                VarKind::Inline { width, bias } => {
+                    bias.wrapping_add(get_bits(words, off, width as u32) as i64)
+                }
+                VarKind::Wide => get_bits(words, off, 64) as i64,
+                VarKind::Interned => self
+                    .intern
+                    .as_ref()
+                    .expect("interned plan has table")
+                    .value(get_bits(words, off, self.intern_bits as u32) as u32),
+            };
         }
     }
 }
 
 impl System {
-    /// Build the bit-packing [`StateCodec`] for this system's global states.
+    /// Build the full-width (infallible) [`StateCodec`] for this system's
+    /// global states.
     pub fn state_codec(&self) -> StateCodec {
         StateCodec::new(self)
+    }
+
+    /// Build the adaptive narrow-width [`StateCodec`] (see
+    /// [`StateCodec::adaptive`]).
+    pub fn adaptive_codec(&self) -> StateCodec {
+        StateCodec::adaptive(self)
     }
 }
 
@@ -304,9 +669,15 @@ mod tests {
     use crate::atom::AtomBuilder;
     use crate::builder::{dining_philosophers, SystemBuilder};
     use crate::connector::ConnectorBuilder;
+    use crate::data::Expr;
 
     fn roundtrip(sys: &System, st: &State) {
         let codec = sys.state_codec();
+        let packed = codec.encode(st);
+        assert_eq!(&codec.decode(&packed), st);
+    }
+
+    fn roundtrip_with(codec: &StateCodec, st: &State) {
         let packed = codec.encode(st);
         assert_eq!(&codec.decode(&packed), st);
     }
@@ -319,6 +690,12 @@ mod tests {
         assert_eq!(codec.bits(), 36);
         assert_eq!(codec.words(), 1);
         roundtrip(&sys, &sys.initial_state());
+        // No data variables: the adaptive codec collapses to the same
+        // layout, and canonical hashes agree.
+        let ad = sys.adaptive_codec();
+        assert_eq!(ad.bits(), 36);
+        let st = sys.initial_state();
+        assert_eq!(ad.state_hash(&st), codec.state_hash(&st));
     }
 
     #[test]
@@ -420,6 +797,11 @@ mod tests {
         sys.set_var(&mut st2, 39, 0, -12345);
         assert_ne!(codec.encode(&st2), codec.encode(&st));
         roundtrip(&sys, &st2);
+        // The adaptive codec sees 40 constant variables: zero bits each.
+        let ad = sys.adaptive_codec();
+        assert_eq!(ad.bits(), 80);
+        assert_eq!(ad.words(), 2);
+        roundtrip_with(&ad, &st);
     }
 
     #[test]
@@ -431,5 +813,126 @@ mod tests {
         let mut buf = codec.encode(next);
         codec.encode_into(&st, &mut buf);
         assert_eq!(buf, codec.encode(&st), "stale bits must be cleared");
+    }
+
+    /// One guarded mod-8 counter: adaptive width 4 bits ([0, 8] after the
+    /// crossing step), full width 64.
+    fn counter_sys() -> System {
+        let a = AtomBuilder::new("a")
+            .port("p")
+            .var("n", 0)
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "p",
+                Expr::var(0).lt(Expr::int(8)),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c = sb.add_instance("c", &a);
+        sb.add_connector(ConnectorBuilder::singleton("t", c, "p"));
+        sb.build().unwrap()
+    }
+
+    #[test]
+    fn adaptive_narrows_bounded_counters() {
+        let sys = counter_sys();
+        let full = sys.state_codec();
+        let ad = sys.adaptive_codec();
+        assert_eq!(full.bits(), 64);
+        assert_eq!(ad.bits(), 4, "[0, 8] needs 4 bits");
+        assert_eq!(ad.var_bits(0), 4);
+        // Every reachable value roundtrips and hashes canonically.
+        let mut st = sys.initial_state();
+        for _ in 0..=8 {
+            roundtrip_with(&ad, &st);
+            assert_eq!(ad.state_hash(&st), full.state_hash(&st));
+            if sys.step(&mut st, |_| 0).is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_reports_widen_and_ladder_recovers() {
+        let sys = counter_sys();
+        let ad = sys.adaptive_codec();
+        let mut st = sys.initial_state();
+        sys.set_var(&mut st, 0, 0, 1_000_000); // far outside [0, 8]
+        let req = ad.try_encode(&st).unwrap_err();
+        assert_eq!(req, WidenReq::Var(0));
+        let wide = ad.widen(&sys, req);
+        roundtrip_with(&wide, &st);
+        // The widened codec interns out-of-line: the inline field is the
+        // intern index, not 64 bits.
+        assert_eq!(wide.var_bits(0), INTERN_START_BITS as u32);
+        assert_eq!(wide.intern_table().unwrap().len(), 1);
+        // In-range values still roundtrip through the widened codec.
+        let st0 = sys.initial_state();
+        roundtrip_with(&wide, &st0);
+        assert_eq!(wide.state_hash(&st), ad.state_hash(&st), "canonical hash");
+    }
+
+    #[test]
+    fn forced_narrow_width_exercises_widen() {
+        let sys = counter_sys();
+        let narrowed = sys.adaptive_codec().with_narrowed_var(&sys, 0, 1);
+        let mut st = sys.initial_state();
+        roundtrip_with(&narrowed, &st); // 0 fits one bit
+        sys.set_var(&mut st, 0, 0, 1);
+        roundtrip_with(&narrowed, &st); // 1 fits one bit
+        sys.set_var(&mut st, 0, 0, 2);
+        let req = narrowed.try_encode(&st).unwrap_err();
+        assert_eq!(req, WidenReq::Var(0));
+        roundtrip_with(&narrowed.widen(&sys, req), &st);
+    }
+
+    #[test]
+    fn intern_index_field_grows_on_demand() {
+        let sys = counter_sys();
+        // Start from an interned plan with the narrowest possible ladder
+        // step: force the var interned via widen, then shrink intern_bits by
+        // interning more values than a tiny field can index. Interning 3
+        // values with a 1-bit index must request an intern widen.
+        let mut codec = sys.adaptive_codec().widen(&sys, WidenReq::Var(0));
+        codec.intern_bits = 1;
+        let mut st = sys.initial_state();
+        let mut widened = false;
+        for v in [100i64, 200, 300, 400] {
+            sys.set_var(&mut st, 0, 0, v);
+            match codec.try_encode(&st) {
+                Ok(p) => assert_eq!(codec.decode(&p), st),
+                Err(WidenReq::Intern) => {
+                    codec = codec.widen(&sys, WidenReq::Intern);
+                    widened = true;
+                    roundtrip_with(&codec, &st);
+                }
+                Err(r) => panic!("unexpected {r:?}"),
+            }
+        }
+        assert!(widened, "a 1-bit index cannot address 4 values");
+        assert_eq!(codec.intern_bits, 9);
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_concurrent() {
+        let table = InternTable::default();
+        let vals: Vec<i64> = (0..200).map(|i| i * 7 - 300).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for &v in &vals {
+                        let i1 = table.intern(v);
+                        assert_eq!(table.intern(v), i1);
+                        assert_eq!(table.value(i1), v);
+                    }
+                });
+            }
+        });
+        assert_eq!(table.len(), vals.len());
     }
 }

@@ -1,0 +1,122 @@
+//! The workspace's shared hot-path hasher.
+//!
+//! [`FxHasher`] is a multiply-rotate hasher in the Firefox/rustc `FxHash`
+//! family: one rotate, one xor, and one multiply per 64-bit word, plus an
+//! avalanche finalizer (packed states and small indices are low-entropy bit
+//! patterns, and the model checker derives *shard assignment* from the high
+//! bits, so `finish` must mix). It is deterministic across runs, processes,
+//! and threads — unlike the std `RandomState` — which the deterministic
+//! parallel explorers rely on, and roughly 5× cheaper than SipHash on
+//! one-word keys.
+//!
+//! Grown out of `bip-verify::reach` (where it hashed packed seen-set keys)
+//! and hoisted here so every hot map in the workspace — the observable-LTS
+//! state index in `equiv`, the trap/transition sets in `dfinder`, the
+//! incremental verifier's diff sets — can share it: use [`FxHashMap`] /
+//! [`FxHashSet`] as drop-in replacements for the std collections.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Deterministic multiply-rotate hasher; see the module docs.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Byte-slice fallback (string keys, derived `Hash` impls that lower
+        // to raw bytes): fold whole words where possible.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.write_u64(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = 0u64;
+            for (i, &b) in rem.iter().enumerate() {
+                w |= (b as u64) << (8 * i);
+            }
+            self.write_u64(w | 1 << 63); // length-domain-separate the tail
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^ (h >> 32)
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by [`FxHasher`]. Construct with `FxHashMap::default()`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by [`FxHasher`]. Construct with `FxHashSet::default()`.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    #[test]
+    fn deterministic_across_builders() {
+        let b1 = FxBuildHasher::default();
+        let b2 = FxBuildHasher::default();
+        for v in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(b1.hash_one(v), b2.hash_one(v));
+        }
+    }
+
+    #[test]
+    fn mixes_low_entropy_keys() {
+        // Sequential small keys must not collide in the low bits (shard
+        // assignment uses `hash % shards`).
+        let b = FxBuildHasher::default();
+        let shards: FxHashSet<u64> = (0u64..64).map(|v| b.hash_one(v) % 64).collect();
+        assert!(shards.len() > 32, "only {} distinct shards", shards.len());
+    }
+
+    #[test]
+    fn byte_fallback_differs_by_length() {
+        let b = FxBuildHasher::default();
+        let h1 = b.hash_one([1u8, 2, 3].as_slice());
+        let h2 = b.hash_one([1u8, 2, 3, 0].as_slice());
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn collections_work() {
+        let mut m: FxHashMap<String, i32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        assert_eq!(m["a"], 1);
+        let mut s: FxHashSet<(usize, usize)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        (1u32, vec![1usize]).hash(&mut FxHasher::default());
+    }
+}

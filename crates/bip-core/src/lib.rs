@@ -93,16 +93,18 @@ mod error;
 pub mod exec;
 pub mod expressiveness;
 pub mod glue;
+pub mod hash;
 pub mod parse;
 mod predicate;
 mod priority;
 mod system;
+mod width;
 
 pub use atom::{
     Atom, AtomBuilder, AtomType, LocId, PortDecl, PortId, Transition, TransitionId, VarId,
 };
 pub use builder::{dining_philosophers, SystemBuilder};
-pub use codec::{PackedState, StateCodec};
+pub use codec::{InternTable, PackedState, StateCodec, WidenReq};
 pub use composite::{Composite, CompositeBuilder, InstanceRef};
 pub use connector::{ConnId, Connector, ConnectorBuilder, PortRef};
 pub use data::{BinOp, Expr, UnOp, Value};
@@ -112,6 +114,7 @@ pub use exec::{
     CompiledExec, EnabledSet, EnabledStep, InteractionRef, SuccScratch, SuccStep, FULL_MASK,
     MAX_CONNECTOR_PORTS,
 };
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use parse::{parse_system, ParseError};
 pub use predicate::{GExpr, StatePred};
 pub use priority::{Priority, PriorityRule};

@@ -1,0 +1,514 @@
+//! Static value-range inference for data variables.
+//!
+//! The adaptive [`crate::StateCodec`] asks, per variable of a flattened
+//! [`System`]: *what values can this variable ever hold?* The answer decides
+//! how many packed bits the variable costs in every stored state, so the
+//! analysis is the difference between a 64-bit image and a 3-bit field for a
+//! guarded counter.
+//!
+//! # The abstraction
+//!
+//! One interval `[lo, hi]` per flat variable, computed as a forward fixpoint
+//! over every way a variable can be written:
+//!
+//! * its **initial value** seeds the interval;
+//! * every **transition update** `v := e` contributes the interval of `e`
+//!   evaluated over the owning atom's current variable intervals, *refined
+//!   by the transition's guard* (a transition only fires when its guard
+//!   holds, so `[n < 5] n := n + 1` bounds `n` by 5, not ∞);
+//! * every **connector transfer** `(endpoint, v) := e` contributes the
+//!   interval of `e` over the participants' variable intervals.
+//!
+//! Guard refinement recognizes conjunctions of comparisons between a local
+//! variable and a constant (`v < c`, `c <= v`, `v == c`, …). It is *not*
+//! applied to variables that any connector transfer can write: the guard is
+//! evaluated on the pre-interaction state, but the update runs after the
+//! transfer, so a transfer-written variable may no longer satisfy the guard
+//! when the update reads it.
+//!
+//! Interval arithmetic mirrors [`crate::Expr::eval`] conservatively:
+//! comparisons and logic land in `[0, 1]`, division/remainder use the total
+//! semantics (`x / 0 = 0`, `x % 0 = x`), and any bound escaping the `i64`
+//! domain (where the concrete semantics wraps) collapses to ⊤. Variables
+//! that keep growing are widened to ⊤ rather than iterated forever:
+//! after every 64 rounds without a fixpoint, all still-moving variables
+//! jump to ⊤ and the iteration resumes, so termination is guaranteed in
+//! O(64 · vars) rounds.
+//!
+//! The result is an **over-approximation of reachable stores, not a proof
+//! about arbitrary [`crate::State`] values**: states mutated through
+//! [`System::set_var`] can exceed the inferred range, which is why the codec
+//! pairs these widths with a runtime repack-on-widen fallback instead of
+//! trusting them blindly.
+
+use crate::data::{BinOp, Expr, UnOp};
+use crate::system::System;
+
+const I64_LO: i128 = i64::MIN as i128;
+const I64_HI: i128 = i64::MAX as i128;
+
+/// Rounds between widening passes.
+const WIDEN_EVERY: usize = 64;
+
+/// A value interval over the `i64` domain (`lo > hi` never escapes this
+/// module; ⊤ is the full domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Iv {
+    lo: i128,
+    hi: i128,
+}
+
+impl Iv {
+    const TOP: Iv = Iv {
+        lo: I64_LO,
+        hi: I64_HI,
+    };
+
+    const BOOL: Iv = Iv { lo: 0, hi: 1 };
+
+    fn cnst(v: i64) -> Iv {
+        Iv {
+            lo: v as i128,
+            hi: v as i128,
+        }
+    }
+
+    fn is_top(self) -> bool {
+        self == Iv::TOP
+    }
+
+    fn join(self, o: Iv) -> Iv {
+        Iv {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// Clamp to the `i64` domain: concrete arithmetic wraps outside it, so
+    /// any escaping bound means the interval can no longer be trusted.
+    fn norm(self) -> Iv {
+        if self.lo < I64_LO || self.hi > I64_HI {
+            Iv::TOP
+        } else {
+            self
+        }
+    }
+
+    fn maxabs(self) -> i128 {
+        self.lo.abs().max(self.hi.abs())
+    }
+}
+
+fn mul(a: Iv, b: Iv) -> Iv {
+    let c = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+    Iv {
+        lo: *c.iter().min().unwrap(),
+        hi: *c.iter().max().unwrap(),
+    }
+    .norm()
+}
+
+fn div(x: Iv, y: Iv) -> Iv {
+    if y.lo == y.hi {
+        let k = y.lo;
+        if k == 0 {
+            return Iv::cnst(0); // total semantics: x / 0 = 0
+        }
+        let (a, b) = (x.lo / k, x.hi / k);
+        return Iv {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+        .norm();
+    }
+    // |x / y| <= |x| for |y| >= 1, and x / 0 = 0: the hull of x and 0 covers
+    // every case.
+    let m = x.maxabs();
+    Iv { lo: -m, hi: m }.join(Iv::cnst(0)).norm()
+}
+
+fn rem(x: Iv, y: Iv) -> Iv {
+    // Truncated remainder keeps the dividend's sign and |x % y| <= |x|;
+    // x % 0 = x. A constant non-zero divisor additionally caps |result| at
+    // |k| - 1 — unless 0 is a possible divisor, which re-admits x itself.
+    let mut m = x.maxabs();
+    if y.lo == y.hi && y.lo != 0 {
+        m = m.min(y.lo.abs() - 1);
+    }
+    let lo = if x.lo >= 0 { 0 } else { -m };
+    let hi = if x.hi <= 0 { 0 } else { m };
+    Iv { lo, hi }.norm()
+}
+
+/// Evaluate `e` in the interval domain. `locals` are the owning atom's
+/// variable intervals; `params` resolves connector participant variables.
+fn eval(e: &Expr, locals: &[Iv], params: &dyn Fn(u32, u32) -> Iv) -> Iv {
+    match e {
+        Expr::Const(c) => Iv::cnst(*c),
+        Expr::Var(i) => locals[*i as usize],
+        Expr::Param(k, v) => params(*k, *v),
+        Expr::Unary(op, a) => {
+            let x = eval(a, locals, params);
+            match op {
+                UnOp::Neg => Iv {
+                    lo: -x.hi,
+                    hi: -x.lo,
+                }
+                .norm(),
+                UnOp::Not => Iv::BOOL,
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let x = eval(a, locals, params);
+            let y = eval(b, locals, params);
+            match op {
+                BinOp::Add => Iv {
+                    lo: x.lo + y.lo,
+                    hi: x.hi + y.hi,
+                }
+                .norm(),
+                BinOp::Sub => Iv {
+                    lo: x.lo - y.hi,
+                    hi: x.hi - y.lo,
+                }
+                .norm(),
+                BinOp::Mul => mul(x, y),
+                BinOp::Div => div(x, y),
+                BinOp::Rem => rem(x, y),
+                BinOp::Min => Iv {
+                    lo: x.lo.min(y.lo),
+                    hi: x.hi.min(y.hi),
+                },
+                BinOp::Max => Iv {
+                    lo: x.lo.max(y.lo),
+                    hi: x.hi.max(y.hi),
+                },
+                BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or => Iv::BOOL,
+            }
+        }
+        Expr::Ite(c, t, e) => {
+            let cv = eval(c, locals, params);
+            let tv = eval(t, locals, params);
+            let ev = eval(e, locals, params);
+            if cv.lo > 0 || cv.hi < 0 {
+                tv
+            } else if cv.lo == 0 && cv.hi == 0 {
+                ev
+            } else {
+                tv.join(ev)
+            }
+        }
+    }
+}
+
+/// Refine `locals` under the assumption that `guard` evaluates to non-zero.
+/// Only conjunctions of `Var ⋈ Const` / `Const ⋈ Var` comparisons refine;
+/// everything else is ignored (sound: refinement may only shrink).
+/// Returns `false` when some refinement empties an interval — the guard can
+/// never hold under the current approximation, so the transition is dead.
+fn refine(locals: &mut [Iv], guard: &Expr, refinable: &dyn Fn(u32) -> bool) -> bool {
+    let Expr::Binary(op, a, b) = guard else {
+        return true;
+    };
+    if *op == BinOp::And {
+        return refine(locals, a, refinable) && refine(locals, b, refinable);
+    }
+    let (i, c, op) = match (&**a, &**b) {
+        (Expr::Var(i), Expr::Const(c)) => (*i, *c as i128, *op),
+        (Expr::Const(c), Expr::Var(i)) => {
+            // Mirror `c ⋈ v` into `v ⋈' c`.
+            let m = match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                BinOp::Eq => BinOp::Eq,
+                _ => return true,
+            };
+            (*i, *c as i128, m)
+        }
+        _ => return true,
+    };
+    if !refinable(i) {
+        return true;
+    }
+    let iv = &mut locals[i as usize];
+    match op {
+        BinOp::Lt => iv.hi = iv.hi.min(c - 1),
+        BinOp::Le => iv.hi = iv.hi.min(c),
+        BinOp::Gt => iv.lo = iv.lo.max(c + 1),
+        BinOp::Ge => iv.lo = iv.lo.max(c),
+        BinOp::Eq => {
+            iv.lo = iv.lo.max(c);
+            iv.hi = iv.hi.min(c);
+        }
+        _ => {}
+    }
+    iv.lo <= iv.hi
+}
+
+/// Inferred per-variable ranges: `Some((lo, hi))` for bounded variables,
+/// `None` for variables the analysis cannot bound.
+pub(crate) fn infer_ranges(sys: &System) -> Vec<Option<(i64, i64)>> {
+    let n = sys.total_vars;
+    let mut iv: Vec<Iv> = Vec::with_capacity(n);
+    for c in 0..sys.num_components() {
+        for &(_, init) in sys.atom_type(c).vars() {
+            iv.push(Iv::cnst(init));
+        }
+    }
+    debug_assert_eq!(iv.len(), n);
+
+    // Variables a connector transfer can write: their guards must not be
+    // trusted at update time (transfer runs between guard check and update).
+    let mut transfer_written = vec![false; n];
+    for (ci, conn) in sys.connectors.iter().enumerate() {
+        for (ep, var, _) in &conn.transfer {
+            let (comp, _, _) = sys.resolved[ci][*ep as usize];
+            transfer_written[sys.var_offsets[comp] + *var as usize] = true;
+        }
+    }
+
+    // One propagation round; returns whether anything grew.
+    let step = |iv: &mut Vec<Iv>| -> bool {
+        let prev = iv.clone();
+        let mut next = iv.clone();
+        for comp in 0..sys.num_components() {
+            let ty = sys.atom_type(comp);
+            let off = sys.var_offsets[comp];
+            let nv = ty.vars().len();
+            if nv == 0 {
+                continue;
+            }
+            for t in ty.transitions() {
+                if t.updates.is_empty() {
+                    continue;
+                }
+                let mut locals = prev[off..off + nv].to_vec();
+                if !refine(&mut locals, &t.guard, &|v| {
+                    !transfer_written[off + v as usize]
+                }) {
+                    continue; // guard unsatisfiable under the approximation
+                }
+                for (v, e) in &t.updates {
+                    // Local expressions cannot contain `Param`s (connector
+                    // context only); treat one defensively as unbounded.
+                    let r = eval(e, &locals, &|_, _| Iv::TOP);
+                    let tgt = off + v.0 as usize;
+                    next[tgt] = next[tgt].join(r);
+                }
+            }
+        }
+        for (ci, conn) in sys.connectors.iter().enumerate() {
+            let eps = &sys.resolved[ci];
+            for (ep, var, e) in &conn.transfer {
+                let r = eval(e, &[], &|k, v| {
+                    let (comp, _, _) = eps[k as usize];
+                    prev[sys.var_offsets[comp] + v as usize]
+                });
+                let (comp, _, _) = eps[*ep as usize];
+                let tgt = sys.var_offsets[comp] + *var as usize;
+                next[tgt] = next[tgt].join(r);
+            }
+        }
+        let changed = next != *iv;
+        *iv = next;
+        changed
+    };
+
+    // Fixpoint with periodic widening: every `WIDEN_EVERY` rounds without
+    // stabilizing, the still-moving variables jump to ⊤ (⊤ is absorbing, so
+    // each widening pass retires at least one variable and the loop
+    // terminates).
+    loop {
+        let mut stable = false;
+        for _ in 0..WIDEN_EVERY {
+            if !step(&mut iv) {
+                stable = true;
+                break;
+            }
+        }
+        if stable {
+            break;
+        }
+        let before = iv.clone();
+        step(&mut iv);
+        let mut widened = false;
+        for (cur, old) in iv.iter_mut().zip(&before) {
+            if *cur != *old {
+                *cur = Iv::TOP;
+                widened = true;
+            }
+        }
+        if !widened {
+            break;
+        }
+    }
+
+    iv.into_iter()
+        .map(|v| {
+            if v.is_top() {
+                None
+            } else {
+                Some((v.lo as i64, v.hi as i64))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomBuilder;
+    use crate::builder::SystemBuilder;
+    use crate::connector::ConnectorBuilder;
+
+    fn one_counter(guard: Expr, update: Expr) -> System {
+        let a = AtomBuilder::new("a")
+            .port("p")
+            .var("n", 0)
+            .location("l")
+            .initial("l")
+            .guarded_transition("l", "p", guard, vec![("n", update)], "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c = sb.add_instance("c", &a);
+        sb.add_connector(ConnectorBuilder::singleton("t", c, "p"));
+        sb.build().unwrap()
+    }
+
+    #[test]
+    fn guarded_counter_is_bounded() {
+        let sys = one_counter(
+            Expr::var(0).lt(Expr::int(5)),
+            Expr::var(0).add(Expr::int(1)),
+        );
+        assert_eq!(infer_ranges(&sys), vec![Some((0, 5))]);
+    }
+
+    #[test]
+    fn unguarded_counter_is_unbounded() {
+        let sys = one_counter(Expr::t(), Expr::var(0).add(Expr::int(1)));
+        assert_eq!(infer_ranges(&sys), vec![None]);
+    }
+
+    #[test]
+    fn mod_counter_via_two_transitions() {
+        // [n < 7] n := n + 1  |  [n >= 7] n := 0
+        let a = AtomBuilder::new("a")
+            .port("p")
+            .var("n", 0)
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "p",
+                Expr::var(0).lt(Expr::int(7)),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .guarded_transition(
+                "l",
+                "p",
+                Expr::var(0).ge(Expr::int(7)),
+                vec![("n", Expr::int(0))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c = sb.add_instance("c", &a);
+        sb.add_connector(ConnectorBuilder::singleton("t", c, "p"));
+        let sys = sb.build().unwrap();
+        assert_eq!(infer_ranges(&sys), vec![Some((0, 7))]);
+    }
+
+    #[test]
+    fn rem_bounds_even_without_guard() {
+        let sys = one_counter(Expr::t(), Expr::var(0).add(Expr::int(1)).rem(Expr::int(3)));
+        // n starts at 0, n % 3 with a non-negative dividend stays in [0, 2].
+        assert_eq!(infer_ranges(&sys), vec![Some((0, 2))]);
+    }
+
+    #[test]
+    fn constant_assignments_and_negatives() {
+        let a = AtomBuilder::new("a")
+            .port("p")
+            .var("x", 2)
+            .location("l")
+            .initial("l")
+            .guarded_transition("l", "p", Expr::t(), vec![("x", Expr::int(-9))], "l")
+            .guarded_transition("l", "p", Expr::t(), vec![("x", Expr::int(4))], "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c = sb.add_instance("c", &a);
+        sb.add_connector(ConnectorBuilder::singleton("t", c, "p"));
+        let sys = sb.build().unwrap();
+        assert_eq!(infer_ranges(&sys), vec![Some((-9, 4))]);
+    }
+
+    #[test]
+    fn transfer_disables_guard_refinement() {
+        // src exports x (unbounded growth); the transfer writes dst.y, whose
+        // own guarded update would otherwise look bounded.
+        let src = AtomBuilder::new("src")
+            .var("x", 0)
+            .port_exporting("snd", ["x"])
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "snd",
+                Expr::t(),
+                vec![("x", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let dst = AtomBuilder::new("dst")
+            .var("y", 0)
+            .port_exporting("rcv", ["y"])
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "rcv",
+                Expr::var(0).lt(Expr::int(3)),
+                vec![("y", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let s = sb.add_instance("s", &src);
+        let d = sb.add_instance("d", &dst);
+        sb.add_connector(
+            ConnectorBuilder::rendezvous("xfer", [(s, "snd"), (d, "rcv")]).transfer(
+                1,
+                0,
+                Expr::param(0, 0),
+            ),
+        );
+        let sys = sb.build().unwrap();
+        let ranges = infer_ranges(&sys);
+        assert_eq!(ranges[0], None, "x grows without bound");
+        // y receives x (unbounded) via the transfer, and its guard cannot be
+        // trusted because the transfer may rewrite y before the update.
+        assert_eq!(ranges[1], None);
+    }
+
+    #[test]
+    fn division_semantics_are_total() {
+        let sys = one_counter(Expr::t(), Expr::var(0).div(Expr::int(0)));
+        assert_eq!(infer_ranges(&sys), vec![Some((0, 0))]);
+    }
+}

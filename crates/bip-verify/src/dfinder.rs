@@ -16,7 +16,7 @@
 //! enumerating the product state space*, which is why the method scales
 //! where monolithic checking explodes (experiment E1).
 
-use std::collections::HashSet;
+use bip_core::FxHashSet;
 
 use bip_core::{StatePred, System};
 use satkit::{CnfBuilder, Lit, Var};
@@ -110,7 +110,7 @@ impl Abstraction {
                 for &k in &subset {
                     let (comp, port) = eps[k];
                     let ty = sys.atom_type(comp);
-                    let mut offering = HashSet::new();
+                    let mut offering = FxHashSet::default();
                     let mut moves = Vec::new();
                     for (li, _) in ty.locations().iter().enumerate() {
                         for &tid in ty.transitions_from(bip_core::LocId(li as u32)) {
@@ -173,7 +173,7 @@ impl Abstraction {
 
     /// Is `set` a trap? (Every transition consuming from the set produces
     /// into it.)
-    pub fn is_trap(&self, set: &HashSet<Place>) -> bool {
+    pub fn is_trap(&self, set: &FxHashSet<Place>) -> bool {
         self.transitions.iter().all(|(pre, post)| {
             !pre.iter().any(|p| set.contains(p)) || post.iter().any(|q| set.contains(q))
         })
@@ -305,7 +305,7 @@ pub fn linear_invariants(
 ) -> Vec<LinearInvariant> {
     // Deduplicate transitions and build effect rows.
     let mut rows: Vec<Vec<Rat>> = Vec::new();
-    let mut seen = HashSet::new();
+    let mut seen = FxHashSet::default();
     for (pre, post) in &abs.transitions {
         let key = (pre.clone(), post.clone());
         if !seen.insert(key) {
@@ -351,8 +351,8 @@ pub fn linear_invariants(
             break;
         }
     }
-    let pivot_cols: HashSet<usize> = pivot_col_of_row.iter().copied().collect();
-    let initial: HashSet<Place> = abs.initial.iter().copied().collect();
+    let pivot_cols: FxHashSet<usize> = pivot_col_of_row.iter().copied().collect();
+    let initial: FxHashSet<Place> = abs.initial.iter().copied().collect();
     // Each free column yields a null-space basis vector.
     let mut out = Vec::new();
     for free in 0..ncols {
@@ -680,7 +680,7 @@ pub fn enumerate_traps(abs: &Abstraction, max_traps: usize) -> Vec<Vec<Place>> {
         if solver.solve().is_unsat() {
             break;
         }
-        let mut set: HashSet<Place> = (0..abs.num_places)
+        let mut set: FxHashSet<Place> = (0..abs.num_places)
             .filter(|&p| solver.value(s[p].var()) == Some(true))
             .collect();
         // Greedy minimization, preserving trap-ness and initial marking.
@@ -746,7 +746,7 @@ mod tests {
                 "philosophers have conservation laws"
             );
             let abs = df.abstraction();
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = FxHashSet::default();
             let mut queue = std::collections::VecDeque::new();
             let init = sys.initial_state();
             seen.insert(init.clone());
@@ -798,7 +798,7 @@ mod tests {
         let traps = enumerate_traps(&abs, 64);
         assert!(!traps.is_empty());
         for t in &traps {
-            let set: HashSet<Place> = t.iter().copied().collect();
+            let set: FxHashSet<Place> = t.iter().copied().collect();
             assert!(abs.is_trap(&set), "not a trap: {t:?}");
             assert!(abs.initial.iter().any(|p| set.contains(p)), "unmarked trap");
         }
@@ -810,7 +810,7 @@ mod tests {
         let sys = dining_philosophers(3, false).unwrap();
         let df = DFinder::new(&sys);
         let abs = df.abstraction();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut queue = std::collections::VecDeque::new();
         let init = sys.initial_state();
         seen.insert(init.clone());

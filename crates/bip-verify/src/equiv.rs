@@ -13,9 +13,9 @@
 //! ways. These are the certificates used by `bip-distributed` and the
 //! architecture layer to establish *vertical correctness*.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
-use bip_core::{PackedState, StateCodec, System};
+use bip_core::{FxHashMap, PackedState, StateCodec, System};
 
 /// Result of a refinement check.
 #[derive(Debug, Clone)]
@@ -55,63 +55,80 @@ struct ObsLts {
 /// Extract the observable LTS of `sys`. Each step's label comes from
 /// [`System::step_label`] passed through `rename`; `None` results are τ.
 ///
-/// States are interned through the bit-packing [`StateCodec`], so the index
-/// keys are a word or two each instead of full heap-backed states.
+/// States are interned through the adaptive narrow-width [`StateCodec`], so
+/// the index keys are a word or two each instead of full heap-backed
+/// states; a value overflowing its inferred width widens the codec and
+/// rebuilds the LTS from scratch (rare, and the construction is
+/// deterministic, so the result is identical to a never-widened run).
 fn obs_lts<F>(sys: &System, rename: &F, max_states: usize) -> ObsLts
 where
     F: Fn(&str) -> Option<String>,
 {
-    let codec = StateCodec::new(sys);
-    let mut index: HashMap<PackedState, usize> = HashMap::new();
-    let mut queue: VecDeque<PackedState> = VecDeque::new();
-    let mut tau: Vec<Vec<usize>> = Vec::new();
-    let mut obs: Vec<Vec<(String, usize)>> = Vec::new();
-    let mut has_deadlock = false;
-    let mut complete = true;
-    let mut st = sys.initial_state();
-    let mut es = sys.new_enabled_set();
-    let mut succ = Vec::new();
-    let pinit = codec.encode(&st);
-    index.insert(pinit.clone(), 0);
-    tau.push(Vec::new());
-    obs.push(Vec::new());
-    queue.push_back(pinit);
-    while let Some(packed) = queue.pop_front() {
-        let src = index[&packed];
-        codec.decode_into(&packed, &mut st);
-        es.invalidate_all();
-        sys.successors_into(&st, &mut es, &mut succ);
-        if succ.is_empty() {
-            has_deadlock = true;
-        }
-        for (step, next) in succ.drain(..) {
-            let pnext = codec.encode(&next);
-            let dst = match index.get(&pnext) {
-                Some(&d) => d,
-                None => {
-                    if index.len() >= max_states {
-                        complete = false;
-                        continue;
+    let mut codec = StateCodec::adaptive(sys);
+    'retry: loop {
+        let mut index: FxHashMap<PackedState, usize> = FxHashMap::default();
+        let mut queue: VecDeque<PackedState> = VecDeque::new();
+        let mut tau: Vec<Vec<usize>> = Vec::new();
+        let mut obs: Vec<Vec<(String, usize)>> = Vec::new();
+        let mut has_deadlock = false;
+        let mut complete = true;
+        let mut st = sys.initial_state();
+        let mut es = sys.new_enabled_set();
+        let mut succ = Vec::new();
+        let pinit = match codec.try_encode(&st) {
+            Ok(p) => p,
+            Err(r) => {
+                codec = codec.widen(sys, r);
+                continue 'retry;
+            }
+        };
+        index.insert(pinit.clone(), 0);
+        tau.push(Vec::new());
+        obs.push(Vec::new());
+        queue.push_back(pinit);
+        while let Some(packed) = queue.pop_front() {
+            let src = index[&packed];
+            codec.decode_into(&packed, &mut st);
+            es.invalidate_all();
+            sys.successors_into(&st, &mut es, &mut succ);
+            if succ.is_empty() {
+                has_deadlock = true;
+            }
+            for (step, next) in succ.drain(..) {
+                let pnext = match codec.try_encode(&next) {
+                    Ok(p) => p,
+                    Err(r) => {
+                        codec = codec.widen(sys, r);
+                        continue 'retry;
                     }
-                    let d = index.len();
-                    index.insert(pnext.clone(), d);
-                    tau.push(Vec::new());
-                    obs.push(Vec::new());
-                    queue.push_back(pnext);
-                    d
+                };
+                let dst = match index.get(&pnext) {
+                    Some(&d) => d,
+                    None => {
+                        if index.len() >= max_states {
+                            complete = false;
+                            continue;
+                        }
+                        let d = index.len();
+                        index.insert(pnext.clone(), d);
+                        tau.push(Vec::new());
+                        obs.push(Vec::new());
+                        queue.push_back(pnext);
+                        d
+                    }
+                };
+                match sys.step_label(&step).and_then(&rename) {
+                    Some(label) => obs[src].push((label, dst)),
+                    None => tau[src].push(dst),
                 }
-            };
-            match sys.step_label(&step).and_then(&rename) {
-                Some(label) => obs[src].push((label, dst)),
-                None => tau[src].push(dst),
             }
         }
-    }
-    ObsLts {
-        tau,
-        obs,
-        has_deadlock,
-        complete,
+        return ObsLts {
+            tau,
+            obs,
+            has_deadlock,
+            complete,
+        };
     }
 }
 
@@ -180,7 +197,7 @@ where
     // abstract side cannot match.
     let c0 = closure(&c, &BTreeSet::from([0usize]));
     let a0 = closure(&a, &BTreeSet::from([0usize]));
-    let mut seen: HashMap<(BTreeSet<usize>, BTreeSet<usize>), ()> = HashMap::new();
+    let mut seen: FxHashMap<(BTreeSet<usize>, BTreeSet<usize>), ()> = FxHashMap::default();
     let mut queue: VecDeque<(BTreeSet<usize>, BTreeSet<usize>, Vec<String>)> = VecDeque::new();
     seen.insert((c0.clone(), a0.clone()), ());
     queue.push_back((c0, a0, Vec::new()));
@@ -236,7 +253,7 @@ where
 fn inclusion(left: &ObsLts, right: &ObsLts) -> bool {
     let l0 = closure(left, &BTreeSet::from([0usize]));
     let r0 = closure(right, &BTreeSet::from([0usize]));
-    let mut seen = HashMap::new();
+    let mut seen: FxHashMap<(BTreeSet<usize>, BTreeSet<usize>), ()> = FxHashMap::default();
     let mut queue = VecDeque::new();
     seen.insert((l0.clone(), r0.clone()), ());
     queue.push_back((l0, r0));

@@ -15,7 +15,7 @@
 //! re-enumeration that blocks the still-valid traps — so verification effort
 //! scales with the *change*, not the system.
 
-use std::collections::HashSet;
+use bip_core::FxHashSet;
 
 use bip_core::{Connector, ModelError, System, SystemBuilder};
 
@@ -103,7 +103,8 @@ impl IncrementalVerifier {
         // existing trap. (Old transitions are a prefix of the new transition
         // list only structurally; we simply check all traps against the new
         // abstraction's transitions that were not present before.)
-        let old: HashSet<(Vec<Place>, Vec<Place>)> = self.abs.transitions.iter().cloned().collect();
+        let old: FxHashSet<(Vec<Place>, Vec<Place>)> =
+            self.abs.transitions.iter().cloned().collect();
         let added: Vec<&(Vec<Place>, Vec<Place>)> = new_abs
             .transitions
             .iter()
@@ -113,7 +114,7 @@ impl IncrementalVerifier {
         let mut kept = Vec::new();
         let mut dropped = 0usize;
         for trap in &self.traps {
-            let set: HashSet<Place> = trap.iter().copied().collect();
+            let set: FxHashSet<Place> = trap.iter().copied().collect();
             let ok = added.iter().all(|(pre, post)| {
                 !pre.iter().any(|p| set.contains(p)) || post.iter().any(|q| set.contains(q))
             });
@@ -211,7 +212,7 @@ fn enumerate_traps_blocking(
         if solver.solve().is_unsat() {
             break;
         }
-        let mut set: HashSet<Place> = (0..abs.num_places)
+        let mut set: FxHashSet<Place> = (0..abs.num_places)
             .filter(|&p| solver.value(s[p].var()) == Some(true))
             .collect();
         let mut order: Vec<Place> = set.iter().copied().collect();
@@ -392,7 +393,7 @@ mod tests {
         }
         let abs = Abstraction::new(inc.system());
         for t in inc.traps() {
-            let set: std::collections::HashSet<Place> = t.iter().copied().collect();
+            let set: FxHashSet<Place> = t.iter().copied().collect();
             assert!(abs.is_trap(&set), "stale trap kept: {t:?}");
         }
     }

@@ -35,5 +35,5 @@ pub use equiv::{refines, weak_trace_equivalent, RefinementReport};
 pub use incremental::IncrementalVerifier;
 pub use reach::{
     check_invariant, check_invariant_with, explore, explore_with, find_deadlock,
-    find_deadlock_with, DeadlockReport, InvariantReport, ReachConfig, ReachReport,
+    find_deadlock_with, CodecMode, DeadlockReport, InvariantReport, ReachConfig, ReachReport,
 };

@@ -9,24 +9,42 @@
 //!
 //! The three explorers — [`explore`], [`check_invariant`],
 //! [`find_deadlock`] — run on one engine: a **level-synchronous
-//! breadth-first search** over [`bip_core::PackedState`]s (see
+//! breadth-first search** over bit-packed states (see
 //! [`bip_core::StateCodec`]). The auxiliary collector [`states_where`] is a
 //! plain sequential BFS over the same packed representation.
-//! The `seen` set is partitioned by state hash into a fixed number of
-//! shards; each BFS level is expanded by up to [`ReachConfig::threads`]
-//! workers over chunks of the frontier (each worker reusing its own
-//! [`bip_core::EnabledSet`], successor buffer, and decode scratch), then
-//! merged shard-parallel into the per-shard seen sets. Witness traces are
-//! reconstructed from compact parent pointers (`shard << 48 | index`) into
-//! shard-local arenas, so no stored state ever keeps a full [`State`]
-//! alive.
 //!
-//! Results are **deterministic and independent of the thread count**: shard
-//! assignment, chunk order, and merge order are all fixed by the system
-//! alone, and any level that could cross `max_states` (or contains an
-//! invariant violation) is merged in a single deterministic stream order —
-//! so `threads = 1` (the default of the plain function forms) and
-//! `threads = N` return identical reports, bounded or not.
+//! States are packed by the **adaptive codec** by default
+//! ([`ReachConfig::codec`]): bounded variables cost their inferred width,
+//! unbounded ones an interned-overflow index. If a runtime value overflows
+//! its inferred width, the engine **repacks**: the codec widens
+//! deterministically, every stored state migrates to the new layout, the
+//! current BFS level restarts, and the search continues — reports are
+//! bit-identical whether or not a widen occurred, and identical between the
+//! adaptive and full-width codecs.
+//!
+//! The `seen` set is partitioned into a fixed number of shards by the
+//! codec-invariant [`bip_core::StateCodec::state_hash`]. Each shard is an
+//! **open-addressing table over a bump arena**: packed words live
+//! contiguously in the shard's arena, and table slots hold
+//! `(fingerprint, state index)` pairs — no per-state allocation on insert,
+//! no pointer chase on probe, and the arena slice *is* the stored state, so
+//! the frontier carries compact `shard << 48 | index` references instead of
+//! owned packed states. Witness traces are reconstructed from parent
+//! pointers of the same shape into shard-local trace arenas.
+//!
+//! Each BFS level is expanded by up to [`ReachConfig::threads`] workers
+//! over chunks of the frontier (each worker reusing its own
+//! [`bip_core::EnabledSet`], successor buffer, and decode scratch), then
+//! merged shard-parallel into the per-shard seen sets.
+//!
+//! Results are **deterministic and independent of the thread count and the
+//! codec**: shard assignment hashes canonical location/value content (not
+//! layout-dependent packed words), chunk order and merge order are fixed by
+//! the system alone, and any level that could cross `max_states` (or
+//! contains an invariant violation) is merged in a single deterministic
+//! stream order — so `threads = 1` (the default of the plain function
+//! forms) and `threads = N` return identical reports, bounded or not, under
+//! any codec in the widening ladder.
 //!
 //! # Bounded-exploration semantics
 //!
@@ -45,60 +63,73 @@
 //!   pruned by the bound are not counted, so the number is exactly the edge
 //!   count of the explored region.
 
-use std::collections::HashSet;
-use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use bip_core::{EnabledSet, PackedState, State, StateCodec, StatePred, Step, SuccScratch, System};
-
-/// Multiply-rotate hasher for packed states (the word-slice `Hash` impl
-/// only feeds it `u64`s plus a length). Packed states are low-entropy bit
-/// patterns, so `finish` applies an avalanche mix; the result is
-/// deterministic across runs and threads, which shard assignment relies
-/// on. Roughly 5× cheaper than the default SipHash on one-word keys — and
-/// the `seen` sets hash every expanded edge.
-#[derive(Default, Clone, Copy)]
-struct FxHasher(u64);
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.write_u64(v as u64);
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u64(b as u64);
-        }
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        let mut h = self.0;
-        h ^= h >> 32;
-        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
-        h ^ (h >> 32)
-    }
-}
-
-type FxBuild = BuildHasherDefault<FxHasher>;
+use bip_core::hash::FxHasher;
+use bip_core::{
+    EnabledSet, PackedState, State, StateCodec, StatePred, Step, SuccScratch, System, WidenReq,
+};
+use std::hash::Hasher;
 
 /// Number of `seen`-set shards. Fixed (rather than `= threads`) so shard
 /// assignment — and therefore frontier order, bounded truncation, and
 /// witness selection — is identical for every thread count.
 const SHARDS: usize = 64;
 
-/// Sentinel parent pointer for states without an arena node (the initial
-/// state, and every state when tracing is off).
+/// Sentinel reference for states without an arena node (the initial state,
+/// and every state when tracing is off).
 const NO_NODE: u64 = u64::MAX;
 
+/// Low 48 bits of a `shard << 48 | index` reference.
+const REF_MASK: u64 = (1u64 << 48) - 1;
+
+/// Empty slot sentinel of the open-addressing tables.
+const EMPTY_SLOT: u64 = u64::MAX;
+
+/// The membership hash of a packed word slice (fingerprint in the high 32
+/// bits, probe start in the low bits). Layout-dependent — used only inside
+/// one shard's table, never for shard assignment.
+#[inline]
+fn word_hash(words: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(words.len());
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+/// The owning shard of a state: canonical content hash, so every codec in a
+/// widening ladder (and the full-width reference codec) agrees.
+#[inline]
+fn shard_index(codec: &StateCodec, st: &State) -> usize {
+    (codec.state_hash(st) % SHARDS as u64) as usize
+}
+
+/// Pack a `(shard, index)` pair into a compact reference.
+fn node_ref(shard: usize, index: usize) -> u64 {
+    debug_assert!(index < (1usize << 48));
+    ((shard as u64) << 48) | index as u64
+}
+
+/// How the engine packs stored states; see [`ReachConfig::codec`].
+#[derive(Debug, Clone, Default)]
+pub enum CodecMode {
+    /// Adaptive narrow-width packing ([`StateCodec::adaptive`]); values that
+    /// overflow their inferred width trigger a deterministic repack.
+    #[default]
+    Adaptive,
+    /// Full 64-bit variable images ([`StateCodec::new`]); infallible, the
+    /// PR-2 behavior and the differential-testing reference.
+    FullWidth,
+    /// Start from a caller-supplied codec (a tuning/testing hook — e.g. a
+    /// deliberately narrowed codec to exercise the repack path). The engine
+    /// still widens it as needed.
+    Custom(StateCodec),
+}
+
 /// Configuration for a state-space exploration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ReachConfig {
     /// Stop storing new states once this many are seen (the exploration
     /// still drains its frontier, so edges into stored states are counted).
@@ -112,6 +143,8 @@ pub struct ReachConfig {
     /// parallel machinery onto small frontiers, as the equivalence tests
     /// do.
     pub min_parallel_level: usize,
+    /// State packing profile (reports do not depend on it).
+    pub codec: CodecMode,
 }
 
 impl ReachConfig {
@@ -121,6 +154,7 @@ impl ReachConfig {
             max_states,
             threads: 1,
             min_parallel_level: 128,
+            codec: CodecMode::Adaptive,
         }
     }
 
@@ -133,6 +167,18 @@ impl ReachConfig {
     /// Set the level width below which work stays on the calling thread.
     pub fn min_parallel_level(mut self, width: usize) -> ReachConfig {
         self.min_parallel_level = width;
+        self
+    }
+
+    /// Pack stored states with the full-width reference codec.
+    pub fn full_width_codec(mut self) -> ReachConfig {
+        self.codec = CodecMode::FullWidth;
+        self
+    }
+
+    /// Start from a caller-supplied codec (widened on demand).
+    pub fn with_codec(mut self, codec: StateCodec) -> ReachConfig {
+        self.codec = CodecMode::Custom(codec);
         self
     }
 }
@@ -149,12 +195,27 @@ pub struct ReachReport {
     pub deadlocks: Vec<State>,
     /// `true` if exploration exhausted the reachable set within the bound.
     pub complete: bool,
+    /// Bytes the packed `seen` set occupied when the exploration returned:
+    /// arena words plus open-addressing slots, summed over the shards. The
+    /// footprint metric the E11 bench tracks; deterministic for a given
+    /// system and codec mode (but *not* part of report equality — the
+    /// adaptive codec exists to shrink it).
+    pub stored_bytes: usize,
 }
 
 impl ReachReport {
     /// `true` when the exploration completed and found no deadlock.
     pub fn deadlock_free(&self) -> bool {
         self.complete && self.deadlocks.is_empty()
+    }
+
+    /// Average stored bytes per state (0 when nothing was stored).
+    pub fn bytes_per_state(&self) -> f64 {
+        if self.states == 0 {
+            0.0
+        } else {
+            self.stored_bytes as f64 / self.states as f64
+        }
     }
 }
 
@@ -214,7 +275,7 @@ impl DeadlockReport {
 
 /// Reusable per-worker scratch: the compiled enabled-set, the
 /// allocation-free successor scratch, and a decode target. A warmed worker
-/// allocates per *stored* state (the packed key and, when tracing, the
+/// allocates per *stored* state (the arena words and, when tracing, the
 /// step), not per *expanded* edge.
 struct Expander {
     es: EnabledSet,
@@ -231,21 +292,16 @@ impl Expander {
         }
     }
 
-    /// Visit the successors of a packed state. BFS visits arbitrary states,
-    /// so the enabled set is fully invalidated; the win over the legacy
-    /// path is the compiled feasibility/guard tables and the reused
-    /// buffers. Returns whether the state had any successor.
-    fn for_each<F>(
-        &mut self,
-        sys: &System,
-        codec: &StateCodec,
-        packed: &PackedState,
-        mut f: F,
-    ) -> bool
+    /// Visit the successors of a packed state given as its raw arena words.
+    /// BFS visits arbitrary states, so the enabled set is fully
+    /// invalidated; the win over the legacy path is the compiled
+    /// feasibility/guard tables and the reused buffers. Returns whether the
+    /// state had any successor.
+    fn for_each<F>(&mut self, sys: &System, codec: &StateCodec, words: &[u64], mut f: F) -> bool
     where
         F: FnMut(bip_core::SuccStep<'_>, &State),
     {
-        codec.decode_into(packed, &mut self.state);
+        codec.decode_words_into(words, &mut self.state);
         self.es.invalidate_all();
         let mut any = false;
         sys.for_each_successor(&self.state, &mut self.es, &mut self.scratch, |s, next| {
@@ -274,27 +330,203 @@ impl Mode<'_> {
     }
 }
 
-/// Next-frontier entries plus insert count produced by one shard merge.
-type MergeOut = (Vec<(PackedState, u64)>, usize);
-
 /// Parent pointer plus the step that discovered a stored state; lives in a
 /// shard-local arena, indexed by `shard << 48 | index` references.
+#[derive(Clone)]
 struct Node {
     parent: u64,
     step: Step,
 }
 
-/// One `seen` partition with its trace arena.
-#[derive(Default)]
+/// One `seen` partition: an open-addressing table over a bump arena.
+///
+/// `arena` holds `stride` packed words per stored state, appended in
+/// insertion order — the state's index in that order is its identity, and
+/// `arena[idx * stride ..]` *is* the stored state (no box, no clone).
+/// `slots` is a power-of-two linear-probing table whose entries pack a
+/// 32-bit hash fingerprint over a 32-bit state index; a probe touches the
+/// arena only on fingerprint match. `nodes` is the trace arena (parallel
+/// bump allocation, populated only by witness-tracing modes).
 struct Shard {
-    seen: HashSet<PackedState, FxBuild>,
-    arena: Vec<Node>,
+    slots: Vec<u64>,
+    len: usize,
+    stride: usize,
+    arena: Vec<u64>,
+    nodes: Vec<Node>,
 }
+
+impl Shard {
+    fn new(stride: usize) -> Shard {
+        Shard {
+            slots: vec![EMPTY_SLOT; 64],
+            len: 0,
+            stride,
+            arena: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The packed words of the `idx`-th stored state.
+    #[inline]
+    fn state_words(&self, idx: usize) -> &[u64] {
+        &self.arena[idx * self.stride..idx * self.stride + self.stride]
+    }
+
+    /// Membership probe (shared-read safe: phase A probes while the shard
+    /// is immutable).
+    #[inline]
+    fn contains(&self, words: &[u64], hash: u64) -> bool {
+        let mask = self.slots.len() - 1;
+        let fp = (hash >> 32) as u32;
+        let mut i = hash as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY_SLOT {
+                return false;
+            }
+            if (s >> 32) as u32 == fp && self.state_words((s & 0xffff_ffff) as usize) == words {
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert if absent; returns the new state's index, or `None` when the
+    /// state was already stored. The table only grows on an actual insert
+    /// (never on a duplicate probe), so its capacity — and therefore
+    /// [`ReachReport::stored_bytes`] — depends only on the stored set, not
+    /// on which engine path filtered the duplicates.
+    fn insert(&mut self, words: &[u64], hash: u64) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let fp = (hash >> 32) as u32;
+        let mut i = hash as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY_SLOT {
+                break;
+            }
+            if (s >> 32) as u32 == fp && self.state_words((s & 0xffff_ffff) as usize) == words {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+            let mask = self.slots.len() - 1;
+            i = hash as usize & mask;
+            while self.slots[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+        }
+        let idx = self.len;
+        // Slot entries pack the state index into the low 32 bits; beyond
+        // that the fingerprint field would be corrupted silently.
+        assert!(idx < u32::MAX as usize, "shard state index overflow");
+        self.slots[i] = ((fp as u64) << 32) | idx as u64;
+        self.arena.extend_from_slice(words);
+        self.len += 1;
+        Some(idx)
+    }
+
+    fn grow(&mut self) {
+        let ncap = self.slots.len() * 2;
+        let mut slots = vec![EMPTY_SLOT; ncap];
+        let mask = ncap - 1;
+        for idx in 0..self.len {
+            let h = word_hash(self.state_words(idx));
+            let mut i = h as usize & mask;
+            while slots[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            slots[i] = ((h >> 32) << 32) | idx as u64;
+        }
+        self.slots = slots;
+    }
+
+    /// Bytes this shard's seen set occupies (arena + slots; the trace arena
+    /// is witness machinery, not part of the footprint metric).
+    fn bytes(&self) -> usize {
+        self.arena.len() * 8 + self.slots.len() * 8
+    }
+}
+
+fn shard_bytes(shards: &[Shard]) -> usize {
+    shards.iter().map(Shard::bytes).sum()
+}
+
+/// The packed words behind a `shard << 48 | index` state reference.
+#[inline]
+fn ref_words(shards: &[Shard], sref: u64) -> &[u64] {
+    shards[(sref >> 48) as usize].state_words((sref & REF_MASK) as usize)
+}
+
+/// Walk parent pointers from `node` back to the root, collecting steps.
+fn rebuild_trace(shards: &[Shard], mut node: u64) -> Vec<Step> {
+    let mut trace = Vec::new();
+    while node != NO_NODE {
+        let n = &shards[(node >> 48) as usize].nodes[(node & REF_MASK) as usize];
+        trace.push(n.step.clone());
+        node = n.parent;
+    }
+    trace.reverse();
+    trace
+}
+
+/// Widen `codec` for `req` and migrate every stored state (the per-shard
+/// prefixes in `keep`, as `(states, nodes)` pairs) to the new layout.
+///
+/// Shard assignment is canonical (content-hashed), so each state stays in
+/// its shard and keeps its arena index — every outstanding
+/// `shard << 48 | index` reference in frontiers and trace arenas survives
+/// the migration untouched. Migration itself can discover that the ladder
+/// must climb further (an interned prefix larger than the new index field),
+/// in which case it widens again and restarts from the old shards, which it
+/// never mutates.
+fn widen_and_migrate(
+    sys: &System,
+    codec: &mut StateCodec,
+    shards: &mut Vec<Shard>,
+    keep: &[(usize, usize)],
+    req: WidenReq,
+) {
+    let mut next = codec.widen(sys, req);
+    'retry: loop {
+        let stride = next.words();
+        let mut st = sys.initial_state();
+        let mut enc = next.new_packed();
+        let mut out: Vec<Shard> = Vec::with_capacity(shards.len());
+        for (sh, &(kstates, knodes)) in shards.iter().zip(keep) {
+            let mut ns = Shard::new(stride);
+            ns.nodes = sh.nodes[..knodes].to_vec();
+            for idx in 0..kstates {
+                codec.decode_words_into(sh.state_words(idx), &mut st);
+                match next.try_encode_into(&st, &mut enc) {
+                    Ok(()) => {}
+                    Err(r) => {
+                        next = next.widen(sys, r);
+                        continue 'retry;
+                    }
+                }
+                let inserted = ns.insert(enc.words(), word_hash(enc.words()));
+                debug_assert_eq!(inserted, Some(idx), "migration must preserve indices");
+            }
+            out.push(ns);
+        }
+        *shards = out;
+        *codec = next;
+        return;
+    }
+}
+
+/// Next-frontier entries plus insert count produced by one shard merge.
+type MergeOut = (Vec<(u64, u64)>, usize);
 
 /// A successor produced during expansion, waiting to be merged.
 struct Candidate {
     packed: PackedState,
-    /// Owning shard (precomputed so merges don't rehash).
+    /// Membership hash of `packed` (computed once at expansion).
+    hash: u64,
+    /// Owning shard (canonical hash, precomputed so merges don't rehash).
     shard: u32,
     /// Arena reference of the source state (`NO_NODE` for the root).
     parent: u64,
@@ -324,54 +556,42 @@ struct EngineOut {
     deadlocks: Vec<State>,
     complete: bool,
     witness: Option<(State, Vec<Step>)>,
-}
-
-fn shard_of(p: &PackedState, nshards: usize) -> usize {
-    let mut h = FxHasher::default();
-    p.hash(&mut h);
-    (h.finish() % nshards as u64) as usize
-}
-
-fn node_ref(shard: usize, index: usize) -> u64 {
-    debug_assert!(index < (1usize << 48));
-    ((shard as u64) << 48) | index as u64
-}
-
-/// Walk parent pointers from `node` back to the root, collecting steps.
-fn rebuild_trace(shards: &[Shard], mut node: u64) -> Vec<Step> {
-    let mut trace = Vec::new();
-    while node != NO_NODE {
-        let n = &shards[(node >> 48) as usize].arena[(node & ((1u64 << 48) - 1)) as usize];
-        trace.push(n.step.clone());
-        node = n.parent;
-    }
-    trace.reverse();
-    trace
+    stored_bytes: usize,
 }
 
 /// Expand one chunk of the frontier: decode, enumerate successors, encode,
 /// pre-hash each candidate to its shard, and drop (but count) successors
 /// that are already stored — phase A holds the seen sets read-only, so the
-/// probe is safe and saves materializing the duplicate majority.
+/// probe is safe and saves materializing the duplicate majority. A value
+/// overflowing the codec aborts the chunk with the widen request; phase A
+/// commits nothing, so the caller simply migrates and re-runs the level.
 fn expand_chunk(
     sys: &System,
     codec: &StateCodec,
     shards: &[Shard],
     mode: Mode<'_>,
-    entries: &[(PackedState, u64)],
+    entries: &[(u64, u64)],
     base: usize,
     ex: &mut Expander,
-) -> ChunkOut {
+) -> Result<ChunkOut, WidenReq> {
     let tracing = mode.tracing();
     let mut cands = Vec::new();
     let mut deadlocks = Vec::new();
     let mut dup_transitions = 0usize;
     let mut enc = codec.new_packed();
-    for (i, (packed, node)) in entries.iter().enumerate() {
-        let any = ex.for_each(sys, codec, packed, |sstep, next| {
-            codec.encode_into(next, &mut enc);
-            let si = shard_of(&enc, SHARDS);
-            if shards[si].seen.contains(&enc) {
+    let mut req: Option<WidenReq> = None;
+    for (i, (sref, node)) in entries.iter().enumerate() {
+        let any = ex.for_each(sys, codec, ref_words(shards, *sref), |sstep, next| {
+            if req.is_some() {
+                return;
+            }
+            if let Err(r) = codec.try_encode_into(next, &mut enc) {
+                req = Some(r);
+                return;
+            }
+            let si = shard_index(codec, next);
+            let h = word_hash(enc.words());
+            if shards[si].contains(enc.words(), h) {
                 dup_transitions += 1;
                 return;
             }
@@ -381,46 +601,48 @@ fn expand_chunk(
             };
             cands.push(Candidate {
                 shard: si as u32,
+                hash: h,
                 packed: enc.clone(),
                 parent: *node,
                 step: tracing.then(|| Box::new(sstep.to_step(sys))),
                 violates,
             });
         });
+        if let Some(r) = req {
+            return Err(r);
+        }
         if !any {
             deadlocks.push(base + i);
         }
     }
-    ChunkOut {
+    Ok(ChunkOut {
         cands,
         dup_transitions,
         deadlocks,
-    }
+    })
 }
 
 /// Merge one shard's candidates (already in deterministic stream order):
-/// insert unseen states, extend the arena, and emit next-frontier entries.
+/// insert unseen states, extend the arenas, and emit next-frontier entries.
 /// Only valid when the level cannot cross the bound (the caller checked).
 fn merge_shard(shard: &mut Shard, si: usize, cands: Vec<Candidate>, tracing: bool) -> MergeOut {
     let mut front = Vec::new();
     let mut inserted = 0usize;
     for mut cand in cands {
-        if shard.seen.contains(&cand.packed) {
+        let Some(idx) = shard.insert(cand.packed.words(), cand.hash) else {
             continue;
-        }
-        shard.seen.insert(cand.packed.clone());
+        };
         inserted += 1;
         let node = if tracing {
-            let ix = shard.arena.len();
-            shard.arena.push(Node {
+            shard.nodes.push(Node {
                 parent: cand.parent,
                 step: *cand.step.take().expect("tracing candidates carry steps"),
             });
-            node_ref(si, ix)
+            node_ref(si, shard.nodes.len() - 1)
         } else {
             NO_NODE
         };
-        front.push((cand.packed, node));
+        front.push((node_ref(si, idx), node));
     }
     (front, inserted)
 }
@@ -430,7 +652,11 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
     let threads = cfg.threads.max(1);
     let max_states = cfg.max_states;
     let tracing = mode.tracing();
-    let codec = StateCodec::new(sys);
+    let mut codec = match &cfg.codec {
+        CodecMode::Adaptive => StateCodec::adaptive(sys),
+        CodecMode::FullWidth => StateCodec::new(sys),
+        CodecMode::Custom(c) => c.clone(),
+    };
     let init = sys.initial_state();
 
     // The initial state is checked (and stored) unconditionally, matching
@@ -443,26 +669,37 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                 deadlocks: Vec::new(),
                 complete: true,
                 witness: Some((init, Vec::new())),
+                stored_bytes: 0,
             };
         }
     }
 
-    let mut shards: Vec<Shard> = (0..SHARDS).map(|_| Shard::default()).collect();
-    let pinit = codec.encode(&init);
-    shards[shard_of(&pinit, SHARDS)].seen.insert(pinit.clone());
+    // Encode the initial state, climbing the widening ladder until it fits.
+    let pinit = loop {
+        match codec.try_encode(&init) {
+            Ok(p) => break p,
+            Err(r) => codec = codec.widen(sys, r),
+        }
+    };
+    let mut shards: Vec<Shard> = (0..SHARDS).map(|_| Shard::new(codec.words())).collect();
+    let si0 = shard_index(&codec, &init);
+    let idx0 = shards[si0]
+        .insert(pinit.words(), word_hash(pinit.words()))
+        .expect("fresh table");
     let mut stored = 1usize;
     let mut transitions = 0usize;
     let mut complete = true;
     let mut deadlock_states: Vec<State> = Vec::new();
-    let mut frontier: Vec<(PackedState, u64)> = vec![(pinit, NO_NODE)];
+    let mut frontier: Vec<(u64, u64)> = vec![(node_ref(si0, idx0), NO_NODE)];
     let mut workers: Vec<Expander> = (0..threads).map(|_| Expander::new(sys)).collect();
     // Reused per-shard next-frontier buckets for the sequential fast path.
-    let mut buckets: Vec<Vec<(PackedState, u64)>> = (0..SHARDS).map(|_| Vec::new()).collect();
+    let mut buckets: Vec<Vec<(u64, u64)>> = (0..SHARDS).map(|_| Vec::new()).collect();
 
-    // Scratch for the fused sequential path's duplicate check.
+    // Scratch for the fused sequential path.
     let mut enc = codec.new_packed();
+    let mut cur: Vec<u64> = Vec::new();
 
-    while !frontier.is_empty() {
+    'level: while !frontier.is_empty() {
         // Small levels run on the calling thread whatever the configured
         // count — spawning would cost more than the work, and results are
         // thread-count-invariant either way.
@@ -472,6 +709,17 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
             threads
         };
 
+        // Level-entry snapshot: everything a repack must roll back. The
+        // bump arenas make rollback cheap — states inserted this level
+        // occupy each arena's tail, so the snapshot is one `(states,
+        // nodes)` length pair per shard.
+        let snap_stored = stored;
+        let snap_transitions = transitions;
+        let snap_complete = complete;
+        let snap_deadlocks = deadlock_states.len();
+        let snap_lens: Vec<(usize, usize)> =
+            shards.iter().map(|s| (s.len, s.nodes.len())).collect();
+
         if threads == 1 {
             // ---- Fused sequential level. ----
             // Expansion and merging in one stream-order pass: semantically
@@ -480,20 +728,27 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
             // frontier), but with no candidate materialization at all — a
             // duplicate edge costs one encode and one probe, zero
             // allocations.
-            let level_stored = stored;
-            let level_complete = complete;
+            let mut widen_req: Option<WidenReq> = None;
             let mut violation: Option<(State, u64)> = None;
             let ex = &mut workers[0];
-            for (packed, node) in &frontier {
+            for (sref, node) in &frontier {
                 let node = *node;
-                let any = ex.for_each(sys, &codec, packed, |sstep, next| {
-                    if violation.is_some() {
+                // Copy the source words out of the arena: the closure below
+                // appends to the same arenas.
+                cur.clear();
+                cur.extend_from_slice(ref_words(&shards, *sref));
+                let any = ex.for_each(sys, &codec, &cur, |sstep, next| {
+                    if widen_req.is_some() || violation.is_some() {
                         return;
                     }
-                    codec.encode_into(next, &mut enc);
-                    let si = shard_of(&enc, SHARDS);
+                    if let Err(r) = codec.try_encode_into(next, &mut enc) {
+                        widen_req = Some(r);
+                        return;
+                    }
+                    let si = shard_index(&codec, next);
+                    let h = word_hash(enc.words());
                     let shard = &mut shards[si];
-                    if shard.seen.contains(&enc) {
+                    if shard.contains(enc.words(), h) {
                         transitions += 1;
                         return;
                     }
@@ -501,17 +756,15 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                         complete = false;
                         return;
                     }
-                    let p = enc.clone();
-                    shard.seen.insert(p.clone());
+                    let idx = shard.insert(enc.words(), h).expect("probed absent");
                     stored += 1;
                     transitions += 1;
                     let nref = if tracing {
-                        let ix = shard.arena.len();
-                        shard.arena.push(Node {
+                        shard.nodes.push(Node {
                             parent: node,
                             step: sstep.to_step(sys),
                         });
-                        node_ref(si, ix)
+                        node_ref(si, shard.nodes.len() - 1)
                     } else {
                         NO_NODE
                     };
@@ -521,8 +774,24 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                             return;
                         }
                     }
-                    buckets[si].push((p, nref));
+                    buckets[si].push((node_ref(si, idx), nref));
                 });
+                if let Some(r) = widen_req {
+                    // Repack-on-widen: roll the level back to its entry
+                    // snapshot, migrate the kept prefix to the widened
+                    // codec, and replay the level. The replay is
+                    // deterministic, so any witness skipped by the abort is
+                    // re-found in the same stream position.
+                    widen_and_migrate(sys, &mut codec, &mut shards, &snap_lens, r);
+                    stored = snap_stored;
+                    transitions = snap_transitions;
+                    complete = snap_complete;
+                    deadlock_states.truncate(snap_deadlocks);
+                    for b in &mut buckets {
+                        b.clear();
+                    }
+                    continue 'level;
+                }
                 if let Some((bad, nref)) = violation {
                     return EngineOut {
                         states: stored,
@@ -530,21 +799,26 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                         deadlocks: Vec::new(),
                         complete,
                         witness: Some((bad, rebuild_trace(&shards, nref))),
+                        stored_bytes: shard_bytes(&shards),
                     };
                 }
                 if !any {
                     match mode {
-                        Mode::Explore => deadlock_states.push(codec.decode(packed)),
+                        Mode::Explore => deadlock_states.push(codec.decode_words(&cur)),
                         // Report the level-entry counters: the parallel
                         // phases return before merging the level, and the
                         // two paths must agree exactly.
                         Mode::Deadlock => {
                             return EngineOut {
-                                states: level_stored,
+                                states: snap_stored,
                                 transitions,
                                 deadlocks: Vec::new(),
-                                complete: level_complete,
-                                witness: Some((codec.decode(packed), rebuild_trace(&shards, node))),
+                                complete: snap_complete,
+                                witness: Some((
+                                    codec.decode_words(&cur),
+                                    rebuild_trace(&shards, node),
+                                )),
+                                stored_bytes: shard_bytes(&shards),
                             };
                         }
                         Mode::Invariant(_) => {}
@@ -560,10 +834,13 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
 
         // ---- Phase A: expand the frontier in parallel chunks. ----
         // Chunk geometry affects only load balancing, never results: the
-        // candidate stream is always read back in frontier order.
+        // candidate stream is always read back in frontier order. Phase A
+        // is read-only, so a widen request simply discards the phase,
+        // migrates, and re-runs the level.
         let chunk_size = frontier.len().div_ceil(threads * 4).max(16);
         let nchunks = frontier.len().div_ceil(chunk_size);
         let mut outs: Vec<(usize, ChunkOut)> = Vec::with_capacity(nchunks);
+        let mut widen_req: Option<WidenReq> = None;
         {
             let next = AtomicUsize::new(0);
             let frontier_ref = &frontier;
@@ -579,32 +856,38 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                             loop {
                                 let c = next_ref.fetch_add(1, Ordering::Relaxed);
                                 if c >= nchunks {
-                                    break;
+                                    break Ok(local);
                                 }
                                 let lo = c * chunk_size;
                                 let hi = ((c + 1) * chunk_size).min(frontier_ref.len());
-                                local.push((
-                                    c,
-                                    expand_chunk(
-                                        sys,
-                                        codec_ref,
-                                        shards_ref,
-                                        mode,
-                                        &frontier_ref[lo..hi],
-                                        lo,
-                                        ex,
-                                    ),
-                                ));
+                                match expand_chunk(
+                                    sys,
+                                    codec_ref,
+                                    shards_ref,
+                                    mode,
+                                    &frontier_ref[lo..hi],
+                                    lo,
+                                    ex,
+                                ) {
+                                    Ok(out) => local.push((c, out)),
+                                    Err(r) => break Err(r),
+                                }
                             }
-                            local
                         })
                     })
                     .collect();
                 for h in handles {
-                    outs.extend(h.join().expect("expansion worker panicked"));
+                    match h.join().expect("expansion worker panicked") {
+                        Ok(local) => outs.extend(local),
+                        Err(r) => widen_req = Some(r),
+                    }
                 }
             });
             outs.sort_unstable_by_key(|(c, _)| *c);
+        }
+        if let Some(r) = widen_req {
+            widen_and_migrate(sys, &mut codec, &mut shards, &snap_lens, r);
+            continue 'level;
         }
 
         // ---- Deadlock handling (states of the *previous* merge). ----
@@ -612,19 +895,24 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
             Mode::Explore => {
                 for (_, out) in &outs {
                     for &fi in &out.deadlocks {
-                        deadlock_states.push(codec.decode(&frontier[fi].0));
+                        deadlock_states
+                            .push(codec.decode_words(ref_words(&shards, frontier[fi].0)));
                     }
                 }
             }
             Mode::Deadlock => {
                 if let Some(&fi) = outs.iter().flat_map(|(_, o)| o.deadlocks.first()).min() {
-                    let (packed, node) = &frontier[fi];
+                    let (sref, node) = &frontier[fi];
                     return EngineOut {
                         states: stored,
                         transitions,
                         deadlocks: Vec::new(),
                         complete,
-                        witness: Some((codec.decode(packed), rebuild_trace(&shards, *node))),
+                        witness: Some((
+                            codec.decode_words(ref_words(&shards, *sref)),
+                            rebuild_trace(&shards, *node),
+                        )),
+                        stored_bytes: shard_bytes(&shards),
                     };
                 }
             }
@@ -700,7 +988,7 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                 for mut cand in out.cands.drain(..) {
                     let si = cand.shard as usize;
                     let shard = &mut shards[si];
-                    if shard.seen.contains(&cand.packed) {
+                    if stored >= max_states && shard.contains(cand.packed.words(), cand.hash) {
                         transitions += 1;
                         continue;
                     }
@@ -708,16 +996,18 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                         complete = false;
                         continue;
                     }
-                    shard.seen.insert(cand.packed.clone());
+                    let Some(idx) = shard.insert(cand.packed.words(), cand.hash) else {
+                        transitions += 1;
+                        continue;
+                    };
                     stored += 1;
                     transitions += 1;
                     let node = if tracing {
-                        let ix = shard.arena.len();
-                        shard.arena.push(Node {
+                        shard.nodes.push(Node {
                             parent: cand.parent,
                             step: *cand.step.take().expect("tracing candidates carry steps"),
                         });
-                        node_ref(si, ix)
+                        node_ref(si, shard.nodes.len() - 1)
                     } else {
                         NO_NODE
                     };
@@ -731,9 +1021,10 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                                 codec.decode(&cand.packed),
                                 rebuild_trace(&shards, node),
                             )),
+                            stored_bytes: shard_bytes(&shards),
                         };
                     }
-                    buckets[si].push((cand.packed, node));
+                    buckets[si].push((node_ref(si, idx), node));
                 }
             }
             frontier.clear();
@@ -749,6 +1040,7 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
         deadlocks: deadlock_states,
         complete,
         witness: None,
+        stored_bytes: shard_bytes(&shards),
     }
 }
 
@@ -763,7 +1055,7 @@ pub fn explore(sys: &System, max_states: usize) -> ReachReport {
 /// Returns state/transition counts and all deadlock states found. When
 /// `max_states` is hit, `complete` is `false` and the deadlock list covers
 /// only the visited region. The report is identical for every
-/// `cfg.threads` value.
+/// `cfg.threads` value and every `cfg.codec` choice.
 pub fn explore_with(sys: &System, cfg: &ReachConfig) -> ReachReport {
     let out = run(sys, cfg, Mode::Explore);
     ReachReport {
@@ -771,6 +1063,7 @@ pub fn explore_with(sys: &System, cfg: &ReachConfig) -> ReachReport {
         transitions: out.transitions,
         deadlocks: out.deadlocks,
         complete: out.complete,
+        stored_bytes: out.stored_bytes,
     }
 }
 
@@ -817,45 +1110,67 @@ pub fn find_deadlock_with(sys: &System, cfg: &ReachConfig) -> DeadlockReport {
 }
 
 /// Collect every reachable state satisfying `pred` (bounded, sequential,
-/// packed `seen` set).
+/// packed `seen` set under the adaptive codec, widened on demand).
 ///
 /// Returns the hits and a completeness flag: `false` means the search hit
 /// `max_states` and the hit list covers only the visited region (same
 /// bounded-soundness contract as the other explorers).
 pub fn states_where(sys: &System, pred: &StatePred, max_states: usize) -> (Vec<State>, bool) {
-    let codec = StateCodec::new(sys);
-    let mut seen: HashSet<PackedState, FxBuild> = HashSet::default();
-    let mut queue = std::collections::VecDeque::new();
-    let mut hits = Vec::new();
-    let mut complete = true;
-    let mut ex = Expander::new(sys);
-    let init = sys.initial_state();
-    let pinit = codec.encode(&init);
-    if pred.eval(sys, &init) {
-        hits.push(init);
+    let mut codec = StateCodec::adaptive(sys);
+    'retry: loop {
+        let mut seen: bip_core::FxHashSet<PackedState> = bip_core::FxHashSet::default();
+        let mut queue = std::collections::VecDeque::new();
+        let mut hits = Vec::new();
+        let mut complete = true;
+        let mut ex = Expander::new(sys);
+        let init = sys.initial_state();
+        let pinit = match codec.try_encode(&init) {
+            Ok(p) => p,
+            Err(r) => {
+                codec = codec.widen(sys, r);
+                continue 'retry;
+            }
+        };
+        if pred.eval(sys, &init) {
+            hits.push(init);
+        }
+        seen.insert(pinit.clone());
+        queue.push_back(pinit);
+        let mut enc = codec.new_packed();
+        let mut widen_req: Option<WidenReq> = None;
+        while let Some(packed) = queue.pop_front() {
+            ex.for_each(sys, &codec, packed.words(), |_, next| {
+                if widen_req.is_some() {
+                    return;
+                }
+                if let Err(r) = codec.try_encode_into(next, &mut enc) {
+                    widen_req = Some(r);
+                    return;
+                }
+                if seen.contains(&enc) {
+                    return;
+                }
+                if seen.len() >= max_states {
+                    complete = false;
+                    return;
+                }
+                if pred.eval(sys, next) {
+                    hits.push(next.clone());
+                }
+                let p = enc.clone();
+                seen.insert(p.clone());
+                queue.push_back(p);
+            });
+            if widen_req.is_some() {
+                break;
+            }
+        }
+        if let Some(r) = widen_req {
+            codec = codec.widen(sys, r);
+            continue 'retry;
+        }
+        return (hits, complete);
     }
-    seen.insert(pinit.clone());
-    queue.push_back(pinit);
-    let mut enc = codec.new_packed();
-    while let Some(packed) = queue.pop_front() {
-        ex.for_each(sys, &codec, &packed, |_, next| {
-            codec.encode_into(next, &mut enc);
-            if seen.contains(&enc) {
-                return;
-            }
-            if seen.len() >= max_states {
-                complete = false;
-                return;
-            }
-            if pred.eval(sys, next) {
-                hits.push(next.clone());
-            }
-            let p = enc.clone();
-            seen.insert(p.clone());
-            queue.push_back(p);
-        });
-    }
-    (hits, complete)
 }
 
 #[cfg(test)]
@@ -871,6 +1186,7 @@ mod tests {
         assert!(r.complete);
         assert!(r.deadlock_free(), "one-shot fork grab cannot deadlock");
         assert!(r.states > 1);
+        assert!(r.stored_bytes > 0, "footprint metric is populated");
     }
 
     #[test]
@@ -1061,6 +1377,13 @@ mod tests {
         assert_eq!(exact.transitions, full.transitions);
     }
 
+    fn assert_reports_match(a: &ReachReport, b: &ReachReport, ctx: &str) {
+        assert_eq!(a.states, b.states, "{ctx}: states");
+        assert_eq!(a.transitions, b.transitions, "{ctx}: transitions");
+        assert_eq!(a.deadlocks, b.deadlocks, "{ctx}: deadlock order");
+        assert_eq!(a.complete, b.complete, "{ctx}: complete");
+    }
+
     #[test]
     fn parallel_reports_match_sequential() {
         for (n, two_phase) in [(3usize, true), (4, true), (3, false)] {
@@ -1073,10 +1396,11 @@ mod tests {
                         .threads(threads)
                         .min_parallel_level(1),
                 );
-                assert_eq!(par.states, seq.states, "{n}/{two_phase}/{threads}");
-                assert_eq!(par.transitions, seq.transitions);
-                assert_eq!(par.deadlocks, seq.deadlocks, "deterministic order");
-                assert_eq!(par.complete, seq.complete);
+                assert_reports_match(&par, &seq, &format!("{n}/{two_phase}/{threads}"));
+                assert_eq!(
+                    par.stored_bytes, seq.stored_bytes,
+                    "arena footprint is thread-count-invariant"
+                );
             }
         }
     }
@@ -1090,10 +1414,7 @@ mod tests {
                 &sys,
                 &ReachConfig::bounded(bound).threads(4).min_parallel_level(1),
             );
-            assert_eq!(par.states, seq.states, "bound {bound}");
-            assert_eq!(par.transitions, seq.transitions, "bound {bound}");
-            assert_eq!(par.deadlocks, seq.deadlocks, "bound {bound}");
-            assert_eq!(par.complete, seq.complete, "bound {bound}");
+            assert_reports_match(&par, &seq, &format!("bound {bound}"));
         }
     }
 
@@ -1121,5 +1442,72 @@ mod tests {
         assert_eq!(si.violation, pi.violation);
         assert_eq!(si.states, pi.states);
         assert_eq!(si.complete, pi.complete);
+    }
+
+    #[test]
+    fn codecs_agree_and_adaptive_is_smaller() {
+        // Four bounded counters advancing in lockstep: the full-width codec
+        // spends 4 × 64 bits (4 words) per state, the adaptive codec packs
+        // all four in one word, and the reports coincide.
+        let c = AtomBuilder::new("c")
+            .port("tick")
+            .var("n", 0)
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "tick",
+                Expr::var(0).lt(Expr::int(5)),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        for i in 0..4 {
+            sb.add_instance(format!("a{i}"), &c);
+        }
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            "tick",
+            (0..4).map(|i| (i, "tick")),
+        ));
+        let sys = sb.build().unwrap();
+        let full = explore_with(&sys, &ReachConfig::bounded(1000).full_width_codec());
+        let ad = explore_with(&sys, &ReachConfig::bounded(1000));
+        assert_reports_match(&ad, &full, "adaptive vs full-width");
+        assert!(
+            ad.stored_bytes < full.stored_bytes,
+            "adaptive {} must beat full-width {}",
+            ad.stored_bytes,
+            full.stored_bytes
+        );
+    }
+
+    #[test]
+    fn forced_widen_replays_deterministically() {
+        // Start from a deliberately wrong 1-bit width for the counter: the
+        // engine must widen mid-search and still produce the reference
+        // report, sequentially and in parallel.
+        let sys = chain6();
+        let reference = explore_with(&sys, &ReachConfig::bounded(1000).full_width_codec());
+        for threads in [1usize, 4] {
+            let narrowed = sys.adaptive_codec().with_narrowed_var(&sys, 0, 1);
+            let r = explore_with(
+                &sys,
+                &ReachConfig::bounded(1000)
+                    .threads(threads)
+                    .min_parallel_level(1)
+                    .with_codec(narrowed),
+            );
+            assert_reports_match(&r, &reference, &format!("forced widen, threads {threads}"));
+        }
+        // Witness searches survive the repack too (the violation lies past
+        // the widen point).
+        let inv = StatePred::Le(GExpr::var(0, 0), GExpr::int(4));
+        let narrowed = sys.adaptive_codec().with_narrowed_var(&sys, 0, 1);
+        let r = check_invariant_with(&sys, &inv, &ReachConfig::bounded(1000).with_codec(narrowed));
+        let full = check_invariant(&sys, &inv, 1000);
+        assert_eq!(r.violation, full.violation);
+        assert_eq!(r.states, full.states);
     }
 }

@@ -5,16 +5,25 @@
 //! * on complete explorations the new engine agrees exactly with a verbatim
 //!   reference of the PR-1 sequential explorer (full-`State` `HashMap`);
 //! * the [`bip_core::StateCodec`] round-trips every reachable state of
-//!   random systems losslessly and injectively.
+//!   random systems losslessly and injectively — under the full-width
+//!   reference codec *and* the adaptive narrow-width codec (whose width
+//!   inference is thereby property-tested for soundness on reachable
+//!   states);
+//! * `explore`/`find_deadlock`/`check_invariant` reports are bit-identical
+//!   between the adaptive and full-width codecs, for every thread count,
+//!   bounded or not (differential codec testing);
+//! * a deliberately narrowed starting codec ([`CodecMode::Custom`]) forces
+//!   the repack-on-widen path mid-search and must change nothing about the
+//!   reports.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 // The verbatim PR-1 explorer, shared with the E11 bench so the reference
 // the proptests verify against is the one the bench measures against.
 use bench::pr1_explore as reference_explore;
-use bip_core::{dining_philosophers, State, StatePred};
+use bip_core::{dining_philosophers, State, StateCodec, StatePred};
 use bip_verify::reach::{
-    check_invariant_with, explore_with, find_deadlock_with, ReachConfig, ReachReport,
+    check_invariant_with, explore_with, find_deadlock_with, CodecMode, ReachConfig, ReachReport,
 };
 use proptest::prelude::*;
 
@@ -145,4 +154,132 @@ proptest! {
             prop_assert!(false, "{}", e);
         }
     }
+
+    /// The adaptive codec round-trips every state reachable within a budget,
+    /// losslessly and injectively — which also property-tests the width
+    /// inference for soundness: a reachable value outside its inferred
+    /// range would make `try_encode` fail here.
+    #[test]
+    fn adaptive_codec_roundtrips_reachable_states(seed in 0u64..200) {
+        let sys = random_system(seed);
+        let codec = sys.adaptive_codec();
+        let full = sys.state_codec();
+        let mut rev: HashMap<bip_core::PackedState, State> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(sys.initial_state());
+        while let Some(st) = queue.pop_front() {
+            if rev.len() >= 2_000 {
+                break;
+            }
+            let p = match codec.try_encode(&st) {
+                Ok(p) => p,
+                Err(r) => return Err(format!(
+                    "reachable state overflowed inferred width: {r:?} in {}",
+                    sys.describe_state(&st)
+                )),
+            };
+            prop_assert_eq!(&codec.decode(&p), &st);
+            // Canonical hashes agree across codecs on every state.
+            prop_assert_eq!(codec.state_hash(&st), full.state_hash(&st));
+            match rev.get(&p) {
+                Some(prev) => {
+                    prop_assert_eq!(prev, &st);
+                    continue;
+                }
+                None => {
+                    rev.insert(p, st.clone());
+                }
+            }
+            for (_, next) in sys.successors(&st) {
+                queue.push_back(next);
+            }
+        }
+    }
+
+    /// Differential codec testing: every explorer returns bit-identical
+    /// reports under the adaptive and the full-width codec, sequentially
+    /// and in parallel, bounded or not.
+    #[test]
+    fn adaptive_and_full_width_codecs_agree(seed in 0u64..120) {
+        let sys = random_system(seed);
+        for bound in [6_000usize, 31] {
+            let full = explore_with(&sys, &ReachConfig::bounded(bound).full_width_codec());
+            for threads in [1usize, 4] {
+                let cfg = ReachConfig::bounded(bound).threads(threads).min_parallel_level(1);
+                let ad = explore_with(&sys, &cfg);
+                if let Err(e) = assert_reports_equal(&ad, &full, &format!("seed {seed} bound {bound} threads {threads}")) {
+                    prop_assert!(false, "{}", e);
+                }
+
+                let df = find_deadlock_with(&sys, &cfg.clone().full_width_codec());
+                let da = find_deadlock_with(&sys, &cfg);
+                prop_assert_eq!(&da.witness, &df.witness);
+                prop_assert_eq!(da.states, df.states);
+                prop_assert_eq!(da.complete, df.complete);
+
+                let inv = StatePred::at(&sys, 0, "l0");
+                let ifull = check_invariant_with(&sys, &inv, &cfg.clone().full_width_codec());
+                let iad = check_invariant_with(&sys, &inv, &cfg);
+                prop_assert_eq!(&iad.violation, &ifull.violation);
+                prop_assert_eq!(iad.states, ifull.states);
+                prop_assert_eq!(iad.complete, ifull.complete);
+            }
+        }
+    }
+
+    /// Repack-on-widen: starting from a deliberately narrowed codec (every
+    /// variable squeezed to 1 bit), the engine must widen mid-search and
+    /// still reproduce the full-width reports exactly, for every thread
+    /// count and under truncating bounds.
+    #[test]
+    fn forced_widen_preserves_reports(seed in 0u64..120) {
+        let sys = random_system(seed);
+        let nvars = sys.initial_state().vars.len();
+        let narrowed = || {
+            let mut codec = sys.adaptive_codec();
+            for v in 0..nvars {
+                codec = codec.with_narrowed_var(&sys, v, 1);
+            }
+            codec
+        };
+        if nvars == 0 {
+            // Nothing to narrow: no variables, no widen path to exercise.
+            return Ok(());
+        }
+        for bound in [6_000usize, 31] {
+            let full = explore_with(&sys, &ReachConfig::bounded(bound).full_width_codec());
+            for threads in [1usize, 4] {
+                let cfg = ReachConfig::bounded(bound)
+                    .threads(threads)
+                    .min_parallel_level(1)
+                    .with_codec(narrowed());
+                let r = explore_with(&sys, &cfg);
+                if let Err(e) = assert_reports_equal(&r, &full, &format!("widen seed {seed} bound {bound} threads {threads}")) {
+                    prop_assert!(false, "{}", e);
+                }
+                let df = find_deadlock_with(&sys, &ReachConfig::bounded(bound).threads(threads).min_parallel_level(1).full_width_codec());
+                let dn = find_deadlock_with(&sys, &cfg);
+                prop_assert_eq!(&dn.witness, &df.witness);
+                prop_assert_eq!(dn.states, df.states);
+                prop_assert_eq!(dn.complete, df.complete);
+            }
+        }
+    }
+}
+
+/// `CodecMode` is part of the public configuration surface; make sure the
+/// custom variant is constructible the documented way.
+#[test]
+fn codec_mode_custom_is_usable() {
+    let sys = dining_philosophers(3, true).unwrap();
+    let cfg = ReachConfig {
+        codec: CodecMode::Custom(StateCodec::adaptive(&sys)),
+        ..ReachConfig::bounded(10_000)
+    };
+    let custom = explore_with(&sys, &cfg);
+    let default = explore_with(&sys, &ReachConfig::bounded(10_000));
+    assert_eq!(custom.states, default.states);
+    assert_eq!(custom.transitions, default.transitions);
+    assert_eq!(custom.deadlocks, default.deadlocks);
+    assert_eq!(custom.stored_bytes, default.stored_bytes);
 }
