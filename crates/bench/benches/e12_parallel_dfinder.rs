@@ -1,0 +1,274 @@
+//! E12 — parallel compositional deadlock checking and the lock-free intern
+//! arena.
+//!
+//! Two workloads, both exercising the "scale with structure, not state
+//! count" half of the verification stack:
+//!
+//! 1. **Trap enumeration across thread counts.** D-Finder's interaction
+//!    invariants come from traps of the place/interaction abstraction,
+//!    enumerated by per-seed SAT instances partitioned on each trap's
+//!    minimum place (`bip_verify::dfinder`). The table measures traps/s at
+//!    `--threads 1,2,8` on ≥24-component models and asserts (a) the trap
+//!    lists and full `DFinderReport`s are **bit-identical for every thread
+//!    count**, and (b) on hosts with ≥4 cores, ≥2× throughput at the best
+//!    thread count on the trap-sparse ≥24-component gas-station family,
+//!    where the enumeration must exhaust (nearly) every seed subspace and
+//!    the work is evenly spread. Trap-dense families (philosophers, where
+//!    one seed fills the whole budget and the sequential prefix cut-off is
+//!    already optimal) are tracked for report identity only. On hosts with
+//!    fewer cores the speedup line is reported but not asserted — there is
+//!    nothing to run in parallel on.
+//!
+//! 2. **Intern-hot bounded reachability.** The `unbounded_ring` family has
+//!    genuinely unbounded counters: the adaptive codec interns every
+//!    counter of every state, so the intern table sits on the hot path of
+//!    every reach worker. Run bounded exploration across thread counts and
+//!    assert report identity; the previous 16-shard-lock table serialized
+//!    this exact path, the lock-free append-only arena does not.
+//!
+//! A `BENCH {...}` JSON line per measurement records the trajectory for CI
+//! scraping; the schema is documented in `crates/bench/README.md`.
+
+use bench::{gas_station, unbounded_ring};
+use bip_core::{dining_philosophers, InternTable, System};
+use bip_verify::dfinder::{enumerate_traps_with, Abstraction, DFinder, DFinderConfig};
+use bip_verify::reach::{explore_with, ReachConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Bound for the (infinite-state) intern-hot exploration.
+const INTERN_BOUND: usize = 150_000;
+
+/// Trap bound: high enough that ≥24-component models saturate the seed
+/// queue with real work.
+const MAX_TRAPS: usize = 256;
+
+/// Thread counts under test: `--threads 1,4,8` > `E12_THREADS` > `1,2,8`.
+fn thread_counts() -> Vec<usize> {
+    let from_args = std::env::args()
+        .skip_while(|a| a != "--threads")
+        .nth(1)
+        .or_else(|| std::env::var("E12_THREADS").ok());
+    let parsed: Vec<usize> = from_args
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        vec![1, 2, 8]
+    } else {
+        parsed
+    }
+}
+
+/// One timed sweep over the thread counts (best-of-three per count,
+/// trap-list invariance asserted); returns `(best threads, best speedup)`.
+fn sweep_traps(name: &str, abs: &Abstraction, threads: &[usize], quiet: bool) -> (usize, f64) {
+    let mut reference: Option<(Vec<_>, f64)> = None;
+    let mut best = (1usize, 0.0f64);
+    for &th in threads {
+        let cfg = DFinderConfig::new().threads(th).max_traps(MAX_TRAPS);
+        // Best of three: the speedup floor below is a merge gate on shared
+        // CI runners, so damp scheduler noise rather than trusting one
+        // un-warmed run per thread count.
+        let mut secs = f64::INFINITY;
+        let mut traps = Vec::new();
+        for _ in 0..3 {
+            let t = std::time::Instant::now();
+            traps = enumerate_traps_with(abs, &cfg);
+            secs = secs.min(t.elapsed().as_secs_f64().max(1e-9));
+        }
+        let speedup = match &reference {
+            None => {
+                reference = Some((traps.clone(), secs));
+                1.0
+            }
+            Some((ref_traps, ref_secs)) => {
+                assert_eq!(
+                    &traps, ref_traps,
+                    "{name}: trap list must be thread-count invariant"
+                );
+                ref_secs / secs
+            }
+        };
+        if speedup > best.1 {
+            best = (th, speedup);
+        }
+        if quiet {
+            continue;
+        }
+        println!(
+            "{name:>14} threads={th}  {:>4} traps  {:>9.0} traps/s  speedup {speedup:>5.2}x",
+            traps.len(),
+            traps.len() as f64 / secs,
+        );
+        println!(
+            "BENCH {{\"bench\":\"e12\",\"workload\":\"traps\",\"system\":\"{name}\",\"places\":{},\"threads\":{th},\"traps\":{},\"secs\":{secs:.4},\"traps_per_sec\":{:.0},\"speedup\":{speedup:.2}}}",
+            abs.num_places,
+            traps.len(),
+            traps.len() as f64 / secs,
+        );
+    }
+    best
+}
+
+/// Measure trap enumeration on one system across thread counts, assert
+/// report bit-identity, and (optionally) gate on a speedup floor.
+fn bench_traps(name: &str, sys: &System, threads: &[usize], assert_speedup: Option<f64>) {
+    let abs = Abstraction::new(sys);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut best = sweep_traps(name, &abs, threads, false);
+    // The whole report — verdict, counts, sat_conflicts — must agree too.
+    let r1 = DFinder::with_config(sys, &DFinderConfig::new().max_traps(MAX_TRAPS))
+        .check_deadlock_freedom();
+    for &th in threads {
+        let rt = DFinder::with_config(sys, &DFinderConfig::new().threads(th).max_traps(MAX_TRAPS))
+            .check_deadlock_freedom();
+        assert_eq!(r1, rt, "{name}: DFinderReport must be bit-identical");
+    }
+    if let Some(floor) = assert_speedup {
+        if cores >= 4 {
+            // One retry before failing the gate: a single noisy-neighbor
+            // stall on a shared runner should not fail the build.
+            if best.1 < floor {
+                println!(
+                    "{name:>14} (first pass {:.2}x below the {floor}x floor — remeasuring)",
+                    best.1
+                );
+                let again = sweep_traps(name, &abs, threads, true);
+                if again.1 > best.1 {
+                    best = again;
+                }
+            }
+            assert!(
+                best.1 >= floor,
+                "{name}: expected >= {floor}x trap-enumeration speedup, got {:.2}x at threads={}",
+                best.1,
+                best.0
+            );
+        } else {
+            println!("{name:>14} (speedup floor {floor}x not asserted: host has {cores} core(s))");
+        }
+    }
+}
+
+/// Bounded exploration with every encode interning (unbounded counters):
+/// the intern arena is on every worker's hot path.
+fn bench_intern_reach(threads: &[usize]) {
+    let sys = unbounded_ring(4);
+    let mut reference = None;
+    for &th in threads {
+        let t = std::time::Instant::now();
+        let r = explore_with(&sys, &ReachConfig::bounded(INTERN_BOUND).threads(th));
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        match &reference {
+            None => reference = Some(r.clone()),
+            Some(f) => {
+                assert_eq!(r.states, f.states, "intern-hot: states");
+                assert_eq!(r.transitions, f.transitions, "intern-hot: transitions");
+                assert_eq!(r.complete, f.complete, "intern-hot: complete");
+                assert_eq!(r.stored_bytes, f.stored_bytes, "intern-hot: footprint");
+            }
+        }
+        println!(
+            "{:>14} threads={th}  {:>7} states  {:>9.0} st/s  {:.1} B/state",
+            "uring-4",
+            r.states,
+            r.states as f64 / secs,
+            r.bytes_per_state(),
+        );
+        println!(
+            "BENCH {{\"bench\":\"e12\",\"workload\":\"intern_reach\",\"system\":\"uring-4\",\"threads\":{th},\"states\":{},\"secs\":{secs:.4},\"states_per_sec\":{:.0},\"bytes_per_state\":{:.2}}}",
+            r.states,
+            r.states as f64 / secs,
+            r.bytes_per_state(),
+        );
+    }
+    // Raw intern throughput: distinct-value appends plus re-intern hits
+    // from concurrent threads, the contention profile of a parallel encode.
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    let table = InternTable::default();
+    let per = 200_000usize;
+    let t = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let table = &table;
+            s.spawn(move || {
+                for i in 0..per {
+                    // ~1/8 distinct values, 7/8 hot re-interns.
+                    table.intern(((i + w * 7) % (per / 8)) as i64);
+                }
+            });
+        }
+    });
+    let secs = t.elapsed().as_secs_f64().max(1e-9);
+    let ops = (workers * per) as f64;
+    println!(
+        "{:>14} {workers} workers  {:>9.0} intern ops/s  ({} distinct)",
+        "intern-table",
+        ops / secs,
+        table.len(),
+    );
+    println!(
+        "BENCH {{\"bench\":\"e12\",\"workload\":\"intern_ops\",\"workers\":{workers},\"ops\":{ops},\"secs\":{secs:.4},\"ops_per_sec\":{:.0},\"distinct\":{}}}",
+        ops / secs,
+        table.len(),
+    );
+}
+
+fn table() {
+    let threads = thread_counts();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\nE12: parallel compositional deadlock checking + lock-free intern arena");
+    println!("(threads tested: {threads:?}; override with --threads a,b,c)");
+    println!("(host parallelism: {cores} — the 2x floor is asserted only on >= 4 cores)\n");
+    // The >= 2x floor applies to the trap-sparse gas-station family
+    // (242 components): its few dozen traps are spread over the whole
+    // place set, so the enumeration must exhaust nearly every min-place
+    // subspace — real, evenly distributed parallel work. The philosophers
+    // rows track the opposite regime (seed 0 alone fills the budget, so
+    // the sequential prefix cut-off is already optimal and parallelism
+    // can only break even): they gate report identity, not speed.
+    bench_traps("gas-240", &gas_station(240), &threads, Some(2.0));
+    bench_traps("cring-24x2", &bench::counter_ring(24, 2), &threads, None);
+    bench_traps(
+        "phil-12",
+        &dining_philosophers(12, false).unwrap(),
+        &threads,
+        None,
+    );
+    bench_traps(
+        "phil-12-2p",
+        &dining_philosophers(12, true).unwrap(),
+        &threads,
+        None,
+    );
+    println!();
+    bench_intern_reach(&threads);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e12");
+    g.sample_size(10);
+    let sys = gas_station(120);
+    let abs = Abstraction::new(&sys);
+    for th in [1usize, 8] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("traps_threads_{th}"), 120),
+            &abs,
+            |b, abs| {
+                let cfg = DFinderConfig::new().threads(th).max_traps(MAX_TRAPS);
+                b.iter(|| enumerate_traps_with(abs, &cfg).len())
+            },
+        );
+    }
+    let uring = unbounded_ring(4);
+    g.bench_with_input(
+        BenchmarkId::new("intern_reach", "uring-4"),
+        &uring,
+        |b, sys| b.iter(|| explore_with(sys, &ReachConfig::bounded(INTERN_BOUND)).states),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -51,6 +51,86 @@ pub fn pr1_explore(sys: &System, max_states: usize) -> ReachReport {
     }
 }
 
+/// The gas-station family: one operator, one pump, `customers` customers
+/// (prepay the operator, pump, leave) — the other standard D-Finder
+/// benchmark, and the E12 trap-sparse workload.
+///
+/// Its trap mass is *spread thin*: a few dozen small traps scattered over
+/// the whole place set, so a bounded enumeration must prove exhaustion of
+/// nearly every min-place subspace before it can stop. That makes the
+/// family the honest parallel-speedup workload — every seed's SAT instance
+/// is real work, and none dominates.
+pub fn gas_station(customers: usize) -> System {
+    use bip_core::{AtomBuilder, ConnectorBuilder, SystemBuilder};
+    let operator = AtomBuilder::new("operator")
+        .port("prepay")
+        .port("change")
+        .location("idle")
+        .location("serving")
+        .initial("idle")
+        .transition("idle", "prepay", "serving")
+        .transition("serving", "change", "idle")
+        .build()
+        .unwrap();
+    let pump = AtomBuilder::new("pump")
+        .port("start")
+        .port("finish")
+        .location("free")
+        .location("pumping")
+        .initial("free")
+        .transition("free", "start", "pumping")
+        .transition("pumping", "finish", "free")
+        .build()
+        .unwrap();
+    let customer = AtomBuilder::new("customer")
+        .port("pay")
+        .port("pump")
+        .port("done")
+        .location("arrive")
+        .location("paid")
+        .location("fueling")
+        .initial("arrive")
+        .transition("arrive", "pay", "paid")
+        .transition("paid", "pump", "fueling")
+        .transition("fueling", "done", "arrive")
+        .build()
+        .unwrap();
+    let mut sb = SystemBuilder::new();
+    let op = sb.add_instance("op", &operator);
+    let pu = sb.add_instance("pump", &pump);
+    for i in 0..customers {
+        let c = sb.add_instance(format!("cust{i}"), &customer);
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            format!("prepay{i}"),
+            [(c, "pay"), (op, "prepay")],
+        ));
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            format!("start{i}"),
+            [(c, "pump"), (pu, "start"), (op, "change")],
+        ));
+        sb.add_connector(ConnectorBuilder::rendezvous(
+            format!("finish{i}"),
+            [(c, "done"), (pu, "finish")],
+        ));
+    }
+    sb.build().unwrap()
+}
+
+/// The intern-heavy token-ring family: `n` nodes whose per-node counters
+/// are **genuinely unbounded** — the holder's `work` transition increments
+/// with no guard, so the static range analysis must give up on every
+/// counter and the adaptive codec routes all of them through the interned
+/// overflow table ([`bip_core::InternTable`]).
+///
+/// The reachable state space is infinite; explorations must be bounded.
+/// That is the point: within the bound, *every* encode of *every* state
+/// interns `n` values, so the intern table sits on the hot path of every
+/// worker at once — the workload the lock-free append-only arena exists
+/// for, and the one the E12 bench measures across thread counts.
+pub fn unbounded_ring(n: usize) -> System {
+    token_ring(n, bip_core::Expr::t())
+}
+
 /// The var-heavy token-ring family: `n` nodes, each with a per-node counter
 /// bounded by `k` through a transition guard.
 ///
@@ -63,8 +143,18 @@ pub fn pr1_explore(sys: &System, max_states: usize) -> ReachReport {
 /// guard and packs each in `ceil(log2(k+1))` bits, which is the footprint
 /// gap E11's var-heavy table measures.
 pub fn counter_ring(n: usize, k: i64) -> System {
+    use bip_core::Expr;
+    assert!(k >= 1);
+    token_ring(n, Expr::var(0).lt(Expr::int(k)))
+}
+
+/// Shared topology of the token-ring families: one circulating token
+/// (`pass{i}` rendezvous between neighbor `put`/`get` ports) and a
+/// per-node `work` self-loop incrementing the node's counter while
+/// `work_guard` holds — the guard is the only thing the families differ in.
+fn token_ring(n: usize, work_guard: bip_core::Expr) -> System {
     use bip_core::{AtomBuilder, ConnectorBuilder, Expr, SystemBuilder};
-    assert!(n >= 2 && k >= 1);
+    assert!(n >= 2);
     let node = |first: bool| {
         AtomBuilder::new(if first { "holder" } else { "node" })
             .var("c", 0)
@@ -79,7 +169,7 @@ pub fn counter_ring(n: usize, k: i64) -> System {
             .guarded_transition(
                 "hold",
                 "work",
-                Expr::var(0).lt(Expr::int(k)),
+                work_guard.clone(),
                 vec![("c", Expr::var(0).add(Expr::int(1)))],
                 "hold",
             )

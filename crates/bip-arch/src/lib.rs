@@ -17,7 +17,7 @@
 //!   [`fifo_scheduler`];
 //! * architecture **composition** `⊕` ([`compose`]) — applying two
 //!   architectures to the same components so both characteristic
-//!   properties hold (the lattice construction of [4]) — and the partial
+//!   properties hold (the lattice construction of \[4\]) — and the partial
 //!   order [`at_most_as_permissive`] on applied architectures.
 //!
 //! Every constructor ships with tests that model-check the characteristic
@@ -297,7 +297,7 @@ pub fn fifo_scheduler(clients: Vec<(usize, String, String, String)>) -> Architec
 /// system with **interaction fusion** — when both coordinate the same
 /// component port, the port synchronizes with *both* coordinators in a
 /// single interaction, so each action needs the agreement of every applied
-/// architecture. This is the greatest-lower-bound construction of [4]: the
+/// architecture. This is the greatest-lower-bound construction of \[4\]: the
 /// result satisfies both characteristic properties, or collapses towards
 /// the lattice's bottom (deadlock) when the constraints are incompatible.
 ///

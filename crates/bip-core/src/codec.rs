@@ -25,9 +25,9 @@
 //!     `value - lo` in `ceil(log2(hi - lo + 1))` bits — a constant
 //!     variable costs **zero** bits;
 //!   * a variable the analysis cannot bound is stored as a small index
-//!     into a shared, shard-safe **interned overflow table** (out-of-line
-//!     `i64` interning): rare wide values cost [`INTERN_START_BITS`] bits
-//!     inline instead of 64.
+//!     into a shared, lock-free **interned overflow table** (out-of-line
+//!     `i64` interning, [`crate::intern`]): rare wide values cost
+//!     [`INTERN_START_BITS`] bits inline instead of 64.
 //!
 //! # Repack-on-widen
 //!
@@ -52,23 +52,43 @@
 //! # Interning and determinism
 //!
 //! The intern table is shared through an `Arc` by every codec in a widen
-//! ladder and is safe to use from concurrent encoders (16 internally locked
-//! shards). Index *assignment* depends on encode interleaving, so two runs
-//! may pack the same wide value differently — but an index never leaks out
-//! of the packed representation: decoding returns the interned value, and
-//! every consumer that needs run-independent identity hashes values, not
-//! words. Within one codec, interning still guarantees the bijection
-//! `value ↔ index` that packed-state equality relies on.
+//! ladder and is safe to use from concurrent encoders — it is a lock-free
+//! append-only arena (see [`crate::intern`]), so parallel workers whose
+//! states are intern-heavy never serialize on it. Index *assignment*
+//! depends on encode interleaving, so two runs may pack the same wide value
+//! differently — but an index never leaks out of the packed
+//! representation: decoding returns the interned value, and every consumer
+//! that needs run-independent identity hashes values, not words. Within one
+//! codec, interning still guarantees the bijection `value ↔ index` that
+//! packed-state equality relies on.
 //!
 //! [`PackedState`] stores up to two words inline (no heap traffic for
 //! systems up to 128 packed bits); larger systems spill to a boxed slice.
 //! Equality and hashing operate on the word slice, making shard selection
 //! and seen-set membership far cheaper than hashing a [`State`].
+//!
+//! ```
+//! use bip_core::dining_philosophers;
+//!
+//! let sys = dining_philosophers(12, true).unwrap();
+//! let codec = sys.state_codec(); // full-width reference profile
+//! // 12 philosophers x 2 bits + 12 forks x 1 bit: one word per state.
+//! assert_eq!((codec.bits(), codec.words()), (36, 1));
+//!
+//! let st = sys.initial_state();
+//! let packed = codec.encode(&st);
+//! assert_eq!(codec.decode(&packed), st, "lossless");
+//!
+//! // The adaptive profile agrees on content identity for every state.
+//! let adaptive = sys.adaptive_codec();
+//! assert_eq!(adaptive.state_hash(&st), codec.state_hash(&st));
+//! ```
 
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
-use crate::hash::{FxHashMap, FxHasher};
+use crate::hash::FxHasher;
+use crate::intern::InternTable;
 use crate::system::{State, System};
 use crate::width::infer_ranges;
 
@@ -80,9 +100,6 @@ pub const INTERN_START_BITS: u8 = 16;
 
 /// Widest the intern index field can grow (a `u32` index).
 const INTERN_MAX_BITS: u8 = 32;
-
-/// Shards of the intern table (locked independently).
-const INTERN_SHARDS: usize = 16;
 
 /// A bit-packed global state produced by a [`StateCodec`].
 ///
@@ -241,69 +258,6 @@ enum VarKind {
     Wide,
     /// Index into the shared intern table, `intern_bits` wide.
     Interned,
-}
-
-/// The shard-safe `i64` interning table behind [`VarKind::Interned`] fields.
-///
-/// Values hash to one of [`INTERN_SHARDS`] independently locked shards; an
-/// index is `slot << 4 | shard`, so lookups never touch more than one lock.
-/// Reads take a shard read-lock (wide values are rare by construction — the
-/// adaptive codec only interns variables the range analysis could not
-/// bound).
-#[derive(Debug, Default)]
-pub struct InternTable {
-    shards: [RwLock<InternShard>; INTERN_SHARDS],
-}
-
-#[derive(Debug, Default)]
-struct InternShard {
-    map: FxHashMap<i64, u32>,
-    values: Vec<i64>,
-}
-
-impl InternTable {
-    fn shard_of(value: i64) -> usize {
-        let mut h = FxHasher::default();
-        h.write_u64(value as u64);
-        (h.finish() % INTERN_SHARDS as u64) as usize
-    }
-
-    /// Intern `value`, returning its stable index (idempotent).
-    pub fn intern(&self, value: i64) -> u32 {
-        let si = Self::shard_of(value);
-        if let Some(&idx) = self.shards[si].read().unwrap().map.get(&value) {
-            return idx;
-        }
-        let mut shard = self.shards[si].write().unwrap();
-        if let Some(&idx) = shard.map.get(&value) {
-            return idx; // raced with another encoder
-        }
-        let slot = shard.values.len();
-        assert!(slot < (1usize << 28), "intern table overflow");
-        let idx = ((slot as u32) << 4) | si as u32;
-        shard.values.push(value);
-        shard.map.insert(value, idx);
-        idx
-    }
-
-    /// The value behind an interned index.
-    pub fn value(&self, idx: u32) -> i64 {
-        let si = (idx & 0xf) as usize;
-        self.shards[si].read().unwrap().values[(idx >> 4) as usize]
-    }
-
-    /// Number of distinct interned values.
-    pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().unwrap().values.len())
-            .sum()
-    }
-
-    /// `true` when nothing has been interned yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
 }
 
 /// Per-system packing schedule: bit offset and width of every component's

@@ -1,6 +1,6 @@
 //! Compiled execution: the allocation-free enabled-set protocol.
 //!
-//! [`System::from_parts`] compiles, once, everything about interaction
+//! `System::from_parts` compiles, once, everything about interaction
 //! enabledness that does not depend on the state:
 //!
 //! * per connector, the **feasible endpoint masks** — the subsets allowed by

@@ -1,5 +1,5 @@
 //! Glue expressiveness (§5.3.2; Bliudze & Sifakis, "A Notion of Glue
-//! Expressiveness for Component-Based Systems" [5]).
+//! Expressiveness for Component-Based Systems" \[5\]).
 //!
 //! The paper's claim: BIP glue — interactions **plus priorities** — is
 //! universally expressive, and loses universality if either layer is

@@ -14,6 +14,20 @@
 //! state index in `equiv`, the trap/transition sets in `dfinder`, the
 //! incremental verifier's diff sets — can share it: use [`FxHashMap`] /
 //! [`FxHashSet`] as drop-in replacements for the std collections.
+//!
+//! ```
+//! use bip_core::hash::{FxBuildHasher, FxHashMap};
+//! use std::hash::BuildHasher;
+//!
+//! let mut hits: FxHashMap<u64, usize> = FxHashMap::default();
+//! hits.insert(42, 1);
+//! assert_eq!(hits[&42], 1);
+//!
+//! // Deterministic across builders, processes, and threads — the property
+//! // the deterministic parallel explorers' shard assignment relies on.
+//! let (a, b) = (FxBuildHasher::default(), FxBuildHasher::default());
+//! assert_eq!(a.hash_one(0xdead_beef_u64), b.hash_one(0xdead_beef_u64));
+//! ```
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};

@@ -94,17 +94,19 @@ pub mod exec;
 pub mod expressiveness;
 pub mod glue;
 pub mod hash;
+pub mod intern;
 pub mod parse;
+pub mod placeset;
 mod predicate;
 mod priority;
 mod system;
-mod width;
+pub mod width;
 
 pub use atom::{
     Atom, AtomBuilder, AtomType, LocId, PortDecl, PortId, Transition, TransitionId, VarId,
 };
 pub use builder::{dining_philosophers, SystemBuilder};
-pub use codec::{InternTable, PackedState, StateCodec, WidenReq};
+pub use codec::{PackedState, StateCodec, WidenReq};
 pub use composite::{Composite, CompositeBuilder, InstanceRef};
 pub use connector::{ConnId, Connector, ConnectorBuilder, PortRef};
 pub use data::{BinOp, Expr, UnOp, Value};
@@ -115,7 +117,9 @@ pub use exec::{
     MAX_CONNECTOR_PORTS,
 };
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::InternTable;
 pub use parse::{parse_system, ParseError};
+pub use placeset::PlaceSet;
 pub use predicate::{GExpr, StatePred};
 pub use priority::{Priority, PriorityRule};
 pub use system::{CompId, Interaction, State, Step, System};

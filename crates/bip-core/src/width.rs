@@ -254,9 +254,39 @@ fn refine(locals: &mut [Iv], guard: &Expr, refinable: &dyn Fn(u32) -> bool) -> b
     iv.lo <= iv.hi
 }
 
-/// Inferred per-variable ranges: `Some((lo, hi))` for bounded variables,
-/// `None` for variables the analysis cannot bound.
-pub(crate) fn infer_ranges(sys: &System) -> Vec<Option<(i64, i64)>> {
+/// Inferred per-variable ranges over the flat variable store:
+/// `Some((lo, hi))` for bounded variables, `None` for variables the
+/// analysis cannot bound.
+///
+/// This is the pass behind [`StateCodec::adaptive`](crate::StateCodec):
+/// a `Some` range packs in `ceil(log2(hi - lo + 1))` bits, a `None` routes
+/// through the interned overflow table.
+///
+/// ```
+/// use bip_core::{AtomBuilder, ConnectorBuilder, Expr, SystemBuilder};
+///
+/// // A counter guarded by `n < 8`: one increment past the guard bounds it.
+/// let atom = AtomBuilder::new("a")
+///     .port("p")
+///     .var("n", 0)
+///     .location("l")
+///     .initial("l")
+///     .guarded_transition(
+///         "l", "p",
+///         Expr::var(0).lt(Expr::int(8)),
+///         vec![("n", Expr::var(0).add(Expr::int(1)))],
+///         "l",
+///     )
+///     .build()
+///     .unwrap();
+/// let mut sb = SystemBuilder::new();
+/// let c = sb.add_instance("c", &atom);
+/// sb.add_connector(ConnectorBuilder::singleton("t", c, "p"));
+/// let sys = sb.build().unwrap();
+///
+/// assert_eq!(bip_core::width::infer_ranges(&sys), vec![Some((0, 8))]);
+/// ```
+pub fn infer_ranges(sys: &System) -> Vec<Option<(i64, i64)>> {
     let n = sys.total_vars;
     let mut iv: Vec<Iv> = Vec::with_capacity(n);
     for c in 0..sys.num_components() {

@@ -16,7 +16,7 @@
 //! (share components); with conflicts it deadlocks — the bottom half of
 //! Fig. 5.4, reproduced in the tests — which is exactly why the full
 //! distribution pipeline needs a conflict-resolution layer
-//! ([`crate::deploy`]).
+//! ([`crate::deploy`](mod@crate::deploy)).
 
 use std::collections::HashMap;
 
@@ -48,7 +48,7 @@ impl RefinedSystem {
 /// Restrictions (documented in DESIGN.md): control-dominant models —
 /// transition guards are kept on the first refined step and update actions
 /// move to the last; connector guards and data transfer are not supported
-/// by this refinement (the runtime pipeline in [`crate::deploy`] handles
+/// by this refinement (the runtime pipeline in [`crate::deploy`](mod@crate::deploy) handles
 /// full data).
 ///
 /// # Errors

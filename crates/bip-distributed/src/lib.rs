@@ -1,5 +1,5 @@
 //! `bip-distributed` — distribution-driven source-to-source transformations
-//! (§5.6, [7]: "From high-level component-based models to distributed
+//! (§5.6, \[7\]: "From high-level component-based models to distributed
 //! implementations").
 //!
 //! Two artifacts from the paper:
@@ -13,7 +13,7 @@
 //!   *conflicting* interactions this way introduces a deadlock, because
 //!   conflicts are resolved at `str` time without knowing whether the
 //!   chosen sequence can complete. This motivates the third layer.
-//! * [`deploy`] — the **3-layer S/R deployment**: the component layer
+//! * [`deploy`](mod@deploy) — the **3-layer S/R deployment**: the component layer
 //!   (offer/execute protocol with participation counters), the interaction
 //!   protocol layer (one engine per partition block), and the
 //!   conflict-resolution protocol layer with three interchangeable

@@ -5,7 +5,7 @@
 //! φ′ < φ, safety for φ does not imply safety for φ′. [...] A direct
 //! consequence of timing anomalies is that safety for WCET does not
 //! guarantee safety for smaller execution times. Preservation of safety by
-//! time-performance is called time robustness in [1] where it is shown that
+//! time-performance is called time robustness in \[1\] where it is shown that
 //! this property holds for deterministic models."
 //!
 //! We reproduce the phenomenon with the classical multiprocessor

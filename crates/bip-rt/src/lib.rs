@@ -11,12 +11,12 @@
 //! * [`timedsys`] — discrete-time execution of a BIP system under a duration
 //!   assignment `φ`: firing an interaction occupies its participants for
 //!   `φ(a)` ticks; the ideal model is `φ = 0`. Safety of an implementation
-//!   is observable-trace inclusion in the ideal model (§5.2.2 / [1]).
+//!   is observable-trace inclusion in the ideal model (§5.2.2 / \[1\]).
 //! * [`anomaly`] — **timing anomalies** (E8): a nondeterministic scheduled
 //!   workload that meets its deadline at worst-case execution times but
 //!   *misses* it when one duration shrinks — "safety for WCET does not
 //!   guarantee safety for smaller execution times" — and the deterministic
-//!   variant which is *time-robust* (monotone), matching the result of [1]
+//!   variant which is *time-robust* (monotone), matching the result of \[1\]
 //!   that time robustness holds for deterministic models.
 //! * [`delay`] — the unit-delay timed automaton of Fig. 5.3 (E5),
 //!   generalized to `k` admissible input changes per time unit; states and

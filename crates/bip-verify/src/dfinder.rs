@@ -15,10 +15,41 @@
 //! by the [`satkit`] CDCL solver — proves deadlock-freedom *without ever
 //! enumerating the product state space*, which is why the method scales
 //! where monolithic checking explodes (experiment E1).
+//!
+//! # Packed place sets and parallel trap enumeration
+//!
+//! Place sets — trap candidates, transition pre/post sets — are
+//! [`bip_core::PlaceSet`] bitsets sized from the abstraction, so the hot
+//! trap-condition check is a handful of word-wise `AND`s instead of hash
+//! probes. Trap enumeration is **partitioned by minimum place**: every
+//! initially-marked trap has a unique smallest place, so the subspace
+//! "traps whose minimum is `p`" can be enumerated by an independent SAT
+//! instance per seed place. [`DFinderConfig::threads`] workers drain the
+//! seed queue in parallel; results are deduplicated through a sharded
+//! bump-arena trap store (`shard << 48 | index` references, the same
+//! pattern as `reach`'s seen set) and merged **in seed order**, so the trap
+//! list — and therefore the whole [`DFinderReport`], down to
+//! `sat_conflicts` — is bit-identical for every thread count.
+//!
+//! ```
+//! use bip_core::dining_philosophers;
+//! use bip_verify::dfinder::{DFinder, DFinderConfig};
+//!
+//! let sys = dining_philosophers(4, false).unwrap();
+//! let seq = DFinder::with_config(&sys, &DFinderConfig::new()).check_deadlock_freedom();
+//! let par = DFinder::with_config(&sys, &DFinderConfig::new().threads(4))
+//!     .check_deadlock_freedom();
+//! assert!(seq.verdict.is_deadlock_free());
+//! assert_eq!(seq, par, "reports are thread-count invariant");
+//! ```
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bip_core::hash::FxHasher;
 use bip_core::FxHashSet;
+use std::hash::Hasher;
 
-use bip_core::{StatePred, System};
+use bip_core::{PlaceSet, StatePred, System};
 use satkit::{CnfBuilder, Lit, Var};
 
 /// A place of the abstraction: `(component, location)` as a dense index.
@@ -44,6 +75,9 @@ pub struct Abstraction {
     /// transition labelled by the port leaves that location). Guarded
     /// connectors are flagged `maybe_disabled`.
     pub interactions: Vec<InteractionAbs>,
+    /// `transitions` with pre/post packed as [`PlaceSet`] bitsets and exact
+    /// duplicates removed — the representation every trap check runs on.
+    packed: Vec<(PlaceSet, PlaceSet)>,
 }
 
 /// Abstraction of one interaction for the DIS encoding.
@@ -148,6 +182,7 @@ impl Abstraction {
                 }
             }
         }
+        let packed = pack_transitions(num_places, &transitions);
         Abstraction {
             place_base,
             num_places,
@@ -155,6 +190,7 @@ impl Abstraction {
             initial,
             reachable,
             interactions,
+            packed,
         }
     }
 
@@ -171,13 +207,53 @@ impl Abstraction {
         (p - self.place_base[self.component_of(p)]) as u32
     }
 
-    /// Is `set` a trap? (Every transition consuming from the set produces
-    /// into it.)
-    pub fn is_trap(&self, set: &FxHashSet<Place>) -> bool {
-        self.transitions.iter().all(|(pre, post)| {
-            !pre.iter().any(|p| set.contains(p)) || post.iter().any(|q| set.contains(q))
-        })
+    /// The abstract transitions with pre/post sets packed as [`PlaceSet`]
+    /// bitsets: the distinct `(pre, post)` pairs of
+    /// [`Abstraction::transitions`] in first-occurrence order. Exact
+    /// duplicates are removed, so this list may be *shorter* than
+    /// `transitions` — never zip the two by index.
+    pub fn packed_transitions(&self) -> &[(PlaceSet, PlaceSet)] {
+        &self.packed
     }
+
+    /// An empty [`PlaceSet`] over this abstraction's places.
+    pub fn place_set(&self) -> PlaceSet {
+        PlaceSet::new(self.num_places)
+    }
+
+    /// Is `set` a trap? (Every transition consuming from the set produces
+    /// into it.) One word-wise intersection test per abstract transition.
+    pub fn is_trap(&self, set: &PlaceSet) -> bool {
+        self.packed
+            .iter()
+            .all(|(pre, post)| !pre.intersects(set) || post.intersects(set))
+    }
+
+    /// The pre-`PlaceSet` form of [`Abstraction::is_trap`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "represent place sets as `bip_core::PlaceSet` and call `is_trap`"
+    )]
+    pub fn is_trap_places(&self, set: &FxHashSet<Place>) -> bool {
+        self.is_trap(&PlaceSet::from_places(self.num_places, set.iter().copied()))
+    }
+}
+
+/// Pack raw transition pre/post lists into deduplicated [`PlaceSet`] pairs.
+fn pack_transitions(
+    num_places: usize,
+    transitions: &[(Vec<Place>, Vec<Place>)],
+) -> Vec<(PlaceSet, PlaceSet)> {
+    let mut seen = FxHashSet::default();
+    let mut packed = Vec::new();
+    for (pre, post) in transitions {
+        let ppre = PlaceSet::from_places(num_places, pre.iter().copied());
+        let ppost = PlaceSet::from_places(num_places, post.iter().copied());
+        if seen.insert((ppre.clone(), ppost.clone())) {
+            packed.push((ppre, ppost));
+        }
+    }
+    packed
 }
 
 fn push_move_combinations(
@@ -448,8 +524,60 @@ impl Verdict {
     }
 }
 
+/// Configuration for compositional verification, mirroring the
+/// [`crate::reach::ReachConfig`] contract: the *results* never depend on
+/// `threads` — only the wall-clock does.
+///
+/// ```
+/// use bip_verify::dfinder::DFinderConfig;
+///
+/// let cfg = DFinderConfig::new().threads(8).max_traps(256);
+/// assert_eq!((cfg.threads, cfg.max_traps), (8, 256));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DFinderConfig {
+    /// Worker threads for trap enumeration; `1` (the default) runs
+    /// everything inline on the calling thread. Reports are identical for
+    /// every value.
+    pub threads: usize,
+    /// Bound on the number of traps kept as interaction invariants.
+    pub max_traps: usize,
+}
+
+impl DFinderConfig {
+    /// Sequential enumeration with the default trap bound.
+    pub fn new() -> DFinderConfig {
+        DFinderConfig {
+            threads: 1,
+            max_traps: DFinder::DEFAULT_MAX_TRAPS,
+        }
+    }
+
+    /// Set the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> DFinderConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the trap bound.
+    pub fn max_traps(mut self, max_traps: usize) -> DFinderConfig {
+        self.max_traps = max_traps;
+        self
+    }
+}
+
+impl Default for DFinderConfig {
+    fn default() -> DFinderConfig {
+        DFinderConfig::new()
+    }
+}
+
 /// Report of a [`DFinder`] run.
-#[derive(Debug, Clone)]
+///
+/// Derives `Eq`: the report is **bit-identical for every
+/// [`DFinderConfig::threads`] value**, which the E12 bench and the
+/// workspace property tests assert by direct comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DFinderReport {
     /// The verdict.
     pub verdict: Verdict,
@@ -470,7 +598,7 @@ pub struct DFinderReport {
 #[derive(Debug)]
 pub struct DFinder {
     abs: Abstraction,
-    traps: Vec<Vec<Place>>,
+    traps: Vec<PlaceSet>,
     linear: Vec<LinearInvariant>,
 }
 
@@ -484,19 +612,25 @@ impl DFinder {
 
     /// Build the abstraction and compute trap + linear invariants.
     pub fn new(sys: &System) -> DFinder {
-        Self::with_max_traps(sys, Self::DEFAULT_MAX_TRAPS)
+        Self::with_config(sys, &DFinderConfig::new())
     }
 
     /// Build with an explicit trap bound.
     pub fn with_max_traps(sys: &System, max_traps: usize) -> DFinder {
+        Self::with_config(sys, &DFinderConfig::new().max_traps(max_traps))
+    }
+
+    /// Build under `cfg` (possibly enumerating traps in parallel; the
+    /// result does not depend on the thread count).
+    pub fn with_config(sys: &System, cfg: &DFinderConfig) -> DFinder {
         let abs = Abstraction::new(sys);
-        let traps = enumerate_traps(&abs, max_traps);
+        let traps = enumerate_traps_with(&abs, cfg);
         let linear = linear_invariants(&abs, Self::DEFAULT_MAX_COEFF, Self::DEFAULT_MAX_SUPPORT);
         DFinder { abs, traps, linear }
     }
 
-    /// The computed traps (as place sets).
-    pub fn traps(&self) -> &[Vec<Place>] {
+    /// The computed traps (as packed place sets).
+    pub fn traps(&self) -> &[PlaceSet] {
         &self.traps
     }
 
@@ -601,7 +735,7 @@ impl DFinder {
         }
         // II: every initially-marked trap stays marked.
         for trap in &self.traps {
-            b.clause(trap.iter().map(|&p| at[p]));
+            b.clause(trap.iter().map(|p| at[p]));
         }
         // LI: linear place-invariants.
         for inv in &self.linear {
@@ -653,56 +787,335 @@ fn encode_pred(b: &mut CnfBuilder, abs: &Abstraction, at: &[Lit], pred: &StatePr
     }
 }
 
-/// Enumerate (approximately minimal) initially-marked traps of the
-/// abstraction using iterated SAT with blocking clauses.
-pub fn enumerate_traps(abs: &Abstraction, max_traps: usize) -> Vec<Vec<Place>> {
+/// Shards of the trap dedup store.
+const TRAP_SHARDS: usize = 16;
+
+/// Empty slot sentinel of the trap store's open-addressing tables.
+const TRAP_EMPTY_SLOT: u64 = u64::MAX;
+
+/// Hash of a packed place-set word slice (fingerprint in the high 32 bits,
+/// probe start in the low bits).
+#[inline]
+fn trap_word_hash(words: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+/// Deduplicating store for fixed-width place sets: `TRAP_SHARDS` shards,
+/// each an open-addressing table over a bump arena holding `stride` packed
+/// words per stored set — the `shard << 48 | index` pattern of `reach`'s
+/// seen set, scaled down to trap counts. The arena is the canonical
+/// storage; the merge reads sets back out of it by reference.
+struct TrapStore {
+    capacity: usize,
+    stride: usize,
+    shards: Vec<TrapShard>,
+}
+
+struct TrapShard {
+    slots: Vec<u64>,
+    arena: Vec<u64>,
+    len: usize,
+}
+
+impl TrapStore {
+    fn new(capacity: usize) -> TrapStore {
+        TrapStore {
+            capacity,
+            stride: capacity.div_ceil(64).max(1),
+            // Tables start tiny: trap counts are small, and routine growth
+            // keeps the rehash path exercised by ordinary runs.
+            shards: (0..TRAP_SHARDS)
+                .map(|_| TrapShard {
+                    slots: vec![TRAP_EMPTY_SLOT; 8],
+                    arena: Vec::new(),
+                    len: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn set_words<'a>(&'a self, shard: &'a TrapShard, idx: usize) -> &'a [u64] {
+        &shard.arena[idx * self.stride..(idx + 1) * self.stride]
+    }
+
+    /// Insert `set` if absent; returns its `shard << 48 | index` reference
+    /// and whether this call stored it.
+    ///
+    /// The shard index consumes the low 4 hash bits, so the probe start
+    /// must come from the bits *above* them — otherwise every entry of a
+    /// shard would share one probe sequence and the table would degenerate
+    /// into a single linear cluster.
+    fn insert(&mut self, set: &PlaceSet) -> (u64, bool) {
+        debug_assert_eq!(set.capacity(), self.capacity);
+        let words = set.words();
+        let h = trap_word_hash(words);
+        let si = (h % TRAP_SHARDS as u64) as usize;
+        let stride = self.stride;
+        let fp = h >> 32;
+        loop {
+            let shard = &self.shards[si];
+            let mask = shard.slots.len() - 1;
+            let mut i = (h / TRAP_SHARDS as u64) as usize & mask;
+            loop {
+                let s = shard.slots[i];
+                if s == TRAP_EMPTY_SLOT {
+                    break;
+                }
+                let idx = (s & 0xffff_ffff) as usize;
+                if s >> 32 == fp && self.set_words(shard, idx) == words {
+                    return (((si as u64) << 48) | idx as u64, false);
+                }
+                i = (i + 1) & mask;
+            }
+            let shard = &mut self.shards[si];
+            if (shard.len + 1) * 4 > shard.slots.len() * 3 {
+                // Rehash in place and retry the probe on the grown table.
+                let ncap = shard.slots.len() * 2;
+                let mut slots = vec![TRAP_EMPTY_SLOT; ncap];
+                for idx in 0..shard.len {
+                    let hh = trap_word_hash(&shard.arena[idx * stride..(idx + 1) * stride]);
+                    let mut j = (hh / TRAP_SHARDS as u64) as usize & (ncap - 1);
+                    while slots[j] != TRAP_EMPTY_SLOT {
+                        j = (j + 1) & (ncap - 1);
+                    }
+                    slots[j] = (hh >> 32 << 32) | idx as u64;
+                }
+                shard.slots = slots;
+                continue;
+            }
+            let idx = shard.len;
+            shard.slots[i] = (fp << 32) | idx as u64;
+            shard.arena.extend_from_slice(words);
+            shard.len += 1;
+            return (((si as u64) << 48) | idx as u64, true);
+        }
+    }
+
+    /// Rebuild the [`PlaceSet`] behind a reference returned by `insert`.
+    fn get(&self, sref: u64) -> PlaceSet {
+        let shard = &self.shards[(sref >> 48) as usize];
+        PlaceSet::from_words(
+            self.capacity,
+            self.set_words(shard, (sref & 0xffff_ffff_ffff) as usize),
+        )
+    }
+}
+
+/// Build the trap CNF for one seed place: trap condition per (packed)
+/// transition, initial marking, reachability pruning, the min-place
+/// partition constraints (`s[seed]`, `¬s[q]` for `q < seed`), and blocking
+/// clauses for every already-known trap.
+fn seed_cnf(abs: &Abstraction, seed: Place, known: &[PlaceSet]) -> (CnfBuilder, Vec<Lit>) {
     let mut b = CnfBuilder::new();
     let s: Vec<Lit> = (0..abs.num_places).map(|_| Lit::pos(b.fresh())).collect();
-    // Trap condition per transition.
-    for (pre, post) in &abs.transitions {
-        for &p in pre {
+    for (pre, post) in &abs.packed {
+        for p in pre.iter() {
             let mut clause = vec![!s[p]];
-            clause.extend(post.iter().map(|&q| s[q]));
+            clause.extend(post.iter().map(|q| s[q]));
             b.clause(clause);
         }
     }
-    // Initially marked.
     b.clause(abs.initial.iter().map(|&p| s[p]));
-    // Only locally reachable places are interesting.
     for (p, reach) in abs.reachable.iter().enumerate() {
         if !reach {
             b.assert_lit(!s[p]);
         }
     }
-    let mut traps = Vec::new();
+    for &below in &s[..seed] {
+        b.assert_lit(!below);
+    }
+    b.assert_lit(s[seed]);
+    for t in known {
+        b.clause(t.iter().map(|p| !s[p]));
+    }
+    (b, s)
+}
+
+/// Enumerate (approximately minimal) initially-marked traps whose minimum
+/// place is `seed`, blocking supersets of found traps and of `known`.
+///
+/// `cancel` aborts between SAT iterations: the parallel driver raises it
+/// once the completed seed prefix has filled the trap budget, at which
+/// point every still-running seed lies beyond the merge horizon and its
+/// output is discarded — so an abort can never change the result.
+fn enumerate_seed(
+    abs: &Abstraction,
+    seed: Place,
+    known: &[PlaceSet],
+    cap: usize,
+    cancel: &std::sync::atomic::AtomicBool,
+) -> Vec<PlaceSet> {
+    let (mut b, s) = seed_cnf(abs, seed, known);
+    let mut out = Vec::new();
     let solver = b.solver_mut();
-    while traps.len() < max_traps {
+    while out.len() < cap && !cancel.load(Ordering::Acquire) {
         if solver.solve().is_unsat() {
             break;
         }
-        let mut set: FxHashSet<Place> = (0..abs.num_places)
-            .filter(|&p| solver.value(s[p].var()) == Some(true))
-            .collect();
-        // Greedy minimization, preserving trap-ness and initial marking.
-        let mut order: Vec<Place> = set.iter().copied().collect();
-        order.sort_unstable();
-        for p in order {
-            if !set.contains(&p) {
-                continue;
-            }
-            set.remove(&p);
-            let still_marked = abs.initial.iter().any(|q| set.contains(q));
-            if !(still_marked && !set.is_empty() && abs.is_trap(&set)) {
+        let mut set = abs.place_set();
+        for (p, lit) in s.iter().enumerate().skip(seed) {
+            if solver.value(lit.var()) == Some(true) {
                 set.insert(p);
             }
         }
-        let mut trap: Vec<Place> = set.into_iter().collect();
-        trap.sort_unstable();
-        // Block this trap and all supersets.
-        solver.add_clause(trap.iter().map(|&p| !s[p]));
-        traps.push(trap);
+        // Greedy minimization in ascending place order, preserving trap-ness
+        // and the initial marking. The seed stays put: it witnesses the
+        // partition (no other worker can rediscover this trap), which is
+        // what makes the parallel merge duplicate-free by construction.
+        for p in set.to_vec() {
+            if p == seed {
+                continue;
+            }
+            set.remove(p);
+            let still_marked = abs.initial.iter().any(|&q| set.contains(q));
+            if !(still_marked && abs.is_trap(&set)) {
+                set.insert(p);
+            }
+        }
+        // Block this trap and all supersets (within this seed's subspace).
+        solver.add_clause(set.iter().map(|p| !s[p]));
+        out.push(set);
     }
-    traps
+    out
+}
+
+/// Enumerate (approximately minimal) initially-marked traps of the
+/// abstraction: iterated SAT with blocking clauses, partitioned by minimum
+/// place. Sequential compatibility form of [`enumerate_traps_with`].
+pub fn enumerate_traps(abs: &Abstraction, max_traps: usize) -> Vec<PlaceSet> {
+    enumerate_traps_with(abs, &DFinderConfig::new().max_traps(max_traps))
+}
+
+/// Enumerate initially-marked traps under `cfg`; see the [module
+/// docs](self) for the seed partition and the determinism argument. The
+/// result is identical for every `cfg.threads` value.
+pub fn enumerate_traps_with(abs: &Abstraction, cfg: &DFinderConfig) -> Vec<PlaceSet> {
+    enumerate_traps_blocking_with(abs, &[], cfg)
+}
+
+/// [`enumerate_traps_with`] with extra blocking: no returned trap is a
+/// superset of any `known` set (the incremental verifier re-enumerates
+/// around its preserved invariants this way).
+pub fn enumerate_traps_blocking_with(
+    abs: &Abstraction,
+    known: &[PlaceSet],
+    cfg: &DFinderConfig,
+) -> Vec<PlaceSet> {
+    if cfg.max_traps == 0 {
+        return Vec::new();
+    }
+    // Seeds: places that can be a trap's minimum at all. The per-seed
+    // subspaces partition the initially-marked traps, so workers never
+    // contend and never duplicate.
+    let seeds: Vec<Place> = (0..abs.num_places).filter(|&p| abs.reachable[p]).collect();
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let threads = cfg.threads.max(1).min(seeds.len());
+    let cap = cfg.max_traps;
+    let mut per_seed: Vec<(usize, Vec<PlaceSet>)> = if threads == 1 {
+        // Sequential fast path: merge consumes seeds in order, so once the
+        // budget is spent no later seed can contribute — stop enumerating.
+        // The per-seed budget shrinks the same way; SAT iteration order is
+        // deterministic, so a budget-cut enumeration is exactly the prefix
+        // the merge would have kept.
+        let never = std::sync::atomic::AtomicBool::new(false);
+        let mut all = Vec::new();
+        let mut found = 0usize;
+        for (i, &p) in seeds.iter().enumerate() {
+            let traps = enumerate_seed(abs, p, known, cap - found, &never);
+            found += traps.len();
+            all.push((i, traps));
+            if found >= cap {
+                break;
+            }
+        }
+        all
+    } else {
+        // Workers drain the seed queue; chunk assignment affects only load
+        // balancing — results are reassembled in seed order below. Early
+        // cancellation is deterministic: seeds are claimed in index order,
+        // so once the *contiguous completed prefix* of seeds already holds
+        // `cap` traps, every unclaimed seed is beyond the merge's horizon
+        // and can be skipped without changing the output.
+        let next = AtomicUsize::new(0);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let counts: Vec<AtomicUsize> = seeds.iter().map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let seeds_ref = &seeds;
+        let counts_ref = &counts;
+        let done_ref = &done;
+        let mut all = Vec::with_capacity(seeds.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            if done_ref.load(Ordering::Acquire) {
+                                break local;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= seeds_ref.len() {
+                                break local;
+                            }
+                            let traps = enumerate_seed(abs, seeds_ref[i], known, cap, done_ref);
+                            if done_ref.load(Ordering::Acquire) {
+                                // Aborted mid-seed: this seed is beyond the
+                                // merge horizon (the done flag only rises
+                                // when the *completed prefix* filled the
+                                // budget, and prefix seeds are claimed in
+                                // order), so its partial output is dropped.
+                                break local;
+                            }
+                            counts_ref[i].store(traps.len(), Ordering::Release);
+                            local.push((i, traps));
+                            // Has the completed prefix filled the budget?
+                            let mut prefix = 0usize;
+                            for c in counts_ref.iter() {
+                                let n = c.load(Ordering::Acquire);
+                                if n == usize::MAX {
+                                    break;
+                                }
+                                prefix += n;
+                                if prefix >= cap {
+                                    done_ref.store(true, Ordering::Release);
+                                    break;
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                all.extend(h.join().expect("trap worker panicked"));
+            }
+        });
+        all.sort_unstable_by_key(|(i, _)| *i);
+        all
+    };
+    // Deterministic merge in seed order through the sharded arena store.
+    // The partition makes cross-seed duplicates impossible, so dedup here
+    // is defense in depth — but the arena is also the canonical storage the
+    // final list is read back from, mirroring `reach`'s seen set.
+    let mut store = TrapStore::new(abs.num_places);
+    let mut refs = Vec::new();
+    'merge: for (_, traps) in per_seed.drain(..) {
+        for t in traps {
+            let (sref, fresh) = store.insert(&t);
+            if fresh {
+                refs.push(sref);
+                if refs.len() >= cap {
+                    break 'merge;
+                }
+            }
+        }
+    }
+    refs.into_iter().map(|r| store.get(r)).collect()
 }
 
 #[cfg(test)]
@@ -798,10 +1211,55 @@ mod tests {
         let traps = enumerate_traps(&abs, 64);
         assert!(!traps.is_empty());
         for t in &traps {
-            let set: FxHashSet<Place> = t.iter().copied().collect();
-            assert!(abs.is_trap(&set), "not a trap: {t:?}");
-            assert!(abs.initial.iter().any(|p| set.contains(p)), "unmarked trap");
+            assert!(abs.is_trap(t), "not a trap: {t:?}");
+            assert!(abs.initial.iter().any(|&p| t.contains(p)), "unmarked trap");
         }
+    }
+
+    #[test]
+    fn trap_enumeration_is_thread_count_invariant() {
+        for (n, two_phase) in [(4usize, false), (4, true)] {
+            let sys = dining_philosophers(n, two_phase).unwrap();
+            let abs = Abstraction::new(&sys);
+            let seq = enumerate_traps_with(&abs, &DFinderConfig::new());
+            for threads in [2usize, 3, 8] {
+                let par = enumerate_traps_with(&abs, &DFinderConfig::new().threads(threads));
+                assert_eq!(seq, par, "n={n} two_phase={two_phase} threads={threads}");
+            }
+            let seq_report =
+                DFinder::with_config(&sys, &DFinderConfig::new()).check_deadlock_freedom();
+            let par_report = DFinder::with_config(&sys, &DFinderConfig::new().threads(8))
+                .check_deadlock_freedom();
+            assert_eq!(seq_report, par_report, "report must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn traps_partition_by_minimum_place() {
+        // Every enumerated trap's minimum place is its seed: distinct traps
+        // never collide across seeds, which is what makes the parallel
+        // merge deduplication-free by construction.
+        let sys = dining_philosophers(4, true).unwrap();
+        let abs = Abstraction::new(&sys);
+        let traps = enumerate_traps(&abs, 256);
+        let mut seen = FxHashSet::default();
+        for t in &traps {
+            assert!(seen.insert(t.clone()), "duplicate trap {t:?}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_hash_set_shim_agrees() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let abs = Abstraction::new(&sys);
+        for t in enumerate_traps(&abs, 16) {
+            let hs: FxHashSet<Place> = t.iter().collect();
+            assert_eq!(abs.is_trap_places(&hs), abs.is_trap(&t));
+        }
+        let not_a_trap: FxHashSet<Place> = [abs.initial[0]].into_iter().collect();
+        let packed = PlaceSet::from_places(abs.num_places, not_a_trap.iter().copied());
+        assert_eq!(abs.is_trap_places(&not_a_trap), abs.is_trap(&packed));
     }
 
     #[test]
@@ -817,7 +1275,7 @@ mod tests {
         queue.push_back(init);
         while let Some(st) = queue.pop_front() {
             for trap in df.traps() {
-                let marked = trap.iter().any(|&p| {
+                let marked = trap.iter().any(|p| {
                     let c = abs.component_of(p);
                     st.locs[c] == abs.location_of(p)
                 });

@@ -10,17 +10,45 @@
 //!
 //! Here: adding a connector only *adds* abstract transitions. An existing
 //! trap is preserved iff the new transitions respect the trap condition on
-//! it (the sufficient condition, checked per-trap in time linear in the new
-//! transitions). Broken traps are dropped and replaced by a bounded
-//! re-enumeration that blocks the still-valid traps — so verification effort
-//! scales with the *change*, not the system.
+//! it (the sufficient condition, one word-wise [`bip_core::PlaceSet`]
+//! intersection test per added transition per trap). Broken traps are
+//! dropped and replaced by a bounded re-enumeration that blocks the
+//! still-valid traps — so verification effort scales with the *change*,
+//! not the system, and the residual re-enumeration runs on the parallel
+//! seed-partitioned engine of [`crate::dfinder`].
+//!
+//! ```
+//! use bip_core::{dining_philosophers, SystemBuilder};
+//! use bip_verify::dfinder::DFinderConfig;
+//! use bip_verify::IncrementalVerifier;
+//!
+//! // Philosophers without the eat interactions, added one at a time.
+//! let full = dining_philosophers(3, false).unwrap();
+//! let mut sb = SystemBuilder::new();
+//! for c in 0..full.num_components() {
+//!     sb.add_instance(full.instance_name(c).to_string(), full.atom_type(c));
+//! }
+//! for conn in full.connectors().iter().filter(|c| c.name.starts_with("rel")) {
+//!     sb.add_connector(conn.clone());
+//! }
+//! let mut inc = IncrementalVerifier::with_config(
+//!     sb.build().unwrap(),
+//!     DFinderConfig::new().threads(2), // results never depend on threads
+//! );
+//! for conn in full.connectors().iter().filter(|c| c.name.starts_with("eat")) {
+//!     let stats = inc.add_interaction(conn.clone()).unwrap();
+//!     assert_eq!(stats.traps_reused + stats.traps_added, inc.traps().len());
+//! }
+//! assert!(inc.check_deadlock_freedom().verdict.is_deadlock_free());
+//! ```
 
 use bip_core::FxHashSet;
 
-use bip_core::{Connector, ModelError, System, SystemBuilder};
+use bip_core::{Connector, ModelError, PlaceSet, System, SystemBuilder};
 
 use crate::dfinder::{
-    enumerate_traps, linear_invariants, Abstraction, DFinder, DFinderReport, LinearInvariant, Place,
+    enumerate_traps_blocking_with, enumerate_traps_with, linear_invariants, Abstraction, DFinder,
+    DFinderConfig, DFinderReport, LinearInvariant,
 };
 
 /// Statistics of one incremental step.
@@ -39,21 +67,28 @@ pub struct IncrementStats {
 pub struct IncrementalVerifier {
     sys: System,
     abs: Abstraction,
-    traps: Vec<Vec<Place>>,
+    traps: Vec<PlaceSet>,
     linear: Vec<LinearInvariant>,
-    max_traps: usize,
+    cfg: DFinderConfig,
 }
 
 impl IncrementalVerifier {
     /// Start from a system (computes the initial invariants from scratch).
     pub fn new(sys: System) -> IncrementalVerifier {
-        Self::with_max_traps(sys, DFinder::DEFAULT_MAX_TRAPS)
+        Self::with_config(sys, DFinderConfig::new())
     }
 
     /// Start with an explicit trap bound.
     pub fn with_max_traps(sys: System, max_traps: usize) -> IncrementalVerifier {
+        Self::with_config(sys, DFinderConfig::new().max_traps(max_traps))
+    }
+
+    /// Start under `cfg` — every (re-)enumeration this verifier runs uses
+    /// `cfg.threads` workers, and like [`DFinder::with_config`] the results
+    /// never depend on the thread count.
+    pub fn with_config(sys: System, cfg: DFinderConfig) -> IncrementalVerifier {
         let abs = Abstraction::new(&sys);
-        let traps = enumerate_traps(&abs, max_traps);
+        let traps = enumerate_traps_with(&abs, &cfg);
         let linear = linear_invariants(
             &abs,
             DFinder::DEFAULT_MAX_COEFF,
@@ -64,7 +99,7 @@ impl IncrementalVerifier {
             abs,
             traps,
             linear,
-            max_traps,
+            cfg,
         }
     }
 
@@ -74,7 +109,7 @@ impl IncrementalVerifier {
     }
 
     /// Current trap invariants.
-    pub fn traps(&self) -> &[Vec<Place>] {
+    pub fn traps(&self) -> &[PlaceSet] {
         &self.traps
     }
 
@@ -98,15 +133,18 @@ impl IncrementalVerifier {
         sb.set_priority(self.sys.priority().clone());
         let new_sys = sb.build()?;
         let new_abs = Abstraction::new(&new_sys);
+        debug_assert_eq!(
+            new_abs.num_places, self.abs.num_places,
+            "adding a connector never adds places"
+        );
 
         // Sufficient condition: the *new* abstract transitions preserve each
         // existing trap. (Old transitions are a prefix of the new transition
         // list only structurally; we simply check all traps against the new
         // abstraction's transitions that were not present before.)
-        let old: FxHashSet<(Vec<Place>, Vec<Place>)> =
-            self.abs.transitions.iter().cloned().collect();
-        let added: Vec<&(Vec<Place>, Vec<Place>)> = new_abs
-            .transitions
+        let old: FxHashSet<&(PlaceSet, PlaceSet)> = self.abs.packed_transitions().iter().collect();
+        let added: Vec<&(PlaceSet, PlaceSet)> = new_abs
+            .packed_transitions()
             .iter()
             .filter(|t| !old.contains(*t))
             .collect();
@@ -114,10 +152,9 @@ impl IncrementalVerifier {
         let mut kept = Vec::new();
         let mut dropped = 0usize;
         for trap in &self.traps {
-            let set: FxHashSet<Place> = trap.iter().copied().collect();
-            let ok = added.iter().all(|(pre, post)| {
-                !pre.iter().any(|p| set.contains(p)) || post.iter().any(|q| set.contains(q))
-            });
+            let ok = added
+                .iter()
+                .all(|(pre, post)| !pre.intersects(trap) || post.intersects(trap));
             if ok {
                 kept.push(trap.clone());
             } else {
@@ -125,11 +162,14 @@ impl IncrementalVerifier {
             }
         }
 
-        // Bounded re-enumeration for replacements, blocking kept traps.
-        let budget = self.max_traps.saturating_sub(kept.len());
+        // Bounded re-enumeration for replacements, blocking kept traps (and
+        // running on the configured worker count — the effort scales with
+        // the *change*, and what effort remains parallelizes).
+        let budget = self.cfg.max_traps.saturating_sub(kept.len());
         let mut added_traps = 0usize;
         if budget > 0 {
-            let fresh = enumerate_traps_blocking(&new_abs, &kept, budget);
+            let cfg = self.cfg.clone().max_traps(budget);
+            let fresh = enumerate_traps_blocking_with(&new_abs, &kept, &cfg);
             added_traps = fresh.len();
             kept.extend(fresh);
         }
@@ -137,17 +177,14 @@ impl IncrementalVerifier {
         let reused = kept.len() - added_traps;
         // Linear invariants: the sufficient condition is orthogonality to
         // the added transition effects; violated ones are dropped and the
-        // (cheap) null-space computation refreshes the set.
+        // (cheap) null-space computation refreshes the set. The abstraction
+        // is 1-safe, so membership is multiplicity.
         let still_valid = self.linear.iter().all(|inv| {
             added.iter().all(|(pre, post)| {
                 let delta: i64 = inv
                     .coeffs
                     .iter()
-                    .map(|&(p, a)| {
-                        let din = post.iter().filter(|&&q| q == p).count() as i64;
-                        let dout = pre.iter().filter(|&&q| q == p).count() as i64;
-                        a * (din - dout)
-                    })
+                    .map(|&(p, a)| a * (post.contains(p) as i64 - pre.contains(p) as i64))
                     .sum();
                 delta == 0
             })
@@ -181,64 +218,10 @@ impl IncrementalVerifier {
     }
 }
 
-/// Enumerate traps while blocking (supersets of) already-known ones.
-fn enumerate_traps_blocking(
-    abs: &Abstraction,
-    known: &[Vec<Place>],
-    max_new: usize,
-) -> Vec<Vec<Place>> {
-    use satkit::{CnfBuilder, Lit};
-    let mut b = CnfBuilder::new();
-    let s: Vec<Lit> = (0..abs.num_places).map(|_| Lit::pos(b.fresh())).collect();
-    for (pre, post) in &abs.transitions {
-        for &p in pre {
-            let mut clause = vec![!s[p]];
-            clause.extend(post.iter().map(|&q| s[q]));
-            b.clause(clause);
-        }
-    }
-    b.clause(abs.initial.iter().map(|&p| s[p]));
-    for (p, reach) in abs.reachable.iter().enumerate() {
-        if !reach {
-            b.assert_lit(!s[p]);
-        }
-    }
-    for t in known {
-        b.clause(t.iter().map(|&p| !s[p]));
-    }
-    let mut out = Vec::new();
-    let solver = b.solver_mut();
-    while out.len() < max_new {
-        if solver.solve().is_unsat() {
-            break;
-        }
-        let mut set: FxHashSet<Place> = (0..abs.num_places)
-            .filter(|&p| solver.value(s[p].var()) == Some(true))
-            .collect();
-        let mut order: Vec<Place> = set.iter().copied().collect();
-        order.sort_unstable();
-        for p in order {
-            if !set.contains(&p) {
-                continue;
-            }
-            set.remove(&p);
-            let marked = abs.initial.iter().any(|q| set.contains(q));
-            if !(marked && !set.is_empty() && abs.is_trap(&set)) {
-                set.insert(p);
-            }
-        }
-        let mut trap: Vec<Place> = set.into_iter().collect();
-        trap.sort_unstable();
-        solver.add_clause(trap.iter().map(|&p| !s[p]));
-        out.push(trap);
-    }
-    out
-}
-
 /// Internal: run the DIS check against externally-supplied invariants.
 struct DFinderFacade<'a> {
     abs: &'a Abstraction,
-    traps: &'a [Vec<Place>],
+    traps: &'a [PlaceSet],
     linear: &'a [LinearInvariant],
 }
 
@@ -265,7 +248,7 @@ impl DFinderFacade<'_> {
             }
         }
         for trap in self.traps {
-            b.clause(trap.iter().map(|&p| at[p]));
+            b.clause(trap.iter().map(|p| at[p]));
         }
         for inv in self.linear {
             crate::dfinder::encode_linear_pub(&mut b, &at, inv);
@@ -393,8 +376,33 @@ mod tests {
         }
         let abs = Abstraction::new(inc.system());
         for t in inc.traps() {
-            let set: FxHashSet<Place> = t.iter().copied().collect();
-            assert!(abs.is_trap(&set), "stale trap kept: {t:?}");
+            assert!(abs.is_trap(t), "stale trap kept: {t:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_is_thread_count_invariant() {
+        let n = 4;
+        let full = bip_core::builder::dining_philosophers(n, false).unwrap();
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut inc = IncrementalVerifier::with_config(
+                base_philosophers(n),
+                DFinderConfig::new().threads(threads),
+            );
+            let mut stats = Vec::new();
+            for conn in full.connectors() {
+                if conn.name.starts_with("eat") {
+                    stats.push(inc.add_interaction(conn.clone()).unwrap());
+                }
+            }
+            reports.push((inc.traps().to_vec(), stats, inc.check_deadlock_freedom()));
+        }
+        let (t1, s1, r1) = &reports[0];
+        for (t, s, r) in &reports[1..] {
+            assert_eq!(t, t1, "trap sets must not depend on threads");
+            assert_eq!(s, s1, "increment stats must not depend on threads");
+            assert_eq!(r, r1, "reports must not depend on threads");
         }
     }
 }

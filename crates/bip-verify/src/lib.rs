@@ -24,13 +24,38 @@
 //!   criterion: weak trace inclusion plus deadlock-freedom preservation,
 //!   exactly the `≥` relation of §5.5.3 used to certify source-to-source
 //!   transformations.
+//!
+//! Both checkers share one contract: **results are independent of the
+//! worker-thread count**. [`reach::ReachConfig`] and
+//! [`dfinder::DFinderConfig`] only change how fast the answer arrives:
+//!
+//! ```
+//! use bip_core::dining_philosophers;
+//! use bip_verify::dfinder::{DFinder, DFinderConfig};
+//! use bip_verify::reach::{explore_with, ReachConfig};
+//!
+//! let sys = dining_philosophers(4, true).unwrap();
+//!
+//! // Monolithic: bounded parallel reachability.
+//! let seq = explore_with(&sys, &ReachConfig::bounded(100_000));
+//! let par = explore_with(&sys, &ReachConfig::bounded(100_000).threads(4));
+//! assert_eq!(seq.states, par.states);
+//! assert_eq!(seq.deadlocks, par.deadlocks);
+//!
+//! // Compositional: parallel trap enumeration.
+//! let df1 = DFinder::with_config(&sys, &DFinderConfig::new()).check_deadlock_freedom();
+//! let df8 = DFinder::with_config(&sys, &DFinderConfig::new().threads(8))
+//!     .check_deadlock_freedom();
+//! assert_eq!(df1, df8);
+//! assert!(!df1.verdict.is_deadlock_free(), "two-phase philosophers deadlock");
+//! ```
 
 pub mod dfinder;
 pub mod equiv;
 pub mod incremental;
 pub mod reach;
 
-pub use dfinder::{DFinder, DFinderReport, Verdict};
+pub use dfinder::{DFinder, DFinderConfig, DFinderReport, Verdict};
 pub use equiv::{refines, weak_trace_equivalent, RefinementReport};
 pub use incremental::IncrementalVerifier;
 pub use reach::{

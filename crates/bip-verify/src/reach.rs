@@ -62,6 +62,20 @@
 //! * `transitions` counts only edges between *stored* states — successors
 //!   pruned by the bound are not counted, so the number is exactly the edge
 //!   count of the explored region.
+//!
+//! ```
+//! use bip_core::dining_philosophers;
+//! use bip_verify::reach::{explore_with, find_deadlock_with, ReachConfig};
+//!
+//! let sys = dining_philosophers(4, true).unwrap();
+//! let cfg = ReachConfig::bounded(1_000_000).threads(4);
+//! let report = explore_with(&sys, &cfg);
+//! assert!(report.complete && !report.deadlocks.is_empty());
+//!
+//! // Same report at any thread count; a found witness is definitive.
+//! let d = find_deadlock_with(&sys, &ReachConfig::bounded(1_000_000));
+//! assert!(d.found() && !d.deadlock_free());
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -72,67 +72,11 @@ fn gas_station_benchmark() {
     // The other standard D-Finder benchmark: one pump, k customers, an
     // operator. Customers prepay the operator, then pump.
     for k in 2..=4 {
-        let sys = gas_station(k);
+        let sys = bench::gas_station(k);
         let df = DFinder::new(&sys).check_deadlock_freedom();
         let exact = explore(&sys, 1_000_000);
         assert!(exact.complete);
         assert!(exact.deadlocks.is_empty());
         assert!(df.verdict.is_deadlock_free(), "k={k}: {df:?}");
     }
-}
-
-fn gas_station(customers: usize) -> bip_core::System {
-    use bip_core::{AtomBuilder, ConnectorBuilder, SystemBuilder};
-    let operator = AtomBuilder::new("operator")
-        .port("prepay")
-        .port("change")
-        .location("idle")
-        .location("serving")
-        .initial("idle")
-        .transition("idle", "prepay", "serving")
-        .transition("serving", "change", "idle")
-        .build()
-        .unwrap();
-    let pump = AtomBuilder::new("pump")
-        .port("start")
-        .port("finish")
-        .location("free")
-        .location("pumping")
-        .initial("free")
-        .transition("free", "start", "pumping")
-        .transition("pumping", "finish", "free")
-        .build()
-        .unwrap();
-    let customer = AtomBuilder::new("customer")
-        .port("pay")
-        .port("pump")
-        .port("done")
-        .location("arrive")
-        .location("paid")
-        .location("fueling")
-        .initial("arrive")
-        .transition("arrive", "pay", "paid")
-        .transition("paid", "pump", "fueling")
-        .transition("fueling", "done", "arrive")
-        .build()
-        .unwrap();
-    let mut sb = SystemBuilder::new();
-    let op = sb.add_instance("op", &operator);
-    let pu = sb.add_instance("pump", &pump);
-    for i in 0..customers {
-        let c = sb.add_instance(format!("cust{i}"), &customer);
-        sb.add_connector(ConnectorBuilder::rendezvous(
-            format!("prepay{i}"),
-            [(c, "pay"), (op, "prepay")],
-        ));
-        sb.add_connector(ConnectorBuilder::rendezvous(
-            format!("start{i}"),
-            [(c, "pump"), (pu, "start"), (op, "change")],
-        ));
-        sb.add_connector(ConnectorBuilder::rendezvous(
-            format!("finish{i}"),
-            [(c, "done"), (pu, "finish")],
-        ));
-    }
-    sb.build().unwrap()
 }

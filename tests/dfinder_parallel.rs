@@ -1,0 +1,128 @@
+//! Parallel compositional verification: the deterministic-parallelism
+//! contract of `bip-verify::dfinder` (reports bit-identical for every
+//! thread count) on hand-written and random systems, plus invariant
+//! preservation across incremental growth.
+
+use bip_core::dining_philosophers;
+use bip_verify::dfinder::{enumerate_traps_with, Abstraction, DFinder, DFinderConfig};
+use bip_verify::IncrementalVerifier;
+use proptest::prelude::*;
+
+mod common;
+use common::random_system;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel trap enumeration ≡ sequential on random systems: the trap
+    /// list — order included — and the full `DFinderReport` must be
+    /// bit-identical for `threads ∈ {1, 2, 8}`.
+    #[test]
+    fn parallel_trap_enumeration_matches_sequential(seed in 0u64..200) {
+        let sys = random_system(seed);
+        let abs = Abstraction::new(&sys);
+        let seq = enumerate_traps_with(&abs, &DFinderConfig::new());
+        for threads in [2usize, 8] {
+            let par = enumerate_traps_with(&abs, &DFinderConfig::new().threads(threads));
+            prop_assert_eq!(&par, &seq);
+        }
+        // Every enumerated trap is a real, initially-marked trap.
+        for t in &seq {
+            prop_assert!(abs.is_trap(t), "seed {}: not a trap: {:?}", seed, t);
+            prop_assert!(
+                abs.initial.iter().any(|&p| t.contains(p)),
+                "seed {}: unmarked trap {:?}", seed, t
+            );
+        }
+        let r1 = DFinder::with_config(&sys, &DFinderConfig::new()).check_deadlock_freedom();
+        let r8 = DFinder::with_config(&sys, &DFinderConfig::new().threads(8))
+            .check_deadlock_freedom();
+        prop_assert_eq!(r1, r8);
+    }
+}
+
+/// `DFinderReport` bit-identity across `threads ∈ {1, 2, 8}` on the
+/// experiment-E1 family (the acceptance shape of the E12 bench, asserted in
+/// the fast test suite too).
+#[test]
+fn reports_bit_identical_across_thread_counts_on_philosophers() {
+    for n in [3usize, 6] {
+        for two_phase in [false, true] {
+            let sys = dining_philosophers(n, two_phase).unwrap();
+            let r1 = DFinder::with_config(&sys, &DFinderConfig::new()).check_deadlock_freedom();
+            for threads in [2usize, 8] {
+                let rt = DFinder::with_config(&sys, &DFinderConfig::new().threads(threads))
+                    .check_deadlock_freedom();
+                assert_eq!(r1, rt, "n={n} two_phase={two_phase} threads={threads}");
+            }
+        }
+    }
+}
+
+/// Regression: `IncrementalVerifier::add_interaction` preserves every
+/// previously-found trap that satisfies the sufficient condition, across
+/// additions that force the sharded trap arena to grow (the store starts
+/// with tiny 8-slot shard tables precisely so this path is routinely
+/// exercised; a `max_traps` of 512 on 8 philosophers overflows several
+/// shards).
+#[test]
+fn incremental_preserves_traps_across_arena_growth() {
+    let n = 8;
+    let full = dining_philosophers(n, false).unwrap();
+    // Start from the release connectors only; add the eat interactions one
+    // at a time, checking preservation at every step.
+    let mut sb = bip_core::SystemBuilder::new();
+    for c in 0..full.num_components() {
+        sb.add_instance(full.instance_name(c).to_string(), full.atom_type(c));
+    }
+    for conn in full.connectors() {
+        if conn.name.starts_with("rel") {
+            sb.add_connector(conn.clone());
+        }
+    }
+    let base = sb.build().unwrap();
+    let mut inc =
+        IncrementalVerifier::with_config(base, DFinderConfig::new().max_traps(512).threads(2));
+    assert!(!inc.traps().is_empty());
+
+    for conn in full.connectors() {
+        if !conn.name.starts_with("eat") {
+            continue;
+        }
+        let before = inc.traps().to_vec();
+        // Predict which traps the sufficient condition keeps: those the
+        // *new* abstract transitions preserve.
+        let mut sb = bip_core::SystemBuilder::new();
+        for c in 0..inc.system().num_components() {
+            sb.add_instance(
+                inc.system().instance_name(c).to_string(),
+                inc.system().atom_type(c),
+            );
+        }
+        for c in inc.system().connectors() {
+            sb.add_connector(c.clone());
+        }
+        sb.add_connector(conn.clone());
+        let new_abs = Abstraction::new(&sb.build().unwrap());
+        let expected_kept: Vec<_> = before
+            .iter()
+            .filter(|t| new_abs.is_trap(t))
+            .cloned()
+            .collect();
+
+        let stats = inc.add_interaction(conn.clone()).unwrap();
+        assert_eq!(
+            stats.traps_reused,
+            expected_kept.len(),
+            "reuse count must match the sufficient condition"
+        );
+        for t in &expected_kept {
+            assert!(
+                inc.traps().contains(t),
+                "preserved trap lost across arena growth: {t:?}"
+            );
+        }
+    }
+    // The grown invariant set still proves the conservative family safe.
+    assert!(inc.check_deadlock_freedom().verdict.is_deadlock_free());
+}
