@@ -26,7 +26,7 @@
 //! Thread counts default to `1,2,4`; override with `--threads 1,4,8` (or
 //! the `E11_THREADS` environment variable).
 
-use bench::{counter_ring, pr1_explore};
+use bench::{counter_ring, pr1_explore, thread_counts};
 use bip_core::{
     dining_philosophers, AtomBuilder, ConnectorBuilder, Expr, State, StateCodec, System,
     SystemBuilder,
@@ -35,22 +35,6 @@ use bip_verify::reach::{explore_with, ReachConfig, ReachReport};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const BOUND: usize = 2_000_000;
-
-/// Thread counts under test: `--threads 1,4,8` > `E11_THREADS` > `1,2,4`.
-fn thread_counts() -> Vec<usize> {
-    let from_args = std::env::args()
-        .skip_while(|a| a != "--threads")
-        .nth(1)
-        .or_else(|| std::env::var("E11_THREADS").ok());
-    let parsed: Vec<usize> = from_args
-        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
-        .unwrap_or_default();
-    if parsed.is_empty() {
-        vec![1, 2, 4]
-    } else {
-        parsed
-    }
-}
 
 /// Randomized ring family: `n` atoms with 3 locations and a mod-3 counter,
 /// rendezvous-linked in a ring. Every location offers both ring ports (so
@@ -210,7 +194,7 @@ fn bench_system(name: &str, sys: &System, threads: &[usize], min_shrink: Option<
 }
 
 fn table() {
-    let threads = thread_counts();
+    let threads = thread_counts("E11_THREADS", &[1, 2, 4]);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("\nE11: packed-state parallel reachability vs PR-1 sequential explore");
     println!("(threads tested: {threads:?}; override with --threads a,b,c)");
@@ -235,7 +219,7 @@ fn table() {
 
 fn bench(c: &mut Criterion) {
     table();
-    let threads = thread_counts();
+    let threads = thread_counts("E11_THREADS", &[1, 2, 4]);
     let mut g = c.benchmark_group("e11");
     g.sample_size(10);
     let sys = dining_philosophers(12, true).unwrap();

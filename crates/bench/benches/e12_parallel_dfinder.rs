@@ -29,7 +29,7 @@
 //! A `BENCH {...}` JSON line per measurement records the trajectory for CI
 //! scraping; the schema is documented in `crates/bench/README.md`.
 
-use bench::{gas_station, unbounded_ring};
+use bench::{gas_station, thread_counts, unbounded_ring};
 use bip_core::{dining_philosophers, InternTable, System};
 use bip_verify::dfinder::{enumerate_traps_with, Abstraction, DFinder, DFinderConfig};
 use bip_verify::reach::{explore_with, ReachConfig};
@@ -41,22 +41,6 @@ const INTERN_BOUND: usize = 150_000;
 /// Trap bound: high enough that ≥24-component models saturate the seed
 /// queue with real work.
 const MAX_TRAPS: usize = 256;
-
-/// Thread counts under test: `--threads 1,4,8` > `E12_THREADS` > `1,2,8`.
-fn thread_counts() -> Vec<usize> {
-    let from_args = std::env::args()
-        .skip_while(|a| a != "--threads")
-        .nth(1)
-        .or_else(|| std::env::var("E12_THREADS").ok());
-    let parsed: Vec<usize> = from_args
-        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
-        .unwrap_or_default();
-    if parsed.is_empty() {
-        vec![1, 2, 8]
-    } else {
-        parsed
-    }
-}
 
 /// One timed sweep over the thread counts (best-of-three per count,
 /// trap-list invariance asserted); returns `(best threads, best speedup)`.
@@ -214,7 +198,7 @@ fn bench_intern_reach(threads: &[usize]) {
 }
 
 fn table() {
-    let threads = thread_counts();
+    let threads = thread_counts("E12_THREADS", &[1, 2, 8]);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("\nE12: parallel compositional deadlock checking + lock-free intern arena");
     println!("(threads tested: {threads:?}; override with --threads a,b,c)");

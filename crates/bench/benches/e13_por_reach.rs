@@ -1,0 +1,190 @@
+//! E13 — persistent-set partial-order reduction vs. exhaustive
+//! interleaving, on the philosophers family (the paper's state-explosion
+//! discussion, §4.3) and the var-heavy counter ring.
+//!
+//! The reduction (`ReachConfig::reduction(Reduction::Persistent)`) runs on
+//! the static independence tables of `bip_core::indep`, computed once
+//! per system from build-time data: per-interaction support rows decide, per expanded
+//! state, a deterministic persistent subset of the enabled interactions to
+//! fire. Component-heavy families spend almost all of their state space on
+//! permutations of independent interactions, so the reduced graph shrinks
+//! multiplicatively with size — and the effect *compounds* with the packed
+//! codec and the parallel engine instead of overlapping them.
+//!
+//! Asserted here (so the CI bench smoke enforces it):
+//!
+//! * **verdict preservation** — deadlock sets, `deadlock_free()`,
+//!   `complete`, `find_deadlock` and `check_invariant` verdicts agree
+//!   between `Reduction::Persistent` and `Reduction::None` on every system
+//!   measured;
+//! * **≥ 3× fewer stored states** on the 16-philosophers family under
+//!   reduction (measured ~30×, growing with n);
+//! * **no regression with reduction off** — `Reduction::None` reports are
+//!   bit-identical to the default configuration's;
+//! * **bit-identity across thread counts** in *both* modes.
+//!
+//! Thread counts default to `1,2,4`; override with `--threads 1,4,8` (or
+//! the `E13_THREADS` environment variable).
+
+use bench::{counter_ring, thread_counts};
+use bip_core::{dining_philosophers, State, StatePred, System};
+use bip_verify::reach::{
+    check_invariant_with, explore_with, find_deadlock_with, ReachConfig, ReachReport, Reduction,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const BOUND: usize = 4_000_000;
+
+fn assert_same(a: &ReachReport, b: &ReachReport, ctx: &str) {
+    assert_eq!(a.states, b.states, "{ctx}: states");
+    assert_eq!(a.transitions, b.transitions, "{ctx}: transitions");
+    assert_eq!(a.complete, b.complete, "{ctx}: complete");
+    assert_eq!(a.deadlocks, b.deadlocks, "{ctx}: deadlock order");
+    assert_eq!(a.stored_bytes, b.stored_bytes, "{ctx}: footprint");
+}
+
+/// Deadlock-verdict equivalence between modes: same deadlock *set* (BFS
+/// order may differ), same completeness, same `deadlock_free()`.
+fn assert_verdicts(full: &ReachReport, red: &ReachReport, ctx: &str) {
+    assert_eq!(full.complete, red.complete, "{ctx}: complete");
+    let a: std::collections::HashSet<&State> = full.deadlocks.iter().collect();
+    let b: std::collections::HashSet<&State> = red.deadlocks.iter().collect();
+    assert_eq!(a, b, "{ctx}: deadlock set");
+    assert_eq!(full.deadlock_free(), red.deadlock_free(), "{ctx}: verdict");
+}
+
+/// Measure one system: exhaustive vs reduced exploration, verdict
+/// equivalence, thread bit-identity in both modes, and the stored-state
+/// shrink factor (asserted ≥ `min_shrink` when set).
+fn bench_system(name: &str, sys: &System, threads: &[usize], min_shrink: Option<f64>) {
+    let t = std::time::Instant::now();
+    let full = explore_with(sys, &ReachConfig::bounded(BOUND));
+    let full_secs = t.elapsed().as_secs_f64();
+    // No regression with reduction off: `Reduction::None` is the default —
+    // an explicit `.reduction(Reduction::None)` must change nothing.
+    let off = explore_with(sys, &ReachConfig::bounded(BOUND).reduction(Reduction::None));
+    assert_same(&off, &full, &format!("{name}: reduction off"));
+
+    let t = std::time::Instant::now();
+    let red = explore_with(
+        sys,
+        &ReachConfig::bounded(BOUND).reduction(Reduction::Persistent),
+    );
+    let red_secs = t.elapsed().as_secs_f64();
+    assert_verdicts(&full, &red, name);
+
+    // Thread bit-identity, both modes.
+    for &th in threads {
+        let f = explore_with(
+            sys,
+            &ReachConfig::bounded(BOUND)
+                .threads(th)
+                .min_parallel_level(1),
+        );
+        assert_same(&f, &full, &format!("{name}: none/threads={th}"));
+        let r = explore_with(
+            sys,
+            &ReachConfig::bounded(BOUND)
+                .reduction(Reduction::Persistent)
+                .threads(th)
+                .min_parallel_level(1),
+        );
+        assert_same(&r, &red, &format!("{name}: persistent/threads={th}"));
+    }
+
+    // Witness-search verdicts agree between modes.
+    let df = find_deadlock_with(sys, &ReachConfig::bounded(BOUND));
+    let dr = find_deadlock_with(
+        sys,
+        &ReachConfig::bounded(BOUND).reduction(Reduction::Persistent),
+    );
+    assert_eq!(df.found(), dr.found(), "{name}: find_deadlock found");
+    assert_eq!(
+        df.deadlock_free(),
+        dr.deadlock_free(),
+        "{name}: find_deadlock verdict"
+    );
+    let inv = StatePred::at(sys, 0, sys.atom_type(0).locations()[0].as_str());
+    let i_full = check_invariant_with(sys, &inv, &ReachConfig::bounded(BOUND));
+    let i_red = check_invariant_with(
+        sys,
+        &inv,
+        &ReachConfig::bounded(BOUND).reduction(Reduction::Persistent),
+    );
+    assert_eq!(i_full.holds(), i_red.holds(), "{name}: invariant verdict");
+    assert_eq!(
+        i_full.violation.is_some(),
+        i_red.violation.is_some(),
+        "{name}: invariant violation found"
+    );
+
+    let shrink = full.states as f64 / red.states.max(1) as f64;
+    println!(
+        "{name:>12} {:>9} states -> {:>8} reduced  ({shrink:>6.2}x, {:.2}s -> {:.2}s)",
+        full.states, red.states, full_secs, red_secs
+    );
+    println!(
+        "BENCH {{\"bench\":\"e13\",\"system\":\"{name}\",\"full_states\":{},\"reduced_states\":{},\"shrink\":{shrink:.2},\"full_secs\":{full_secs:.3},\"reduced_secs\":{red_secs:.3}}}",
+        full.states, red.states,
+    );
+    if let Some(f) = min_shrink {
+        assert!(
+            red.states as f64 * f <= full.states as f64,
+            "{name}: reduction must store >= {f}x fewer states \
+             (full {}, reduced {})",
+            full.states,
+            red.states
+        );
+    } else {
+        assert!(
+            red.states <= full.states,
+            "{name}: reduction must never grow the stored set"
+        );
+    }
+}
+
+fn table() {
+    let threads = thread_counts("E13_THREADS", &[1, 2, 4]);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\nE13: persistent-set partial-order reduction vs exhaustive interleaving");
+    println!("(threads tested: {threads:?}; override with --threads a,b,c)");
+    println!("(host parallelism: {cores})\n");
+    // The deadlocking two-phase family: the acceptance floor is a hard 3x
+    // stored-state shrink at n = 16 (measured ~30x and growing with n).
+    for (n, floor) in [(12usize, None), (16, Some(3.0))] {
+        let sys = dining_philosophers(n, true).unwrap();
+        bench_system(&format!("phil-{n}"), &sys, &threads, floor);
+    }
+    // The deadlock-free conservative variant: verdict preservation on the
+    // "free" side of the trichotomy.
+    let sys = dining_philosophers(10, false).unwrap();
+    bench_system("cphil-10", &sys, &threads, None);
+    // Var-heavy counter ring: data-bearing supports (reads/writes rows)
+    // with singleton `work` connectors — heavy independence among counters.
+    let sys = counter_ring(5, 3);
+    bench_system("cring-5x3", &sys, &threads, None);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e13");
+    g.sample_size(10);
+    let sys = dining_philosophers(12, true).unwrap();
+    g.bench_with_input(BenchmarkId::new("exhaustive", 12), &sys, |b, sys| {
+        b.iter(|| explore_with(sys, &ReachConfig::bounded(BOUND)).states)
+    });
+    g.bench_with_input(BenchmarkId::new("persistent", 12), &sys, |b, sys| {
+        b.iter(|| {
+            explore_with(
+                sys,
+                &ReachConfig::bounded(BOUND).reduction(Reduction::Persistent),
+            )
+            .states
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

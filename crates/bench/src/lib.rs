@@ -2,6 +2,24 @@
 
 use std::collections::{HashMap, VecDeque};
 
+/// Worker-thread counts for a bench sweep: `--threads a,b,c` on the
+/// command line beats the `env_var` environment variable beats `default`.
+/// The shared parser of the e11/e12/e13 benches.
+pub fn thread_counts(env_var: &str, default: &[usize]) -> Vec<usize> {
+    let from_args = std::env::args()
+        .skip_while(|a| a != "--threads")
+        .nth(1)
+        .or_else(|| std::env::var(env_var).ok());
+    let parsed: Vec<usize> = from_args
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        default.to_vec()
+    } else {
+        parsed
+    }
+}
+
 use bip_core::{State, System};
 use bip_verify::reach::ReachReport;
 

@@ -419,6 +419,20 @@ impl System {
         ir.resolve(self.conn_arity(ir.connector))
     }
 
+    /// `true` if `comp` *offers* `port` in `st`: some transition labelled
+    /// by the port leaves the current location with its guard holding.
+    /// The single definition of port-offeredness shared by the enabled-set
+    /// refresh and the partial-order-reduction selector (which must agree
+    /// on it for the reduction's soundness argument).
+    #[inline]
+    pub fn port_offered(&self, st: &State, comp: CompId, port: crate::atom::PortId) -> bool {
+        self.atom_type(comp).port_enabled(
+            crate::atom::LocId(st.locs[comp]),
+            port,
+            self.comp_vars(st, comp),
+        )
+    }
+
     /// Fresh scratch buffer for the enabled-set protocol (fully dirty; the
     /// first [`System::refresh_enabled`] populates it).
     pub fn new_enabled_set(&self) -> EnabledSet {
@@ -464,11 +478,7 @@ impl System {
         let conn = &self.connectors[ci];
         let offered_at = |i: usize| {
             let (comp, port, _) = eps[i];
-            self.atom_type(comp).port_enabled(
-                crate::atom::LocId(st.locs[comp]),
-                port,
-                self.comp_vars(st, comp),
-            )
+            self.port_offered(st, comp, port)
         };
         let guard_holds = || {
             conn.guard.eval_bool(&[], &|k, v| {
@@ -725,62 +735,7 @@ impl System {
                 if filtering && self.priority.dominated_compiled(self, st, ir, es) {
                     continue;
                 }
-                // Per participant, the enabled local transitions for the
-                // connector port, flattened into the pooled buffer.
-                scratch.pool.clear();
-                scratch.choices.clear();
-                for i in mask_endpoints(mask, arity) {
-                    let (comp, port, _) = self.resolved[ci][i];
-                    let ty = self.atom_type(comp);
-                    let vars = self.comp_vars(st, comp);
-                    let start = scratch.pool.len() as u32;
-                    for &tid in ty.transitions_from(crate::atom::LocId(st.locs[comp])) {
-                        let t = ty.transition(tid);
-                        if t.port == Some(port) && t.guard.eval_local(vars) != 0 {
-                            scratch.pool.push(tid);
-                        }
-                    }
-                    debug_assert!(
-                        scratch.pool.len() as u32 > start,
-                        "enabled interaction without a local transition"
-                    );
-                    scratch
-                        .choices
-                        .push((comp, start, scratch.pool.len() as u32));
-                }
-                // Cartesian product over the choices (the odometer of
-                // `expand_interaction`, first participant fastest).
-                scratch.idx.clear();
-                scratch.idx.resize(scratch.choices.len(), 0);
-                'combos: loop {
-                    scratch.combo.clear();
-                    for (k, &(comp, lo, _)) in scratch.choices.iter().enumerate() {
-                        scratch
-                            .combo
-                            .push((comp, scratch.pool[(lo + scratch.idx[k]) as usize]));
-                    }
-                    scratch.next.clone_from(st);
-                    self.fire_interaction_masked(&mut scratch.next, conn, mask, &scratch.combo);
-                    f(
-                        SuccStep::Interaction {
-                            iref: ir,
-                            transitions: &scratch.combo,
-                        },
-                        &scratch.next,
-                    );
-                    let mut k = 0;
-                    loop {
-                        if k == scratch.idx.len() {
-                            break 'combos;
-                        }
-                        scratch.idx[k] += 1;
-                        if scratch.idx[k] < scratch.choices[k].2 - scratch.choices[k].1 {
-                            break;
-                        }
-                        scratch.idx[k] = 0;
-                        k += 1;
-                    }
-                }
+                self.expand_interaction_compiled(st, ir, arity, scratch, &mut f);
             }
         }
         for &c in &self.compiled.internal_comps {
@@ -794,6 +749,116 @@ impl System {
                     },
                     &scratch.next,
                 );
+            }
+        }
+    }
+
+    /// Visit every successor of one enabled step of `st` — the per-step
+    /// slice of [`System::for_each_successor`], in the same order (an
+    /// interaction enumerates its local-transition combinations, first
+    /// participant varying fastest; an internal step has one successor).
+    ///
+    /// `step` must be enabled in `st`; callers select it from a refreshed
+    /// [`EnabledSet`] (the partial-order-reduced explorer fires exactly its
+    /// ample subset this way).
+    pub fn for_each_step_successor<F>(
+        &self,
+        st: &State,
+        scratch: &mut SuccScratch,
+        step: EnabledStep,
+        mut f: F,
+    ) where
+        F: FnMut(SuccStep<'_>, &State),
+    {
+        match step {
+            EnabledStep::Interaction(ir) => {
+                let arity = self.resolved[ir.connector.0 as usize].len();
+                self.expand_interaction_compiled(st, ir, arity, scratch, &mut f);
+            }
+            EnabledStep::Internal {
+                component,
+                transition,
+            } => {
+                scratch.next.clone_from(st);
+                self.fire_local(&mut scratch.next, component, transition);
+                f(
+                    SuccStep::Internal {
+                        component,
+                        transition,
+                    },
+                    &scratch.next,
+                );
+            }
+        }
+    }
+
+    /// Enumerate the local-transition combinations of one enabled
+    /// interaction and hand each successor to `f`.
+    fn expand_interaction_compiled<F>(
+        &self,
+        st: &State,
+        ir: InteractionRef,
+        arity: usize,
+        scratch: &mut SuccScratch,
+        f: &mut F,
+    ) where
+        F: FnMut(SuccStep<'_>, &State),
+    {
+        let ci = ir.connector.0 as usize;
+        // Per participant, the enabled local transitions for the
+        // connector port, flattened into the pooled buffer.
+        scratch.pool.clear();
+        scratch.choices.clear();
+        for i in mask_endpoints(ir.mask, arity) {
+            let (comp, port, _) = self.resolved[ci][i];
+            let ty = self.atom_type(comp);
+            let vars = self.comp_vars(st, comp);
+            let start = scratch.pool.len() as u32;
+            for &tid in ty.transitions_from(crate::atom::LocId(st.locs[comp])) {
+                let t = ty.transition(tid);
+                if t.port == Some(port) && t.guard.eval_local(vars) != 0 {
+                    scratch.pool.push(tid);
+                }
+            }
+            debug_assert!(
+                scratch.pool.len() as u32 > start,
+                "enabled interaction without a local transition"
+            );
+            scratch
+                .choices
+                .push((comp, start, scratch.pool.len() as u32));
+        }
+        // Cartesian product over the choices (the odometer of
+        // `expand_interaction`, first participant fastest).
+        scratch.idx.clear();
+        scratch.idx.resize(scratch.choices.len(), 0);
+        'combos: loop {
+            scratch.combo.clear();
+            for (k, &(comp, lo, _)) in scratch.choices.iter().enumerate() {
+                scratch
+                    .combo
+                    .push((comp, scratch.pool[(lo + scratch.idx[k]) as usize]));
+            }
+            scratch.next.clone_from(st);
+            self.fire_interaction_masked(&mut scratch.next, ir.connector, ir.mask, &scratch.combo);
+            f(
+                SuccStep::Interaction {
+                    iref: ir,
+                    transitions: &scratch.combo,
+                },
+                &scratch.next,
+            );
+            let mut k = 0;
+            loop {
+                if k == scratch.idx.len() {
+                    break 'combos;
+                }
+                scratch.idx[k] += 1;
+                if scratch.idx[k] < scratch.choices[k].2 - scratch.choices[k].1 {
+                    break;
+                }
+                scratch.idx[k] = 0;
+                k += 1;
             }
         }
     }

@@ -94,6 +94,7 @@ pub mod exec;
 pub mod expressiveness;
 pub mod glue;
 pub mod hash;
+pub mod indep;
 pub mod intern;
 pub mod parse;
 pub mod placeset;
@@ -117,6 +118,7 @@ pub use exec::{
     MAX_CONNECTOR_PORTS,
 };
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use indep::{ActionId, AmpleScratch, IndepInfo};
 pub use intern::InternTable;
 pub use parse::{parse_system, ParseError};
 pub use placeset::PlaceSet;

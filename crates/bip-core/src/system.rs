@@ -11,11 +11,14 @@
 
 use std::collections::HashMap;
 
+use std::sync::OnceLock;
+
 use crate::atom::{AtomType, PortId, TransitionId};
 use crate::connector::{ConnId, Connector};
 use crate::data::Value;
 use crate::error::ModelError;
 use crate::exec::CompiledExec;
+use crate::indep::IndepInfo;
 use crate::priority::Priority;
 
 /// Index of a component instance in a [`System`].
@@ -94,6 +97,14 @@ pub struct System {
     /// The compiled schedule: feasible masks, watch lists (see
     /// [`crate::exec`]).
     pub(crate) compiled: CompiledExec,
+    /// Static interaction-independence tables (see [`crate::indep`]),
+    /// computed from the compiled schedule on first use — purely static
+    /// data, but priced only for workloads that read it (verification;
+    /// execution-only users never pay for the dependency matrix). Kept in
+    /// a cell so [`System::priority_mut`] — which changes what the tables
+    /// must conservatively record — can invalidate them; [`System::indep`]
+    /// rebuilds on demand.
+    pub(crate) indep: OnceLock<IndepInfo>,
 }
 
 impl System {
@@ -169,6 +180,7 @@ impl System {
             var_offsets,
             total_vars,
             compiled,
+            indep: OnceLock::new(),
         })
     }
 
@@ -217,8 +229,32 @@ impl System {
 
     /// Mutable access to the priority layer (used by architecture
     /// application and incremental construction).
+    ///
+    /// Invalidates the cached independence tables ([`System::indep`]): the
+    /// dependency a priority edge induces between otherwise-disjoint
+    /// interactions must be recomputed after the layer changes.
     pub fn priority_mut(&mut self) -> &mut Priority {
+        self.indep = OnceLock::new();
         &mut self.priority
+    }
+
+    /// The static interaction-independence tables (see [`crate::indep`]):
+    /// pure build-time data (the compiled schedule, the connectors, the
+    /// priority layer), materialized on first use and rebuilt on demand
+    /// after [`System::priority_mut`].
+    pub fn indep(&self) -> &IndepInfo {
+        self.indep.get_or_init(|| IndepInfo::build(self))
+    }
+
+    /// Total number of variables in the flat global store.
+    pub fn num_vars(&self) -> usize {
+        self.total_vars
+    }
+
+    /// The flat-store index of variable `var` of component `comp` — the
+    /// index space the independence support rows and [`State::vars`] use.
+    pub fn global_var(&self, comp: CompId, var: u32) -> usize {
+        self.var_offsets[comp] + var as usize
     }
 
     /// Resolve an instance name.

@@ -228,15 +228,6 @@ impl Abstraction {
             .iter()
             .all(|(pre, post)| !pre.intersects(set) || post.intersects(set))
     }
-
-    /// The pre-`PlaceSet` form of [`Abstraction::is_trap`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "represent place sets as `bip_core::PlaceSet` and call `is_trap`"
-    )]
-    pub fn is_trap_places(&self, set: &FxHashSet<Place>) -> bool {
-        self.is_trap(&PlaceSet::from_places(self.num_places, set.iter().copied()))
-    }
 }
 
 /// Pack raw transition pre/post lists into deduplicated [`PlaceSet`] pairs.
@@ -546,6 +537,7 @@ pub struct DFinderConfig {
 
 impl DFinderConfig {
     /// Sequential enumeration with the default trap bound.
+    #[must_use]
     pub fn new() -> DFinderConfig {
         DFinderConfig {
             threads: 1,
@@ -554,12 +546,14 @@ impl DFinderConfig {
     }
 
     /// Set the worker-thread count (clamped to at least 1).
+    #[must_use]
     pub fn threads(mut self, threads: usize) -> DFinderConfig {
         self.threads = threads.max(1);
         self
     }
 
     /// Set the trap bound.
+    #[must_use]
     pub fn max_traps(mut self, max_traps: usize) -> DFinderConfig {
         self.max_traps = max_traps;
         self
@@ -577,6 +571,7 @@ impl Default for DFinderConfig {
 /// Derives `Eq`: the report is **bit-identical for every
 /// [`DFinderConfig::threads`] value**, which the E12 bench and the
 /// workspace property tests assert by direct comparison.
+#[must_use = "inspect `verdict`; an unread report silently drops the analysis"]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DFinderReport {
     /// The verdict.
@@ -1246,20 +1241,6 @@ mod tests {
         for t in &traps {
             assert!(seen.insert(t.clone()), "duplicate trap {t:?}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_hash_set_shim_agrees() {
-        let sys = dining_philosophers(3, true).unwrap();
-        let abs = Abstraction::new(&sys);
-        for t in enumerate_traps(&abs, 16) {
-            let hs: FxHashSet<Place> = t.iter().collect();
-            assert_eq!(abs.is_trap_places(&hs), abs.is_trap(&t));
-        }
-        let not_a_trap: FxHashSet<Place> = [abs.initial[0]].into_iter().collect();
-        let packed = PlaceSet::from_places(abs.num_places, not_a_trap.iter().copied());
-        assert_eq!(abs.is_trap_places(&not_a_trap), abs.is_trap(&packed));
     }
 
     #[test]

@@ -12,6 +12,14 @@
 //! analysis on both sides. [`weak_trace_equivalent`] checks inclusion both
 //! ways. These are the certificates used by `bip-distributed` and the
 //! architecture layer to establish *vertical correctness*.
+//!
+//! The observable-LTS extraction here deliberately does **not** apply the
+//! partial-order reduction of [`crate::reach`]
+//! (`ReachConfig::reduction`): trace inclusion quantifies over the
+//! *observable orderings* of interactions, and collapsing interleavings
+//! of independent-but-observable interactions would change the very
+//! relation being decided. Reduction stays a reachability-side
+//! optimization; the equivalence checker enumerates the full LTS.
 
 use std::collections::{BTreeSet, VecDeque};
 

@@ -61,4 +61,5 @@ pub use incremental::IncrementalVerifier;
 pub use reach::{
     check_invariant, check_invariant_with, explore, explore_with, find_deadlock,
     find_deadlock_with, CodecMode, DeadlockReport, InvariantReport, ReachConfig, ReachReport,
+    Reduction,
 };

@@ -37,6 +37,55 @@
 //! [`bip_core::EnabledSet`], successor buffer, and decode scratch), then
 //! merged shard-parallel into the per-shard seen sets.
 //!
+//! # Partial-order reduction
+//!
+//! [`ReachConfig::reduction`] selects between exhaustive interleaving
+//! ([`Reduction::None`], the default) and a **persistent-set partial-order
+//! reduction** ([`Reduction::Persistent`]) driven by the static
+//! independence tables of [`bip_core::indep`]: at each expanded state a
+//! deterministic stubborn-set closure — seeded from the canonical
+//! [`bip_core::StateCodec::state_hash`], so the choice is thread-count- and
+//! codec-invariant — picks a provably sufficient subset of the enabled
+//! interactions to fire. Interleavings of statically independent
+//! interactions collapse, so `states`/`transitions` (and `stored_bytes`)
+//! legitimately shrink, while every *verdict* is preserved:
+//!
+//! * [`find_deadlock_with`] and the deadlock list of [`explore_with`] are
+//!   deadlock-preserving unconditionally — every reachable deadlock of the
+//!   full semantics is reached (persistent sets are never empty at
+//!   non-deadlock states, and a deadlock has no interleavings to cut);
+//! * [`check_invariant_with`] additionally refuses any reduced set
+//!   containing an action whose write support intersects the predicate's
+//!   support (the visibility check, reusing the same
+//!   [`bip_core::indep::IndepInfo`] rows), and closes the classical cycle
+//!   proviso through the level-synchronous structure: a state whose ample
+//!   set was reduced and that has a successor already stored at its
+//!   level's entry — the only way a cycle can close under BFS — is
+//!   re-expanded in full.
+//!
+//! For a fixed `Reduction` mode, reports remain bit-identical across
+//! thread counts and codecs; across modes the verdicts (deadlock
+//! found/free, invariant holds/violated, the completeness flag on complete
+//! runs) agree.
+//!
+//! ```
+//! use bip_core::dining_philosophers;
+//! use bip_verify::reach::{explore_with, ReachConfig, Reduction};
+//!
+//! let sys = dining_philosophers(6, true).unwrap();
+//! let full = explore_with(&sys, &ReachConfig::bounded(1_000_000));
+//! let red = explore_with(
+//!     &sys,
+//!     &ReachConfig::bounded(1_000_000).reduction(Reduction::Persistent),
+//! );
+//! assert!(red.states < full.states, "independent interleavings collapse");
+//! assert_eq!(red.complete, full.complete);
+//! assert_eq!(red.deadlock_free(), full.deadlock_free());
+//! let a: std::collections::HashSet<_> = red.deadlocks.iter().collect();
+//! let b: std::collections::HashSet<_> = full.deadlocks.iter().collect();
+//! assert_eq!(a, b, "every deadlock is preserved");
+//! ```
+//!
 //! Results are **deterministic and independent of the thread count and the
 //! codec**: shard assignment hashes canonical location/value content (not
 //! layout-dependent packed words), chunk order and merge order are fixed by
@@ -80,8 +129,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bip_core::hash::FxHasher;
+use bip_core::indep::IndepInfo;
 use bip_core::{
-    EnabledSet, PackedState, State, StateCodec, StatePred, Step, SuccScratch, System, WidenReq,
+    AmpleScratch, EnabledSet, PackedState, PlaceSet, State, StateCodec, StatePred, Step,
+    SuccScratch, System, WidenReq,
 };
 use std::hash::Hasher;
 
@@ -142,6 +193,20 @@ pub enum CodecMode {
     Custom(StateCodec),
 }
 
+/// Interleaving-reduction strategy of an exploration; see the
+/// [module docs](self) and [`ReachConfig::reduction`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Reduction {
+    /// Enumerate every interleaving (the exhaustive baseline).
+    #[default]
+    None,
+    /// Persistent-set partial-order reduction over the static independence
+    /// tables of [`bip_core::indep`]. Verdicts are preserved;
+    /// `states`/`transitions` counts legitimately shrink. Reports stay
+    /// bit-identical across thread counts and codecs for this mode.
+    Persistent,
+}
+
 /// Configuration for a state-space exploration.
 #[derive(Debug, Clone)]
 pub struct ReachConfig {
@@ -155,49 +220,70 @@ pub struct ReachConfig {
     /// `threads > 1` — spawning would cost more than the work, and results
     /// are identical either way. Lower it (e.g. to 1) to force the
     /// parallel machinery onto small frontiers, as the equivalence tests
-    /// do.
+    /// do. `0` is normalized to `1` (every level at least considers the
+    /// configured thread count).
     pub min_parallel_level: usize,
     /// State packing profile (reports do not depend on it).
     pub codec: CodecMode,
+    /// Interleaving-reduction strategy ([`Reduction::None`] by default;
+    /// verdicts do not depend on it, state/transition counts do).
+    pub reduction: Reduction,
 }
 
 impl ReachConfig {
     /// Sequential exploration bounded at `max_states`.
+    #[must_use]
     pub fn bounded(max_states: usize) -> ReachConfig {
         ReachConfig {
             max_states,
             threads: 1,
             min_parallel_level: 128,
             codec: CodecMode::Adaptive,
+            reduction: Reduction::None,
         }
     }
 
     /// Set the worker-thread count (clamped to at least 1).
+    #[must_use]
     pub fn threads(mut self, threads: usize) -> ReachConfig {
         self.threads = threads.max(1);
         self
     }
 
-    /// Set the level width below which work stays on the calling thread.
+    /// Set the level width below which work stays on the calling thread
+    /// (clamped to at least 1 — `0` would otherwise read as "parallelize
+    /// even empty levels", which is the same thing).
+    #[must_use]
     pub fn min_parallel_level(mut self, width: usize) -> ReachConfig {
-        self.min_parallel_level = width;
+        self.min_parallel_level = width.max(1);
         self
     }
 
     /// Pack stored states with the full-width reference codec.
+    #[must_use]
     pub fn full_width_codec(mut self) -> ReachConfig {
         self.codec = CodecMode::FullWidth;
         self
     }
 
     /// Start from a caller-supplied codec (widened on demand).
+    #[must_use]
     pub fn with_codec(mut self, codec: StateCodec) -> ReachConfig {
         self.codec = CodecMode::Custom(codec);
+        self
+    }
+
+    /// Set the interleaving-reduction strategy (see the
+    /// [module docs](self)).
+    #[must_use]
+    pub fn reduction(mut self, reduction: Reduction) -> ReachConfig {
+        self.reduction = reduction;
         self
     }
 }
 
 /// Result of a state-space exploration.
+#[must_use = "inspect `complete` and the deadlock list; an unread report hides bound exhaustion"]
 #[derive(Debug, Clone)]
 pub struct ReachReport {
     /// Number of distinct states stored.
@@ -234,6 +320,7 @@ impl ReachReport {
 }
 
 /// Result of checking a state invariant over the reachable states.
+#[must_use = "inspect `holds()`; an unread report hides bound exhaustion"]
 #[derive(Debug, Clone)]
 pub struct InvariantReport {
     /// Number of distinct states stored when the check returned.
@@ -261,6 +348,7 @@ impl InvariantReport {
 /// Unlike a bare `Option`, this keeps "no deadlock found" distinguishable
 /// from "the bound was exhausted before the search could finish":
 /// [`DeadlockReport::deadlock_free`] is only `true` for a complete search.
+#[must_use = "inspect `deadlock_free()`; an unread report hides bound exhaustion"]
 #[derive(Debug, Clone)]
 pub struct DeadlockReport {
     /// Number of distinct states stored when the search returned.
@@ -287,22 +375,33 @@ impl DeadlockReport {
     }
 }
 
+/// Partial-order-reduction context of one engine run: the system's static
+/// independence tables plus, in invariant mode, the visible-action row
+/// (whose presence also switches on the BFS cycle proviso).
+struct PorCtx<'a> {
+    indep: &'a IndepInfo,
+    visible: Option<PlaceSet>,
+}
+
 /// Reusable per-worker scratch: the compiled enabled-set, the
-/// allocation-free successor scratch, and a decode target. A warmed worker
+/// allocation-free successor scratch, a decode target, and — under
+/// partial-order reduction — the ample-selector scratch. A warmed worker
 /// allocates per *stored* state (the arena words and, when tracing, the
 /// step), not per *expanded* edge.
 struct Expander {
     es: EnabledSet,
     scratch: SuccScratch,
     state: State,
+    ample: Option<AmpleScratch>,
 }
 
 impl Expander {
-    fn new(sys: &System) -> Expander {
+    fn new(sys: &System, por: bool) -> Expander {
         Expander {
             es: sys.new_enabled_set(),
             scratch: sys.new_succ_scratch(),
             state: sys.initial_state(),
+            ample: por.then(|| sys.indep().new_scratch(sys)),
         }
     }
 
@@ -323,6 +422,90 @@ impl Expander {
             f(s, next);
         });
         any
+    }
+
+    /// Decode `words`, refresh the enabled set, and run the ample selector.
+    /// Returns whether a strict reduction was selected; the decoded state
+    /// and refreshed enabled set stay in `self` for [`Expander::fire`].
+    fn plan(&mut self, sys: &System, codec: &StateCodec, words: &[u64], por: &PorCtx<'_>) -> bool {
+        codec.decode_words_into(words, &mut self.state);
+        self.es.invalidate_all();
+        sys.refresh_enabled(&self.state, &mut self.es);
+        let hash = codec.state_hash(&self.state);
+        por.indep.select_ample(
+            sys,
+            &self.state,
+            &self.es,
+            hash,
+            por.visible.as_ref(),
+            self.ample.as_mut().expect("POR worker carries a selector"),
+        )
+    }
+
+    /// Cycle-proviso pre-pass over the planned ample successors: `true`
+    /// when any of them satisfies `probe` (the callers probe for "already
+    /// stored at this level's entry", the canonical back-edge test that is
+    /// identical between the fused and the phase-A paths).
+    ///
+    /// The pre-pass re-enumerates the ample successors that
+    /// [`Expander::fire`] will generate again — a deliberate trade-off: it
+    /// runs only for *reduced* states in invariant mode, where the shrunk
+    /// graph already amortizes the duplicate enumeration, and buffering
+    /// packed successors across the passes would put an allocation on the
+    /// common path to save work on the reduced one.
+    fn ample_hits<P>(&mut self, sys: &System, por: &PorCtx<'_>, mut probe: P) -> bool
+    where
+        P: FnMut(&State) -> bool,
+    {
+        let ample = self.ample.as_ref().expect("planned before probing");
+        let mut hit = false;
+        for &aid in ample.ample() {
+            if hit {
+                break;
+            }
+            sys.for_each_step_successor(
+                &self.state,
+                &mut self.scratch,
+                por.indep.action(aid as usize),
+                |_, next| {
+                    if !hit && probe(next) {
+                        hit = true;
+                    }
+                },
+            );
+        }
+        hit
+    }
+
+    /// Fire the planned expansion: the ample subset when `reduced`, the
+    /// full successor set otherwise (the enabled set is already refreshed,
+    /// so nothing is recomputed). Returns whether the state had any
+    /// successor.
+    fn fire<F>(&mut self, sys: &System, por: &PorCtx<'_>, reduced: bool, mut f: F) -> bool
+    where
+        F: FnMut(bip_core::SuccStep<'_>, &State),
+    {
+        if reduced {
+            let ample = self.ample.as_ref().expect("planned before firing");
+            for &aid in ample.ample() {
+                sys.for_each_step_successor(
+                    &self.state,
+                    &mut self.scratch,
+                    por.indep.action(aid as usize),
+                    &mut f,
+                );
+            }
+            // A strict reduction implies ≥ 2 enabled actions, each with at
+            // least one successor.
+            true
+        } else {
+            let mut any = false;
+            sys.for_each_successor(&self.state, &mut self.es, &mut self.scratch, |s, next| {
+                any = true;
+                f(s, next);
+            });
+            any
+        }
     }
 }
 
@@ -386,23 +569,32 @@ impl Shard {
         &self.arena[idx * self.stride..idx * self.stride + self.stride]
     }
 
-    /// Membership probe (shared-read safe: phase A probes while the shard
-    /// is immutable).
+    /// Membership probe returning the stored state's arena index (its
+    /// insertion rank — the cycle proviso compares it against the
+    /// level-entry snapshot). Shared-read safe: phase A probes while the
+    /// shard is immutable.
     #[inline]
-    fn contains(&self, words: &[u64], hash: u64) -> bool {
+    fn find(&self, words: &[u64], hash: u64) -> Option<usize> {
         let mask = self.slots.len() - 1;
         let fp = (hash >> 32) as u32;
         let mut i = hash as usize & mask;
         loop {
             let s = self.slots[i];
             if s == EMPTY_SLOT {
-                return false;
+                return None;
             }
-            if (s >> 32) as u32 == fp && self.state_words((s & 0xffff_ffff) as usize) == words {
-                return true;
+            let idx = (s & 0xffff_ffff) as usize;
+            if (s >> 32) as u32 == fp && self.state_words(idx) == words {
+                return Some(idx);
             }
             i = (i + 1) & mask;
         }
+    }
+
+    /// Membership probe.
+    #[inline]
+    fn contains(&self, words: &[u64], hash: u64) -> bool {
+        self.find(words, hash).is_some()
     }
 
     /// Insert if absent; returns the new state's index, or `None` when the
@@ -579,11 +771,13 @@ struct EngineOut {
 /// probe is safe and saves materializing the duplicate majority. A value
 /// overflowing the codec aborts the chunk with the widen request; phase A
 /// commits nothing, so the caller simply migrates and re-runs the level.
+#[allow(clippy::too_many_arguments)] // one engine-internal call site
 fn expand_chunk(
     sys: &System,
     codec: &StateCodec,
     shards: &[Shard],
     mode: Mode<'_>,
+    por: Option<&PorCtx<'_>>,
     entries: &[(u64, u64)],
     base: usize,
     ex: &mut Expander,
@@ -593,9 +787,33 @@ fn expand_chunk(
     let mut deadlocks = Vec::new();
     let mut dup_transitions = 0usize;
     let mut enc = codec.new_packed();
+    let mut enc_probe = codec.new_packed();
     let mut req: Option<WidenReq> = None;
     for (i, (sref, node)) in entries.iter().enumerate() {
-        let any = ex.for_each(sys, codec, ref_words(shards, *sref), |sstep, next| {
+        // Partial-order reduction: plan the ample subset; in invariant mode
+        // a reduced state with a successor already stored (phase A reads
+        // the level-entry seen set, so this is exactly the fused path's
+        // back-edge test) re-expands fully — the cycle proviso.
+        let reduced = match por {
+            None => None,
+            Some(pc) => {
+                let mut r = ex.plan(sys, codec, ref_words(shards, *sref), pc);
+                if r && pc.visible.is_some() {
+                    let hit = ex.ample_hits(sys, pc, |next| {
+                        if codec.try_encode_into(next, &mut enc_probe).is_err() {
+                            return false; // the widen surfaces in the main pass
+                        }
+                        let si = shard_index(codec, next);
+                        shards[si].contains(enc_probe.words(), word_hash(enc_probe.words()))
+                    });
+                    if hit {
+                        r = false;
+                    }
+                }
+                Some(r)
+            }
+        };
+        let body = |sstep: bip_core::SuccStep<'_>, next: &State| {
             if req.is_some() {
                 return;
             }
@@ -621,7 +839,11 @@ fn expand_chunk(
                 step: tracing.then(|| Box::new(sstep.to_step(sys))),
                 violates,
             });
-        });
+        };
+        let any = match reduced {
+            None => ex.for_each(sys, codec, ref_words(shards, *sref), body),
+            Some(r) => ex.fire(sys, por.expect("reduced implies POR"), r, body),
+        };
         if let Some(r) = req {
             return Err(r);
         }
@@ -671,6 +893,25 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
         CodecMode::FullWidth => StateCodec::new(sys),
         CodecMode::Custom(c) => c.clone(),
     };
+    // Partial-order reduction context. Deadlock search and plain
+    // exploration are deadlock-preserving under any persistent selection;
+    // invariant checking additionally carries the predicate's
+    // visible-action row, which both vetoes reduced sets that could hide a
+    // violation and switches on the cycle proviso. An oversized action
+    // table (no dependency matrix) means the selector always declines, so
+    // the whole POR dispatch is skipped rather than paid per state.
+    let por: Option<PorCtx<'_>> = match (cfg.reduction, mode) {
+        (Reduction::None, _) => None,
+        (Reduction::Persistent, _) if sys.indep().is_oversized() => None,
+        (Reduction::Persistent, Mode::Invariant(inv)) => Some(PorCtx {
+            indep: sys.indep(),
+            visible: Some(sys.indep().visible_actions(sys, inv)),
+        }),
+        (Reduction::Persistent, _) => Some(PorCtx {
+            indep: sys.indep(),
+            visible: None,
+        }),
+    };
     let init = sys.initial_state();
 
     // The initial state is checked (and stored) unconditionally, matching
@@ -705,12 +946,16 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
     let mut complete = true;
     let mut deadlock_states: Vec<State> = Vec::new();
     let mut frontier: Vec<(u64, u64)> = vec![(node_ref(si0, idx0), NO_NODE)];
-    let mut workers: Vec<Expander> = (0..threads).map(|_| Expander::new(sys)).collect();
+    let mut workers: Vec<Expander> = (0..threads)
+        .map(|_| Expander::new(sys, por.is_some()))
+        .collect();
     // Reused per-shard next-frontier buckets for the sequential fast path.
     let mut buckets: Vec<Vec<(u64, u64)>> = (0..SHARDS).map(|_| Vec::new()).collect();
 
-    // Scratch for the fused sequential path.
+    // Scratch for the fused sequential path (`enc_probe` is the cycle
+    // proviso's, so the pre-pass never clobbers the insert buffer).
     let mut enc = codec.new_packed();
+    let mut enc_probe = codec.new_packed();
     let mut cur: Vec<u64> = Vec::new();
 
     'level: while !frontier.is_empty() {
@@ -751,7 +996,38 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                 // appends to the same arenas.
                 cur.clear();
                 cur.extend_from_slice(ref_words(&shards, *sref));
-                let any = ex.for_each(sys, &codec, &cur, |sstep, next| {
+                // Partial-order reduction: plan the ample subset, then — in
+                // invariant mode — run the cycle-proviso pre-pass: a
+                // reduced state with a successor already stored at this
+                // level's entry could close a cycle, so it expands fully.
+                // Same-level inserts (arena index at or past the snapshot)
+                // are next-level states and never close a cycle; skipping
+                // them keeps the decision identical to phase A's read-only
+                // probe.
+                let reduced = match &por {
+                    None => None,
+                    Some(pc) => {
+                        let mut r = ex.plan(sys, &codec, &cur, pc);
+                        if r && pc.visible.is_some() {
+                            let hit = ex.ample_hits(sys, pc, |next| {
+                                if codec.try_encode_into(next, &mut enc_probe).is_err() {
+                                    // The widen surfaces in the main pass.
+                                    return false;
+                                }
+                                let si = shard_index(&codec, next);
+                                let h = word_hash(enc_probe.words());
+                                shards[si]
+                                    .find(enc_probe.words(), h)
+                                    .is_some_and(|idx| idx < snap_lens[si].0)
+                            });
+                            if hit {
+                                r = false;
+                            }
+                        }
+                        Some(r)
+                    }
+                };
+                let body = |sstep: bip_core::SuccStep<'_>, next: &State| {
                     if widen_req.is_some() || violation.is_some() {
                         return;
                     }
@@ -789,7 +1065,11 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                         }
                     }
                     buckets[si].push((node_ref(si, idx), nref));
-                });
+                };
+                let any = match reduced {
+                    None => ex.for_each(sys, &codec, &cur, body),
+                    Some(r) => ex.fire(sys, por.as_ref().expect("reduced implies POR"), r, body),
+                };
                 if let Some(r) = widen_req {
                     // Repack-on-widen: roll the level back to its entry
                     // snapshot, migrate the kept prefix to the widened
@@ -861,6 +1141,7 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
             let codec_ref = &codec;
             let next_ref = &next;
             let shards_ref = &shards;
+            let por_ref = por.as_ref();
             std::thread::scope(|s| {
                 let handles: Vec<_> = workers
                     .iter_mut()
@@ -879,6 +1160,7 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                                     codec_ref,
                                     shards_ref,
                                     mode,
+                                    por_ref,
                                     &frontier_ref[lo..hi],
                                     lo,
                                     ex,
@@ -1136,7 +1418,7 @@ pub fn states_where(sys: &System, pred: &StatePred, max_states: usize) -> (Vec<S
         let mut queue = std::collections::VecDeque::new();
         let mut hits = Vec::new();
         let mut complete = true;
-        let mut ex = Expander::new(sys);
+        let mut ex = Expander::new(sys, false);
         let init = sys.initial_state();
         let pinit = match codec.try_encode(&init) {
             Ok(p) => p,
@@ -1495,6 +1777,263 @@ mod tests {
             ad.stored_bytes,
             full.stored_bytes
         );
+    }
+
+    #[test]
+    fn reduction_preserves_verdicts_and_shrinks() {
+        for (n, two_phase) in [(5usize, true), (5, false), (8, true)] {
+            let sys = dining_philosophers(n, two_phase).unwrap();
+            let cfg = ReachConfig::bounded(1_000_000);
+            let rcfg = cfg.clone().reduction(Reduction::Persistent);
+            let full = explore_with(&sys, &cfg);
+            let red = explore_with(&sys, &rcfg);
+            assert!(full.complete && red.complete);
+            assert!(
+                red.states < full.states,
+                "{n}/{two_phase}: reduction must shrink ({} vs {})",
+                red.states,
+                full.states
+            );
+            // Every deadlock is preserved (as a set; BFS order may differ).
+            let a: std::collections::HashSet<&State> = red.deadlocks.iter().collect();
+            let b: std::collections::HashSet<&State> = full.deadlocks.iter().collect();
+            assert_eq!(a, b, "{n}/{two_phase}: deadlock sets");
+            assert_eq!(red.deadlock_free(), full.deadlock_free());
+
+            let df = find_deadlock_with(&sys, &cfg);
+            let dr = find_deadlock_with(&sys, &rcfg);
+            assert_eq!(df.found(), dr.found(), "{n}/{two_phase}");
+            assert_eq!(df.deadlock_free(), dr.deadlock_free());
+            if let Some((st, trace)) = &dr.witness {
+                // A reduced witness is definitive: replay it.
+                let mut cur = sys.initial_state();
+                for step in trace {
+                    match step {
+                        Step::Interaction {
+                            interaction,
+                            transitions,
+                        } => sys.fire_interaction(&mut cur, interaction, transitions),
+                        Step::Internal {
+                            component,
+                            transition,
+                        } => sys.fire_local(&mut cur, *component, *transition),
+                    }
+                }
+                assert_eq!(&cur, st, "witness trace replays to the deadlock");
+                assert!(sys.successors(st).is_empty(), "witness is a deadlock");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_preserves_deadlocks_under_cross_component_transfer_reads() {
+        // Regression: a partial broadcast `{t}` whose transfer reads the
+        // *non-participating* receiver's variable. Component supports are
+        // disjoint from the receiver's bump action, but the effects do not
+        // commute (x := y before vs after the bump differ), so the
+        // reduction must treat them as dependent — an earlier dependency
+        // matrix that only intersected component supports dropped the
+        // x = 0 deadlock here.
+        let t = AtomBuilder::new("t")
+            .var("x", 0)
+            .port_exporting("snd", ["x"])
+            .location("l")
+            .location("m")
+            .initial("l")
+            .transition("l", "snd", "m")
+            .build()
+            .unwrap();
+        let o = AtomBuilder::new("o")
+            .var("y", 0)
+            .port_exporting("rcv", ["y"])
+            .port("bump")
+            .location("l")
+            .location("m")
+            .initial("l")
+            .transition("l", "rcv", "m")
+            .guarded_transition(
+                "l",
+                "bump",
+                Expr::var(0).lt(Expr::int(1)),
+                vec![("y", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let ti = sb.add_instance("t", &t);
+        let oi = sb.add_instance("o", &o);
+        sb.add_connector(
+            ConnectorBuilder::broadcast("bc", (ti, "snd"), [(oi, "rcv")]).transfer(
+                0,
+                0,
+                Expr::param(1, 0),
+            ),
+        );
+        sb.add_connector(ConnectorBuilder::singleton("bump", oi, "bump"));
+        let sys = sb.build().unwrap();
+        let full = explore(&sys, 1000);
+        let red = explore_with(
+            &sys,
+            &ReachConfig::bounded(1000).reduction(Reduction::Persistent),
+        );
+        assert!(full.complete && red.complete);
+        let a: std::collections::HashSet<&State> = full.deadlocks.iter().collect();
+        let b: std::collections::HashSet<&State> = red.deadlocks.iter().collect();
+        assert_eq!(a, b, "every x/y combination must survive the reduction");
+    }
+
+    #[test]
+    fn reduction_is_thread_count_invariant() {
+        for (n, two_phase) in [(6usize, true), (5, false)] {
+            let sys = dining_philosophers(n, two_phase).unwrap();
+            let seq = explore_with(
+                &sys,
+                &ReachConfig::bounded(1_000_000).reduction(Reduction::Persistent),
+            );
+            for threads in [2usize, 4, 8] {
+                let par = explore_with(
+                    &sys,
+                    &ReachConfig::bounded(1_000_000)
+                        .reduction(Reduction::Persistent)
+                        .threads(threads)
+                        .min_parallel_level(1),
+                );
+                assert_reports_match(&par, &seq, &format!("POR {n}/{two_phase}/{threads}"));
+                assert_eq!(par.stored_bytes, seq.stored_bytes, "POR footprint");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_preserves_invariant_verdicts() {
+        // Mutual exclusion holds on the conservative variant; POR with the
+        // visibility check and the cycle proviso must agree, including in
+        // parallel.
+        let sys = dining_philosophers(5, false).unwrap();
+        let inv = StatePred::mutex(&sys, [(0, "eating"), (1, "eating")]);
+        let full = check_invariant(&sys, &inv, 1_000_000);
+        assert!(full.holds());
+        for threads in [1usize, 4] {
+            let red = check_invariant_with(
+                &sys,
+                &inv,
+                &ReachConfig::bounded(1_000_000)
+                    .reduction(Reduction::Persistent)
+                    .threads(threads)
+                    .min_parallel_level(1),
+            );
+            assert!(red.holds(), "threads {threads}: POR must preserve holds()");
+        }
+        // A violated invariant stays violated, and the reduced witness is
+        // a genuine violation.
+        let bad = StatePred::at(&sys, 0, "eating").not();
+        for threads in [1usize, 4] {
+            let red = check_invariant_with(
+                &sys,
+                &bad,
+                &ReachConfig::bounded(1_000_000)
+                    .reduction(Reduction::Persistent)
+                    .threads(threads)
+                    .min_parallel_level(1),
+            );
+            let (st, _) = red.violation.expect("phil0 does eventually eat");
+            assert!(!bad.eval(&sys, &st), "witness genuinely violates");
+        }
+    }
+
+    #[test]
+    fn reduction_bounded_runs_stay_thread_invariant() {
+        let sys = dining_philosophers(6, true).unwrap();
+        for bound in [1usize, 13, 200] {
+            let seq = explore_with(
+                &sys,
+                &ReachConfig::bounded(bound).reduction(Reduction::Persistent),
+            );
+            let par = explore_with(
+                &sys,
+                &ReachConfig::bounded(bound)
+                    .reduction(Reduction::Persistent)
+                    .threads(4)
+                    .min_parallel_level(1),
+            );
+            assert_reports_match(&par, &seq, &format!("POR bound {bound}"));
+        }
+    }
+
+    #[test]
+    fn reduction_with_forced_widen_replays() {
+        // The selector is keyed by the canonical state hash, so repacking
+        // mid-search must not change the reduced report.
+        let sys = chain6();
+        let reference = explore_with(
+            &sys,
+            &ReachConfig::bounded(1000)
+                .reduction(Reduction::Persistent)
+                .full_width_codec(),
+        );
+        let narrowed = sys.adaptive_codec().with_narrowed_var(&sys, 0, 1);
+        let r = explore_with(
+            &sys,
+            &ReachConfig::bounded(1000)
+                .reduction(Reduction::Persistent)
+                .with_codec(narrowed),
+        );
+        assert_reports_match(&r, &reference, "POR + forced widen");
+    }
+
+    #[test]
+    fn min_parallel_level_zero_normalizes_to_one() {
+        // Builder normalization: 0 and 1 are the same configuration.
+        assert_eq!(
+            ReachConfig::bounded(10)
+                .min_parallel_level(0)
+                .min_parallel_level,
+            1
+        );
+        let sys = dining_philosophers(4, true).unwrap();
+        let a = explore_with(
+            &sys,
+            &ReachConfig::bounded(100_000)
+                .threads(4)
+                .min_parallel_level(0),
+        );
+        let b = explore_with(
+            &sys,
+            &ReachConfig::bounded(100_000)
+                .threads(4)
+                .min_parallel_level(1),
+        );
+        assert_reports_match(&a, &b, "min_parallel_level 0 vs 1");
+        assert_eq!(a.stored_bytes, b.stored_bytes);
+        // Direct struct construction bypasses the builder; the dispatch
+        // site's own clamp keeps 0 from underflowing the width test.
+        let cfg = ReachConfig {
+            min_parallel_level: 0,
+            ..ReachConfig::bounded(100_000).threads(4)
+        };
+        let c = explore_with(&sys, &cfg);
+        assert_reports_match(&c, &b, "raw min_parallel_level 0");
+    }
+
+    #[test]
+    fn min_parallel_level_boundary_widths() {
+        // The initial frontier has width 1 and the philosophers' second
+        // level width 4: thresholds at, above, and below those widths pick
+        // different dispatch paths, and every one of them must produce the
+        // same report (that is what makes the threshold a pure performance
+        // knob).
+        let sys = dining_philosophers(4, true).unwrap();
+        let reference = explore_with(&sys, &ReachConfig::bounded(100_000));
+        for w in [1usize, 2, 4, 5, usize::MAX] {
+            let r = explore_with(
+                &sys,
+                &ReachConfig::bounded(100_000)
+                    .threads(4)
+                    .min_parallel_level(w),
+            );
+            assert_reports_match(&r, &reference, &format!("threshold {w}"));
+        }
     }
 
     #[test]
