@@ -1,0 +1,274 @@
+//! E14 — SAT-based bounded model checking vs. explicit bounded search: the
+//! symbolic engine's reason to exist is bugs that sit at *moderate depth*
+//! under *huge breadth* (§4.3's state-explosion discussion from the other
+//! side: when even the reduced interleaving graph outgrows the budget, depth
+//! is the only tractable axis).
+//!
+//! The planted family makes that concrete: one guarded counter carries a bug
+//! at depth `D` (`n == D` becomes reachable after exactly `D` increments)
+//! while `m` independent two-location toggles pad the breadth — explicit BFS
+//! must wade through ~`2^m` interleavings per level and exhausts a 20k-state
+//! budget around depth 24, while BMC unrolls straight to the bug.
+//!
+//! Asserted here (so the CI bench smoke enforces it):
+//!
+//! * **explicit search is genuinely out of budget** — `check_invariant_with`
+//!   at 20k states returns `complete == false` with *no* violation on the
+//!   planted family;
+//! * **BMC finds the planted bug** — bound `D` yields a violation whose
+//!   (concretely replayed) trace has exactly `D` steps, and bound `D - 1`
+//!   proves its absence;
+//! * **one persistent solver** — per-frame variable counts are strictly
+//!   monotone, the per-unrolling variable delta is *exactly constant* from
+//!   depth 2 on (each unrolling allocates the same encoding structure — a
+//!   fresh solver per depth would reset the count), and the original-clause
+//!   count (total minus learnts) never decreases and grows per depth by at
+//!   most the first unrolling's delta (no clause is ever re-added);
+//! * **sanity on a real model** — two-phase dining philosophers reach the
+//!   all-`hasL` configuration at depth exactly `n`, and BMC agrees with the
+//!   exhaustive explicit engine at bounds `n - 1` and `n`.
+
+use bip_core::{
+    dining_philosophers, AtomBuilder, ConnectorBuilder, Expr, GExpr, StatePred, System,
+    SystemBuilder,
+};
+use bip_verify::bmc::{BmcConfig, BmcOutcome, BmcReport};
+use bip_verify::reach::{check_invariant_with, ReachConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Depth of the planted bug (`n == DEPTH` first reachable after `DEPTH`
+/// increments) and number of independent breadth-padding toggles.
+const DEPTH: usize = 30;
+const TOGGLES: usize = 10;
+/// Explicit-state budget the planted family must exhaust.
+const EXPLICIT_BUDGET: usize = 20_000;
+
+/// One guarded counter (internal transitions, bug at depth `depth`) plus
+/// `toggles` independent two-location components on singleton connectors.
+fn planted(depth: i64, toggles: usize) -> System {
+    let counter = AtomBuilder::new("counter")
+        .location("run")
+        .initial("run")
+        .var("n", 0)
+        .internal_transition(
+            "run",
+            Expr::var(0).lt(Expr::int(depth)),
+            vec![("n", Expr::var(0).add(Expr::int(1)))],
+            "run",
+        )
+        .build()
+        .unwrap();
+    let toggle = AtomBuilder::new("toggle")
+        .port("t")
+        .location("a")
+        .location("b")
+        .initial("a")
+        .transition("a", "t", "b")
+        .transition("b", "t", "a")
+        .build()
+        .unwrap();
+    let mut sb = SystemBuilder::new();
+    sb.add_instance("cnt", &counter);
+    for i in 0..toggles {
+        let c = sb.add_instance(format!("tgl{i}"), &toggle);
+        sb.add_connector(ConnectorBuilder::singleton(format!("flip{i}"), c, "t"));
+    }
+    sb.build().unwrap()
+}
+
+/// The planted invariant: the counter never reaches `depth`.
+fn planted_invariant(depth: i64) -> StatePred {
+    StatePred::Eq(GExpr::var(0, 0), GExpr::int(depth)).not()
+}
+
+/// Assert the single-persistent-solver frame-stat laws on a BMC report.
+fn assert_incremental(r: &BmcReport, ctx: &str) {
+    let vars: Vec<usize> = r.frames.iter().map(|f| f.vars).collect();
+    assert!(
+        vars.windows(2).all(|w| w[1] > w[0]),
+        "{ctx}: variable counts must grow monotonically in one solver: {vars:?}"
+    );
+    let deltas: Vec<usize> = vars.windows(2).map(|w| w[1] - w[0]).collect();
+    if deltas.len() >= 3 {
+        assert!(
+            deltas[1..].windows(2).all(|w| w[0] == w[1]),
+            "{ctx}: each unrolling allocates the same structure, so variable \
+             deltas must be constant from depth 2 on: {deltas:?}"
+        );
+    }
+    let originals: Vec<usize> = r
+        .frames
+        .iter()
+        .map(|f| f.clauses - f.learnts.min(f.clauses))
+        .collect();
+    assert!(
+        originals.windows(2).all(|w| w[1] >= w[0]),
+        "{ctx}: original clauses are never re-added or retracted: {originals:?}"
+    );
+    if originals.len() >= 3 {
+        // Depth 0 holds only the initial frame; the first *unrolling* delta
+        // is between depths 1 and 2 and bounds all later ones.
+        let first = originals[2] - originals[1];
+        assert!(
+            originals[2..].windows(2).all(|w| w[1] - w[0] <= first),
+            "{ctx}: per-depth original-clause growth bounded by the first \
+             unrolling's delta: {originals:?}"
+        );
+    }
+}
+
+fn bench_planted() {
+    let sys = planted(DEPTH as i64, TOGGLES);
+    let inv = planted_invariant(DEPTH as i64);
+
+    // Explicit bounded search drowns in breadth: budget exhausted, bug missed.
+    let t = std::time::Instant::now();
+    let explicit = check_invariant_with(&sys, &inv, &ReachConfig::bounded(EXPLICIT_BUDGET));
+    let explicit_secs = t.elapsed().as_secs_f64();
+    assert!(
+        !explicit.complete,
+        "planted family must exhaust the {EXPLICIT_BUDGET}-state budget"
+    );
+    assert!(
+        explicit.violation.is_none(),
+        "the depth-{DEPTH} bug must sit beyond the explicit budget"
+    );
+
+    // BMC one below the bug: a genuine depth-(D-1) absence proof.
+    let t = std::time::Instant::now();
+    let below = BmcConfig::new(&sys)
+        .bound(DEPTH - 1)
+        .check_invariant(&inv)
+        .unwrap();
+    let below_secs = t.elapsed().as_secs_f64();
+    assert!(
+        matches!(below.outcome, BmcOutcome::NoViolationWithin(_)),
+        "counter cannot reach {DEPTH} in {} steps",
+        DEPTH - 1
+    );
+    assert_incremental(&below, "planted/below");
+
+    // BMC at the bug depth: violation, replayed concretely, exactly D steps.
+    let t = std::time::Instant::now();
+    let at = BmcConfig::new(&sys)
+        .bound(DEPTH)
+        .check_invariant(&inv)
+        .unwrap();
+    let bmc_secs = t.elapsed().as_secs_f64();
+    let (trace, states) = at.violation().expect("BMC must find the planted bug");
+    assert_eq!(trace.len(), DEPTH, "shortest witness is {DEPTH} increments");
+    assert_eq!(states.len(), DEPTH + 1);
+    assert_incremental(&at, "planted/at");
+
+    let last = at.frames.last().unwrap();
+    println!(
+        "{:>12} explicit: {} states, incomplete, no bug ({explicit_secs:.2}s)",
+        format!("planted-{DEPTH}x{TOGGLES}"),
+        explicit.states
+    );
+    println!(
+        "{:>12} bmc: bound {DEPTH} -> {DEPTH}-step trace, {} vars, {} clauses, {} conflicts \
+         ({bmc_secs:.2}s; absence proof at {} in {below_secs:.2}s)",
+        "",
+        last.vars,
+        last.clauses,
+        last.conflicts,
+        DEPTH - 1
+    );
+    println!(
+        "BENCH {{\"bench\":\"e14\",\"system\":\"planted-{DEPTH}x{TOGGLES}\",\"explicit_states\":{},\"explicit_complete\":false,\"explicit_found\":false,\"bmc_bound\":{DEPTH},\"bmc_trace_len\":{},\"solver_vars\":{},\"solver_clauses\":{},\"conflicts\":{},\"explicit_secs\":{explicit_secs:.3},\"bmc_secs\":{bmc_secs:.3}}}",
+        explicit.states,
+        trace.len(),
+        last.vars,
+        last.clauses,
+        last.conflicts,
+    );
+}
+
+fn bench_philosophers() {
+    for n in [3usize, 4] {
+        let sys = dining_philosophers(n, true).unwrap();
+        // hasL is location index 1; all-hasL is the classic circular wait.
+        let inv = StatePred::And((0..n).map(|i| StatePred::at_loc(i, 1)).collect()).not();
+
+        let explicit = check_invariant_with(&sys, &inv, &ReachConfig::bounded(1_000_000));
+        assert!(explicit.complete);
+        let depth = explicit
+            .violation
+            .as_ref()
+            .expect("two-phase deadlock")
+            .1
+            .len();
+        assert_eq!(depth, n, "all-hasL is reachable in exactly n takeL steps");
+
+        let below = BmcConfig::new(&sys)
+            .bound(n - 1)
+            .check_invariant(&inv)
+            .unwrap();
+        assert!(matches!(below.outcome, BmcOutcome::NoViolationWithin(_)));
+        let t = std::time::Instant::now();
+        let at = BmcConfig::new(&sys).bound(n).check_invariant(&inv).unwrap();
+        let secs = t.elapsed().as_secs_f64();
+        let (trace, _) = at.violation().expect("violation at the exact depth");
+        assert_eq!(trace.len(), n);
+        assert_incremental(&at, "phil");
+
+        let last = at.frames.last().unwrap();
+        println!(
+            "{:>12} bmc: bound {n} -> {n}-step trace, {} vars, {} conflicts ({secs:.2}s)",
+            format!("phil-{n}"),
+            last.vars,
+            last.conflicts
+        );
+        println!(
+            "BENCH {{\"bench\":\"e14\",\"system\":\"phil-{n}\",\"explicit_states\":{},\"explicit_complete\":true,\"explicit_found\":true,\"bmc_bound\":{n},\"bmc_trace_len\":{},\"solver_vars\":{},\"solver_clauses\":{},\"conflicts\":{},\"explicit_secs\":0,\"bmc_secs\":{secs:.3}}}",
+            explicit.states,
+            trace.len(),
+            last.vars,
+            last.clauses,
+            last.conflicts,
+        );
+    }
+}
+
+fn table() {
+    println!("\nE14: SAT-based bounded model checking vs explicit bounded search");
+    println!("(planted family: depth-{DEPTH} bug behind {TOGGLES} breadth-padding toggles)\n");
+    bench_planted();
+    bench_philosophers();
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e14");
+    g.sample_size(10);
+    let sys = planted(DEPTH as i64, TOGGLES);
+    let inv = planted_invariant(DEPTH as i64);
+    g.bench_with_input(BenchmarkId::new("bmc_planted", DEPTH), &sys, |b, sys| {
+        b.iter(|| {
+            BmcConfig::new(sys)
+                .bound(DEPTH)
+                .check_invariant(&inv)
+                .unwrap()
+                .violation()
+                .is_some()
+        })
+    });
+    let phil = dining_philosophers(4, true).unwrap();
+    let phil_inv = StatePred::And((0..4).map(|i| StatePred::at_loc(i, 1)).collect()).not();
+    g.bench_with_input(BenchmarkId::new("bmc_phil", 4), &phil, |b, sys| {
+        b.iter(|| {
+            BmcConfig::new(sys)
+                .bound(4)
+                .check_invariant(&phil_inv)
+                .unwrap()
+                .violation()
+                .is_some()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -100,6 +100,7 @@ pub mod parse;
 pub mod placeset;
 mod predicate;
 mod priority;
+pub mod sym;
 mod system;
 pub mod width;
 
@@ -124,4 +125,5 @@ pub use parse::{parse_system, ParseError};
 pub use placeset::PlaceSet;
 pub use predicate::{GExpr, StatePred};
 pub use priority::{Priority, PriorityRule};
+pub use sym::{StepEncoder, SymError};
 pub use system::{CompId, Interaction, State, Step, System};

@@ -1,0 +1,1685 @@
+//! Symbolic (CNF) encoding of one step of a [`System`]'s transition relation.
+//!
+//! This module bit-blasts the compiled operational semantics to CNF so that
+//! SAT-based engines (bounded model checking in `bip-verify::bmc`, and the
+//! k-induction/IC3 work queued behind it) can reason about executions without
+//! enumerating states:
+//!
+//! * **Locations** — each component's control location is a binary-encoded
+//!   bit-vector of `ceil(log2(num_locations))` bits.
+//! * **Data variables** — each flat store slot is a bit-vector whose width
+//!   comes from the [`crate::width`] interval analysis: a variable proven to
+//!   stay in `[lo, hi]` is stored as an offset binary code of
+//!   `ceil(log2(hi - lo + 1))` bits (constants cost **zero** bits). A
+//!   variable the analysis cannot bound makes [`StepEncoder::new`] *decline*
+//!   with [`SymError::UnboundedVar`] — the encoder never silently truncates.
+//! * **Expressions** — guards, connector guards, transfers and updates are
+//!   encoded by *exact enumeration*: the (interval-bounded) support of an
+//!   expression is enumerated, each assignment gets a Tseitin indicator
+//!   literal, and the concrete [`Expr::eval`] computes the case's value, so
+//!   symbolic and concrete semantics agree by construction (including
+//!   wrapping arithmetic, `x/0 = 0`, and `x%0 = x`). Supports whose domain
+//!   product exceeds the configured budget are declined with
+//!   [`SymError::SupportTooLarge`].
+//! * **Interactions** — one selector literal per (connector, feasible mask)
+//!   pair and per internal transition; selectors imply enabledness (offered
+//!   ports + connector guard), imply the absence of priority vetoes
+//!   (mirroring `dominated_compiled`: guarded rules and maximal progress),
+//!   and exactly one selector fires per frame. Components untouched by the
+//!   fired action keep their location and variables (frame condition).
+//!
+//! # Example
+//!
+//! Encode one step of a one-component counter and ask the solver for the
+//! state after the step:
+//!
+//! ```
+//! use bip_core::sym::StepEncoder;
+//! use bip_core::{AtomBuilder, Expr, SystemBuilder};
+//! use satkit::CnfBuilder;
+//!
+//! let counter = AtomBuilder::new("counter")
+//!     .location("run")
+//!     .initial("run")
+//!     .var("n", 0)
+//!     .internal_transition(
+//!         "run",
+//!         Expr::var(0).lt(Expr::int(3)),
+//!         vec![("n", Expr::var(0).add(Expr::int(1)))],
+//!         "run",
+//!     )
+//!     .build()
+//!     .unwrap();
+//! let mut sb = SystemBuilder::new();
+//! sb.add_instance("c", &counter);
+//! let sys = sb.build().unwrap();
+//!
+//! let mut enc = StepEncoder::new(&sys).unwrap();
+//! let mut b = CnfBuilder::new();
+//! let mut f0 = enc.new_frame(&mut b);
+//! let f1 = enc.new_frame(&mut b);
+//! enc.assert_initial(&mut b, &f0);
+//! let _step = enc.encode_step(&mut b, &mut f0, &f1).unwrap();
+//! assert!(b.solver_mut().solve().is_sat());
+//! let model = b.solver_mut().model();
+//! let after = enc.decode_state(&f1, &model);
+//! assert_eq!(after.vars[0], 1); // n was incremented by the only action
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use satkit::{CnfBuilder, Lit};
+
+use crate::atom::{PortId, TransitionId};
+use crate::connector::ConnId;
+use crate::data::{Expr, Value};
+use crate::exec::mask_endpoints;
+use crate::hash::FxHashMap;
+use crate::predicate::{GExpr, StatePred};
+use crate::system::{CompId, Interaction, State, Step, System};
+use crate::width::infer_ranges;
+
+/// Default budget for expression-support enumeration: the product of the
+/// domain sizes of an expression's support variables must not exceed this.
+pub const DEFAULT_ENUM_BUDGET: u64 = 4096;
+
+/// Why the encoder declined a system (soundness guard: the encoder refuses
+/// rather than producing a CNF that disagrees with the concrete semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymError {
+    /// The [`crate::width`] interval analysis could not bound a variable, so
+    /// no finite bit-vector represents it exactly.
+    UnboundedVar {
+        /// Instance name of the owning component.
+        component: String,
+        /// Name of the unbounded variable.
+        variable: String,
+    },
+    /// An expression's support would need more enumerated assignments than
+    /// the configured budget allows (see [`StepEncoder::enum_budget`]).
+    SupportTooLarge {
+        /// Human-readable description of the expression being encoded.
+        context: String,
+        /// Number of assignments the enumeration would need.
+        combinations: u128,
+        /// The configured budget it exceeded.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for SymError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymError::UnboundedVar {
+                component,
+                variable,
+            } => write!(
+                f,
+                "cannot encode: variable {variable:?} of component {component:?} has no finite \
+                 bound (interval analysis returned TOP)"
+            ),
+            SymError::SupportTooLarge {
+                context,
+                combinations,
+                budget,
+            } => write!(
+                f,
+                "cannot encode {context}: support enumeration needs {combinations} assignments, \
+                 budget is {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SymError {}
+
+/// An offset binary bit-vector: the represented value is
+/// `lo + Σ 2^j · bits[j]`, constrained to stay `≤ hi`. `bits` is empty for
+/// compile-time constants (`lo == hi`).
+#[derive(Debug, Clone)]
+struct Bv {
+    lo: i64,
+    hi: i64,
+    bits: Vec<Lit>,
+}
+
+impl Bv {
+    fn constant(v: i64) -> Bv {
+        Bv {
+            lo: v,
+            hi: v,
+            bits: Vec::new(),
+        }
+    }
+
+    /// Domain size as `u128` (never overflows: the domain is a sub-range of
+    /// `i64`).
+    fn domain(&self) -> u128 {
+        (self.hi as i128 - self.lo as i128 + 1) as u128
+    }
+}
+
+/// Bits needed to represent `0..domain` values.
+fn width_for(domain: u128) -> usize {
+    if domain <= 1 {
+        0
+    } else {
+        (128 - (domain - 1).leading_zeros()) as usize
+    }
+}
+
+/// A support variable of an expression being enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Key {
+    /// `Expr::Var(i)` — local variable of the component being encoded.
+    Local(u32),
+    /// `Expr::Param(k, v)` — variable `v` of connector endpoint `k`.
+    Param(u32, u32),
+    /// `GExpr::Var` resolved to a flat store index.
+    Global(usize),
+}
+
+/// Result of enumerating an expression: either the same value on every
+/// in-domain assignment, or one `(indicator, value)` case per assignment.
+/// The indicators are exhaustive and mutually exclusive over in-domain
+/// states, so derived facts (`value == c`, `value != 0`, …) are exact.
+enum Cases {
+    Const(i64),
+    Split(Vec<(Lit, i64)>),
+}
+
+/// One frame (time-step) of the unrolled transition relation: the bit-vector
+/// state variables plus per-frame caches of derived literals. Create frames
+/// with [`StepEncoder::new_frame`]; frames are only meaningful together with
+/// the encoder (and `CnfBuilder`) that produced them.
+#[derive(Debug)]
+pub struct SymFrame {
+    /// Location bit-vector per component.
+    locs: Vec<Bv>,
+    /// Bit-vector per flat store slot.
+    vars: Vec<Bv>,
+    /// Cache: `(comp, loc)` → "comp is at loc" literal.
+    at_loc: FxHashMap<(CompId, u32), Lit>,
+    /// Cache: `(comp, transition)` → transition-guard literal (pre-state).
+    guards: FxHashMap<(CompId, u32), Lit>,
+    /// Cache: `(comp, port)` → "comp offers port" literal.
+    offered: FxHashMap<(CompId, u32), Lit>,
+    /// Cache: connector index → connector-guard literal.
+    conn_guards: FxHashMap<usize, Lit>,
+}
+
+/// One action of an encoded step: either a `(connector, mask)` interaction
+/// with its per-endpoint transition choice literals, or an internal
+/// transition of a single component.
+#[derive(Debug, Clone)]
+enum ActionVar {
+    Interaction {
+        conn: usize,
+        mask: u32,
+        sel: Lit,
+        /// Per participating endpoint (in endpoint order): the component and
+        /// its candidate `(transition, choice literal)` pairs.
+        choices: Vec<(CompId, Vec<(TransitionId, Lit)>)>,
+    },
+    Internal {
+        comp: CompId,
+        tid: TransitionId,
+        sel: Lit,
+    },
+}
+
+/// The selector/choice literals of one encoded step, as returned by
+/// [`StepEncoder::encode_step`]. Feed a satisfying model to
+/// [`StepEncoder::decode_step`] to recover the fired [`Step`].
+#[derive(Debug)]
+pub struct StepVars {
+    actions: Vec<ActionVar>,
+}
+
+/// Tseitin encoder for one step of a [`System`]'s transition relation.
+///
+/// Construction runs the [`crate::width`] interval analysis and **declines**
+/// ([`SymError::UnboundedVar`]) if any variable cannot be finitely
+/// represented. The encoder is then used frame-by-frame:
+/// [`StepEncoder::new_frame`] allocates the state bits of one time step,
+/// [`StepEncoder::assert_initial`] pins frame 0 to the initial state, and
+/// [`StepEncoder::encode_step`] adds the transition-relation clauses between
+/// two consecutive frames.
+pub struct StepEncoder<'a> {
+    sys: &'a System,
+    /// Proven `[lo, hi]` bound per flat store slot.
+    ranges: Vec<(i64, i64)>,
+    budget: u64,
+    /// Lazily created literal that is constrained true (shared by all
+    /// constant-valued gates).
+    const_true: Option<Lit>,
+}
+
+impl<'a> StepEncoder<'a> {
+    /// Build an encoder for `sys`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SymError::UnboundedVar`] if the interval analysis cannot
+    /// bound some variable — encoding such a system exactly is impossible
+    /// with finite bit-vectors, and the encoder refuses to truncate.
+    pub fn new(sys: &'a System) -> Result<StepEncoder<'a>, SymError> {
+        let inferred = infer_ranges(sys);
+        let mut ranges = Vec::with_capacity(inferred.len());
+        for (flat, r) in inferred.iter().enumerate() {
+            match r {
+                Some((lo, hi)) => ranges.push((*lo, *hi)),
+                None => {
+                    let (comp, var) = flat_owner(sys, flat);
+                    return Err(SymError::UnboundedVar {
+                        component: sys.instance_name(comp).to_string(),
+                        variable: sys.atom_type(comp).var_name(var).to_string(),
+                    });
+                }
+            }
+        }
+        Ok(StepEncoder {
+            sys,
+            ranges,
+            budget: DEFAULT_ENUM_BUDGET,
+            const_true: None,
+        })
+    }
+
+    /// Replace the support-enumeration budget (default
+    /// [`DEFAULT_ENUM_BUDGET`]).
+    #[must_use]
+    pub fn enum_budget(mut self, budget: u64) -> StepEncoder<'a> {
+        self.budget = budget.max(1);
+        self
+    }
+
+    /// The proven `[lo, hi]` interval of flat store slot `flat`.
+    #[must_use]
+    pub fn var_range(&self, flat: usize) -> (i64, i64) {
+        self.ranges[flat]
+    }
+
+    /// Total state bits per frame (location bits + variable bits).
+    #[must_use]
+    pub fn state_bits(&self) -> usize {
+        let loc_bits: usize = (0..self.sys.num_components())
+            .map(|c| width_for(self.sys.atom_type(c).locations().len() as u128))
+            .sum();
+        let var_bits: usize = self
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| width_for((hi as i128 - lo as i128 + 1) as u128))
+            .sum();
+        loc_bits + var_bits
+    }
+
+    // ---- constants and small gates -------------------------------------
+
+    fn lit_const(&mut self, b: &mut CnfBuilder, v: bool) -> Lit {
+        let t = *self.const_true.get_or_insert_with(|| {
+            let l = Lit::pos(b.fresh());
+            b.assert_lit(l);
+            l
+        });
+        if v {
+            t
+        } else {
+            !t
+        }
+    }
+
+    fn and_lits(&mut self, b: &mut CnfBuilder, ls: Vec<Lit>) -> Lit {
+        if ls.is_empty() {
+            self.lit_const(b, true)
+        } else {
+            b.and(ls)
+        }
+    }
+
+    fn or_lits(&mut self, b: &mut CnfBuilder, ls: Vec<Lit>) -> Lit {
+        if ls.is_empty() {
+            self.lit_const(b, false)
+        } else {
+            b.or(ls)
+        }
+    }
+
+    /// Literal meaning `bv == v` (exact; constant false if out of range).
+    fn eq_lit(&mut self, b: &mut CnfBuilder, bv: &Bv, v: i64) -> Lit {
+        if v < bv.lo || v > bv.hi {
+            return self.lit_const(b, false);
+        }
+        if bv.bits.is_empty() {
+            return self.lit_const(b, true);
+        }
+        let code = (v as i128 - bv.lo as i128) as u128;
+        let ls: Vec<Lit> = bv
+            .bits
+            .iter()
+            .enumerate()
+            .map(|(j, &bit)| if code >> j & 1 == 1 { bit } else { !bit })
+            .collect();
+        self.and_lits(b, ls)
+    }
+
+    // ---- frames --------------------------------------------------------
+
+    /// Allocate the state bit-vectors of one frame and constrain every code
+    /// to its proven domain (`unsigned(bits) ≤ hi - lo`, the standard
+    /// lexicographic comparison clauses — O(width²) literals, never an
+    /// enumeration of forbidden codes).
+    pub fn new_frame(&self, b: &mut CnfBuilder) -> SymFrame {
+        let sys = self.sys;
+        let mut locs = Vec::with_capacity(sys.num_components());
+        for c in 0..sys.num_components() {
+            let n = sys.atom_type(c).locations().len() as i64;
+            locs.push(alloc_bv(b, 0, n - 1));
+        }
+        let vars = self
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| alloc_bv(b, lo, hi))
+            .collect();
+        SymFrame {
+            locs,
+            vars,
+            at_loc: FxHashMap::default(),
+            guards: FxHashMap::default(),
+            offered: FxHashMap::default(),
+            conn_guards: FxHashMap::default(),
+        }
+    }
+
+    /// Pin `frame` to the system's initial state (unit clauses).
+    pub fn assert_initial(&self, b: &mut CnfBuilder, frame: &SymFrame) {
+        let init = self.sys.initial_state();
+        for (c, bv) in frame.locs.iter().enumerate() {
+            assert_bv_value(b, bv, i64::from(init.locs[c]));
+        }
+        for (i, bv) in frame.vars.iter().enumerate() {
+            assert_bv_value(b, bv, init.vars[i]);
+        }
+    }
+
+    /// Decode `frame`'s state bits out of a solver model (as returned by
+    /// `satkit::Solver::model`). Unassigned bits decode as 0.
+    #[must_use]
+    pub fn decode_state(&self, frame: &SymFrame, model: &[Option<bool>]) -> State {
+        let locs = frame
+            .locs
+            .iter()
+            .map(|bv| decode_bv(bv, model) as u32)
+            .collect();
+        let vars = frame.vars.iter().map(|bv| decode_bv(bv, model)).collect();
+        State { locs, vars }
+    }
+
+    // ---- expression enumeration ----------------------------------------
+
+    /// Enumerate `eval` over the product of the `items` domains.
+    fn enumerate<F: Fn(&BTreeMap<Key, i64>) -> i64>(
+        &mut self,
+        b: &mut CnfBuilder,
+        items: &[(Key, Bv)],
+        ctx: &str,
+        eval: F,
+    ) -> Result<Cases, SymError> {
+        let mut combos: u128 = 1;
+        for (_, bv) in items {
+            combos = combos.saturating_mul(bv.domain());
+        }
+        if combos > u128::from(self.budget) {
+            return Err(SymError::SupportTooLarge {
+                context: ctx.to_string(),
+                combinations: combos,
+                budget: self.budget,
+            });
+        }
+        // Pass 1: concrete values for every assignment.
+        let mut vals: Vec<i64> = items.iter().map(|(_, bv)| bv.lo).collect();
+        let mut outs: Vec<i64> = Vec::with_capacity(combos as usize);
+        'outer: loop {
+            let m: BTreeMap<Key, i64> = items
+                .iter()
+                .zip(&vals)
+                .map(|((k, _), &v)| (*k, v))
+                .collect();
+            outs.push(eval(&m));
+            let mut i = 0;
+            loop {
+                if i == vals.len() {
+                    break 'outer;
+                }
+                if vals[i] < items[i].1.hi {
+                    vals[i] += 1;
+                    break;
+                }
+                vals[i] = items[i].1.lo;
+                i += 1;
+            }
+        }
+        let first = outs[0];
+        if outs.iter().all(|&v| v == first) {
+            return Ok(Cases::Const(first));
+        }
+        // Pass 2: indicator literal per assignment. The indicators are
+        // exhaustive (domain constraints forbid out-of-range codes) and
+        // mutually exclusive (distinct assignments differ in some bit).
+        let mut cases = Vec::with_capacity(outs.len());
+        let mut vals: Vec<i64> = items.iter().map(|(_, bv)| bv.lo).collect();
+        let mut idx = 0;
+        'outer2: loop {
+            let mut inds = Vec::with_capacity(items.len());
+            for ((_, bv), &v) in items.iter().zip(&vals) {
+                inds.push(self.eq_lit(b, bv, v));
+            }
+            let ind = self.and_lits(b, inds);
+            cases.push((ind, outs[idx]));
+            idx += 1;
+            let mut i = 0;
+            loop {
+                if i == vals.len() {
+                    break 'outer2;
+                }
+                if vals[i] < items[i].1.hi {
+                    vals[i] += 1;
+                    break;
+                }
+                vals[i] = items[i].1.lo;
+                i += 1;
+            }
+        }
+        Ok(Cases::Split(cases))
+    }
+
+    /// Turn enumerated cases into a derived bit-vector (fresh bits, pinned by
+    /// the case indicators).
+    fn cases_to_bv(&mut self, b: &mut CnfBuilder, cases: &Cases) -> Bv {
+        match cases {
+            Cases::Const(v) => Bv::constant(*v),
+            Cases::Split(cs) => {
+                let lo = cs.iter().map(|&(_, v)| v).min().expect("non-empty");
+                let hi = cs.iter().map(|&(_, v)| v).max().expect("non-empty");
+                let bv = alloc_bv_unconstrained(b, lo, hi);
+                for &(ind, v) in cs {
+                    let code = (v as i128 - lo as i128) as u128;
+                    for (j, &bit) in bv.bits.iter().enumerate() {
+                        let l = if code >> j & 1 == 1 { bit } else { !bit };
+                        b.implies(ind, l);
+                    }
+                }
+                bv
+            }
+        }
+    }
+
+    /// Turn enumerated cases into a truth literal (`value != 0`).
+    fn cases_to_pred(&mut self, b: &mut CnfBuilder, cases: &Cases) -> Lit {
+        match cases {
+            Cases::Const(v) => self.lit_const(b, *v != 0),
+            Cases::Split(cs) => {
+                let trues: Vec<Lit> = cs
+                    .iter()
+                    .filter(|&&(_, v)| v != 0)
+                    .map(|&(l, _)| l)
+                    .collect();
+                if trues.len() == cs.len() {
+                    self.lit_const(b, true)
+                } else {
+                    self.or_lits(b, trues)
+                }
+            }
+        }
+    }
+
+    /// Under `conds` (all true), force `target == v`. Values outside the
+    /// target's proven domain forbid `conds` instead — sound because the
+    /// interval analysis guarantees in-domain results exactly when the
+    /// guard/selector conditions implied by `conds` hold.
+    fn assign_value(&mut self, b: &mut CnfBuilder, conds: &[Lit], v: i64, target: &Bv) {
+        if v < target.lo || v > target.hi {
+            b.clause(conds.iter().map(|&c| !c));
+            return;
+        }
+        let code = (v as i128 - target.lo as i128) as u128;
+        for (j, &bit) in target.bits.iter().enumerate() {
+            let l = if code >> j & 1 == 1 { bit } else { !bit };
+            let mut cl: Vec<Lit> = conds.iter().map(|&c| !c).collect();
+            cl.push(l);
+            b.clause(cl);
+        }
+    }
+
+    /// Under `conds`, force `target` to take the enumerated value.
+    fn assign_cases(&mut self, b: &mut CnfBuilder, conds: &[Lit], cases: &Cases, target: &Bv) {
+        match cases {
+            Cases::Const(v) => self.assign_value(b, conds, *v, target),
+            Cases::Split(cs) => {
+                for &(ind, v) in cs {
+                    let mut c2 = conds.to_vec();
+                    c2.push(ind);
+                    self.assign_value(b, &c2, v, target);
+                }
+            }
+        }
+    }
+
+    /// Under `conds`, force `target == src` for two bit-vectors.
+    fn assign_bv(
+        &mut self,
+        b: &mut CnfBuilder,
+        conds: &[Lit],
+        src: &Bv,
+        target: &Bv,
+        ctx: &str,
+    ) -> Result<(), SymError> {
+        if src.bits.is_empty() {
+            self.assign_value(b, conds, src.lo, target);
+            return Ok(());
+        }
+        if src.lo == target.lo && src.bits.len() <= target.bits.len() {
+            // Same offset: copy bit-by-bit, zero the high bits.
+            for (j, &tbit) in target.bits.iter().enumerate() {
+                if let Some(&sbit) = src.bits.get(j) {
+                    let mut cl: Vec<Lit> = conds.iter().map(|&c| !c).collect();
+                    cl.push(!sbit);
+                    cl.push(tbit);
+                    b.clause(cl);
+                    let mut cl: Vec<Lit> = conds.iter().map(|&c| !c).collect();
+                    cl.push(sbit);
+                    cl.push(!tbit);
+                    b.clause(cl);
+                } else {
+                    let mut cl: Vec<Lit> = conds.iter().map(|&c| !c).collect();
+                    cl.push(!tbit);
+                    b.clause(cl);
+                }
+            }
+            return Ok(());
+        }
+        // Different offsets: enumerate the source values.
+        if src.domain() > u128::from(self.budget) {
+            return Err(SymError::SupportTooLarge {
+                context: ctx.to_string(),
+                combinations: src.domain(),
+                budget: self.budget,
+            });
+        }
+        for v in src.lo..=src.hi {
+            let ind = self.eq_lit(b, src, v);
+            let mut c2 = conds.to_vec();
+            c2.push(ind);
+            self.assign_value(b, &c2, v, target);
+        }
+        Ok(())
+    }
+
+    // ---- environments ---------------------------------------------------
+
+    /// Enumerate a local expression of `comp` over the frame's pre-state,
+    /// with `overrides` replacing transferred variables (mid-state).
+    fn local_cases(
+        &mut self,
+        b: &mut CnfBuilder,
+        frame: &SymFrame,
+        comp: CompId,
+        expr: &Expr,
+        overrides: Option<&FxHashMap<u32, Bv>>,
+        ctx: &str,
+    ) -> Result<Cases, SymError> {
+        let sys = self.sys;
+        let mut keys = BTreeSet::new();
+        collect_expr_keys(expr, &mut keys);
+        let items: Vec<(Key, Bv)> = keys
+            .iter()
+            .map(|&k| {
+                let bv = match k {
+                    Key::Local(i) => overrides
+                        .and_then(|o| o.get(&i))
+                        .cloned()
+                        .unwrap_or_else(|| frame.vars[sys.global_var(comp, i)].clone()),
+                    Key::Param(..) | Key::Global(_) => {
+                        unreachable!("local expression has only local support")
+                    }
+                };
+                (k, bv)
+            })
+            .collect();
+        let nlocals = expr.max_var().map_or(0, |m| m as usize + 1);
+        self.enumerate(b, &items, ctx, |m| {
+            let mut locals = vec![0i64; nlocals];
+            for (&k, &v) in m {
+                if let Key::Local(i) = k {
+                    locals[i as usize] = v;
+                }
+            }
+            expr.eval(&locals, &|_, _| 0)
+        })
+    }
+
+    /// Enumerate a connector expression (`Param(k, v)` support) over the
+    /// frame's pre-state.
+    fn param_cases(
+        &mut self,
+        b: &mut CnfBuilder,
+        frame: &SymFrame,
+        ci: usize,
+        expr: &Expr,
+        ctx: &str,
+    ) -> Result<Cases, SymError> {
+        let sys = self.sys;
+        let mut keys = BTreeSet::new();
+        collect_expr_keys(expr, &mut keys);
+        let items: Vec<(Key, Bv)> = keys
+            .iter()
+            .map(|&k| {
+                let bv = match k {
+                    Key::Param(kk, v) => {
+                        let (comp, _, _) = sys.resolved[ci][kk as usize];
+                        frame.vars[sys.global_var(comp, v)].clone()
+                    }
+                    Key::Local(_) | Key::Global(_) => {
+                        unreachable!("connector expression has only Param support")
+                    }
+                };
+                (k, bv)
+            })
+            .collect();
+        self.enumerate(b, &items, ctx, |m| {
+            expr.eval(&[], &|k, v| m.get(&Key::Param(k, v)).copied().unwrap_or(0))
+        })
+    }
+
+    // ---- cached per-frame semantic literals ----------------------------
+
+    /// Literal: component `comp` is at location `loc` in `frame`.
+    fn at_loc_lit(
+        &mut self,
+        b: &mut CnfBuilder,
+        frame: &mut SymFrame,
+        comp: CompId,
+        loc: u32,
+    ) -> Lit {
+        if let Some(&l) = frame.at_loc.get(&(comp, loc)) {
+            return l;
+        }
+        let bv = frame.locs[comp].clone();
+        let l = self.eq_lit(b, &bv, i64::from(loc));
+        frame.at_loc.insert((comp, loc), l);
+        l
+    }
+
+    /// Literal: the guard of transition `tid` of `comp` holds on `frame`'s
+    /// pre-state.
+    fn guard_lit(
+        &mut self,
+        b: &mut CnfBuilder,
+        frame: &mut SymFrame,
+        comp: CompId,
+        tid: TransitionId,
+    ) -> Result<Lit, SymError> {
+        if let Some(&l) = frame.guards.get(&(comp, tid.0)) {
+            return Ok(l);
+        }
+        let sys = self.sys;
+        let guard = &sys.atom_type(comp).transition(tid).guard;
+        let ctx = format!(
+            "guard of transition {} of component {:?}",
+            tid.0,
+            sys.instance_name(comp)
+        );
+        let cases = self.local_cases(b, frame, comp, guard, None, &ctx)?;
+        let l = self.cases_to_pred(b, &cases);
+        frame.guards.insert((comp, tid.0), l);
+        Ok(l)
+    }
+
+    /// Literal: `comp` offers `port` in `frame` (some transition from the
+    /// current location is labelled `port` and its guard holds).
+    fn offered_lit(
+        &mut self,
+        b: &mut CnfBuilder,
+        frame: &mut SymFrame,
+        comp: CompId,
+        port: PortId,
+    ) -> Result<Lit, SymError> {
+        if let Some(&l) = frame.offered.get(&(comp, port.0)) {
+            return Ok(l);
+        }
+        let sys = self.sys;
+        let ty = sys.atom_type(comp);
+        let mut alts = Vec::new();
+        for (i, t) in ty.transitions().iter().enumerate() {
+            if t.port != Some(port) {
+                continue;
+            }
+            let at = self.at_loc_lit(b, frame, comp, t.from.0);
+            let g = self.guard_lit(b, frame, comp, TransitionId(i as u32))?;
+            alts.push(self.and_lits(b, vec![at, g]));
+        }
+        let l = self.or_lits(b, alts);
+        frame.offered.insert((comp, port.0), l);
+        Ok(l)
+    }
+
+    /// Literal: connector `ci`'s guard holds on `frame`'s pre-state.
+    fn conn_guard_lit(
+        &mut self,
+        b: &mut CnfBuilder,
+        frame: &mut SymFrame,
+        ci: usize,
+    ) -> Result<Lit, SymError> {
+        if let Some(&l) = frame.conn_guards.get(&ci) {
+            return Ok(l);
+        }
+        let sys = self.sys;
+        let guard = sys.connector(ConnId(ci as u32)).guard.clone();
+        let ctx = format!(
+            "guard of connector {:?}",
+            sys.connector(ConnId(ci as u32)).name
+        );
+        let cases = self.param_cases(b, frame, ci, &guard, &ctx)?;
+        let l = self.cases_to_pred(b, &cases);
+        frame.conn_guards.insert(ci, l);
+        Ok(l)
+    }
+
+    /// Literal: interaction `(ci, mask)` is enabled in `frame` (all masked
+    /// endpoints offered ∧ connector guard). Not priority-filtered.
+    fn int_enabled_lit(
+        &mut self,
+        b: &mut CnfBuilder,
+        frame: &mut SymFrame,
+        ci: usize,
+        mask: u32,
+    ) -> Result<Lit, SymError> {
+        let sys = self.sys;
+        let arity = sys.resolved[ci].len();
+        let mut parts = Vec::new();
+        for ep in mask_endpoints(mask, arity) {
+            let (comp, port, _) = sys.resolved[ci][ep];
+            parts.push(self.offered_lit(b, frame, comp, port)?);
+        }
+        parts.push(self.conn_guard_lit(b, frame, ci)?);
+        Ok(self.and_lits(b, parts))
+    }
+
+    // ---- state predicates ----------------------------------------------
+
+    /// Encode a [`StatePred`] over `frame` as a literal (Tseitin; exact).
+    ///
+    /// # Errors
+    ///
+    /// [`SymError::SupportTooLarge`] if a comparison's support exceeds the
+    /// enumeration budget.
+    pub fn encode_pred(
+        &mut self,
+        b: &mut CnfBuilder,
+        frame: &mut SymFrame,
+        pred: &StatePred,
+    ) -> Result<Lit, SymError> {
+        match pred {
+            StatePred::True => Ok(self.lit_const(b, true)),
+            StatePred::False => Ok(self.lit_const(b, false)),
+            StatePred::AtLoc(comp, loc) => Ok(self.at_loc_lit(b, frame, *comp, *loc)),
+            StatePred::Eq(x, y) => self.encode_cmp(b, frame, x, y, false),
+            StatePred::Le(x, y) => self.encode_cmp(b, frame, x, y, true),
+            StatePred::Not(p) => Ok(!self.encode_pred(b, frame, p)?),
+            StatePred::And(ps) => {
+                let mut ls = Vec::with_capacity(ps.len());
+                for p in ps {
+                    ls.push(self.encode_pred(b, frame, p)?);
+                }
+                Ok(self.and_lits(b, ls))
+            }
+            StatePred::Or(ps) => {
+                let mut ls = Vec::with_capacity(ps.len());
+                for p in ps {
+                    ls.push(self.encode_pred(b, frame, p)?);
+                }
+                Ok(self.or_lits(b, ls))
+            }
+        }
+    }
+
+    fn encode_cmp(
+        &mut self,
+        b: &mut CnfBuilder,
+        frame: &mut SymFrame,
+        x: &GExpr,
+        y: &GExpr,
+        le: bool,
+    ) -> Result<Lit, SymError> {
+        let sys = self.sys;
+        let mut keys = BTreeSet::new();
+        collect_gexpr_keys(sys, x, &mut keys);
+        collect_gexpr_keys(sys, y, &mut keys);
+        let items: Vec<(Key, Bv)> = keys
+            .iter()
+            .map(|&k| match k {
+                Key::Global(flat) => (k, frame.vars[flat].clone()),
+                Key::Local(_) | Key::Param(..) => unreachable!("GExpr support is global"),
+            })
+            .collect();
+        let ctx = if le {
+            "Le state predicate"
+        } else {
+            "Eq state predicate"
+        };
+        let cases = self.enumerate(b, &items, ctx, |m| {
+            let a = geval(sys, x, m);
+            let bb = geval(sys, y, m);
+            i64::from(if le { a <= bb } else { a == bb })
+        })?;
+        Ok(self.cases_to_pred(b, &cases))
+    }
+
+    // ---- the transition relation ---------------------------------------
+
+    /// Add the clauses constraining `next` to be a successor of `cur`:
+    /// exactly one enabled, priority-surviving action fires, with the
+    /// concrete transfer/update/frame-condition effects.
+    ///
+    /// If the system has no statically possible action at all, the frame is
+    /// unsatisfiable (an empty clause is added) — correct, since no state
+    /// has a successor.
+    ///
+    /// # Errors
+    ///
+    /// [`SymError::SupportTooLarge`] if some guard, transfer, or update
+    /// exceeds the enumeration budget.
+    pub fn encode_step(
+        &mut self,
+        b: &mut CnfBuilder,
+        cur: &mut SymFrame,
+        next: &SymFrame,
+    ) -> Result<StepVars, SymError> {
+        let sys = self.sys;
+        let nconn = sys.num_connectors();
+
+        // 1. Enabledness literal per (connector, feasible mask) — needed both
+        //    by the selectors and by the priority vetoes.
+        let mut enabled: Vec<Vec<(u32, Lit)>> = Vec::with_capacity(nconn);
+        for ci in 0..nconn {
+            let masks: Vec<u32> = sys.compiled.feasible_masks(ConnId(ci as u32)).to_vec();
+            let mut row = Vec::with_capacity(masks.len());
+            for mask in masks {
+                let l = self.int_enabled_lit(b, cur, ci, mask)?;
+                row.push((mask, l));
+            }
+            enabled.push(row);
+        }
+
+        // 2. Selectors: one per feasible interaction, one per internal
+        //    transition. A selector implies enabledness and the absence of
+        //    every priority veto (mirroring `dominated_compiled`).
+        let mut actions: Vec<ActionVar> = Vec::new();
+        for ci in 0..nconn {
+            for mi in 0..enabled[ci].len() {
+                let (mask, en) = enabled[ci][mi];
+                let sel = Lit::pos(b.fresh());
+                b.implies(sel, en);
+
+                // Guarded priority rules: `low < high when guard`.
+                let rules = sys.priority().rules.clone();
+                for rule in &rules {
+                    if rule.low.0 as usize != ci {
+                        continue;
+                    }
+                    let hi = rule.high.0 as usize;
+                    let higher: Vec<Lit> = enabled[hi]
+                        .iter()
+                        .filter(|&&(m, _)| hi != ci || m != mask)
+                        .map(|&(_, l)| l)
+                        .collect();
+                    if higher.is_empty() {
+                        continue;
+                    }
+                    let gp = self.encode_pred(b, cur, &rule.guard)?;
+                    let any_higher = self.or_lits(b, higher);
+                    let veto = self.and_lits(b, vec![gp, any_higher]);
+                    b.implies(sel, !veto);
+                }
+
+                // Maximal progress: a strictly larger enabled interaction of
+                // the same connector vetoes this one.
+                if sys.priority().maximal_progress {
+                    let sups: Vec<Lit> = enabled[ci]
+                        .iter()
+                        .filter(|&&(m, _)| m != mask && m & mask == mask)
+                        .map(|&(_, l)| l)
+                        .collect();
+                    if !sups.is_empty() {
+                        let any_sup = self.or_lits(b, sups);
+                        b.implies(sel, !any_sup);
+                    }
+                }
+
+                // Per-endpoint transition choice.
+                let arity = sys.resolved[ci].len();
+                let mut choices = Vec::new();
+                for ep in mask_endpoints(mask, arity) {
+                    let (comp, port, _) = sys.resolved[ci][ep];
+                    let ty = sys.atom_type(comp);
+                    let mut cands = Vec::new();
+                    for (i, t) in ty.transitions().iter().enumerate() {
+                        if t.port != Some(port) {
+                            continue;
+                        }
+                        let tid = TransitionId(i as u32);
+                        let ch = Lit::pos(b.fresh());
+                        b.implies(ch, sel);
+                        let at = self.at_loc_lit(b, cur, comp, t.from.0);
+                        b.implies(ch, at);
+                        let g = self.guard_lit(b, cur, comp, tid)?;
+                        b.implies(ch, g);
+                        cands.push((tid, ch));
+                    }
+                    // The selector forces a choice at this endpoint, and at
+                    // most one choice is taken.
+                    let mut cl: Vec<Lit> = cands.iter().map(|&(_, c)| c).collect();
+                    cl.push(!sel);
+                    b.clause(cl);
+                    b.at_most_one(cands.iter().map(|&(_, c)| c));
+                    choices.push((comp, cands));
+                }
+                actions.push(ActionVar::Interaction {
+                    conn: ci,
+                    mask,
+                    sel,
+                    choices,
+                });
+            }
+        }
+        for comp in 0..sys.num_components() {
+            let ty = sys.atom_type(comp);
+            for (i, t) in ty.transitions().iter().enumerate() {
+                if t.port.is_some() {
+                    continue;
+                }
+                let tid = TransitionId(i as u32);
+                let sel = Lit::pos(b.fresh());
+                let at = self.at_loc_lit(b, cur, comp, t.from.0);
+                b.implies(sel, at);
+                let g = self.guard_lit(b, cur, comp, tid)?;
+                b.implies(sel, g);
+                actions.push(ActionVar::Internal { comp, tid, sel });
+            }
+        }
+
+        // 3. Exactly one action fires.
+        let sels: Vec<Lit> = actions.iter().map(action_sel).collect();
+        b.exactly_one(sels.iter().copied());
+
+        // 4. Effects.
+        let mut movers: Vec<Vec<Lit>> = vec![Vec::new(); sys.num_components()];
+        let actions_snapshot = actions.clone();
+        for action in &actions_snapshot {
+            match action {
+                ActionVar::Interaction {
+                    conn: ci,
+                    mask,
+                    sel,
+                    choices,
+                } => {
+                    self.encode_interaction_effects(b, cur, next, *ci, *mask, *sel, choices)?;
+                    for &(comp, _) in choices {
+                        movers[comp].push(*sel);
+                    }
+                }
+                ActionVar::Internal { comp, tid, sel } => {
+                    self.encode_local_effects(b, cur, next, *comp, *tid, &[*sel], None)?;
+                    movers[*comp].push(*sel);
+                }
+            }
+        }
+
+        // 5. Frame condition: a component not touched by the fired action
+        //    keeps its location and variables.
+        for (comp, moved) in movers.iter().enumerate() {
+            let keep_iff = |b: &mut CnfBuilder, a: Lit, z: Lit| {
+                let mut cl: Vec<Lit> = moved.clone();
+                cl.push(!a);
+                cl.push(z);
+                b.clause(cl);
+                let mut cl: Vec<Lit> = moved.clone();
+                cl.push(a);
+                cl.push(!z);
+                b.clause(cl);
+            };
+            for (a, z) in cur.locs[comp].bits.iter().zip(&next.locs[comp].bits) {
+                keep_iff(b, *a, *z);
+            }
+            let base = sys.var_offsets[comp];
+            let nvars = sys.atom_type(comp).vars().len();
+            for flat in base..base + nvars {
+                for (a, z) in cur.vars[flat].bits.iter().zip(&next.vars[flat].bits) {
+                    keep_iff(b, *a, *z);
+                }
+            }
+        }
+
+        Ok(StepVars { actions })
+    }
+
+    /// Effects of interaction `(ci, mask)` under `sel`: data transfer over
+    /// the pre-state, then per-participant location change and updates.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_interaction_effects(
+        &mut self,
+        b: &mut CnfBuilder,
+        cur: &mut SymFrame,
+        next: &SymFrame,
+        ci: usize,
+        mask: u32,
+        sel: Lit,
+        choices: &[(CompId, Vec<(TransitionId, Lit)>)],
+    ) -> Result<(), SymError> {
+        let sys = self.sys;
+        // Transfer: simultaneous over the pre-state, last write wins,
+        // restricted to participating endpoints.
+        let mut mid: FxHashMap<(CompId, u32), Bv> = FxHashMap::default();
+        let conn = sys.connector(ConnId(ci as u32)).clone();
+        for (ep, var, expr) in &conn.transfer {
+            if !crate::exec::mask_contains(mask, *ep as usize) {
+                continue;
+            }
+            let (comp, _, _) = sys.resolved[ci][*ep as usize];
+            let ctx = format!("transfer to endpoint {ep} of connector {:?}", conn.name);
+            let cases = self.param_cases(b, cur, ci, expr, &ctx)?;
+            let bv = self.cases_to_bv(b, &cases);
+            mid.insert((comp, *var), bv);
+        }
+        for (comp, cands) in choices {
+            let comp = *comp;
+            let per_comp: FxHashMap<u32, Bv> = mid
+                .iter()
+                .filter(|((c, _), _)| *c == comp)
+                .map(|((_, v), bv)| (*v, bv.clone()))
+                .collect();
+            let overrides = if per_comp.is_empty() {
+                None
+            } else {
+                Some(per_comp)
+            };
+            for &(tid, ch) in cands {
+                self.encode_local_effects(b, cur, next, comp, tid, &[sel, ch], overrides.as_ref())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Effects of one component firing transition `tid` under `conds`:
+    /// location change, updates over the (post-transfer) mid-state, and
+    /// pass-through of transferred-but-not-updated variables.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_local_effects(
+        &mut self,
+        b: &mut CnfBuilder,
+        cur: &mut SymFrame,
+        next: &SymFrame,
+        comp: CompId,
+        tid: TransitionId,
+        conds: &[Lit],
+        overrides: Option<&FxHashMap<u32, Bv>>,
+    ) -> Result<(), SymError> {
+        let sys = self.sys;
+        let ty = sys.atom_type(comp);
+        let t = ty.transition(tid).clone();
+        self.assign_value(b, conds, i64::from(t.to.0), &next.locs[comp]);
+        // Simultaneous updates over the mid-state; a later update of the
+        // same variable overwrites an earlier one (matching `apply_updates`).
+        let mut effective: BTreeMap<u32, &Expr> = BTreeMap::new();
+        for (v, e) in &t.updates {
+            effective.insert(v.0, e);
+        }
+        let nvars = ty.vars().len() as u32;
+        for v in 0..nvars {
+            let target = &next.vars[sys.global_var(comp, v)];
+            if let Some(expr) = effective.get(&v) {
+                let ctx = format!(
+                    "update of {:?} in transition {} of component {:?}",
+                    ty.var_name(crate::atom::VarId(v)),
+                    tid.0,
+                    sys.instance_name(comp)
+                );
+                let cases = self.local_cases(b, cur, comp, expr, overrides, &ctx)?;
+                self.assign_cases(b, conds, &cases, target);
+            } else if let Some(bv) = overrides.and_then(|o| o.get(&v)) {
+                let ctx = format!(
+                    "transferred variable {:?} of component {:?}",
+                    ty.var_name(crate::atom::VarId(v)),
+                    sys.instance_name(comp)
+                );
+                let bv = bv.clone();
+                self.assign_bv(b, conds, &bv, target, &ctx)?;
+            } else {
+                let src = cur.vars[sys.global_var(comp, v)].clone();
+                let ctx = format!(
+                    "unchanged variable {:?} of component {:?}",
+                    ty.var_name(crate::atom::VarId(v)),
+                    sys.instance_name(comp)
+                );
+                self.assign_bv(b, conds, &src, target, &ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- decoding -------------------------------------------------------
+
+    /// Decode the [`Step`] fired between two frames out of a solver model.
+    /// Returns `None` if no selector (or no endpoint choice) is set — which
+    /// indicates an encoder bug, never a property of the system.
+    #[must_use]
+    pub fn decode_step(&self, sv: &StepVars, model: &[Option<bool>]) -> Option<Step> {
+        let sys = self.sys;
+        for action in &sv.actions {
+            match action {
+                ActionVar::Interaction {
+                    conn,
+                    mask,
+                    sel,
+                    choices,
+                } => {
+                    if !lit_true(model, *sel) {
+                        continue;
+                    }
+                    let arity = sys.resolved[*conn].len();
+                    let endpoints: Vec<usize> = mask_endpoints(*mask, arity).collect();
+                    let mut transitions = Vec::with_capacity(choices.len());
+                    for (comp, cands) in choices {
+                        let (tid, _) = cands.iter().find(|&&(_, c)| lit_true(model, c))?;
+                        transitions.push((*comp, *tid));
+                    }
+                    return Some(Step::Interaction {
+                        interaction: Interaction {
+                            connector: ConnId(*conn as u32),
+                            endpoints,
+                        },
+                        transitions,
+                    });
+                }
+                ActionVar::Internal { comp, tid, sel } => {
+                    if lit_true(model, *sel) {
+                        return Some(Step::Internal {
+                            component: *comp,
+                            transition: *tid,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The selector literal of an action.
+fn action_sel(a: &ActionVar) -> Lit {
+    match a {
+        ActionVar::Interaction { sel, .. } | ActionVar::Internal { sel, .. } => *sel,
+    }
+}
+
+/// Truth of `l` in a model snapshot (unassigned counts as false).
+fn lit_true(model: &[Option<bool>], l: Lit) -> bool {
+    model.get(l.var().index()).copied().flatten() == Some(l.sign())
+}
+
+/// Which component owns flat store slot `flat`, and which local variable it
+/// is.
+fn flat_owner(sys: &System, flat: usize) -> (CompId, crate::atom::VarId) {
+    let mut comp = 0;
+    for c in 0..sys.num_components() {
+        if sys.var_offsets[c] <= flat {
+            comp = c;
+        } else {
+            break;
+        }
+    }
+    (
+        comp,
+        crate::atom::VarId((flat - sys.var_offsets[comp]) as u32),
+    )
+}
+
+/// Allocate a `[lo, hi]` bit-vector with domain constraints
+/// (`unsigned(bits) ≤ hi - lo` via lexicographic comparison clauses).
+fn alloc_bv(b: &mut CnfBuilder, lo: i64, hi: i64) -> Bv {
+    let bv = alloc_bv_unconstrained(b, lo, hi);
+    if bv.bits.is_empty() {
+        return bv;
+    }
+    let m = (hi as i128 - lo as i128) as u128;
+    let w = bv.bits.len();
+    for j in 0..w {
+        if m >> j & 1 == 1 {
+            continue;
+        }
+        // x_j = 1 forces some higher bit below its bound-bit.
+        let mut cl = vec![!bv.bits[j]];
+        for i in j + 1..w {
+            if m >> i & 1 == 1 {
+                cl.push(!bv.bits[i]);
+            }
+        }
+        b.clause(cl);
+    }
+    bv
+}
+
+/// Allocate `[lo, hi]` bits without domain constraints (for derived values
+/// whose bits are pinned by exhaustive indicators).
+fn alloc_bv_unconstrained(b: &mut CnfBuilder, lo: i64, hi: i64) -> Bv {
+    debug_assert!(lo <= hi);
+    let w = width_for((hi as i128 - lo as i128 + 1) as u128);
+    let bits = (0..w).map(|_| Lit::pos(b.fresh())).collect();
+    Bv { lo, hi, bits }
+}
+
+/// Pin a bit-vector to a concrete value with unit clauses.
+fn assert_bv_value(b: &mut CnfBuilder, bv: &Bv, v: i64) {
+    assert!(
+        (bv.lo..=bv.hi).contains(&v),
+        "value {v} outside proven domain [{}, {}]",
+        bv.lo,
+        bv.hi
+    );
+    let code = (v as i128 - bv.lo as i128) as u128;
+    for (j, &bit) in bv.bits.iter().enumerate() {
+        b.assert_lit(if code >> j & 1 == 1 { bit } else { !bit });
+    }
+}
+
+/// Value of a bit-vector in a model snapshot.
+fn decode_bv(bv: &Bv, model: &[Option<bool>]) -> i64 {
+    let mut code: i128 = 0;
+    for (j, &bit) in bv.bits.iter().enumerate() {
+        if lit_true(model, bit) {
+            code |= 1 << j;
+        }
+    }
+    (bv.lo as i128 + code) as i64
+}
+
+fn collect_expr_keys(e: &Expr, out: &mut BTreeSet<Key>) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(i) => {
+            out.insert(Key::Local(*i));
+        }
+        Expr::Param(k, v) => {
+            out.insert(Key::Param(*k, *v));
+        }
+        Expr::Unary(_, x) => collect_expr_keys(x, out),
+        Expr::Binary(_, x, y) => {
+            collect_expr_keys(x, out);
+            collect_expr_keys(y, out);
+        }
+        Expr::Ite(c, t, f) => {
+            collect_expr_keys(c, out);
+            collect_expr_keys(t, out);
+            collect_expr_keys(f, out);
+        }
+    }
+}
+
+fn collect_gexpr_keys(sys: &System, g: &GExpr, out: &mut BTreeSet<Key>) {
+    match g {
+        GExpr::Const(_) => {}
+        GExpr::Var(comp, v) => {
+            out.insert(Key::Global(sys.global_var(*comp, *v)));
+        }
+        GExpr::Add(x, y) | GExpr::Sub(x, y) | GExpr::Mul(x, y) => {
+            collect_gexpr_keys(sys, x, out);
+            collect_gexpr_keys(sys, y, out);
+        }
+    }
+}
+
+/// Concrete evaluation of a [`GExpr`] over an enumerated assignment
+/// (wrapping arithmetic, matching `GExpr::eval`).
+fn geval(sys: &System, g: &GExpr, m: &BTreeMap<Key, i64>) -> Value {
+    match g {
+        GExpr::Const(c) => *c,
+        GExpr::Var(comp, v) => m
+            .get(&Key::Global(sys.global_var(*comp, *v)))
+            .copied()
+            .unwrap_or(0),
+        GExpr::Add(x, y) => geval(sys, x, m).wrapping_add(geval(sys, y, m)),
+        GExpr::Sub(x, y) => geval(sys, x, m).wrapping_sub(geval(sys, y, m)),
+        GExpr::Mul(x, y) => geval(sys, x, m).wrapping_mul(geval(sys, y, m)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{dining_philosophers, SystemBuilder};
+    use crate::{AtomBuilder, ConnectorBuilder};
+    use std::collections::BTreeSet as Set;
+
+    /// Enumerate all `(step, successor)` pairs of `st` concretely.
+    fn concrete_successors(sys: &System, st: &State) -> Vec<(Step, State)> {
+        sys.successors(st)
+            .into_iter()
+            .map(|(step, s)| (step, s))
+            .collect()
+    }
+
+    /// Enumerate all `(step, successor)` pairs symbolically by blocking
+    /// models, and compare with the concrete set.
+    fn assert_one_step_agrees(sys: &System, max_models: usize) {
+        let mut enc = StepEncoder::new(sys).expect("encodable");
+        let mut b = CnfBuilder::new();
+        let mut f0 = enc.new_frame(&mut b);
+        let f1 = enc.new_frame(&mut b);
+        enc.assert_initial(&mut b, &f0);
+        let sv = enc
+            .encode_step(&mut b, &mut f0, &f1)
+            .expect("encodable step");
+
+        let init = sys.initial_state();
+        let want: Set<(Vec<u8>, Vec<u8>)> = concrete_successors(sys, &init)
+            .into_iter()
+            .map(|(step, s)| (fmt_step(&step), fmt_state(&s)))
+            .collect();
+
+        let mut got = Set::new();
+        for _ in 0..max_models {
+            if !b.solver_mut().solve().is_sat() {
+                break;
+            }
+            let model = b.solver_mut().model();
+            let step = enc.decode_step(&sv, &model).expect("a selector is set");
+            let succ = enc.decode_state(&f1, &model);
+            assert_eq!(
+                enc.decode_state(&f0, &model),
+                init,
+                "frame 0 must decode to the initial state"
+            );
+            got.insert((fmt_step(&step), fmt_state(&succ)));
+            // Block this (step, successor) pair: at least one decision bit
+            // must differ. Blocking on the selector/choice/successor bits is
+            // enough to enumerate distinct pairs.
+            let mut block = Vec::new();
+            for a in &sv.actions {
+                let sel = action_sel(a);
+                block.push(if lit_true(&model, sel) { !sel } else { sel });
+                if let ActionVar::Interaction { choices, .. } = a {
+                    for (_, cands) in choices {
+                        for &(_, c) in cands {
+                            block.push(if lit_true(&model, c) { !c } else { c });
+                        }
+                    }
+                }
+            }
+            for bv in f1.locs.iter().chain(f1.vars.iter()) {
+                for &bit in &bv.bits {
+                    block.push(if lit_true(&model, bit) { !bit } else { bit });
+                }
+            }
+            b.clause(block);
+        }
+        assert_eq!(
+            got, want,
+            "symbolic and concrete one-step successors differ"
+        );
+    }
+
+    fn fmt_state(s: &State) -> Vec<u8> {
+        format!("{s:?}").into_bytes()
+    }
+
+    fn fmt_step(s: &Step) -> Vec<u8> {
+        format!("{s:?}").into_bytes()
+    }
+
+    fn counter_system(limit: i64) -> System {
+        let counter = AtomBuilder::new("counter")
+            .location("run")
+            .initial("run")
+            .var("n", 0)
+            .internal_transition(
+                "run",
+                Expr::var(0).lt(Expr::int(limit)),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "run",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        sb.add_instance("c", &counter);
+        sb.build().unwrap()
+    }
+
+    #[test]
+    fn counter_one_step() {
+        assert_one_step_agrees(&counter_system(3), 16);
+    }
+
+    #[test]
+    fn philosophers_one_step() {
+        let sys = dining_philosophers(3, true).unwrap();
+        assert_one_step_agrees(&sys, 64);
+    }
+
+    #[test]
+    fn philosophers_conservative_one_step() {
+        let sys = dining_philosophers(3, false).unwrap();
+        assert_one_step_agrees(&sys, 64);
+    }
+
+    #[test]
+    fn transfer_one_step() {
+        // Two components exchanging data through a connector transfer. The
+        // update of `z` reads the *mid-state* value of `y` (post-transfer),
+        // and `y` itself passes through the transfer untouched by updates —
+        // exercising both effect paths.
+        let src = AtomBuilder::new("src")
+            .var("x", 5)
+            .port_exporting("send", ["x"])
+            .location("s")
+            .initial("s")
+            .transition("s", "send", "s")
+            .build()
+            .unwrap();
+        let dst = AtomBuilder::new("dst")
+            .var("y", 0)
+            .var("z", 0)
+            .port_exporting("recv", ["y", "z"])
+            .location("d")
+            .initial("d")
+            .guarded_transition(
+                "d",
+                "recv",
+                Expr::t(),
+                vec![("z", Expr::var(0).add(Expr::int(1)))],
+                "d",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let a = sb.add_instance("a", &src);
+        let c = sb.add_instance("b", &dst);
+        let conn = ConnectorBuilder::rendezvous("move", [(a, "send"), (c, "recv")]).transfer(
+            1,
+            0,
+            Expr::param(0, 0),
+        );
+        sb.add_connector(conn);
+        let sys = sb.build().unwrap();
+        // Transfer writes y := x = 5, then the update runs on the mid-state:
+        // z := y + 1 = 6.
+        let succs = sys.successors(&sys.initial_state());
+        assert_eq!(succs.len(), 1);
+        assert_eq!(succs[0].1.vars, vec![5, 5, 6]);
+        assert_one_step_agrees(&sys, 8);
+    }
+
+    #[test]
+    fn unbounded_var_declines() {
+        // A counter with no guard grows forever: interval analysis says TOP.
+        let counter = AtomBuilder::new("counter")
+            .location("run")
+            .initial("run")
+            .var("n", 0)
+            .internal_transition(
+                "run",
+                Expr::t(),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "run",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        sb.add_instance("c", &counter);
+        let sys = sb.build().unwrap();
+        match StepEncoder::new(&sys) {
+            Err(SymError::UnboundedVar {
+                component,
+                variable,
+            }) => {
+                assert_eq!(component, "c");
+                assert_eq!(variable, "n");
+            }
+            Ok(_) => panic!("expected UnboundedVar, got an encoder"),
+            Err(other) => panic!("expected UnboundedVar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_declines_are_typed() {
+        // n ranges over [0, 8]: nine values, more than the budget of 4.
+        let sys = counter_system(8);
+        let mut enc = StepEncoder::new(&sys).unwrap().enum_budget(4);
+        let mut b = CnfBuilder::new();
+        let mut f0 = enc.new_frame(&mut b);
+        let f1 = enc.new_frame(&mut b);
+        match enc.encode_step(&mut b, &mut f0, &f1) {
+            Err(SymError::SupportTooLarge {
+                combinations,
+                budget,
+                ..
+            }) => {
+                assert_eq!(combinations, 9);
+                assert_eq!(budget, 4);
+            }
+            other => panic!("expected SupportTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlocked_frame_is_unsat() {
+        // A system whose only transition is disabled from the start.
+        let stuck = AtomBuilder::new("stuck")
+            .location("l")
+            .initial("l")
+            .internal_transition("l", Expr::f(), vec![], "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        sb.add_instance("s", &stuck);
+        let sys = sb.build().unwrap();
+        let mut enc = StepEncoder::new(&sys).unwrap();
+        let mut b = CnfBuilder::new();
+        let mut f0 = enc.new_frame(&mut b);
+        let f1 = enc.new_frame(&mut b);
+        enc.assert_initial(&mut b, &f0);
+        let _ = enc.encode_step(&mut b, &mut f0, &f1).unwrap();
+        assert!(b.solver_mut().solve().is_unsat());
+    }
+
+    #[test]
+    fn state_pred_encoding_matches_eval() {
+        let sys = counter_system(3);
+        let pred = StatePred::Le(GExpr::var(0, 0), GExpr::int(0));
+        let mut enc = StepEncoder::new(&sys).unwrap();
+        let mut b = CnfBuilder::new();
+        let mut f0 = enc.new_frame(&mut b);
+        enc.assert_initial(&mut b, &f0);
+        let l = enc.encode_pred(&mut b, &mut f0, &pred).unwrap();
+        // Initially n = 0, so the predicate holds.
+        b.assert_lit(l);
+        assert!(b.solver_mut().solve().is_sat());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SymError::UnboundedVar {
+            component: "c".into(),
+            variable: "n".into(),
+        };
+        assert!(e.to_string().contains("no finite bound"));
+        let e = SymError::SupportTooLarge {
+            context: "guard".into(),
+            combinations: 100,
+            budget: 10,
+        };
+        assert!(e.to_string().contains("budget is 10"));
+    }
+
+    #[test]
+    fn priority_rule_vetoes_dominated_connector() {
+        // Two singleton connectors on one component, both enabled; a rule
+        // makes "low" dominated whenever "high" is enabled.
+        let atom = AtomBuilder::new("a")
+            .port("p")
+            .port("q")
+            .location("l")
+            .initial("l")
+            .transition("l", "p", "l")
+            .transition("l", "q", "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c = sb.add_instance("c", &atom);
+        sb.add_connector(ConnectorBuilder::singleton("low", c, "p"));
+        sb.add_connector(ConnectorBuilder::singleton("high", c, "q"));
+        sb.priority_mut().rules.push(crate::PriorityRule {
+            low: ConnId(0),
+            high: ConnId(1),
+            guard: StatePred::True,
+        });
+        let sys = sb.build().unwrap();
+        // Concretely only "high" survives the priority filter.
+        assert_eq!(sys.successors(&sys.initial_state()).len(), 1);
+        assert_one_step_agrees(&sys, 8);
+    }
+
+    #[test]
+    fn maximal_progress_vetoes_sub_broadcasts() {
+        // A broadcast with two receivers: under maximal progress only the
+        // largest enabled interaction per connector survives.
+        let sender = AtomBuilder::new("sender")
+            .port("snd")
+            .location("l")
+            .initial("l")
+            .transition("l", "snd", "l")
+            .build()
+            .unwrap();
+        let recv = AtomBuilder::new("recv")
+            .port("rcv")
+            .location("l")
+            .initial("l")
+            .transition("l", "rcv", "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let s = sb.add_instance("s", &sender);
+        let r0 = sb.add_instance("r0", &recv);
+        let r1 = sb.add_instance("r1", &recv);
+        sb.add_connector(ConnectorBuilder::broadcast(
+            "bcast",
+            (s, "snd"),
+            [(r0, "rcv"), (r1, "rcv")],
+        ));
+        sb.priority_mut().maximal_progress = true;
+        let sys = sb.build().unwrap();
+        // Without the filter there are 4 interactions ({s}, {s,r0}, {s,r1},
+        // {s,r0,r1}); maximal progress keeps only the full one.
+        assert_eq!(sys.successors(&sys.initial_state()).len(), 1);
+        assert_one_step_agrees(&sys, 8);
+    }
+}

@@ -1,0 +1,486 @@
+//! SAT-based bounded model checking over the [`bip_core::sym`] encoding.
+//!
+//! The transition relation is unrolled **incrementally in one persistent
+//! [`satkit::Solver`]**: the clauses of frame `d → d+1` are added once and
+//! stay; the depth-`d` "invariant violated here" goal is guarded by a fresh
+//! per-depth **activation literal** passed to `solve_with` as an assumption.
+//! When the depth-`d` query comes back UNSAT the engine asserts the
+//! activation literal's negation (retiring the goal) and extends the
+//! unrolling by one frame — so conflict clauses learned at shallow depths
+//! keep pruning at deeper ones instead of being rediscovered per bound.
+//!
+//! Verdicts are asymmetric by design:
+//!
+//! * [`BmcOutcome::Violation`] is **definitive**: the decoded trace is
+//!   replayed step-by-step through the concrete executor
+//!   ([`System::for_each_successor`]) before being reported, so a decode or
+//!   encode bug can surface only as [`BmcError::InvalidTrace`], never as a
+//!   false alarm.
+//! * [`BmcOutcome::NoViolationWithin`] carries an explicit completeness
+//!   caveat: it says nothing about states deeper than the bound.
+//!
+//! # Example
+//!
+//! The two-phase dining philosophers reach the all-`hasL` deadlock
+//! configuration in exactly `n` steps:
+//!
+//! ```
+//! use bip_core::{dining_philosophers, StatePred};
+//! use bip_verify::bmc::{BmcConfig, BmcOutcome};
+//!
+//! let sys = dining_philosophers(3, true).unwrap();
+//! // "Not every philosopher holds its left fork" (hasL is location 1).
+//! let inv = StatePred::Not(Box::new(StatePred::And(
+//!     (0..3).map(|i| StatePred::AtLoc(i, 1)).collect(),
+//! )));
+//!
+//! // Two steps are not enough...
+//! let report = BmcConfig::new(&sys).bound(2).check_invariant(&inv).unwrap();
+//! assert!(matches!(report.outcome, BmcOutcome::NoViolationWithin(2)));
+//!
+//! // ...three are: the trace below replayed on the concrete executor.
+//! let report = BmcConfig::new(&sys).bound(3).check_invariant(&inv).unwrap();
+//! match &report.outcome {
+//!     BmcOutcome::Violation { trace, states } => {
+//!         assert_eq!(trace.len(), 3);
+//!         assert_eq!(states.len(), 4);
+//!     }
+//!     other => panic!("expected a violation, got {other:?}"),
+//! }
+//! ```
+
+use bip_core::sym::{StepEncoder, StepVars, SymError, SymFrame};
+use bip_core::{State, StatePred, Step, System};
+use satkit::{CnfBuilder, Lit};
+
+/// Builder for a bounded model-checking run (mirrors
+/// [`crate::reach::ReachConfig`]'s builder/report shape).
+#[derive(Debug, Clone)]
+pub struct BmcConfig<'a> {
+    sys: &'a System,
+    bound: usize,
+    enum_budget: u64,
+}
+
+impl<'a> BmcConfig<'a> {
+    /// A configuration for `sys` with the default bound of 10 steps.
+    pub fn new(sys: &'a System) -> BmcConfig<'a> {
+        BmcConfig {
+            sys,
+            bound: 10,
+            enum_budget: bip_core::sym::DEFAULT_ENUM_BUDGET,
+        }
+    }
+
+    /// Set the unrolling depth: states reachable in at most `k` steps are
+    /// examined.
+    #[must_use]
+    pub fn bound(mut self, k: usize) -> BmcConfig<'a> {
+        self.bound = k;
+        self
+    }
+
+    /// Set the encoder's expression-enumeration budget (see
+    /// [`StepEncoder::enum_budget`]).
+    #[must_use]
+    pub fn enum_budget(mut self, budget: u64) -> BmcConfig<'a> {
+        self.enum_budget = budget;
+        self
+    }
+
+    /// Check that `inv` holds on every state reachable within the bound.
+    ///
+    /// # Errors
+    ///
+    /// [`BmcError::Encode`] if the system cannot be encoded (unbounded
+    /// variable, enumeration budget); [`BmcError::InvalidTrace`] if a
+    /// satisfying model fails concrete replay (an encoder bug — never a
+    /// property of the system).
+    pub fn check_invariant(&self, inv: &StatePred) -> Result<BmcReport, BmcError> {
+        let sys = self.sys;
+        let mut enc = StepEncoder::new(sys)
+            .map_err(BmcError::Encode)?
+            .enum_budget(self.enum_budget);
+        let mut b = CnfBuilder::new();
+
+        let mut frames: Vec<SymFrame> = vec![enc.new_frame(&mut b)];
+        enc.assert_initial(&mut b, &frames[0]);
+        let mut steps: Vec<StepVars> = Vec::new();
+        let mut stats: Vec<FrameStats> = Vec::new();
+
+        for depth in 0..=self.bound {
+            // Goal: the invariant is violated at this depth — guarded by a
+            // fresh activation literal so it can be retired after the query.
+            let inv_lit = enc
+                .encode_pred(&mut b, &mut frames[depth], inv)
+                .map_err(BmcError::Encode)?;
+            let act = Lit::pos(b.solver_mut().new_var());
+            b.implies(act, !inv_lit);
+
+            let sat = b.solver_mut().solve_with(&[act]).is_sat();
+            {
+                let s = b.solver_mut();
+                stats.push(FrameStats {
+                    depth,
+                    vars: s.num_vars(),
+                    clauses: s.num_clauses(),
+                    learnts: s.num_learnts(),
+                    conflicts: s.conflicts(),
+                });
+            }
+
+            if sat {
+                let model = b.solver_mut().model();
+                let states: Vec<State> = frames
+                    .iter()
+                    .take(depth + 1)
+                    .map(|f| enc.decode_state(f, &model))
+                    .collect();
+                let mut trace = Vec::with_capacity(depth);
+                for sv in steps.iter().take(depth) {
+                    trace.push(enc.decode_step(sv, &model).ok_or_else(|| {
+                        BmcError::InvalidTrace(
+                            "model selects no action in an unrolled frame".into(),
+                        )
+                    })?);
+                }
+                replay(sys, inv, &states, &trace)?;
+                return Ok(BmcReport {
+                    outcome: BmcOutcome::Violation { trace, states },
+                    frames: stats,
+                });
+            }
+
+            // Retire the goal permanently and extend the unrolling.
+            b.assert_lit(!act);
+            if depth < self.bound {
+                let next = enc.new_frame(&mut b);
+                let prev = frames.last_mut().expect("at least frame 0");
+                let sv = enc
+                    .encode_step(&mut b, prev, &next)
+                    .map_err(BmcError::Encode)?;
+                steps.push(sv);
+                frames.push(next);
+            }
+        }
+
+        Ok(BmcReport {
+            outcome: BmcOutcome::NoViolationWithin(self.bound),
+            frames: stats,
+        })
+    }
+}
+
+/// Why a BMC run failed (as opposed to returning a verdict).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BmcError {
+    /// The system could not be encoded to CNF (see [`SymError`]).
+    Encode(SymError),
+    /// A satisfying model did not replay on the concrete executor. This is
+    /// diagnostic of an encoder/decoder bug; it is never a system property.
+    InvalidTrace(String),
+}
+
+impl std::fmt::Display for BmcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BmcError::Encode(e) => write!(f, "bmc: {e}"),
+            BmcError::InvalidTrace(msg) => {
+                write!(f, "bmc: counterexample failed concrete replay: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BmcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BmcError::Encode(e) => Some(e),
+            BmcError::InvalidTrace(_) => None,
+        }
+    }
+}
+
+impl From<SymError> for BmcError {
+    fn from(e: SymError) -> BmcError {
+        BmcError::Encode(e)
+    }
+}
+
+/// Solver statistics snapshot taken right after the depth-`d` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameStats {
+    /// The queried depth.
+    pub depth: usize,
+    /// Total solver variables at this point (monotone across depths — the
+    /// single persistent solver only ever grows).
+    pub vars: usize,
+    /// Total clauses (original + currently kept learnt clauses).
+    pub clauses: usize,
+    /// Learnt clauses currently in the database — carried across depths.
+    pub learnts: usize,
+    /// Cumulative conflicts.
+    pub conflicts: u64,
+}
+
+/// Verdict of a bounded model-checking run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BmcOutcome {
+    /// A reachable state within the bound violates the invariant. The trace
+    /// has been **replayed on the concrete executor** — `states[0]` is the
+    /// initial state, `states[i+1]` is the (verified) successor of
+    /// `states[i]` under `trace[i]`, and the last state violates the
+    /// invariant.
+    Violation {
+        /// The steps of the counterexample, in order.
+        trace: Vec<Step>,
+        /// The states along the counterexample (`trace.len() + 1` entries).
+        states: Vec<State>,
+    },
+    /// No violation exists within the given depth. **Completeness caveat**:
+    /// this says nothing about deeper states — it is not a proof of the
+    /// invariant unless the bound exceeds the system's diameter.
+    NoViolationWithin(usize),
+}
+
+/// Result of [`BmcConfig::check_invariant`].
+#[must_use = "inspect the outcome; NoViolationWithin is not a proof"]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BmcReport {
+    /// The verdict.
+    pub outcome: BmcOutcome,
+    /// Per-depth solver statistics (one entry per queried depth, in order).
+    /// `vars` is monotone across entries: all depths share one solver.
+    pub frames: Vec<FrameStats>,
+}
+
+impl BmcReport {
+    /// The counterexample, if the run found one.
+    pub fn violation(&self) -> Option<(&[Step], &[State])> {
+        match &self.outcome {
+            BmcOutcome::Violation { trace, states } => Some((trace, states)),
+            BmcOutcome::NoViolationWithin(_) => None,
+        }
+    }
+}
+
+/// Validate a decoded counterexample against the concrete semantics: every
+/// `(state, step, state)` triple must be an actual transition enumerated by
+/// `for_each_successor`, and the final state must violate the invariant.
+fn replay(sys: &System, inv: &StatePred, states: &[State], trace: &[Step]) -> Result<(), BmcError> {
+    if states.len() != trace.len() + 1 {
+        return Err(BmcError::InvalidTrace(format!(
+            "{} states for {} steps",
+            states.len(),
+            trace.len()
+        )));
+    }
+    if states[0] != sys.initial_state() {
+        return Err(BmcError::InvalidTrace(
+            "frame 0 does not decode to the initial state".into(),
+        ));
+    }
+    let mut es = sys.new_enabled_set();
+    let mut scratch = sys.new_succ_scratch();
+    for (i, step) in trace.iter().enumerate() {
+        let mut matched = false;
+        es.invalidate_all();
+        sys.for_each_successor(&states[i], &mut es, &mut scratch, |s, next| {
+            if !matched && next == &states[i + 1] && &s.to_step(sys) == step {
+                matched = true;
+            }
+        });
+        if !matched {
+            return Err(BmcError::InvalidTrace(format!(
+                "step {i} is not a concrete transition between the decoded states"
+            )));
+        }
+    }
+    if inv.eval(sys, states.last().expect("non-empty")) {
+        return Err(BmcError::InvalidTrace(
+            "final state does not violate the invariant".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bip_core::{dining_philosophers, AtomBuilder, Expr, GExpr, SystemBuilder};
+
+    fn counter_system(limit: i64) -> System {
+        let counter = AtomBuilder::new("counter")
+            .location("run")
+            .initial("run")
+            .var("n", 0)
+            .internal_transition(
+                "run",
+                Expr::var(0).lt(Expr::int(limit)),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "run",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        sb.add_instance("c", &counter);
+        sb.build().unwrap()
+    }
+
+    /// "not all philosophers hold their left fork" — violated exactly at
+    /// depth n in the two-phase variant.
+    fn all_has_left(n: usize) -> StatePred {
+        StatePred::Not(Box::new(StatePred::And(
+            (0..n).map(|i| StatePred::AtLoc(i, 1)).collect(),
+        )))
+    }
+
+    #[test]
+    fn counter_violation_at_exact_depth() {
+        let sys = counter_system(5);
+        // n == 4 is first reached after 4 steps.
+        let inv = StatePred::Not(Box::new(StatePred::Eq(GExpr::var(0, 0), GExpr::int(4))));
+        let r = BmcConfig::new(&sys).bound(3).check_invariant(&inv).unwrap();
+        assert_eq!(r.outcome, BmcOutcome::NoViolationWithin(3));
+        let r = BmcConfig::new(&sys).bound(4).check_invariant(&inv).unwrap();
+        let (trace, states) = r.violation().expect("violated at depth 4");
+        assert_eq!(trace.len(), 4);
+        assert_eq!(states.last().unwrap().vars[0], 4);
+        // A larger bound still finds it (at the same shortest depth or not —
+        // either way the replay validated it).
+        let r = BmcConfig::new(&sys).bound(7).check_invariant(&inv).unwrap();
+        assert!(r.violation().is_some());
+    }
+
+    #[test]
+    fn philosophers_deadlock_depth() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let inv = all_has_left(3);
+        let r = BmcConfig::new(&sys).bound(2).check_invariant(&inv).unwrap();
+        assert_eq!(r.outcome, BmcOutcome::NoViolationWithin(2));
+        let r = BmcConfig::new(&sys).bound(3).check_invariant(&inv).unwrap();
+        let (trace, states) = r.violation().expect("all-hasL reached at depth 3");
+        assert_eq!(trace.len(), 3);
+        assert_eq!(states.len(), 4);
+    }
+
+    #[test]
+    fn conservative_philosophers_never_all_has_left() {
+        // The 3-way rendezvous variant takes both forks atomically: the
+        // philosopher location 1 is "eating", and no two neighbours can eat
+        // at once — but with 4 philosophers two opposite ones can.
+        let sys = dining_philosophers(4, false).unwrap();
+        let both_eat = StatePred::Not(Box::new(StatePred::And(vec![
+            StatePred::AtLoc(0, 1),
+            StatePred::AtLoc(2, 1),
+        ])));
+        let r = BmcConfig::new(&sys)
+            .bound(2)
+            .check_invariant(&both_eat)
+            .unwrap();
+        let (trace, _) = r.violation().expect("opposite philosophers eat");
+        assert_eq!(trace.len(), 2);
+        // Adjacent philosophers share a fork: never both eating.
+        let adjacent = StatePred::Not(Box::new(StatePred::And(vec![
+            StatePred::AtLoc(0, 1),
+            StatePred::AtLoc(1, 1),
+        ])));
+        let r = BmcConfig::new(&sys)
+            .bound(6)
+            .check_invariant(&adjacent)
+            .unwrap();
+        assert_eq!(r.outcome, BmcOutcome::NoViolationWithin(6));
+    }
+
+    #[test]
+    fn solver_is_reused_across_depths() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let inv = all_has_left(3);
+        let r = BmcConfig::new(&sys).bound(5).check_invariant(&inv).unwrap();
+        // One stats entry per queried depth until the violation at 3.
+        assert_eq!(r.frames.len(), 4);
+        for w in r.frames.windows(2) {
+            assert!(
+                w[1].vars > w[0].vars,
+                "variable count must grow monotonically in the one persistent solver"
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_system_is_declined() {
+        let counter = AtomBuilder::new("counter")
+            .location("run")
+            .initial("run")
+            .var("n", 0)
+            .internal_transition(
+                "run",
+                Expr::t(),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "run",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        sb.add_instance("c", &counter);
+        let sys = sb.build().unwrap();
+        let err = BmcConfig::new(&sys)
+            .bound(3)
+            .check_invariant(&StatePred::True)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BmcError::Encode(SymError::UnboundedVar { .. })
+        ));
+        assert!(err.to_string().contains("no finite bound"));
+    }
+
+    #[test]
+    fn bound_zero_checks_only_the_initial_state() {
+        let sys = counter_system(3);
+        let at_zero = StatePred::Not(Box::new(StatePred::Eq(GExpr::var(0, 0), GExpr::int(0))));
+        let r = BmcConfig::new(&sys)
+            .bound(0)
+            .check_invariant(&at_zero)
+            .unwrap();
+        let (trace, states) = r.violation().expect("initial state violates");
+        assert!(trace.is_empty());
+        assert_eq!(states.len(), 1);
+        let r = BmcConfig::new(&sys)
+            .bound(0)
+            .check_invariant(&StatePred::True)
+            .unwrap();
+        assert_eq!(r.outcome, BmcOutcome::NoViolationWithin(0));
+    }
+
+    #[test]
+    fn agrees_with_explicit_search_on_philosophers() {
+        use crate::reach::{check_invariant_with, ReachConfig, Reduction};
+        let sys = dining_philosophers(3, true).unwrap();
+        let inv = all_has_left(3);
+        for reduction in [Reduction::None, Reduction::Persistent] {
+            let explicit = check_invariant_with(
+                &sys,
+                &inv,
+                &ReachConfig::bounded(100_000).reduction(reduction),
+            );
+            let (_, trace) = (
+                explicit
+                    .violation
+                    .as_ref()
+                    .expect("explicit finds it")
+                    .0
+                    .clone(),
+                explicit.violation.as_ref().unwrap().1.clone(),
+            );
+            let r = BmcConfig::new(&sys)
+                .bound(trace.len())
+                .check_invariant(&inv)
+                .unwrap();
+            assert!(
+                r.violation().is_some(),
+                "BMC at the explicit trace depth must find the violation"
+            );
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! `bip-verify` — verification for BIP systems.
 //!
-//! Three tool families from the paper's design flow (§5.6, Fig. 5.6/5.7):
+//! Four tool families from the paper's design flow (§5.6, Fig. 5.6/5.7):
 //!
 //! * [`reach`] — a **monolithic explicit-state model checker**: exhaustive
 //!   reachability over the global semantics, invariant checking (the
@@ -20,6 +20,11 @@
 //!   unsatisfiable with the [`satkit`] CDCL solver. The [`incremental`]
 //!   module reuses invariants when interactions are added (§5.6: "reusing
 //!   invariants considerably reduces the verification effort").
+//! * [`bmc`] — **SAT-based bounded model checking**: the transition relation
+//!   is bit-blasted to CNF ([`bip_core::sym`]) and unrolled incrementally in
+//!   one persistent [`satkit`] solver; counterexamples are replayed on the
+//!   concrete executor before being reported. Complements [`reach`] when the
+//!   reachable set outgrows RAM but the bug sits at moderate depth.
 //! * [`equiv`] — **refinement/equivalence checking** modulo an observation
 //!   criterion: weak trace inclusion plus deadlock-freedom preservation,
 //!   exactly the `≥` relation of §5.5.3 used to certify source-to-source
@@ -50,11 +55,13 @@
 //! assert!(!df1.verdict.is_deadlock_free(), "two-phase philosophers deadlock");
 //! ```
 
+pub mod bmc;
 pub mod dfinder;
 pub mod equiv;
 pub mod incremental;
 pub mod reach;
 
+pub use bmc::{BmcConfig, BmcError, BmcOutcome, BmcReport};
 pub use dfinder::{DFinder, DFinderConfig, DFinderReport, Verdict};
 pub use equiv::{refines, weak_trace_equivalent, RefinementReport};
 pub use incremental::IncrementalVerifier;

@@ -160,3 +160,77 @@ mod tests {
         assert_eq!(err.to_string(), "dimacs parse error at line 3: boom");
     }
 }
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const NVARS: usize = 10;
+
+    /// Random CNF over `NVARS` variables: 0–23 clauses of 0–4 literals each
+    /// (empty clauses and tautologies included on purpose — the round trip
+    /// must survive them too).
+    fn random_cnf(seed: u64) -> Vec<Vec<Lit>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nclauses = rng.gen_range(0..24usize);
+        (0..nclauses)
+            .map(|_| {
+                let len = rng.gen_range(0..5usize);
+                (0..len)
+                    .map(|_| {
+                        let v = Var(rng.gen_range(0..NVARS as u32));
+                        Lit::new(v, rng.gen_range(0..2u32) == 0)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// `to_dimacs` → `parse_dimacs` is the identity up to the solver's
+        /// own clause simplification: the parsed solver has exactly the
+        /// declared variables, agrees on satisfiability with a solver built
+        /// directly from the clause list, and any model it produces
+        /// satisfies every original clause.
+        #[test]
+        fn roundtrip_preserves_semantics(seed in 0u64..512) {
+            let clauses = random_cnf(seed);
+            let text = to_dimacs(NVARS, &clauses);
+            let mut parsed = match parse_dimacs(&text) {
+                Ok(s) => s,
+                Err(e) => return Err(format!("serializer output must parse: {e}")),
+            };
+            prop_assert_eq!(parsed.num_vars(), NVARS);
+
+            let mut direct = Solver::new();
+            direct.reserve_vars(NVARS);
+            for c in &clauses {
+                let _ = direct.add_clause(c.iter().copied());
+            }
+
+            let verdict = parsed.solve();
+            prop_assert_eq!(verdict, direct.solve());
+            if verdict.is_sat() {
+                let model = parsed.model();
+                for c in &clauses {
+                    prop_assert!(
+                        c.iter().any(|l| model[l.var().index()] == Some(l.sign())),
+                        "parsed model does not satisfy clause {:?}", c
+                    );
+                }
+            }
+        }
+
+        /// The serialized header always matches the clause list handed in.
+        #[test]
+        fn roundtrip_header_dimensions(seed in 0u64..512) {
+            let clauses = random_cnf(seed);
+            let text = to_dimacs(NVARS, &clauses);
+            let header = text.lines().next().unwrap_or_default().to_string();
+            prop_assert_eq!(header, format!("p cnf {} {}", NVARS, clauses.len()));
+        }
+    }
+}

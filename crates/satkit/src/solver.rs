@@ -4,6 +4,7 @@ use crate::{Lit, Var};
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a solve verdict should be inspected, not dropped"]
 pub enum SolveResult {
     /// A satisfying assignment was found; read it with [`Solver::value`].
     Sat,
@@ -13,11 +14,13 @@ pub enum SolveResult {
 
 impl SolveResult {
     /// `true` if the result is [`SolveResult::Sat`].
+    #[must_use]
     pub fn is_sat(self) -> bool {
         matches!(self, SolveResult::Sat)
     }
 
     /// `true` if the result is [`SolveResult::Unsat`].
+    #[must_use]
     pub fn is_unsat(self) -> bool {
         matches!(self, SolveResult::Unsat)
     }
@@ -85,6 +88,10 @@ pub struct Solver {
     conflicts: u64,
     decisions: u64,
     propagations: u64,
+    restarts: u64,
+    /// Number of learnt clauses currently in the database (maintained
+    /// incrementally so [`Solver::num_learnts`] is O(1)).
+    num_learnts: usize,
 }
 
 impl Solver {
@@ -99,28 +106,65 @@ impl Solver {
     }
 
     /// Number of variables created so far.
+    #[must_use]
     pub fn num_vars(&self) -> usize {
         self.assigns.len()
     }
 
     /// Number of clauses (original + learnt) currently in the database.
+    #[must_use]
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
     }
 
+    /// Number of learnt clauses currently in the database (shrinks when
+    /// clause-DB reduction discards inactive learnts).
+    #[must_use]
+    pub fn num_learnts(&self) -> usize {
+        self.num_learnts
+    }
+
     /// Number of conflicts encountered across all `solve` calls.
+    #[must_use]
     pub fn conflicts(&self) -> u64 {
         self.conflicts
     }
 
     /// Number of decisions made across all `solve` calls.
+    #[must_use]
     pub fn decisions(&self) -> u64 {
         self.decisions
     }
 
     /// Number of unit propagations performed across all `solve` calls.
+    #[must_use]
     pub fn propagations(&self) -> u64 {
         self.propagations
+    }
+
+    /// Number of restarts performed across all `solve` calls.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Snapshot of the full assignment after a [`SolveResult::Sat`] answer.
+    ///
+    /// Index `i` holds the value of `Var(i)`; `None` marks variables left
+    /// unassigned (created after solving, or before any solve). Taking one
+    /// snapshot is cheaper than calling [`Solver::value`] per variable in a
+    /// decode loop, and the snapshot stays valid after further clauses are
+    /// added (which would invalidate the in-solver model).
+    #[must_use]
+    pub fn model(&self) -> Vec<Option<bool>> {
+        self.assigns
+            .iter()
+            .map(|v| match v {
+                Value::True => Some(true),
+                Value::False => Some(false),
+                Value::Unassigned => None,
+            })
+            .collect()
     }
 
     /// Create a fresh variable.
@@ -193,6 +237,7 @@ impl Solver {
         let cr = ClauseRef(self.clauses.len() as u32);
         let w0 = lits[0];
         let w1 = lits[1];
+        self.num_learnts += usize::from(learnt);
         self.clauses.push(Clause {
             lits,
             learnt,
@@ -506,6 +551,7 @@ impl Solver {
             new_clauses.push(c.clone());
         }
         self.clauses = new_clauses;
+        self.num_learnts = self.clauses.iter().filter(|c| c.learnt).count();
         for vi in &mut self.var_info {
             if let Some(r) = vi.reason {
                 vi.reason = remap[r.0 as usize].map(ClauseRef);
@@ -596,6 +642,7 @@ impl Solver {
             } else {
                 if conflicts_this_restart >= conflicts_until_restart {
                     restart_count += 1;
+                    self.restarts += 1;
                     conflicts_until_restart = luby(restart_count) * 64;
                     conflicts_this_restart = 0;
                     self.cancel_until(assumptions.len() as u32);
@@ -865,5 +912,54 @@ mod tests {
         let mut s = solver_with(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
         let _ = s.solve();
         assert!(s.conflicts() > 0);
+    }
+
+    #[test]
+    fn model_snapshot_matches_value() {
+        let mut s = solver_with(3, &[&[1], &[-1, 2], &[-2, 3]]);
+        assert!(s.solve().is_sat());
+        let m = s.model();
+        assert_eq!(m.len(), s.num_vars());
+        for i in 0..s.num_vars() {
+            assert_eq!(m[i], s.value(Var(i as u32)));
+        }
+        assert_eq!(m[0], Some(true));
+    }
+
+    #[test]
+    fn model_snapshot_survives_clause_addition() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        assert!(s.solve().is_sat());
+        let m = s.model();
+        // Adding a clause cancels to level 0 and invalidates the in-solver
+        // model, but the snapshot keeps the old assignment.
+        s.add_clause([lit(-1), lit(-2)]);
+        assert!(m[0] == Some(true) || m[1] == Some(true));
+    }
+
+    #[test]
+    fn learnt_counter_tracks_learning() {
+        let mut s = solver_with(
+            4,
+            &[
+                &[1, 2],
+                &[-1, 3],
+                &[-2, 3],
+                &[-3, 4],
+                &[-4, -1, -2, 3],
+                &[-3, -4, 1, 2],
+            ],
+        );
+        assert_eq!(s.num_learnts(), 0);
+        let _ = s.solve();
+        assert!(s.num_learnts() <= s.num_clauses());
+    }
+
+    #[test]
+    fn restart_counter_monotone() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        let before = s.restarts();
+        let _ = s.solve();
+        assert!(s.restarts() >= before);
     }
 }

@@ -1,0 +1,234 @@
+//! Cross-validation of the SAT-based bounded model checker against the
+//! explicit-state engine.
+//!
+//! The two engines share nothing but the `System` they check: `bip-verify`'s
+//! [`BmcConfig`] bit-blasts the transition relation through `bip_core::sym`
+//! and unrolls it in a CDCL solver, while [`check_invariant_with`] runs a
+//! concrete breadth-first search over packed states. Agreement on random
+//! systems is therefore a strong end-to-end check of the whole symbolic
+//! pipeline (widths, expression enumeration, priority vetoes, frame
+//! conditions, decoding, replay).
+//!
+//! For every random system where exhaustive BFS completes we assert:
+//!
+//! * existence agreement — BMC finds a counterexample iff BFS does (BFS under
+//!   both `Reduction::None` and `Reduction::Persistent` must already agree);
+//! * *tight bounds* — with `ℓ` the BFS-shortest counterexample depth, BMC at
+//!   bound `ℓ - 1` reports `NoViolationWithin`, and at bounds `ℓ` and `ℓ + 2`
+//!   reports a violation whose trace has exactly `ℓ` steps (BMC scans depths
+//!   in order, so it must find the shortest witness);
+//! * declined systems decline *loudly* — when the width analysis cannot
+//!   bound a variable the BMC returns `BmcError::Encode(UnboundedVar)`, never
+//!   a silently-truncated verdict.
+
+use bip_core::{dining_philosophers, StatePred};
+use bip_verify::bmc::{BmcConfig, BmcError, BmcOutcome};
+use bip_verify::reach::{check_invariant_with, ReachConfig, Reduction};
+use bip_verify::BmcReport;
+use proptest::prelude::*;
+
+mod common;
+use common::random_system;
+
+/// Max BFS-shortest counterexample depth we chase with tight BMC bounds;
+/// deeper bugs still get the existence check at `GENEROUS_BOUND`.
+const TIGHT_DEPTH_LIMIT: usize = 8;
+/// Bound used for the "no violation anywhere" and deep-bug existence checks.
+const GENEROUS_BOUND: usize = 10;
+
+/// A seed-dependent invariant for `sys` that mixes location and data
+/// predicates: even seeds claim comp 0 never reaches its last location, odd
+/// seeds (when comp 0 has variables) claim `v0` never equals 2.
+fn pick_invariant(sys: &bip_core::System, seed: u64) -> StatePred {
+    let ty = sys.atom_type(0);
+    let last_loc = (ty.locations().len() - 1) as u32;
+    if seed % 2 == 1 && !ty.vars().is_empty() {
+        StatePred::Eq(bip_core::GExpr::var(0, 0), bip_core::GExpr::int(2)).not()
+    } else {
+        StatePred::at_loc(0, last_loc).not()
+    }
+}
+
+/// Run BMC at `bound`, asserting the encoder accepted the system.
+fn bmc_at(sys: &bip_core::System, inv: &StatePred, bound: usize) -> BmcReport {
+    BmcConfig::new(sys)
+        .bound(bound)
+        .check_invariant(inv)
+        .expect("encoder accepted this system at another bound")
+}
+
+/// Core agreement check for one random system; returns `Err` for proptest.
+fn check_agreement(seed: u64) -> Result<(), String> {
+    let sys = random_system(seed);
+    let inv = pick_invariant(&sys, seed);
+
+    let bfs = check_invariant_with(&sys, &inv, &ReachConfig::bounded(100_000));
+    if !bfs.complete {
+        return Ok(()); // state space outgrew the budget; nothing exact to compare
+    }
+    let por = check_invariant_with(
+        &sys,
+        &inv,
+        &ReachConfig::bounded(100_000).reduction(Reduction::Persistent),
+    );
+    if bfs.violation.is_some() != por.violation.is_some() {
+        return Err(format!(
+            "explicit engines disagree on seed {seed}: bfs={:?} por={:?}",
+            bfs.violation.is_some(),
+            por.violation.is_some()
+        ));
+    }
+
+    let probe = BmcConfig::new(&sys).bound(0).check_invariant(&inv);
+    if let Err(e) = probe {
+        // The encoder may decline (unbounded variable / support too large);
+        // that must be a typed decline, and then there is nothing to compare.
+        match e {
+            BmcError::Encode(_) => return Ok(()),
+            other => return Err(format!("seed {seed}: unexpected BMC error {other}")),
+        }
+    }
+
+    match &bfs.violation {
+        Some((_, trace)) => {
+            let depth = trace.len();
+            if depth > TIGHT_DEPTH_LIMIT {
+                // Too deep to unroll cheaply; at least the generous bound
+                // must not claim a spurious proof below the bug depth.
+                let r = bmc_at(&sys, &inv, GENEROUS_BOUND.min(depth - 1));
+                if r.violation().is_some() {
+                    return Err(format!(
+                        "seed {seed}: BMC found a violation above bound {} but BFS says the \
+                         shallowest is at depth {depth}",
+                        GENEROUS_BOUND.min(depth - 1)
+                    ));
+                }
+                return Ok(());
+            }
+            if depth > 0 {
+                let below = bmc_at(&sys, &inv, depth - 1);
+                if !matches!(below.outcome, BmcOutcome::NoViolationWithin(_)) {
+                    return Err(format!(
+                        "seed {seed}: BMC found a violation at bound {} but the BFS-shortest \
+                         counterexample has depth {depth}",
+                        depth - 1
+                    ));
+                }
+            }
+            for bound in [depth, depth + 2] {
+                let at = bmc_at(&sys, &inv, bound);
+                match &at.outcome {
+                    BmcOutcome::Violation { trace: t, states } => {
+                        if t.len() != depth {
+                            return Err(format!(
+                                "seed {seed}: BMC trace at bound {bound} has {} steps, BFS \
+                                 shortest is {depth}",
+                                t.len()
+                            ));
+                        }
+                        if states.len() != depth + 1 {
+                            return Err(format!(
+                                "seed {seed}: BMC reported {} states for a {depth}-step trace",
+                                states.len()
+                            ));
+                        }
+                    }
+                    BmcOutcome::NoViolationWithin(k) => {
+                        return Err(format!(
+                            "seed {seed}: BMC claims no violation within {k} but BFS finds one \
+                             at depth {depth}"
+                        ));
+                    }
+                }
+            }
+        }
+        None => {
+            for bound in [0, 3, GENEROUS_BOUND] {
+                let r = bmc_at(&sys, &inv, bound);
+                if let Some((trace, _)) = r.violation() {
+                    return Err(format!(
+                        "seed {seed}: BMC reports a {}-step violation at bound {bound} but \
+                         exhaustive BFS proves the invariant",
+                        trace.len()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random systems: symbolic and explicit engines must agree exactly
+    /// (existence, shortest depth, trace shape) wherever BFS completes.
+    #[test]
+    fn bmc_agrees_with_explicit_search(seed in 0u64..192) {
+        if let Err(msg) = check_agreement(seed) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
+
+/// Dining philosophers (two-phase, deadlocking variant): the all-`hasL`
+/// configuration is reachable in exactly `n` steps — BMC must agree with the
+/// explicit engine at the bound just below, exactly at, and above the bug.
+#[test]
+fn philosophers_tight_crossing_generous_bounds() {
+    for n in [2usize, 3, 4] {
+        let sys = dining_philosophers(n, true).unwrap();
+        // hasL is location index 1 of each philosopher (components 0..n).
+        let all_has_l = StatePred::And((0..n).map(|i| StatePred::at_loc(i, 1)).collect());
+        let inv = all_has_l.not();
+
+        let bfs = check_invariant_with(&sys, &inv, &ReachConfig::bounded(1_000_000));
+        assert!(bfs.complete);
+        let (_, trace) = bfs
+            .violation
+            .as_ref()
+            .expect("two-phase philosophers deadlock");
+        assert_eq!(trace.len(), n, "BFS-shortest all-hasL depth for n={n}");
+
+        // Tight: one below the bug depth proves nothing is reachable sooner.
+        let below = bmc_at(&sys, &inv, n - 1);
+        assert!(
+            matches!(below.outcome, BmcOutcome::NoViolationWithin(_)),
+            "n={n}: no all-hasL state within {} steps",
+            n - 1
+        );
+        // Crossing: exactly at the bug depth the violation appears.
+        let at = bmc_at(&sys, &inv, n);
+        let (trace, states) = at.violation().expect("violation at the exact depth");
+        assert_eq!(trace.len(), n);
+        assert_eq!(states.len(), n + 1);
+        // Generous: a larger bound still reports the shortest witness.
+        let above = bmc_at(&sys, &inv, n + 3);
+        let (trace, _) = above.violation().expect("violation below a generous bound");
+        assert_eq!(trace.len(), n, "BMC scans depths in order: shortest wins");
+    }
+}
+
+/// The conservative (deadlock-free) philosophers never reach all-eating
+/// states with fewer eaters than ⌊n/2⌋ violated… more simply: mutual
+/// exclusion of *adjacent* eaters holds at every bound.
+#[test]
+fn philosophers_conservative_adjacent_mutex_holds() {
+    let n = 3usize;
+    let sys = dining_philosophers(n, false).unwrap();
+    // eating is location index 1 of each philosopher in the conservative
+    // variant; adjacent philosophers share a fork and never eat together.
+    let adjacent = (0..n).map(|i| StatePred::at_loc(i, 1).and(StatePred::at_loc((i + 1) % n, 1)));
+    let inv = StatePred::Or(adjacent.collect()).not();
+
+    let bfs = check_invariant_with(&sys, &inv, &ReachConfig::bounded(1_000_000));
+    assert!(bfs.complete && bfs.violation.is_none());
+    let r = bmc_at(&sys, &inv, 8);
+    assert!(matches!(r.outcome, BmcOutcome::NoViolationWithin(8)));
+    // The solver is persistent: variable counts must grow monotonically.
+    let vars: Vec<usize> = r.frames.iter().map(|f| f.vars).collect();
+    assert!(
+        vars.windows(2).all(|w| w[1] > w[0]),
+        "one solver, monotone vars: {vars:?}"
+    );
+}
