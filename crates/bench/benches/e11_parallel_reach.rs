@@ -174,10 +174,13 @@ fn bench_system(name: &str, sys: &System, threads: &[usize], min_shrink: Option<
     // One scrape-friendly record per system so the footprint trajectory
     // lands in the CI logs next to criterion's estimates.json.
     println!(
-        "BENCH {{\"bench\":\"e11\",\"system\":\"{name}\",\"states\":{},\"full_bits\":{},\"adaptive_bits\":{},\"full_bytes_per_state\":{fb:.2},\"adaptive_bytes_per_state\":{ab:.2},\"shrink\":{shrink:.2}}}",
+        "BENCH {{\"bench\":\"e11\",\"system\":\"{name}\",\"states\":{},\"full_bits\":{},\"adaptive_bits\":{},\"full_bytes_per_state\":{fb:.2},\"adaptive_bytes_per_state\":{ab:.2},\"shrink\":{shrink:.2},\"wall_ms\":{:.1},\"peak_bytes\":{},\"stop\":\"{:?}\"}}",
         ad.states,
         full_codec.bits(),
         ad_codec.bits(),
+        ad.elapsed.as_secs_f64() * 1e3,
+        ad.peak_bytes,
+        ad.stop,
     );
     match min_shrink {
         Some(f) => assert!(

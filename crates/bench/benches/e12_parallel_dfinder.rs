@@ -33,6 +33,7 @@ use bench::{gas_station, thread_counts, unbounded_ring};
 use bip_core::{dining_philosophers, InternTable, System};
 use bip_verify::dfinder::{enumerate_traps_with, Abstraction, DFinder, DFinderConfig};
 use bip_verify::reach::{explore_with, ReachConfig};
+use bip_verify::{Budget, StopReason};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Bound for the (infinite-state) intern-hot exploration.
@@ -42,13 +43,26 @@ const INTERN_BOUND: usize = 150_000;
 /// queue with real work.
 const MAX_TRAPS: usize = 256;
 
+/// Fail-fast ceiling on SAT conflicts per solve: orders of magnitude above
+/// what any healthy run here needs, so a solver blowup surfaces as a clean
+/// `SolverBudget`-truncated report (asserted `Completed` below) instead of
+/// a hung CI job.
+const CONFLICT_CEILING: u64 = 200_000;
+
+/// The shared bench config: every solve capped at [`CONFLICT_CEILING`].
+fn cfg() -> DFinderConfig {
+    DFinderConfig::new()
+        .max_traps(MAX_TRAPS)
+        .budget(Budget::unlimited().conflicts(CONFLICT_CEILING))
+}
+
 /// One timed sweep over the thread counts (best-of-three per count,
 /// trap-list invariance asserted); returns `(best threads, best speedup)`.
 fn sweep_traps(name: &str, abs: &Abstraction, threads: &[usize], quiet: bool) -> (usize, f64) {
     let mut reference: Option<(Vec<_>, f64)> = None;
     let mut best = (1usize, 0.0f64);
     for &th in threads {
-        let cfg = DFinderConfig::new().threads(th).max_traps(MAX_TRAPS);
+        let cfg = cfg().threads(th);
         // Best of three: the speedup floor below is a merge gate on shared
         // CI runners, so damp scheduler noise rather than trusting one
         // un-warmed run per thread count.
@@ -84,9 +98,10 @@ fn sweep_traps(name: &str, abs: &Abstraction, threads: &[usize], quiet: bool) ->
             traps.len() as f64 / secs,
         );
         println!(
-            "BENCH {{\"bench\":\"e12\",\"workload\":\"traps\",\"system\":\"{name}\",\"places\":{},\"threads\":{th},\"traps\":{},\"secs\":{secs:.4},\"traps_per_sec\":{:.0},\"speedup\":{speedup:.2}}}",
+            "BENCH {{\"bench\":\"e12\",\"workload\":\"traps\",\"system\":\"{name}\",\"places\":{},\"threads\":{th},\"traps\":{},\"secs\":{secs:.4},\"wall_ms\":{:.1},\"traps_per_sec\":{:.0},\"speedup\":{speedup:.2}}}",
             abs.num_places,
             traps.len(),
+            secs * 1e3,
             traps.len() as f64 / secs,
         );
     }
@@ -99,12 +114,17 @@ fn bench_traps(name: &str, sys: &System, threads: &[usize], assert_speedup: Opti
     let abs = Abstraction::new(sys);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut best = sweep_traps(name, &abs, threads, false);
-    // The whole report — verdict, counts, sat_conflicts — must agree too.
-    let r1 = DFinder::with_config(sys, &DFinderConfig::new().max_traps(MAX_TRAPS))
-        .check_deadlock_freedom();
+    // The whole report — verdict, counts, sat_conflicts — must agree too,
+    // and the fail-fast conflict ceiling must never actually trip on a
+    // healthy run.
+    let r1 = DFinder::with_config(sys, &cfg()).check_deadlock_freedom();
+    assert_eq!(
+        r1.stop,
+        StopReason::Completed,
+        "{name}: the {CONFLICT_CEILING}-conflict fail-fast ceiling tripped"
+    );
     for &th in threads {
-        let rt = DFinder::with_config(sys, &DFinderConfig::new().threads(th).max_traps(MAX_TRAPS))
-            .check_deadlock_freedom();
+        let rt = DFinder::with_config(sys, &cfg().threads(th)).check_deadlock_freedom();
         assert_eq!(r1, rt, "{name}: DFinderReport must be bit-identical");
     }
     if let Some(floor) = assert_speedup {
@@ -159,10 +179,13 @@ fn bench_intern_reach(threads: &[usize]) {
             r.bytes_per_state(),
         );
         println!(
-            "BENCH {{\"bench\":\"e12\",\"workload\":\"intern_reach\",\"system\":\"uring-4\",\"threads\":{th},\"states\":{},\"secs\":{secs:.4},\"states_per_sec\":{:.0},\"bytes_per_state\":{:.2}}}",
+            "BENCH {{\"bench\":\"e12\",\"workload\":\"intern_reach\",\"system\":\"uring-4\",\"threads\":{th},\"states\":{},\"secs\":{secs:.4},\"wall_ms\":{:.1},\"states_per_sec\":{:.0},\"bytes_per_state\":{:.2},\"peak_bytes\":{},\"stop\":\"{:?}\"}}",
             r.states,
+            secs * 1e3,
             r.states as f64 / secs,
             r.bytes_per_state(),
+            r.peak_bytes,
+            r.stop,
         );
     }
     // Raw intern throughput: distinct-value appends plus re-intern hits
@@ -191,7 +214,8 @@ fn bench_intern_reach(threads: &[usize]) {
         table.len(),
     );
     println!(
-        "BENCH {{\"bench\":\"e12\",\"workload\":\"intern_ops\",\"workers\":{workers},\"ops\":{ops},\"secs\":{secs:.4},\"ops_per_sec\":{:.0},\"distinct\":{}}}",
+        "BENCH {{\"bench\":\"e12\",\"workload\":\"intern_ops\",\"workers\":{workers},\"ops\":{ops},\"secs\":{secs:.4},\"wall_ms\":{:.1},\"ops_per_sec\":{:.0},\"distinct\":{}}}",
+        secs * 1e3,
         ops / secs,
         table.len(),
     );
@@ -240,7 +264,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new(format!("traps_threads_{th}"), 120),
             &abs,
             |b, abs| {
-                let cfg = DFinderConfig::new().threads(th).max_traps(MAX_TRAPS);
+                let cfg = cfg().threads(th);
                 b.iter(|| enumerate_traps_with(abs, &cfg).len())
             },
         );

@@ -124,8 +124,12 @@ fn bench_system(name: &str, sys: &System, threads: &[usize], min_shrink: Option<
         full.states, red.states, full_secs, red_secs
     );
     println!(
-        "BENCH {{\"bench\":\"e13\",\"system\":\"{name}\",\"full_states\":{},\"reduced_states\":{},\"shrink\":{shrink:.2},\"full_secs\":{full_secs:.3},\"reduced_secs\":{red_secs:.3}}}",
-        full.states, red.states,
+        "BENCH {{\"bench\":\"e13\",\"system\":\"{name}\",\"full_states\":{},\"reduced_states\":{},\"shrink\":{shrink:.2},\"full_secs\":{full_secs:.3},\"reduced_secs\":{red_secs:.3},\"wall_ms\":{:.1},\"peak_bytes\":{},\"stop\":\"{:?}\"}}",
+        full.states,
+        red.states,
+        red.elapsed.as_secs_f64() * 1e3,
+        red.peak_bytes,
+        red.stop,
     );
     if let Some(f) = min_shrink {
         assert!(

@@ -34,6 +34,7 @@ use bip_core::{
 };
 use bip_verify::bmc::{BmcConfig, BmcOutcome, BmcReport};
 use bip_verify::reach::{check_invariant_with, ReachConfig};
+use bip_verify::{Budget, StopReason};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Depth of the planted bug (`n == DEPTH` first reachable after `DEPTH`
@@ -42,6 +43,26 @@ const DEPTH: usize = 30;
 const TOGGLES: usize = 10;
 /// Explicit-state budget the planted family must exhaust.
 const EXPLICIT_BUDGET: usize = 20_000;
+/// Fail-fast ceiling on cumulative SAT conflicts: far above what a healthy
+/// run needs, so a solver blowup truncates the run (`SolverBudget`) and the
+/// `Completed` assertions below fail cleanly instead of hanging CI.
+const CONFLICT_CEILING: u64 = 500_000;
+
+/// Shared helper: a BMC run capped at [`CONFLICT_CEILING`], asserted to
+/// have finished under it.
+fn bmc_capped(sys: &System, bound: usize, inv: &StatePred, ctx: &str) -> BmcReport {
+    let r = BmcConfig::new(sys)
+        .bound(bound)
+        .budget(Budget::unlimited().conflicts(CONFLICT_CEILING))
+        .check_invariant(inv)
+        .unwrap();
+    assert_eq!(
+        r.stop,
+        StopReason::Completed,
+        "{ctx}: the {CONFLICT_CEILING}-conflict fail-fast ceiling tripped"
+    );
+    r
+}
 
 /// One guarded counter (internal transitions, bug at depth `depth`) plus
 /// `toggles` independent two-location components on singleton connectors.
@@ -136,10 +157,7 @@ fn bench_planted() {
 
     // BMC one below the bug: a genuine depth-(D-1) absence proof.
     let t = std::time::Instant::now();
-    let below = BmcConfig::new(&sys)
-        .bound(DEPTH - 1)
-        .check_invariant(&inv)
-        .unwrap();
+    let below = bmc_capped(&sys, DEPTH - 1, &inv, "planted/below");
     let below_secs = t.elapsed().as_secs_f64();
     assert!(
         matches!(below.outcome, BmcOutcome::NoViolationWithin(_)),
@@ -150,10 +168,7 @@ fn bench_planted() {
 
     // BMC at the bug depth: violation, replayed concretely, exactly D steps.
     let t = std::time::Instant::now();
-    let at = BmcConfig::new(&sys)
-        .bound(DEPTH)
-        .check_invariant(&inv)
-        .unwrap();
+    let at = bmc_capped(&sys, DEPTH, &inv, "planted/at");
     let bmc_secs = t.elapsed().as_secs_f64();
     let (trace, states) = at.violation().expect("BMC must find the planted bug");
     assert_eq!(trace.len(), DEPTH, "shortest witness is {DEPTH} increments");
@@ -176,12 +191,14 @@ fn bench_planted() {
         DEPTH - 1
     );
     println!(
-        "BENCH {{\"bench\":\"e14\",\"system\":\"planted-{DEPTH}x{TOGGLES}\",\"explicit_states\":{},\"explicit_complete\":false,\"explicit_found\":false,\"bmc_bound\":{DEPTH},\"bmc_trace_len\":{},\"solver_vars\":{},\"solver_clauses\":{},\"conflicts\":{},\"explicit_secs\":{explicit_secs:.3},\"bmc_secs\":{bmc_secs:.3}}}",
+        "BENCH {{\"bench\":\"e14\",\"system\":\"planted-{DEPTH}x{TOGGLES}\",\"explicit_states\":{},\"explicit_complete\":false,\"explicit_found\":false,\"bmc_bound\":{DEPTH},\"bmc_trace_len\":{},\"solver_vars\":{},\"solver_clauses\":{},\"conflicts\":{},\"explicit_secs\":{explicit_secs:.3},\"bmc_secs\":{bmc_secs:.3},\"wall_ms\":{},\"stop\":\"{:?}\"}}",
         explicit.states,
         trace.len(),
         last.vars,
         last.clauses,
         last.conflicts,
+        at.elapsed.millis(),
+        at.stop,
     );
 }
 
@@ -201,13 +218,10 @@ fn bench_philosophers() {
             .len();
         assert_eq!(depth, n, "all-hasL is reachable in exactly n takeL steps");
 
-        let below = BmcConfig::new(&sys)
-            .bound(n - 1)
-            .check_invariant(&inv)
-            .unwrap();
+        let below = bmc_capped(&sys, n - 1, &inv, "phil/below");
         assert!(matches!(below.outcome, BmcOutcome::NoViolationWithin(_)));
         let t = std::time::Instant::now();
-        let at = BmcConfig::new(&sys).bound(n).check_invariant(&inv).unwrap();
+        let at = bmc_capped(&sys, n, &inv, "phil/at");
         let secs = t.elapsed().as_secs_f64();
         let (trace, _) = at.violation().expect("violation at the exact depth");
         assert_eq!(trace.len(), n);
@@ -221,12 +235,14 @@ fn bench_philosophers() {
             last.conflicts
         );
         println!(
-            "BENCH {{\"bench\":\"e14\",\"system\":\"phil-{n}\",\"explicit_states\":{},\"explicit_complete\":true,\"explicit_found\":true,\"bmc_bound\":{n},\"bmc_trace_len\":{},\"solver_vars\":{},\"solver_clauses\":{},\"conflicts\":{},\"explicit_secs\":0,\"bmc_secs\":{secs:.3}}}",
+            "BENCH {{\"bench\":\"e14\",\"system\":\"phil-{n}\",\"explicit_states\":{},\"explicit_complete\":true,\"explicit_found\":true,\"bmc_bound\":{n},\"bmc_trace_len\":{},\"solver_vars\":{},\"solver_clauses\":{},\"conflicts\":{},\"explicit_secs\":0,\"bmc_secs\":{secs:.3},\"wall_ms\":{},\"stop\":\"{:?}\"}}",
             explicit.states,
             trace.len(),
             last.vars,
             last.clauses,
             last.conflicts,
+            at.elapsed.millis(),
+            at.stop,
         );
     }
 }

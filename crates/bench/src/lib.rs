@@ -30,6 +30,7 @@ use bip_verify::reach::ReachReport;
 /// successors pruned at `max_states` still count as transitions, so
 /// baseline reports are only comparable edge-for-edge on complete runs.
 pub fn pr1_explore(sys: &System, max_states: usize) -> ReachReport {
+    let start = std::time::Instant::now();
     let mut seen: HashMap<State, ()> = HashMap::new();
     let mut queue = VecDeque::new();
     let mut transitions = 0usize;
@@ -66,6 +67,14 @@ pub fn pr1_explore(sys: &System, max_states: usize) -> ReachReport {
         // The PR-1 seen set has no packed footprint; the E11 bench measures
         // its `State`-based cost separately.
         stored_bytes: 0,
+        stop: if complete {
+            bip_verify::StopReason::Completed
+        } else {
+            bip_verify::StopReason::BoundExhausted
+        },
+        elapsed: start.elapsed(),
+        peak_bytes: 0,
+        checkpoint: None,
     }
 }
 

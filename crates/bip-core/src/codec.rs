@@ -260,6 +260,21 @@ enum VarKind {
     Interned,
 }
 
+/// A self-contained, serialization-shaped image of a [`StateCodec`]: the
+/// per-variable packing plans plus the interned overflow values in index
+/// order, captured at a consistent point (the model checker captures at a
+/// BFS level boundary). Unlike a `StateCodec` clone, a snapshot does **not**
+/// share the live `Arc` intern table — [`StateCodec::restore`] replays the
+/// recorded values into a fresh table, reproducing the same dense index
+/// assignment, so packed words encoded before the snapshot decode
+/// bit-identically through the restored codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecSnapshot {
+    kinds: Vec<VarKind>,
+    intern_bits: u8,
+    intern_values: Vec<i64>,
+}
+
 /// Per-system packing schedule: bit offset and width of every component's
 /// location, followed by the data variables under their per-variable plans
 /// (see the module docs for the full-width vs. adaptive profiles and the
@@ -420,6 +435,35 @@ impl StateCodec {
     /// The shared intern table, if any variable is interned.
     pub fn intern_table(&self) -> Option<&Arc<InternTable>> {
         self.intern.as_ref()
+    }
+
+    /// Capture a self-contained [`CodecSnapshot`] of this codec's packing
+    /// schedule and interned values (see the snapshot type's docs). The
+    /// caller must ensure no concurrent encoder is interning while the
+    /// snapshot is taken (the model checker captures between BFS levels).
+    pub fn snapshot(&self) -> CodecSnapshot {
+        CodecSnapshot {
+            kinds: self.kinds.clone(),
+            intern_bits: self.intern_bits,
+            intern_values: self.intern.as_ref().map_or_else(Vec::new, |t| t.values()),
+        }
+    }
+
+    /// Rebuild a codec from a [`CodecSnapshot`] taken on (a codec for) the
+    /// same system. The restored codec has the identical bit layout, and its
+    /// fresh intern table replays the snapshot's values in index order, so
+    /// any packed words produced before the snapshot decode bit-identically.
+    pub fn restore(sys: &System, snap: &CodecSnapshot) -> StateCodec {
+        let intern = if snap.intern_values.is_empty() {
+            None
+        } else {
+            let table = InternTable::default();
+            for &v in &snap.intern_values {
+                table.intern(v);
+            }
+            Some(Arc::new(table))
+        };
+        Self::layout(sys, snap.kinds.clone(), snap.intern_bits, intern)
     }
 
     /// Approximate bytes one stored state costs under this codec when kept
@@ -870,6 +914,48 @@ mod tests {
         }
         assert!(widened, "a 1-bit index cannot address 4 values");
         assert_eq!(codec.intern_bits, 9);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_packed_layout_and_indices() {
+        let sys = counter_sys();
+        // Build an interned codec and encode several wide values so the
+        // intern table carries real index assignments.
+        let codec = sys.adaptive_codec().widen(&sys, WidenReq::Var(0));
+        let mut st = sys.initial_state();
+        let mut packed = Vec::new();
+        for v in [1_000_000i64, -7, 42, 1_000_000, i64::MIN] {
+            sys.set_var(&mut st, 0, 0, v);
+            packed.push((codec.encode(&st), st.clone()));
+        }
+        let snap = codec.snapshot();
+        // The original table keeps growing after the capture; the snapshot
+        // must not see post-capture values.
+        sys.set_var(&mut st, 0, 0, 999);
+        let _ = codec.encode(&st);
+        let restored = StateCodec::restore(&sys, &snap);
+        assert_eq!(restored.bits(), codec.bits());
+        assert_eq!(restored.words(), codec.words());
+        assert_eq!(restored.intern_table().unwrap().len(), 4, "pre-capture");
+        for (p, want) in &packed {
+            // Bit-identical words decode to the same state through the
+            // restored codec, and re-encoding reproduces the same words.
+            assert_eq!(&restored.decode(p), want);
+            assert_eq!(restored.encode(want), *p);
+        }
+        // The restored ladder keeps working: new values intern fresh.
+        sys.set_var(&mut st, 0, 0, 31337);
+        roundtrip_with(&restored, &st);
+    }
+
+    #[test]
+    fn snapshot_restore_without_interning() {
+        let sys = dining_philosophers(5, true).unwrap();
+        let codec = sys.adaptive_codec();
+        let restored = StateCodec::restore(&sys, &codec.snapshot());
+        let st = sys.initial_state();
+        assert_eq!(restored.encode(&st), codec.encode(&st));
+        assert_eq!(restored.bits(), codec.bits());
     }
 
     #[test]

@@ -281,6 +281,15 @@ impl InternTable {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// All interned values in index order: `values()[i]` is the value behind
+    /// index `i`. The table is append-only, so the snapshot is a stable
+    /// prefix of any later state — replaying it into a fresh table with
+    /// [`InternTable::intern`] reproduces the same index assignment, which
+    /// is what checkpoint serialization of a codec ladder relies on.
+    pub fn values(&self) -> Vec<i64> {
+        (0..self.len() as u32).map(|i| self.value(i)).collect()
+    }
 }
 
 impl Drop for InternTable {

@@ -108,7 +108,7 @@ pub use atom::{
     Atom, AtomBuilder, AtomType, LocId, PortDecl, PortId, Transition, TransitionId, VarId,
 };
 pub use builder::{dining_philosophers, SystemBuilder};
-pub use codec::{PackedState, StateCodec, WidenReq};
+pub use codec::{CodecSnapshot, PackedState, StateCodec, WidenReq};
 pub use composite::{Composite, CompositeBuilder, InstanceRef};
 pub use connector::{ConnId, Connector, ConnectorBuilder, PortRef};
 pub use data::{BinOp, Expr, UnOp, Value};

@@ -1363,9 +1363,6 @@ mod tests {
     /// Enumerate all `(step, successor)` pairs of `st` concretely.
     fn concrete_successors(sys: &System, st: &State) -> Vec<(Step, State)> {
         sys.successors(st)
-            .into_iter()
-            .map(|(step, s)| (step, s))
-            .collect()
     }
 
     /// Enumerate all `(step, successor)` pairs symbolically by blocking

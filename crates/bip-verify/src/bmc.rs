@@ -49,9 +49,11 @@
 //! }
 //! ```
 
+use crate::control::{Budget, CancelToken, StopReason, Wall};
 use bip_core::sym::{StepEncoder, StepVars, SymError, SymFrame};
 use bip_core::{State, StatePred, Step, System};
-use satkit::{CnfBuilder, Lit};
+use satkit::{CnfBuilder, Lit, SolveLimits, SolveResult};
+use std::time::Instant;
 
 /// Builder for a bounded model-checking run (mirrors
 /// [`crate::reach::ReachConfig`]'s builder/report shape).
@@ -60,6 +62,8 @@ pub struct BmcConfig<'a> {
     sys: &'a System,
     bound: usize,
     enum_budget: u64,
+    budget: Budget,
+    cancel: CancelToken,
 }
 
 impl<'a> BmcConfig<'a> {
@@ -69,6 +73,8 @@ impl<'a> BmcConfig<'a> {
             sys,
             bound: 10,
             enum_budget: bip_core::sym::DEFAULT_ENUM_BUDGET,
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -88,6 +94,26 @@ impl<'a> BmcConfig<'a> {
         self
     }
 
+    /// Bound the run's resources. `max_conflicts` is a *cumulative* ceiling
+    /// over the one persistent solver; the deadline is checked between
+    /// per-depth queries. Either trip ends the run with a sound partial
+    /// verdict (see [`BmcReport::stop`]) — never a wrong one.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> BmcConfig<'a> {
+        self.budget = budget;
+        self
+    }
+
+    /// Observe `token` for cancellation. The token is installed as the
+    /// solver's interrupt flag, so cancellation cuts even a long-running
+    /// depth query short (the query returns unknown, the run stops with
+    /// [`StopReason::Cancelled`]).
+    #[must_use]
+    pub fn cancel(mut self, token: &CancelToken) -> BmcConfig<'a> {
+        self.cancel = token.clone();
+        self
+    }
+
     /// Check that `inv` holds on every state reachable within the bound.
     ///
     /// # Errors
@@ -97,11 +123,13 @@ impl<'a> BmcConfig<'a> {
     /// satisfying model fails concrete replay (an encoder bug — never a
     /// property of the system).
     pub fn check_invariant(&self, inv: &StatePred) -> Result<BmcReport, BmcError> {
+        let start = Instant::now();
         let sys = self.sys;
         let mut enc = StepEncoder::new(sys)
             .map_err(BmcError::Encode)?
             .enum_budget(self.enum_budget);
         let mut b = CnfBuilder::new();
+        b.solver_mut().set_interrupt(Some(self.cancel.flag()));
 
         let mut frames: Vec<SymFrame> = vec![enc.new_frame(&mut b)];
         enc.assert_initial(&mut b, &frames[0]);
@@ -109,6 +137,35 @@ impl<'a> BmcConfig<'a> {
         let mut stats: Vec<FrameStats> = Vec::new();
 
         for depth in 0..=self.bound {
+            // Budget check between queries: verdicts for depths < `depth`
+            // are already final, so an interrupted report stays sound —
+            // `NoViolationWithin` shrinks to the deepest cleared depth.
+            let interrupted = if self.cancel.is_cancelled() {
+                Some(StopReason::Cancelled)
+            } else if self
+                .budget
+                .deadline
+                .is_some_and(|due| Instant::now() >= due)
+            {
+                Some(StopReason::Deadline)
+            } else if self
+                .budget
+                .max_conflicts
+                .is_some_and(|m| b.solver_mut().conflicts() >= m)
+            {
+                Some(StopReason::SolverBudget)
+            } else {
+                None
+            };
+            if let Some(stop) = interrupted {
+                return Ok(BmcReport {
+                    outcome: BmcOutcome::NoViolationWithin(depth.saturating_sub(1)),
+                    frames: stats,
+                    stop,
+                    elapsed: Wall(start.elapsed()),
+                });
+            }
+
             // Goal: the invariant is violated at this depth — guarded by a
             // fresh activation literal so it can be retired after the query.
             let inv_lit = enc
@@ -117,7 +174,29 @@ impl<'a> BmcConfig<'a> {
             let act = Lit::pos(b.solver_mut().new_var());
             b.implies(act, !inv_lit);
 
-            let sat = b.solver_mut().solve_with(&[act]).is_sat();
+            // The conflict ceiling is cumulative across the persistent
+            // solver: each query gets whatever the earlier depths left.
+            let limits = match self.budget.max_conflicts {
+                Some(m) => {
+                    SolveLimits::unlimited().conflicts(m.saturating_sub(b.solver_mut().conflicts()))
+                }
+                None => SolveLimits::unlimited(),
+            };
+            let verdict = b.solver_mut().solve_limited(&[act], limits);
+            if verdict == SolveResult::Unknown {
+                let stop = if self.cancel.is_cancelled() {
+                    StopReason::Cancelled
+                } else {
+                    StopReason::SolverBudget
+                };
+                return Ok(BmcReport {
+                    outcome: BmcOutcome::NoViolationWithin(depth.saturating_sub(1)),
+                    frames: stats,
+                    stop,
+                    elapsed: Wall(start.elapsed()),
+                });
+            }
+            let sat = verdict.is_sat();
             {
                 let s = b.solver_mut();
                 stats.push(FrameStats {
@@ -148,6 +227,23 @@ impl<'a> BmcConfig<'a> {
                 return Ok(BmcReport {
                     outcome: BmcOutcome::Violation { trace, states },
                     frames: stats,
+                    stop: StopReason::Completed,
+                    elapsed: Wall(start.elapsed()),
+                });
+            }
+
+            // The depth-d query failed under the single assumption `act`.
+            // If the solver's failed-assumption core is *empty*, the
+            // unrolled formula is UNSAT on its own: no execution of length
+            // `depth` exists at all (every run of the system halts
+            // earlier), so no deeper frame is satisfiable either and the
+            // full bound is cleared without unrolling further.
+            if b.solver_mut().failed_assumptions().is_empty() {
+                return Ok(BmcReport {
+                    outcome: BmcOutcome::NoViolationWithin(self.bound),
+                    frames: stats,
+                    stop: StopReason::Completed,
+                    elapsed: Wall(start.elapsed()),
                 });
             }
 
@@ -167,6 +263,8 @@ impl<'a> BmcConfig<'a> {
         Ok(BmcReport {
             outcome: BmcOutcome::NoViolationWithin(self.bound),
             frames: stats,
+            stop: StopReason::Completed,
+            elapsed: Wall(start.elapsed()),
         })
     }
 }
@@ -249,9 +347,20 @@ pub enum BmcOutcome {
 pub struct BmcReport {
     /// The verdict.
     pub outcome: BmcOutcome,
-    /// Per-depth solver statistics (one entry per queried depth, in order).
-    /// `vars` is monotone across entries: all depths share one solver.
+    /// Per-depth solver statistics (one entry per *decided* depth, in
+    /// order — a query cut short by a budget or cancellation leaves no
+    /// entry). `vars` is monotone across entries: all depths share one
+    /// solver.
     pub frames: Vec<FrameStats>,
+    /// Why the run stopped. [`StopReason::Completed`] means the outcome
+    /// covers the full configured bound; an interrupted stop
+    /// ([`StopReason::SolverBudget`] / [`StopReason::Deadline`] /
+    /// [`StopReason::Cancelled`]) means `NoViolationWithin` shrank to the
+    /// deepest depth actually cleared (vacuously 0 when `frames` is
+    /// empty) — the verdict is still sound, never wrong.
+    pub stop: StopReason,
+    /// Wall-clock the run took (excluded from report equality).
+    pub elapsed: Wall,
 }
 
 impl BmcReport {
@@ -451,6 +560,80 @@ mod tests {
             .check_invariant(&StatePred::True)
             .unwrap();
         assert_eq!(r.outcome, BmcOutcome::NoViolationWithin(0));
+    }
+
+    #[test]
+    fn zero_conflict_budget_stops_before_any_query() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let r = BmcConfig::new(&sys)
+            .bound(6)
+            .budget(Budget::unlimited().conflicts(0))
+            .check_invariant(&all_has_left(3))
+            .unwrap();
+        assert_eq!(r.stop, StopReason::SolverBudget);
+        assert_eq!(r.outcome, BmcOutcome::NoViolationWithin(0));
+        assert!(r.frames.is_empty(), "no depth was decided");
+    }
+
+    #[test]
+    fn generous_conflict_budget_matches_unbudgeted_verdict() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let inv = all_has_left(3);
+        let free = BmcConfig::new(&sys).bound(3).check_invariant(&inv).unwrap();
+        let capped = BmcConfig::new(&sys)
+            .bound(3)
+            .budget(Budget::unlimited().conflicts(1_000_000))
+            .check_invariant(&inv)
+            .unwrap();
+        assert_eq!(capped.outcome, free.outcome);
+        assert_eq!(capped.stop, StopReason::Completed);
+    }
+
+    #[test]
+    fn cancelled_token_stops_bmc() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let r = BmcConfig::new(&sys)
+            .bound(6)
+            .cancel(&token)
+            .check_invariant(&all_has_left(3))
+            .unwrap();
+        assert_eq!(r.stop, StopReason::Cancelled);
+        assert_eq!(r.outcome, BmcOutcome::NoViolationWithin(0));
+    }
+
+    #[test]
+    fn expired_deadline_stops_bmc() {
+        use std::time::{Duration, Instant};
+        let sys = dining_philosophers(3, true).unwrap();
+        let r = BmcConfig::new(&sys)
+            .bound(6)
+            .budget(Budget::unlimited().deadline(Instant::now() - Duration::from_millis(1)))
+            .check_invariant(&all_has_left(3))
+            .unwrap();
+        assert_eq!(r.stop, StopReason::Deadline);
+        assert_eq!(r.outcome, BmcOutcome::NoViolationWithin(0));
+    }
+
+    #[test]
+    fn terminating_system_clears_deep_bounds_without_full_unrolling() {
+        // The counter halts after 2 steps: once the unrolled formula is
+        // UNSAT on its own (empty failed-assumption core), depths through
+        // the full bound are cleared without extending the unrolling.
+        let sys = counter_system(2);
+        let inv = StatePred::Not(Box::new(StatePred::Eq(GExpr::var(0, 0), GExpr::int(5))));
+        let r = BmcConfig::new(&sys)
+            .bound(10)
+            .check_invariant(&inv)
+            .unwrap();
+        assert_eq!(r.outcome, BmcOutcome::NoViolationWithin(10));
+        assert_eq!(r.stop, StopReason::Completed);
+        assert!(
+            r.frames.len() < 11,
+            "expected an early absence proof, queried {} depths",
+            r.frames.len()
+        );
     }
 
     #[test]

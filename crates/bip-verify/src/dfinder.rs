@@ -43,14 +43,16 @@
 //! assert_eq!(seq, par, "reports are thread-count invariant");
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use bip_core::hash::FxHasher;
 use bip_core::FxHashSet;
 use std::hash::Hasher;
 
+use crate::control::{Budget, CancelToken, StopReason, Wall};
 use bip_core::{PlaceSet, StatePred, System};
-use satkit::{CnfBuilder, Lit, Var};
+use satkit::{CnfBuilder, Lit, SolveLimits, Var};
 
 /// A place of the abstraction: `(component, location)` as a dense index.
 pub type Place = usize;
@@ -506,12 +508,21 @@ pub enum Verdict {
     /// Satisfiable: the model gives candidate deadlock location vectors
     /// (may be spurious — the abstraction over-approximates).
     PotentialDeadlock(Vec<Vec<u32>>),
+    /// The final `CI ∧ II ∧ DIS` check was cut short by a budget, deadline,
+    /// or cancellation before the solver could decide it. Never a wrong
+    /// verdict — just no verdict.
+    Unknown(StopReason),
 }
 
 impl Verdict {
     /// `true` for [`Verdict::DeadlockFree`].
     pub fn is_deadlock_free(&self) -> bool {
         matches!(self, Verdict::DeadlockFree)
+    }
+
+    /// `true` for [`Verdict::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown(_))
     }
 }
 
@@ -533,6 +544,17 @@ pub struct DFinderConfig {
     pub threads: usize,
     /// Bound on the number of traps kept as interaction invariants.
     pub max_traps: usize,
+    /// Resource ceilings. `max_conflicts` is a **per-solve** ceiling here
+    /// (each trap-enumeration iterate and the final DIS check get the same
+    /// allowance), which keeps budget-cut trap lists — and therefore whole
+    /// reports — thread-count invariant. A seed whose iterate goes over
+    /// stops enumerating; the traps it already found are kept (fewer traps
+    /// only *weaken* II, so verdicts stay sound). The deadline is observed
+    /// between SAT iterations and at the seed-merge horizon.
+    pub budget: Budget,
+    /// Cancellation token, installed as every solver's interrupt flag, so
+    /// even a worker buried in a hard SAT instance stops mid-solve.
+    pub cancel: CancelToken,
 }
 
 impl DFinderConfig {
@@ -542,6 +564,8 @@ impl DFinderConfig {
         DFinderConfig {
             threads: 1,
             max_traps: DFinder::DEFAULT_MAX_TRAPS,
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -556,6 +580,20 @@ impl DFinderConfig {
     #[must_use]
     pub fn max_traps(mut self, max_traps: usize) -> DFinderConfig {
         self.max_traps = max_traps;
+        self
+    }
+
+    /// Bound the run's resources (see [`DFinderConfig::budget`]).
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> DFinderConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// Observe `token` for cancellation (see [`DFinderConfig::cancel`]).
+    #[must_use]
+    pub fn cancel(mut self, token: &CancelToken) -> DFinderConfig {
+        self.cancel = token.clone();
         self
     }
 }
@@ -586,6 +624,15 @@ pub struct DFinderReport {
     pub places: usize,
     /// SAT conflicts spent in the final check.
     pub sat_conflicts: u64,
+    /// Why the run stopped. [`StopReason::Completed`] means nothing was
+    /// truncated. With a [`Verdict::Unknown`] verdict this is the final
+    /// check's stop reason; with a decisive verdict it can still be a
+    /// budget reason when *trap enumeration* was truncated — the verdict is
+    /// sound either way (a truncated II is weaker, never wrong).
+    pub stop: StopReason,
+    /// Wall-clock for construction + final check (compares equal to any
+    /// other timing, so report equality stays about content).
+    pub wall: Wall,
 }
 
 /// The compositional verifier. Holds the abstraction and the computed trap
@@ -595,6 +642,10 @@ pub struct DFinder {
     abs: Abstraction,
     traps: Vec<PlaceSet>,
     linear: Vec<LinearInvariant>,
+    budget: Budget,
+    cancel: CancelToken,
+    build_stop: StopReason,
+    build_elapsed: std::time::Duration,
 }
 
 impl DFinder {
@@ -618,10 +669,19 @@ impl DFinder {
     /// Build under `cfg` (possibly enumerating traps in parallel; the
     /// result does not depend on the thread count).
     pub fn with_config(sys: &System, cfg: &DFinderConfig) -> DFinder {
+        let start = Instant::now();
         let abs = Abstraction::new(sys);
-        let traps = enumerate_traps_with(&abs, cfg);
+        let (traps, build_stop) = enumerate_traps_inner(&abs, &[], cfg);
         let linear = linear_invariants(&abs, Self::DEFAULT_MAX_COEFF, Self::DEFAULT_MAX_SUPPORT);
-        DFinder { abs, traps, linear }
+        DFinder {
+            abs,
+            traps,
+            linear,
+            budget: cfg.budget,
+            cancel: cfg.cancel.clone(),
+            build_stop,
+            build_elapsed: start.elapsed(),
+        }
     }
 
     /// The computed traps (as packed place sets).
@@ -666,20 +726,48 @@ impl DFinder {
             let disabled = builder.or(blocked_lits);
             builder.assert_lit(disabled);
         }
+        let start = Instant::now();
         let solver = builder.solver_mut();
-        let sat = solver.solve();
-        let conflicts = solver.conflicts();
-        let verdict = if sat.is_unsat() {
-            Verdict::DeadlockFree
+        solver.set_interrupt(Some(self.cancel.flag()));
+        let pre = if self.cancel.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else if self
+            .budget
+            .deadline
+            .is_some_and(|due| Instant::now() >= due)
+        {
+            Some(StopReason::Deadline)
         } else {
-            // Read back one candidate location vector.
-            let mut locs = vec![0u32; self.abs.place_base.len()];
-            for p in 0..self.abs.num_places {
-                if solver.value(lit_var(at[p])) == Some(true) {
-                    locs[self.abs.component_of(p)] = self.abs.location_of(p);
+            None
+        };
+        let verdict = match pre {
+            Some(stop) => Verdict::Unknown(stop),
+            None => {
+                let sat = solver.solve_limited(&[], solve_limits(&self.budget));
+                if sat.is_unknown() {
+                    Verdict::Unknown(if self.cancel.is_cancelled() {
+                        StopReason::Cancelled
+                    } else {
+                        StopReason::SolverBudget
+                    })
+                } else if sat.is_unsat() {
+                    Verdict::DeadlockFree
+                } else {
+                    // Read back one candidate location vector.
+                    let mut locs = vec![0u32; self.abs.place_base.len()];
+                    for p in 0..self.abs.num_places {
+                        if solver.value(lit_var(at[p])) == Some(true) {
+                            locs[self.abs.component_of(p)] = self.abs.location_of(p);
+                        }
+                    }
+                    Verdict::PotentialDeadlock(vec![locs])
                 }
             }
-            Verdict::PotentialDeadlock(vec![locs])
+        };
+        let conflicts = solver.conflicts();
+        let stop = match &verdict {
+            Verdict::Unknown(stop) => *stop,
+            _ => self.build_stop,
         };
         DFinderReport {
             verdict,
@@ -688,6 +776,8 @@ impl DFinder {
             abstract_transitions: self.abs.transitions.len(),
             places: self.abs.num_places,
             sat_conflicts: conflicts,
+            stop,
+            wall: Wall(self.build_elapsed + start.elapsed()),
         }
     }
 
@@ -742,6 +832,15 @@ impl DFinder {
 
 fn lit_var(l: Lit) -> Var {
     l.var()
+}
+
+/// Per-solve [`SolveLimits`] from a budget (see [`DFinderConfig::budget`]:
+/// `max_conflicts` is a per-call allowance here).
+pub(crate) fn solve_limits(budget: &Budget) -> SolveLimits {
+    match budget.max_conflicts {
+        Some(m) => SolveLimits::unlimited().conflicts(m),
+        None => SolveLimits::unlimited(),
+    }
 }
 
 fn encode_pred(b: &mut CnfBuilder, abs: &Abstraction, at: &[Lit], pred: &StatePred) -> Option<Lit> {
@@ -943,12 +1042,30 @@ fn enumerate_seed(
     known: &[PlaceSet],
     cap: usize,
     cancel: &std::sync::atomic::AtomicBool,
+    cfg: &DFinderConfig,
+    solver_cut: &AtomicBool,
 ) -> Vec<PlaceSet> {
     let (mut b, s) = seed_cnf(abs, seed, known);
     let mut out = Vec::new();
     let solver = b.solver_mut();
+    // The config's cancel token interrupts even mid-solve; the budget's
+    // conflict ceiling applies per solve call (deterministic, so a
+    // budget-cut seed yields the same traps on every thread count).
+    solver.set_interrupt(Some(cfg.cancel.flag()));
+    let limits = solve_limits(&cfg.budget);
     while out.len() < cap && !cancel.load(Ordering::Acquire) {
-        if solver.solve().is_unsat() {
+        if cfg.cancel.is_cancelled() || cfg.budget.deadline.is_some_and(|due| Instant::now() >= due)
+        {
+            break;
+        }
+        let v = solver.solve_limited(&[], limits);
+        if v.is_unknown() {
+            if !cfg.cancel.is_cancelled() {
+                solver_cut.store(true, Ordering::Release);
+            }
+            break;
+        }
+        if v.is_unsat() {
             break;
         }
         let mut set = abs.place_set();
@@ -1000,6 +1117,37 @@ pub fn enumerate_traps_blocking_with(
     known: &[PlaceSet],
     cfg: &DFinderConfig,
 ) -> Vec<PlaceSet> {
+    enumerate_traps_inner(abs, known, cfg).0
+}
+
+/// Core enumeration: traps plus why it stopped ([`StopReason::Completed`]
+/// unless a budget/deadline/cancellation truncated the sweep). Truncation
+/// is sound — a shorter trap list only weakens II.
+pub(crate) fn enumerate_traps_inner(
+    abs: &Abstraction,
+    known: &[PlaceSet],
+    cfg: &DFinderConfig,
+) -> (Vec<PlaceSet>, StopReason) {
+    let solver_cut = AtomicBool::new(false);
+    let traps = enumerate_traps_impl(abs, known, cfg, &solver_cut);
+    let stop = if cfg.cancel.is_cancelled() {
+        StopReason::Cancelled
+    } else if cfg.budget.deadline.is_some_and(|due| Instant::now() >= due) {
+        StopReason::Deadline
+    } else if solver_cut.load(Ordering::Acquire) {
+        StopReason::SolverBudget
+    } else {
+        StopReason::Completed
+    };
+    (traps, stop)
+}
+
+fn enumerate_traps_impl(
+    abs: &Abstraction,
+    known: &[PlaceSet],
+    cfg: &DFinderConfig,
+    solver_cut: &AtomicBool,
+) -> Vec<PlaceSet> {
     if cfg.max_traps == 0 {
         return Vec::new();
     }
@@ -1022,7 +1170,14 @@ pub fn enumerate_traps_blocking_with(
         let mut all = Vec::new();
         let mut found = 0usize;
         for (i, &p) in seeds.iter().enumerate() {
-            let traps = enumerate_seed(abs, p, known, cap - found, &never);
+            // The merge horizon honors the deadline and cancellation: no
+            // new seed starts once either has tripped.
+            if cfg.cancel.is_cancelled()
+                || cfg.budget.deadline.is_some_and(|due| Instant::now() >= due)
+            {
+                break;
+            }
+            let traps = enumerate_seed(abs, p, known, cap - found, &never, cfg, solver_cut);
             found += traps.len();
             all.push((i, traps));
             if found >= cap {
@@ -1051,14 +1206,25 @@ pub fn enumerate_traps_blocking_with(
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
-                            if done_ref.load(Ordering::Acquire) {
+                            if done_ref.load(Ordering::Acquire)
+                                || cfg.cancel.is_cancelled()
+                                || cfg.budget.deadline.is_some_and(|due| Instant::now() >= due)
+                            {
                                 break local;
                             }
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= seeds_ref.len() {
                                 break local;
                             }
-                            let traps = enumerate_seed(abs, seeds_ref[i], known, cap, done_ref);
+                            let traps = enumerate_seed(
+                                abs,
+                                seeds_ref[i],
+                                known,
+                                cap,
+                                done_ref,
+                                cfg,
+                                solver_cut,
+                            );
                             if done_ref.load(Ordering::Acquire) {
                                 // Aborted mid-seed: this seed is beyond the
                                 // merge horizon (the done flag only rises
@@ -1141,6 +1307,7 @@ mod tests {
                 assert!(crate::reach::find_deadlock(&sys, 1_000_000).found());
             }
             Verdict::DeadlockFree => panic!("missed a real deadlock"),
+            Verdict::Unknown(stop) => panic!("unbudgeted run stopped: {stop:?}"),
         }
     }
 
@@ -1333,5 +1500,76 @@ mod tests {
         assert_eq!(abs.component_of(0), 0);
         assert_eq!(abs.component_of(7), 3);
         assert_eq!(abs.location_of(7), 1);
+    }
+
+    #[test]
+    fn cancelled_token_yields_unknown_verdict() {
+        let token = CancelToken::new();
+        token.cancel();
+        let sys = dining_philosophers(4, false).unwrap();
+        let df = DFinder::with_config(&sys, &DFinderConfig::new().cancel(&token));
+        let report = df.check_deadlock_freedom();
+        assert_eq!(report.verdict, Verdict::Unknown(StopReason::Cancelled));
+        assert_eq!(report.stop, StopReason::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown_verdict() {
+        let sys = dining_philosophers(4, false).unwrap();
+        let cfg = DFinderConfig::new().budget(Budget::unlimited().deadline(Instant::now()));
+        let report = DFinder::with_config(&sys, &cfg).check_deadlock_freedom();
+        assert_eq!(report.verdict, Verdict::Unknown(StopReason::Deadline));
+        assert_eq!(report.stop, StopReason::Deadline);
+    }
+
+    #[test]
+    fn generous_conflict_budget_matches_unbudgeted_report() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let plain = DFinder::new(&sys).check_deadlock_freedom();
+        let cfg = DFinderConfig::new().budget(Budget::unlimited().conflicts(1_000_000));
+        let budgeted = DFinder::with_config(&sys, &cfg).check_deadlock_freedom();
+        assert_eq!(plain, budgeted);
+        assert_eq!(budgeted.stop, StopReason::Completed);
+    }
+
+    #[test]
+    fn conflict_budget_keeps_results_thread_invariant() {
+        // Per-solve conflict ceilings truncate enumeration deterministically
+        // per seed, so even budget-cut trap lists (and the report built on
+        // them) are identical for every worker count.
+        let sys = dining_philosophers(6, true).unwrap();
+        let runs: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                let cfg = DFinderConfig::new()
+                    .threads(threads)
+                    .budget(Budget::unlimited().conflicts(1));
+                let df = DFinder::with_config(&sys, &cfg);
+                (df.traps().to_vec(), df.check_deadlock_freedom())
+            })
+            .collect();
+        for (traps, report) in &runs[1..] {
+            assert_eq!(
+                traps, &runs[0].0,
+                "budget-cut trap sets must not depend on threads"
+            );
+            assert_eq!(
+                report, &runs[0].1,
+                "budget-cut reports must not depend on threads"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_verdict_never_claims_freedom() {
+        let token = CancelToken::new();
+        token.cancel();
+        // Two-phase philosophers really deadlock; a cancelled run must say
+        // Unknown, not DeadlockFree.
+        let sys = dining_philosophers(4, true).unwrap();
+        let report = DFinder::with_config(&sys, &DFinderConfig::new().cancel(&token))
+            .check_deadlock_freedom();
+        assert!(report.verdict.is_unknown());
+        assert!(!report.verdict.is_deadlock_free());
     }
 }

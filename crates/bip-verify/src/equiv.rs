@@ -22,8 +22,11 @@
 //! optimization; the equivalence checker enumerates the full LTS.
 
 use std::collections::{BTreeSet, VecDeque};
+use std::time::{Duration, Instant};
 
 use bip_core::{FxHashMap, PackedState, StateCodec, System};
+
+use crate::control::{Budget, CancelToken, StopReason};
 
 /// Result of a refinement check.
 #[derive(Debug, Clone)]
@@ -40,12 +43,23 @@ pub struct RefinementReport {
     pub concrete_deadlock_free: bool,
     /// Product states explored during the inclusion check.
     pub product_states: usize,
+    /// Why the check stopped: [`StopReason::Completed`] unless a budget,
+    /// deadline, or cancellation interrupted it — then every clause only
+    /// covers the explored region and [`Self::refines`] refuses to certify.
+    /// A found counterexample is still a real counterexample.
+    pub stop: StopReason,
+    /// Wall-clock the whole check took (both LTS extractions plus the
+    /// product search).
+    pub elapsed: Duration,
 }
 
 impl RefinementReport {
     /// The paper's `≥`: trace inclusion and deadlock-freedom preservation.
+    /// An interrupted check (`stop != Completed`) never certifies.
     pub fn refines(&self) -> bool {
-        self.trace_included && (!self.abstract_deadlock_free || self.concrete_deadlock_free)
+        self.stop == StopReason::Completed
+            && self.trace_included
+            && (!self.abstract_deadlock_free || self.concrete_deadlock_free)
     }
 }
 
@@ -58,6 +72,8 @@ struct ObsLts {
     obs: Vec<Vec<(String, usize)>>,
     has_deadlock: bool,
     complete: bool,
+    /// `Completed` unless the budget/token cut the extraction short.
+    stop: StopReason,
 }
 
 /// Extract the observable LTS of `sys`. Each step's label comes from
@@ -68,7 +84,13 @@ struct ObsLts {
 /// states; a value overflowing its inferred width widens the codec and
 /// rebuilds the LTS from scratch (rare, and the construction is
 /// deterministic, so the result is identical to a never-widened run).
-fn obs_lts<F>(sys: &System, rename: &F, max_states: usize) -> ObsLts
+fn obs_lts<F>(
+    sys: &System,
+    rename: &F,
+    max_states: usize,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> ObsLts
 where
     F: Fn(&str) -> Option<String>,
 {
@@ -80,6 +102,7 @@ where
         let mut obs: Vec<Vec<(String, usize)>> = Vec::new();
         let mut has_deadlock = false;
         let mut complete = true;
+        let mut stop = StopReason::Completed;
         let mut st = sys.initial_state();
         let mut es = sys.new_enabled_set();
         let mut succ = Vec::new();
@@ -95,6 +118,19 @@ where
         obs.push(Vec::new());
         queue.push_back(pinit);
         while let Some(packed) = queue.pop_front() {
+            // Budget trip: the extraction is a plain BFS with no
+            // checkpointing, so a trip just truncates it — the caller's
+            // report carries the reason and refuses to certify.
+            let trip = if cancel.is_cancelled() {
+                Some(StopReason::Cancelled)
+            } else {
+                budget.exceeded(index.len(), 0)
+            };
+            if let Some(reason) = trip {
+                complete = false;
+                stop = reason;
+                break;
+            }
             let src = index[&packed];
             codec.decode_into(&packed, &mut st);
             es.invalidate_all();
@@ -136,6 +172,7 @@ where
             obs,
             has_deadlock,
             complete,
+            stop,
         };
     }
 }
@@ -198,8 +235,44 @@ pub fn refines<F>(
 where
     F: Fn(&str) -> Option<String>,
 {
-    let a = obs_lts(abstract_sys, &|l: &str| Some(l.to_string()), max_states);
-    let c = obs_lts(concrete_sys, &rename_concrete, max_states);
+    refines_with(
+        abstract_sys,
+        concrete_sys,
+        rename_concrete,
+        max_states,
+        &Budget::unlimited(),
+        &CancelToken::new(),
+    )
+}
+
+/// [`refines`] under a [`Budget`] and [`CancelToken`].
+///
+/// The `max_states` ceiling of `budget` applies to each of the three
+/// explorations in turn (both observable-LTS extractions and the product
+/// search); the deadline and the token are absolute. An interrupted run
+/// reports the trip in `stop` and [`RefinementReport::refines`] then
+/// returns `false` — the check never certifies a refinement it did not
+/// finish, but a counterexample found before the trip is still real.
+pub fn refines_with<F>(
+    abstract_sys: &System,
+    concrete_sys: &System,
+    rename_concrete: F,
+    max_states: usize,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> RefinementReport
+where
+    F: Fn(&str) -> Option<String>,
+{
+    let start = Instant::now();
+    let a = obs_lts(
+        abstract_sys,
+        &|l: &str| Some(l.to_string()),
+        max_states,
+        budget,
+        cancel,
+    );
+    let c = obs_lts(concrete_sys, &rename_concrete, max_states, budget, cancel);
     // Determinized simulation: explore pairs (concrete subset, abstract
     // subset); inclusion fails if the concrete side offers a label the
     // abstract side cannot match.
@@ -210,7 +283,17 @@ where
     seen.insert((c0.clone(), a0.clone()), ());
     queue.push_back((c0, a0, Vec::new()));
     let mut counterexample = None;
+    let mut product_stop = StopReason::Completed;
     'bfs: while let Some((cs, as_, trace)) = queue.pop_front() {
+        let trip = if cancel.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else {
+            budget.exceeded(seen.len(), 0)
+        };
+        if let Some(reason) = trip {
+            product_stop = reason;
+            break 'bfs;
+        }
         for label in obs_labels(&c, &cs) {
             let an = obs_step(&a, &as_, &label);
             let mut t2 = trace.clone();
@@ -226,12 +309,21 @@ where
             }
         }
     }
+    // First interrupted stage wins: extraction order (abstract, concrete)
+    // then the product search — the earliest truncation is the one that
+    // invalidated everything after it.
+    let stop = [a.stop, c.stop, product_stop]
+        .into_iter()
+        .find(|s| *s != StopReason::Completed)
+        .unwrap_or(StopReason::Completed);
     RefinementReport {
         trace_included: counterexample.is_none(),
         counterexample,
         abstract_deadlock_free: a.complete && !a.has_deadlock,
         concrete_deadlock_free: c.complete && !c.has_deadlock,
         product_states: seen.len(),
+        stop,
+        elapsed: start.elapsed(),
     }
 }
 
@@ -252,8 +344,16 @@ where
     }
     // Reverse: abstract traces must be realizable by the concrete system.
     // Swap roles: treat the concrete system (renamed) as the "abstract" side.
-    let a = obs_lts(abstract_sys, &|l: &str| Some(l.to_string()), max_states);
-    let c = obs_lts(concrete_sys, &rename_concrete, max_states);
+    let unlimited = Budget::unlimited();
+    let run = CancelToken::new();
+    let a = obs_lts(
+        abstract_sys,
+        &|l: &str| Some(l.to_string()),
+        max_states,
+        &unlimited,
+        &run,
+    );
+    let c = obs_lts(concrete_sys, &rename_concrete, max_states, &unlimited, &run);
     inclusion(&a, &c)
 }
 
@@ -420,6 +520,71 @@ mod tests {
             r.refines(),
             "neither is deadlock-free... abstract deadlocks so clause 2 vacuous"
         );
+    }
+
+    #[test]
+    fn cancelled_token_never_certifies() {
+        let token = CancelToken::new();
+        token.cancel();
+        let s = alternator();
+        let r = refines_with(&s, &s, ident, 10_000, &Budget::unlimited(), &token);
+        assert_eq!(r.stop, StopReason::Cancelled);
+        assert!(!r.refines(), "an interrupted check must not certify");
+        assert!(
+            r.counterexample.is_none(),
+            "no counterexample was found, only a truncation"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_stop() {
+        let s = alternator();
+        let budget = Budget::unlimited().deadline(std::time::Instant::now());
+        let r = refines_with(&s, &s, ident, 10_000, &budget, &CancelToken::new());
+        assert_eq!(r.stop, StopReason::Deadline);
+        assert!(!r.refines());
+    }
+
+    #[test]
+    fn state_budget_truncates_but_counterexample_survives() {
+        // The concrete label "z" (via renaming) is impossible for the
+        // abstract system and shows up on the very first product state —
+        // before the tiny state budget trips. The counterexample is real
+        // even though both extractions were truncated.
+        let abs = a_then_stop();
+        let conc = a_then_stop();
+        let r = refines_with(
+            &abs,
+            &conc,
+            |_| Some("z".to_string()),
+            10_000,
+            &Budget::unlimited().states(2),
+            &CancelToken::new(),
+        );
+        assert!(!r.trace_included);
+        assert_eq!(r.counterexample, Some(vec!["z".to_string()]));
+        assert_eq!(r.stop, StopReason::StateBudget);
+        assert!(!r.refines());
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_run() {
+        let abs = alternator();
+        let conc = alternator_with_tau();
+        let plain = refines(&abs, &conc, ident, 10_000);
+        let budgeted = refines_with(
+            &abs,
+            &conc,
+            ident,
+            10_000,
+            &Budget::unlimited().states(1_000_000),
+            &CancelToken::new(),
+        );
+        assert_eq!(plain.trace_included, budgeted.trace_included);
+        assert_eq!(plain.product_states, budgeted.product_states);
+        assert_eq!(plain.stop, StopReason::Completed);
+        assert_eq!(budgeted.stop, StopReason::Completed);
+        assert_eq!(plain.refines(), budgeted.refines());
     }
 
     #[test]

@@ -42,13 +42,16 @@
 //! assert!(inc.check_deadlock_freedom().verdict.is_deadlock_free());
 //! ```
 
+use std::time::Instant;
+
 use bip_core::FxHashSet;
 
 use bip_core::{Connector, ModelError, PlaceSet, System, SystemBuilder};
 
+use crate::control::{StopReason, Wall};
 use crate::dfinder::{
-    enumerate_traps_blocking_with, enumerate_traps_with, linear_invariants, Abstraction, DFinder,
-    DFinderConfig, DFinderReport, LinearInvariant,
+    enumerate_traps_inner, linear_invariants, Abstraction, DFinder, DFinderConfig, DFinderReport,
+    LinearInvariant,
 };
 
 /// Statistics of one incremental step.
@@ -70,6 +73,9 @@ pub struct IncrementalVerifier {
     traps: Vec<PlaceSet>,
     linear: Vec<LinearInvariant>,
     cfg: DFinderConfig,
+    /// Stop reason of the most recent trap (re-)enumeration: `Completed`
+    /// unless the config's budget/deadline/cancellation truncated it.
+    last_stop: StopReason,
 }
 
 impl IncrementalVerifier {
@@ -88,7 +94,7 @@ impl IncrementalVerifier {
     /// never depend on the thread count.
     pub fn with_config(sys: System, cfg: DFinderConfig) -> IncrementalVerifier {
         let abs = Abstraction::new(&sys);
-        let traps = enumerate_traps_with(&abs, &cfg);
+        let (traps, last_stop) = enumerate_traps_inner(&abs, &[], &cfg);
         let linear = linear_invariants(
             &abs,
             DFinder::DEFAULT_MAX_COEFF,
@@ -100,6 +106,7 @@ impl IncrementalVerifier {
             traps,
             linear,
             cfg,
+            last_stop,
         }
     }
 
@@ -164,14 +171,19 @@ impl IncrementalVerifier {
 
         // Bounded re-enumeration for replacements, blocking kept traps (and
         // running on the configured worker count — the effort scales with
-        // the *change*, and what effort remains parallelizes).
-        let budget = self.cfg.max_traps.saturating_sub(kept.len());
+        // the *change*, and what effort remains parallelizes). The clone
+        // carries the config's `Budget` and cancel token along, so a
+        // re-verification honors the *original* resource ceilings — the
+        // deadline is absolute, not a fresh allowance per increment.
+        let remaining = self.cfg.max_traps.saturating_sub(kept.len());
         let mut added_traps = 0usize;
-        if budget > 0 {
-            let cfg = self.cfg.clone().max_traps(budget);
-            let fresh = enumerate_traps_blocking_with(&new_abs, &kept, &cfg);
+        self.last_stop = StopReason::Completed;
+        if remaining > 0 {
+            let cfg = self.cfg.clone().max_traps(remaining);
+            let (fresh, stop) = enumerate_traps_inner(&new_abs, &kept, &cfg);
             added_traps = fresh.len();
             kept.extend(fresh);
+            self.last_stop = stop;
         }
 
         let reused = kept.len() - added_traps;
@@ -207,12 +219,21 @@ impl IncrementalVerifier {
     }
 
     /// Run the deadlock-freedom check with the current invariants.
+    ///
+    /// Honors the config's [`crate::control::Budget`] and
+    /// [`crate::control::CancelToken`] exactly like
+    /// [`DFinder::check_deadlock_freedom`]: a conflict-budgeted or
+    /// interrupted DIS query yields [`crate::dfinder::Verdict::Unknown`],
+    /// never a wrong verdict, and a truncated trap enumeration surfaces as
+    /// the report's `stop` even when the verdict is decisive.
     pub fn check_deadlock_freedom(&self) -> DFinderReport {
         // Delegate to a DFinder sharing our invariants.
         let df = DFinderFacade {
             abs: &self.abs,
             traps: &self.traps,
             linear: &self.linear,
+            cfg: &self.cfg,
+            build_stop: self.last_stop,
         };
         df.check()
     }
@@ -223,6 +244,8 @@ struct DFinderFacade<'a> {
     abs: &'a Abstraction,
     traps: &'a [PlaceSet],
     linear: &'a [LinearInvariant],
+    cfg: &'a DFinderConfig,
+    build_stop: StopReason,
 }
 
 impl DFinderFacade<'_> {
@@ -272,18 +295,47 @@ impl DFinderFacade<'_> {
             let d = b.or(blocked);
             b.assert_lit(d);
         }
+        let start = Instant::now();
         let solver = b.solver_mut();
-        let sat = solver.solve();
-        let verdict = if sat.is_unsat() {
-            crate::dfinder::Verdict::DeadlockFree
+        solver.set_interrupt(Some(self.cfg.cancel.flag()));
+        let pre = if self.cfg.cancel.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else if self
+            .cfg
+            .budget
+            .deadline
+            .is_some_and(|due| Instant::now() >= due)
+        {
+            Some(StopReason::Deadline)
         } else {
-            let mut locs = vec![0u32; self.abs.place_base.len()];
-            for p in 0..self.abs.num_places {
-                if solver.value(at[p].var()) == Some(true) {
-                    locs[self.abs.component_of(p)] = self.abs.location_of(p);
+            None
+        };
+        let verdict = match pre {
+            Some(stop) => crate::dfinder::Verdict::Unknown(stop),
+            None => {
+                let sat = solver.solve_limited(&[], crate::dfinder::solve_limits(&self.cfg.budget));
+                if sat.is_unknown() {
+                    crate::dfinder::Verdict::Unknown(if self.cfg.cancel.is_cancelled() {
+                        StopReason::Cancelled
+                    } else {
+                        StopReason::SolverBudget
+                    })
+                } else if sat.is_unsat() {
+                    crate::dfinder::Verdict::DeadlockFree
+                } else {
+                    let mut locs = vec![0u32; self.abs.place_base.len()];
+                    for p in 0..self.abs.num_places {
+                        if solver.value(at[p].var()) == Some(true) {
+                            locs[self.abs.component_of(p)] = self.abs.location_of(p);
+                        }
+                    }
+                    crate::dfinder::Verdict::PotentialDeadlock(vec![locs])
                 }
             }
-            crate::dfinder::Verdict::PotentialDeadlock(vec![locs])
+        };
+        let stop = match &verdict {
+            crate::dfinder::Verdict::Unknown(stop) => *stop,
+            _ => self.build_stop,
         };
         DFinderReport {
             verdict,
@@ -292,6 +344,8 @@ impl DFinderFacade<'_> {
             abstract_transitions: self.abs.transitions.len(),
             places: self.abs.num_places,
             sat_conflicts: solver.conflicts(),
+            stop,
+            wall: Wall(start.elapsed()),
         }
     }
 }
@@ -378,6 +432,44 @@ mod tests {
         for t in inc.traps() {
             assert!(abs.is_trap(t), "stale trap kept: {t:?}");
         }
+    }
+
+    #[test]
+    fn cancelled_config_yields_unknown_through_the_facade() {
+        use crate::control::CancelToken;
+        let token = CancelToken::new();
+        let inc = IncrementalVerifier::with_config(
+            base_philosophers(3),
+            DFinderConfig::new().cancel(&token),
+        );
+        token.cancel();
+        let report = inc.check_deadlock_freedom();
+        assert!(report.verdict.is_unknown());
+        assert!(!report.verdict.is_deadlock_free());
+        assert_eq!(report.stop, StopReason::Cancelled);
+    }
+
+    #[test]
+    fn cancelled_config_truncates_reenumeration() {
+        use crate::control::CancelToken;
+        let n = 3;
+        let full = bip_core::builder::dining_philosophers(n, false).unwrap();
+        let token = CancelToken::new();
+        let mut inc = IncrementalVerifier::with_config(
+            base_philosophers(n),
+            DFinderConfig::new().cancel(&token),
+        );
+        token.cancel();
+        // Additions still succeed structurally — only the re-enumeration is
+        // cut short, and the final report surfaces that.
+        for conn in full.connectors() {
+            if conn.name.starts_with("eat") {
+                inc.add_interaction(conn.clone()).unwrap();
+            }
+        }
+        let report = inc.check_deadlock_freedom();
+        assert_eq!(report.stop, StopReason::Cancelled);
+        assert!(report.verdict.is_unknown());
     }
 
     #[test]

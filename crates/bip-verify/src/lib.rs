@@ -56,17 +56,19 @@
 //! ```
 
 pub mod bmc;
+pub mod control;
 pub mod dfinder;
 pub mod equiv;
 pub mod incremental;
 pub mod reach;
 
 pub use bmc::{BmcConfig, BmcError, BmcOutcome, BmcReport};
+pub use control::{Budget, CancelToken, StopReason, Wall};
 pub use dfinder::{DFinder, DFinderConfig, DFinderReport, Verdict};
-pub use equiv::{refines, weak_trace_equivalent, RefinementReport};
+pub use equiv::{refines, refines_with, weak_trace_equivalent, RefinementReport};
 pub use incremental::IncrementalVerifier;
 pub use reach::{
-    check_invariant, check_invariant_with, explore, explore_with, find_deadlock,
-    find_deadlock_with, CodecMode, DeadlockReport, InvariantReport, ReachConfig, ReachReport,
-    Reduction,
+    check_invariant, check_invariant_resume, check_invariant_with, explore, explore_resume,
+    explore_with, find_deadlock, find_deadlock_resume, find_deadlock_with, CodecMode,
+    DeadlockReport, InvariantReport, ReachCheckpoint, ReachConfig, ReachReport, Reduction,
 };

@@ -127,12 +127,14 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
+use crate::control::{Budget, CancelToken, StopReason};
 use bip_core::hash::FxHasher;
 use bip_core::indep::IndepInfo;
 use bip_core::{
-    AmpleScratch, EnabledSet, PackedState, PlaceSet, State, StateCodec, StatePred, Step,
-    SuccScratch, System, WidenReq,
+    AmpleScratch, CodecSnapshot, EnabledSet, PackedState, PlaceSet, State, StateCodec, StatePred,
+    Step, SuccScratch, System, WidenReq,
 };
 use std::hash::Hasher;
 
@@ -228,6 +230,15 @@ pub struct ReachConfig {
     /// Interleaving-reduction strategy ([`Reduction::None`] by default;
     /// verdicts do not depend on it, state/transition counts do).
     pub reduction: Reduction,
+    /// Resource budget, checked at level boundaries (unlimited by default).
+    /// Distinct from `max_states`: exhausting the engine bound keeps
+    /// draining the frontier and reports [`StopReason::BoundExhausted`];
+    /// tripping the budget stops the run at the next level boundary with a
+    /// resumable [`ReachCheckpoint`].
+    pub budget: Budget,
+    /// Cancellation token, polled at level boundaries (a fresh, private
+    /// token by default).
+    pub cancel: CancelToken,
 }
 
 impl ReachConfig {
@@ -240,6 +251,8 @@ impl ReachConfig {
             min_parallel_level: 128,
             codec: CodecMode::Adaptive,
             reduction: Reduction::None,
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -280,6 +293,21 @@ impl ReachConfig {
         self.reduction = reduction;
         self
     }
+
+    /// Set the resource budget (see [`ReachConfig::budget`]).
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> ReachConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// Observe `token` for cancellation: once any clone of it is cancelled,
+    /// the run stops at the next level boundary with a checkpoint.
+    #[must_use]
+    pub fn cancel(mut self, token: &CancelToken) -> ReachConfig {
+        self.cancel = token.clone();
+        self
+    }
 }
 
 /// Result of a state-space exploration.
@@ -301,6 +329,18 @@ pub struct ReachReport {
     /// system and codec mode (but *not* part of report equality — the
     /// adaptive codec exists to shrink it).
     pub stored_bytes: usize,
+    /// Why the run stopped. `complete == true` implies
+    /// [`StopReason::Completed`]; an interrupted stop comes with a
+    /// [`ReachCheckpoint`] in `checkpoint`.
+    pub stop: StopReason,
+    /// Wall-clock the run took, accumulated across checkpoint resumes.
+    pub elapsed: Duration,
+    /// Largest `seen`-set footprint observed at any level boundary (same
+    /// metric as `stored_bytes`; deterministic per system and codec mode).
+    pub peak_bytes: usize,
+    /// Present iff the run was interrupted by a budget/deadline/
+    /// cancellation: resume it with [`explore_resume`].
+    pub checkpoint: Option<ReachCheckpoint>,
 }
 
 impl ReachReport {
@@ -333,6 +373,15 @@ pub struct InvariantReport {
     /// When a violation is returned this reflects the bound status at that
     /// moment (no state had been discarded yet), not a completed sweep.
     pub complete: bool,
+    /// Why the run stopped (see [`ReachReport::stop`]).
+    pub stop: StopReason,
+    /// Wall-clock the run took, accumulated across checkpoint resumes.
+    pub elapsed: Duration,
+    /// Largest `seen`-set footprint observed at any level boundary.
+    pub peak_bytes: usize,
+    /// Present iff the run was interrupted; resume it with
+    /// [`check_invariant_resume`].
+    pub checkpoint: Option<ReachCheckpoint>,
 }
 
 impl InvariantReport {
@@ -359,6 +408,15 @@ pub struct DeadlockReport {
     pub witness: Option<(State, Vec<Step>)>,
     /// `true` if the search exhausted the reachable set within the bound.
     pub complete: bool,
+    /// Why the run stopped (see [`ReachReport::stop`]).
+    pub stop: StopReason,
+    /// Wall-clock the run took, accumulated across checkpoint resumes.
+    pub elapsed: Duration,
+    /// Largest `seen`-set footprint observed at any level boundary.
+    pub peak_bytes: usize,
+    /// Present iff the run was interrupted; resume it with
+    /// [`find_deadlock_resume`].
+    pub checkpoint: Option<ReachCheckpoint>,
 }
 
 impl DeadlockReport {
@@ -525,6 +583,90 @@ impl Mode<'_> {
     fn tracing(&self) -> bool {
         !matches!(self, Mode::Explore)
     }
+
+    fn tag(&self) -> ModeTag {
+        match self {
+            Mode::Explore => ModeTag::Explore,
+            Mode::Deadlock => ModeTag::Deadlock,
+            Mode::Invariant(_) => ModeTag::Invariant,
+        }
+    }
+}
+
+/// Which engine mode captured a checkpoint (the invariant predicate itself
+/// cannot be stored; the resume entry point re-supplies it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModeTag {
+    Explore,
+    Deadlock,
+    Invariant,
+}
+
+impl std::fmt::Display for ModeTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ModeTag::Explore => "explore",
+            ModeTag::Deadlock => "find_deadlock",
+            ModeTag::Invariant => "check_invariant",
+        })
+    }
+}
+
+/// A paused reachability run, captured at a completed BFS level boundary.
+///
+/// The level-synchronous engine only mutates its sharded seen set while a
+/// level is in flight, so a level boundary is a consistent cut: the
+/// checkpoint is the sharded arenas and tables verbatim, the pending
+/// frontier, the run counters, and a self-contained [`CodecSnapshot`] of
+/// the packing schedule (including the interned overflow values, replayed
+/// index-exact on restore). Resuming — with the matching `*_resume` entry
+/// point — continues from exactly that cut and converges to a final report
+/// **bit-identical** to an uninterrupted run's, for every thread count and
+/// codec mode, because frontier order, shard assignment, and the widen
+/// ladder are all deterministic from the captured state onward.
+///
+/// A checkpoint is only captured for *interrupted* stops
+/// ([`StopReason::is_interrupted`]); completed or bound-exhausted runs have
+/// nothing to resume.
+#[derive(Clone)]
+pub struct ReachCheckpoint {
+    codec: CodecSnapshot,
+    shards: Vec<Shard>,
+    frontier: Vec<(u64, u64)>,
+    stored: usize,
+    transitions: usize,
+    complete: bool,
+    deadlocks: Vec<State>,
+    mode: ModeTag,
+    reduction: Reduction,
+    elapsed: Duration,
+    peak_bytes: usize,
+}
+
+impl ReachCheckpoint {
+    /// Number of distinct states stored at the capture point.
+    #[must_use]
+    pub fn states(&self) -> usize {
+        self.stored
+    }
+
+    /// Number of frontier states awaiting expansion.
+    #[must_use]
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+}
+
+impl std::fmt::Debug for ReachCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReachCheckpoint")
+            .field("mode", &self.mode)
+            .field("states", &self.stored)
+            .field("transitions", &self.transitions)
+            .field("frontier", &self.frontier.len())
+            .field("elapsed", &self.elapsed)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Parent pointer plus the step that discovered a stored state; lives in a
@@ -544,6 +686,7 @@ struct Node {
 /// 32-bit hash fingerprint over a 32-bit state index; a probe touches the
 /// arena only on fingerprint match. `nodes` is the trace arena (parallel
 /// bump allocation, populated only by witness-tracing modes).
+#[derive(Clone)]
 struct Shard {
     slots: Vec<u64>,
     len: usize,
@@ -763,6 +906,10 @@ struct EngineOut {
     complete: bool,
     witness: Option<(State, Vec<Step>)>,
     stored_bytes: usize,
+    stop: StopReason,
+    elapsed: Duration,
+    peak_bytes: usize,
+    checkpoint: Option<ReachCheckpoint>,
 }
 
 /// Expand one chunk of the frontier: decode, enumerate successors, encode,
@@ -883,15 +1030,27 @@ fn merge_shard(shard: &mut Shard, si: usize, cands: Vec<Candidate>, tracing: boo
     (front, inserted)
 }
 
-/// The level-synchronous sharded BFS all public explorers run on.
-fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
+/// The level-synchronous sharded BFS all public explorers run on. With
+/// `resume`, the engine restarts from a captured level boundary instead of
+/// the initial state (the checkpoint's codec overrides `cfg.codec`; its
+/// reduction mode must match `cfg.reduction`).
+fn run(
+    sys: &System,
+    cfg: &ReachConfig,
+    mode: Mode<'_>,
+    resume: Option<ReachCheckpoint>,
+) -> EngineOut {
+    let start = Instant::now();
     let threads = cfg.threads.max(1);
     let max_states = cfg.max_states;
     let tracing = mode.tracing();
-    let mut codec = match &cfg.codec {
-        CodecMode::Adaptive => StateCodec::adaptive(sys),
-        CodecMode::FullWidth => StateCodec::new(sys),
-        CodecMode::Custom(c) => c.clone(),
+    let mut codec = match &resume {
+        Some(ck) => StateCodec::restore(sys, &ck.codec),
+        None => match &cfg.codec {
+            CodecMode::Adaptive => StateCodec::adaptive(sys),
+            CodecMode::FullWidth => StateCodec::new(sys),
+            CodecMode::Custom(c) => c.clone(),
+        },
     };
     // Partial-order reduction context. Deadlock search and plain
     // exploration are deadlock-preserving under any persistent selection;
@@ -912,40 +1071,80 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
             visible: None,
         }),
     };
-    let init = sys.initial_state();
+    let mut base_elapsed = Duration::ZERO;
+    let mut peak_bytes = 0usize;
+    let mut shards: Vec<Shard>;
+    let mut frontier: Vec<(u64, u64)>;
+    let mut stored: usize;
+    let mut transitions: usize;
+    let mut complete: bool;
+    let mut deadlock_states: Vec<State>;
+    if let Some(ck) = resume {
+        // Continue from a captured level boundary: the sharded seen set,
+        // frontier, and counters verbatim; the restored codec decodes the
+        // arenas bit-identically (see `StateCodec::restore`).
+        assert_eq!(
+            ck.mode,
+            mode.tag(),
+            "checkpoint was captured by `{}`, resumed as `{}`",
+            ck.mode,
+            mode.tag()
+        );
+        assert_eq!(
+            ck.reduction, cfg.reduction,
+            "checkpoint was captured under reduction mode {:?}, resumed under {:?}",
+            ck.reduction, cfg.reduction
+        );
+        shards = ck.shards;
+        frontier = ck.frontier;
+        stored = ck.stored;
+        transitions = ck.transitions;
+        complete = ck.complete;
+        deadlock_states = ck.deadlocks;
+        base_elapsed = ck.elapsed;
+        peak_bytes = ck.peak_bytes;
+    } else {
+        let init = sys.initial_state();
 
-    // The initial state is checked (and stored) unconditionally, matching
-    // the classical sequential semantics even for degenerate bounds.
-    if let Mode::Invariant(inv) = mode {
-        if !inv.eval(sys, &init) {
-            return EngineOut {
-                states: 1,
-                transitions: 0,
-                deadlocks: Vec::new(),
-                complete: true,
-                witness: Some((init, Vec::new())),
-                stored_bytes: 0,
-            };
+        // The initial state is checked (and stored) unconditionally,
+        // matching the classical sequential semantics even for degenerate
+        // bounds.
+        if let Mode::Invariant(inv) = mode {
+            if !inv.eval(sys, &init) {
+                return EngineOut {
+                    states: 1,
+                    transitions: 0,
+                    deadlocks: Vec::new(),
+                    complete: true,
+                    witness: Some((init, Vec::new())),
+                    stored_bytes: 0,
+                    stop: StopReason::Completed,
+                    elapsed: start.elapsed(),
+                    peak_bytes: 0,
+                    checkpoint: None,
+                };
+            }
         }
+
+        // Encode the initial state, climbing the widening ladder until it
+        // fits.
+        let pinit = loop {
+            match codec.try_encode(&init) {
+                Ok(p) => break p,
+                Err(r) => codec = codec.widen(sys, r),
+            }
+        };
+        shards = (0..SHARDS).map(|_| Shard::new(codec.words())).collect();
+        let si0 = shard_index(&codec, &init);
+        let idx0 = shards[si0]
+            .insert(pinit.words(), word_hash(pinit.words()))
+            .expect("fresh table");
+        stored = 1;
+        transitions = 0;
+        complete = true;
+        deadlock_states = Vec::new();
+        frontier = vec![(node_ref(si0, idx0), NO_NODE)];
     }
-
-    // Encode the initial state, climbing the widening ladder until it fits.
-    let pinit = loop {
-        match codec.try_encode(&init) {
-            Ok(p) => break p,
-            Err(r) => codec = codec.widen(sys, r),
-        }
-    };
-    let mut shards: Vec<Shard> = (0..SHARDS).map(|_| Shard::new(codec.words())).collect();
-    let si0 = shard_index(&codec, &init);
-    let idx0 = shards[si0]
-        .insert(pinit.words(), word_hash(pinit.words()))
-        .expect("fresh table");
-    let mut stored = 1usize;
-    let mut transitions = 0usize;
-    let mut complete = true;
-    let mut deadlock_states: Vec<State> = Vec::new();
-    let mut frontier: Vec<(u64, u64)> = vec![(node_ref(si0, idx0), NO_NODE)];
     let mut workers: Vec<Expander> = (0..threads)
         .map(|_| Expander::new(sys, por.is_some()))
         .collect();
@@ -959,6 +1158,45 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
     let mut cur: Vec<u64> = Vec::new();
 
     'level: while !frontier.is_empty() {
+        // Budget/cancel check at the level boundary — the one point where
+        // the sharded seen set, counters, and frontier are mutually
+        // consistent, so the checkpoint captured here resumes
+        // bit-identically (see `ReachCheckpoint`).
+        let bytes = shard_bytes(&shards);
+        peak_bytes = peak_bytes.max(bytes);
+        let trip = if cfg.cancel.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else {
+            cfg.budget.exceeded(stored, bytes)
+        };
+        if let Some(stop) = trip {
+            let elapsed = base_elapsed + start.elapsed();
+            return EngineOut {
+                states: stored,
+                transitions,
+                deadlocks: deadlock_states.clone(),
+                complete: false,
+                witness: None,
+                stored_bytes: bytes,
+                stop,
+                elapsed,
+                peak_bytes,
+                checkpoint: Some(ReachCheckpoint {
+                    codec: codec.snapshot(),
+                    shards,
+                    frontier,
+                    stored,
+                    transitions,
+                    complete,
+                    deadlocks: deadlock_states,
+                    mode: mode.tag(),
+                    reduction: cfg.reduction,
+                    elapsed,
+                    peak_bytes,
+                }),
+            };
+        }
+
         // Small levels run on the calling thread whatever the configured
         // count — spawning would cost more than the work, and results are
         // thread-count-invariant either way.
@@ -1094,6 +1332,10 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                         complete,
                         witness: Some((bad, rebuild_trace(&shards, nref))),
                         stored_bytes: shard_bytes(&shards),
+                        stop: StopReason::Completed,
+                        elapsed: base_elapsed + start.elapsed(),
+                        peak_bytes: peak_bytes.max(shard_bytes(&shards)),
+                        checkpoint: None,
                     };
                 }
                 if !any {
@@ -1113,6 +1355,10 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                                     rebuild_trace(&shards, node),
                                 )),
                                 stored_bytes: shard_bytes(&shards),
+                                stop: StopReason::Completed,
+                                elapsed: base_elapsed + start.elapsed(),
+                                peak_bytes: peak_bytes.max(shard_bytes(&shards)),
+                                checkpoint: None,
                             };
                         }
                         Mode::Invariant(_) => {}
@@ -1209,6 +1455,10 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                             rebuild_trace(&shards, *node),
                         )),
                         stored_bytes: shard_bytes(&shards),
+                        stop: StopReason::Completed,
+                        elapsed: base_elapsed + start.elapsed(),
+                        peak_bytes: peak_bytes.max(shard_bytes(&shards)),
+                        checkpoint: None,
                     };
                 }
             }
@@ -1318,6 +1568,10 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
                                 rebuild_trace(&shards, node),
                             )),
                             stored_bytes: shard_bytes(&shards),
+                            stop: StopReason::Completed,
+                            elapsed: base_elapsed + start.elapsed(),
+                            peak_bytes: peak_bytes.max(shard_bytes(&shards)),
+                            checkpoint: None,
                         };
                     }
                     buckets[si].push((node_ref(si, idx), node));
@@ -1330,13 +1584,22 @@ fn run(sys: &System, cfg: &ReachConfig, mode: Mode<'_>) -> EngineOut {
         }
     }
 
+    let bytes = shard_bytes(&shards);
     EngineOut {
         states: stored,
         transitions,
         deadlocks: deadlock_states,
         complete,
         witness: None,
-        stored_bytes: shard_bytes(&shards),
+        stored_bytes: bytes,
+        stop: if complete {
+            StopReason::Completed
+        } else {
+            StopReason::BoundExhausted
+        },
+        elapsed: base_elapsed + start.elapsed(),
+        peak_bytes: peak_bytes.max(bytes),
+        checkpoint: None,
     }
 }
 
@@ -1353,13 +1616,37 @@ pub fn explore(sys: &System, max_states: usize) -> ReachReport {
 /// only the visited region. The report is identical for every
 /// `cfg.threads` value and every `cfg.codec` choice.
 pub fn explore_with(sys: &System, cfg: &ReachConfig) -> ReachReport {
-    let out = run(sys, cfg, Mode::Explore);
+    reach_report(run(sys, cfg, Mode::Explore, None))
+}
+
+/// Resume an interrupted [`explore_with`] run from its checkpoint.
+///
+/// `cfg` supplies the *resources* for the continuation — threads, budget,
+/// cancel token, `max_states` bound — while the checkpoint supplies the
+/// search state (including the codec: `cfg.codec` is ignored). Running to
+/// completion yields a report bit-identical to an uninterrupted run with
+/// the same bound.
+///
+/// # Panics
+///
+/// Panics if the checkpoint was captured by a different entry point
+/// ([`check_invariant_with`] / [`find_deadlock_with`]) or under a different
+/// [`ReachConfig::reduction`] mode than `cfg` requests.
+pub fn explore_resume(sys: &System, cfg: &ReachConfig, ckpt: ReachCheckpoint) -> ReachReport {
+    reach_report(run(sys, cfg, Mode::Explore, Some(ckpt)))
+}
+
+fn reach_report(out: EngineOut) -> ReachReport {
     ReachReport {
         states: out.states,
         transitions: out.transitions,
         deadlocks: out.deadlocks,
         complete: out.complete,
         stored_bytes: out.stored_bytes,
+        stop: out.stop,
+        elapsed: out.elapsed,
+        peak_bytes: out.peak_bytes,
+        checkpoint: out.checkpoint,
     }
 }
 
@@ -1376,11 +1663,39 @@ pub fn check_invariant(sys: &System, inv: &StatePred, max_states: usize) -> Inva
 /// even if the bound was hit; `holds()` additionally requires the sweep to
 /// have been complete.
 pub fn check_invariant_with(sys: &System, inv: &StatePred, cfg: &ReachConfig) -> InvariantReport {
-    let out = run(sys, cfg, Mode::Invariant(inv));
+    invariant_report(run(sys, cfg, Mode::Invariant(inv), None))
+}
+
+/// Resume an interrupted [`check_invariant_with`] run from its checkpoint.
+///
+/// Same contract as [`explore_resume`]: `cfg` supplies resources, the
+/// checkpoint supplies the search state, and running to completion yields
+/// a report bit-identical to an uninterrupted run. `inv` must be the same
+/// predicate the original run checked (states stored before the
+/// interruption were already checked and are not re-examined).
+///
+/// # Panics
+///
+/// Panics if the checkpoint came from a different entry point or a
+/// different [`ReachConfig::reduction`] mode.
+pub fn check_invariant_resume(
+    sys: &System,
+    inv: &StatePred,
+    cfg: &ReachConfig,
+    ckpt: ReachCheckpoint,
+) -> InvariantReport {
+    invariant_report(run(sys, cfg, Mode::Invariant(inv), Some(ckpt)))
+}
+
+fn invariant_report(out: EngineOut) -> InvariantReport {
     InvariantReport {
         states: out.states,
         violation: out.witness,
         complete: out.complete,
+        stop: out.stop,
+        elapsed: out.elapsed,
+        peak_bytes: out.peak_bytes,
+        checkpoint: out.checkpoint,
     }
 }
 
@@ -1397,11 +1712,34 @@ pub fn find_deadlock(sys: &System, max_states: usize) -> DeadlockReport {
 /// Find a deadlock state (if any) with a shortest witness trace, under
 /// `cfg`.
 pub fn find_deadlock_with(sys: &System, cfg: &ReachConfig) -> DeadlockReport {
-    let out = run(sys, cfg, Mode::Deadlock);
+    deadlock_report(run(sys, cfg, Mode::Deadlock, None))
+}
+
+/// Resume an interrupted [`find_deadlock_with`] run from its checkpoint.
+///
+/// Same contract as [`explore_resume`].
+///
+/// # Panics
+///
+/// Panics if the checkpoint came from a different entry point or a
+/// different [`ReachConfig::reduction`] mode.
+pub fn find_deadlock_resume(
+    sys: &System,
+    cfg: &ReachConfig,
+    ckpt: ReachCheckpoint,
+) -> DeadlockReport {
+    deadlock_report(run(sys, cfg, Mode::Deadlock, Some(ckpt)))
+}
+
+fn deadlock_report(out: EngineOut) -> DeadlockReport {
     DeadlockReport {
         states: out.states,
         witness: out.witness,
         complete: out.complete,
+        stop: out.stop,
+        elapsed: out.elapsed,
+        peak_bytes: out.peak_bytes,
+        checkpoint: out.checkpoint,
     }
 }
 
@@ -2062,5 +2400,219 @@ mod tests {
         let full = check_invariant(&sys, &inv, 1000);
         assert_eq!(r.violation, full.violation);
         assert_eq!(r.states, full.states);
+    }
+
+    /// Bit-identity including the budget-era fields (`elapsed` is timing,
+    /// excluded by construction).
+    fn assert_resumed_matches(a: &ReachReport, b: &ReachReport, ctx: &str) {
+        assert_reports_match(a, b, ctx);
+        assert_eq!(a.stored_bytes, b.stored_bytes, "{ctx}: stored_bytes");
+        assert_eq!(a.peak_bytes, b.peak_bytes, "{ctx}: peak_bytes");
+        assert_eq!(a.stop, b.stop, "{ctx}: stop");
+        assert!(a.checkpoint.is_none() && b.checkpoint.is_none(), "{ctx}");
+    }
+
+    #[test]
+    fn state_budget_stops_with_checkpoint_and_resume_is_bit_identical() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let cfg = ReachConfig::bounded(1_000_000);
+        let reference = explore_with(&sys, &cfg);
+        assert_eq!(reference.stop, StopReason::Completed);
+        assert!(reference.checkpoint.is_none());
+
+        let cut = explore_with(&sys, &cfg.clone().budget(Budget::unlimited().states(10)));
+        assert_eq!(cut.stop, StopReason::StateBudget);
+        assert!(!cut.complete);
+        assert!(cut.states >= 10, "trips at the first boundary at/past 10");
+        assert!(cut.states < reference.states);
+        let ck = cut.checkpoint.expect("interrupted runs carry a checkpoint");
+        assert_eq!(ck.states(), cut.states);
+        assert!(ck.frontier_len() > 0);
+
+        let resumed = explore_resume(&sys, &cfg, ck);
+        assert_resumed_matches(&resumed, &reference, "resume to completion");
+        assert!(
+            resumed.elapsed >= cut.elapsed,
+            "elapsed accumulates across the resume"
+        );
+    }
+
+    #[test]
+    fn memory_budget_stops_and_resumes() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let cfg = ReachConfig::bounded(1_000_000);
+        let reference = explore_with(&sys, &cfg);
+        let cut = explore_with(&sys, &cfg.clone().budget(Budget::unlimited().bytes(1)));
+        assert_eq!(cut.stop, StopReason::MemoryBudget);
+        assert!(cut.peak_bytes > 1);
+        let resumed = explore_resume(&sys, &cfg, cut.checkpoint.unwrap());
+        assert_resumed_matches(&resumed, &reference, "resume after memory trip");
+    }
+
+    #[test]
+    fn expired_deadline_stops_promptly() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let cfg = ReachConfig::bounded(1_000_000)
+            .budget(Budget::unlimited().deadline(Instant::now() - Duration::from_millis(1)));
+        let r = explore_with(&sys, &cfg);
+        assert_eq!(r.stop, StopReason::Deadline);
+        assert_eq!(r.states, 1, "nothing past the initial state");
+        assert!(r.checkpoint.is_some());
+    }
+
+    #[test]
+    fn cancelled_token_stops_with_resumable_checkpoint() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let reference = explore_with(&sys, &ReachConfig::bounded(1_000_000));
+        let token = CancelToken::new();
+        token.cancel();
+        let r = explore_with(&sys, &ReachConfig::bounded(1_000_000).cancel(&token));
+        assert_eq!(r.stop, StopReason::Cancelled);
+        assert!(!r.complete);
+        // Resume with a fresh (uncancelled) config.
+        let resumed = explore_resume(
+            &sys,
+            &ReachConfig::bounded(1_000_000),
+            r.checkpoint.unwrap(),
+        );
+        assert_resumed_matches(&resumed, &reference, "resume after cancel");
+    }
+
+    #[test]
+    fn chained_resumes_cross_every_level_boundary() {
+        // Stop at every level boundary in turn (each level stores >= 1 new
+        // state, so `states + 1` trips exactly one boundary later), across
+        // thread counts and both reduction modes.
+        for (threads, reduction) in [
+            (1usize, Reduction::None),
+            (4, Reduction::None),
+            (1, Reduction::Persistent),
+            (4, Reduction::Persistent),
+        ] {
+            let sys = dining_philosophers(3, true).unwrap();
+            let cfg = ReachConfig::bounded(1_000_000)
+                .threads(threads)
+                .min_parallel_level(1)
+                .reduction(reduction);
+            let reference = explore_with(&sys, &cfg);
+            let mut r = explore_with(&sys, &cfg.clone().budget(Budget::unlimited().states(1)));
+            let mut hops = 0usize;
+            while let Some(ck) = r.checkpoint.take() {
+                assert_eq!(r.stop, StopReason::StateBudget);
+                let next_budget = Budget::unlimited().states(r.states + 1);
+                r = explore_resume(&sys, &cfg.clone().budget(next_budget), ck);
+                hops += 1;
+                assert!(hops < 10_000, "resume chain must terminate");
+            }
+            assert!(hops >= 2, "exercised several boundaries ({hops})");
+            assert_resumed_matches(
+                &r,
+                &reference,
+                &format!("chained resume t={threads} {reduction:?}"),
+            );
+        }
+    }
+
+    #[test]
+    fn resume_works_for_invariant_and_deadlock_modes() {
+        let sys = dining_philosophers(4, true).unwrap();
+        let budget = Budget::unlimited().states(5);
+
+        let dref = find_deadlock_with(&sys, &ReachConfig::bounded(1_000_000));
+        let dcut = find_deadlock_with(&sys, &ReachConfig::bounded(1_000_000).budget(budget));
+        assert_eq!(dcut.stop, StopReason::StateBudget);
+        let dres = find_deadlock_resume(
+            &sys,
+            &ReachConfig::bounded(1_000_000),
+            dcut.checkpoint.unwrap(),
+        );
+        assert_eq!(dres.witness, dref.witness, "same shortest witness");
+        assert_eq!(dres.states, dref.states);
+        assert_eq!(dres.stop, dref.stop);
+
+        let inv = StatePred::mutex(&sys, [(0, "eating"), (1, "eating")]);
+        let iref = check_invariant_with(&sys, &inv, &ReachConfig::bounded(1_000_000));
+        let icut =
+            check_invariant_with(&sys, &inv, &ReachConfig::bounded(1_000_000).budget(budget));
+        assert_eq!(icut.stop, StopReason::StateBudget);
+        let ires = check_invariant_resume(
+            &sys,
+            &inv,
+            &ReachConfig::bounded(1_000_000),
+            icut.checkpoint.unwrap(),
+        );
+        assert_eq!(ires.violation, iref.violation);
+        assert_eq!(ires.states, iref.states);
+        assert_eq!(ires.complete, iref.complete);
+    }
+
+    #[test]
+    fn budget_stop_composes_with_engine_bound() {
+        // Budget trip and the engine's own bound stay distinguishable.
+        let sys = dining_philosophers(4, true).unwrap();
+        let bound = explore(&sys, 5);
+        assert_eq!(bound.stop, StopReason::BoundExhausted);
+        assert!(
+            bound.checkpoint.is_none(),
+            "bound exhaustion is final, not resumable"
+        );
+        // A resumed run still honors the fresh config's engine bound.
+        let cut = explore_with(
+            &sys,
+            &ReachConfig::bounded(1_000_000).budget(Budget::unlimited().states(3)),
+        );
+        let resumed = explore_resume(&sys, &ReachConfig::bounded(5), cut.checkpoint.unwrap());
+        assert_eq!(resumed.stop, StopReason::BoundExhausted);
+        assert!(!resumed.complete);
+        assert!(resumed.states <= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint was captured by `explore`")]
+    fn resume_mode_mismatch_panics() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let cut = explore_with(
+            &sys,
+            &ReachConfig::bounded(1_000_000).budget(Budget::unlimited().states(1)),
+        );
+        let _ = find_deadlock_resume(
+            &sys,
+            &ReachConfig::bounded(1_000_000),
+            cut.checkpoint.unwrap(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "captured under reduction mode")]
+    fn resume_reduction_mismatch_panics() {
+        let sys = dining_philosophers(3, true).unwrap();
+        let cut = explore_with(
+            &sys,
+            &ReachConfig::bounded(1_000_000).budget(Budget::unlimited().states(1)),
+        );
+        let _ = explore_resume(
+            &sys,
+            &ReachConfig::bounded(1_000_000).reduction(Reduction::Persistent),
+            cut.checkpoint.unwrap(),
+        );
+    }
+
+    #[test]
+    fn resume_survives_codec_widening_after_checkpoint() {
+        // Checkpoint under a codec that must widen *after* the resume point:
+        // the restored codec keeps widening mid-run and the report still
+        // matches the uninterrupted reference.
+        let sys = chain6();
+        let reference = explore_with(&sys, &ReachConfig::bounded(1000));
+        let narrowed = sys.adaptive_codec().with_narrowed_var(&sys, 0, 1);
+        let cut = explore_with(
+            &sys,
+            &ReachConfig::bounded(1000)
+                .with_codec(narrowed)
+                .budget(Budget::unlimited().states(1)),
+        );
+        assert_eq!(cut.stop, StopReason::StateBudget);
+        let resumed = explore_resume(&sys, &ReachConfig::bounded(1000), cut.checkpoint.unwrap());
+        assert_reports_match(&resumed, &reference, "widen after resume");
     }
 }

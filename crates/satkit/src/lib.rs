@@ -30,7 +30,7 @@ mod solver;
 
 pub use cnf::CnfBuilder;
 pub use dimacs::{parse_dimacs, to_dimacs, DimacsError};
-pub use solver::{SolveResult, Solver};
+pub use solver::{SolveLimits, SolveResult, Solver};
 
 /// A propositional variable, identified by a dense index.
 ///

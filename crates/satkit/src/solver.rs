@@ -1,6 +1,8 @@
 //! The CDCL solver core.
 
 use crate::{Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -10,6 +12,12 @@ pub enum SolveResult {
     Sat,
     /// The formula is unsatisfiable.
     Unsat,
+    /// The solve was cut short by a resource limit ([`SolveLimits`]) or an
+    /// external interrupt flag ([`Solver::set_interrupt`]) before reaching a
+    /// verdict. The formula's status is undetermined; the solver state stays
+    /// valid and a later (larger-budget) solve may continue where learning
+    /// left off.
+    Unknown,
 }
 
 impl SolveResult {
@@ -23,6 +31,50 @@ impl SolveResult {
     #[must_use]
     pub fn is_unsat(self) -> bool {
         matches!(self, SolveResult::Unsat)
+    }
+
+    /// `true` if the result is [`SolveResult::Unknown`].
+    #[must_use]
+    pub fn is_unknown(self) -> bool {
+        matches!(self, SolveResult::Unknown)
+    }
+}
+
+/// Resource ceilings for a single [`Solver::solve_limited`] call.
+///
+/// Ceilings are *per call*: they bound how much additional work this solve
+/// may do on top of the cumulative [`Solver::conflicts`] /
+/// [`Solver::propagations`] counters. `None` means unlimited. A tripped
+/// ceiling yields [`SolveResult::Unknown`], never a wrong verdict, and is
+/// deterministic for a given formula and assumption sequence (unlike
+/// wall-clock deadlines).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveLimits {
+    /// Maximum conflicts this call may spend.
+    pub max_conflicts: Option<u64>,
+    /// Maximum unit propagations this call may spend.
+    pub max_propagations: Option<u64>,
+}
+
+impl SolveLimits {
+    /// No limits: `solve_limited` behaves exactly like `solve_with`.
+    #[must_use]
+    pub fn unlimited() -> SolveLimits {
+        SolveLimits::default()
+    }
+
+    /// Limit the conflicts this call may spend.
+    #[must_use]
+    pub fn conflicts(mut self, n: u64) -> SolveLimits {
+        self.max_conflicts = Some(n);
+        self
+    }
+
+    /// Limit the unit propagations this call may spend.
+    #[must_use]
+    pub fn propagations(mut self, n: u64) -> SolveLimits {
+        self.max_propagations = Some(n);
+        self
     }
 }
 
@@ -92,6 +144,11 @@ pub struct Solver {
     /// Number of learnt clauses currently in the database (maintained
     /// incrementally so [`Solver::num_learnts`] is O(1)).
     num_learnts: usize,
+    /// External interrupt flag, polled once per search-loop iteration.
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Failing assumption subset of the most recent UNSAT `solve_with` /
+    /// `solve_limited` call (empty after Sat/Unknown or a root-level UNSAT).
+    failed: Vec<Lit>,
 }
 
 impl Solver {
@@ -146,6 +203,33 @@ impl Solver {
     #[must_use]
     pub fn restarts(&self) -> u64 {
         self.restarts
+    }
+
+    /// Install (or clear) an external interrupt flag.
+    ///
+    /// While set, every solve variant polls the flag once per search-loop
+    /// iteration and returns [`SolveResult::Unknown`] as soon as it reads
+    /// `true`. The flag is shared (callers keep a clone and set it from
+    /// another thread); it persists across solve calls and is *not* reset by
+    /// the solver, so a cancelled token keeps cutting subsequent solves
+    /// short until the caller clears it.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    /// The failing assumption subset of the most recent solve call, in the
+    /// order the assumptions were passed.
+    ///
+    /// After an [`SolveResult::Unsat`] answer from [`Solver::solve_with`] /
+    /// [`Solver::solve_limited`], this is a subset `C` of the assumptions
+    /// such that the formula is already unsatisfiable under `C` alone
+    /// (computed MiniSat-`analyzeFinal` style from the final conflict). An
+    /// *empty* core after UNSAT-under-assumptions means the formula is
+    /// unsatisfiable regardless of any assumptions. After Sat/Unknown the
+    /// slice is empty.
+    #[must_use]
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
     }
 
     /// Snapshot of the full assignment after a [`SolveResult::Sat`] answer.
@@ -485,6 +569,56 @@ impl Solver {
         (minimized, bt)
     }
 
+    /// MiniSat-style `analyzeFinal`: trace the implication graph backwards
+    /// from `seeds` (the literals of a conflicting clause, or a falsified
+    /// asserting unit) and collect the assumption decisions reached —
+    /// reason-free trail literals above level 0, which under an assumption
+    /// prefix are exactly the enqueued assumptions. `extra` lets the caller
+    /// include an assumption that conflicted before it could be enqueued.
+    /// Returns the failing subset in `assumptions` order, deduplicated.
+    fn analyze_final(&self, seeds: &[Lit], extra: Option<Lit>, assumptions: &[Lit]) -> Vec<Lit> {
+        let mut seen = vec![false; self.num_vars()];
+        let mut hit: Vec<Lit> = Vec::new();
+        if let Some(a) = extra {
+            hit.push(a);
+        }
+        for &l in seeds {
+            if self.var_info[l.var().index()].level > 0 {
+                seen[l.var().index()] = true;
+            }
+        }
+        for k in (0..self.trail.len()).rev() {
+            let l = self.trail[k];
+            let vi = l.var().index();
+            if !seen[vi] {
+                continue;
+            }
+            seen[vi] = false;
+            match self.var_info[vi].reason {
+                None => {
+                    if self.var_info[vi].level > 0 {
+                        hit.push(l);
+                    }
+                }
+                Some(r) => {
+                    // lits[0] is the implied literal; its antecedents follow.
+                    for &q in &self.clauses[r.0 as usize].lits[1..] {
+                        if self.var_info[q.var().index()].level > 0 {
+                            seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        assumptions
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, a)| hit.contains(&a) && !assumptions[..i].contains(&a))
+            .map(|(_, a)| a)
+            .collect()
+    }
+
     fn cancel_until(&mut self, level: u32) {
         if self.decision_level() <= level {
             return;
@@ -577,7 +711,8 @@ impl Solver {
     }
 
     /// Solve the formula. Returns [`SolveResult::Sat`] or
-    /// [`SolveResult::Unsat`].
+    /// [`SolveResult::Unsat`] (or [`SolveResult::Unknown`] if an interrupt
+    /// flag installed via [`Solver::set_interrupt`] trips mid-search).
     pub fn solve(&mut self) -> SolveResult {
         self.solve_with(&[])
     }
@@ -587,28 +722,59 @@ impl Solver {
     ///
     /// Assumption handling is by restart: the assumptions are decided first
     /// at successive levels; a conflict below the assumption levels means
-    /// UNSAT under assumptions.
+    /// UNSAT under assumptions (the responsible subset is then available
+    /// from [`Solver::failed_assumptions`]). Honors an installed interrupt
+    /// flag but applies no resource ceilings; see [`Solver::solve_limited`].
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, SolveLimits::unlimited())
+    }
+
+    /// Solve under assumptions with per-call resource ceilings.
+    ///
+    /// Returns [`SolveResult::Unknown`] — never a wrong verdict — as soon as
+    /// a ceiling in `limits` or the installed interrupt flag trips. The
+    /// solver remains usable: learnt clauses, phases, and activities are
+    /// kept, so re-solving with a larger budget resumes the search rather
+    /// than restarting it.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult {
+        self.failed.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
         self.cancel_until(0);
+        let conflict_cut = limits
+            .max_conflicts
+            .map(|n| self.conflicts.saturating_add(n));
+        let prop_cut = limits
+            .max_propagations
+            .map(|n| self.propagations.saturating_add(n));
         let mut restart_count = 0u32;
         let mut conflicts_until_restart = luby(restart_count) * 64;
         let mut conflicts_this_restart = 0u64;
 
         loop {
+            // Budget / interrupt check: two counter compares plus one relaxed
+            // atomic load per iteration, on the existing cumulative counters.
+            if conflict_cut.is_some_and(|c| self.conflicts >= c)
+                || prop_cut.is_some_and(|c| self.propagations >= c)
+                || self
+                    .interrupt
+                    .as_ref()
+                    .is_some_and(|f| f.load(Ordering::Relaxed))
+            {
+                self.cancel_until(0);
+                return SolveResult::Unknown;
+            }
             if let Some(confl) = self.propagate() {
                 self.conflicts += 1;
                 conflicts_this_restart += 1;
                 if self.decision_level() <= assumptions.len() as u32 {
                     // Conflict within assumptions (or at root): UNSAT.
-                    if assumptions.is_empty() || self.decision_level() == 0 {
-                        if self.decision_level() == 0 {
-                            self.ok = false;
-                        }
-                        self.cancel_until(0);
-                        return SolveResult::Unsat;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                    } else {
+                        let seeds = self.clauses[confl.0 as usize].lits.clone();
+                        self.failed = self.analyze_final(&seeds, None, assumptions);
                     }
                     self.cancel_until(0);
                     return SolveResult::Unsat;
@@ -621,10 +787,12 @@ impl Solver {
                 if learnt.len() == 1 {
                     if self.lit_value(learnt[0]) == Value::False {
                         // Asserting unit contradicts assumptions.
-                        self.cancel_until(0);
                         if assumptions.is_empty() {
                             self.ok = false;
+                        } else {
+                            self.failed = self.analyze_final(&[learnt[0]], None, assumptions);
                         }
+                        self.cancel_until(0);
                         return SolveResult::Unsat;
                     }
                     if self.lit_value(learnt[0]) == Value::Unassigned {
@@ -660,6 +828,9 @@ impl Solver {
                             self.trail_lim.push(self.trail.len());
                         }
                         Value::False => {
+                            // `a` is falsified by earlier assumptions (or
+                            // root units): core = {a} plus what implies !a.
+                            self.failed = self.analyze_final(&[a], Some(a), assumptions);
                             self.cancel_until(0);
                             return SolveResult::Unsat;
                         }
@@ -920,8 +1091,8 @@ mod tests {
         assert!(s.solve().is_sat());
         let m = s.model();
         assert_eq!(m.len(), s.num_vars());
-        for i in 0..s.num_vars() {
-            assert_eq!(m[i], s.value(Var(i as u32)));
+        for (i, &mv) in m.iter().enumerate() {
+            assert_eq!(mv, s.value(Var(i as u32)));
         }
         assert_eq!(m[0], Some(true));
     }
@@ -961,5 +1132,153 @@ mod tests {
         let before = s.restarts();
         let _ = s.solve();
         assert!(s.restarts() >= before);
+    }
+
+    /// Pigeonhole `n+1` into `n`: UNSAT, and hard enough to burn conflicts.
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        let mut p = vec![vec![Var(0); n]; n + 1];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for i1 in 0..n + 1 {
+            for i2 in (i1 + 1)..n + 1 {
+                for (&a, &b) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause([Lit::neg(a), Lit::neg(b)]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_then_resumes() {
+        let mut s = pigeonhole(7);
+        let r = s.solve_limited(&[], SolveLimits::unlimited().conflicts(5));
+        assert!(r.is_unknown(), "5 conflicts cannot refute PHP(8,7)");
+        assert!(s.failed_assumptions().is_empty());
+        // The budget is per call and the verdict is never wrong: re-solving
+        // without a ceiling still finds UNSAT.
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn propagation_budget_returns_unknown() {
+        let mut s = pigeonhole(7);
+        let r = s.solve_limited(&[], SolveLimits::unlimited().propagations(3));
+        assert!(r.is_unknown());
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn budget_never_flips_an_easy_verdict() {
+        // A formula decided before the ceiling trips reports normally.
+        let mut s = solver_with(3, &[&[1], &[-1, 2], &[-2, 3]]);
+        let r = s.solve_limited(&[], SolveLimits::unlimited().conflicts(1_000));
+        assert!(r.is_sat());
+        assert_eq!(s.value(Var(2)), Some(true));
+    }
+
+    #[test]
+    fn interrupt_flag_cuts_solve_short() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut s = pigeonhole(7);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Some(flag.clone()));
+        assert!(s.solve().is_unknown());
+        assert!(s.solve_with(&[Lit::pos(Var(0))]).is_unknown());
+        // Clearing the flag restores normal operation on the same instance.
+        flag.store(false, Ordering::Relaxed);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn failed_assumptions_direct_contradiction() {
+        let mut s = solver_with(3, &[]);
+        let r = s.solve_with(&[lit(3), lit(1), lit(-1)]);
+        assert!(r.is_unsat());
+        // x3 is irrelevant; the core is {x1, !x1} in assumption order.
+        assert_eq!(s.failed_assumptions(), &[lit(1), lit(-1)]);
+        assert!(s.solve().is_sat());
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn failed_assumptions_through_implications() {
+        // a -> b, c -> d, b & d incompatible. Assume [e, a, c]: e irrelevant.
+        let mut s = solver_with(5, &[&[-1, 2], &[-3, 4], &[-2, -4]]);
+        let r = s.solve_with(&[lit(5), lit(1), lit(3)]);
+        assert!(r.is_unsat());
+        let core = s.failed_assumptions().to_vec();
+        assert!(!core.contains(&lit(5)), "e is not responsible: {core:?}");
+        assert!(core.contains(&lit(1)) || core.contains(&lit(3)));
+        // The core alone must already be UNSAT.
+        assert!(s.solve_with(&core).is_unsat());
+        // And the formula without assumptions stays SAT.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn failed_assumptions_on_root_unsat_formula() {
+        let mut s = solver_with(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        assert!(s.solve_with(&[lit(1)]).is_unsat());
+        // Cores are sound but not minimal: whatever subset is reported must
+        // itself be assumed literals and UNSAT on its own.
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.iter().all(|&l| l == lit(1)));
+        assert!(s.solve_with(&core).is_unsat());
+        // Once the solver proves root-level UNSAT, the core is empty.
+        assert!(s.solve().is_unsat());
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn failed_assumptions_subset_is_unsat_random() {
+        // Random instances: whenever UNSAT-under-assumptions, the reported
+        // core must itself be UNSAT (checked by re-solving with the core).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut unsat_seen = 0;
+        for round in 0..40 {
+            let nvars = 12;
+            let mut clauses: Vec<Vec<i32>> = Vec::new();
+            for _ in 0..(30 + round) {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % nvars as u32) as i32 + 1;
+                    let sign = if next() % 2 == 0 { 1 } else { -1 };
+                    c.push(v * sign);
+                }
+                clauses.push(c);
+            }
+            let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+            let mut s = solver_with(nvars, &refs);
+            let assumptions: Vec<Lit> = (1..=6)
+                .map(|v| lit(if next() % 2 == 0 { v } else { -v }))
+                .collect();
+            if s.solve_with(&assumptions).is_unsat() {
+                unsat_seen += 1;
+                let core = s.failed_assumptions().to_vec();
+                for l in &core {
+                    assert!(assumptions.contains(l), "core lit {l} not assumed");
+                }
+                assert!(
+                    s.solve_with(&core).is_unsat(),
+                    "core {core:?} must be UNSAT on its own"
+                );
+            }
+        }
+        assert!(unsat_seen > 0, "test never exercised the UNSAT path");
     }
 }

@@ -1,0 +1,140 @@
+//! Checkpoint/resume invisibility for the reachability engine.
+//!
+//! The control layer's core guarantee: a run interrupted at *any* level
+//! boundary and resumed produces a final report **bit-identical** to the
+//! uninterrupted run — states, transitions, deadlock list (order
+//! included), completeness, stored/peak footprint, and stop reason
+//! (`elapsed` is the one field allowed to differ; it accumulates across
+//! resumes by design).
+//!
+//! The proptests force an interruption at *every* level boundary by
+//! chaining state-budgeted hops: start with `Budget::states(1)` (trips at
+//! the first boundary), then repeatedly resume with the budget set one
+//! state past the checkpoint, so each hop crosses exactly the next
+//! boundary. The chain runs on random systems and philosophers, across
+//! 1/2/8 worker threads and both `Reduction` modes, under both generous
+//! and truncating engine bounds (a budget trip and the engine's own
+//! `max_states` bound compose: the final hop ends exactly like the
+//! straight run, `Completed` or `BoundExhausted`, with no checkpoint).
+
+use bip_core::dining_philosophers;
+use bip_verify::reach::{explore_resume, explore_with, ReachConfig, ReachReport, Reduction};
+use bip_verify::{Budget, StopReason};
+use proptest::prelude::*;
+
+mod common;
+use common::random_system;
+
+/// Bit-identity over every report field except `elapsed`.
+fn assert_bit_identical(a: &ReachReport, b: &ReachReport, ctx: &str) -> Result<(), String> {
+    if a.states != b.states || a.transitions != b.transitions {
+        return Err(format!(
+            "{ctx}: counts diverged: ({}, {}) vs ({}, {})",
+            a.states, a.transitions, b.states, b.transitions
+        ));
+    }
+    if a.deadlocks != b.deadlocks {
+        return Err(format!("{ctx}: deadlock lists diverged"));
+    }
+    if a.complete != b.complete || a.stop != b.stop {
+        return Err(format!(
+            "{ctx}: termination diverged: ({}, {:?}) vs ({}, {:?})",
+            a.complete, a.stop, b.complete, b.stop
+        ));
+    }
+    if a.stored_bytes != b.stored_bytes || a.peak_bytes != b.peak_bytes {
+        return Err(format!(
+            "{ctx}: footprint diverged: ({}, {}) vs ({}, {})",
+            a.stored_bytes, a.peak_bytes, b.stored_bytes, b.peak_bytes
+        ));
+    }
+    if a.checkpoint.is_some() || b.checkpoint.is_some() {
+        return Err(format!("{ctx}: a finished run must not carry a checkpoint"));
+    }
+    Ok(())
+}
+
+/// Run `sys` under `cfg`, interrupted at every level boundary: the first
+/// run is budgeted to one state, every resume to one state past the
+/// previous cut. Returns the final report and the number of resumes.
+fn chained_resume(sys: &bip_core::System, cfg: &ReachConfig) -> (ReachReport, usize) {
+    let mut hops = 0usize;
+    let mut r = explore_with(sys, &cfg.clone().budget(Budget::unlimited().states(1)));
+    loop {
+        match r.checkpoint.take() {
+            None => return (r, hops),
+            Some(ck) => {
+                hops += 1;
+                assert_eq!(r.stop, StopReason::StateBudget, "hop {hops}: stop reason");
+                assert!(!r.complete, "hop {hops}: interrupted runs are incomplete");
+                let next = cfg
+                    .clone()
+                    .budget(Budget::unlimited().states(ck.states() + 1));
+                r = explore_resume(sys, &next, ck);
+            }
+        }
+    }
+}
+
+/// One straight run vs the boundary-by-boundary chained run.
+fn check(sys: &bip_core::System, cfg: &ReachConfig, ctx: &str) -> Result<(), String> {
+    let straight = explore_with(sys, cfg);
+    let (chained, hops) = chained_resume(sys, cfg);
+    assert_bit_identical(&chained, &straight, &format!("{ctx} ({hops} hops)"))
+}
+
+fn configs(bound: usize, threads: usize, reduction: Reduction) -> ReachConfig {
+    ReachConfig::bounded(bound)
+        .threads(threads)
+        .min_parallel_level(1)
+        .reduction(reduction)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random systems: every-boundary resume is invisible for every thread
+    /// count and both reduction modes, under a generous bound.
+    #[test]
+    fn chained_resume_is_bit_identical_on_random_systems(seed in 0u64..120) {
+        let sys = random_system(seed);
+        for reduction in [Reduction::None, Reduction::Persistent] {
+            for threads in [1usize, 2, 8] {
+                let cfg = configs(2_000, threads, reduction);
+                if let Err(e) = check(&sys, &cfg, &format!("seed {seed} threads {threads} {reduction:?}")) {
+                    prop_assert!(false, "{}", e);
+                }
+            }
+        }
+    }
+
+    /// Truncating engine bounds compose with budget hops: the straight run
+    /// ends `BoundExhausted`, and so must the chained run — at the same
+    /// counts, with no checkpoint.
+    #[test]
+    fn chained_resume_respects_engine_bounds(seed in 0u64..80, bound in 5usize..60) {
+        let sys = random_system(seed);
+        for threads in [1usize, 8] {
+            let cfg = configs(bound, threads, Reduction::None);
+            if let Err(e) = check(&sys, &cfg, &format!("seed {seed} bound {bound} threads {threads}")) {
+                prop_assert!(false, "{}", e);
+            }
+        }
+    }
+
+    /// Philosophers (both variants): the deadlock lists a chained run
+    /// reports are identical, order included, to the straight run's.
+    #[test]
+    fn chained_resume_preserves_deadlocks_on_philosophers(n in 2usize..5, variant in 0u8..2) {
+        let two_phase = variant == 1;
+        let sys = dining_philosophers(n, two_phase).unwrap();
+        for reduction in [Reduction::None, Reduction::Persistent] {
+            for threads in [1usize, 2, 8] {
+                let cfg = configs(1_000_000, threads, reduction);
+                if let Err(e) = check(&sys, &cfg, &format!("phil {n} 2p={two_phase} threads {threads} {reduction:?}")) {
+                    prop_assert!(false, "{}", e);
+                }
+            }
+        }
+    }
+}
