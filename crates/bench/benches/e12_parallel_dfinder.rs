@@ -127,6 +127,18 @@ fn bench_traps(name: &str, sys: &System, threads: &[usize], assert_speedup: Opti
         let rt = DFinder::with_config(sys, &cfg().threads(th)).check_deadlock_freedom();
         assert_eq!(r1, rt, "{name}: DFinderReport must be bit-identical");
     }
+    // Final-check solver counters (thread-count invariant by the assert
+    // above, so one line per system suffices).
+    println!(
+        "BENCH {{\"bench\":\"e12\",\"workload\":\"final_check\",\"system\":\"{name}\",\"deadlock_free\":{},\"traps\":{},\"sat_conflicts\":{},\"sat_decisions\":{},\"sat_propagations\":{},\"avg_lbd_milli\":{},\"wall_ms\":{}}}",
+        r1.verdict.is_deadlock_free(),
+        r1.traps,
+        r1.sat_conflicts,
+        r1.sat_decisions,
+        r1.sat_propagations,
+        r1.avg_lbd_milli,
+        r1.wall.millis(),
+    );
     if let Some(floor) = assert_speedup {
         if cores >= 4 {
             // One retry before failing the gate: a single noisy-neighbor

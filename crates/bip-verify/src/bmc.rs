@@ -52,7 +52,7 @@
 use crate::control::{Budget, CancelToken, StopReason, Wall};
 use bip_core::sym::{StepEncoder, StepVars, SymError, SymFrame};
 use bip_core::{State, StatePred, Step, System};
-use satkit::{CnfBuilder, Lit, SolveLimits, SolveResult};
+use satkit::{CnfBuilder, Lit, RestartPolicy, SolveLimits, SolveResult};
 use std::time::Instant;
 
 /// Builder for a bounded model-checking run (mirrors
@@ -64,6 +64,7 @@ pub struct BmcConfig<'a> {
     enum_budget: u64,
     budget: Budget,
     cancel: CancelToken,
+    restart_policy: RestartPolicy,
 }
 
 impl<'a> BmcConfig<'a> {
@@ -75,7 +76,19 @@ impl<'a> BmcConfig<'a> {
             enum_budget: bip_core::sym::DEFAULT_ENUM_BUDGET,
             budget: Budget::unlimited(),
             cancel: CancelToken::new(),
+            // One persistent solver accumulates learnt clauses across
+            // depths, so the hybrid policy's stable (Luby) phases pay off.
+            restart_policy: RestartPolicy::hybrid(),
         }
+    }
+
+    /// Override the persistent solver's restart policy (default:
+    /// [`RestartPolicy::hybrid`], tuned for one long-lived incremental
+    /// solver; D-Finder's many short per-seed solves use Luby instead).
+    #[must_use]
+    pub fn restart_policy(mut self, policy: RestartPolicy) -> BmcConfig<'a> {
+        self.restart_policy = policy;
+        self
     }
 
     /// Set the unrolling depth: states reachable in at most `k` steps are
@@ -130,6 +143,7 @@ impl<'a> BmcConfig<'a> {
             .enum_budget(self.enum_budget);
         let mut b = CnfBuilder::new();
         b.solver_mut().set_interrupt(Some(self.cancel.flag()));
+        b.solver_mut().set_restart_policy(self.restart_policy);
 
         let mut frames: Vec<SymFrame> = vec![enc.new_frame(&mut b)];
         enc.assert_initial(&mut b, &frames[0]);
@@ -199,12 +213,19 @@ impl<'a> BmcConfig<'a> {
             let sat = verdict.is_sat();
             {
                 let s = b.solver_mut();
+                let (tier_core, tier_mid, tier_local) = s.tier_sizes();
                 stats.push(FrameStats {
                     depth,
                     vars: s.num_vars(),
                     clauses: s.num_clauses(),
                     learnts: s.num_learnts(),
                     conflicts: s.conflicts(),
+                    decisions: s.decisions(),
+                    propagations: s.propagations(),
+                    avg_lbd_milli: s.avg_lbd_milli(),
+                    tier_core,
+                    tier_mid,
+                    tier_local,
                 });
             }
 
@@ -319,6 +340,20 @@ pub struct FrameStats {
     pub learnts: usize,
     /// Cumulative conflicts.
     pub conflicts: u64,
+    /// Cumulative decisions.
+    pub decisions: u64,
+    /// Cumulative propagations (literals enqueued).
+    pub propagations: u64,
+    /// Mean LBD of all clauses learnt so far, in thousandths (an integer so
+    /// the report stays `Eq` and bit-reproducible; divide by 1000.0 for the
+    /// conventional average-glue figure). 0 until the first conflict.
+    pub avg_lbd_milli: u64,
+    /// Learnt clauses in the Core tier (glue ≤ 2, kept forever).
+    pub tier_core: usize,
+    /// Learnt clauses in the mid tier (glue ≤ 6, demoted if untouched).
+    pub tier_mid: usize,
+    /// Learnt clauses in the Local tier (the reduction pool).
+    pub tier_local: usize,
 }
 
 /// Verdict of a bounded model-checking run.

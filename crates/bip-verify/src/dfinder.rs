@@ -52,7 +52,7 @@ use std::hash::Hasher;
 
 use crate::control::{Budget, CancelToken, StopReason, Wall};
 use bip_core::{PlaceSet, StatePred, System};
-use satkit::{CnfBuilder, Lit, SolveLimits, Var};
+use satkit::{CnfBuilder, Lit, RestartPolicy, SolveLimits, Var};
 
 /// A place of the abstraction: `(component, location)` as a dense index.
 pub type Place = usize;
@@ -555,6 +555,13 @@ pub struct DFinderConfig {
     /// Cancellation token, installed as every solver's interrupt flag, so
     /// even a worker buried in a hard SAT instance stops mid-solve.
     pub cancel: CancelToken,
+    /// Restart policy for every solver the run creates (per-seed trap
+    /// iterates and the final DIS check). Defaults to
+    /// [`RestartPolicy::luby`]: D-Finder fires many *short* solves, too
+    /// brief for glucose's LBD averages to stabilise, so plain Luby is the
+    /// predictable choice (BMC's one persistent solver defaults to
+    /// [`RestartPolicy::hybrid`] instead).
+    pub restart_policy: RestartPolicy,
 }
 
 impl DFinderConfig {
@@ -566,6 +573,7 @@ impl DFinderConfig {
             max_traps: DFinder::DEFAULT_MAX_TRAPS,
             budget: Budget::unlimited(),
             cancel: CancelToken::new(),
+            restart_policy: RestartPolicy::luby(),
         }
     }
 
@@ -596,6 +604,13 @@ impl DFinderConfig {
         self.cancel = token.clone();
         self
     }
+
+    /// Set the restart policy (see [`DFinderConfig::restart_policy`]).
+    #[must_use]
+    pub fn restart_policy(mut self, policy: RestartPolicy) -> DFinderConfig {
+        self.restart_policy = policy;
+        self
+    }
 }
 
 impl Default for DFinderConfig {
@@ -624,6 +639,13 @@ pub struct DFinderReport {
     pub places: usize,
     /// SAT conflicts spent in the final check.
     pub sat_conflicts: u64,
+    /// SAT decisions spent in the final check.
+    pub sat_decisions: u64,
+    /// SAT propagations (literals enqueued) in the final check.
+    pub sat_propagations: u64,
+    /// Mean LBD of the final check's learnt clauses, in thousandths
+    /// (integer so the report stays `Eq`; 0 if the check never conflicted).
+    pub avg_lbd_milli: u64,
     /// Why the run stopped. [`StopReason::Completed`] means nothing was
     /// truncated. With a [`Verdict::Unknown`] verdict this is the final
     /// check's stop reason; with a decisive verdict it can still be a
@@ -644,6 +666,7 @@ pub struct DFinder {
     linear: Vec<LinearInvariant>,
     budget: Budget,
     cancel: CancelToken,
+    restart_policy: RestartPolicy,
     build_stop: StopReason,
     build_elapsed: std::time::Duration,
 }
@@ -679,6 +702,7 @@ impl DFinder {
             linear,
             budget: cfg.budget,
             cancel: cfg.cancel.clone(),
+            restart_policy: cfg.restart_policy,
             build_stop,
             build_elapsed: start.elapsed(),
         }
@@ -765,6 +789,9 @@ impl DFinder {
             }
         };
         let conflicts = solver.conflicts();
+        let decisions = solver.decisions();
+        let propagations = solver.propagations();
+        let avg_lbd_milli = solver.avg_lbd_milli();
         let stop = match &verdict {
             Verdict::Unknown(stop) => *stop,
             _ => self.build_stop,
@@ -776,6 +803,9 @@ impl DFinder {
             abstract_transitions: self.abs.transitions.len(),
             places: self.abs.num_places,
             sat_conflicts: conflicts,
+            sat_decisions: decisions,
+            sat_propagations: propagations,
+            avg_lbd_milli,
             stop,
             wall: Wall(self.build_elapsed + start.elapsed()),
         }
@@ -798,6 +828,7 @@ impl DFinder {
     /// literals.
     fn encode_ci_ii(&self) -> (CnfBuilder, Vec<Lit>) {
         let mut b = CnfBuilder::new();
+        b.solver_mut().set_restart_policy(self.restart_policy);
         let at: Vec<Lit> = (0..self.abs.num_places)
             .map(|_| Lit::pos(b.fresh()))
             .collect();
@@ -1052,6 +1083,7 @@ fn enumerate_seed(
     // conflict ceiling applies per solve call (deterministic, so a
     // budget-cut seed yields the same traps on every thread count).
     solver.set_interrupt(Some(cfg.cancel.flag()));
+    solver.set_restart_policy(cfg.restart_policy);
     let limits = solve_limits(&cfg.budget);
     while out.len() < cap && !cancel.load(Ordering::Acquire) {
         if cfg.cancel.is_cancelled() || cfg.budget.deadline.is_some_and(|due| Instant::now() >= due)

@@ -298,6 +298,7 @@ impl DFinderFacade<'_> {
         let start = Instant::now();
         let solver = b.solver_mut();
         solver.set_interrupt(Some(self.cfg.cancel.flag()));
+        solver.set_restart_policy(self.cfg.restart_policy);
         let pre = if self.cfg.cancel.is_cancelled() {
             Some(StopReason::Cancelled)
         } else if self
@@ -344,6 +345,9 @@ impl DFinderFacade<'_> {
             abstract_transitions: self.abs.transitions.len(),
             places: self.abs.num_places,
             sat_conflicts: solver.conflicts(),
+            sat_decisions: solver.decisions(),
+            sat_propagations: solver.propagations(),
+            avg_lbd_milli: solver.avg_lbd_milli(),
             stop,
             wall: Wall(start.elapsed()),
         }

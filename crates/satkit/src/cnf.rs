@@ -7,7 +7,10 @@ use crate::{Lit, Solver, Var};
 /// Incremental CNF builder that feeds a [`Solver`].
 ///
 /// The builder owns the solver; retrieve it with [`CnfBuilder::into_solver`]
-/// or solve in place via [`CnfBuilder::solver_mut`].
+/// or solve in place via [`CnfBuilder::solver_mut`]. Search-control knobs
+/// (e.g. [`Solver::set_restart_policy`], [`Solver::set_interrupt`]) are
+/// configured through the same accessor — the builder adds encoding
+/// convenience only and never touches solver tuning.
 ///
 /// # Example
 ///

@@ -7,8 +7,10 @@
 //!
 //! The solver implements the standard modern architecture:
 //! conflict-driven clause learning (first-UIP), two-watched-literal
-//! propagation, VSIDS-style activity decision heuristic, phase saving, and
-//! Luby restarts.
+//! propagation, a heap-backed VSIDS decision heuristic with phase saving,
+//! an LBD ("glue")-tiered learnt-clause database with in-place reduction,
+//! and configurable restarts ([`RestartPolicy`]: Luby, glucose-style
+//! adaptive EMAs, or a hybrid alternating the two).
 //!
 //! # Example
 //!
@@ -30,7 +32,7 @@ mod solver;
 
 pub use cnf::CnfBuilder;
 pub use dimacs::{parse_dimacs, to_dimacs, DimacsError};
-pub use solver::{SolveLimits, SolveResult, Solver};
+pub use solver::{RestartPolicy, SolveLimits, SolveResult, Solver};
 
 /// A propositional variable, identified by a dense index.
 ///

@@ -1,0 +1,151 @@
+//! Differential testing of the glue-aware solver configuration.
+//!
+//! The tiered/EMA machinery (LBD tiers, glucose-style adaptive restarts,
+//! in-place DB reduction) must never change a *verdict* — only how fast the
+//! solver reaches it. These tests pit the new default configuration
+//! (hybrid restarts, aggressive reduction ceiling) against the legacy-style
+//! configuration (plain Luby restarts, a ceiling high enough that the
+//! clause database is never reduced) on random CNFs around the 3-SAT phase
+//! transition, and re-verify every SAT model by direct clause evaluation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use satkit::{Lit, RestartPolicy, Solver, Var};
+
+const NVARS: usize = 30;
+
+/// Random 1–4-literal CNF over `NVARS` variables with a clause count drawn
+/// around the 3-SAT phase transition (so the pool mixes SAT and UNSAT
+/// instances, and the UNSAT ones need real search).
+fn random_cnf(seed: u64) -> Vec<Vec<Lit>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nclauses = rng.gen_range(NVARS * 3..NVARS * 5);
+    (0..nclauses)
+        .map(|_| {
+            let len = rng.gen_range(1..5usize);
+            (0..len)
+                .map(|_| {
+                    let v = Var(rng.gen_range(0..NVARS as u32));
+                    Lit::new(v, rng.gen_range(0..2u32) == 0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn solver_for(clauses: &[Vec<Lit>]) -> Solver {
+    let mut s = Solver::new();
+    s.reserve_vars(NVARS);
+    for c in clauses {
+        let _ = s.add_clause(c.iter().copied());
+    }
+    s
+}
+
+/// The new default: hybrid adaptive/stable restarts with a ceiling low
+/// enough that random instances actually trip tier-aware reductions.
+fn tiered(clauses: &[Vec<Lit>]) -> Solver {
+    let mut s = solver_for(clauses);
+    s.set_restart_policy(RestartPolicy::hybrid());
+    s.set_learnt_ceiling(32);
+    s
+}
+
+/// Legacy-style: Luby restarts, database never reduced.
+fn legacy(clauses: &[Vec<Lit>]) -> Solver {
+    let mut s = solver_for(clauses);
+    s.set_restart_policy(RestartPolicy::luby());
+    s.set_learnt_ceiling(usize::MAX);
+    s
+}
+
+fn check_model(s: &Solver, clauses: &[Vec<Lit>]) -> Result<(), String> {
+    let model = s.model();
+    for c in clauses {
+        prop_assert!(
+            c.iter().any(|l| model[l.var().index()] == Some(l.sign())),
+            "model does not satisfy clause {c:?}"
+        );
+    }
+    Ok(())
+}
+
+/// The full observable counter state of a solver, for determinism checks.
+type SolverStats = (u64, u64, u64, u64, u64, usize, (usize, usize, usize), u64);
+
+fn stats(s: &Solver) -> SolverStats {
+    (
+        s.conflicts(),
+        s.decisions(),
+        s.propagations(),
+        s.restarts(),
+        s.reduces(),
+        s.num_learnts(),
+        s.tier_sizes(),
+        s.avg_lbd_milli(),
+    )
+}
+
+proptest! {
+    /// Tiered/EMA and legacy configurations agree on every verdict, and
+    /// each SAT model satisfies the original clause list.
+    #[test]
+    fn configurations_agree_on_verdicts(seed in 0u64..256) {
+        let clauses = random_cnf(seed);
+        let mut new_cfg = tiered(&clauses);
+        let mut old_cfg = legacy(&clauses);
+        let v_new = new_cfg.solve();
+        let v_old = old_cfg.solve();
+        prop_assert!(v_new == v_old, "configurations disagree on seed {}", seed);
+        if v_new.is_sat() {
+            check_model(&new_cfg, &clauses)?;
+            check_model(&old_cfg, &clauses)?;
+        }
+    }
+
+    /// Two identical runs produce identical verdicts *and* identical
+    /// statistics — the solver is deterministic down to its counters, for
+    /// every restart policy.
+    #[test]
+    fn identical_runs_are_bit_identical(seed in 0u64..64) {
+        let clauses = random_cnf(seed);
+        for policy in [
+            RestartPolicy::luby(),
+            RestartPolicy::glucose(),
+            RestartPolicy::hybrid(),
+        ] {
+            let run = || {
+                let mut s = solver_for(&clauses);
+                s.set_restart_policy(policy);
+                s.set_learnt_ceiling(32);
+                let v = s.solve();
+                (v, stats(&s))
+            };
+            let (v1, st1) = run();
+            let (v2, st2) = run();
+            prop_assert!(v1 == v2, "verdicts differ under {:?}", policy);
+            prop_assert!(st1 == st2, "stats differ under {:?}", policy);
+        }
+    }
+
+    /// Incremental use under assumptions stays differential-clean: both
+    /// configurations agree per assumption set on the same formula, even
+    /// after earlier solves have reduced the tiered database.
+    #[test]
+    fn assumption_solves_agree(seed in 0u64..64) {
+        let clauses = random_cnf(seed);
+        let mut new_cfg = tiered(&clauses);
+        let mut old_cfg = legacy(&clauses);
+        for i in 0..4u32 {
+            let v = Var(i % NVARS as u32);
+            let assume = [Lit::new(v, i % 2 == 0)];
+            let v_new = new_cfg.solve_with(&assume);
+            let v_old = old_cfg.solve_with(&assume);
+            prop_assert!(v_new == v_old, "assumption round {} disagrees", i);
+            if v_new.is_sat() {
+                check_model(&new_cfg, &clauses)?;
+            }
+        }
+    }
+}
