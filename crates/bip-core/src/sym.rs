@@ -415,6 +415,55 @@ impl<'a> StepEncoder<'a> {
         State { locs, vars }
     }
 
+    /// An independent encoder over the same system: same inferred ranges and
+    /// enumeration budget, but no cached per-builder literals, so it is safe
+    /// to drive a *different* [`CnfBuilder`] (e.g. a second persistent solver
+    /// running the inductive-step side of a k-induction proof while this one
+    /// runs the base case). Reusing one encoder across builders would leak
+    /// its cached constant-true literal into a foreign variable space.
+    #[must_use]
+    pub fn fork(&self) -> StepEncoder<'a> {
+        StepEncoder {
+            sys: self.sys,
+            ranges: self.ranges.clone(),
+            budget: self.budget,
+            const_true: None,
+        }
+    }
+
+    /// The packed state bits of `frame` in a fixed order (per-component
+    /// location bits, then per-slot variable bits). Two frames of the same
+    /// encoder denote equal states iff these literals take equal values —
+    /// the variable map that simple-path distinctness constraints need.
+    #[must_use]
+    pub fn frame_bits(&self, frame: &SymFrame) -> Vec<Lit> {
+        frame
+            .locs
+            .iter()
+            .chain(frame.vars.iter())
+            .flat_map(|bv| bv.bits.iter().copied())
+            .collect()
+    }
+
+    /// Assert that two frames denote *different* states: for each state-bit
+    /// pair a fresh difference literal `d` with `d → x ≠ y`, then one clause
+    /// requiring some `d` true. With zero state bits (a one-state system)
+    /// the clause is empty and the formula becomes unsatisfiable — correct,
+    /// since no two distinct states exist.
+    pub fn assert_frames_distinct(&self, b: &mut CnfBuilder, f: &SymFrame, g: &SymFrame) {
+        let xs = self.frame_bits(f);
+        let ys = self.frame_bits(g);
+        debug_assert_eq!(xs.len(), ys.len());
+        let mut diffs = Vec::with_capacity(xs.len());
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let d = Lit::pos(b.fresh());
+            b.clause([!d, x, y]);
+            b.clause([!d, !x, !y]);
+            diffs.push(d);
+        }
+        b.clause(diffs);
+    }
+
     // ---- expression enumeration ----------------------------------------
 
     /// Enumerate `eval` over the product of the `items` domains.
@@ -1585,6 +1634,88 @@ mod tests {
         let f1 = enc.new_frame(&mut b);
         enc.assert_initial(&mut b, &f0);
         let _ = enc.encode_step(&mut b, &mut f0, &f1).unwrap();
+        assert!(b.solver_mut().solve().is_unsat());
+    }
+
+    #[test]
+    fn forked_encoder_drives_a_second_builder() {
+        let sys = counter_system(3);
+        let mut enc = StepEncoder::new(&sys).unwrap();
+        // Prime the first builder's cached constant-true literal so a leak
+        // into the second builder would misalign variable spaces.
+        let mut b1 = CnfBuilder::new();
+        let mut f0 = enc.new_frame(&mut b1);
+        enc.assert_initial(&mut b1, &f0);
+        let _ = enc.encode_pred(&mut b1, &mut f0, &StatePred::True).unwrap();
+
+        let mut enc2 = enc.fork();
+        let mut b2 = CnfBuilder::new();
+        let mut g0 = enc2.new_frame(&mut b2);
+        let g1 = enc2.new_frame(&mut b2);
+        enc2.assert_initial(&mut b2, &g0);
+        let _ = enc2.encode_step(&mut b2, &mut g0, &g1).unwrap();
+        assert!(b2.solver_mut().solve().is_sat());
+        let model = b2.solver_mut().model();
+        // The only successor of n = 0 is n = 1.
+        assert_eq!(enc2.decode_state(&g1, &model).vars, vec![1]);
+    }
+
+    #[test]
+    fn frame_bits_cover_the_packed_state() {
+        let sys = counter_system(3);
+        let enc = StepEncoder::new(&sys).unwrap();
+        let mut b = CnfBuilder::new();
+        let f = enc.new_frame(&mut b);
+        assert_eq!(enc.frame_bits(&f).len(), enc.state_bits());
+    }
+
+    #[test]
+    fn distinct_frames_exclude_stutter() {
+        // The only transition is a pure self-loop, so every step reproduces
+        // the same state; distinctness must make the step UNSAT.
+        let idle = AtomBuilder::new("idle")
+            .location("l")
+            .location("m")
+            .initial("l")
+            .internal_transition("l", Expr::t(), vec![], "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        sb.add_instance("i", &idle);
+        let sys = sb.build().unwrap();
+        let mut enc = StepEncoder::new(&sys).unwrap();
+        let mut b = CnfBuilder::new();
+        let mut f0 = enc.new_frame(&mut b);
+        let f1 = enc.new_frame(&mut b);
+        enc.assert_initial(&mut b, &f0);
+        let _ = enc.encode_step(&mut b, &mut f0, &f1).unwrap();
+        assert!(b.solver_mut().solve().is_sat(), "a step exists");
+        enc.assert_frames_distinct(&mut b, &f0, &f1);
+        assert!(
+            b.solver_mut().solve().is_unsat(),
+            "self-loop cannot change state"
+        );
+    }
+
+    #[test]
+    fn distinct_frames_on_zero_state_bits_are_unsat() {
+        // One location, no variables: zero state bits, so no two distinct
+        // states exist and the distinctness clause is empty.
+        let unit = AtomBuilder::new("unit")
+            .location("l")
+            .initial("l")
+            .internal_transition("l", Expr::t(), vec![], "l")
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        sb.add_instance("u", &unit);
+        let sys = sb.build().unwrap();
+        let enc = StepEncoder::new(&sys).unwrap();
+        assert_eq!(enc.state_bits(), 0);
+        let mut b = CnfBuilder::new();
+        let f0 = enc.new_frame(&mut b);
+        let f1 = enc.new_frame(&mut b);
+        enc.assert_frames_distinct(&mut b, &f0, &f1);
         assert!(b.solver_mut().solve().is_unsat());
     }
 

@@ -30,10 +30,15 @@
 //! comparisons and logic land in `[0, 1]`, division/remainder use the total
 //! semantics (`x / 0 = 0`, `x % 0 = x`), and any bound escaping the `i64`
 //! domain (where the concrete semantics wraps) collapses to ⊤. Variables
-//! that keep growing are widened to ⊤ rather than iterated forever:
-//! after every 64 rounds without a fixpoint, all still-moving variables
-//! jump to ⊤ and the iteration resumes, so termination is guaranteed in
-//! O(64 · vars) rounds.
+//! that keep growing are **widened with thresholds** rather than iterated
+//! forever: after every 64 rounds without a fixpoint, each still-moving
+//! bound jumps outward to the nearest constant harvested from transition
+//! guards (±1, the landing sites of guarded counters — `[n < 100] n := n+1`
+//! stabilizes at 100, one increment past its guard constant), and to ⊤ only
+//! once no threshold remains. A counter guarded at any finite limit
+//! therefore infers a finite range regardless of how the limit compares to
+//! the 64-round widening cadence, while genuinely unbounded variables still
+//! reach ⊤ after at most `thresholds + 1` widening passes per bound.
 //!
 //! The result is an **over-approximation of reachable stores, not a proof
 //! about arbitrary [`crate::State`] values**: states mutated through
@@ -49,6 +54,41 @@ const I64_HI: i128 = i64::MAX as i128;
 
 /// Rounds between widening passes.
 const WIDEN_EVERY: usize = 64;
+
+/// Collect every constant appearing in a transition guard, expanded to
+/// `{c - 1, c, c + 1}`: the landing sites of strict/non-strict comparisons
+/// one update past the guard. Sorted and deduplicated, these are the widening
+/// thresholds — the only places a still-moving bound may pause before ⊤.
+fn guard_thresholds(sys: &System) -> Vec<i128> {
+    fn consts(e: &Expr, out: &mut Vec<i128>) {
+        match e {
+            Expr::Const(c) => {
+                let c = *c as i128;
+                out.extend([c - 1, c, c + 1]);
+            }
+            Expr::Var(_) | Expr::Param(..) => {}
+            Expr::Unary(_, a) => consts(a, out),
+            Expr::Binary(_, a, b) => {
+                consts(a, out);
+                consts(b, out);
+            }
+            Expr::Ite(c, t, e) => {
+                consts(c, out);
+                consts(t, out);
+                consts(e, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for c in 0..sys.num_components() {
+        for t in sys.atom_type(c).transitions() {
+            consts(&t.guard, &mut out);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
 
 /// A value interval over the `i64` domain (`lo > hi` never escapes this
 /// module; ⊤ is the full domain).
@@ -353,10 +393,13 @@ pub fn infer_ranges(sys: &System) -> Vec<Option<(i64, i64)>> {
         changed
     };
 
-    // Fixpoint with periodic widening: every `WIDEN_EVERY` rounds without
-    // stabilizing, the still-moving variables jump to ⊤ (⊤ is absorbing, so
-    // each widening pass retires at least one variable and the loop
-    // terminates).
+    // Fixpoint with periodic threshold widening: every `WIDEN_EVERY` rounds
+    // without stabilizing, each still-moving bound jumps outward to the
+    // nearest guard threshold (or the domain edge when none is left). Every
+    // widening pass strictly advances each moving bound through the finite
+    // threshold set toward the absorbing domain edge, so the loop terminates
+    // in O(thresholds · vars) widening passes.
+    let thresholds = guard_thresholds(sys);
     loop {
         let mut stable = false;
         for _ in 0..WIDEN_EVERY {
@@ -372,8 +415,22 @@ pub fn infer_ranges(sys: &System) -> Vec<Option<(i64, i64)>> {
         step(&mut iv);
         let mut widened = false;
         for (cur, old) in iv.iter_mut().zip(&before) {
-            if *cur != *old {
-                *cur = Iv::TOP;
+            // Intervals only grow (joins), so a changed bound moved outward.
+            if cur.hi > old.hi {
+                cur.hi = thresholds
+                    .iter()
+                    .copied()
+                    .find(|&t| t >= cur.hi)
+                    .unwrap_or(I64_HI);
+                widened = true;
+            }
+            if cur.lo < old.lo {
+                cur.lo = thresholds
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|&t| t <= cur.lo)
+                    .unwrap_or(I64_LO);
                 widened = true;
             }
         }
@@ -428,6 +485,59 @@ mod tests {
     fn unguarded_counter_is_unbounded() {
         let sys = one_counter(Expr::t(), Expr::var(0).add(Expr::int(1)));
         assert_eq!(infer_ranges(&sys), vec![None]);
+    }
+
+    #[test]
+    fn guarded_counter_beyond_widening_cadence_is_bounded() {
+        // The limit (100) exceeds WIDEN_EVERY (64): the plain-iteration rounds
+        // stall short of the fixpoint, and threshold widening must land the
+        // moving bound on the guard constant instead of collapsing to ⊤.
+        let sys = one_counter(
+            Expr::var(0).lt(Expr::int(100)),
+            Expr::var(0).add(Expr::int(1)),
+        );
+        assert_eq!(infer_ranges(&sys), vec![Some((0, 100))]);
+    }
+
+    #[test]
+    fn guarded_counter_with_huge_limit_is_bounded() {
+        let sys = one_counter(
+            Expr::var(0).lt(Expr::int(1_000_000)),
+            Expr::var(0).add(Expr::int(1)),
+        );
+        assert_eq!(infer_ranges(&sys), vec![Some((0, 1_000_000))]);
+    }
+
+    #[test]
+    fn two_sided_guarded_drift_is_bounded() {
+        // [n < 100] n := n + 1  |  [n > -100] n := n - 1: both bounds move
+        // every round, and both must pause on their respective thresholds.
+        let a = AtomBuilder::new("a")
+            .port("p")
+            .var("n", 0)
+            .location("l")
+            .initial("l")
+            .guarded_transition(
+                "l",
+                "p",
+                Expr::var(0).lt(Expr::int(100)),
+                vec![("n", Expr::var(0).add(Expr::int(1)))],
+                "l",
+            )
+            .guarded_transition(
+                "l",
+                "p",
+                Expr::var(0).gt(Expr::int(-100)),
+                vec![("n", Expr::var(0).sub(Expr::int(1)))],
+                "l",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        let c = sb.add_instance("c", &a);
+        sb.add_connector(ConnectorBuilder::singleton("t", c, "p"));
+        let sys = sb.build().unwrap();
+        assert_eq!(infer_ranges(&sys), vec![Some((-100, 100))]);
     }
 
     #[test]

@@ -411,7 +411,13 @@ impl BmcReport {
 /// Validate a decoded counterexample against the concrete semantics: every
 /// `(state, step, state)` triple must be an actual transition enumerated by
 /// `for_each_successor`, and the final state must violate the invariant.
-fn replay(sys: &System, inv: &StatePred, states: &[State], trace: &[Step]) -> Result<(), BmcError> {
+/// Shared with [`crate::kind`], whose base case decodes identical traces.
+pub(crate) fn replay(
+    sys: &System,
+    inv: &StatePred,
+    states: &[State],
+    trace: &[Step],
+) -> Result<(), BmcError> {
     if states.len() != trace.len() + 1 {
         return Err(BmcError::InvalidTrace(format!(
             "{} states for {} steps",

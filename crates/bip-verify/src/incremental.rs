@@ -46,13 +46,15 @@ use std::time::Instant;
 
 use bip_core::FxHashSet;
 
-use bip_core::{Connector, ModelError, PlaceSet, System, SystemBuilder};
+use bip_core::{Connector, ModelError, PlaceSet, StatePred, System, SystemBuilder};
 
 use crate::control::{StopReason, Wall};
 use crate::dfinder::{
     enumerate_traps_inner, linear_invariants, Abstraction, DFinder, DFinderConfig, DFinderReport,
     LinearInvariant,
 };
+use crate::kind::{KindConfig, Verdict as ProofVerdict};
+use crate::reach::{check_invariant_with, InvariantReport, ReachConfig};
 
 /// Statistics of one incremental step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -218,6 +220,48 @@ impl IncrementalVerifier {
         })
     }
 
+    /// Check a state invariant, trying an **unbounded k-induction proof**
+    /// before falling back to explicit re-enumeration.
+    ///
+    /// The proof attempt ([`KindConfig::prove`], induction depth up to
+    /// `max_k`) settles most invariants without touching the state space at
+    /// all — the natural first move after [`Self::add_interaction`], whose
+    /// whole point is to avoid re-exploring. Only when the prover declines
+    /// the system (unbounded variable), errs, or returns
+    /// [`ProofVerdict::Unknown`] does the verifier fall back to the bounded
+    /// explicit search (`explicit_bound` states, the config's thread count).
+    /// Both attempts honor the config's [`crate::control::Budget`] deadline
+    /// and [`crate::control::CancelToken`].
+    pub fn verify_invariant(
+        &self,
+        inv: &StatePred,
+        max_k: usize,
+        explicit_bound: usize,
+    ) -> InvariantOutcome {
+        let proof = KindConfig::new(&self.sys)
+            .max_k(max_k)
+            .budget(self.cfg.budget)
+            .cancel(&self.cfg.cancel)
+            .prove(inv);
+        match proof {
+            Ok(report)
+                if matches!(
+                    report.verdict,
+                    ProofVerdict::Proved { .. } | ProofVerdict::Violated { .. }
+                ) =>
+            {
+                InvariantOutcome::Proof(report)
+            }
+            _ => {
+                let cfg = ReachConfig::bounded(explicit_bound)
+                    .threads(self.cfg.threads)
+                    .budget(self.cfg.budget)
+                    .cancel(&self.cfg.cancel);
+                InvariantOutcome::Explicit(check_invariant_with(&self.sys, inv, &cfg))
+            }
+        }
+    }
+
     /// Run the deadlock-freedom check with the current invariants.
     ///
     /// Honors the config's [`crate::control::Budget`] and
@@ -236,6 +280,45 @@ impl IncrementalVerifier {
             build_stop: self.last_stop,
         };
         df.check()
+    }
+}
+
+/// How [`IncrementalVerifier::verify_invariant`] settled an invariant:
+/// by unbounded proof/refutation, or by (possibly bounded) explicit search.
+#[derive(Debug, Clone)]
+pub enum InvariantOutcome {
+    /// The k-induction engine answered definitively — no state enumeration
+    /// happened at all.
+    Proof(crate::kind::ProofReport),
+    /// The prover was inconclusive (or the system is not encodable); the
+    /// verdict comes from explicit search and inherits its completeness
+    /// caveat ([`InvariantReport::complete`]).
+    Explicit(InvariantReport),
+}
+
+impl InvariantOutcome {
+    /// Whether the invariant is established on **every** reachable state
+    /// (an unbounded proof, or a *complete* explicit search with no
+    /// violation).
+    pub fn is_proved(&self) -> bool {
+        match self {
+            InvariantOutcome::Proof(r) => r.is_proved(),
+            InvariantOutcome::Explicit(r) => r.complete && r.violation.is_none(),
+        }
+    }
+
+    /// Whether a concrete violating trace was found.
+    pub fn found_violation(&self) -> bool {
+        match self {
+            InvariantOutcome::Proof(r) => r.violation().is_some(),
+            InvariantOutcome::Explicit(r) => r.violation.is_some(),
+        }
+    }
+
+    /// Whether the outcome is neither a proof nor a violation (bounded or
+    /// interrupted search, exhausted induction depth).
+    pub fn is_inconclusive(&self) -> bool {
+        !self.is_proved() && !self.found_violation()
     }
 }
 
@@ -474,6 +557,66 @@ mod tests {
         let report = inc.check_deadlock_freedom();
         assert_eq!(report.stop, StopReason::Cancelled);
         assert!(report.verdict.is_unknown());
+    }
+
+    #[test]
+    fn verify_invariant_proves_without_enumeration() {
+        let n = 3;
+        let full = bip_core::builder::dining_philosophers(n, false).unwrap();
+        let mut inc = IncrementalVerifier::new(base_philosophers(n));
+        for conn in full.connectors() {
+            if conn.name.starts_with("eat") {
+                inc.add_interaction(conn.clone()).unwrap();
+            }
+        }
+        // Adjacent philosophers share a fork: never both eating.
+        let inv = StatePred::And(
+            (0..n)
+                .map(|i| {
+                    StatePred::Not(Box::new(StatePred::And(vec![
+                        StatePred::AtLoc(i, 1),
+                        StatePred::AtLoc((i + 1) % n, 1),
+                    ])))
+                })
+                .collect(),
+        );
+        let out = inc.verify_invariant(&inv, 16, 10_000);
+        assert!(
+            matches!(out, InvariantOutcome::Proof(_)),
+            "k-induction should settle this without enumeration"
+        );
+        assert!(out.is_proved());
+        assert!(!out.found_violation());
+    }
+
+    #[test]
+    fn verify_invariant_falls_back_on_undecidable_encodings() {
+        // An unguarded counter declines the symbolic encoding entirely:
+        // the facade must fall back to explicit search and still find the
+        // concrete violation.
+        let counter = bip_core::AtomBuilder::new("counter")
+            .location("run")
+            .initial("run")
+            .var("n", 0)
+            .internal_transition(
+                "run",
+                bip_core::Expr::t(),
+                vec![("n", bip_core::Expr::var(0).add(bip_core::Expr::int(1)))],
+                "run",
+            )
+            .build()
+            .unwrap();
+        let mut sb = SystemBuilder::new();
+        sb.add_instance("c", &counter);
+        let inc = IncrementalVerifier::new(sb.build().unwrap());
+        let inv = StatePred::Not(Box::new(StatePred::Eq(
+            bip_core::GExpr::var(0, 0),
+            bip_core::GExpr::int(3),
+        )));
+        let out = inc.verify_invariant(&inv, 8, 100);
+        assert!(matches!(out, InvariantOutcome::Explicit(_)));
+        assert!(out.found_violation());
+        assert!(!out.is_proved());
     }
 
     #[test]

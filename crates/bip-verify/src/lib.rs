@@ -1,6 +1,6 @@
 //! `bip-verify` — verification for BIP systems.
 //!
-//! Four tool families from the paper's design flow (§5.6, Fig. 5.6/5.7):
+//! Five tool families from the paper's design flow (§5.6, Fig. 5.6/5.7):
 //!
 //! * [`reach`] — a **monolithic explicit-state model checker**: exhaustive
 //!   reachability over the global semantics, invariant checking (the
@@ -25,6 +25,11 @@
 //!   one persistent [`satkit`] solver; counterexamples are replayed on the
 //!   concrete executor before being reported. Complements [`reach`] when the
 //!   reachable set outgrows RAM but the bug sits at moderate depth.
+//! * [`kind`] — **unbounded safety proofs by k-induction**: a base-case
+//!   solver (BMC's unrolling) and an inductive-step solver (arbitrary
+//!   pairwise-distinct frames) run in lock-step; the first engine in the
+//!   stack that can answer "safe, period" rather than "safe up to depth k".
+//!   Proofs are independently re-checkable via [`kind::certify_step`].
 //! * [`equiv`] — **refinement/equivalence checking** modulo an observation
 //!   criterion: weak trace inclusion plus deadlock-freedom preservation,
 //!   exactly the `≥` relation of §5.5.3 used to certify source-to-source
@@ -60,13 +65,18 @@ pub mod control;
 pub mod dfinder;
 pub mod equiv;
 pub mod incremental;
+pub mod kind;
 pub mod reach;
 
 pub use bmc::{BmcConfig, BmcError, BmcOutcome, BmcReport};
 pub use control::{Budget, CancelToken, StopReason, Wall};
 pub use dfinder::{DFinder, DFinderConfig, DFinderReport, Verdict};
 pub use equiv::{refines, refines_with, weak_trace_equivalent, RefinementReport};
-pub use incremental::IncrementalVerifier;
+pub use incremental::{IncrementalVerifier, InvariantOutcome};
+pub use kind::{certify_step, KindConfig, KindError, KindStats, ProofReport};
+// `dfinder::Verdict` already owns the unqualified name; the proof verdict is
+// re-exported under an unambiguous alias (or use `kind::Verdict` directly).
+pub use kind::Verdict as ProofVerdict;
 pub use reach::{
     check_invariant, check_invariant_resume, check_invariant_with, explore, explore_resume,
     explore_with, find_deadlock, find_deadlock_resume, find_deadlock_with, CodecMode,

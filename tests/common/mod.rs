@@ -3,11 +3,26 @@
 
 use bip_core::{AtomBuilder, ConnectorBuilder, Expr, SystemBuilder};
 
+/// How a generated variable behaves across transitions.
+#[derive(Debug, Clone, Copy)]
+enum VarStyle {
+    /// The original location-heavy flavor: small random ±1 drifts under
+    /// occasional small comparison guards.
+    Drift,
+    /// A guard-bounded counter: increments guarded by `v < limit` (with
+    /// occasional resets to 0), so the interval-width analysis and the
+    /// simple-path bit encoding both get a real workout. Limits are mostly
+    /// small (state spaces stay explorable) but sometimes land above the
+    /// widening cadence (≈ 64) to exercise threshold widening.
+    Counter { limit: i64 },
+}
+
 /// A random flat system: a handful of randomly generated atoms (guarded,
 /// variable-updating transitions over random small location graphs) wired by
 /// random rendezvous/broadcast/singleton connectors. Used to stress the
 /// compiled enabled-set protocol and the packed-state explorers on shapes no
-/// hand-written model covers.
+/// hand-written model covers. Variables are a mix of drifting values and
+/// guard-bounded counters (see [`VarStyle`]).
 pub fn random_system(seed: u64) -> bip_core::System {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -19,9 +34,27 @@ pub fn random_system(seed: u64) -> bip_core::System {
         let n_ports = rng.gen_range(1usize..4);
         let n_locs = rng.gen_range(1usize..4);
         let n_vars = rng.gen_range(0usize..3);
+        let styles: Vec<VarStyle> = (0..n_vars)
+            .map(|_| {
+                if rng.gen_bool(0.4) {
+                    let limit = if rng.gen_bool(0.2) {
+                        rng.gen_range(80i64..110)
+                    } else {
+                        rng.gen_range(2i64..8)
+                    };
+                    VarStyle::Counter { limit }
+                } else {
+                    VarStyle::Drift
+                }
+            })
+            .collect();
         let mut b = AtomBuilder::new(format!("t{a}"));
-        for v in 0..n_vars {
-            b = b.var(format!("v{v}"), rng.gen_range(-2i64..3));
+        for (v, style) in styles.iter().enumerate() {
+            let init = match style {
+                VarStyle::Drift => rng.gen_range(-2i64..3),
+                VarStyle::Counter { .. } => 0,
+            };
+            b = b.var(format!("v{v}"), init);
         }
         for p in 0..n_ports {
             b = b.port(format!("p{p}"));
@@ -36,19 +69,43 @@ pub fn random_system(seed: u64) -> bip_core::System {
             for _ in 0..rng.gen_range(1usize..3) {
                 let port = format!("p{}", rng.gen_range(0..n_ports));
                 let to = format!("l{}", rng.gen_range(0..n_locs));
-                let guard = if n_vars > 0 && rng.gen_bool(0.4) {
-                    Expr::var(rng.gen_range(0..n_vars) as u32).lt(Expr::int(rng.gen_range(1i64..5)))
-                } else {
-                    Expr::t()
-                };
+                // Updates first: an incrementing counter *forces* its own
+                // bound as the transition guard — the guard-bounded shape
+                // the interval-width analysis can prove finite.
+                let mut forced_guard = None;
                 let updates = if n_vars > 0 && rng.gen_bool(0.5) {
                     let v = rng.gen_range(0..n_vars);
-                    vec![(
-                        format!("v{v}"),
-                        Expr::var(v as u32).add(Expr::int(rng.gen_range(-1i64..2))),
-                    )]
+                    let e = match styles[v] {
+                        // Counters mostly advance toward their guard bound;
+                        // sometimes they reset, closing a modular loop.
+                        VarStyle::Counter { limit } => {
+                            if rng.gen_bool(0.8) {
+                                forced_guard = Some(Expr::var(v as u32).lt(Expr::int(limit)));
+                                Expr::var(v as u32).add(Expr::int(1))
+                            } else {
+                                Expr::int(0)
+                            }
+                        }
+                        VarStyle::Drift => {
+                            Expr::var(v as u32).add(Expr::int(rng.gen_range(-1i64..2)))
+                        }
+                    };
+                    vec![(format!("v{v}"), e)]
                 } else {
                     vec![]
+                };
+                let guard = if let Some(g) = forced_guard {
+                    g
+                } else if n_vars > 0 && rng.gen_bool(0.4) {
+                    let v = rng.gen_range(0..n_vars);
+                    match styles[v] {
+                        VarStyle::Counter { limit } => Expr::var(v as u32).lt(Expr::int(limit)),
+                        VarStyle::Drift => {
+                            Expr::var(v as u32).lt(Expr::int(rng.gen_range(1i64..5)))
+                        }
+                    }
+                } else {
+                    Expr::t()
                 };
                 b = b.guarded_transition(
                     format!("l{l}"),

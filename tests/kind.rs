@@ -1,0 +1,349 @@
+//! Differential proof-checking harness: cross-validation of the k-induction
+//! prover against the explicit-state engine, BMC, and an independent
+//! certificate checker.
+//!
+//! The prover's three verdicts each get an adversary that shares as little
+//! machinery with it as possible:
+//!
+//! * `Proved { k }` — exhaustive BFS must agree the invariant holds; the
+//!   inductive step is re-derived by [`certify_step`] in a **fresh** solver
+//!   sharing no state with the prover; and BMC at bound `k` must confirm the
+//!   base case (`NoViolationWithin(k)`).
+//! * `Violated { trace, states }` — exhaustive BFS must also find a
+//!   violation at the same shortest depth; the trace is **re-replayed here**
+//!   step-by-step through `System::successors` (not trusting the prover's
+//!   own replay); and BMC at the trace depth must find an equal-length
+//!   counterexample.
+//! * `Unknown` — always tolerated (bounded resources), never wrong.
+//!
+//! Determinism: verdicts derive from SAT/UNSAT answers only, so reports must
+//! be identical across restart policies (modulo `Wall`/stats), and repeated
+//! identical runs must match field-for-field including solver statistics.
+
+use bip_core::{dining_philosophers, StatePred, System};
+use bip_verify::bmc::{BmcConfig, BmcOutcome};
+use bip_verify::control::Budget;
+use bip_verify::kind::{certify_step, KindConfig, KindError, Verdict};
+use bip_verify::reach::{check_invariant_with, ReachConfig};
+use proptest::prelude::*;
+use satkit::RestartPolicy;
+
+mod common;
+use common::random_system;
+
+/// Induction depth the harness attempts per seed.
+const MAX_K: usize = 10;
+/// Cumulative conflict ceiling per proof attempt (both solvers).
+const CONFLICT_CAP: u64 = 50_000;
+
+/// A seed-dependent invariant mixing location and data predicates (same
+/// shape as the BMC harness, so the two differential suites stay
+/// comparable).
+fn pick_invariant(sys: &System, seed: u64) -> StatePred {
+    let ty = sys.atom_type(0);
+    let last_loc = (ty.locations().len() - 1) as u32;
+    if seed % 2 == 1 && !ty.vars().is_empty() {
+        StatePred::Eq(bip_core::GExpr::var(0, 0), bip_core::GExpr::int(2)).not()
+    } else {
+        StatePred::at_loc(0, last_loc).not()
+    }
+}
+
+/// Re-replay a counterexample with machinery the prover never touches:
+/// `System::successors` enumeration plus direct invariant evaluation.
+fn independent_replay(
+    sys: &System,
+    inv: &StatePred,
+    trace: &[bip_core::Step],
+    states: &[bip_core::State],
+) -> Result<(), String> {
+    if states.len() != trace.len() + 1 {
+        return Err(format!("{} states for {} steps", states.len(), trace.len()));
+    }
+    if states[0] != sys.initial_state() {
+        return Err("trace does not start at the initial state".into());
+    }
+    for (i, step) in trace.iter().enumerate() {
+        let ok = sys
+            .successors(&states[i])
+            .into_iter()
+            .any(|(s, next)| &s == step && next == states[i + 1]);
+        if !ok {
+            return Err(format!("step {i} is not a concrete transition"));
+        }
+    }
+    if inv.eval(sys, states.last().unwrap()) {
+        return Err("final state does not violate the invariant".into());
+    }
+    Ok(())
+}
+
+/// Core differential check for one random system; returns `Err` for
+/// proptest.
+fn check_agreement(seed: u64) -> Result<(), String> {
+    let sys = random_system(seed);
+    let inv = pick_invariant(&sys, seed);
+
+    let bfs = check_invariant_with(&sys, &inv, &ReachConfig::bounded(100_000));
+    if !bfs.complete {
+        return Ok(()); // state space outgrew the budget; nothing exact to compare
+    }
+
+    let report = match KindConfig::new(&sys)
+        .max_k(MAX_K)
+        .budget(Budget::unlimited().conflicts(CONFLICT_CAP))
+        .prove(&inv)
+    {
+        Ok(r) => r,
+        // The encoder may decline (unbounded variable / support too large);
+        // that must be a typed decline, and then there is nothing to compare.
+        Err(KindError::Encode(_)) => return Ok(()),
+        Err(other) => return Err(format!("seed {seed}: unexpected kind error {other}")),
+    };
+
+    match &report.verdict {
+        Verdict::Proved { k } => {
+            if let Some((_, trace)) = &bfs.violation {
+                return Err(format!(
+                    "seed {seed}: k-induction claims a proof at k={k} but BFS finds a \
+                     violation at depth {}",
+                    trace.len()
+                ));
+            }
+            // Certificate: the inductive step re-derived in a fresh solver…
+            match certify_step(&sys, &inv, *k, 4096) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err(format!(
+                        "seed {seed}: fresh-solver certificate rejects the k={k} step"
+                    ))
+                }
+                Err(e) => return Err(format!("seed {seed}: certificate errored: {e}")),
+            }
+            // …and the base case re-derived by BMC.
+            let base = BmcConfig::new(&sys)
+                .bound(*k)
+                .check_invariant(&inv)
+                .map_err(|e| format!("seed {seed}: BMC base re-check errored: {e}"))?;
+            if !matches!(base.outcome, BmcOutcome::NoViolationWithin(_)) {
+                return Err(format!(
+                    "seed {seed}: BMC refutes the k={k} base case of a claimed proof"
+                ));
+            }
+        }
+        Verdict::Violated { trace, states } => {
+            let Some((_, bfs_trace)) = &bfs.violation else {
+                return Err(format!(
+                    "seed {seed}: k-induction reports a {}-step violation but exhaustive \
+                     BFS proves the invariant",
+                    trace.len()
+                ));
+            };
+            if trace.len() != bfs_trace.len() {
+                return Err(format!(
+                    "seed {seed}: k-induction trace has {} steps, BFS shortest is {}",
+                    trace.len(),
+                    bfs_trace.len()
+                ));
+            }
+            independent_replay(&sys, &inv, trace, states)
+                .map_err(|e| format!("seed {seed}: independent replay failed: {e}"))?;
+            let bmc = BmcConfig::new(&sys)
+                .bound(trace.len())
+                .check_invariant(&inv)
+                .map_err(|e| format!("seed {seed}: BMC re-check errored: {e}"))?;
+            match bmc.outcome {
+                BmcOutcome::Violation { trace: t, .. } if t.len() == trace.len() => {}
+                other => {
+                    return Err(format!(
+                        "seed {seed}: BMC at bound {} disagrees with the k-induction \
+                         violation: {other:?}",
+                        trace.len()
+                    ))
+                }
+            }
+        }
+        Verdict::Unknown(_) => {} // bounded resources; never wrong
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random systems: every definitive k-induction verdict must survive
+    /// its adversary (exhaustive BFS + fresh-solver certificate + BMC).
+    #[test]
+    fn kind_agrees_with_explicit_search_and_bmc(seed in 0u64..192) {
+        if let Err(msg) = check_agreement(seed) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
+
+/// "Adjacent philosophers never eat together" in the conservative variant —
+/// a true invariant that is not 1-inductive (an arbitrary state with
+/// philosopher 0 eating says nothing about its neighbour's fork), so the
+/// proof exercises depths k > 0 and the simple-path constraints.
+fn adjacent_mutex(n: usize) -> StatePred {
+    StatePred::And(
+        (0..n)
+            .map(|i| {
+                StatePred::Not(Box::new(StatePred::And(vec![
+                    StatePred::AtLoc(i, 1),
+                    StatePred::AtLoc((i + 1) % n, 1),
+                ])))
+            })
+            .collect(),
+    )
+}
+
+/// Verdicts derive from SAT/UNSAT answers only — semantic, hence identical
+/// across restart policies. `ProofReport` equality covers verdict and stop
+/// (stats and wall-clock compare equal by design).
+#[test]
+fn reports_are_identical_across_restart_policies() {
+    let workloads: Vec<(System, StatePred)> = vec![
+        (dining_philosophers(4, false).unwrap(), adjacent_mutex(4)),
+        (random_system(7), pick_invariant(&random_system(7), 7)),
+        (random_system(12), pick_invariant(&random_system(12), 12)),
+    ];
+    for (sys, inv) in &workloads {
+        let run = |policy: RestartPolicy| {
+            KindConfig::new(sys)
+                .max_k(MAX_K)
+                .budget(Budget::unlimited().conflicts(CONFLICT_CAP))
+                .restart_policy(policy)
+                .prove(inv)
+        };
+        let hybrid = run(RestartPolicy::hybrid());
+        let luby = run(RestartPolicy::luby());
+        let glucose = run(RestartPolicy::glucose());
+        match (hybrid, luby, glucose) {
+            (Ok(h), Ok(l), Ok(g)) => {
+                assert_eq!(h, l, "hybrid vs luby");
+                assert_eq!(h, g, "hybrid vs glucose");
+            }
+            (h, l, g) => panic!("runs errored: {h:?} {l:?} {g:?}"),
+        }
+    }
+}
+
+/// The solvers are deterministic: repeated identical runs must agree
+/// field-for-field, *including* the Eq-excluded solver statistics.
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let sys = dining_philosophers(4, false).unwrap();
+    let inv = adjacent_mutex(4);
+    let run = || {
+        KindConfig::new(&sys)
+            .max_k(MAX_K)
+            .prove(&inv)
+            .expect("encodable")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.verdict, b.verdict);
+    assert_eq!(a.stop, b.stop);
+    assert_eq!(a.stats.base_conflicts, b.stats.base_conflicts);
+    assert_eq!(a.stats.base_decisions, b.stats.base_decisions);
+    assert_eq!(a.stats.base_propagations, b.stats.base_propagations);
+    assert_eq!(a.stats.base_vars, b.stats.base_vars);
+    assert_eq!(a.stats.base_clauses, b.stats.base_clauses);
+    assert_eq!(a.stats.step_conflicts, b.stats.step_conflicts);
+    assert_eq!(a.stats.step_decisions, b.stats.step_decisions);
+    assert_eq!(a.stats.step_propagations, b.stats.step_propagations);
+    assert_eq!(a.stats.step_vars, b.stats.step_vars);
+    assert_eq!(a.stats.step_clauses, b.stats.step_clauses);
+    assert_eq!(a.stats.core_frames, b.stats.core_frames);
+}
+
+/// A conflict budget of 1 must surface as `Unknown`, never as a wrong (or
+/// lucky) verdict. The test self-validates: the unbudgeted run must actually
+/// need more than one conflict, otherwise the cap would not bite.
+#[test]
+fn conflict_budget_of_one_is_unknown_never_wrong() {
+    let sys = dining_philosophers(4, false).unwrap();
+    let inv = adjacent_mutex(4);
+    let free = KindConfig::new(&sys).max_k(MAX_K).prove(&inv).unwrap();
+    assert!(
+        matches!(free.verdict, Verdict::Proved { .. }),
+        "workload sanity: {:?}",
+        free.verdict
+    );
+    assert!(
+        free.stats.base_conflicts + free.stats.step_conflicts > 1,
+        "workload sanity: the unbudgeted proof must cost > 1 conflict \
+         (base={}, step={})",
+        free.stats.base_conflicts,
+        free.stats.step_conflicts
+    );
+    let capped = KindConfig::new(&sys)
+        .max_k(MAX_K)
+        .budget(Budget::unlimited().conflicts(1))
+        .prove(&inv)
+        .unwrap();
+    assert!(
+        matches!(capped.verdict, Verdict::Unknown(_)),
+        "a 1-conflict budget cannot produce a verdict, got {:?}",
+        capped.verdict
+    );
+}
+
+/// Sweeping the conflict budget from starved to generous: every capped run
+/// returns either `Unknown` or *the same verdict* as the unbudgeted run —
+/// budgets trade completeness for time, never soundness.
+#[test]
+fn budget_sweep_is_sound() {
+    let sys = dining_philosophers(4, false).unwrap();
+    let inv = adjacent_mutex(4);
+    let free = KindConfig::new(&sys).max_k(MAX_K).prove(&inv).unwrap();
+    for cap in [1u64, 10, 100, 1_000, 100_000] {
+        let capped = KindConfig::new(&sys)
+            .max_k(MAX_K)
+            .budget(Budget::unlimited().conflicts(cap))
+            .prove(&inv)
+            .unwrap();
+        match capped.verdict {
+            Verdict::Unknown(_) => {}
+            ref v => assert_eq!(
+                *v, free.verdict,
+                "cap {cap}: a budgeted verdict must match the unbudgeted one"
+            ),
+        }
+    }
+}
+
+/// Regression for the widen-to-TOP lift: a counter guarded at 100 (beyond
+/// the widening cadence) must encode *and* prove its own bound, end to end
+/// through the public API.
+#[test]
+fn guard_bounded_counter_at_limit_100_proves() {
+    let counter = bip_core::AtomBuilder::new("counter")
+        .location("run")
+        .initial("run")
+        .var("n", 0)
+        .internal_transition(
+            "run",
+            bip_core::Expr::var(0).lt(bip_core::Expr::int(100)),
+            vec![("n", bip_core::Expr::var(0).add(bip_core::Expr::int(1)))],
+            "run",
+        )
+        .build()
+        .unwrap();
+    let mut sb = bip_core::SystemBuilder::new();
+    sb.add_instance("c", &counter);
+    let sys = sb.build().unwrap();
+    let inv = StatePred::Le(bip_core::GExpr::var(0, 0), bip_core::GExpr::int(100));
+    let r = KindConfig::new(&sys).max_k(4).prove(&inv).unwrap();
+    let Verdict::Proved { k } = r.verdict else {
+        panic!("expected a proof, got {:?}", r.verdict);
+    };
+    assert!(certify_step(&sys, &inv, k, 4096).unwrap());
+    // The same system refutes a tighter false bound, concretely replayed.
+    let false_inv = StatePred::Le(bip_core::GExpr::var(0, 0), bip_core::GExpr::int(50));
+    let r = KindConfig::new(&sys).max_k(64).prove(&false_inv).unwrap();
+    let (trace, states) = r.violation().expect("n reaches 51");
+    assert_eq!(trace.len(), 51);
+    independent_replay(&sys, &false_inv, trace, states).unwrap();
+}
