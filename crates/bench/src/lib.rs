@@ -175,6 +175,32 @@ pub fn counter_ring(n: usize, k: i64) -> System {
     token_ring(n, Expr::var(0).lt(Expr::int(k)))
 }
 
+/// The crash-recovery philosophers family (E18): the deadlock-free
+/// conservative dining philosophers run through [`bip_core::fault::inject`]
+/// with every philosopher crashable.
+///
+/// With `budget = None` and [`bip_core::RecoverSpec::None`] this is the **planted
+/// bug**: any philosopher can die holding the table hostage and never come
+/// back, so the all-crashed global deadlock is reachable (E18's refutation
+/// direction — reach and BMC both find and replay it). With
+/// `budget = Some(1)` and a recovery spec, at most one philosopher is down
+/// at a time and [`bip_core::fault::single_fault_invariant`] is 1-inductive
+/// (E18's proof direction — k-induction proves it, `certify_step` certifies
+/// the step relation).
+pub fn crash_recovery_philosophers(
+    n: usize,
+    budget: Option<u32>,
+    recover: bip_core::RecoverSpec,
+) -> System {
+    use bip_core::FaultSpec;
+    let base = bip_core::dining_philosophers(n, false).unwrap();
+    let mut spec = FaultSpec::crash_all().recover(recover);
+    if let Some(b) = budget {
+        spec = spec.budget(b);
+    }
+    bip_core::fault::inject(&base, &spec).unwrap()
+}
+
 /// Shared topology of the token-ring families: one circulating token
 /// (`pass{i}` rendezvous between neighbor `put`/`get` ports) and a
 /// per-node `work` self-loop incrementing the node's counter while

@@ -92,6 +92,7 @@ mod dot;
 mod error;
 pub mod exec;
 pub mod expressiveness;
+pub mod fault;
 pub mod glue;
 pub mod hash;
 pub mod indep;
@@ -118,6 +119,7 @@ pub use exec::{
     CompiledExec, EnabledSet, EnabledStep, InteractionRef, SuccScratch, SuccStep, FULL_MASK,
     MAX_CONNECTOR_PORTS,
 };
+pub use fault::{inject, CrashSpec, FaultSpec, RecoverSpec};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use indep::{ActionId, AmpleScratch, IndepInfo};
 pub use intern::InternTable;

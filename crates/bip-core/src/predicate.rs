@@ -125,6 +125,11 @@ impl StatePred {
         StatePred::Or(vec![self, rhs])
     }
 
+    /// Builder: material implication (`¬self ∨ rhs`).
+    pub fn implies(self, rhs: StatePred) -> StatePred {
+        self.not().or(rhs)
+    }
+
     /// Evaluate in a global state.
     pub fn eval(&self, sys: &System, st: &State) -> bool {
         match self {

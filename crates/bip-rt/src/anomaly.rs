@@ -78,6 +78,7 @@ pub struct AnomalyOutcome {
 /// Greedy list scheduling (nondeterministic model resolved by the priority
 /// list): whenever a processor is free, start the highest-priority ready
 /// job. Returns the makespan.
+#[must_use]
 pub fn greedy_makespan(shop: &JobShop) -> u64 {
     let n = shop.durations.len();
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -137,6 +138,7 @@ pub fn greedy_makespan(shop: &JobShop) -> u64 {
 /// Deterministic (statically partitioned) schedule: job `j` always runs on
 /// processor `j % m`, in priority order per processor. Monotone in the
 /// durations — the time-robust reference.
+#[must_use]
 pub fn partitioned_makespan(shop: &JobShop) -> u64 {
     let n = shop.durations.len();
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -176,6 +178,11 @@ pub fn partitioned_makespan(shop: &JobShop) -> u64 {
 }
 
 /// Run the anomaly experiment: schedule at WCET and at reduced durations.
+///
+/// This is the entry point the `e18_faults` resilience bench exercises in
+/// CI: the Graham instance is asserted anomalous while the partitioned
+/// schedule is asserted robust, on every push.
+#[must_use]
 pub fn anomaly_experiment(shop: &JobShop, delta: u64) -> AnomalyOutcome {
     let wcet = greedy_makespan(shop);
     let faster = greedy_makespan(&shop.speed_up(delta));

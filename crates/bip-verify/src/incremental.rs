@@ -46,7 +46,7 @@ use std::time::Instant;
 
 use bip_core::FxHashSet;
 
-use bip_core::{Connector, ModelError, PlaceSet, StatePred, System, SystemBuilder};
+use bip_core::{Connector, FaultSpec, ModelError, PlaceSet, StatePred, System, SystemBuilder};
 
 use crate::control::{StopReason, Wall};
 use crate::dfinder::{
@@ -238,7 +238,19 @@ impl IncrementalVerifier {
         max_k: usize,
         explicit_bound: usize,
     ) -> InvariantOutcome {
-        let proof = KindConfig::new(&self.sys)
+        self.verify_invariant_on(&self.sys, inv, max_k, explicit_bound)
+    }
+
+    /// Proof-then-explicit pipeline against an arbitrary system (shared by
+    /// [`Self::verify_invariant`] and the fault-injection helpers).
+    fn verify_invariant_on(
+        &self,
+        sys: &System,
+        inv: &StatePred,
+        max_k: usize,
+        explicit_bound: usize,
+    ) -> InvariantOutcome {
+        let proof = KindConfig::new(sys)
             .max_k(max_k)
             .budget(self.cfg.budget)
             .cancel(&self.cfg.cancel)
@@ -257,9 +269,68 @@ impl IncrementalVerifier {
                     .threads(self.cfg.threads)
                     .budget(self.cfg.budget)
                     .cancel(&self.cfg.cancel);
-                InvariantOutcome::Explicit(check_invariant_with(&self.sys, inv, &cfg))
+                InvariantOutcome::Explicit(check_invariant_with(sys, inv, &cfg))
             }
         }
+    }
+
+    /// Derive the fault-injected variant of the current system
+    /// ([`bip_core::fault::inject`]) without disturbing this verifier's
+    /// incremental state. Resilience properties are ordinary invariants of
+    /// the returned system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the spec names unknown components or
+    /// connectors.
+    pub fn inject_faults(&self, spec: &FaultSpec) -> Result<System, ModelError> {
+        bip_core::fault::inject(&self.sys, spec)
+    }
+
+    /// Check a resilience invariant **under a fault spec**: the invariant is
+    /// verified against the fault-injected variant of the current system,
+    /// with the same proof-then-explicit pipeline (and the same budget,
+    /// cancellation, and thread-count-invariance guarantees) as
+    /// [`Self::verify_invariant`].
+    ///
+    /// Note the invariant is evaluated on the *transformed* system —
+    /// build it with the helpers in [`bip_core::fault`]
+    /// (`crashed`, `single_fault_invariant`, ...) or against the injected
+    /// system from [`Self::inject_faults`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the spec does not validate.
+    pub fn verify_invariant_under(
+        &self,
+        spec: &FaultSpec,
+        inv: &StatePred,
+        max_k: usize,
+        explicit_bound: usize,
+    ) -> Result<InvariantOutcome, ModelError> {
+        let faulty = self.inject_faults(spec)?;
+        Ok(self.verify_invariant_on(&faulty, inv, max_k, explicit_bound))
+    }
+
+    /// Explicitly search the fault-injected variant for deadlocks (e.g.
+    /// "deadlock-free despite any single crash"). Uses the config's thread
+    /// count, budget, and cancel token; the report is bit-identical across
+    /// thread counts like every reach report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the spec does not validate.
+    pub fn find_deadlock_under(
+        &self,
+        spec: &FaultSpec,
+        explicit_bound: usize,
+    ) -> Result<crate::reach::DeadlockReport, ModelError> {
+        let faulty = self.inject_faults(spec)?;
+        let cfg = ReachConfig::bounded(explicit_bound)
+            .threads(self.cfg.threads)
+            .budget(self.cfg.budget)
+            .cancel(&self.cfg.cancel);
+        Ok(crate::reach::find_deadlock_with(&faulty, &cfg))
     }
 
     /// Run the deadlock-freedom check with the current invariants.
@@ -617,6 +688,54 @@ mod tests {
         assert!(matches!(out, InvariantOutcome::Explicit(_)));
         assert!(out.found_violation());
         assert!(!out.is_proved());
+    }
+
+    #[test]
+    fn unbounded_crashes_kill_philosophers_but_a_budget_saves_them() {
+        use bip_core::fault::{self, FaultSpec, RecoverSpec};
+        let n = 3;
+        let full = bip_core::builder::dining_philosophers(n, false).unwrap();
+        let inc = IncrementalVerifier::new(full);
+
+        // Unrecoverable crashes: everyone can die, nobody comes back —
+        // the explicit search finds a deadlock.
+        let dead = inc
+            .find_deadlock_under(&FaultSpec::crash_all().unrecoverable(), 100_000)
+            .unwrap();
+        assert!(dead.found(), "unrecoverable crash-all must deadlock");
+
+        // A zero budget disables crashes entirely: deadlock-free again.
+        let safe = inc
+            .find_deadlock_under(&FaultSpec::crash_all().unrecoverable().budget(0), 100_000)
+            .unwrap();
+        assert!(safe.deadlock_free());
+
+        // Single-fault budget with recovery: the recovery invariant is a
+        // 1-inductive property of the transformed system, k-induction
+        // proves it without enumeration.
+        let spec = FaultSpec::crash_all()
+            .recover(RecoverSpec::Restart)
+            .budget(1);
+        let faulty = inc.inject_faults(&spec).unwrap();
+        let inv = fault::single_fault_invariant(&faulty);
+        let out = inc.verify_invariant_under(&spec, &inv, 4, 100_000).unwrap();
+        assert!(
+            matches!(out, InvariantOutcome::Proof(_)),
+            "recovery invariant should be settled by proof"
+        );
+        assert!(out.is_proved());
+    }
+
+    #[test]
+    fn fault_helpers_reject_bad_specs() {
+        use bip_core::FaultSpec;
+        let inc = IncrementalVerifier::new(base_philosophers(3));
+        let bad = FaultSpec::none().lossy("no_such_connector");
+        assert!(inc.inject_faults(&bad).is_err());
+        assert!(inc.find_deadlock_under(&bad, 100).is_err());
+        assert!(inc
+            .verify_invariant_under(&bad, &StatePred::True, 2, 100)
+            .is_err());
     }
 
     #[test]

@@ -35,6 +35,16 @@
 //!   exactly the `≥` relation of §5.5.3 used to certify source-to-source
 //!   transformations.
 //!
+//! Every family also doubles as a **resilience checker**: because
+//! [`bip_core::fault::inject`] derives crash/recover/lossy variants as plain
+//! BIP systems, fault-tolerance questions are ordinary invariant and deadlock
+//! queries on the transformed model — no engine changes, same thread-count
+//! and codec invariance. The [`IncrementalVerifier`] facade bundles this as
+//! [`IncrementalVerifier::inject_faults`],
+//! [`IncrementalVerifier::verify_invariant_under`] (proof-first:
+//! k-induction, then bounded explicit fallback), and
+//! [`IncrementalVerifier::find_deadlock_under`].
+//!
 //! Both checkers share one contract: **results are independent of the
 //! worker-thread count**. [`reach::ReachConfig`] and
 //! [`dfinder::DFinderConfig`] only change how fast the answer arrives:

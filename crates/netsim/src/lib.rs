@@ -15,6 +15,17 @@
 //! * an event queue ordered by `(time, sequence number)`;
 //! * processes react to messages and timers through a [`Context`] handle.
 //!
+//! # Fault injection
+//!
+//! [`FaultPlan`] describes an adversarial but **seed-deterministic** fault
+//! schedule: uniform message loss, severed links, network [`Partition`]s
+//! with heal times, per-link [`LinkFault`] windows (drop / extra delay /
+//! duplication / FIFO-violating reordering), and process [`CrashEvent`]
+//! schedules with optional restarts (the [`Process::on_restart`] hook).
+//! Every random decision draws from the same seeded RNG in a fixed order,
+//! so two runs with the same seed and plan produce identical [`Stats`] —
+//! the property the regression tests pin down.
+//!
 //! # Example
 //!
 //! ```
@@ -86,6 +97,13 @@ pub trait Process<M> {
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _token: u64, _ctx: &mut Context<M>) {}
+
+    /// Called when this node restarts after a scheduled crash (see
+    /// [`FaultPlan::crash_restart`]). Process memory is **retained** across
+    /// the crash — implementations decide what to reset, re-announce, or
+    /// re-arm (timers and messages that targeted the node while it was down
+    /// are gone). Default: no-op, so existing processes are unaffected.
+    fn on_restart(&mut self, _ctx: &mut Context<M>) {}
 }
 
 /// Handle through which a process interacts with the network.
@@ -127,16 +145,36 @@ impl<M> Context<'_, M> {
 }
 
 /// Aggregate statistics of a run.
+///
+/// `Stats` is `Eq` on purpose: two runs with the same seed, processes, and
+/// [`FaultPlan`] must produce *identical* statistics, and the determinism
+/// regression tests compare whole `Stats` values.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Messages handed to [`Context::send`].
     pub messages_sent: usize,
-    /// Messages delivered to [`Process::on_message`].
+    /// Messages delivered to [`Process::on_message`] (duplicates included).
     pub messages_delivered: usize,
-    /// Messages lost to fault injection.
+    /// Messages lost to fault injection: uniform loss, severed links,
+    /// active partitions, link-fault drops, and deliveries to a crashed
+    /// node.
     pub messages_dropped: usize,
+    /// Extra copies enqueued by [`LinkFault::duplicate`] windows.
+    pub messages_duplicated: usize,
+    /// Sends whose active [`LinkFault`] window added extra delay.
+    pub messages_delayed: usize,
+    /// Sends that bypassed the FIFO floor through a [`LinkFault::reorder`]
+    /// window (they may overtake earlier messages on the link).
+    pub messages_reordered: usize,
     /// Timer events fired.
     pub timers_fired: usize,
+    /// Timer events discarded because the node was crashed when they came
+    /// due.
+    pub timers_dropped: usize,
+    /// Scheduled crashes that took effect.
+    pub crash_events: usize,
+    /// Scheduled restarts that took effect ([`Process::on_restart`] calls).
+    pub restarts: usize,
     /// Final simulated time.
     pub end_time: Time,
     /// Per-node delivered-message counts.
@@ -147,6 +185,8 @@ pub struct Stats {
 enum Payload<M> {
     Message { from: usize, msg: M },
     Timer { token: u64 },
+    Crash,
+    Restart,
 }
 
 #[derive(Debug)]
@@ -175,16 +215,145 @@ impl<M> Ord for Event<M> {
     }
 }
 
-/// Fault-injection plan: deterministic (seeded) message loss.
+/// Validate a probability, panicking with a uniform message otherwise.
+fn check_rate(rate: f64, what: &str) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "{what} must be a probability in [0.0, 1.0], got {rate}"
+    );
+    rate
+}
+
+/// One adversity window on a directed link: while `from <= now < until`
+/// (decided at **send** time), messages from `src` to `dst` are dropped
+/// with `drop_rate`, delayed by `extra_delay` extra ticks, duplicated with
+/// `duplicate_rate`, and allowed to overtake (FIFO-floor bypass) with
+/// `reorder_rate`. Build with [`LinkFault::window`] and the chainable
+/// setters.
+#[derive(Debug, Clone)]
+pub struct LinkFault {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+    /// First tick the window is active.
+    pub from: Time,
+    /// First tick the window is no longer active (exclusive).
+    pub until: Time,
+    /// Per-message drop probability inside the window.
+    pub drop_rate: f64,
+    /// Extra latency added to every message inside the window.
+    pub extra_delay: Time,
+    /// Probability that a message is enqueued twice (independent latency
+    /// samples; both copies respect the FIFO floor).
+    pub duplicate_rate: f64,
+    /// Probability that a message bypasses the FIFO floor and may overtake
+    /// earlier traffic on the link.
+    pub reorder_rate: f64,
+}
+
+impl LinkFault {
+    /// An all-pass window on `src → dst` over `[from, until)`; chain the
+    /// setters to make it hostile.
+    pub fn window(src: usize, dst: usize, from: Time, until: Time) -> LinkFault {
+        LinkFault {
+            src,
+            dst,
+            from,
+            until,
+            drop_rate: 0.0,
+            extra_delay: 0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+        }
+    }
+
+    /// Set the drop probability. Panics outside `[0.0, 1.0]`.
+    #[must_use]
+    pub fn drop(mut self, rate: f64) -> LinkFault {
+        self.drop_rate = check_rate(rate, "LinkFault drop rate");
+        self
+    }
+
+    /// Set the extra per-message delay.
+    #[must_use]
+    pub fn delay(mut self, extra: Time) -> LinkFault {
+        self.extra_delay = extra;
+        self
+    }
+
+    /// Set the duplication probability. Panics outside `[0.0, 1.0]`.
+    #[must_use]
+    pub fn duplicate(mut self, rate: f64) -> LinkFault {
+        self.duplicate_rate = check_rate(rate, "LinkFault duplicate rate");
+        self
+    }
+
+    /// Set the reorder probability. Panics outside `[0.0, 1.0]`.
+    #[must_use]
+    pub fn reorder(mut self, rate: f64) -> LinkFault {
+        self.reorder_rate = check_rate(rate, "LinkFault reorder rate");
+        self
+    }
+
+    fn active(&self, now: Time) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// A network partition: while `from <= now < until` (decided at send
+/// time), messages crossing the boundary between `island` and the rest of
+/// the network — in either direction — are dropped. The partition **heals**
+/// at `until`.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Nodes on one side of the cut.
+    pub island: Vec<usize>,
+    /// First tick of the partition.
+    pub from: Time,
+    /// Heal time (exclusive — traffic flows again at `until`).
+    pub until: Time,
+}
+
+/// A scheduled fail-stop crash of one node, with an optional restart.
 ///
-/// Dropping is decided at send time; FIFO order of *delivered* messages is
-/// preserved. Use for testing protocol robustness and failure detection.
+/// While crashed, the node's handlers never run: messages delivered to it
+/// count as dropped, due timers are discarded. At `restart_at` the node
+/// comes back (process memory retained) and [`Process::on_restart`] runs.
+#[derive(Debug, Clone)]
+pub struct CrashEvent {
+    /// The crashing node.
+    pub node: usize,
+    /// Crash time.
+    pub at: Time,
+    /// Restart time (`None` = the node stays down forever).
+    pub restart_at: Option<Time>,
+}
+
+/// Fault-injection plan: deterministic (seeded) adversity.
+///
+/// All probabilistic decisions are made at **send** time from the
+/// network's seeded RNG in a fixed order, so a plan is reproducible:
+/// same seed, same processes, same plan ⇒ identical [`Stats`]. FIFO order
+/// of delivered messages is preserved except through explicit
+/// [`LinkFault::reorder`] windows.
+///
+/// Crash/restart schedules are read when the simulation starts — install
+/// the plan (via [`Network::set_faults`]) before the first step.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Probability (0.0–1.0) that any message is silently dropped.
     pub drop_rate: f64,
     /// Links `(src, dst)` that drop *everything* (a cut cable).
     pub severed: Vec<(usize, usize)>,
+    /// Scheduled per-link adversity windows. When several windows cover
+    /// the same link at the same instant, the **first** matching one in
+    /// this list applies.
+    pub links: Vec<LinkFault>,
+    /// Scheduled partitions with heal times.
+    pub partitions: Vec<Partition>,
+    /// Scheduled process crashes/restarts.
+    pub crashes: Vec<CrashEvent>,
 }
 
 impl FaultPlan {
@@ -194,10 +363,90 @@ impl FaultPlan {
     }
 
     /// Uniform message loss.
+    ///
+    /// # Contract
+    ///
+    /// `drop_rate` must be a probability: **panics** unless
+    /// `0.0 <= drop_rate <= 1.0` (NaN fails the comparison and panics
+    /// too). Out-of-range rates used to be accepted silently and then
+    /// crashed deep inside the RNG at send time; the contract is now
+    /// checked at construction.
     pub fn lossy(drop_rate: f64) -> FaultPlan {
         FaultPlan {
-            drop_rate,
-            severed: Vec::new(),
+            drop_rate: check_rate(drop_rate, "FaultPlan drop rate"),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Cut the directed link `src → dst` permanently.
+    #[must_use]
+    pub fn sever(mut self, src: usize, dst: usize) -> FaultPlan {
+        self.severed.push((src, dst));
+        self
+    }
+
+    /// Add a per-link adversity window.
+    #[must_use]
+    pub fn link(mut self, fault: LinkFault) -> FaultPlan {
+        self.links.push(fault);
+        self
+    }
+
+    /// Partition `island` from the rest of the network over `[from, until)`.
+    #[must_use]
+    pub fn partition(mut self, island: Vec<usize>, from: Time, until: Time) -> FaultPlan {
+        self.partitions.push(Partition {
+            island,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Crash `node` at `at`, permanently.
+    #[must_use]
+    pub fn crash(mut self, node: usize, at: Time) -> FaultPlan {
+        self.crashes.push(CrashEvent {
+            node,
+            at,
+            restart_at: None,
+        });
+        self
+    }
+
+    /// Crash `node` at `at` and restart it at `restart_at`.
+    #[must_use]
+    pub fn crash_restart(mut self, node: usize, at: Time, restart_at: Time) -> FaultPlan {
+        assert!(at < restart_at, "restart must come after the crash");
+        self.crashes.push(CrashEvent {
+            node,
+            at,
+            restart_at: Some(restart_at),
+        });
+        self
+    }
+
+    /// Panic unless every rate is a probability and every node index is
+    /// below `n`. Called by [`Network::set_faults`].
+    fn validate(&self, n: usize) {
+        check_rate(self.drop_rate, "FaultPlan drop rate");
+        for &(src, dst) in &self.severed {
+            assert!(src < n && dst < n, "severed link endpoint out of range");
+        }
+        for l in &self.links {
+            check_rate(l.drop_rate, "LinkFault drop rate");
+            check_rate(l.duplicate_rate, "LinkFault duplicate rate");
+            check_rate(l.reorder_rate, "LinkFault reorder rate");
+            assert!(l.src < n && l.dst < n, "LinkFault endpoint out of range");
+        }
+        for p in &self.partitions {
+            assert!(
+                p.island.iter().all(|&x| x < n),
+                "Partition node out of range"
+            );
+        }
+        for c in &self.crashes {
+            assert!(c.node < n, "CrashEvent node out of range");
         }
     }
 }
@@ -218,9 +467,11 @@ pub struct Network<M, P: Process<M>> {
     halted: bool,
     n: usize,
     faults: FaultPlan,
+    /// Nodes currently down (fail-stop, see [`CrashEvent`]).
+    crashed: Vec<bool>,
 }
 
-impl<M, P: Process<M>> Network<M, P> {
+impl<M: Clone, P: Process<M>> Network<M, P> {
     /// Create a network with one node per process and a shared latency
     /// model; the default seed is 0.
     pub fn new(procs: Vec<P>, latency: Latency) -> Network<M, P> {
@@ -246,12 +497,25 @@ impl<M, P: Process<M>> Network<M, P> {
             halted: false,
             n,
             faults: FaultPlan::none(),
+            crashed: vec![false; n],
         }
     }
 
-    /// Install a fault-injection plan (before or during a run).
+    /// Install a fault-injection plan.
+    ///
+    /// Loss/partition/link windows take effect immediately (they are
+    /// consulted at send time); crash/restart schedules are enqueued when
+    /// the simulation starts, so install the plan **before** the first
+    /// step. Panics if the plan is malformed (rate outside `[0, 1]`, node
+    /// index out of range).
     pub fn set_faults(&mut self, plan: FaultPlan) {
+        plan.validate(self.n);
         self.faults = plan;
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.crashed[node]
     }
 
     /// Number of nodes.
@@ -280,6 +544,47 @@ impl<M, P: Process<M>> Network<M, P> {
     }
 
     fn dispatch(&mut self, node: usize, payload: Payload<M>) {
+        if matches!(payload, Payload::Crash) {
+            if !self.crashed[node] {
+                self.crashed[node] = true;
+                self.stats.crash_events += 1;
+            }
+            return;
+        }
+        if self.crashed[node] {
+            // A dead node's handlers never run; its traffic evaporates.
+            match payload {
+                Payload::Message { .. } => self.stats.messages_dropped += 1,
+                Payload::Timer { .. } => self.stats.timers_dropped += 1,
+                Payload::Restart => {
+                    self.crashed[node] = false;
+                    self.stats.restarts += 1;
+                    self.run_handler(node, |p, ctx| p.on_restart(ctx));
+                }
+                Payload::Crash => unreachable!(),
+            }
+            return;
+        }
+        match payload {
+            Payload::Message { from, msg } => {
+                self.stats.messages_delivered += 1;
+                self.stats.per_node_delivered[node] += 1;
+                self.run_handler(node, |p, ctx| p.on_message(from, msg, ctx));
+            }
+            Payload::Timer { token } => {
+                self.stats.timers_fired += 1;
+                self.run_handler(node, |p, ctx| p.on_timer(token, ctx));
+            }
+            // A restart for a node that never crashed (or already
+            // restarted) is a no-op.
+            Payload::Restart => {}
+            Payload::Crash => unreachable!(),
+        }
+    }
+
+    /// Run one process handler with full context plumbing, then flush its
+    /// outbox and timers.
+    fn run_handler(&mut self, node: usize, f: impl FnOnce(&mut P, &mut Context<M>)) {
         let mut outbox = Vec::new();
         let mut timers = Vec::new();
         let mut halted = self.halted;
@@ -291,17 +596,7 @@ impl<M, P: Process<M>> Network<M, P> {
                 timers: &mut timers,
                 halted: &mut halted,
             };
-            match payload {
-                Payload::Message { from, msg } => {
-                    self.stats.messages_delivered += 1;
-                    self.stats.per_node_delivered[node] += 1;
-                    self.procs[node].on_message(from, msg, &mut ctx);
-                }
-                Payload::Timer { token } => {
-                    self.stats.timers_fired += 1;
-                    self.procs[node].on_timer(token, &mut ctx);
-                }
-            }
+            f(&mut self.procs[node], &mut ctx);
         }
         self.halted = halted;
         for (to, msg) in outbox {
@@ -318,19 +613,74 @@ impl<M, P: Process<M>> Network<M, P> {
         }
     }
 
+    /// Whether an active partition separates `from` and `to` right now.
+    fn partitioned(&self, from: usize, to: usize) -> bool {
+        self.faults.partitions.iter().any(|p| {
+            p.from <= self.now
+                && self.now < p.until
+                && (p.island.contains(&from) != p.island.contains(&to))
+        })
+    }
+
     fn enqueue_message(&mut self, from: usize, to: usize, msg: M) {
         assert!(to < self.n, "destination {to} out of range");
         self.stats.messages_sent += 1;
-        if self.faults.severed.contains(&(from, to))
+        if self.faults.severed.contains(&(from, to)) || self.partitioned(from, to) {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        // First matching active link window applies (documented contract).
+        let now = self.now;
+        let (link_drop, extra_delay, dup_rate, reorder_rate) = self
+            .faults
+            .links
+            .iter()
+            .find(|l| l.src == from && l.dst == to && l.active(now))
+            .map_or((0.0, 0, 0.0, 0.0), |l| {
+                (l.drop_rate, l.extra_delay, l.duplicate_rate, l.reorder_rate)
+            });
+        if (link_drop > 0.0 && self.rng.gen_bool(link_drop))
             || (self.faults.drop_rate > 0.0 && self.rng.gen_bool(self.faults.drop_rate))
         {
             self.stats.messages_dropped += 1;
             return;
         }
-        let lat = self.latency.sample(&mut self.rng);
-        let floor = &mut self.fifo_floor[from * self.n + to];
-        let at = (self.now + lat).max(*floor);
-        *floor = at;
+        if extra_delay > 0 {
+            self.stats.messages_delayed += 1;
+        }
+        let duplicate = if dup_rate > 0.0 && self.rng.gen_bool(dup_rate) {
+            self.stats.messages_duplicated += 1;
+            Some(msg.clone())
+        } else {
+            None
+        };
+        self.push_message(from, to, msg, extra_delay, reorder_rate);
+        if let Some(copy) = duplicate {
+            self.push_message(from, to, copy, extra_delay, reorder_rate);
+        }
+    }
+
+    /// Sample latency/reorder for one copy and enqueue it.
+    fn push_message(
+        &mut self,
+        from: usize,
+        to: usize,
+        msg: M,
+        extra_delay: Time,
+        reorder_rate: f64,
+    ) {
+        let lat = self.latency.sample(&mut self.rng) + extra_delay;
+        let at = if reorder_rate > 0.0 && self.rng.gen_bool(reorder_rate) {
+            // Bypass the FIFO floor: this copy may overtake earlier
+            // traffic, and does not hold later traffic back.
+            self.stats.messages_reordered += 1;
+            self.now + lat
+        } else {
+            let floor = &mut self.fifo_floor[from * self.n + to];
+            let at = (self.now + lat).max(*floor);
+            *floor = at;
+            at
+        };
         self.seq += 1;
         self.queue.push(Event {
             time: at,
@@ -345,33 +695,28 @@ impl<M, P: Process<M>> Network<M, P> {
             return;
         }
         self.started = true;
-        for node in 0..self.n {
-            let mut outbox = Vec::new();
-            let mut timers = Vec::new();
-            let mut halted = self.halted;
-            {
-                let mut ctx = Context {
-                    me: node,
-                    now: 0,
-                    outbox: &mut outbox,
-                    timers: &mut timers,
-                    halted: &mut halted,
-                };
-                self.procs[node].on_start(&mut ctx);
-            }
-            self.halted = halted;
-            for (to, msg) in outbox {
-                self.enqueue_message(node, to, msg);
-            }
-            for (at, token) in timers {
+        // Crash/restart schedules become ordinary events, ordered before
+        // same-tick traffic (they are enqueued first).
+        for ce in self.faults.crashes.clone() {
+            self.seq += 1;
+            self.queue.push(Event {
+                time: ce.at,
+                seq: self.seq,
+                dst: ce.node,
+                payload: Payload::Crash,
+            });
+            if let Some(r) = ce.restart_at {
                 self.seq += 1;
                 self.queue.push(Event {
-                    time: at,
+                    time: r,
                     seq: self.seq,
-                    dst: node,
-                    payload: Payload::Timer { token },
+                    dst: ce.node,
+                    payload: Payload::Restart,
                 });
             }
+        }
+        for node in 0..self.n {
+            self.run_handler(node, |p, ctx| p.on_start(ctx));
         }
     }
 
@@ -605,10 +950,7 @@ mod tests {
     fn severed_link_is_one_directional() {
         let procs: Vec<Pinger> = (0..2).map(|_| Pinger { n: 2, received: 0 }).collect();
         let mut net = Network::with_seed(procs, Latency::Fixed(1), 3);
-        net.set_faults(FaultPlan {
-            drop_rate: 0.0,
-            severed: vec![(1, 0)],
-        });
+        net.set_faults(FaultPlan::none().sever(1, 0));
         net.run_until_quiet(1000);
         // Ping 0→1 arrives; pong 1→0 is cut.
         assert_eq!(net.process(1).received, 1);
@@ -631,6 +973,39 @@ mod tests {
             delivered > 0 && dropped > 0,
             "0.5 loss should split the traffic"
         );
+    }
+
+    #[test]
+    fn lossy_accepts_the_boundaries() {
+        // The contract: exactly [0.0, 1.0] is accepted.
+        assert_eq!(FaultPlan::lossy(0.0).drop_rate, 0.0);
+        assert_eq!(FaultPlan::lossy(1.0).drop_rate, 1.0);
+        assert_eq!(FaultPlan::lossy(0.5).drop_rate, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn lossy_rejects_rates_above_one() {
+        let _ = FaultPlan::lossy(1.0001);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn lossy_rejects_negative_rates() {
+        let _ = FaultPlan::lossy(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn lossy_rejects_nan() {
+        let _ = FaultPlan::lossy(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_faults_validates_node_indices() {
+        let mut net = Network::new(vec![Relay::default(), Relay::default()], Latency::Fixed(1));
+        net.set_faults(FaultPlan::none().crash(7, 10));
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //!
 //! Re-exports the workspace crates so examples and integration tests can use
 //! a single dependency. See the individual crates for the real APIs.
+//! Cross-crate layers worth knowing about: `core::fault` derives
+//! crash/recover/lossy variants that `verify`'s engines check unchanged, and
+//! `netsim` injects the same fault classes into concrete executions.
 pub use bip_arch as arch;
 pub use bip_core as core;
 pub use bip_distributed as distributed;

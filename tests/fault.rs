@@ -1,0 +1,113 @@
+//! Property tests for the fault-injection transform (`bip_core::fault`).
+//!
+//! Two laws on random systems (see `common::random_system` — random guarded
+//! atoms, rendezvous/broadcast/singleton connectors, random priority
+//! layers):
+//!
+//! 1. **Zero faults ⇒ bisimilar.** A `FaultSpec` with no fault enabled —
+//!    either nothing crashable, or everything crashable under a
+//!    `max_concurrent_faults` budget of 0 — must leave the behavior
+//!    untouched: walking original and transformed systems in lockstep,
+//!    every state has the same `successors()` set (steps and
+//!    fault-projected states) in both.
+//! 2. **Every introduced crash state is reachable.** Under an unrecoverable
+//!    crash-all spec, each crashable component's `__crashed` location is
+//!    reachable — already at depth 1, since the crash transition leaves
+//!    every original location and the monitor budget starts free.
+
+mod common;
+
+use std::collections::{HashSet, VecDeque};
+
+use bip_core::fault::{self, FaultSpec};
+use bip_core::{system_to_dot, State, System};
+use common::random_system;
+use proptest::prelude::*;
+
+/// Lockstep BFS over (original, transformed) state pairs, asserting the
+/// successor sets agree step-for-step after projecting the transformed
+/// states back onto the original's components.
+fn assert_bisimilar(orig: &System, faulty: &System, max_states: usize) {
+    let key = |step_dbg: &str, st: &State| format!("{step_dbg} -> {st:?}");
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut queue: VecDeque<(State, State)> = VecDeque::new();
+    let init = (orig.initial_state(), faulty.initial_state());
+    assert_eq!(
+        fault::project_state(orig, &init.1),
+        init.0,
+        "initial states must project onto each other"
+    );
+    seen.insert(init.0.clone());
+    queue.push_back(init);
+    while let Some((so, sf)) = queue.pop_front() {
+        let mut succ_o: Vec<(String, State)> = orig
+            .successors(&so)
+            .into_iter()
+            .map(|(step, st)| (format!("{step:?}"), st))
+            .collect();
+        let mut succ_f: Vec<(String, State, State)> = faulty
+            .successors(&sf)
+            .into_iter()
+            .map(|(step, st)| {
+                let proj = fault::project_state(orig, &st);
+                (format!("{step:?}"), proj, st)
+            })
+            .collect();
+        succ_o.sort_by_key(|(step, st)| key(step, st));
+        succ_f.sort_by_key(|(step, proj, _)| key(step, proj));
+        let keys_o: Vec<String> = succ_o.iter().map(|(s, st)| key(s, st)).collect();
+        let keys_f: Vec<String> = succ_f.iter().map(|(s, proj, _)| key(s, proj)).collect();
+        assert_eq!(
+            keys_o, keys_f,
+            "successor sets diverge at {so:?} (faulty side {sf:?})"
+        );
+        for ((_, st_o), (_, _, st_f)) in succ_o.into_iter().zip(succ_f) {
+            if seen.len() < max_states && seen.insert(st_o.clone()) {
+                queue.push_back((st_o, st_f));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// An empty spec is the identity transform, down to the DOT rendering.
+    #[test]
+    fn empty_spec_is_identity(seed in 0u64..192) {
+        let sys = random_system(seed);
+        let same = fault::inject(&sys, &FaultSpec::none()).unwrap();
+        prop_assert_eq!(system_to_dot(&same), system_to_dot(&sys));
+    }
+
+    /// Crash machinery under a zero budget is invisible: the transformed
+    /// system is step-for-step bisimilar to the original.
+    #[test]
+    fn zero_budget_is_bisimilar(seed in 0u64..192) {
+        let sys = random_system(seed);
+        let spec = FaultSpec::crash_all().unrecoverable().budget(0);
+        let faulty = fault::inject(&sys, &spec).unwrap();
+        assert_bisimilar(&sys, &faulty, 200);
+    }
+
+    /// Every crash state the transform introduces is reachable — at depth 1
+    /// already, since crashes leave every location and the budget starts
+    /// free.
+    #[test]
+    fn introduced_crash_states_are_reachable(seed in 0u64..192) {
+        let sys = random_system(seed);
+        let spec = FaultSpec::crash_all().unrecoverable();
+        let faulty = fault::inject(&sys, &spec).unwrap();
+        let crashable = fault::crashable_components(&faulty);
+        prop_assert_eq!(crashable.len(), sys.num_components());
+        let succ = faulty.successors(&faulty.initial_state());
+        for c in crashable {
+            let bot = fault::crashed_loc(&faulty, c).unwrap();
+            prop_assert!(
+                succ.iter().any(|(_, st)| st.locs[c] == bot),
+                "component {}'s crash state must be a depth-1 successor",
+                c
+            );
+        }
+    }
+}
